@@ -1,0 +1,1 @@
+examples/loop_pipeline.ml: Int64 List Mc_ast Mc_core Mc_diag Mc_interp Printf String

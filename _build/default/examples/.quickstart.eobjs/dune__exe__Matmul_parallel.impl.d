@@ -1,0 +1,1 @@
+examples/matmul_parallel.ml: List Mc_core Mc_interp Printf String

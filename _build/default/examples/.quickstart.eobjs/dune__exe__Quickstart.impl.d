@@ -1,0 +1,1 @@
+examples/quickstart.ml: Int64 List Mc_core Mc_interp Mc_ir Printf String

@@ -1,0 +1,1 @@
+examples/saxpy_unroll.ml: List Mc_core Mc_interp Mc_passes Printf String

@@ -1,0 +1,1 @@
+examples/saxpy_unroll.mli:

@@ -1,0 +1,1 @@
+examples/stencil_tiling.ml: List Mc_core Mc_interp Printf String

@@ -1,0 +1,105 @@
+(* Loop-transformation pipeline: the OpenMP 6.0 preview directives the
+   paper's conclusion anticipates (reverse / interchange / fuse), composed
+   with the 5.1 transformations, shown as both source-to-source rewrites
+   (the shadow AST unparsed back to C) and executions.
+
+   Run with:  dune exec examples/loop_pipeline.exe *)
+
+module Driver = Mc_core.Driver
+module Interp = Mc_interp.Interp
+open Mc_ast.Tree
+
+let show_transformed title source =
+  Printf.printf "\n=== %s ===\n%s\n" title source;
+  let diag, tu = Driver.frontend source in
+  if Mc_diag.Diagnostics.has_errors diag then
+    failwith (Mc_diag.Diagnostics.render_all diag);
+  (* Find the outermost transformation directive and unparse its hidden
+     generated loop — what a source-to-source tool built on the shadow AST
+     would print. *)
+  let found = ref None in
+  List.iter
+    (function
+      | Tu_fn { fn_body = Some body; _ } ->
+        Mc_ast.Visit.iter ~shadow:false
+          ~on_stmt:(fun s ->
+            match s.s_kind with
+            | Omp_directive d when !found = None && d.dir_transformed <> None ->
+              found := Some d
+            | _ -> ())
+          body
+      | _ -> ())
+    tu.tu_decls;
+  (match !found with
+  | Some d ->
+    print_endline "--- generated loop (shadow AST, unparsed) ---";
+    (match d.dir_preinits with
+    | Some pre -> print_string (Mc_ast.Unparse.stmt_to_string ~indent:2 pre)
+    | None -> ());
+    (match d.dir_transformed with
+    | Some tr -> print_string (Mc_ast.Unparse.stmt_to_string ~indent:2 tr)
+    | None -> ())
+  | None -> print_endline "(no transformation found)");
+  (* And run it, on both lowering paths. *)
+  List.iter
+    (fun (label, options) ->
+      match Driver.compile_and_run ~options source with
+      | Ok outcome ->
+        let trace =
+          outcome.Interp.trace
+          |> List.filter_map (function
+               | Interp.T_int v -> Some (Int64.to_string v)
+               | Interp.T_float _ -> None)
+          |> String.concat " "
+        in
+        Printf.printf "%-10s -> [%s]\n" label trace
+      | Error e -> Printf.printf "%-10s FAILED: %s\n" label e)
+    [
+      ("classic", Driver.default_options);
+      ("irbuilder", { Driver.default_options with Driver.use_irbuilder = true });
+    ]
+
+let () =
+  print_endline
+    "OpenMP 6.0 preview transformations (the paper's future-work outlook)";
+
+  show_transformed "reverse"
+    "void record(long x);\n\
+     int main(void) {\n\
+     #pragma omp reverse\n\
+     for (int i = 0; i < 6; i += 1)\n\
+     record(i);\n\
+     return 0; }";
+
+  show_transformed "interchange (transposing a 2-nest)"
+    "void record(long x);\n\
+     int main(void) {\n\
+     #pragma omp interchange\n\
+     for (int i = 0; i < 3; i += 1)\n\
+     for (int j = 0; j < 2; j += 1)\n\
+     record(10 * i + j);\n\
+     return 0; }";
+
+  show_transformed "fuse (a loop sequence becomes one loop)"
+    "void record(long x);\n\
+     int main(void) {\n\
+     #pragma omp fuse\n\
+     {\n\
+     for (int i = 0; i < 4; i += 1) record(100 + i);\n\
+     for (int j = 0; j < 2; j += 1) record(200 + j);\n\
+     }\n\
+     return 0; }";
+
+  show_transformed "composition: reverse of a tiled loop"
+    "void record(long x);\n\
+     int main(void) {\n\
+     #pragma omp reverse\n\
+     #pragma omp tile sizes(3)\n\
+     for (int i = 0; i < 8; i += 1)\n\
+     record(i);\n\
+     return 0; }";
+
+  print_endline
+    "\nEvery pair of lines above must agree: the shadow-AST and\n\
+     OpenMPIRBuilder implementations of the 6.0 preview are differentially\n\
+     tested against each other, like the 5.1 directives."

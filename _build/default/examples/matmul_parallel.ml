@@ -1,0 +1,85 @@
+(* Parallel matrix multiplication: `#pragma omp parallel for collapse(2)`
+   with a reduction-checked verification pass, across team sizes and both
+   lowering paths.
+
+   Demonstrates worksharing, collapse, reduction, and that the simulated
+   runtime distributes all iterations exactly once regardless of team size.
+
+   Run with:  dune exec examples/matmul_parallel.exe *)
+
+module Driver = Mc_core.Driver
+module Interp = Mc_interp.Interp
+
+let source =
+  {|void record(long x);
+
+int main(void) {
+  int a[12][12];
+  int b[12][12];
+  int c[12][12];
+  for (int i = 0; i < 12; i += 1)
+    for (int j = 0; j < 12; j += 1) {
+      a[i][j] = (i * 5 + j * 3) % 7 - 3;
+      b[i][j] = (i * 2 + j * 11) % 5 - 2;
+      c[i][j] = 0;
+    }
+
+  #pragma omp parallel for collapse(2)
+  for (int i = 0; i < 12; i += 1)
+    for (int j = 0; j < 12; j += 1) {
+      int acc = 0;
+      for (int k = 0; k < 12; k += 1)
+        acc += a[i][k] * b[k][j];
+      c[i][j] = acc;
+    }
+
+  long checksum = 0;
+  #pragma omp parallel for reduction(+: checksum)
+  for (int i = 0; i < 12; i += 1)
+    for (int j = 0; j < 12; j += 1)
+      checksum += (long)c[i][j] * (i + 2 * j + 1);
+  record(checksum);
+
+  long trace = 0;
+  for (int i = 0; i < 12; i += 1) trace += c[i][i];
+  record(trace);
+  return 0;
+}|}
+
+let () =
+  print_endline "12x12 integer matmul: parallel for collapse(2) + reduction\n";
+  Printf.printf "%10s %10s | %12s %12s | %10s\n" "threads" "path" "checksum"
+    "trace" "steps";
+  Printf.printf "%s\n" (String.make 64 '-');
+  let reference = ref None in
+  List.iter
+    (fun num_threads ->
+      List.iter
+        (fun (label, irbuilder) ->
+          let options =
+            { Driver.default_options with Driver.use_irbuilder = irbuilder }
+          in
+          let config = { Interp.default_config with Interp.num_threads } in
+          match Driver.compile_and_run ~options ~config source with
+          | Ok outcome ->
+            let ints =
+              List.filter_map
+                (function Interp.T_int v -> Some v | _ -> None)
+                outcome.Interp.trace
+            in
+            (match ints with
+            | [ checksum; trace ] ->
+              (match !reference with
+              | None -> reference := Some (checksum, trace)
+              | Some r ->
+                if r <> (checksum, trace) then
+                  failwith "results depend on configuration!");
+              Printf.printf "%10d %10s | %12Ld %12Ld | %10d\n%!" num_threads
+                label checksum trace outcome.Interp.steps
+            | _ -> failwith "unexpected trace shape")
+          | Error e -> failwith e)
+        [ ("classic", false); ("irbuild", true) ])
+    [ 1; 2; 4; 8 ];
+  print_endline
+    "\nIdentical results for every team size and lowering path: worksharing\n\
+     covers the collapsed 144-iteration space exactly once per element."

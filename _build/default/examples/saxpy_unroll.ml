@@ -1,0 +1,68 @@
+(* SAXPY unrolling: `#pragma omp unroll partial(F)` factor sweep (ablation
+   A3), comparing interpreter step counts at -O0 (metadata only, no
+   unrolling happens) and -O1 (the mid-end LoopUnroll pass rewrites the
+   loop into the paper's Listing-1 shape).
+
+   Run with:  dune exec examples/saxpy_unroll.exe *)
+
+module Driver = Mc_core.Driver
+module Interp = Mc_interp.Interp
+
+let source =
+  {|void recordf(double x);
+
+int main(void) {
+  double x[256];
+  double y[256];
+  for (int i = 0; i < 256; i += 1) { x[i] = i * 0.5; y[i] = 256 - i; }
+
+  #pragma omp unroll partial(FACTOR)
+  for (int i = 0; i < 256; i += 1)
+    y[i] = 2.5 * x[i] + y[i];
+
+  double sum = 0.0;
+  for (int i = 0; i < 256; i += 1) sum += y[i];
+  recordf(sum);
+  return 0;
+}|}
+
+let run ~factor ~optimize =
+  let options =
+    {
+      Driver.default_options with
+      Driver.optimize;
+      defines = [ ("FACTOR", string_of_int factor) ];
+    }
+  in
+  let result = Driver.compile ~options source in
+  match Driver.run result with
+  | Ok outcome ->
+    let v = match outcome.Interp.trace with [ Interp.T_float f ] -> f | _ -> nan in
+    (v, outcome.Interp.steps, result.Driver.unroll_stats)
+  | Error e -> failwith e
+
+let () =
+  print_endline "SAXPY with '#pragma omp unroll partial(FACTOR)'";
+  print_endline
+    "(at -O0 the metadata is planted but nothing is duplicated — paper §2.2;\n\
+     the LoopUnroll pass performs the duplication at -O1)\n";
+  Printf.printf "%8s | %12s | %12s %10s | %10s\n" "factor" "-O0 steps"
+    "-O1 steps" "speedup" "checksum";
+  Printf.printf "%s\n" (String.make 64 '-');
+  let baseline = ref 0 in
+  List.iter
+    (fun factor ->
+      let v0, steps0, _ = run ~factor ~optimize:false in
+      let v1, steps1, stats = run ~factor ~optimize:true in
+      if v0 <> v1 then failwith "unrolling changed the result!";
+      if factor = 1 then baseline := steps1;
+      if factor > 1 && stats.Mc_passes.Loop_unroll.partially_unrolled < 1 then
+        failwith "expected the loop to be partially unrolled";
+      Printf.printf "%8d | %12d | %12d %9.2fx | %10.1f\n%!" factor steps0 steps1
+        (float_of_int steps0 /. float_of_int steps1)
+        v0)
+    [ 1; 2; 4; 8; 16 ];
+  print_endline
+    "\nLarger unroll factors amortise the loop-control overhead (cond + inc +\n\
+     branch per iteration) across more body copies, at the cost of code size —\n\
+     the classic unrolling trade-off, measured by the A3 benchmark."

@@ -1,0 +1,87 @@
+(* Stencil tiling: `#pragma omp tile sizes(Ti, Tj)` on a 2-D Jacobi-style
+   stencil, swept over tile sizes (ablation A2).
+
+   The tile sizes are injected through the preprocessor (-D macros), so the
+   same source text is compiled repeatedly with different parameters —
+   exactly the "separate the algorithm from its optimization" workflow the
+   paper's introduction motivates.
+
+   Run with:  dune exec examples/stencil_tiling.exe *)
+
+module Driver = Mc_core.Driver
+module Interp = Mc_interp.Interp
+
+let source =
+  {|void recordf(double x);
+
+int main(void) {
+  double grid[34][34];
+  double next[34][34];
+  for (int i = 0; i < 34; i += 1)
+    for (int j = 0; j < 34; j += 1) {
+      grid[i][j] = (i * 31 + j * 17) % 13;
+      next[i][j] = 0.0;
+    }
+
+  for (int step = 0; step < 4; step += 1) {
+    #pragma omp tile sizes(TI, TJ)
+    for (int i = 1; i < 33; i += 1)
+      for (int j = 1; j < 33; j += 1)
+        next[i][j] = 0.25 * (grid[i - 1][j] + grid[i + 1][j]
+                             + grid[i][j - 1] + grid[i][j + 1]);
+    for (int i = 1; i < 33; i += 1)
+      for (int j = 1; j < 33; j += 1)
+        grid[i][j] = next[i][j];
+  }
+
+  double checksum = 0.0;
+  for (int i = 0; i < 34; i += 1)
+    for (int j = 0; j < 34; j += 1)
+      checksum += grid[i][j] * (1 + (i * 34 + j) % 7);
+  recordf(checksum);
+  return 0;
+}|}
+
+let run ~ti ~tj ~irbuilder =
+  let options =
+    {
+      Driver.default_options with
+      Driver.use_irbuilder = irbuilder;
+      defines = [ ("TI", string_of_int ti); ("TJ", string_of_int tj) ];
+    }
+  in
+  match Driver.compile_and_run ~options source with
+  | Ok outcome ->
+    let checksum =
+      match outcome.Interp.trace with
+      | [ Interp.T_float f ] -> f
+      | _ -> nan
+    in
+    (checksum, outcome.Interp.steps)
+  | Error e -> failwith e
+
+let () =
+  print_endline "2-D stencil with '#pragma omp tile sizes(TI, TJ)'";
+  print_endline "(checksum must be identical for every configuration)\n";
+  Printf.printf "%8s %8s | %14s %14s | %14s\n" "TI" "TJ" "classic steps"
+    "irbuild steps" "checksum";
+  Printf.printf "%s\n" (String.make 70 '-');
+  let reference = ref None in
+  List.iter
+    (fun (ti, tj) ->
+      let checksum_c, steps_c = run ~ti ~tj ~irbuilder:false in
+      let checksum_i, steps_i = run ~ti ~tj ~irbuilder:true in
+      (match !reference with
+      | None -> reference := Some checksum_c
+      | Some r ->
+        if r <> checksum_c || r <> checksum_i then
+          failwith "checksum mismatch across tile sizes!");
+      if checksum_c <> checksum_i then failwith "paths disagree!";
+      Printf.printf "%8d %8d | %14d %14d | %14.2f\n%!" ti tj steps_c steps_i
+        checksum_c)
+    [ (2, 2); (4, 4); (8, 8); (16, 16); (32, 32); (4, 16); (16, 4) ];
+  print_endline "\nAll configurations agree: tiling is semantics-preserving.";
+  print_endline
+    "(Interpreter steps vary with tile shape because the generated floor/tile\n\
+     loop nests have different control overhead — the observable effect the\n\
+     A2 ablation benchmark quantifies.)"

@@ -1,0 +1,1 @@
+lib/ast/classify.ml: List Tree

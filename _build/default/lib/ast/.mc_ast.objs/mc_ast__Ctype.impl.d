@@ -1,0 +1,1 @@
+lib/ast/ctype.ml: List Mc_support Printf String Tree

@@ -1,0 +1,1 @@
+lib/ast/ctype.mli: Mc_support Tree

@@ -1,0 +1,1 @@
+lib/ast/dump.ml: Buffer Classify Ctype Hashtbl List Op Option Printf String Tree Visit

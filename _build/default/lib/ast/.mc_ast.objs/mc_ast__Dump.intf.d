@@ -1,0 +1,1 @@
+lib/ast/dump.mli: Tree

@@ -1,0 +1,1 @@
+lib/ast/op.ml: Ctype Int64 Mc_support Tree

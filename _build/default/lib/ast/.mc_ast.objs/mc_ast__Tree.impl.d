@@ -1,0 +1,1 @@
+lib/ast/tree.ml: Mc_srcmgr Mc_support

@@ -1,0 +1,1 @@
+lib/ast/unparse.ml: Ctype List Op Option Printf String Tree

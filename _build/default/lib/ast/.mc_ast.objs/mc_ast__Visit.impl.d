@@ -1,0 +1,1 @@
+lib/ast/visit.ml: Fun List Option Tree

@@ -1,0 +1,1 @@
+lib/ast/visit.mli: Tree

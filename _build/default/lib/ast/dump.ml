@@ -1,0 +1,312 @@
+open Tree
+
+type dnode = { label : string; kids : dnode list }
+
+let leaf label = { label; kids = [] }
+let node label kids = { label; kids }
+let null_node = leaf "<<<NULL>>>"
+
+(* Dump-local declaration ordinals standing in for Clang's pointer values. *)
+type state = { ordinals : (int, int) Hashtbl.t; mutable next : int }
+
+let new_state () = { ordinals = Hashtbl.create 16; next = 1 }
+
+let ordinal st v =
+  match Hashtbl.find_opt st.ordinals v.v_id with
+  | Some n -> (n, false)
+  | None ->
+    let n = st.next in
+    st.next <- n + 1;
+    Hashtbl.add st.ordinals v.v_id n;
+    (n, true)
+
+let ty_str t = Ctype.to_string t
+
+let cast_kind_name = function
+  | CK_lvalue_to_rvalue -> "LValueToRValue"
+  | CK_integral -> "IntegralCast"
+  | CK_integral_to_floating -> "IntegralToFloating"
+  | CK_floating_to_integral -> "FloatingToIntegral"
+  | CK_floating -> "FloatingCast"
+  | CK_array_to_pointer -> "ArrayToPointerDecay"
+  | CK_int_to_bool -> "IntegralToBoolean"
+  | CK_float_to_bool -> "FloatingToBoolean"
+  | CK_pointer -> "BitCast"
+
+let hint_option_name = function
+  | Hint_unroll_enable -> "UnrollEnable"
+  | Hint_unroll_full -> "UnrollFull"
+  | Hint_unroll_count -> "UnrollCount"
+  | Hint_unroll_disable -> "UnrollDisable"
+
+let rec expr_node st e =
+  let lbl = Classify.expr_class_name e in
+  let ty = ty_str e.e_ty in
+  match e.e_kind with
+  | Int_lit v -> leaf (Printf.sprintf "%s '%s' %s" lbl ty (Op.int_lit_str e.e_ty v))
+  | Float_lit f -> leaf (Printf.sprintf "%s '%s' %g" lbl ty f)
+  | String_lit s -> leaf (Printf.sprintf "%s '%s' \"%s\"" lbl ty (String.escaped s))
+  | Decl_ref v ->
+    leaf
+      (Printf.sprintf "%s '%s' lvalue Var '%s' '%s'" lbl ty v.v_name
+         (ty_str v.v_ty))
+  | Fn_ref f ->
+    leaf
+      (Printf.sprintf "%s '%s' Function '%s' '%s'" lbl ty f.fn_name
+         (ty_str (Func f.fn_ty)))
+  | Paren inner -> node (Printf.sprintf "%s '%s'" lbl ty) [ expr_node st inner ]
+  | Unary (op, a) ->
+    node
+      (Printf.sprintf "%s '%s' %s '%s'" lbl ty
+         (if Op.unop_is_postfix op then "postfix" else "prefix")
+         (Op.unop_spelling op))
+      [ expr_node st a ]
+  | Binary (op, a, b) ->
+    node
+      (Printf.sprintf "%s '%s' '%s'" lbl ty (Op.binop_spelling op))
+      [ expr_node st a; expr_node st b ]
+  | Assign (None, a, b) ->
+    node (Printf.sprintf "%s '%s' '='" lbl ty) [ expr_node st a; expr_node st b ]
+  | Assign (Some op, a, b) ->
+    node
+      (Printf.sprintf "%s '%s' '%s='" lbl ty (Op.binop_spelling op))
+      [ expr_node st a; expr_node st b ]
+  | Conditional (c, a, b) ->
+    node
+      (Printf.sprintf "%s '%s'" lbl ty)
+      [ expr_node st c; expr_node st a; expr_node st b ]
+  | Call (f, args) ->
+    node (Printf.sprintf "%s '%s'" lbl ty) (List.map (expr_node st) (f :: args))
+  | Subscript (a, i) ->
+    node (Printf.sprintf "%s '%s' lvalue" lbl ty) [ expr_node st a; expr_node st i ]
+  | Implicit_cast (ck, a) ->
+    node
+      (Printf.sprintf "%s '%s' <%s>" lbl ty (cast_kind_name ck))
+      [ expr_node st a ]
+  | C_style_cast (_, a) -> node (Printf.sprintf "%s '%s'" lbl ty) [ expr_node st a ]
+  | Sizeof_type t ->
+    leaf (Printf.sprintf "%s '%s' sizeof '%s'" lbl ty (ty_str t))
+
+and var_node st v =
+  let n, first = ordinal st v in
+  if not first then leaf (Printf.sprintf "VarDecl %d" n)
+  else begin
+    let used = if v.v_used then " used" else "" in
+    let implicit = if v.v_implicit then " implicit" else "" in
+    match v.v_init with
+    | Some init ->
+      node
+        (Printf.sprintf "VarDecl %d%s%s %s '%s' cinit" n implicit used v.v_name
+           (ty_str v.v_ty))
+        [ expr_node st init ]
+    | None ->
+      leaf
+        (Printf.sprintf "VarDecl %d%s%s %s '%s'" n implicit used v.v_name
+           (ty_str v.v_ty))
+  end
+
+and implicit_param_node _st v =
+  leaf (Printf.sprintf "ImplicitParamDecl implicit %s '%s'" v.v_name (ty_str v.v_ty))
+
+and constant_wrapped st value e =
+  node
+    (Printf.sprintf "ConstantExpr '%s'" (ty_str e.e_ty))
+    [ leaf (Printf.sprintf "value: Int %d" value); expr_node st e ]
+
+and clause_node st c =
+  let lbl = Classify.clause_class_name c in
+  match c with
+  | C_full | C_nowait -> leaf lbl
+  | C_num_threads e | C_if e -> node lbl [ expr_node st e ]
+  | C_schedule (kind, chunk) ->
+    let kind_str =
+      match kind with
+      | Sched_static -> "static"
+      | Sched_dynamic -> "dynamic"
+      | Sched_guided -> "guided"
+      | Sched_auto -> "auto"
+      | Sched_runtime -> "runtime"
+    in
+    node (lbl ^ " " ^ kind_str) (List.map (expr_node st) (Option.to_list chunk))
+  | C_collapse (n, e) | C_simdlen (n, e) -> node lbl [ constant_wrapped st n e ]
+  | C_partial None -> leaf lbl
+  | C_partial (Some (n, e)) -> node lbl [ constant_wrapped st n e ]
+  | C_sizes sizes -> node lbl (List.map (fun (n, e) -> constant_wrapped st n e) sizes)
+  | C_permutation ps -> node lbl (List.map (fun (n, e) -> constant_wrapped st n e) ps)
+  | C_private vars | C_firstprivate vars | C_shared vars ->
+    node lbl
+      (List.map
+         (fun v ->
+           leaf
+             (Printf.sprintf "DeclRefExpr '%s' lvalue Var '%s' '%s'"
+                (ty_str v.v_ty) v.v_name (ty_str v.v_ty)))
+         vars)
+  | C_reduction (op, vars) ->
+    let op_str =
+      match op with
+      | Red_add -> "+"
+      | Red_mul -> "*"
+      | Red_min -> "min"
+      | Red_max -> "max"
+      | Red_band -> "&"
+      | Red_bor -> "|"
+    in
+    node
+      (Printf.sprintf "%s '%s'" lbl op_str)
+      (List.map
+         (fun v ->
+           leaf
+             (Printf.sprintf "DeclRefExpr '%s' lvalue Var '%s' '%s'"
+                (ty_str v.v_ty) v.v_name (ty_str v.v_ty)))
+         vars)
+
+and captured_node st ~shadow c =
+  (* Evaluation order matters: the body must claim declaration ordinals
+     before the trailing capture list re-mentions them. *)
+  let body = stmt_node st ~shadow c.cap_body in
+  let params = List.map (implicit_param_node st) c.cap_params in
+  let captures = List.map (var_node st) (c.cap_captures @ c.cap_byval) in
+  node "CapturedStmt" [ node "CapturedDecl nothrow" ((body :: params) @ captures) ]
+
+and attr_node _st (Loop_hint h) =
+  match h.lh_value with
+  | Some v ->
+    node
+      (Printf.sprintf "LoopHintAttr Implicit loop %s Numeric"
+         (hint_option_name h.lh_option))
+      [ leaf (Printf.sprintf "IntegerLiteral 'int' %d" v) ]
+  | None ->
+    leaf
+      (Printf.sprintf "LoopHintAttr Implicit loop %s" (hint_option_name h.lh_option))
+
+and stmt_node st ~shadow s =
+  let lbl = Classify.stmt_class_name s in
+  match s.s_kind with
+  | Null_stmt -> leaf "NullStmt"
+  | Compound ss -> node lbl (List.map (stmt_node st ~shadow) ss)
+  | Expr_stmt e -> expr_node st e
+  | Decl_stmt vars -> node lbl (List.map (var_node st) vars)
+  | If (c, then_s, else_s) ->
+    node lbl
+      ([ expr_node st c; stmt_node st ~shadow then_s ]
+      @ List.map (stmt_node st ~shadow) (Option.to_list else_s))
+  | Switch (c, body) -> node lbl [ expr_node st c; stmt_node st ~shadow body ]
+  | Case { case_expr; case_body; _ } ->
+    node lbl [ expr_node st case_expr; stmt_node st ~shadow case_body ]
+  | Default body -> node lbl [ stmt_node st ~shadow body ]
+  | While (c, body) -> node lbl [ expr_node st c; stmt_node st ~shadow body ]
+  | Do_while (body, c) -> node lbl [ stmt_node st ~shadow body; expr_node st c ]
+  | For { for_init; for_cond; for_inc; for_body } ->
+    let opt_stmt = function
+      | Some sub -> stmt_node st ~shadow sub
+      | None -> null_node
+    in
+    let opt_expr = function Some e -> expr_node st e | None -> null_node in
+    node lbl
+      [
+        opt_stmt for_init;
+        null_node (* condition-variable slot, always empty in C *);
+        opt_expr for_cond;
+        opt_expr for_inc;
+        stmt_node st ~shadow for_body;
+      ]
+  | Range_for rf ->
+    node lbl
+      ([
+         var_node st rf.rf_range_var;
+         var_node st rf.rf_begin_var;
+         var_node st rf.rf_end_var;
+         var_node st rf.rf_var;
+         expr_node st rf.rf_range;
+         stmt_node st ~shadow rf.rf_body;
+       ]
+      @
+      if shadow then
+        match rf.rf_desugared with
+        | Some d -> [ node "<desugared>" [ stmt_node st ~shadow d ] ]
+        | None -> []
+      else [])
+  | Break | Continue -> leaf lbl
+  | Return e ->
+    node lbl (List.map (expr_node st) (Option.to_list e))
+  | Attributed (attrs, sub) ->
+    node lbl (List.map (attr_node st) attrs @ [ stmt_node st ~shadow sub ])
+  | Captured c -> captured_node st ~shadow c
+  | Omp_canonical_loop ocl ->
+    node lbl
+      [
+        stmt_node st ~shadow ocl.ocl_loop;
+        captured_node st ~shadow ocl.ocl_distance;
+        captured_node st ~shadow ocl.ocl_loop_value;
+        expr_node st ocl.ocl_var_ref;
+      ]
+  | Omp_directive d ->
+    let clause_nodes = List.map (clause_node st) d.dir_clauses in
+    let assoc =
+      List.map (stmt_node st ~shadow) (Option.to_list d.dir_assoc)
+    in
+    let shadow_nodes =
+      if not shadow then []
+      else
+        (match d.dir_preinits with
+        | Some p -> [ node "<preinits>" [ stmt_node st ~shadow p ] ]
+        | None -> [])
+        @ (match d.dir_transformed with
+          | Some tr -> [ node "<transformed>" [ stmt_node st ~shadow tr ] ]
+          | None -> [])
+        @
+        match d.dir_loop_helpers with
+        | Some h ->
+          [
+            node "<loop helpers>"
+              (List.map (var_node st) (Visit.helper_vars h)
+              @ List.map (expr_node st) (Visit.helper_exprs h));
+          ]
+        | None -> []
+    in
+    node lbl (clause_nodes @ assoc @ shadow_nodes)
+
+(* ---- rendering -------------------------------------------------------- *)
+
+let render root =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf root.label;
+  Buffer.add_char buf '\n';
+  let rec kids prefix = function
+    | [] -> ()
+    | [ last ] -> child prefix "`-" "  " last
+    | k :: rest ->
+      child prefix "|-" "| " k;
+      kids prefix rest
+  and child prefix connector continuation n =
+    Buffer.add_string buf (prefix ^ connector ^ n.label ^ "\n");
+    kids (prefix ^ continuation) n.kids
+  in
+  kids "" root.kids;
+  Buffer.contents buf
+
+let stmt ?(shadow = false) s = render (stmt_node (new_state ()) ~shadow s)
+let expr e = render (expr_node (new_state ()) e)
+
+let fn_node st ~shadow f =
+  let param_node v =
+    leaf (Printf.sprintf "ParmVarDecl %s '%s'" v.v_name (ty_str v.v_ty))
+  in
+  node
+    (Printf.sprintf "FunctionDecl %s '%s'%s" f.fn_name (ty_str (Func f.fn_ty))
+       (if f.fn_builtin then " extern" else ""))
+    (List.map param_node f.fn_params
+    @ List.map (stmt_node st ~shadow) (Option.to_list f.fn_body))
+
+let translation_unit ?(shadow = false) tu =
+  let st = new_state () in
+  render
+    (node "TranslationUnitDecl"
+       (List.map
+          (function
+            | Tu_fn f -> fn_node st ~shadow f
+            | Tu_var v -> var_node st v)
+          tu.tu_decls))
+
+let transformed_stmt d =
+  Option.map (fun s -> stmt ~shadow:false s) d.dir_transformed

@@ -1,0 +1,24 @@
+(** Clang-style [-ast-dump] printer.
+
+    Reproduces the tree layout of the paper's AST listings (Figs. 2b, 6b, 9):
+    box-drawing prefixes [|-]/[`-], node labels like
+    [VarDecl used i 'int' cinit] or [DeclRefExpr 'int' lvalue Var 'i' 'int'],
+    and [<<<NULL>>>] placeholders for absent for-loop slots.
+
+    Clang prints pointer addresses to show declaration identity; this dump
+    prints a dump-local ordinal instead ([VarDecl 1 used i 'int'] …
+    [VarDecl 1]) so golden tests are stable.
+
+    Shadow AST children are hidden by default, exactly as in Clang
+    (paper §1.2); [~shadow:true] reveals them under [<transformed>],
+    [<preinits>] and [<loop helpers>] marker nodes. *)
+
+open Tree
+
+val stmt : ?shadow:bool -> stmt -> string
+val expr : expr -> string
+val translation_unit : ?shadow:bool -> translation_unit -> string
+
+val transformed_stmt : directive -> string option
+(** Dump of a transformation directive's [getTransformedStmt()], the way the
+    paper's Fig. 7 shows the shadow AST of an unroll directive. *)

@@ -1,0 +1,45 @@
+(** Spellings shared by the dump printer and the unparser. *)
+
+open Tree
+
+let unop_spelling = function
+  | U_plus -> "+"
+  | U_minus -> "-"
+  | U_lnot -> "!"
+  | U_bnot -> "~"
+  | U_preinc | U_postinc -> "++"
+  | U_predec | U_postdec -> "--"
+  | U_deref -> "*"
+  | U_addrof -> "&"
+
+let unop_is_postfix = function
+  | U_postinc | U_postdec -> true
+  | U_plus | U_minus | U_lnot | U_bnot | U_preinc | U_predec | U_deref
+  | U_addrof ->
+    false
+
+let binop_spelling = function
+  | B_add -> "+"
+  | B_sub -> "-"
+  | B_mul -> "*"
+  | B_div -> "/"
+  | B_rem -> "%"
+  | B_shl -> "<<"
+  | B_shr -> ">>"
+  | B_lt -> "<"
+  | B_gt -> ">"
+  | B_le -> "<="
+  | B_ge -> ">="
+  | B_eq -> "=="
+  | B_ne -> "!="
+  | B_band -> "&"
+  | B_bxor -> "^"
+  | B_bor -> "|"
+  | B_land -> "&&"
+  | B_lor -> "||"
+  | B_comma -> ","
+
+let int_lit_str ty v =
+  match Ctype.int_width ty with
+  | Some w -> Mc_support.Int_ops.to_string w v
+  | None -> Int64.to_string v

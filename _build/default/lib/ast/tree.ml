@@ -1,0 +1,374 @@
+(** The Clang-style abstract syntax tree.
+
+    All node families of the paper live here as one set of mutually
+    recursive types: the [Stmt] hierarchy (Fig. 3/4), the [OMPClause]
+    hierarchy (Fig. 5), declarations, and types.  As in Clang, the tree
+    mixes syntactic-only nodes ([Paren]) and semantic-only nodes
+    ([Implicit_cast], the [Captured] statement, shadow AST fields) and is
+    immutable once Sema finishes — the only mutable fields are the ones Sema
+    itself fills in while building a node ([dir_loop_helpers],
+    [dir_transformed], [fn_body], [v_used]).
+
+    Shadow AST (paper §1.2): [dir_loop_helpers], [dir_transformed] and
+    [dir_preinits] are deliberately *not* part of {!Visit.children} — they
+    are the "hidden children" the paper describes, reachable only through
+    dedicated accessors and a dump flag. *)
+
+module Loc = Mc_srcmgr.Source_location
+module Int_ops = Mc_support.Int_ops
+
+type loc = Loc.t
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type ctype =
+  | Void
+  | Bool
+  | Int of Int_ops.width (* char/short/int/long with signedness *)
+  | Float of int (* 32 = float, 64 = double *)
+  | Ptr of ctype
+  | Array of ctype * int option
+  | Func of func_type
+
+and func_type = { ft_ret : ctype; ft_params : ctype list; ft_variadic : bool }
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type var = {
+  v_id : int;
+  v_name : string;
+  v_ty : ctype;
+  v_loc : loc;
+  v_implicit : bool; (* compiler-generated (.omp.iv, ImplicitParamDecl, …) *)
+  mutable v_init : expr option;
+  mutable v_used : bool;
+}
+
+and fn = {
+  fn_id : int;
+  fn_name : string;
+  fn_ty : func_type;
+  mutable fn_params : var list; (* updated by the defining declaration *)
+  fn_loc : loc;
+  fn_builtin : bool; (* declared but externally implemented (printf, body) *)
+  mutable fn_body : stmt option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+and unop =
+  | U_plus
+  | U_minus
+  | U_lnot
+  | U_bnot
+  | U_preinc
+  | U_predec
+  | U_postinc
+  | U_postdec
+  | U_deref
+  | U_addrof
+
+and binop =
+  | B_add
+  | B_sub
+  | B_mul
+  | B_div
+  | B_rem
+  | B_shl
+  | B_shr
+  | B_lt
+  | B_gt
+  | B_le
+  | B_ge
+  | B_eq
+  | B_ne
+  | B_band
+  | B_bxor
+  | B_bor
+  | B_land
+  | B_lor
+  | B_comma
+
+and cast_kind =
+  | CK_lvalue_to_rvalue
+  | CK_integral
+  | CK_integral_to_floating
+  | CK_floating_to_integral
+  | CK_floating
+  | CK_array_to_pointer
+  | CK_int_to_bool
+  | CK_float_to_bool
+  | CK_pointer
+
+and expr = { e_id : int; e_kind : expr_kind; e_ty : ctype; e_loc : loc }
+
+and expr_kind =
+  | Int_lit of int64
+  | Float_lit of float
+  | String_lit of string
+  | Decl_ref of var
+  | Fn_ref of fn
+  | Paren of expr
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Assign of binop option * expr * expr (* [None] is plain '=' *)
+  | Conditional of expr * expr * expr
+  | Call of expr * expr list
+  | Subscript of expr * expr
+  | Implicit_cast of cast_kind * expr
+  | C_style_cast of ctype * expr
+  | Sizeof_type of ctype
+
+(* ------------------------------------------------------------------ *)
+(* Statements (the Stmt hierarchy of Fig. 3/4)                          *)
+(* ------------------------------------------------------------------ *)
+
+and stmt = { s_id : int; s_kind : stmt_kind; s_loc : loc }
+
+and stmt_kind =
+  | Null_stmt
+  | Compound of stmt list
+  | Expr_stmt of expr
+  | Decl_stmt of var list (* initialisers live in [v_init] *)
+  | If of expr * stmt * stmt option
+  | Switch of expr * stmt (* SwitchStmt; labels are Case/Default below *)
+  | Case of case_label (* CaseStmt: labels the sub-statement, falls through *)
+  | Default of stmt (* DefaultStmt *)
+  | While of expr * stmt
+  | Do_while of stmt * expr
+  | For of for_parts
+  | Range_for of range_for (* models CXXForRangeStmt *)
+  | Break
+  | Continue
+  | Return of expr option
+  | Attributed of attr list * stmt (* AttributedStmt, e.g. LoopHintAttr *)
+  | Captured of captured (* CapturedStmt *)
+  | Omp_canonical_loop of canonical_loop (* the §3 meta node *)
+  | Omp_directive of directive (* OMPExecutableDirective family *)
+
+and case_label = {
+  case_value : int64; (* evaluated constant *)
+  case_expr : expr; (* the spelled expression *)
+  case_body : stmt;
+}
+
+and for_parts = {
+  for_init : stmt option; (* Decl_stmt or Expr_stmt *)
+  for_cond : expr option;
+  for_inc : expr option;
+  for_body : stmt;
+}
+
+(* CXXForRangeStmt analogue: iteration over an array.  Like Clang, the node
+   also records the de-sugared helper declarations (__range/__begin/__end)
+   so analyses need not re-derive them (paper §1.2, Fig. 8). *)
+and range_for = {
+  rf_var : var; (* the loop *user* variable (paper's terminology) *)
+  rf_byref : bool;
+  rf_range : expr; (* the container expression *)
+  rf_body : stmt;
+  rf_range_var : var; (* __range *)
+  rf_begin_var : var; (* __begin: the loop *iteration* variable *)
+  rf_end_var : var; (* __end *)
+  mutable rf_desugared : stmt option; (* Fig. 8c equivalent, built by Sema *)
+}
+
+and attr = Loop_hint of loop_hint
+
+and loop_hint = {
+  lh_option : loop_hint_option;
+  lh_value : int option; (* e.g. the unroll count *)
+}
+
+and loop_hint_option =
+  | Hint_unroll_enable
+  | Hint_unroll_full
+  | Hint_unroll_count
+  | Hint_unroll_disable
+
+(* CapturedStmt/CapturedDecl pair.  [cap_captures] are the variables the
+   region refers to (captured by reference), [cap_byval] those captured by
+   value (e.g. __begin in the loop-value function of §3.1), and
+   [cap_params] the ImplicitParamDecls of the outlined 'lambda'. *)
+and captured = {
+  cap_body : stmt;
+  cap_captures : var list;
+  cap_byval : var list;
+  cap_params : var list;
+}
+
+(* OMPCanonicalLoop (paper §3.1): wraps a literal loop and carries exactly
+   the three pieces of meta information Sema must resolve. *)
+and canonical_loop = {
+  ocl_loop : stmt; (* For or Range_for *)
+  ocl_distance : captured; (* [&](uintN &Result){ Result = trip count; } *)
+  ocl_loop_value : captured; (* [&,begin](T &Result, uintN i){ … } *)
+  ocl_var_ref : expr; (* DeclRefExpr of the loop user variable *)
+  ocl_counter_width : Int_ops.width; (* logical iteration counter type *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* OpenMP directives and clauses                                       *)
+(* ------------------------------------------------------------------ *)
+
+and directive_kind =
+  | D_parallel
+  | D_for
+  | D_parallel_for
+  | D_simd
+  | D_for_simd
+  | D_parallel_for_simd
+  | D_unroll
+  | D_tile
+  (* OpenMP 6.0 preview transformations, the extensions the paper's
+     conclusion anticipates ("additional loop transformations ... loop
+     fusion and fission"): *)
+  | D_reverse
+  | D_interchange
+  | D_fuse
+  | D_barrier
+  | D_single
+  | D_master
+  | D_critical of string option (* optional region name *)
+
+and sched_kind =
+  | Sched_static
+  | Sched_dynamic
+  | Sched_guided
+  | Sched_auto
+  | Sched_runtime
+
+and reduction_op = Red_add | Red_mul | Red_min | Red_max | Red_band | Red_bor
+
+and clause =
+  | C_num_threads of expr
+  | C_schedule of sched_kind * expr option (* chunk *)
+  | C_collapse of int * expr (* evaluated constant, original expr *)
+  | C_full
+  | C_partial of (int * expr) option (* factor; None = compiler chooses *)
+  | C_sizes of (int * expr) list
+  | C_private of var list
+  | C_firstprivate of var list
+  | C_shared of var list
+  | C_reduction of reduction_op * var list
+  | C_nowait
+  | C_simdlen of int * expr
+  | C_if of expr
+  | C_permutation of (int * expr) list (* 1-based loop positions (OpenMP 6.0) *)
+
+and directive = {
+  dir_id : int;
+  dir_kind : directive_kind;
+  dir_clauses : clause list;
+  dir_assoc : stmt option; (* the associated statement, if any *)
+  dir_loc : loc;
+  (* --- shadow AST (hidden children, paper §1.2/§2) ----------------- *)
+  mutable dir_loop_helpers : loop_helpers option; (* OMPLoopDirective family *)
+  mutable dir_transformed : stmt option; (* unroll/tile: getTransformedStmt() *)
+  mutable dir_preinits : stmt option; (* decls preceding the transformed stmt *)
+}
+
+(* The up-to-30 shadow statements/expressions of OMPLoopDirective (§1.2),
+   plus 6 more per associated loop in [lhs_loops].  Option fields are the
+   ones Clang only materialises for distribute/combined directives; this
+   reproduction leaves them [None] but keeps the slots so that the node
+   budget matches the paper's count. *)
+and loop_helpers = {
+  lhs_iteration_variable : var; (* .omp.iv *)
+  lhs_num_iterations : expr; (* total logical iterations *)
+  lhs_last_iteration : expr; (* NumIterations - 1 *)
+  lhs_calc_last_iteration : expr;
+  lhs_precondition : expr; (* 0 < NumIterations *)
+  lhs_cond : expr; (* .omp.iv <= .omp.ub *)
+  lhs_init : expr; (* .omp.iv = .omp.lb *)
+  lhs_inc : expr; (* .omp.iv = .omp.iv + 1 *)
+  lhs_is_last_iter_variable : var; (* .omp.is_last *)
+  lhs_lower_bound_variable : var; (* .omp.lb *)
+  lhs_upper_bound_variable : var; (* .omp.ub *)
+  lhs_stride_variable : var; (* .omp.stride *)
+  lhs_ensure_upper_bound : expr; (* ub = min(ub, last) *)
+  lhs_next_lower_bound : expr; (* lb = lb + stride *)
+  lhs_next_upper_bound : expr; (* ub = ub + stride *)
+  lhs_capture_exprs : var list; (* '.capture_expr.' temporaries (§2 diag) *)
+  (* distribute/combined-only slots: *)
+  lhs_prev_lower_bound_variable : var option;
+  lhs_prev_upper_bound_variable : var option;
+  lhs_dist_inc : expr option;
+  lhs_prev_ensure_upper_bound : expr option;
+  lhs_combined_lower_bound : expr option;
+  lhs_combined_upper_bound : expr option;
+  lhs_combined_ensure_upper_bound : expr option;
+  lhs_combined_init : expr option;
+  lhs_combined_cond : expr option;
+  lhs_combined_next_lower_bound : expr option;
+  lhs_combined_next_upper_bound : expr option;
+  lhs_combined_dist_cond : expr option;
+  lhs_combined_parfor_in_dist_cond : expr option;
+  lhs_loops : per_loop list; (* 6 helpers for each associated loop *)
+}
+
+and per_loop = {
+  pl_counter : var; (* the source loop variable *)
+  pl_private_counter : var;
+  pl_counter_init : expr; (* start value *)
+  pl_counter_step : expr; (* increment amount *)
+  pl_counter_update : expr; (* counter = init + iv * step *)
+  pl_counter_final : expr; (* value after the loop *)
+}
+
+type tu_decl = Tu_fn of fn | Tu_var of var
+
+type translation_unit = { tu_decls : tu_decl list }
+
+(* ------------------------------------------------------------------ *)
+(* Node identity and constructors                                      *)
+(* ------------------------------------------------------------------ *)
+
+let id_counter = ref 0
+
+let fresh_id () =
+  incr id_counter;
+  !id_counter
+
+let mk_var ?(implicit = false) ?init ~name ~ty ~loc () =
+  {
+    v_id = fresh_id ();
+    v_name = name;
+    v_ty = ty;
+    v_loc = loc;
+    v_implicit = implicit;
+    v_init = init;
+    v_used = false;
+  }
+
+let mk_fn ?(builtin = false) ?body ~name ~ty ~params ~loc () =
+  {
+    fn_id = fresh_id ();
+    fn_name = name;
+    fn_ty = ty;
+    fn_params = params;
+    fn_loc = loc;
+    fn_builtin = builtin;
+    fn_body = body;
+  }
+
+let mk_expr ~ty ~loc kind = { e_id = fresh_id (); e_kind = kind; e_ty = ty; e_loc = loc }
+let mk_stmt ~loc kind = { s_id = fresh_id (); s_kind = kind; s_loc = loc }
+
+let mk_directive ?assoc ~kind ~clauses ~loc () =
+  {
+    dir_id = fresh_id ();
+    dir_kind = kind;
+    dir_clauses = clauses;
+    dir_assoc = assoc;
+    dir_loc = loc;
+    dir_loop_helpers = None;
+    dir_transformed = None;
+    dir_preinits = None;
+  }

@@ -1,0 +1,231 @@
+open Tree
+
+(* Precedence levels follow C; higher binds tighter. *)
+let binop_prec = function
+  | B_mul | B_div | B_rem -> 13
+  | B_add | B_sub -> 12
+  | B_shl | B_shr -> 11
+  | B_lt | B_gt | B_le | B_ge -> 10
+  | B_eq | B_ne -> 9
+  | B_band -> 8
+  | B_bxor -> 7
+  | B_bor -> 6
+  | B_land -> 5
+  | B_lor -> 4
+  | B_comma -> 1
+
+let rec expr_prec e =
+  match e.e_kind with
+  | Int_lit _ | Float_lit _ | String_lit _ | Decl_ref _ | Fn_ref _ | Paren _ ->
+    16
+  | Call _ | Subscript _ -> 15
+  | Unary (op, _) when Op.unop_is_postfix op -> 15
+  | Unary _ | C_style_cast _ | Sizeof_type _ -> 14
+  | Binary (op, _, _) -> binop_prec op
+  | Conditional _ -> 3
+  | Assign _ -> 2
+  | Implicit_cast (_, inner) -> expr_prec inner
+
+let rec emit e =
+  match e.e_kind with
+  | Int_lit v -> Op.int_lit_str e.e_ty v
+  | Float_lit f ->
+    let s = Printf.sprintf "%g" f in
+    if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+  | String_lit s -> Printf.sprintf "\"%s\"" (String.escaped s)
+  | Decl_ref v -> v.v_name
+  | Fn_ref f -> f.fn_name
+  | Paren inner -> Printf.sprintf "(%s)" (emit inner)
+  | Unary (op, a) ->
+    let spelled = Op.unop_spelling op in
+    if Op.unop_is_postfix op then sub a 15 ^ spelled
+    else spelled ^ sub a 14
+  | Binary (B_comma, a, b) ->
+    Printf.sprintf "%s, %s" (sub a 1) (sub b 2)
+  | Binary (op, a, b) ->
+    let p = binop_prec op in
+    Printf.sprintf "%s %s %s" (sub a p) (Op.binop_spelling op) (sub b (p + 1))
+  | Assign (None, a, b) -> Printf.sprintf "%s = %s" (sub a 3) (sub b 2)
+  | Assign (Some op, a, b) ->
+    Printf.sprintf "%s %s= %s" (sub a 3) (Op.binop_spelling op) (sub b 2)
+  | Conditional (c, a, b) ->
+    Printf.sprintf "%s ? %s : %s" (sub c 4) (emit a) (sub b 3)
+  | Call (f, args) ->
+    Printf.sprintf "%s(%s)" (sub f 15) (String.concat ", " (List.map emit args))
+  | Subscript (a, i) -> Printf.sprintf "%s[%s]" (sub a 15) (emit i)
+  | Implicit_cast (_, a) -> emit a (* implicit casts have no spelling *)
+  | C_style_cast (ty, a) -> Printf.sprintf "(%s)%s" (Ctype.to_string ty) (sub a 14)
+  | Sizeof_type ty -> Printf.sprintf "sizeof(%s)" (Ctype.to_string ty)
+
+and sub e min_prec =
+  let s = emit e in
+  if expr_prec e < min_prec then "(" ^ s ^ ")" else s
+
+let expr_to_string = emit
+
+let decl_string v =
+  (* Render arrays as C declarators: [int a[10]], not [int[10] a]. *)
+  match v.v_ty with
+  | Array (elem, n) ->
+    let bound = match n with Some n -> string_of_int n | None -> "" in
+    Printf.sprintf "%s %s[%s]" (Ctype.to_string elem) v.v_name bound
+  | ty -> Printf.sprintf "%s %s" (Ctype.to_string ty) v.v_name
+
+let var_decl_string v =
+  match v.v_init with
+  | Some init -> Printf.sprintf "%s = %s" (decl_string v) (emit init)
+  | None -> decl_string v
+
+let sched_kind_string = function
+  | Sched_static -> "static"
+  | Sched_dynamic -> "dynamic"
+  | Sched_guided -> "guided"
+  | Sched_auto -> "auto"
+  | Sched_runtime -> "runtime"
+
+let clause_string c =
+  let vars vs = String.concat ", " (List.map (fun v -> v.v_name) vs) in
+  match c with
+  | C_num_threads e -> Printf.sprintf "num_threads(%s)" (emit e)
+  | C_schedule (k, None) -> Printf.sprintf "schedule(%s)" (sched_kind_string k)
+  | C_schedule (k, Some chunk) ->
+    Printf.sprintf "schedule(%s, %s)" (sched_kind_string k) (emit chunk)
+  | C_collapse (_, e) -> Printf.sprintf "collapse(%s)" (emit e)
+  | C_full -> "full"
+  | C_partial None -> "partial"
+  | C_partial (Some (_, e)) -> Printf.sprintf "partial(%s)" (emit e)
+  | C_sizes sizes ->
+    Printf.sprintf "sizes(%s)" (String.concat ", " (List.map (fun (_, e) -> emit e) sizes))
+  | C_private vs -> Printf.sprintf "private(%s)" (vars vs)
+  | C_firstprivate vs -> Printf.sprintf "firstprivate(%s)" (vars vs)
+  | C_shared vs -> Printf.sprintf "shared(%s)" (vars vs)
+  | C_reduction (op, vs) ->
+    let op_str =
+      match op with
+      | Red_add -> "+"
+      | Red_mul -> "*"
+      | Red_min -> "min"
+      | Red_max -> "max"
+      | Red_band -> "&"
+      | Red_bor -> "|"
+    in
+    Printf.sprintf "reduction(%s: %s)" op_str (vars vs)
+  | C_nowait -> "nowait"
+  | C_permutation ps ->
+    Printf.sprintf "permutation(%s)"
+      (String.concat ", " (List.map (fun (_, e) -> emit e) ps))
+  | C_simdlen (_, e) -> Printf.sprintf "simdlen(%s)" (emit e)
+  | C_if e -> Printf.sprintf "if(%s)" (emit e)
+
+let directive_name = function
+  | D_parallel -> "parallel"
+  | D_for -> "for"
+  | D_parallel_for -> "parallel for"
+  | D_simd -> "simd"
+  | D_for_simd -> "for simd"
+  | D_parallel_for_simd -> "parallel for simd"
+  | D_unroll -> "unroll"
+  | D_tile -> "tile"
+  | D_reverse -> "reverse"
+  | D_interchange -> "interchange"
+  | D_fuse -> "fuse"
+  | D_barrier -> "barrier"
+  | D_single -> "single"
+  | D_master -> "master"
+  | D_critical None -> "critical"
+  | D_critical (Some n) -> Printf.sprintf "critical (%s)" n
+
+let rec stmt_lines indent s =
+  let pad = String.make indent ' ' in
+  match s.s_kind with
+  | Null_stmt -> [ pad ^ ";" ]
+  | Compound ss ->
+    (pad ^ "{") :: List.concat_map (stmt_lines (indent + 2)) ss @ [ pad ^ "}" ]
+  | Expr_stmt e -> [ pad ^ emit e ^ ";" ]
+  | Decl_stmt vars ->
+    [ pad ^ String.concat ", " (List.map var_decl_string vars) ^ ";" ]
+  | If (c, then_s, else_s) -> (
+    let head = Printf.sprintf "%sif (%s)" pad (emit c) in
+    (head :: stmt_lines (indent + 2) then_s)
+    @
+    match else_s with
+    | None -> []
+    | Some e -> (pad ^ "else") :: stmt_lines (indent + 2) e)
+  | Switch (c, body) ->
+    Printf.sprintf "%sswitch (%s)" pad (emit c) :: stmt_lines (indent + 2) body
+  | Case { case_expr; case_body; _ } ->
+    Printf.sprintf "%scase %s:" pad (emit case_expr)
+    :: stmt_lines (indent + 2) case_body
+  | Default body -> (pad ^ "default:") :: stmt_lines (indent + 2) body
+  | While (c, body) ->
+    Printf.sprintf "%swhile (%s)" pad (emit c) :: stmt_lines (indent + 2) body
+  | Do_while (body, c) ->
+    ((pad ^ "do") :: stmt_lines (indent + 2) body)
+    @ [ Printf.sprintf "%swhile (%s);" pad (emit c) ]
+  | For { for_init; for_cond; for_inc; for_body } ->
+    let init_str =
+      match for_init with
+      | Some { s_kind = Decl_stmt vars; _ } ->
+        String.concat ", " (List.map var_decl_string vars)
+      | Some { s_kind = Expr_stmt e; _ } -> emit e
+      | Some _ | None -> ""
+    in
+    let cond_str = match for_cond with Some e -> emit e | None -> "" in
+    let inc_str = match for_inc with Some e -> emit e | None -> "" in
+    Printf.sprintf "%sfor (%s; %s; %s)" pad init_str cond_str inc_str
+    :: stmt_lines (indent + 2) for_body
+  | Range_for rf ->
+    Printf.sprintf "%sfor (%s %s%s : %s)" pad
+      (Ctype.to_string rf.rf_var.v_ty)
+      (if rf.rf_byref then "&" else "")
+      rf.rf_var.v_name (emit rf.rf_range)
+    :: stmt_lines (indent + 2) rf.rf_body
+  | Break -> [ pad ^ "break;" ]
+  | Continue -> [ pad ^ "continue;" ]
+  | Return None -> [ pad ^ "return;" ]
+  | Return (Some e) -> [ pad ^ Printf.sprintf "return %s;" (emit e) ]
+  | Attributed (attrs, sub) ->
+    List.map
+      (fun (Loop_hint h) ->
+        let opt =
+          match h.lh_option with
+          | Hint_unroll_enable -> "unroll(enable)"
+          | Hint_unroll_full -> "unroll(full)"
+          | Hint_unroll_disable -> "unroll(disable)"
+          | Hint_unroll_count ->
+            Printf.sprintf "unroll_count(%d)" (Option.value h.lh_value ~default:0)
+        in
+        Printf.sprintf "%s#pragma clang loop %s" pad opt)
+      attrs
+    @ stmt_lines indent sub
+  | Captured c -> stmt_lines indent c.cap_body
+  | Omp_canonical_loop ocl -> stmt_lines indent ocl.ocl_loop
+  | Omp_directive d ->
+    let clauses =
+      String.concat " " (List.map clause_string d.dir_clauses)
+    in
+    Printf.sprintf "%s#pragma omp %s%s" pad
+      (directive_name d.dir_kind)
+      (if clauses = "" then "" else " " ^ clauses)
+    :: List.concat_map (stmt_lines indent) (Option.to_list d.dir_assoc)
+
+let stmt_to_string ?(indent = 0) s = String.concat "\n" (stmt_lines indent s) ^ "\n"
+
+let fn_to_string f =
+  let params =
+    String.concat ", " (List.map (fun v -> decl_string v) f.fn_params)
+  in
+  let head =
+    Printf.sprintf "%s %s(%s)" (Ctype.to_string f.fn_ty.ft_ret) f.fn_name params
+  in
+  match f.fn_body with
+  | None -> head ^ ";\n"
+  | Some body -> head ^ "\n" ^ stmt_to_string body
+
+let translation_unit_to_string tu =
+  String.concat "\n"
+    (List.map
+       (function
+         | Tu_fn f -> fn_to_string f
+         | Tu_var v -> var_decl_string v ^ ";\n")
+       tu.tu_decls)

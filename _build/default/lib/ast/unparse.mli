@@ -1,0 +1,14 @@
+(** Source-level pretty-printer (the inverse of parsing, approximately).
+
+    Used to show transformed shadow ASTs as C code the way the paper's
+    Listing 1 and Fig. 7 present them, and by examples/tests that compare a
+    directive's semantics against manually written loops. *)
+
+open Tree
+
+val expr_to_string : expr -> string
+val stmt_to_string : ?indent:int -> stmt -> string
+val translation_unit_to_string : translation_unit -> string
+
+val directive_name : directive_kind -> string
+(** The pragma spelling, e.g. ["parallel for"]. *)

@@ -1,0 +1,194 @@
+open Tree
+
+let expr_children e =
+  match e.e_kind with
+  | Int_lit _ | Float_lit _ | String_lit _ | Decl_ref _ | Fn_ref _
+  | Sizeof_type _ ->
+    []
+  | Paren a | Unary (_, a) | Implicit_cast (_, a) | C_style_cast (_, a) -> [ a ]
+  | Binary (_, a, b) | Assign (_, a, b) | Subscript (a, b) -> [ a; b ]
+  | Conditional (a, b, c) -> [ a; b; c ]
+  | Call (f, args) -> f :: args
+
+let clause_exprs = function
+  | C_num_threads e | C_collapse (_, e) | C_simdlen (_, e) | C_if e -> [ e ]
+  | C_schedule (_, chunk) -> Option.to_list chunk
+  | C_partial p -> ( match p with Some (_, e) -> [ e ] | None -> [])
+  | C_sizes sizes -> List.map snd sizes
+  | C_permutation ps -> List.map snd ps
+  | C_full | C_nowait -> []
+  | C_private _ | C_firstprivate _ | C_shared _ | C_reduction _ -> []
+
+let captured_stmts c = [ c.cap_body ]
+
+let stmt_sub_stmts ~shadow s =
+  match s.s_kind with
+  | Null_stmt | Expr_stmt _ | Decl_stmt _ | Break | Continue | Return _ -> []
+  | Compound ss -> ss
+  | If (_, then_s, else_s) -> then_s :: Option.to_list else_s
+  | Switch (_, body) -> [ body ]
+  | Case { case_body; _ } -> [ case_body ]
+  | Default body -> [ body ]
+  | While (_, body) -> [ body ]
+  | Do_while (body, _) -> [ body ]
+  | For { for_init; for_body; _ } -> Option.to_list for_init @ [ for_body ]
+  | Range_for rf ->
+    (rf.rf_body :: if shadow then Option.to_list rf.rf_desugared else [])
+  | Attributed (_, sub) -> [ sub ]
+  | Captured c -> captured_stmts c
+  | Omp_canonical_loop ocl ->
+    [ ocl.ocl_loop; ocl.ocl_distance.cap_body; ocl.ocl_loop_value.cap_body ]
+  | Omp_directive d ->
+    Option.to_list d.dir_assoc
+    @
+    if shadow then
+      Option.to_list d.dir_preinits @ Option.to_list d.dir_transformed
+    else []
+
+let var_exprs v = Option.to_list v.v_init
+
+let stmt_sub_exprs s =
+  match s.s_kind with
+  | Null_stmt | Compound _ | Break | Continue | Attributed _ | Captured _ -> []
+  | Expr_stmt e -> [ e ]
+  | Decl_stmt vars -> List.concat_map var_exprs vars
+  | If (c, _, _) | Switch (c, _) | While (c, _) | Do_while (_, c) -> [ c ]
+  | Case { case_expr; _ } -> [ case_expr ]
+  | Default _ -> []
+  | For { for_cond; for_inc; _ } ->
+    Option.to_list for_cond @ Option.to_list for_inc
+  | Range_for rf -> [ rf.rf_range ]
+  | Return e -> Option.to_list e
+  | Omp_canonical_loop ocl -> [ ocl.ocl_var_ref ]
+  | Omp_directive d -> List.concat_map clause_exprs d.dir_clauses
+
+let stmt_vars s =
+  match s.s_kind with
+  | Decl_stmt vars -> vars
+  | Range_for rf -> [ rf.rf_var; rf.rf_range_var; rf.rf_begin_var; rf.rf_end_var ]
+  | Captured c -> c.cap_params
+  | _ -> []
+
+let stmt_clauses s =
+  match s.s_kind with Omp_directive d -> d.dir_clauses | _ -> []
+
+(* Shadow expressions of a directive's loop helpers, in slot order. *)
+let helper_exprs h =
+  [
+    h.lhs_num_iterations;
+    h.lhs_last_iteration;
+    h.lhs_calc_last_iteration;
+    h.lhs_precondition;
+    h.lhs_cond;
+    h.lhs_init;
+    h.lhs_inc;
+    h.lhs_ensure_upper_bound;
+    h.lhs_next_lower_bound;
+    h.lhs_next_upper_bound;
+  ]
+  @ List.filter_map Fun.id
+      [
+        h.lhs_dist_inc;
+        h.lhs_prev_ensure_upper_bound;
+        h.lhs_combined_lower_bound;
+        h.lhs_combined_upper_bound;
+        h.lhs_combined_ensure_upper_bound;
+        h.lhs_combined_init;
+        h.lhs_combined_cond;
+        h.lhs_combined_next_lower_bound;
+        h.lhs_combined_next_upper_bound;
+        h.lhs_combined_dist_cond;
+        h.lhs_combined_parfor_in_dist_cond;
+      ]
+  @ List.concat_map
+      (fun pl ->
+        [
+          pl.pl_counter_init;
+          pl.pl_counter_step;
+          pl.pl_counter_update;
+          pl.pl_counter_final;
+        ])
+      h.lhs_loops
+
+let helper_vars h =
+  [
+    h.lhs_iteration_variable;
+    h.lhs_is_last_iter_variable;
+    h.lhs_lower_bound_variable;
+    h.lhs_upper_bound_variable;
+    h.lhs_stride_variable;
+  ]
+  @ h.lhs_capture_exprs
+  @ List.filter_map Fun.id
+      [ h.lhs_prev_lower_bound_variable; h.lhs_prev_upper_bound_variable ]
+  @ List.concat_map
+      (fun pl -> [ pl.pl_counter; pl.pl_private_counter ])
+      h.lhs_loops
+
+let nop = fun _ -> ()
+
+let iter ?(shadow = true) ?(on_stmt = nop) ?(on_expr = nop) ?(on_var = nop)
+    ?(on_clause = nop) root =
+  let rec visit_expr e =
+    on_expr e;
+    List.iter visit_expr (expr_children e)
+  in
+  let visit_var v =
+    on_var v;
+    List.iter visit_expr (var_exprs v)
+  in
+  let rec visit_stmt s =
+    on_stmt s;
+    List.iter
+      (fun c ->
+        on_clause c;
+        List.iter visit_expr (clause_exprs c))
+      (stmt_clauses s);
+    List.iter on_var (stmt_vars s);
+    List.iter visit_expr (stmt_sub_exprs s);
+    List.iter visit_stmt (stmt_sub_stmts ~shadow s);
+    if shadow then begin
+      match s.s_kind with
+      | Omp_directive d -> (
+        match d.dir_loop_helpers with
+        | None -> ()
+        | Some h ->
+          List.iter visit_var (helper_vars h);
+          List.iter visit_expr (helper_exprs h))
+      | _ -> ()
+    end
+  in
+  visit_stmt root
+
+let count_nodes ?(shadow = true) root =
+  let n = ref 0 in
+  let bump _ = incr n in
+  iter ~shadow ~on_stmt:bump ~on_expr:bump ~on_var:bump ~on_clause:bump root;
+  !n
+
+(* Fixed slots: 16 always-present fields, 13 combined/distribute slots, and
+   the directive's PreInits statement — 30 in total, matching the paper's
+   "up to 30 shadow AST statements ... plus 6 for each loop". *)
+let fixed_slots = 30
+
+let helper_slot_count h = fixed_slots + (6 * List.length h.lhs_loops)
+
+let helper_occupied_count h =
+  let opt o = if Option.is_some o then 1 else 0 in
+  16
+  + opt h.lhs_prev_lower_bound_variable
+  + opt h.lhs_prev_upper_bound_variable
+  + opt h.lhs_dist_inc
+  + opt h.lhs_prev_ensure_upper_bound
+  + opt h.lhs_combined_lower_bound
+  + opt h.lhs_combined_upper_bound
+  + opt h.lhs_combined_ensure_upper_bound
+  + opt h.lhs_combined_init
+  + opt h.lhs_combined_cond
+  + opt h.lhs_combined_next_lower_bound
+  + opt h.lhs_combined_next_upper_bound
+  + opt h.lhs_combined_dist_cond
+  + opt h.lhs_combined_parfor_in_dist_cond
+  + (6 * List.length h.lhs_loops)
+
+let canonical_meta_count (_ : canonical_loop) = 3

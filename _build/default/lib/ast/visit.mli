@@ -1,0 +1,53 @@
+(** Traversals over the AST.
+
+    Clang keeps separate visitor families per hierarchy (StmtVisitor,
+    DeclVisitor, TypeVisitor, OMPClauseVisitor — see paper §1.2); here one
+    traversal takes one callback per hierarchy instead.
+
+    [~shadow] controls whether the hidden shadow-AST children (transformed
+    statements, pre-init declarations, loop helper expressions, the
+    range-for de-sugaring) are visited.  Clang's [children()] never returns
+    them; passing [~shadow:false] matches that behaviour. *)
+
+open Tree
+
+val expr_children : expr -> expr list
+
+val stmt_sub_stmts : shadow:bool -> stmt -> stmt list
+(** Direct statement children (the [children()] analogue). *)
+
+val stmt_sub_exprs : stmt -> expr list
+(** Direct expression children, including variable initialisers. *)
+
+val clause_exprs : clause -> expr list
+
+val helper_vars : loop_helpers -> var list
+(** The shadow helper variables, in slot order (dump support). *)
+
+val helper_exprs : loop_helpers -> expr list
+(** The shadow helper expressions, in slot order (dump support). *)
+
+val iter :
+  ?shadow:bool ->
+  ?on_stmt:(stmt -> unit) ->
+  ?on_expr:(expr -> unit) ->
+  ?on_var:(var -> unit) ->
+  ?on_clause:(clause -> unit) ->
+  stmt ->
+  unit
+(** Deep pre-order traversal from a statement. *)
+
+val count_nodes : ?shadow:bool -> stmt -> int
+(** Total stmt + expr + decl + clause nodes reachable. *)
+
+val helper_slot_count : loop_helpers -> int
+(** Number of shadow slots an [OMPLoopDirective] carries: the fixed fields
+    plus 6 per associated loop (paper §1.2: "up to 30 … plus 6 for each
+    loop"). *)
+
+val helper_occupied_count : loop_helpers -> int
+(** Slots actually materialised for this directive. *)
+
+val canonical_meta_count : canonical_loop -> int
+(** Always 3: distance function, loop-value function, user-variable
+    reference (paper §3). *)

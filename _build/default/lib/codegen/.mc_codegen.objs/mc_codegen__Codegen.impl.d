@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Array Hashtbl Int64 List Mc_ast Mc_ir Mc_ompbuilder Mc_support Option Printf

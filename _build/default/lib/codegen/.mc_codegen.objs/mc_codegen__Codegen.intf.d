@@ -1,0 +1,1 @@
+lib/codegen/codegen.mli: Mc_ast Mc_ir

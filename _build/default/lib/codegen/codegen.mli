@@ -1,0 +1,27 @@
+(** The CodeGen layer (Fig. 1): lowers the typed AST to the LLVM-like IR.
+
+    Both of the paper's OpenMP lowering strategies are implemented and
+    selected by {!mode}:
+
+    - [Classic] is Clang's traditional path: early outlining of
+      [CapturedStmt] regions, worksharing driven by the shadow loop helpers
+      Sema precomputed, transformation directives either emitting their
+      transformed shadow AST (tile) or deferring to the mid-end by
+      attaching [llvm.loop.unroll.*] metadata (unroll, §2.2);
+
+    - [Irbuilder] is the OpenMPIRBuilder path (§3.2): [OMPCanonicalLoop]
+      nodes lower through [create_canonical_loop], and directives compose
+      [CanonicalLoopInfo] handles via [tile_loops]/[unroll_loop_*]/
+      [apply_static_workshare]/[create_parallel].
+
+    The AST must have been produced by a Sema in the matching mode. *)
+
+type mode = Classic | Irbuilder
+
+exception Unsupported of string
+(** Raised on constructs outside the supported subset (see DESIGN.md). *)
+
+val emit_translation_unit :
+  ?fold:bool -> mode:mode -> Mc_ast.Tree.translation_unit -> Mc_ir.Ir.modul
+(** [fold] controls the IRBuilder's on-the-fly simplification (ablation
+    A4); default on. *)

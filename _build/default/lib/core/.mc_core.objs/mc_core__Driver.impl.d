@@ -1,0 +1,1 @@
+lib/core/driver.ml: List Mc_ast Mc_codegen Mc_diag Mc_interp Mc_ir Mc_lexer Mc_parser Mc_passes Mc_pp Mc_sema Mc_srcmgr Printf Sys

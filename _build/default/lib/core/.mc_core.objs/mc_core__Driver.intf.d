@@ -1,0 +1,1 @@
+lib/core/driver.mli: Mc_ast Mc_diag Mc_interp Mc_ir Mc_passes Mc_srcmgr Result

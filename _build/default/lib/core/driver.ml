@@ -1,0 +1,158 @@
+module Diag = Mc_diag.Diagnostics
+module Srcmgr = Mc_srcmgr.Source_manager
+module Fmgr = Mc_srcmgr.File_manager
+module Buf = Mc_srcmgr.Memory_buffer
+
+type options = {
+  use_irbuilder : bool;
+  optimize : bool;
+  fold : bool;
+  verify_ir : bool;
+  defines : (string * string) list;
+  extra_files : (string * string) list;
+}
+
+let default_options =
+  {
+    use_irbuilder = false;
+    optimize = true;
+    fold = true;
+    verify_ir = true;
+    defines = [];
+    extra_files = [];
+  }
+
+type timings = {
+  t_lex : float;
+  t_preprocess : float;
+  t_parse_sema : float;
+  t_codegen : float;
+  t_passes : float;
+}
+
+type result = {
+  diag : Diag.t;
+  srcmgr : Srcmgr.t;
+  tu : Mc_ast.Tree.translation_unit option;
+  ir : Mc_ir.Ir.modul option;
+  codegen_error : string option;
+  timings : timings;
+  unroll_stats : Mc_passes.Loop_unroll.stats;
+}
+
+let time f =
+  let start = Sys.time () in
+  let v = f () in
+  (v, Sys.time () -. start)
+
+let frontend_pipeline options name source =
+  let srcmgr = Srcmgr.create () in
+  let fmgr = Fmgr.create () in
+  List.iter
+    (fun (path, contents) -> ignore (Fmgr.add_file fmgr ~path ~contents))
+    options.extra_files;
+  let diag = Diag.create srcmgr in
+  let buf = Buf.create ~name ~contents:source in
+  (* Stage: raw lexing alone, for the Fig. 1 stage timings. *)
+  let _, t_lex =
+    time (fun () ->
+        let scratch_srcmgr = Srcmgr.create () in
+        let scratch_diag = Diag.create scratch_srcmgr in
+        let id = Srcmgr.load_buffer scratch_srcmgr buf in
+        Mc_lexer.Lexer.tokenize scratch_diag ~file_id:id buf)
+  in
+  let pp = Mc_pp.Preprocessor.create diag srcmgr fmgr in
+  List.iter
+    (fun (n, body) -> Mc_pp.Preprocessor.define_object_macro pp ~name:n ~body)
+    options.defines;
+  let items, t_preprocess = time (fun () -> Mc_pp.Preprocessor.preprocess_main pp buf) in
+  let sema_mode =
+    if options.use_irbuilder then Mc_sema.Sema.Irbuilder else Mc_sema.Sema.Classic
+  in
+  let sema = Mc_sema.Sema.create ~mode:sema_mode diag in
+  let tu, t_parse_sema =
+    time (fun () -> Mc_parser.Parser.parse_translation_unit sema items)
+  in
+  (diag, srcmgr, tu, t_lex, t_preprocess, t_parse_sema)
+
+let compile ?(options = default_options) ?(name = "input.c") source =
+  let diag, srcmgr, tu, t_lex, t_preprocess, t_parse_sema =
+    frontend_pipeline options name source
+  in
+  let no_ir codegen_error t_codegen =
+    {
+      diag;
+      srcmgr;
+      tu = Some tu;
+      ir = None;
+      codegen_error;
+      timings = { t_lex; t_preprocess; t_parse_sema; t_codegen; t_passes = 0.0 };
+      unroll_stats = Mc_passes.Loop_unroll.empty_stats;
+    }
+  in
+  if Diag.has_errors diag then no_ir None 0.0
+  else begin
+    let mode =
+      if options.use_irbuilder then Mc_codegen.Codegen.Irbuilder
+      else Mc_codegen.Codegen.Classic
+    in
+    match
+      time (fun () ->
+          Mc_codegen.Codegen.emit_translation_unit ~fold:options.fold ~mode tu)
+    with
+    | exception Mc_codegen.Codegen.Unsupported msg -> no_ir (Some msg) 0.0
+    | m, t_codegen -> (
+      let verify what =
+        if options.verify_ir then begin
+          match Mc_ir.Verifier.check m with
+          | Ok () -> ()
+          | Error e ->
+            invalid_arg (Printf.sprintf "IR verification failed %s:\n%s" what e)
+        end
+      in
+      verify "after codegen";
+      let report, t_passes =
+        time (fun () ->
+            Mc_passes.Pass_manager.run
+              ~verify_between:options.verify_ir
+              ~passes:
+                (if options.optimize then Mc_passes.Pass_manager.o1
+                 else Mc_passes.Pass_manager.o0)
+              m)
+      in
+      {
+        diag;
+        srcmgr;
+        tu = Some tu;
+        ir = Some m;
+        codegen_error = None;
+        timings = { t_lex; t_preprocess; t_parse_sema; t_codegen; t_passes };
+        unroll_stats = report.Mc_passes.Pass_manager.unroll_stats;
+      })
+  end
+
+let frontend ?(options = default_options) ?(name = "input.c") source =
+  let diag, _srcmgr, tu, _, _, _ = frontend_pipeline options name source in
+  (diag, tu)
+
+let ast_dump ?options ?(shadow = false) source =
+  let _, tu = frontend ?options source in
+  Mc_ast.Dump.translation_unit ~shadow tu
+
+let run ?config result =
+  match result.ir with
+  | None ->
+    Error
+      (match result.codegen_error with
+      | Some e -> "codegen: " ^ e
+      | None -> "compilation failed:\n" ^ Diag.render_all result.diag)
+  | Some m -> (
+    match Mc_interp.Interp.run_main ?config m with
+    | outcome -> Ok outcome
+    | exception Mc_interp.Interp.Trap msg -> Error ("trap: " ^ msg))
+
+let compile_and_run ?options ?config source =
+  let result = compile ?options source in
+  if Diag.has_errors result.diag then
+    Error ("compilation failed:\n" ^ Diag.render_all result.diag)
+  else run ?config result

@@ -1,0 +1,59 @@
+(** The driver: the public end-to-end API of the reproduction, composing
+    the layer stack of the paper's Fig. 1 (FileManager → SourceManager →
+    Lexer → Preprocessor → Parser → Sema → CodeGen) with the mid-end pass
+    pipeline and the interpreter.
+
+    Options mirror the Clang flags the paper discusses:
+    [use_irbuilder] is [-fopenmp-enable-irbuilder]; [optimize] enables the
+    O1 pipeline (mem2reg, constprop, LoopUnroll, cleanups); [fold] toggles
+    the IRBuilder's on-the-fly simplification (ablation A4). *)
+
+type options = {
+  use_irbuilder : bool; (* -fopenmp-enable-irbuilder *)
+  optimize : bool; (* run the O1 pass pipeline *)
+  fold : bool; (* IRBuilder on-the-fly folding *)
+  verify_ir : bool; (* verify after codegen and passes *)
+  defines : (string * string) list; (* -D name=value *)
+  extra_files : (string * string) list; (* virtual #include targets *)
+}
+
+val default_options : options
+
+type timings = {
+  t_lex : float; (* tokenizing the main buffer alone *)
+  t_preprocess : float;
+  t_parse_sema : float;
+  t_codegen : float;
+  t_passes : float;
+}
+
+type result = {
+  diag : Mc_diag.Diagnostics.t;
+  srcmgr : Mc_srcmgr.Source_manager.t;
+  tu : Mc_ast.Tree.translation_unit option; (* None on hard parse failure *)
+  ir : Mc_ir.Ir.modul option; (* None when errors or codegen unsupported *)
+  codegen_error : string option;
+  timings : timings;
+  unroll_stats : Mc_passes.Loop_unroll.stats;
+}
+
+val compile : ?options:options -> ?name:string -> string -> result
+(** Compiles a source string through the whole pipeline. *)
+
+val frontend : ?options:options -> ?name:string -> string ->
+  Mc_diag.Diagnostics.t * Mc_ast.Tree.translation_unit
+(** Stops after Sema (the [-syntax-only] action); useful for AST dumps. *)
+
+val ast_dump : ?options:options -> ?shadow:bool -> string -> string
+(** The [-ast-dump] action on a source string. *)
+
+val run :
+  ?config:Mc_interp.Interp.config -> result -> (Mc_interp.Interp.outcome, string) Result.t
+(** Executes [main] of a successfully compiled result. *)
+
+val compile_and_run :
+  ?options:options ->
+  ?config:Mc_interp.Interp.config ->
+  string ->
+  (Mc_interp.Interp.outcome, string) Result.t
+(** Convenience composition; [Error] carries diagnostics or trap output. *)

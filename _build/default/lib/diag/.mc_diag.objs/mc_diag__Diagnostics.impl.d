@@ -1,0 +1,1 @@
+lib/diag/diagnostics.ml: Buffer Fun List Mc_srcmgr Printf String

@@ -1,0 +1,1 @@
+lib/diag/diagnostics.mli: Mc_srcmgr

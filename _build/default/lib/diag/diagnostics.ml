@@ -1,0 +1,78 @@
+module Loc = Mc_srcmgr.Source_location
+module Srcmgr = Mc_srcmgr.Source_manager
+
+type severity = Note | Remark | Warning | Error | Fatal
+
+type diagnostic = {
+  severity : severity;
+  loc : Loc.t;
+  message : string;
+  notes : diagnostic list;
+}
+
+type t = {
+  srcmgr : Srcmgr.t;
+  mutable emitted : diagnostic list; (* reverse order *)
+  mutable errors : int;
+  mutable warnings : int;
+  mutable consumer : (diagnostic -> unit) option;
+  mutable context_notes : diagnostic list; (* innermost first *)
+}
+
+let create srcmgr =
+  { srcmgr; emitted = []; errors = 0; warnings = 0; consumer = None;
+    context_notes = [] }
+let source_manager t = t.srcmgr
+let note ~loc message = { severity = Note; loc; message; notes = [] }
+
+let report t severity ~loc ?(notes = []) message =
+  let d = { severity; loc; message; notes = notes @ List.rev t.context_notes } in
+  t.emitted <- d :: t.emitted;
+  (match severity with
+  | Error | Fatal -> t.errors <- t.errors + 1
+  | Warning -> t.warnings <- t.warnings + 1
+  | Note | Remark -> ());
+  match t.consumer with None -> () | Some f -> f d
+
+let error t ~loc ?notes message = report t Error ~loc ?notes message
+let warning t ~loc ?notes message = report t Warning ~loc ?notes message
+let error_count t = t.errors
+let warning_count t = t.warnings
+let has_errors t = t.errors > 0
+let diagnostics t = List.rev t.emitted
+let set_consumer t f = t.consumer <- Some f
+
+let with_context_note t ~loc message f =
+  let n = note ~loc message in
+  t.context_notes <- n :: t.context_notes;
+  Fun.protect
+    ~finally:(fun () -> t.context_notes <- List.tl t.context_notes)
+    f
+
+let severity_name = function
+  | Note -> "note"
+  | Remark -> "remark"
+  | Warning -> "warning"
+  | Error -> "error"
+  | Fatal -> "fatal error"
+
+let render_one srcmgr buf d =
+  let header = Srcmgr.describe srcmgr d.loc in
+  Buffer.add_string buf
+    (Printf.sprintf "%s: %s: %s\n" header (severity_name d.severity) d.message);
+  match (Srcmgr.line_text srcmgr d.loc, Srcmgr.presumed srcmgr d.loc) with
+  | Some line, Some p ->
+    Buffer.add_string buf line;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (String.make (p.Srcmgr.column - 1) ' ');
+    Buffer.add_string buf "^\n"
+  | _ -> ()
+
+let render t d =
+  let buf = Buffer.create 128 in
+  render_one t.srcmgr buf d;
+  List.iter (render_one t.srcmgr buf) d.notes;
+  Buffer.contents buf
+
+let render_all t =
+  String.concat "" (List.map (render t) (diagnostics t))

@@ -1,0 +1,61 @@
+(** Diagnostics engine, the analogue of [clang::DiagnosticsEngine].
+
+    The paper's §2 discusses how shadow-AST diagnostics can leak internal
+    names such as [".capture_expr."] to the user, and suggests note chains
+    ("loop transformed here") in the style of template-instantiation notes.
+    This engine supports both: every primary diagnostic may carry notes, and
+    consumers can observe the raw stream (tests assert on leaked internal
+    names this way). *)
+
+type severity = Note | Remark | Warning | Error | Fatal
+
+type diagnostic = {
+  severity : severity;
+  loc : Mc_srcmgr.Source_location.t;
+  message : string;
+  notes : diagnostic list; (* attached notes, themselves [Note]-severity *)
+}
+
+type t
+
+val create : Mc_srcmgr.Source_manager.t -> t
+val source_manager : t -> Mc_srcmgr.Source_manager.t
+
+val note : loc:Mc_srcmgr.Source_location.t -> string -> diagnostic
+(** Builds a note to attach to a primary diagnostic. *)
+
+val report :
+  t ->
+  severity ->
+  loc:Mc_srcmgr.Source_location.t ->
+  ?notes:diagnostic list ->
+  string ->
+  unit
+
+val error :
+  t -> loc:Mc_srcmgr.Source_location.t -> ?notes:diagnostic list -> string -> unit
+
+val warning :
+  t -> loc:Mc_srcmgr.Source_location.t -> ?notes:diagnostic list -> string -> unit
+
+val error_count : t -> int
+val warning_count : t -> int
+val has_errors : t -> bool
+val diagnostics : t -> diagnostic list
+(** All primary diagnostics in emission order. *)
+
+val set_consumer : t -> (diagnostic -> unit) -> unit
+(** Installs an additional callback invoked on every primary diagnostic. *)
+
+val with_context_note :
+  t -> loc:Mc_srcmgr.Source_location.t -> string -> (unit -> 'a) -> 'a
+(** Runs the thunk with a context note pushed: every primary diagnostic
+    emitted inside gets the note appended — the mechanism the paper's §2
+    suggests for explaining the history of shadow-AST locations, in the
+    style of "in instantiation of template ... required here". *)
+
+val render : t -> diagnostic -> string
+(** ["file:line:col: error: message"] followed by a caret snippet and any
+    notes, like Clang's default text consumer. *)
+
+val render_all : t -> string

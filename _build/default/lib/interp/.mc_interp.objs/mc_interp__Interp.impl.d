@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Buffer Bytes Char Float Hashtbl Int32 Int64 List Mc_ir Mc_omprt Mc_support Option Printf Sys

@@ -1,0 +1,47 @@
+(** IR interpreter with a simulated OpenMP runtime.
+
+    This is the execution substrate that lets transformed programs actually
+    run, so that every loop transformation can be checked for semantic
+    equivalence (same observable trace) and benchmarked (interpreted steps
+    as a machine-independent cost measure).
+
+    Parallelism is simulated deterministically: [__kmpc_fork_call] runs each
+    thread of the team to completion in thread-id order.  The paper's
+    subject is the compiler-side representation of loop transformations, not
+    memory-model behaviour, so determinism preserves everything relevant
+    while keeping tests reproducible (see DESIGN.md).
+
+    Programs observe the outside world through the [record]/[recordf]
+    builtins, which append to the run's trace — differential tests compare
+    traces across compilation paths. *)
+
+type trace_entry = T_int of int64 | T_float of float
+
+type config = {
+  num_threads : int; (* default team size, as OMP_NUM_THREADS *)
+  max_steps : int; (* fuel against non-termination *)
+}
+
+val default_config : config
+
+type outcome = {
+  return_value : int64 option; (* main's return value, if an integer *)
+  trace : trace_entry list;
+  steps : int; (* instructions executed, a cost proxy *)
+  output : string; (* collected print_* output *)
+}
+
+exception Trap of string
+(** Raised on runtime errors: division by zero, out-of-bounds access, fuel
+    exhaustion, calls to unknown functions, … *)
+
+val run_main : ?config:config -> Mc_ir.Ir.modul -> outcome
+(** Executes [main()] (no arguments). *)
+
+val run_function :
+  ?config:config -> Mc_ir.Ir.modul -> name:string -> args:int64 list -> outcome
+(** Executes an arbitrary integer-typed entry point. *)
+
+val trace_equal : trace_entry list -> trace_entry list -> bool
+(** Equality with exact float comparison (traces are produced
+    deterministically, so bitwise agreement is expected). *)

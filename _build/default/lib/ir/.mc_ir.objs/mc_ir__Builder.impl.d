@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Float Int64 Ir Mc_support Option Printf

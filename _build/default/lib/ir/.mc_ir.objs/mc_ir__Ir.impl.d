@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Float Int64 List Mc_support Option Printf

@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Buffer Hashtbl Ir List Mc_support Printf String

@@ -1,0 +1,11 @@
+(** Structural IR verifier, the analogue of LLVM's module verifier.  Run by
+    tests after every CodeGen path and after every mid-end pass to catch
+    malformed CFGs early. *)
+
+type issue = { in_function : string; in_block : string; message : string }
+
+val verify_func : Ir.func -> issue list
+val verify_module : Ir.modul -> issue list
+
+val check : Ir.modul -> (unit, string) result
+(** [Error] renders all issues, one per line. *)

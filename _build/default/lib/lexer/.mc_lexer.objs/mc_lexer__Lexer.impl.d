@@ -1,0 +1,1 @@
+lib/lexer/lexer.ml: Buffer Char Int64 List Mc_diag Mc_srcmgr Printf String Token

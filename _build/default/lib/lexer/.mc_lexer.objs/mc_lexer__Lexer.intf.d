@@ -1,0 +1,1 @@
+lib/lexer/lexer.mli: Mc_diag Mc_srcmgr Token

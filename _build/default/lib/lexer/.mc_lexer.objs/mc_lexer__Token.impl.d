@@ -1,0 +1,1 @@
+lib/lexer/token.ml: List Mc_srcmgr Printf String

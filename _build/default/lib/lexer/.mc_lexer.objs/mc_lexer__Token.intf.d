@@ -1,0 +1,1 @@
+lib/lexer/token.mli: Mc_srcmgr

@@ -1,0 +1,385 @@
+module Buf = Mc_srcmgr.Memory_buffer
+module Loc = Mc_srcmgr.Source_location
+module Diag = Mc_diag.Diagnostics
+
+type t = {
+  diag : Diag.t;
+  file_id : int;
+  buf : Buf.t;
+  len : int;
+  mutable pos : int;
+  mutable at_line_start : bool;
+  mutable has_space : bool;
+}
+
+let create diag ~file_id buf =
+  {
+    diag;
+    file_id;
+    buf;
+    len = Buf.length buf;
+    pos = 0;
+    at_line_start = true;
+    has_space = false;
+  }
+
+let loc_at t pos = Loc.encode ~file_id:t.file_id ~offset:pos
+let peek t = if t.pos < t.len then Some (Buf.char_at t.buf t.pos) else None
+
+let peek2 t =
+  if t.pos + 1 < t.len then Some (Buf.char_at t.buf (t.pos + 1)) else None
+
+let advance t = t.pos <- t.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_cont c = is_ident_start c || is_digit c
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let rec skip_trivia t =
+  match peek t with
+  | Some (' ' | '\t' | '\r') ->
+    t.has_space <- true;
+    advance t;
+    skip_trivia t
+  | Some '\n' ->
+    t.at_line_start <- true;
+    t.has_space <- true;
+    advance t;
+    skip_trivia t
+  | Some '\\' when peek2 t = Some '\n' ->
+    (* Line continuation: splice without starting a new line. *)
+    t.has_space <- true;
+    advance t;
+    advance t;
+    skip_trivia t
+  | Some '/' when peek2 t = Some '/' ->
+    while peek t <> None && peek t <> Some '\n' do
+      advance t
+    done;
+    t.has_space <- true;
+    skip_trivia t
+  | Some '/' when peek2 t = Some '*' ->
+    let start = t.pos in
+    advance t;
+    advance t;
+    let rec find () =
+      match peek t with
+      | None -> Diag.error t.diag ~loc:(loc_at t start) "unterminated /* comment"
+      | Some '*' when peek2 t = Some '/' ->
+        advance t;
+        advance t
+      | Some '\n' ->
+        t.at_line_start <- true;
+        advance t;
+        find ()
+      | Some _ ->
+        advance t;
+        find ()
+    in
+    find ();
+    t.has_space <- true;
+    skip_trivia t
+  | _ -> ()
+
+let lex_ident t start =
+  while match peek t with Some c -> is_ident_cont c | None -> false do
+    advance t
+  done;
+  let text = Buf.sub t.buf ~pos:start ~len:(t.pos - start) in
+  match Token.keyword_of_string text with
+  | Some kw -> Token.Keyword kw
+  | None -> Token.Ident text
+
+(* Numeric literals: decimal/hex/octal integers with [uUlL] suffixes, and
+   decimal floats with optional fraction and exponent. *)
+let lex_number t start =
+  let is_hex =
+    peek t = Some '0' && (peek2 t = Some 'x' || peek2 t = Some 'X')
+  in
+  if is_hex then begin
+    advance t;
+    advance t;
+    while match peek t with Some c -> is_hex_digit c | None -> false do
+      advance t
+    done
+  end
+  else begin
+    while match peek t with Some c -> is_digit c | None -> false do
+      advance t
+    done
+  end;
+  let is_float = ref false in
+  if (not is_hex) && peek t = Some '.' then begin
+    is_float := true;
+    advance t;
+    while match peek t with Some c -> is_digit c | None -> false do
+      advance t
+    done
+  end;
+  if (not is_hex) && (peek t = Some 'e' || peek t = Some 'E') then begin
+    let save = t.pos in
+    advance t;
+    (match peek t with Some ('+' | '-') -> advance t | _ -> ());
+    if match peek t with Some c -> is_digit c | None -> false then begin
+      is_float := true;
+      while match peek t with Some c -> is_digit c | None -> false do
+        advance t
+      done
+    end
+    else t.pos <- save
+  end;
+  if !is_float then begin
+    (match peek t with Some ('f' | 'F' | 'l' | 'L') -> advance t | _ -> ());
+    let text = Buf.sub t.buf ~pos:start ~len:(t.pos - start) in
+    let digits =
+      match text.[String.length text - 1] with
+      | 'f' | 'F' | 'l' | 'L' -> String.sub text 0 (String.length text - 1)
+      | _ -> text
+    in
+    match float_of_string_opt digits with
+    | Some value -> Token.Float_lit { value; text }
+    | None ->
+      Diag.error t.diag ~loc:(loc_at t start)
+        (Printf.sprintf "invalid floating-point literal '%s'" text);
+      Token.Float_lit { value = 0.0; text }
+  end
+  else begin
+    let suffix_unsigned = ref false and suffix_long = ref false in
+    let rec suffixes () =
+      match peek t with
+      | Some ('u' | 'U') ->
+        suffix_unsigned := true;
+        advance t;
+        suffixes ()
+      | Some ('l' | 'L') ->
+        suffix_long := true;
+        advance t;
+        (match peek t with Some ('l' | 'L') -> advance t | _ -> ());
+        suffixes ()
+      | _ -> ()
+    in
+    suffixes ();
+    let text = Buf.sub t.buf ~pos:start ~len:(t.pos - start) in
+    let digits =
+      let stop = ref (String.length text) in
+      while
+        !stop > 0
+        && match text.[!stop - 1] with 'u' | 'U' | 'l' | 'L' -> true | _ -> false
+      do
+        decr stop
+      done;
+      String.sub text 0 !stop
+    in
+    let value =
+      (* [Int64.of_string] understands the 0x/0o prefixes; C's leading-zero
+         octal needs rewriting to OCaml's 0o form. *)
+      let normalized =
+        if String.length digits > 1 && digits.[0] = '0'
+           && digits.[1] <> 'x' && digits.[1] <> 'X'
+        then "0o" ^ String.sub digits 1 (String.length digits - 1)
+        else digits
+      in
+      match Int64.of_string_opt normalized with
+      | Some v -> v
+      | None -> (
+        (* Decimal literals above [Int64.max_int] need OCaml's unsigned
+           parse ("0u" prefix) to wrap like a C unsigned constant. *)
+        match Int64.of_string_opt ("0u" ^ normalized) with
+        | Some v -> v
+        | None ->
+          Diag.error t.diag ~loc:(loc_at t start)
+            (Printf.sprintf "invalid integer literal '%s'" text);
+          0L)
+    in
+    Token.Int_lit
+      {
+        value;
+        suffix = { suffix_unsigned = !suffix_unsigned; suffix_long = !suffix_long };
+        text;
+      }
+  end
+
+let escape_char t = function
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | c ->
+    Diag.warning t.diag ~loc:(loc_at t t.pos)
+      (Printf.sprintf "unknown escape sequence '\\%c'" c);
+    c
+
+let lex_char_lit t start =
+  advance t (* opening quote *);
+  let value =
+    match peek t with
+    | Some '\\' ->
+      advance t;
+      let c = match peek t with Some c -> c | None -> '\000' in
+      advance t;
+      Char.code (escape_char t c)
+    | Some c ->
+      advance t;
+      Char.code c
+    | None -> 0
+  in
+  (match peek t with
+  | Some '\'' -> advance t
+  | _ -> Diag.error t.diag ~loc:(loc_at t start) "unterminated character literal");
+  let text = Buf.sub t.buf ~pos:start ~len:(t.pos - start) in
+  Token.Char_lit { value; text }
+
+let lex_string_lit t start =
+  advance t (* opening quote *);
+  let out = Buffer.create 16 in
+  let rec go () =
+    match peek t with
+    | None | Some '\n' ->
+      Diag.error t.diag ~loc:(loc_at t start) "unterminated string literal"
+    | Some '"' -> advance t
+    | Some '\\' ->
+      advance t;
+      (match peek t with
+      | Some c ->
+        advance t;
+        Buffer.add_char out (escape_char t c)
+      | None -> ());
+      go ()
+    | Some c ->
+      advance t;
+      Buffer.add_char out c;
+      go ()
+  in
+  go ();
+  let text = Buf.sub t.buf ~pos:start ~len:(t.pos - start) in
+  Token.String_lit { value = Buffer.contents out; text }
+
+let lex_punct t =
+  let open Token in
+  let c = match peek t with Some c -> c | None -> assert false in
+  let if2 c2 yes no =
+    advance t;
+    if peek t = Some c2 then begin
+      advance t;
+      yes
+    end
+    else no
+  in
+  match c with
+  | '(' -> advance t; Some LParen
+  | ')' -> advance t; Some RParen
+  | '{' -> advance t; Some LBrace
+  | '}' -> advance t; Some RBrace
+  | '[' -> advance t; Some LBracket
+  | ']' -> advance t; Some RBracket
+  | ';' -> advance t; Some Semi
+  | ',' -> advance t; Some Comma
+  | '?' -> advance t; Some Question
+  | ':' -> advance t; Some Colon
+  | '~' -> advance t; Some Tilde
+  | '!' -> Some (if2 '=' ExclaimEqual Exclaim)
+  | '=' -> Some (if2 '=' EqualEqual Equal)
+  | '^' -> Some (if2 '=' CaretEqual Caret)
+  | '.' ->
+    advance t;
+    if peek t = Some '.' && peek2 t = Some '.' then begin
+      advance t;
+      advance t;
+      Some Ellipsis
+    end
+    else Some Period
+  | '#' -> Some (if2 '#' HashHash Hash)
+  | '+' ->
+    advance t;
+    (match peek t with
+    | Some '+' -> advance t; Some PlusPlus
+    | Some '=' -> advance t; Some PlusEqual
+    | _ -> Some Plus)
+  | '-' ->
+    advance t;
+    (match peek t with
+    | Some '-' -> advance t; Some MinusMinus
+    | Some '=' -> advance t; Some MinusEqual
+    | Some '>' -> advance t; Some Arrow
+    | _ -> Some Minus)
+  | '*' -> Some (if2 '=' StarEqual Star)
+  | '/' -> Some (if2 '=' SlashEqual Slash)
+  | '%' -> Some (if2 '=' PercentEqual Percent)
+  | '&' ->
+    advance t;
+    (match peek t with
+    | Some '&' -> advance t; Some AmpAmp
+    | Some '=' -> advance t; Some AmpEqual
+    | _ -> Some Amp)
+  | '|' ->
+    advance t;
+    (match peek t with
+    | Some '|' -> advance t; Some PipePipe
+    | Some '=' -> advance t; Some PipeEqual
+    | _ -> Some Pipe)
+  | '<' ->
+    advance t;
+    (match peek t with
+    | Some '=' -> advance t; Some LessEqual
+    | Some '<' ->
+      advance t;
+      if peek t = Some '=' then begin
+        advance t;
+        Some LessLessEqual
+      end
+      else Some LessLess
+    | _ -> Some Less)
+  | '>' ->
+    advance t;
+    (match peek t with
+    | Some '=' -> advance t; Some GreaterEqual
+    | Some '>' ->
+      advance t;
+      if peek t = Some '=' then begin
+        advance t;
+        Some GreaterGreaterEqual
+      end
+      else Some GreaterGreater
+    | _ -> Some Greater)
+  | _ -> None
+
+let next t =
+  skip_trivia t;
+  let at_line_start = t.at_line_start in
+  let has_space_before = t.has_space in
+  t.at_line_start <- false;
+  t.has_space <- false;
+  let start = t.pos in
+  let loc = loc_at t start in
+  let kind =
+    match peek t with
+    | None -> Token.Eof
+    | Some c when is_ident_start c -> lex_ident t start
+    | Some c when is_digit c -> lex_number t start
+    | Some '.' when (match peek2 t with Some d -> is_digit d | None -> false) ->
+      lex_number t start
+    | Some '\'' -> lex_char_lit t start
+    | Some '"' -> lex_string_lit t start
+    | Some c -> (
+      match lex_punct t with
+      | Some p -> Token.Punct p
+      | None ->
+        Diag.error t.diag ~loc
+          (Printf.sprintf "unexpected character '%c' (0x%02x)" c (Char.code c));
+        advance t;
+        (* Re-lex from the next character rather than emitting a junk token. *)
+        Token.Punct Token.Semi)
+  in
+  { Token.kind; loc; len = t.pos - start; at_line_start; has_space_before }
+
+let tokenize diag ~file_id buf =
+  let lexer = create diag ~file_id buf in
+  let rec go acc =
+    let tok = next lexer in
+    if Token.is_eof tok then List.rev acc else go (tok :: acc)
+  in
+  go []

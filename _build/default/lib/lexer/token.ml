@@ -1,0 +1,207 @@
+type keyword =
+  | Kw_int
+  | Kw_long
+  | Kw_short
+  | Kw_char
+  | Kw_signed
+  | Kw_unsigned
+  | Kw_float
+  | Kw_double
+  | Kw_void
+  | Kw_bool
+  | Kw_const
+  | Kw_auto
+  | Kw_if
+  | Kw_else
+  | Kw_switch
+  | Kw_case
+  | Kw_default
+  | Kw_for
+  | Kw_while
+  | Kw_do
+  | Kw_return
+  | Kw_break
+  | Kw_continue
+  | Kw_sizeof
+
+type punct =
+  | LParen
+  | RParen
+  | LBrace
+  | RBrace
+  | LBracket
+  | RBracket
+  | Semi
+  | Comma
+  | Question
+  | Colon
+  | Tilde
+  | Exclaim
+  | ExclaimEqual
+  | Equal
+  | EqualEqual
+  | Plus
+  | PlusPlus
+  | PlusEqual
+  | Minus
+  | MinusMinus
+  | MinusEqual
+  | Arrow
+  | Star
+  | StarEqual
+  | Slash
+  | SlashEqual
+  | Percent
+  | PercentEqual
+  | Amp
+  | AmpAmp
+  | AmpEqual
+  | Pipe
+  | PipePipe
+  | PipeEqual
+  | Caret
+  | CaretEqual
+  | Less
+  | LessEqual
+  | LessLess
+  | LessLessEqual
+  | Greater
+  | GreaterEqual
+  | GreaterGreater
+  | GreaterGreaterEqual
+  | Period
+  | Ellipsis
+  | Hash
+  | HashHash
+
+type int_suffix = { suffix_unsigned : bool; suffix_long : bool }
+
+type kind =
+  | Ident of string
+  | Keyword of keyword
+  | Int_lit of { value : int64; suffix : int_suffix; text : string }
+  | Float_lit of { value : float; text : string }
+  | Char_lit of { value : int; text : string }
+  | String_lit of { value : string; text : string }
+  | Punct of punct
+  | Eof
+
+type t = {
+  kind : kind;
+  loc : Mc_srcmgr.Source_location.t;
+  len : int;
+  at_line_start : bool;
+  has_space_before : bool;
+}
+
+let keyword_table =
+  [
+    ("int", Kw_int);
+    ("long", Kw_long);
+    ("short", Kw_short);
+    ("char", Kw_char);
+    ("signed", Kw_signed);
+    ("unsigned", Kw_unsigned);
+    ("float", Kw_float);
+    ("double", Kw_double);
+    ("void", Kw_void);
+    ("bool", Kw_bool);
+    ("_Bool", Kw_bool);
+    ("const", Kw_const);
+    ("auto", Kw_auto);
+    ("if", Kw_if);
+    ("else", Kw_else);
+    ("switch", Kw_switch);
+    ("case", Kw_case);
+    ("default", Kw_default);
+    ("for", Kw_for);
+    ("while", Kw_while);
+    ("do", Kw_do);
+    ("return", Kw_return);
+    ("break", Kw_break);
+    ("continue", Kw_continue);
+    ("sizeof", Kw_sizeof);
+  ]
+
+let keyword_of_string s = List.assoc_opt s keyword_table
+
+let keyword_to_string kw =
+  (* The table maps two spellings to [Kw_bool]; the first match is canonical. *)
+  match List.find_opt (fun (_, k) -> k = kw) keyword_table with
+  | Some (s, _) -> s
+  | None -> assert false
+
+let punct_to_string = function
+  | LParen -> "("
+  | RParen -> ")"
+  | LBrace -> "{"
+  | RBrace -> "}"
+  | LBracket -> "["
+  | RBracket -> "]"
+  | Semi -> ";"
+  | Comma -> ","
+  | Question -> "?"
+  | Colon -> ":"
+  | Tilde -> "~"
+  | Exclaim -> "!"
+  | ExclaimEqual -> "!="
+  | Equal -> "="
+  | EqualEqual -> "=="
+  | Plus -> "+"
+  | PlusPlus -> "++"
+  | PlusEqual -> "+="
+  | Minus -> "-"
+  | MinusMinus -> "--"
+  | MinusEqual -> "-="
+  | Arrow -> "->"
+  | Star -> "*"
+  | StarEqual -> "*="
+  | Slash -> "/"
+  | SlashEqual -> "/="
+  | Percent -> "%"
+  | PercentEqual -> "%="
+  | Amp -> "&"
+  | AmpAmp -> "&&"
+  | AmpEqual -> "&="
+  | Pipe -> "|"
+  | PipePipe -> "||"
+  | PipeEqual -> "|="
+  | Caret -> "^"
+  | CaretEqual -> "^="
+  | Less -> "<"
+  | LessEqual -> "<="
+  | LessLess -> "<<"
+  | LessLessEqual -> "<<="
+  | Greater -> ">"
+  | GreaterEqual -> ">="
+  | GreaterGreater -> ">>"
+  | GreaterGreaterEqual -> ">>="
+  | Period -> "."
+  | Ellipsis -> "..."
+  | Hash -> "#"
+  | HashHash -> "##"
+
+let spelling t =
+  match t.kind with
+  | Ident s -> s
+  | Keyword kw -> keyword_to_string kw
+  | Int_lit { text; _ } | Float_lit { text; _ } | Char_lit { text; _ }
+  | String_lit { text; _ } ->
+    text
+  | Punct p -> punct_to_string p
+  | Eof -> ""
+
+let describe = function
+  | Ident s -> Printf.sprintf "identifier '%s'" s
+  | Keyword kw -> Printf.sprintf "'%s'" (keyword_to_string kw)
+  | Int_lit _ -> "integer literal"
+  | Float_lit _ -> "floating-point literal"
+  | Char_lit _ -> "character literal"
+  | String_lit _ -> "string literal"
+  | Punct p -> Printf.sprintf "'%s'" (punct_to_string p)
+  | Eof -> "end of file"
+
+let is_eof t = t.kind = Eof
+let is_ident t name = match t.kind with Ident s -> String.equal s name | _ -> false
+let is_punct t p = match t.kind with Punct q -> p = q | _ -> false
+let is_keyword t kw = match t.kind with Keyword k -> k = kw | _ -> false

@@ -1,0 +1,1 @@
+lib/ompbuilder/cli.ml: Ir List Mc_ir Printf Result

@@ -1,0 +1,1 @@
+lib/ompbuilder/cli.mli: Ir Mc_ir

@@ -1,0 +1,1 @@
+lib/ompbuilder/omp_builder.ml: Builder Cli Fun Int64 Ir List Mc_ir Printf

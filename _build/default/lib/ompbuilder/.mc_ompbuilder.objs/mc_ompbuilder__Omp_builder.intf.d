@@ -1,0 +1,1 @@
+lib/ompbuilder/omp_builder.mli: Builder Cli Ir Mc_ir

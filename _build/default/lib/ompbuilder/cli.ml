@@ -1,0 +1,112 @@
+open Mc_ir
+
+type t = {
+  cli_func : Ir.func;
+  cli_preheader : Ir.block;
+  cli_header : Ir.block;
+  cli_cond : Ir.block;
+  cli_body : Ir.block;
+  cli_latch : Ir.block;
+  cli_exit : Ir.block;
+  cli_after : Ir.block;
+  cli_iv : Ir.inst;
+  mutable cli_trip_count : Ir.value;
+  mutable cli_valid : bool;
+}
+
+let block_names t =
+  List.map
+    (fun b -> b.Ir.b_name)
+    [
+      t.cli_preheader;
+      t.cli_header;
+      t.cli_cond;
+      t.cli_body;
+      t.cli_latch;
+      t.cli_exit;
+      t.cli_after;
+    ]
+
+let is_valid t = t.cli_valid
+
+let invalidate t = t.cli_valid <- false
+
+let verify t =
+  let ( let* ) = Result.bind in
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let expect_br b target what =
+    match b.Ir.b_term with
+    | Ir.Br x when x == target -> Ok ()
+    | _ -> fail "%s must branch to %s" what target.Ir.b_name
+  in
+  if not t.cli_valid then fail "CanonicalLoopInfo has been invalidated"
+  else begin
+    (* All seven blocks live in the same function. *)
+    let blocks =
+      [ t.cli_preheader; t.cli_header; t.cli_cond; t.cli_body; t.cli_latch;
+        t.cli_exit; t.cli_after ]
+    in
+    let* () =
+      if
+        List.for_all
+          (fun b ->
+            match b.Ir.b_parent with
+            | Some f -> f == t.cli_func
+            | None -> false)
+          blocks
+      then Ok ()
+      else fail "skeleton block detached from function"
+    in
+    let* () = expect_br t.cli_preheader t.cli_header "preheader" in
+    (* Header: the IV phi, then a branch to cond. *)
+    let* () =
+      match Ir.block_insts t.cli_header with
+      | [ phi ] when phi == t.cli_iv -> Ok ()
+      | _ -> fail "header must contain exactly the induction-variable phi"
+    in
+    let* () =
+      match t.cli_iv.Ir.i_kind with
+      | Ir.Phi { incoming } -> (
+        let from_pre = Ir.phi_incoming_for_pred incoming t.cli_preheader in
+        let from_latch = Ir.phi_incoming_for_pred incoming t.cli_latch in
+        match (from_pre, from_latch, incoming) with
+        | Some (Ir.Const_int (_, 0L)), Some (Ir.Inst_ref inc), [ _; _ ] -> (
+          match inc.Ir.i_kind with
+          | Ir.Binop (Ir.Add, a, Ir.Const_int (_, 1L))
+            when Ir.value_equal a (Ir.Inst_ref t.cli_iv) ->
+            Ok ()
+          | _ -> fail "latch increment is not iv + 1")
+        | _ -> fail "induction variable phi must be {0 from preheader, inc from latch}"
+        )
+      | _ -> fail "cli_iv is not a phi"
+    in
+    let* () = expect_br t.cli_header t.cli_cond "header" in
+    (* Cond: icmp ult iv, tripcount; conditional branch body/exit. *)
+    let* () =
+      match Ir.block_insts t.cli_cond with
+      | [ cmp ] -> (
+        match (cmp.Ir.i_kind, t.cli_cond.Ir.b_term) with
+        | Ir.Icmp (Ir.Iult, iv, tc), Ir.Cond_br (c, bt, bf)
+          when Ir.value_equal iv (Ir.Inst_ref t.cli_iv)
+               && Ir.value_equal tc t.cli_trip_count
+               && Ir.value_equal c (Ir.Inst_ref cmp)
+               && bt == t.cli_body && bf == t.cli_exit ->
+          Ok ()
+        | _ -> fail "cond block must compare iv <u tripcount and branch body/exit")
+      | _ -> fail "cond block must contain exactly the comparison"
+    in
+    (* Latch: iv+1 then back edge. *)
+    let* () =
+      match Ir.block_insts t.cli_latch with
+      | [ inc ] -> (
+        match inc.Ir.i_kind with
+        | Ir.Binop (Ir.Add, a, Ir.Const_int (_, 1L))
+          when Ir.value_equal a (Ir.Inst_ref t.cli_iv) ->
+          Ok ()
+        | _ -> fail "latch must increment the induction variable by 1")
+      | _ -> fail "latch must contain exactly the increment"
+    in
+    let* () = expect_br t.cli_latch t.cli_header "latch" in
+    let* () = expect_br t.cli_exit t.cli_after "exit" in
+    Ok ()
+  end

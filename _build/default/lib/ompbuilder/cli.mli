@@ -1,0 +1,42 @@
+(** [CanonicalLoopInfo]: the OpenMPIRBuilder's handle for a literal or
+    generated loop (paper §3.2).
+
+    It names the seven skeleton blocks of Fig. 10 and the values that make
+    the loop analysable without ScalarEvolution: the induction-variable phi
+    and the trip count.  The invariants listed in the paper are enforced by
+    {!verify}:
+
+    - explicit basic blocks for preheader, header, cond, body entry, latch,
+      exit and after;
+    - an identifiable logical induction variable (the header phi, starting
+      at 0 and incremented by 1 in the latch);
+    - an identifiable trip count (the right operand of the cond's unsigned
+      comparison). *)
+
+open Mc_ir
+
+type t = {
+  cli_func : Ir.func;
+  cli_preheader : Ir.block;
+  cli_header : Ir.block;
+  cli_cond : Ir.block;
+  cli_body : Ir.block; (* body entry; the region may span more blocks *)
+  cli_latch : Ir.block;
+  cli_exit : Ir.block;
+  cli_after : Ir.block;
+  cli_iv : Ir.inst; (* the phi in [cli_header] *)
+  mutable cli_trip_count : Ir.value;
+  mutable cli_valid : bool;
+}
+
+val block_names : t -> string list
+(** The seven block names in skeleton order, for the Fig. 10 golden test. *)
+
+val verify : t -> (unit, string) result
+(** Checks the skeleton invariants above. *)
+
+val invalidate : t -> unit
+(** Marks the handle dead after a transformation consumed the loop (LLVM's
+    [CanonicalLoopInfo::invalidate]); further [verify] fails. *)
+
+val is_valid : t -> bool

@@ -1,0 +1,642 @@
+open Mc_ir
+open Ir
+
+let zero ty = Const_int (ty, 0L)
+let one ty = Const_int (ty, 1L)
+
+let func_of_block b =
+  match b.b_parent with
+  | Some f -> f
+  | None -> invalid_arg "block has no parent function"
+
+(* ---- skeleton ---------------------------------------------------------- *)
+
+let create_loop_skeleton builder ~func ~name ~trip_count =
+  let blk suffix = create_block ~name:(name ^ "." ^ suffix) func in
+  let preheader = blk "preheader" in
+  let header = blk "header" in
+  let cond = blk "cond" in
+  let body = blk "body" in
+  let latch = blk "inc" in
+  let exit = blk "exit" in
+  let after = blk "after" in
+  let ty = value_ty trip_count in
+  preheader.b_term <- Br header;
+  (* Header: the induction-variable phi.  Built by hand (not through the
+     folding builder) because the latch increment does not exist yet. *)
+  let iv = mk_inst ~name:"omp.iv" ~ty (Phi { incoming = [ (zero ty, preheader) ] }) in
+  append_inst header iv;
+  header.b_term <- Br cond;
+  let saved = try Some (Builder.insertion_block builder) with Invalid_argument _ -> None in
+  Builder.set_insertion_point builder cond;
+  let cmp = Builder.icmp builder ~name:"omp.cmp" Iult (Inst_ref iv) trip_count in
+  cond.b_term <- Cond_br (cmp, body, exit);
+  body.b_term <- Br latch;
+  Builder.set_insertion_point builder latch;
+  let next = Builder.add builder ~name:"omp.next" (Inst_ref iv) (one ty) in
+  Builder.add_phi_incoming (Inst_ref iv) (next, latch);
+  latch.b_term <- Br header;
+  exit.b_term <- Br after;
+  (match saved with
+  | Some b -> Builder.set_insertion_point builder b
+  | None -> Builder.clear_insertion_point builder);
+  {
+    Cli.cli_func = func;
+    cli_preheader = preheader;
+    cli_header = header;
+    cli_cond = cond;
+    cli_body = body;
+    cli_latch = latch;
+    cli_exit = exit;
+    cli_after = after;
+    cli_iv = iv;
+    cli_trip_count = trip_count;
+    cli_valid = true;
+  }
+
+let create_canonical_loop builder ?(name = "omp_loop") ~trip_count ~body_gen () =
+  let current = Builder.insertion_block builder in
+  let func = func_of_block current in
+  let cli = create_loop_skeleton builder ~func ~name ~trip_count in
+  Builder.set_insertion_point builder current;
+  Builder.br builder cli.Cli.cli_preheader;
+  (* Populate the body region. *)
+  cli.Cli.cli_body.b_term <- No_term;
+  Builder.set_insertion_point builder cli.Cli.cli_body;
+  body_gen builder (Inst_ref cli.Cli.cli_iv);
+  Builder.br builder cli.Cli.cli_latch;
+  Builder.set_insertion_point builder cli.Cli.cli_after;
+  cli
+
+(* ---- nest surgery shared by tile and collapse --------------------------- *)
+
+(* Old skeleton blocks that a transformation discards.  The outermost
+   preheader (reused for new computations), the outermost after block (the
+   continuation), and every body block (they carry the front-end's
+   per-iteration code, e.g. the loop-value bindings) survive. *)
+let discarded_blocks loops =
+  List.concat
+    (List.mapi
+       (fun i (c : Cli.t) ->
+         [ c.cli_header; c.cli_cond; c.cli_latch; c.cli_exit ]
+         @ if i > 0 then [ c.cli_preheader; c.cli_after ] else [])
+       loops)
+
+(* After the new loops exist, thread the preserved body blocks of the old
+   nest into one chain: outer body -> inner body (bypassing the deleted
+   skeleton blocks of the inner loops). *)
+let splice_old_bodies f loops =
+  let rec go = function
+    | _ :: ((inner : Cli.t) :: _ as rest) ->
+      List.iter
+        (fun b ->
+          replace_successor b ~from:inner.Cli.cli_preheader
+            ~into:inner.Cli.cli_body)
+        f.f_blocks;
+      go rest
+    | [ _ ] | [] -> ()
+  in
+  go loops
+
+let last list = List.nth list (List.length list - 1)
+
+(* Wires a freshly created chain of skeletons into a perfect nest:
+   outer.body branches to inner.preheader, inner.after back to outer.latch.
+   The innermost body is left alone. *)
+let wire_nest (skeletons : Cli.t list) =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      a.Cli.cli_body.b_term <- Br b.Cli.cli_preheader;
+      b.Cli.cli_after.b_term <- Br a.Cli.cli_latch;
+      go rest
+    | [ _ ] | [] -> ()
+  in
+  go skeletons
+
+let check_nest what (loops : Cli.t list) =
+  if loops = [] then invalid_arg (what ^ ": empty loop nest");
+  List.iter
+    (fun (c : Cli.t) ->
+      match Cli.verify c with
+      | Ok () -> ()
+      | Error e -> invalid_arg (Printf.sprintf "%s: invalid loop: %s" what e))
+    loops
+
+let tile_loops builder loops ~sizes =
+  check_nest "tile_loops" loops;
+  if List.length sizes <> List.length loops then
+    invalid_arg "tile_loops: one size per loop required";
+  let outer = List.hd loops and inner = last loops in
+  let f = outer.Cli.cli_func in
+  let ty = value_ty outer.Cli.cli_trip_count in
+  (* 1. Floor trip counts, computed in the (reused) outermost preheader:
+     ceildiv(tc, size) as  tc == 0 ? 0 : (tc-1)/size + 1  to avoid
+     overflow at the top of the unsigned range (paper §3.1). *)
+  let ph = outer.Cli.cli_preheader in
+  ph.b_term <- No_term;
+  Builder.set_insertion_point builder ph;
+  let floor_tcs =
+    List.map2
+      (fun (c : Cli.t) size ->
+        let tc = c.Cli.cli_trip_count in
+        let tcm1 = Builder.sub builder tc (one ty) in
+        let d = Builder.udiv builder tcm1 size in
+        let d1 = Builder.add builder d (one ty) in
+        let is0 = Builder.icmp builder Ieq tc (zero ty) in
+        Builder.select builder ~name:"floor.tc" is0 (zero ty) d1)
+      loops sizes
+  in
+  (* 2. Floor loop nest. *)
+  let floors =
+    List.mapi
+      (fun i ftc ->
+        create_loop_skeleton builder ~func:f
+          ~name:(Printf.sprintf "floor.%d" i)
+          ~trip_count:ftc)
+      floor_tcs
+  in
+  ph.b_term <- Br (List.hd floors).Cli.cli_preheader;
+  wire_nest floors;
+  (* 3. Tile trip counts in the innermost floor body:
+     min(size, tc - floor_iv*size). *)
+  let fin = last floors in
+  fin.Cli.cli_body.b_term <- No_term;
+  Builder.set_insertion_point builder fin.Cli.cli_body;
+  let tile_tcs =
+    List.map2
+      (fun ((c : Cli.t), size) (floor : Cli.t) ->
+        let tc = c.Cli.cli_trip_count in
+        let base = Builder.mul builder (Inst_ref floor.Cli.cli_iv) size in
+        let rem = Builder.sub builder tc base in
+        Builder.min_u builder ~name:"tile.tc" size rem)
+      (List.combine loops sizes)
+      floors
+  in
+  let tiles =
+    List.mapi
+      (fun i ttc ->
+        create_loop_skeleton builder ~func:f
+          ~name:(Printf.sprintf "tile.%d" i)
+          ~trip_count:ttc)
+      tile_tcs
+  in
+  fin.Cli.cli_body.b_term <- Br (List.hd tiles).Cli.cli_preheader;
+  (List.hd tiles).Cli.cli_after.b_term <- Br fin.Cli.cli_latch;
+  wire_nest tiles;
+  (* 4. Innermost tile body: reconstruct the original induction variables
+     and hand control to the preserved body region. *)
+  let tin = last tiles in
+  tin.Cli.cli_body.b_term <- No_term;
+  Builder.set_insertion_point builder tin.Cli.cli_body;
+  List.iteri
+    (fun i (c : Cli.t) ->
+      let floor = List.nth floors i and tile = List.nth tiles i in
+      let size = List.nth sizes i in
+      let base = Builder.mul builder (Inst_ref floor.Cli.cli_iv) size in
+      let orig =
+        Builder.add builder ~name:"orig.iv" base (Inst_ref tile.Cli.cli_iv)
+      in
+      replace_uses_in_func f ~from:(Inst_ref c.Cli.cli_iv) ~into:orig
+        ~where:(fun b -> not (b == tin.Cli.cli_body)))
+    loops;
+  tin.Cli.cli_body.b_term <- Br outer.Cli.cli_body;
+  splice_old_bodies f loops;
+  (* 5. Body region's back edges now reach the innermost tile latch. *)
+  List.iter
+    (fun b -> replace_successor b ~from:inner.Cli.cli_latch ~into:tin.Cli.cli_latch)
+    f.f_blocks;
+  (* 6. Continuation and cleanup. *)
+  (List.hd floors).Cli.cli_after.b_term <- Br outer.Cli.cli_after;
+  remove_blocks f (discarded_blocks loops);
+  List.iter Cli.invalidate loops;
+  (* Emission continues at the surviving continuation block. *)
+  Builder.set_insertion_point builder outer.Cli.cli_after;
+  floors @ tiles
+
+let collapse_loops builder loops =
+  check_nest "collapse_loops" loops;
+  let outer = List.hd loops and inner = last loops in
+  let f = outer.Cli.cli_func in
+  let ph = outer.Cli.cli_preheader in
+  ph.b_term <- No_term;
+  Builder.set_insertion_point builder ph;
+  let total =
+    List.fold_left
+      (fun acc (c : Cli.t) -> Builder.mul builder acc c.Cli.cli_trip_count)
+      (one (value_ty outer.Cli.cli_trip_count))
+      loops
+  in
+  let collapsed =
+    create_loop_skeleton builder ~func:f ~name:"collapsed" ~trip_count:total
+  in
+  ph.b_term <- Br collapsed.Cli.cli_preheader;
+  collapsed.Cli.cli_after.b_term <- Br outer.Cli.cli_after;
+  (* De-linearise: innermost index varies fastest. *)
+  collapsed.Cli.cli_body.b_term <- No_term;
+  Builder.set_insertion_point builder collapsed.Cli.cli_body;
+  let remaining = ref (Inst_ref collapsed.Cli.cli_iv) in
+  List.iter
+    (fun (c : Cli.t) ->
+      let tc = c.Cli.cli_trip_count in
+      let this = Builder.urem builder ~name:"collapse.iv" !remaining tc in
+      remaining := Builder.udiv builder !remaining tc;
+      replace_uses_in_func f ~from:(Inst_ref c.Cli.cli_iv) ~into:this
+        ~where:(fun b -> not (b == collapsed.Cli.cli_body)))
+    (List.rev loops);
+  collapsed.Cli.cli_body.b_term <- Br outer.Cli.cli_body;
+  splice_old_bodies f loops;
+  List.iter
+    (fun b ->
+      replace_successor b ~from:inner.Cli.cli_latch
+        ~into:collapsed.Cli.cli_latch)
+    f.f_blocks;
+  remove_blocks f (discarded_blocks loops);
+  List.iter Cli.invalidate loops;
+  Builder.set_insertion_point builder outer.Cli.cli_after;
+  collapsed
+
+(* ---- unrolling ---------------------------------------------------------- *)
+
+let set_unroll_md (cli : Cli.t) md =
+  let latch = cli.Cli.cli_latch in
+  latch.b_loop_md <- { latch.b_loop_md with md_unroll = Some md }
+
+let unroll_loop_full _builder cli = set_unroll_md cli Unroll_full
+let unroll_loop_heuristic _builder cli = set_unroll_md cli Unroll_enable
+
+let unroll_loop_partial builder cli ~factor =
+  if factor < 1 then invalid_arg "unroll_loop_partial: factor must be >= 1";
+  let ty = value_ty cli.Cli.cli_trip_count in
+  match tile_loops builder [ cli ] ~sizes:[ Const_int (ty, Int64.of_int factor) ] with
+  | [ floor_cli; tile_cli ] ->
+    set_unroll_md tile_cli (Unroll_count factor);
+    floor_cli
+  | _ -> assert false
+
+(* ---- worksharing -------------------------------------------------------- *)
+
+let static_init_name ty =
+  match ty with
+  | I64 -> "__kmpc_for_static_init_8u"
+  | _ -> "__kmpc_for_static_init_4u"
+
+let apply_static_workshare builder (cli : Cli.t) ~chunk ~nowait =
+  (match Cli.verify cli with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("apply_static_workshare: " ^ e));
+  let saved_ip =
+    try Some (Builder.insertion_block builder) with Invalid_argument _ -> None
+  in
+  let f = cli.Cli.cli_func in
+  let ty = value_ty cli.Cli.cli_trip_count in
+  let tc = cli.Cli.cli_trip_count in
+  let ph = cli.Cli.cli_preheader in
+  ph.b_term <- No_term;
+  Builder.set_insertion_point builder ph;
+  let plastiter = Builder.alloca builder ~name:"p.lastiter" I32 in
+  let plower = Builder.alloca builder ~name:"p.lowerbound" ty in
+  let pupper = Builder.alloca builder ~name:"p.upperbound" ty in
+  let pstride = Builder.alloca builder ~name:"p.stride" ty in
+  Builder.store builder (zero ty) ~ptr:plower;
+  let last_iter = Builder.sub builder tc (one ty) in
+  Builder.store builder last_iter ~ptr:pupper;
+  Builder.store builder (one ty) ~ptr:pstride;
+  let chunk_v = match chunk with Some c -> c | None -> zero ty in
+  ignore
+    (Builder.call builder ~ret:Void (Runtime (static_init_name ty))
+       [ plastiter; plower; pupper; pstride; one ty; chunk_v ]);
+  let lb = Builder.load builder ~name:"omp.lb" ty plower in
+  let ub = Builder.load builder ~name:"omp.ub" ty pupper in
+  (* Chunk trip count with unsigned wrap-around: an empty chunk arrives as
+     ub = lb - 1, so ub - lb + 1 wraps to exactly 0. *)
+  let span = Builder.sub builder ub lb in
+  let newtc = Builder.add builder ~name:"omp.chunk.tc" span (one ty) in
+  ph.b_term <- Br cli.Cli.cli_header;
+  (* Swap the trip count the cond block compares against. *)
+  List.iter
+    (map_inst_operands (fun v -> if value_equal v tc then newtc else v))
+    (block_insts cli.Cli.cli_cond);
+  cli.Cli.cli_trip_count <- newtc;
+  (* The body must see lb + iv.  The shifted value is computed at the top of
+     the body entry block; every other body-region use of iv is rewritten. *)
+  let shifted =
+    mk_inst ~name:"omp.shifted.iv" ~ty (Binop (Add, Inst_ref cli.Cli.cli_iv, lb))
+  in
+  shifted.i_parent <- Some cli.Cli.cli_body;
+  cli.Cli.cli_body.b_insts_rev <- cli.Cli.cli_body.b_insts_rev @ [ shifted ];
+  let skeleton b =
+    b == cli.Cli.cli_header || b == cli.Cli.cli_cond || b == cli.Cli.cli_latch
+    || b == cli.Cli.cli_preheader
+  in
+  List.iter
+    (fun b ->
+      if not (skeleton b) then begin
+        List.iter
+          (fun i ->
+            if not (i == shifted) then
+              map_inst_operands
+                (fun v ->
+                  if value_equal v (Inst_ref cli.Cli.cli_iv) then Inst_ref shifted
+                  else v)
+                i)
+          (block_insts b);
+        map_terminator_operands
+          (fun v ->
+            if value_equal v (Inst_ref cli.Cli.cli_iv) then Inst_ref shifted
+            else v)
+          b
+      end)
+    f.f_blocks;
+  (* Exit: release the schedule, then (unless nowait) join the team. *)
+  let exit = cli.Cli.cli_exit in
+  append_inst exit (mk_inst ~ty:Void (Call { callee = Runtime "__kmpc_for_static_fini"; args = [] }));
+  if not nowait then
+    append_inst exit
+      (mk_inst ~ty:Void (Call { callee = Runtime "__kmpc_barrier"; args = [] }));
+  match saved_ip with
+  | Some b -> Builder.set_insertion_point builder b
+  | None -> Builder.clear_insertion_point builder
+
+(* Dynamic/guided worksharing (LLVM's applyDynamicWorkshareLoop): wrap the
+   canonical loop in a dispatch loop that repeatedly grabs [lb, ub] chunks
+   from the runtime queue and runs the skeleton over each chunk. *)
+let dispatch_site_counter = ref 0
+
+let apply_dynamic_workshare builder (cli : Cli.t) ~guided ~chunk ~nowait =
+  (match Cli.verify cli with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("apply_dynamic_workshare: " ^ e));
+  let saved_ip =
+    try Some (Builder.insertion_block builder) with Invalid_argument _ -> None
+  in
+  incr dispatch_site_counter;
+  let site = Const_int (I32, Int64.of_int !dispatch_site_counter) in
+  let f = cli.Cli.cli_func in
+  let ty = value_ty cli.Cli.cli_trip_count in
+  let tc = cli.Cli.cli_trip_count in
+  let init_name, next_name =
+    if ty = I64 then ("__kmpc_dispatch_init_8u", "__kmpc_dispatch_next_8u")
+    else ("__kmpc_dispatch_init_4u", "__kmpc_dispatch_next_4u")
+  in
+  (* Preheader: allocas + dispatch_init, then enter the dispatch loop. *)
+  let ph = cli.Cli.cli_preheader in
+  ph.b_term <- No_term;
+  Builder.set_insertion_point builder ph;
+  let plb = Builder.alloca builder ~name:"p.dispatch.lb" ty in
+  let pub = Builder.alloca builder ~name:"p.dispatch.ub" ty in
+  let chunk_v = match chunk with Some c -> c | None -> one ty in
+  let kind = Const_int (I32, if guided then 3L else 2L) in
+  ignore
+    (Builder.call builder ~ret:Void (Runtime init_name)
+       [ site; tc; chunk_v; kind ]);
+  let dispatch_cond = create_block ~name:"omp_dispatch.cond" f in
+  let dispatch_body = create_block ~name:"omp_dispatch.body" f in
+  ph.b_term <- Br dispatch_cond;
+  Builder.set_insertion_point builder dispatch_cond;
+  let got =
+    Builder.call builder ~ret:I32 (Runtime next_name) [ site; plb; pub ]
+  in
+  let more = Builder.icmp builder Ine got (Const_int (I32, 0L)) in
+  dispatch_cond.b_term <- Cond_br (more, dispatch_body, cli.Cli.cli_after);
+  Builder.set_insertion_point builder dispatch_body;
+  let lb = Builder.load builder ~name:"dispatch.lb" ty plb in
+  let ub = Builder.load builder ~name:"dispatch.ub" ty pub in
+  let chunk_end = Builder.add builder ~name:"dispatch.end" ub (one ty) in
+  dispatch_body.b_term <- Br cli.Cli.cli_header;
+  (* The skeleton now iterates [lb, ub]: the header phi starts at lb (its
+     preheader edge now comes from dispatch_body) and the cond compares
+     against ub + 1. *)
+  (match cli.Cli.cli_iv.i_kind with
+  | Phi { incoming } ->
+    cli.Cli.cli_iv.i_kind <-
+      Phi
+        {
+          incoming =
+            List.map
+              (fun (v, b) -> if b == ph then (lb, dispatch_body) else (v, b))
+              incoming;
+        }
+  | _ -> ());
+  List.iter
+    (map_inst_operands (fun v -> if value_equal v tc then chunk_end else v))
+    (block_insts cli.Cli.cli_cond);
+  cli.Cli.cli_trip_count <- chunk_end;
+  (* The skeleton's exit loops back for the next chunk; the dispatch cond's
+     false edge is the real exit into the after block. *)
+  cli.Cli.cli_exit.b_term <- Br dispatch_cond;
+  if not nowait then
+    append_inst cli.Cli.cli_after
+      (mk_inst ~ty:Void (Call { callee = Runtime "__kmpc_barrier"; args = [] }));
+  Cli.invalidate cli;
+  match saved_ip with
+  | Some b -> Builder.set_insertion_point builder b
+  | None -> Builder.clear_insertion_point builder
+
+let apply_simd (cli : Cli.t) ~simdlen =
+  let latch = cli.Cli.cli_latch in
+  latch.b_loop_md <-
+    { latch.b_loop_md with md_vectorize_width = (match simdlen with Some n -> Some n | None -> Some 0) }
+
+(* ---- parallel regions --------------------------------------------------- *)
+
+let outlined_counter = ref 0
+
+let create_parallel builder m ~name ~num_threads ~if_cond ~captures ~body_gen =
+  List.iter
+    (fun c ->
+      if value_ty c <> Ptr then
+        invalid_arg "create_parallel: captures must be pointers")
+    captures;
+  incr outlined_counter;
+  let fn_name = Printf.sprintf "%s.omp_outlined.%d" name !outlined_counter in
+  let gtid = mk_arg ~name:".global_tid." ~ty:Ptr in
+  let btid = mk_arg ~name:".bound_tid." ~ty:Ptr in
+  let ctx_arg = mk_arg ~name:".context." ~ty:Ptr in
+  let outlined =
+    define_function m ~name:fn_name ~ret:Void ~args:[ gtid; btid; ctx_arg ]
+  in
+  let entry = create_block ~name:"entry" outlined in
+  let parent_block = Builder.insertion_block builder in
+  Builder.set_insertion_point builder entry;
+  let get_capture i =
+    Builder.load builder ~name:(Printf.sprintf "capture.%d" i) Ptr
+      (Builder.gep builder ~elt_ty:Ptr (Arg ctx_arg) (i64_const i))
+  in
+  body_gen builder ~get_capture;
+  Builder.ret builder None;
+  (* Back in the caller: build the capture context and fork. *)
+  Builder.set_insertion_point builder parent_block;
+  let ctx =
+    Builder.alloca builder ~name:"omp.context"
+      ~count:(max 1 (List.length captures))
+      Ptr
+  in
+  List.iteri
+    (fun i c ->
+      Builder.store builder c
+        ~ptr:(Builder.gep builder ~elt_ty:Ptr ctx (i64_const i)))
+    captures;
+  (match num_threads with
+  | Some n ->
+    ignore
+      (Builder.call builder ~ret:Void (Runtime "__kmpc_push_num_threads") [ n ])
+  | None -> ());
+  match if_cond with
+  | None ->
+    ignore
+      (Builder.call builder ~ret:Void (Runtime "__kmpc_fork_call")
+         [ Fn_addr outlined; ctx ])
+  | Some c ->
+    (* if(0): run the region sequentially on the encountering thread. *)
+    let f = func_of_block parent_block in
+    let then_b = create_block ~name:"omp_if.then" f in
+    let else_b = create_block ~name:"omp_if.else" f in
+    let cont_b = create_block ~name:"omp_if.end" f in
+    Builder.cond_br builder c then_b else_b;
+    Builder.set_insertion_point builder then_b;
+    ignore
+      (Builder.call builder ~ret:Void (Runtime "__kmpc_fork_call")
+         [ Fn_addr outlined; ctx ]);
+    Builder.br builder cont_b;
+    Builder.set_insertion_point builder else_b;
+    ignore
+      (Builder.call builder ~ret:Void (Runtime "__kmpc_serialized_parallel")
+         [ Fn_addr outlined; ctx ]);
+    Builder.br builder cont_b;
+    Builder.set_insertion_point builder cont_b
+
+let create_barrier builder =
+  ignore (Builder.call builder ~ret:Void (Runtime "__kmpc_barrier") [])
+
+let guarded_region builder ~cond_gen ~body_gen ~after_gen =
+  let current = Builder.insertion_block builder in
+  let f = func_of_block current in
+  let then_b = create_block ~name:"omp_region.then" f in
+  let cont_b = create_block ~name:"omp_region.end" f in
+  let c = cond_gen () in
+  Builder.cond_br builder c then_b cont_b;
+  Builder.set_insertion_point builder then_b;
+  body_gen builder;
+  Builder.br builder cont_b;
+  Builder.set_insertion_point builder cont_b;
+  after_gen ()
+
+let create_master builder ~body_gen =
+  guarded_region builder
+    ~cond_gen:(fun () ->
+      let tid =
+        Builder.call builder ~ret:I32 (Runtime "omp_get_thread_num") []
+      in
+      Builder.icmp builder Ieq tid (i32_const 0))
+    ~body_gen
+    ~after_gen:(fun () -> ())
+
+let create_single builder ~nowait ~body_gen =
+  guarded_region builder
+    ~cond_gen:(fun () ->
+      let got =
+        Builder.call builder ~ret:I32 (Runtime "__kmpc_single") []
+      in
+      Builder.icmp builder Ine got (i32_const 0))
+    ~body_gen:(fun b ->
+      body_gen b;
+      ignore (Builder.call b ~ret:Void (Runtime "__kmpc_end_single") []))
+    ~after_gen:(fun () -> if not nowait then create_barrier builder)
+
+(* ---- OpenMP 6.0 preview transformations --------------------------------- *)
+
+(* Reverse: iterations run in the opposite order.  The logical space stays
+   0..tc; body-region uses of the induction variable are rewritten to
+   (tc - 1) - iv, computed at the top of the body entry block. *)
+let reverse_loop _builder (cli : Cli.t) =
+  (match Cli.verify cli with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("reverse_loop: " ^ e));
+  let f = cli.Cli.cli_func in
+  let ty = value_ty cli.Cli.cli_trip_count in
+  let last =
+    mk_inst ~name:"rev.last" ~ty
+      (Binop (Sub, cli.Cli.cli_trip_count, one ty))
+  in
+  let reversed =
+    mk_inst ~name:"rev.iv" ~ty
+      (Binop (Sub, Inst_ref last, Inst_ref cli.Cli.cli_iv))
+  in
+  (* Prepend to the body entry so the values dominate the body region. *)
+  reversed.i_parent <- Some cli.Cli.cli_body;
+  last.i_parent <- Some cli.Cli.cli_body;
+  cli.Cli.cli_body.b_insts_rev <-
+    cli.Cli.cli_body.b_insts_rev @ [ reversed; last ];
+  let skeleton b =
+    b == cli.Cli.cli_header || b == cli.Cli.cli_cond || b == cli.Cli.cli_latch
+    || b == cli.Cli.cli_preheader
+  in
+  List.iter
+    (fun b ->
+      if not (skeleton b) then begin
+        List.iter
+          (fun i ->
+            if not (i == reversed || i == last) then
+              map_inst_operands
+                (fun v ->
+                  if value_equal v (Inst_ref cli.Cli.cli_iv) then
+                    Inst_ref reversed
+                  else v)
+                i)
+          (block_insts b);
+        map_terminator_operands
+          (fun v ->
+            if value_equal v (Inst_ref cli.Cli.cli_iv) then Inst_ref reversed
+            else v)
+          b
+      end)
+    f.f_blocks;
+  cli
+
+(* Interchange: permute a perfectly nested canonical nest.  [perm] gives,
+   for each depth of the NEW nest (outermost first), the index of the
+   original loop that runs there.  Same surgery as tileLoops without the
+   floor/tile split: fresh skeletons in permuted order, the preserved body
+   chain spliced inside the innermost one. *)
+let interchange_loops builder loops ~perm =
+  check_nest "interchange_loops" loops;
+  let n = List.length loops in
+  if List.sort compare perm <> List.init n Fun.id then
+    invalid_arg "interchange_loops: perm must be a permutation of 0..n-1";
+  let outer = List.hd loops and inner = last loops in
+  let f = outer.Cli.cli_func in
+  let ph = outer.Cli.cli_preheader in
+  ph.b_term <- No_term;
+  Builder.set_insertion_point builder ph;
+  let fresh =
+    List.mapi
+      (fun j k ->
+        let original = List.nth loops k in
+        create_loop_skeleton builder ~func:f
+          ~name:(Printf.sprintf "interchange.%d" j)
+          ~trip_count:original.Cli.cli_trip_count)
+      perm
+  in
+  ph.b_term <- Br (List.hd fresh).Cli.cli_preheader;
+  wire_nest fresh;
+  (* Replace each original induction variable with the fresh loop that now
+     drives it. *)
+  List.iteri
+    (fun j k ->
+      let original = List.nth loops k in
+      let replacement = List.nth fresh j in
+      replace_uses_in_func f
+        ~from:(Inst_ref original.Cli.cli_iv)
+        ~into:(Inst_ref replacement.Cli.cli_iv))
+    perm;
+  let fin = last fresh in
+  fin.Cli.cli_body.b_term <- Br outer.Cli.cli_body;
+  splice_old_bodies f loops;
+  List.iter
+    (fun b -> replace_successor b ~from:inner.Cli.cli_latch ~into:fin.Cli.cli_latch)
+    f.f_blocks;
+  (List.hd fresh).Cli.cli_after.b_term <- Br outer.Cli.cli_after;
+  remove_blocks f (discarded_blocks loops);
+  List.iter Cli.invalidate loops;
+  Builder.set_insertion_point builder outer.Cli.cli_after;
+  fresh

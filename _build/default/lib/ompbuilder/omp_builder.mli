@@ -1,0 +1,109 @@
+(** The OpenMPIRBuilder (paper §1.3/§3.2): base-language-independent OpenMP
+    lowering shared by any front-end.
+
+    [create_canonical_loop] materialises the Fig. 10 loop skeleton and
+    returns a {!Cli.t} handle; the loop-transformation entry points
+    ([tile_loops], [unroll_loop_*], [collapse_loops]) and the worksharing /
+    parallel-region entry points consume and produce such handles, exactly
+    like their LLVM namesakes ([createCanonicalLoop], [tileLoops],
+    [unrollLoop*], [collapseLoops], [applyStaticWorkshareLoop],
+    [createParallel]).
+
+    Deviations from LLVM, per DESIGN.md: [create_parallel] generates the
+    region directly into a fresh outlined function via a callback instead of
+    extracting IR post hoc; the observable structure (outlined function +
+    [__kmpc_fork_call] with a capture context) is the same. *)
+
+open Mc_ir
+
+val create_loop_skeleton :
+  Builder.t -> func:Ir.func -> name:string -> trip_count:Ir.value -> Cli.t
+(** Low-level: a fresh, internally wired skeleton.  The preheader has no
+    predecessor yet and the after block no terminator; callers wire both.
+    The body block branches straight to the latch. *)
+
+val create_canonical_loop :
+  Builder.t ->
+  ?name:string ->
+  trip_count:Ir.value ->
+  body_gen:(Builder.t -> Ir.value -> unit) ->
+  unit ->
+  Cli.t
+(** Splits emission at the builder's insertion point: the current block
+    branches to the new preheader, [body_gen] receives the builder
+    positioned in the body block together with the logical induction
+    variable, and on return the builder is positioned in the after block. *)
+
+val tile_loops : Builder.t -> Cli.t list -> sizes:Ir.value list -> Cli.t list
+(** Tiles a perfectly nested loop nest (outermost first).  Returns the [2n]
+    generated loops: [n] floor loops followed by [n] tile loops.  The input
+    handles are invalidated.  Requires every trip count and size value to
+    dominate the outermost preheader. *)
+
+val collapse_loops : Builder.t -> Cli.t list -> Cli.t
+(** Fuses a perfectly nested nest into one loop whose trip count is the
+    product; input handles are invalidated. *)
+
+val unroll_loop_full : Builder.t -> Cli.t -> unit
+(** Tags the loop with [llvm.loop.unroll.full] metadata for the mid-end
+    LoopUnroll pass (paper §2.2: no duplication before the mid-end). *)
+
+val unroll_loop_heuristic : Builder.t -> Cli.t -> unit
+(** Tags with [llvm.loop.unroll.enable]; the mid-end chooses the factor. *)
+
+val unroll_loop_partial : Builder.t -> Cli.t -> factor:int -> Cli.t
+(** Partial unrolling as tile-then-fully-unroll-inner (paper §1.1): tiles by
+    [factor], tags the inner tile loop for unrolling, and returns the floor
+    loop as the generated loop that further directives may consume. *)
+
+val apply_static_workshare :
+  Builder.t -> Cli.t -> chunk:Ir.value option -> nowait:bool -> unit
+(** [createWorkshareLoop]: distributes iterations across the team with the
+    static schedule via [__kmpc_for_static_init]; the loop then runs only
+    this thread's chunk.  Adds [__kmpc_for_static_fini] and, unless
+    [nowait], a barrier on exit. *)
+
+val apply_dynamic_workshare :
+  Builder.t -> Cli.t -> guided:bool -> chunk:Ir.value option -> nowait:bool ->
+  unit
+(** [applyDynamicWorkshareLoop]: wraps the canonical loop in a dispatch
+    loop pulling [lb, ub] chunks from the runtime queue
+    ([__kmpc_dispatch_init]/[__kmpc_dispatch_next]).  The handle is
+    invalidated (the skeleton no longer satisfies its invariants: its exit
+    loops back to the dispatcher). *)
+
+val apply_simd : Cli.t -> simdlen:int option -> unit
+(** Tags the loop with vectorisation metadata. *)
+
+val create_parallel :
+  Builder.t ->
+  Ir.modul ->
+  name:string ->
+  num_threads:Ir.value option ->
+  if_cond:Ir.value option ->
+  captures:Ir.value list ->
+  body_gen:(Builder.t -> get_capture:(int -> Ir.value) -> unit) ->
+  unit
+(** Emits an outlined function and a [__kmpc_fork_call].  [captures] must be
+    pointer-typed; inside the region [get_capture i] yields the i-th one. *)
+
+val create_barrier : Builder.t -> unit
+
+val create_master : Builder.t -> body_gen:(Builder.t -> unit) -> unit
+(** Guards the region so only thread 0 of the team executes it. *)
+
+val create_single : Builder.t -> nowait:bool -> body_gen:(Builder.t -> unit) -> unit
+(** First thread to arrive executes; others skip; barrier unless [nowait]. *)
+
+(* ---- OpenMP 6.0 preview transformations (the paper's "additional loop
+   transformations" outlook) ---------------------------------------------- *)
+
+val reverse_loop : Builder.t -> Cli.t -> Cli.t
+(** Runs the iterations in the opposite order; returns the same handle
+    (the skeleton is unchanged, only the body's view of the induction
+    variable is rewritten). *)
+
+val interchange_loops : Builder.t -> Cli.t list -> perm:int list -> Cli.t list
+(** Permutes a perfectly nested nest.  [perm] lists, outermost first, the
+    0-based index of the original loop to run at each depth.  Inputs are
+    invalidated; the fresh nest is returned outermost first. *)

@@ -1,0 +1,1 @@
+lib/omprt/schedule.ml: Int64 List

@@ -1,0 +1,88 @@
+type chunk = { lb : int64; ub : int64 }
+
+let static_unchunked ~trip_count ~num_threads ~tid =
+  let nth = Int64.of_int num_threads in
+  let tid64 = Int64.of_int tid in
+  if Int64.compare trip_count 0L <= 0 then { lb = 0L; ub = -1L }
+  else begin
+    (* libomp's static division: small = trip/nth, extras = trip mod nth;
+       the first [extras] threads take [small+1] iterations. *)
+    let small = Int64.unsigned_div trip_count nth in
+    let extras = Int64.unsigned_rem trip_count nth in
+    let big = Int64.add small 1L in
+    if Int64.compare tid64 extras < 0 then begin
+      let lb = Int64.mul tid64 big in
+      { lb; ub = Int64.add lb small }
+    end
+    else begin
+      let lb = Int64.add (Int64.mul extras big) (Int64.mul (Int64.sub tid64 extras) small) in
+      { lb; ub = Int64.add lb (Int64.sub small 1L) }
+    end
+  end
+
+let static_chunked ~trip_count ~num_threads ~tid ~chunk_size =
+  let cs = if Int64.compare chunk_size 1L < 0 then 1L else chunk_size in
+  let lb = Int64.mul (Int64.of_int tid) cs in
+  let ub = Int64.add lb (Int64.sub cs 1L) in
+  let ub = if Int64.compare ub trip_count >= 0 then Int64.sub trip_count 1L else ub in
+  let stride = Int64.mul (Int64.of_int num_threads) cs in
+  ((lb, ub), stride)
+
+type flavour = Fixed | Guided of { chunk_min : int64; num_threads : int }
+
+type dynamic_state = {
+  mutable next : int64;
+  trip_count : int64;
+  chunk_size : int64;
+  flavour : flavour;
+}
+
+let dynamic_create ~trip_count ~chunk_size =
+  let chunk_size = if Int64.compare chunk_size 1L < 0 then 1L else chunk_size in
+  { next = 0L; trip_count; chunk_size; flavour = Fixed }
+
+let guided_create ~trip_count ~chunk_min ~num_threads =
+  let chunk_min = if Int64.compare chunk_min 1L < 0 then 1L else chunk_min in
+  {
+    next = 0L;
+    trip_count;
+    chunk_size = chunk_min;
+    flavour = Guided { chunk_min; num_threads = max 1 num_threads };
+  }
+
+let dynamic_next st =
+  if Int64.compare st.next st.trip_count >= 0 then None
+  else begin
+    let remaining = Int64.sub st.trip_count st.next in
+    let this_chunk =
+      match st.flavour with
+      | Fixed -> st.chunk_size
+      | Guided { chunk_min; num_threads } ->
+        let proportional =
+          Int64.div remaining (Int64.of_int (2 * num_threads))
+        in
+        if Int64.compare proportional chunk_min < 0 then chunk_min
+        else proportional
+    in
+    let lb = st.next in
+    let ub =
+      let candidate = Int64.add lb (Int64.sub this_chunk 1L) in
+      if Int64.compare candidate st.trip_count >= 0 then
+        Int64.sub st.trip_count 1L
+      else candidate
+    in
+    st.next <- Int64.add ub 1L;
+    Some { lb; ub }
+  end
+
+let coverage chunks ~trip_count =
+  let nonempty = List.filter (fun (lb, ub) -> Int64.compare lb ub <= 0) chunks in
+  let sorted = List.sort (fun (a, _) (b, _) -> Int64.compare a b) nonempty in
+  let rec go expected = function
+    | [] -> Int64.equal expected trip_count
+    | (lb, ub) :: rest ->
+      Int64.equal lb expected
+      && Int64.compare ub lb >= 0
+      && go (Int64.add ub 1L) rest
+  in
+  go 0L sorted

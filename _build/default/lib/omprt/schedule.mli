@@ -1,0 +1,36 @@
+(** Worksharing schedule arithmetic of the simulated OpenMP runtime (libomp
+    analogue).  Pure functions so they can be property-tested: the
+    invariants are that chunks partition the iteration space exactly and
+    never overlap. *)
+
+type chunk = { lb : int64; ub : int64 }
+(** Inclusive logical-iteration bounds; empty iff [ub < lb] (encoded as
+    [ub = lb - 1]). *)
+
+val static_unchunked : trip_count:int64 -> num_threads:int -> tid:int -> chunk
+(** The [schedule(static)] division used by [__kmpc_for_static_init]:
+    near-equal blocks, earlier threads get the larger ones. *)
+
+val static_chunked :
+  trip_count:int64 -> num_threads:int -> tid:int -> chunk_size:int64 ->
+  (int64 * int64) * int64
+(** [((lb, ub), stride)] of the thread's *first* chunk plus the stride to
+    its next chunk, as the chunked static schedule hands out round-robin
+    blocks. *)
+
+type dynamic_state
+
+val dynamic_create : trip_count:int64 -> chunk_size:int64 -> dynamic_state
+
+val guided_create :
+  trip_count:int64 -> chunk_min:int64 -> num_threads:int -> dynamic_state
+(** The guided schedule: successive chunks shrink proportionally to the
+    remaining iterations (libomp's remaining/(2*nthreads) rule), never
+    below [chunk_min]. *)
+
+val dynamic_next : dynamic_state -> chunk option
+(** Grabs the next chunk from the shared queue; [None] when exhausted. *)
+
+val coverage : (int64 * int64) list -> trip_count:int64 -> bool
+(** Test helper: do the chunks exactly cover [0, trip_count) without
+    overlap? *)

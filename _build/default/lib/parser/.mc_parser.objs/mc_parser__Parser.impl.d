@@ -1,0 +1,1 @@
+lib/parser/parser.ml: List Mc_ast Mc_diag Mc_lexer Mc_pp Mc_sema Mc_srcmgr Option Printf

@@ -1,0 +1,1 @@
+lib/parser/parser.mli: Mc_ast Mc_pp Mc_sema

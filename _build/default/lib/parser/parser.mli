@@ -1,0 +1,13 @@
+(** The parser layer (Fig. 1).  As in Clang, the parser steers the front
+    end: it pulls preprocessed tokens and pushes every recognised construct
+    to Sema ([Mc_sema.Sema] / [Mc_sema.Omp_sema]) to create the AST nodes,
+    so all type checking and OpenMP analysis happens during the parse.
+
+    [#pragma omp]/[#pragma clang loop] items produced by the preprocessor
+    are parsed in statement position: the directive's clauses come from the
+    pragma's token stream, its associated statement from the main stream
+    (which may itself start with another pragma — that is what makes
+    transformation directives composable, §1.1). *)
+
+val parse_translation_unit :
+  Mc_sema.Sema.t -> Mc_pp.Preprocessor.item list -> Mc_ast.Tree.translation_unit

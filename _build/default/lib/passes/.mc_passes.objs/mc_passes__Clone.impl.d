@@ -1,0 +1,1 @@
+lib/passes/clone.ml: Hashtbl List Mc_ir Option

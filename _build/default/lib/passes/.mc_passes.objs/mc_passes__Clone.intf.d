@@ -1,0 +1,1 @@
+lib/passes/clone.mli: Ir Mc_ir

@@ -1,0 +1,1 @@
+lib/passes/const_prop.ml: Hashtbl Int64 List Mc_ir Option

@@ -1,0 +1,1 @@
+lib/passes/dce.ml: Hashtbl List Mc_ir Queue

@@ -1,0 +1,1 @@
+lib/passes/dominators.ml: Hashtbl List Mc_ir Option

@@ -1,0 +1,1 @@
+lib/passes/dominators.mli: Ir Mc_ir

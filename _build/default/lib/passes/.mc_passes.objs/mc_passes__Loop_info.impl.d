@@ -1,0 +1,1 @@
+lib/passes/loop_info.ml: Dominators Hashtbl List Mc_ir Option

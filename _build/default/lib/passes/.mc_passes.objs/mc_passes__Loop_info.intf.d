@@ -1,0 +1,1 @@
+lib/passes/loop_info.mli: Dominators Ir Mc_ir

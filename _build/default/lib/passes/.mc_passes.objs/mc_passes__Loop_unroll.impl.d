@@ -1,0 +1,1 @@
+lib/passes/loop_unroll.ml: Clone Dominators Hashtbl Int64 List Loop_info Mc_ir Option Printf Trip_count

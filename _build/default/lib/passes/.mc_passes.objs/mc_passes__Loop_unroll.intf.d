@@ -1,0 +1,1 @@
+lib/passes/loop_unroll.mli: Mc_ir

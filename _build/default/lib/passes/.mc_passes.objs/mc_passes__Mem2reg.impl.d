@@ -1,0 +1,1 @@
+lib/passes/mem2reg.ml: Dominators Hashtbl List Mc_ir Queue

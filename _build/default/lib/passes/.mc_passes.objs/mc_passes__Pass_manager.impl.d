@@ -1,0 +1,1 @@
+lib/passes/pass_manager.ml: Const_prop Dce List Loop_unroll Mc_ir Mem2reg Printf Simplify_cfg

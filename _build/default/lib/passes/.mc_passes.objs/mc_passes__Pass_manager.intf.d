@@ -1,0 +1,1 @@
+lib/passes/pass_manager.mli: Loop_unroll Mc_ir

@@ -1,0 +1,1 @@
+lib/passes/simplify_cfg.ml: Hashtbl List Mc_ir

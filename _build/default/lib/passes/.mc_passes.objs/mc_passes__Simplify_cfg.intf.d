@@ -1,0 +1,1 @@
+lib/passes/simplify_cfg.mli: Mc_ir

@@ -1,0 +1,1 @@
+lib/passes/trip_count.ml: Int64 List Loop_info Mc_ir Mc_support

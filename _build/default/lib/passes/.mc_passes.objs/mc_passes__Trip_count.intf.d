@@ -1,0 +1,1 @@
+lib/passes/trip_count.mli: Ir Loop_info Mc_ir

@@ -1,0 +1,116 @@
+open Mc_ir.Ir
+module Builder = Mc_ir.Builder
+
+let fold_inst i =
+  match i.i_kind with
+  | Binop (op, Const_int (ty, a), Const_int (_, b)) ->
+    Option.map (fun v -> Const_int (ty, v)) (Builder.fold_int_binop_const op ty a b)
+  | Binop (op, Const_float (ty, a), Const_float (_, b)) ->
+    Option.map (fun v -> Const_float (ty, v)) (Builder.fold_float_binop_const op a b)
+  | Icmp (op, Const_int (ty, a), Const_int (_, b)) ->
+    Some (bool_const (Builder.eval_icmp_const op ty a b))
+  | Fcmp (op, Const_float (_, a), Const_float (_, b)) ->
+    Some (bool_const (Builder.eval_fcmp_const op a b))
+  | Cast (op, (Const_int _ | Const_float _ as v)) ->
+    Builder.fold_cast_const op v i.i_ty
+  | Select (Const_int (I1, c), a, b) -> Some (if Int64.equal c 1L then a else b)
+  (* (zext i1 x) != 0  ==>  x   — re-exposes boolean conditions. *)
+  | Icmp (Ine, Inst_ref { i_kind = Cast (Zext, v); _ }, Const_int (_, 0L))
+    when value_ty v = I1 ->
+    Some v
+  | Icmp (Ieq, Inst_ref { i_kind = Cast (Zext, v); _ }, Const_int (_, 0L))
+    when value_ty v = I1 -> (
+    match v with
+    | Const_int (I1, b) -> Some (bool_const (Int64.equal b 0L))
+    | _ -> None)
+  | Phi { incoming = [ (v, _) ] } -> Some v (* single-predecessor phi *)
+  | Phi { incoming = (v, _) :: rest }
+    when List.for_all (fun (w, _) -> value_equal v w) rest ->
+    Some v
+  | _ -> None
+
+let remove_phi_edge target ~pred =
+  List.iter
+    (fun phi ->
+      match phi.i_kind with
+      | Phi { incoming } ->
+        phi.i_kind <-
+          Phi { incoming = List.filter (fun (_, b) -> not (b == pred)) incoming }
+      | _ -> ())
+    (block_phis target)
+
+let run_func f =
+  if f.f_is_decl then false
+  else begin
+    let changed_ever = ref false in
+    let continue_ = ref true in
+    while !continue_ do
+      continue_ := false;
+      (* Fold instructions. *)
+      let replacement = Hashtbl.create 16 in
+      List.iter
+        (fun b ->
+          List.iter
+            (fun i ->
+              match fold_inst i with
+              | Some v -> Hashtbl.replace replacement i.i_id v
+              | None -> ())
+            (block_insts b))
+        f.f_blocks;
+      if Hashtbl.length replacement > 0 then begin
+        continue_ := true;
+        changed_ever := true;
+        let rec resolve v =
+          match v with
+          | Inst_ref i when Hashtbl.mem replacement i.i_id ->
+            resolve (Hashtbl.find replacement i.i_id)
+          | _ -> v
+        in
+        List.iter
+          (fun b ->
+            List.iter
+              (fun i ->
+                if not (Hashtbl.mem replacement i.i_id) then
+                  match i.i_kind with
+                  | Phi { incoming } ->
+                    i.i_kind <-
+                      Phi
+                        {
+                          incoming =
+                            List.map (fun (v, ib) -> (resolve v, ib)) incoming;
+                        }
+                  | _ -> map_inst_operands resolve i)
+              (block_insts b);
+            map_terminator_operands resolve b;
+            set_block_insts b
+              (List.filter
+                 (fun i -> not (Hashtbl.mem replacement i.i_id))
+                 (block_insts b)))
+          f.f_blocks
+      end;
+      (* Fold constant conditional branches, dropping the dead edge from the
+         target's phis. *)
+      List.iter
+        (fun b ->
+          match b.b_term with
+          | Cond_br (Const_int (I1, c), t, e) ->
+            let taken, dropped = if Int64.equal c 1L then (t, e) else (e, t) in
+            b.b_term <- Br taken;
+            if not (dropped == taken) then remove_phi_edge dropped ~pred:b;
+            continue_ := true;
+            changed_ever := true
+          | Cond_br (_, t, e) when t == e ->
+            b.b_term <- Br t;
+            continue_ := true;
+            changed_ever := true
+          | _ -> ())
+        f.f_blocks
+    done;
+    !changed_ever
+  end
+
+let run m =
+  List.fold_left
+    (fun acc f -> run_func f || acc)
+    false
+    (List.filter (fun f -> not f.f_is_decl) m.m_funcs)

@@ -1,0 +1,5 @@
+(** Dead code elimination: removes side-effect-free instructions whose
+    results are never used, transitively. *)
+
+val run_func : Mc_ir.Ir.func -> bool
+val run : Mc_ir.Ir.modul -> bool

@@ -1,0 +1,128 @@
+open Mc_ir.Ir
+
+type t = {
+  func : func;
+  rpo : block list;
+  rpo_index : (int, int) Hashtbl.t; (* block id -> RPO position *)
+  idoms : (int, block) Hashtbl.t; (* block id -> immediate dominator *)
+  frontiers : (int, block list) Hashtbl.t;
+  kids : (int, block list) Hashtbl.t;
+}
+
+let reverse_postorder_of func =
+  let visited = Hashtbl.create 32 in
+  let order = ref [] in
+  let rec dfs b =
+    if not (Hashtbl.mem visited b.b_id) then begin
+      Hashtbl.add visited b.b_id ();
+      List.iter dfs (successors b);
+      order := b :: !order
+    end
+  in
+  dfs (entry_block func);
+  !order
+
+let compute func =
+  let rpo = reverse_postorder_of func in
+  let rpo_index = Hashtbl.create 32 in
+  List.iteri (fun i b -> Hashtbl.replace rpo_index b.b_id i) rpo;
+  let idoms = Hashtbl.create 32 in
+  let entry = entry_block func in
+  Hashtbl.replace idoms entry.b_id entry;
+  (* Cooper-Harvey-Kennedy fixed point over RPO. *)
+  let intersect b1 b2 =
+    let rec walk f1 f2 =
+      if f1 == f2 then f1
+      else begin
+        let i1 = Hashtbl.find rpo_index f1.b_id in
+        let i2 = Hashtbl.find rpo_index f2.b_id in
+        if i1 > i2 then walk (Hashtbl.find idoms f1.b_id) f2
+        else walk f1 (Hashtbl.find idoms f2.b_id)
+      end
+    in
+    walk b1 b2
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if not (b == entry) then begin
+          let preds =
+            List.filter
+              (fun p ->
+                Hashtbl.mem rpo_index p.b_id && Hashtbl.mem idoms p.b_id)
+              (predecessors func b)
+          in
+          match preds with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            (match Hashtbl.find_opt idoms b.b_id with
+            | Some old when old == new_idom -> ()
+            | _ ->
+              Hashtbl.replace idoms b.b_id new_idom;
+              changed := true)
+        end)
+      rpo
+  done;
+  (* Dominance frontiers (per CHK). *)
+  let frontiers = Hashtbl.create 32 in
+  List.iter (fun b -> Hashtbl.replace frontiers b.b_id []) rpo;
+  List.iter
+    (fun b ->
+      let preds =
+        List.filter (fun p -> Hashtbl.mem idoms p.b_id) (predecessors func b)
+      in
+      if List.length preds >= 2 then
+        List.iter
+          (fun p ->
+            let rec up runner =
+              if not (runner == Hashtbl.find idoms b.b_id) then begin
+                let fs = Hashtbl.find frontiers runner.b_id in
+                if not (List.exists (fun x -> x == b) fs) then
+                  Hashtbl.replace frontiers runner.b_id (b :: fs);
+                up (Hashtbl.find idoms runner.b_id)
+              end
+            in
+            up p)
+          preds)
+    rpo;
+  let kids = Hashtbl.create 32 in
+  List.iter
+    (fun b ->
+      if not (b == entry) then begin
+        match Hashtbl.find_opt idoms b.b_id with
+        | Some parent ->
+          let existing =
+            Option.value (Hashtbl.find_opt kids parent.b_id) ~default:[]
+          in
+          Hashtbl.replace kids parent.b_id (b :: existing)
+        | None -> ()
+      end)
+    rpo;
+  { func; rpo; rpo_index; idoms; frontiers; kids }
+
+let reverse_postorder t = t.rpo
+let is_reachable t b = Hashtbl.mem t.rpo_index b.b_id
+
+let idom t b =
+  if b == entry_block t.func then None
+  else Hashtbl.find_opt t.idoms b.b_id
+
+let dominates t a b =
+  if not (is_reachable t b) then false
+  else begin
+    let rec up x = if x == a then true else match idom t x with
+      | None -> false
+      | Some parent -> up parent
+    in
+    up b
+  end
+
+let strictly_dominates t a b = (not (a == b)) && dominates t a b
+
+let dominance_frontier t b =
+  Option.value (Hashtbl.find_opt t.frontiers b.b_id) ~default:[]
+
+let children t b = Option.value (Hashtbl.find_opt t.kids b.b_id) ~default:[]

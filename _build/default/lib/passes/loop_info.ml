@@ -1,0 +1,77 @@
+open Mc_ir.Ir
+
+type loop = {
+  header : block;
+  latches : block list;
+  blocks : block list;
+  preheader : block option;
+  exits : block list;
+}
+
+let loop_contains loop b = List.exists (fun x -> x == b) loop.blocks
+
+let single_latch loop =
+  match loop.latches with [ l ] -> Some l | _ -> None
+
+let find_loops dom func =
+  (* Group back edges by header. *)
+  let back_edges = Hashtbl.create 8 in
+  let headers = ref [] in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun succ ->
+          if Dominators.dominates dom succ b then begin
+            if not (Hashtbl.mem back_edges succ.b_id) then
+              headers := succ :: !headers;
+            Hashtbl.replace back_edges succ.b_id
+              (b :: Option.value (Hashtbl.find_opt back_edges succ.b_id) ~default:[])
+          end)
+        (successors b))
+    (Dominators.reverse_postorder dom);
+  let build header =
+    let latches = Hashtbl.find back_edges header.b_id in
+    (* Body: reverse reachability from the latches, stopping at the header. *)
+    let in_loop = Hashtbl.create 16 in
+    Hashtbl.replace in_loop header.b_id header;
+    let rec pull b =
+      if not (Hashtbl.mem in_loop b.b_id) then begin
+        Hashtbl.replace in_loop b.b_id b;
+        List.iter pull (predecessors func b)
+      end
+    in
+    List.iter pull latches;
+    let blocks =
+      header
+      :: List.filter
+           (fun b -> (not (b == header)) && Hashtbl.mem in_loop b.b_id)
+           (Dominators.reverse_postorder dom)
+    in
+    let outside_preds =
+      List.filter
+        (fun p -> not (Hashtbl.mem in_loop p.b_id))
+        (predecessors func header)
+    in
+    let preheader = match outside_preds with [ p ] -> Some p | _ -> None in
+    let exits =
+      List.sort_uniq
+        (fun a b -> compare a.b_id b.b_id)
+        (List.concat_map
+           (fun b ->
+             List.filter (fun s -> not (Hashtbl.mem in_loop s.b_id)) (successors b))
+           blocks)
+    in
+    { header; latches; blocks; preheader; exits }
+  in
+  let loops = List.map build (List.rev !headers) in
+  (* Outermost-first: more blocks first among nested loops. *)
+  List.sort (fun a b -> compare (List.length b.blocks) (List.length a.blocks)) loops
+
+let loop_with_unroll_request dom func =
+  List.filter_map
+    (fun loop ->
+      let md =
+        List.find_map (fun l -> l.b_loop_md.md_unroll) loop.latches
+      in
+      Option.map (fun m -> (loop, m)) md)
+    (find_loops dom func)

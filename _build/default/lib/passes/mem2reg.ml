@@ -1,0 +1,175 @@
+open Mc_ir.Ir
+
+(* An alloca is promotable when every use is a direct load of the whole
+   scalar or a store *to* it (never of it), and it is a single element. *)
+let promotable_allocas f =
+  let candidates = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          match i.i_kind with
+          | Alloca { elt_ty; count = 1 } when elt_ty <> Void ->
+            Hashtbl.replace candidates i.i_id (i, elt_ty)
+          | _ -> ())
+        (block_insts b))
+    f.f_blocks;
+  let disqualify v =
+    match v with
+    | Inst_ref i -> Hashtbl.remove candidates i.i_id
+    | _ -> ()
+  in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          match i.i_kind with
+          | Load { ptr = Inst_ref a } when Hashtbl.mem candidates a.i_id ->
+            (* A load of the right type keeps the candidate... *)
+            let _, elt_ty = Hashtbl.find candidates a.i_id in
+            if i.i_ty <> elt_ty then Hashtbl.remove candidates a.i_id
+          | Store { ptr = Inst_ref a; v } when Hashtbl.mem candidates a.i_id ->
+            let _, elt_ty = Hashtbl.find candidates a.i_id in
+            if value_ty v <> elt_ty then Hashtbl.remove candidates a.i_id;
+            (* storing the alloca's own address disqualifies *)
+            disqualify v
+          | _ -> List.iter disqualify (inst_operands i))
+        (block_insts b);
+      List.iter disqualify (terminator_operands b.b_term))
+    f.f_blocks;
+  Hashtbl.fold (fun _ (i, ty) acc -> (i, ty) :: acc) candidates []
+
+let run_func f =
+  if f.f_is_decl || f.f_blocks = [] then 0
+  else begin
+    let allocas = promotable_allocas f in
+    if allocas = [] then 0
+    else begin
+      let dom = Dominators.compute f in
+      let alloca_ids = Hashtbl.create 8 in
+      List.iter (fun (a, ty) -> Hashtbl.replace alloca_ids a.i_id ty) allocas;
+      (* 1. Phi placement at the iterated dominance frontier of stores. *)
+      let phi_owner = Hashtbl.create 16 in
+      (* phi inst id -> alloca id *)
+      List.iter
+        (fun (a, elt_ty) ->
+          let def_blocks =
+            List.filter
+              (fun b ->
+                List.exists
+                  (fun i ->
+                    match i.i_kind with
+                    | Store { ptr = Inst_ref p; _ } -> p.i_id = a.i_id
+                    | _ -> false)
+                  (block_insts b))
+              f.f_blocks
+          in
+          let placed = Hashtbl.create 8 in
+          let worklist = Queue.create () in
+          List.iter (fun b -> Queue.add b worklist) def_blocks;
+          while not (Queue.is_empty worklist) do
+            let b = Queue.pop worklist in
+            List.iter
+              (fun frontier_block ->
+                if not (Hashtbl.mem placed frontier_block.b_id) then begin
+                  Hashtbl.add placed frontier_block.b_id ();
+                  let phi =
+                    mk_inst ~name:(a.i_name ^ ".phi") ~ty:elt_ty
+                      (Phi { incoming = [] })
+                  in
+                  phi.i_parent <- Some frontier_block;
+                  (* prepend: phis lead the block *)
+                  set_block_insts frontier_block
+                    (phi :: block_insts frontier_block);
+                  Hashtbl.replace phi_owner phi.i_id a.i_id;
+                  Queue.add frontier_block worklist
+                end)
+              (Dominators.dominance_frontier dom b)
+          done)
+        allocas;
+      (* 2. Renaming along the dominator tree. *)
+      let stacks = Hashtbl.create 8 in
+      (* alloca id -> value list ref *)
+      List.iter (fun (a, _) -> Hashtbl.replace stacks a.i_id (ref [])) allocas;
+      let top a_id ty =
+        match !(Hashtbl.find stacks a_id) with
+        | v :: _ -> v
+        | [] -> Undef ty
+      in
+      let replacement = Hashtbl.create 32 in
+      (* dead load id -> value *)
+      let dead = Hashtbl.create 32 in
+      let rec rename block =
+        let pushed = ref [] in
+        let push a_id v =
+          let st = Hashtbl.find stacks a_id in
+          st := v :: !st;
+          pushed := a_id :: !pushed
+        in
+        List.iter
+          (fun i ->
+            match i.i_kind with
+            | Phi _ when Hashtbl.mem phi_owner i.i_id ->
+              push (Hashtbl.find phi_owner i.i_id) (Inst_ref i)
+            | Load { ptr = Inst_ref a } when Hashtbl.mem alloca_ids a.i_id ->
+              Hashtbl.replace replacement i.i_id
+                (top a.i_id (Hashtbl.find alloca_ids a.i_id));
+              Hashtbl.replace dead i.i_id ()
+            | Store { ptr = Inst_ref a; v } when Hashtbl.mem alloca_ids a.i_id ->
+              push a.i_id v;
+              Hashtbl.replace dead i.i_id ()
+            | Alloca _ when Hashtbl.mem alloca_ids i.i_id ->
+              Hashtbl.replace dead i.i_id ()
+            | _ -> ())
+          (block_insts block);
+        (* Seed successor phis with the current reaching value. *)
+        List.iter
+          (fun succ ->
+            List.iter
+              (fun phi ->
+                match Hashtbl.find_opt phi_owner phi.i_id with
+                | Some a_id -> (
+                  match phi.i_kind with
+                  | Phi p ->
+                    phi.i_kind <-
+                      Phi
+                        {
+                          incoming =
+                            p.incoming
+                            @ [ (top a_id (Hashtbl.find alloca_ids a_id), block) ];
+                        }
+                  | _ -> ())
+                | None -> ())
+              (block_phis succ))
+          (successors block);
+        List.iter rename (Dominators.children dom block);
+        List.iter
+          (fun a_id ->
+            let st = Hashtbl.find stacks a_id in
+            st := List.tl !st)
+          !pushed
+      in
+      rename (entry_block f);
+      (* 3. Apply replacements (chasing chains) and drop dead memory ops. *)
+      let rec resolve v =
+        match v with
+        | Inst_ref i when Hashtbl.mem replacement i.i_id ->
+          resolve (Hashtbl.find replacement i.i_id)
+        | _ -> v
+      in
+      List.iter
+        (fun b ->
+          List.iter (map_inst_operands resolve) (block_insts b);
+          map_terminator_operands resolve b;
+          set_block_insts b
+            (List.filter (fun i -> not (Hashtbl.mem dead i.i_id)) (block_insts b)))
+        f.f_blocks;
+      List.length allocas
+    end
+  end
+
+let run m =
+  List.fold_left
+    (fun acc f -> acc + run_func f)
+    0
+    (List.filter (fun f -> not f.f_is_decl) m.m_funcs)

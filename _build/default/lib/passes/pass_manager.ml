@@ -1,0 +1,58 @@
+type report = {
+  pass_results : (string * bool) list;
+  unroll_stats : Loop_unroll.stats;
+}
+
+let o0 = [ "simplifycfg"; "dce" ]
+
+let o1 =
+  [
+    "simplifycfg";
+    "mem2reg";
+    "constprop";
+    "dce";
+    "loop-unroll";
+    "constprop";
+    "simplifycfg";
+    "dce";
+  ]
+
+let available =
+  [ "simplifycfg"; "mem2reg"; "constprop"; "dce"; "loop-unroll" ]
+
+let run ?(verify_between = false) ~passes m =
+  let unroll_stats = ref Loop_unroll.empty_stats in
+  let results =
+    List.map
+      (fun name ->
+        let changed =
+          match name with
+          | "simplifycfg" -> Simplify_cfg.run m
+          | "mem2reg" -> Mem2reg.run m > 0
+          | "constprop" -> Const_prop.run m
+          | "dce" -> Dce.run m
+          | "loop-unroll" ->
+            let s = Loop_unroll.run m in
+            unroll_stats :=
+              {
+                Loop_unroll.fully_unrolled =
+                  !unroll_stats.Loop_unroll.fully_unrolled + s.Loop_unroll.fully_unrolled;
+                partially_unrolled =
+                  !unroll_stats.Loop_unroll.partially_unrolled
+                  + s.Loop_unroll.partially_unrolled;
+                skipped = !unroll_stats.Loop_unroll.skipped + s.Loop_unroll.skipped;
+              };
+            s.Loop_unroll.fully_unrolled > 0 || s.Loop_unroll.partially_unrolled > 0
+          | other -> invalid_arg (Printf.sprintf "unknown pass '%s'" other)
+        in
+        if verify_between then begin
+          match Mc_ir.Verifier.check m with
+          | Ok () -> ()
+          | Error e ->
+            invalid_arg
+              (Printf.sprintf "IR verification failed after pass '%s':\n%s" name e)
+        end;
+        (name, changed))
+      passes
+  in
+  { pass_results = results; unroll_stats = !unroll_stats }

@@ -1,0 +1,23 @@
+(** Sequencing of mid-end passes, with optional IR verification between
+    passes (the debugging aid every real pass pipeline has). *)
+
+type report = {
+  pass_results : (string * bool) list; (* pass name, changed? *)
+  unroll_stats : Loop_unroll.stats;
+}
+
+val o0 : string list
+(** Cleanup only: ["simplifycfg"; "dce"]. *)
+
+val o1 : string list
+(** The default pipeline the driver runs:
+    simplifycfg → mem2reg → constprop → dce → loop-unroll → constprop →
+    simplifycfg → dce. *)
+
+val available : string list
+
+val run :
+  ?verify_between:bool -> passes:string list -> Mc_ir.Ir.modul -> report
+(** Raises [Invalid_argument] on an unknown pass name or, when
+    [verify_between] is set, on a verifier failure (including the failing
+    pass's name). *)

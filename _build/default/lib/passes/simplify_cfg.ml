@@ -1,0 +1,150 @@
+open Mc_ir.Ir
+
+let remove_unreachable f =
+  let reachable = Hashtbl.create 32 in
+  let rec dfs b =
+    if not (Hashtbl.mem reachable b.b_id) then begin
+      Hashtbl.add reachable b.b_id ();
+      List.iter dfs (successors b)
+    end
+  in
+  dfs (entry_block f);
+  let dead = List.filter (fun b -> not (Hashtbl.mem reachable b.b_id)) f.f_blocks in
+  if dead = [] then false
+  else begin
+    let is_dead b = List.exists (fun d -> d == b) dead in
+    List.iter
+      (fun b ->
+        List.iter
+          (fun phi ->
+            match phi.i_kind with
+            | Phi { incoming } ->
+              phi.i_kind <-
+                Phi
+                  {
+                    incoming =
+                      List.filter (fun (_, ib) -> not (is_dead ib)) incoming;
+                  }
+            | _ -> ())
+          (block_phis b))
+      (List.filter (fun b -> not (is_dead b)) f.f_blocks);
+    remove_blocks f dead;
+    true
+  end
+
+(* Merge [b] with its unique successor [s] when [s] has [b] as its unique
+   predecessor and no phis.  [s]'s loop metadata survives (it may be a loop
+   latch). *)
+let merge_pairs f =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let candidate =
+      List.find_opt
+        (fun b ->
+          match b.b_term with
+          | Br s ->
+            (not (s == b))
+            && (not (s == entry_block f))
+            && (match predecessors f s with [ p ] -> p == b | _ -> false)
+            && block_phis s = []
+          | _ -> false)
+        f.f_blocks
+    in
+    match candidate with
+    | Some b -> (
+      match b.b_term with
+      | Br s ->
+        List.iter (fun i -> append_inst b i) (block_insts s);
+        b.b_term <- s.b_term;
+        b.b_loop_md <-
+          {
+            md_unroll =
+              (match s.b_loop_md.md_unroll with
+              | Some u -> Some u
+              | None -> b.b_loop_md.md_unroll);
+            md_vectorize_width =
+              (match s.b_loop_md.md_vectorize_width with
+              | Some w -> Some w
+              | None -> b.b_loop_md.md_vectorize_width);
+          };
+        (* Phis elsewhere that named [s] as an incoming block now see [b]. *)
+        List.iter
+          (fun blk ->
+            List.iter
+              (fun phi ->
+                match phi.i_kind with
+                | Phi { incoming } ->
+                  phi.i_kind <-
+                    Phi
+                      {
+                        incoming =
+                          List.map
+                            (fun (v, ib) -> if ib == s then (v, b) else (v, ib))
+                            incoming;
+                      }
+                | _ -> ())
+              (block_phis blk))
+          f.f_blocks;
+        remove_blocks f [ s ];
+        changed := true;
+        continue_ := true
+      | _ -> ())
+    | None -> ()
+  done;
+  !changed
+
+(* Forward branches through empty blocks (no instructions, unconditional
+   branch) when the target's phis stay consistent. *)
+let forward_empty f =
+  let changed = ref false in
+  List.iter
+    (fun b ->
+      if (not (b == entry_block f)) && block_insts b = [] then begin
+        match b.b_term with
+        (* Safe when the target has no phis (otherwise incoming edges would
+           need merging, with possible conflicts). *)
+        | Br t when (not (t == b)) && block_phis t = [] ->
+          let preds = predecessors f b in
+          if preds <> [] then begin
+            List.iter (fun p -> replace_successor p ~from:b ~into:t) preds;
+            changed := true
+          end
+        | _ -> ()
+      end)
+    f.f_blocks;
+  !changed
+
+let run_func f =
+  if f.f_is_decl || f.f_blocks = [] then false
+  else begin
+    let changed = ref false in
+    let continue_ = ref true in
+    while !continue_ do
+      continue_ := false;
+      if remove_unreachable f then begin
+        changed := true;
+        continue_ := true
+      end;
+      if forward_empty f then begin
+        changed := true;
+        continue_ := true
+      end;
+      if remove_unreachable f then begin
+        changed := true;
+        continue_ := true
+      end;
+      if merge_pairs f then begin
+        changed := true;
+        continue_ := true
+      end
+    done;
+    !changed
+  end
+
+let run m =
+  List.fold_left
+    (fun acc f -> run_func f || acc)
+    false
+    (List.filter (fun f -> not f.f_is_decl) m.m_funcs)

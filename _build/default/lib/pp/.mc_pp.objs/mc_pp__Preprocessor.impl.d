@@ -1,0 +1,1 @@
+lib/pp/preprocessor.ml: Hashtbl Int64 List Mc_diag Mc_lexer Mc_srcmgr Printf String

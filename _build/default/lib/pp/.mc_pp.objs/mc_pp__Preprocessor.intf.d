@@ -1,0 +1,1 @@
+lib/pp/preprocessor.mli: Mc_diag Mc_lexer Mc_srcmgr

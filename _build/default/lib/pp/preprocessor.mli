@@ -1,0 +1,33 @@
+(** The preprocessor layer (Clang's Preprocessor in Fig. 1 of the paper).
+
+    It drives the lexer, maintains the include stack and macro table,
+    evaluates conditional-compilation directives, and — crucially for this
+    reproduction — recognises [#pragma omp ...] / [#pragma clang loop ...]
+    lines, macro-expands their token stream (as the OpenMP specification
+    requires), and hands them to the parser as first-class {!pragma} items
+    interleaved with ordinary tokens. *)
+
+type pragma = {
+  pragma_loc : Mc_srcmgr.Source_location.t; (* location of the '#' *)
+  pragma_toks : Mc_lexer.Token.t list; (* tokens after '#pragma', expanded *)
+}
+
+type item = Tok of Mc_lexer.Token.t | Prag of pragma
+
+type t
+
+val create :
+  Mc_diag.Diagnostics.t ->
+  Mc_srcmgr.Source_manager.t ->
+  Mc_srcmgr.File_manager.t ->
+  t
+
+val define_object_macro : t -> name:string -> body:string -> unit
+(** Predefine an object-like macro, as a driver [-D] flag would. *)
+
+val preprocess_main : t -> Mc_srcmgr.Memory_buffer.t -> item list
+(** Runs the full preprocessing of a main buffer (registering it with the
+    source manager) and returns the parser-ready stream, [Eof] excluded. *)
+
+val macro_names : t -> string list
+(** Currently defined macro names, for tests. *)

@@ -1,0 +1,1 @@
+lib/sema/canonical.ml: Capture Const_eval Mc_ast Mc_diag Mc_srcmgr Mc_support Option Printf Sema Tree_transform

@@ -1,0 +1,1 @@
+lib/sema/canonical.mli: Mc_ast Sema

@@ -1,0 +1,1 @@
+lib/sema/capture.ml: Hashtbl List Mc_ast Mc_srcmgr

@@ -1,0 +1,1 @@
+lib/sema/capture.mli: Mc_ast

@@ -1,0 +1,1 @@
+lib/sema/const_eval.ml: Int64 Mc_ast Mc_support Option

@@ -1,0 +1,1 @@
+lib/sema/const_eval.mli: Mc_ast

@@ -1,0 +1,1 @@
+lib/sema/omp_sema.ml: Canonical Capture Const_eval Fun List Mc_ast Mc_diag Option Printf Sema Shadow

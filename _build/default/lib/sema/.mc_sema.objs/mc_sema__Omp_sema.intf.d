@@ -1,0 +1,1 @@
+lib/sema/omp_sema.mli: Mc_ast Sema

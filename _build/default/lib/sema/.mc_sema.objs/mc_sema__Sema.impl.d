@@ -1,0 +1,1 @@
+lib/sema/sema.ml: Const_eval Hashtbl Int64 List Mc_ast Mc_diag Mc_srcmgr Mc_support Option Printf String

@@ -1,0 +1,1 @@
+lib/sema/sema.mli: Mc_ast Mc_diag

@@ -1,0 +1,1 @@
+lib/sema/shadow.ml: Canonical Int64 List Mc_ast Printf Sema Tree_transform

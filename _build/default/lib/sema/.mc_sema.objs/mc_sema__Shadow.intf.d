@@ -1,0 +1,1 @@
+lib/sema/shadow.mli: Canonical Mc_ast Sema

@@ -1,0 +1,1 @@
+lib/sema/tree_transform.ml: Hashtbl List Mc_ast Option

@@ -1,0 +1,1 @@
+lib/sema/tree_transform.mli: Mc_ast

@@ -1,0 +1,425 @@
+open Mc_ast.Tree
+module Ctype = Mc_ast.Ctype
+module Diag = Mc_diag.Diagnostics
+module Int_ops = Mc_support.Int_ops
+module Loc = Mc_srcmgr.Source_location
+
+type direction = Up | Down
+
+type comparison = Cmp_lt | Cmp_le | Cmp_gt | Cmp_ge | Cmp_ne
+
+type analyzed = {
+  cl_stmt : stmt;
+  cl_iter_var : var;
+  cl_user_var : var;
+  cl_init : expr;
+  cl_bound : expr;
+  cl_cmp : comparison;
+  cl_step : expr;
+  cl_step_const : int64 option;
+  cl_dir : direction;
+  cl_body : stmt;
+  cl_counter_ty : ctype;
+  cl_is_range_for : bool;
+}
+
+let error sema ~loc fmt =
+  Printf.ksprintf (fun s -> Diag.error (Sema.diagnostics sema) ~loc s) fmt
+
+let rec strip e =
+  match e.e_kind with
+  | Paren inner | Implicit_cast (_, inner) -> strip inner
+  | _ -> e
+
+let as_var_ref v e =
+  match (strip e).e_kind with
+  | Decl_ref w -> w.v_id = v.v_id
+  | _ -> false
+
+let var_of_expr e =
+  match (strip e).e_kind with Decl_ref v -> Some v | _ -> None
+
+(* The logical iteration counter: unsigned, wide enough that the full
+   iteration space of the iteration variable's type fits (paper §3.1). *)
+let counter_ty_for = function
+  | Ptr _ -> Ctype.ulong_t
+  | Int { Int_ops.bits; _ } when bits >= 64 -> Ctype.ulong_t
+  | _ -> Ctype.uint_t
+
+(* ---- init/cond/incr pattern matching ------------------------------------ *)
+
+let match_init sema init =
+  match init with
+  | Some { s_kind = Decl_stmt [ v ]; _ } -> (
+    match v.v_init with
+    | Some lb -> Some (v, lb)
+    | None -> None)
+  | Some { s_kind = Expr_stmt e; _ } -> (
+    match (strip e).e_kind with
+    | Assign (None, target, lb) -> (
+      match var_of_expr target with
+      | Some v -> Some (v, Sema.rvalue sema lb)
+      | None -> None)
+    | _ -> None)
+  | _ -> None
+
+let match_cond v cond =
+  let c = strip cond in
+  match c.e_kind with
+  | Binary (op, lhs, rhs) -> (
+    let direct =
+      match op with
+      | B_lt -> Some Cmp_lt
+      | B_le -> Some Cmp_le
+      | B_gt -> Some Cmp_gt
+      | B_ge -> Some Cmp_ge
+      | B_ne -> Some Cmp_ne
+      | _ -> None
+    in
+    let commuted = function
+      | Cmp_lt -> Cmp_gt
+      | Cmp_le -> Cmp_ge
+      | Cmp_gt -> Cmp_lt
+      | Cmp_ge -> Cmp_le
+      | Cmp_ne -> Cmp_ne
+    in
+    match direct with
+    | None -> None
+    | Some cmp ->
+      if as_var_ref v lhs then Some (cmp, rhs)
+      else if as_var_ref v rhs then Some (commuted cmp, lhs)
+      else None)
+  | _ -> None
+
+(* Returns (direction, step-magnitude expression). *)
+let match_incr sema v inc =
+  let i = strip inc in
+  let one ty = Sema.intexpr sema 1L ty i.e_loc in
+  let step_ty =
+    match v.v_ty with Ptr _ -> Ctype.long_t | ty -> ty
+  in
+  match i.e_kind with
+  | Unary ((U_preinc | U_postinc), target) when as_var_ref v target ->
+    Some (Up, one step_ty)
+  | Unary ((U_predec | U_postdec), target) when as_var_ref v target ->
+    Some (Down, one step_ty)
+  | Assign (Some B_add, target, step) when as_var_ref v target -> Some (Up, step)
+  | Assign (Some B_sub, target, step) when as_var_ref v target -> Some (Down, step)
+  | Assign (None, target, rhs) when as_var_ref v target -> (
+    match (strip rhs).e_kind with
+    | Binary (B_add, a, step) when as_var_ref v a -> Some (Up, step)
+    | Binary (B_add, step, a) when as_var_ref v a -> Some (Up, step)
+    | Binary (B_sub, a, step) when as_var_ref v a -> Some (Down, step)
+    | _ -> None)
+  | _ -> None
+
+let rec analyze sema s =
+  match s.s_kind with
+  | Attributed (_, sub) -> analyze sema sub
+  | Omp_canonical_loop ocl -> analyze sema ocl.ocl_loop
+  | For { for_init; for_cond; for_inc; for_body } -> (
+    let loc = s.s_loc in
+    match
+      ( match_init sema for_init,
+        for_cond,
+        for_inc )
+    with
+    | Some (v, lb), Some cond, Some inc -> (
+      if not (Ctype.is_integer v.v_ty || Ctype.is_pointer v.v_ty) then begin
+        error sema ~loc
+          "loop iteration variable '%s' must have integer or pointer type"
+          v.v_name;
+        None
+      end
+      else begin
+        match (match_cond v cond, match_incr sema v inc) with
+        | Some (cmp, bound), Some (dir, step) ->
+          let step_const = Const_eval.eval_int (Sema.rvalue sema step) in
+          (match (cmp, step_const) with
+          | Cmp_ne, Some (1L | -1L) -> ()
+          | Cmp_ne, _ ->
+            error sema ~loc
+              "'!=' loop condition requires a constant step of 1 or -1"
+          | _ -> ());
+          (* Direction and comparison must agree (e.g. i < N with i -= 1 is
+             not canonical). *)
+          let compatible =
+            match (cmp, dir) with
+            | (Cmp_lt | Cmp_le), Up
+            | (Cmp_gt | Cmp_ge), Down
+            | Cmp_ne, _ ->
+              true
+            | _ -> false
+          in
+          if not compatible then begin
+            error sema ~loc
+              "loop increment direction is incompatible with its condition";
+            None
+          end
+          else
+            Some
+              {
+                cl_stmt = s;
+                cl_iter_var = v;
+                cl_user_var = v;
+                cl_init = Sema.rvalue sema lb;
+                cl_bound = Sema.rvalue sema bound;
+                cl_cmp = cmp;
+                cl_step = Sema.rvalue sema step;
+                cl_step_const = step_const;
+                cl_dir = (match cmp with Cmp_ne -> (match step_const with Some -1L -> Down | _ -> Up) | _ -> dir);
+                cl_body = for_body;
+                cl_counter_ty = counter_ty_for v.v_ty;
+                cl_is_range_for = false;
+              }
+        | None, _ ->
+          error sema ~loc
+            "condition of an OpenMP canonical loop must compare the \
+             iteration variable against a bound";
+          None
+        | _, None ->
+          error sema ~loc
+            "increment of an OpenMP canonical loop must advance the \
+             iteration variable by a loop-invariant amount";
+          None
+      end)
+    | None, _, _ ->
+      error sema ~loc
+        "initialization of an OpenMP canonical loop must assign the \
+         iteration variable";
+      None
+    | _, None, _ ->
+      error sema ~loc "an OpenMP canonical loop requires a condition";
+      None
+    | _, _, None ->
+      error sema ~loc "an OpenMP canonical loop requires an increment";
+      None)
+  | Range_for rf ->
+    let loc = s.s_loc in
+    let begin_init =
+      match rf.rf_begin_var.v_init with
+      | Some e -> e
+      | None -> Sema.mk_ref rf.rf_begin_var
+    in
+    Some
+      {
+        cl_stmt = s;
+        cl_iter_var = rf.rf_begin_var;
+        cl_user_var = rf.rf_var;
+        cl_init = begin_init;
+        cl_bound = Sema.rvalue sema (Sema.mk_ref rf.rf_end_var);
+        cl_cmp = Cmp_ne;
+        cl_step = Sema.intexpr sema 1L Ctype.long_t loc;
+        cl_step_const = Some 1L;
+        cl_dir = Up;
+        cl_body = rf.rf_body;
+        cl_counter_ty = counter_ty_for rf.rf_begin_var.v_ty;
+        cl_is_range_for = true;
+      }
+  | _ ->
+    error sema ~loc:s.s_loc
+      "statement after an OpenMP loop-associated directive must be a for loop";
+    None
+
+(* ---- synthesised expressions --------------------------------------------- *)
+
+let to_counter sema a e =
+  let u = a.cl_counter_ty in
+  match e.e_ty with
+  | Ptr _ -> Sema.act_on_cast sema u e ~loc:e.e_loc
+  | _ -> Sema.convert sema e u
+
+let trip_count_expr sema a =
+  let loc = a.cl_stmt.s_loc in
+  let u = a.cl_counter_ty in
+  let bin op l r = Sema.act_on_binary sema op l r ~loc in
+  let lit v = Sema.intexpr sema v u loc in
+  (* Distance in the unsigned domain; modular subtraction keeps the
+     INT32_MIN..INT32_MAX case exact (paper §3.1). *)
+  let dist =
+    match a.cl_dir with
+    | Up ->
+      (match a.cl_init.e_ty with
+      | Ptr _ ->
+        (* Pointer distance: (U)(end - begin). *)
+        to_counter sema a (bin B_sub a.cl_bound a.cl_init)
+      | _ -> bin B_sub (to_counter sema a a.cl_bound) (to_counter sema a a.cl_init))
+    | Down ->
+      (match a.cl_init.e_ty with
+      | Ptr _ -> to_counter sema a (bin B_sub a.cl_init a.cl_bound)
+      | _ -> bin B_sub (to_counter sema a a.cl_init) (to_counter sema a a.cl_bound))
+  in
+  let dist =
+    match a.cl_cmp with
+    | Cmp_le | Cmp_ge -> bin B_add dist (lit 1L)
+    | Cmp_lt | Cmp_gt | Cmp_ne -> dist
+  in
+  let step_u = to_counter sema a a.cl_step in
+  let count =
+    match a.cl_step_const with
+    | Some 1L | Some -1L -> dist
+    | _ ->
+      bin B_div (bin B_sub (bin B_add dist step_u) (lit 1L)) step_u
+  in
+  match a.cl_cmp with
+  | Cmp_ne -> count
+  | Cmp_lt | Cmp_le | Cmp_gt | Cmp_ge ->
+    (* Guard against an initially false condition: count is garbage then. *)
+    let cmp_op =
+      match a.cl_cmp with
+      | Cmp_lt -> B_lt
+      | Cmp_le -> B_le
+      | Cmp_gt -> B_gt
+      | Cmp_ge -> B_ge
+      | Cmp_ne -> assert false
+    in
+    let guard = bin cmp_op a.cl_init a.cl_bound in
+    Sema.act_on_conditional sema guard count (lit 0L) ~loc
+
+let user_value_expr sema a ~logical =
+  let loc = a.cl_stmt.s_loc in
+  let bin op l r = Sema.act_on_binary sema op l r ~loc in
+  let offset_u = bin B_mul (Sema.convert sema logical a.cl_counter_ty)
+      (to_counter sema a a.cl_step)
+  in
+  match a.cl_iter_var.v_ty with
+  | Ptr _ ->
+    let off = Sema.convert sema offset_u Ctype.long_t in
+    let off = match a.cl_dir with
+      | Up -> off
+      | Down -> Sema.act_on_unary sema U_minus off ~loc
+    in
+    bin B_add a.cl_init off
+  | ty ->
+    (* (T)((U)init ± offset): modular, then narrowed to the variable type. *)
+    let base = to_counter sema a a.cl_init in
+    let combined =
+      match a.cl_dir with
+      | Up -> bin B_add base offset_u
+      | Down -> bin B_sub base offset_u
+    in
+    Sema.act_on_cast sema ty combined ~loc
+
+let user_lvalue sema a ~logical =
+  if a.cl_is_range_for then begin
+    let loc = a.cl_stmt.s_loc in
+    let ptr = user_value_expr sema a ~logical in
+    Sema.act_on_unary sema U_deref ptr ~loc
+  end
+  else user_value_expr sema a ~logical
+
+(* ---- OMPCanonicalLoop construction --------------------------------------- *)
+
+let make_canonical_loop sema a =
+  let loc = a.cl_stmt.s_loc in
+  let u = a.cl_counter_ty in
+  let result_var =
+    mk_var ~implicit:true ~name:".result." ~ty:u ~loc ()
+  in
+  let distance_body =
+    mk_stmt ~loc
+      (Expr_stmt
+         (Sema.act_on_assign sema None (Sema.mk_ref result_var)
+            (trip_count_expr sema a) ~loc))
+  in
+  let distance = Capture.make_lambda ~params:[ result_var ] distance_body in
+  let value_result =
+    mk_var ~implicit:true ~name:".result."
+      ~ty:(if a.cl_is_range_for then a.cl_iter_var.v_ty else a.cl_user_var.v_ty)
+      ~loc ()
+  in
+  let logical_var = mk_var ~implicit:true ~name:".logical." ~ty:u ~loc () in
+  let loop_value_body =
+    mk_stmt ~loc
+      (Expr_stmt
+         (Sema.act_on_assign sema None (Sema.mk_ref value_result)
+            (user_value_expr sema a ~logical:(Sema.mk_ref logical_var))
+            ~loc))
+  in
+  let byval = if a.cl_is_range_for then [ a.cl_iter_var ] else [] in
+  let loop_value =
+    Capture.make_lambda ~params:[ value_result; logical_var ] ~byval
+      loop_value_body
+  in
+  mk_stmt ~loc
+    (Omp_canonical_loop
+       {
+         ocl_loop = a.cl_stmt;
+         ocl_distance = distance;
+         ocl_loop_value = loop_value;
+         ocl_var_ref = Sema.mk_ref a.cl_user_var;
+         ocl_counter_width =
+           Option.value (Ctype.int_width u) ~default:Int_ops.u64;
+       })
+
+(* ---- range-for de-sugaring (Fig. 8c) -------------------------------------- *)
+
+let desugared_range_for sema rf ~loc =
+  match rf.rf_desugared with
+  | Some d -> d
+  | None ->
+    let distance_var =
+      mk_var ~implicit:true ~name:"__distance" ~ty:Ctype.long_t ~loc
+        ~init:
+          (Sema.act_on_binary sema B_sub
+             (Sema.mk_ref rf.rf_end_var)
+             (Sema.mk_ref rf.rf_begin_var)
+             ~loc)
+        ()
+    in
+    let i_var =
+      mk_var ~implicit:true ~name:"__i" ~ty:Ctype.long_t ~loc
+        ~init:(Sema.intexpr sema 0L Ctype.long_t loc) ()
+    in
+    let deref =
+      Sema.act_on_unary sema U_deref
+        (Sema.act_on_binary sema B_add
+           (Sema.mk_ref rf.rf_begin_var)
+           (Sema.mk_ref i_var) ~loc)
+        ~loc
+    in
+    let tt = Tree_transform.create () in
+    let body =
+      if rf.rf_byref then begin
+        (* The user variable is an alias of the element. *)
+        Tree_transform.substitute_var_expr tt ~from:rf.rf_var ~into:deref;
+        Tree_transform.transform_stmt tt rf.rf_body
+      end
+      else begin
+        let copy =
+          mk_var ~name:rf.rf_var.v_name ~ty:rf.rf_var.v_ty ~loc ~init:deref ()
+        in
+        Tree_transform.substitute_var tt ~from:rf.rf_var ~into:copy;
+        mk_stmt ~loc
+          (Compound
+             [
+               mk_stmt ~loc (Decl_stmt [ copy ]);
+               Tree_transform.transform_stmt tt rf.rf_body;
+             ])
+      end
+    in
+    let for_stmt =
+      mk_stmt ~loc
+        (For
+           {
+             for_init = Some (mk_stmt ~loc (Decl_stmt [ i_var ]));
+             for_cond =
+               Some
+                 (Sema.act_on_binary sema B_lt (Sema.mk_ref i_var)
+                    (Sema.mk_ref distance_var) ~loc);
+             for_inc = Some (Sema.act_on_unary sema U_preinc (Sema.mk_ref i_var) ~loc);
+             for_body = body;
+           })
+    in
+    let result =
+      mk_stmt ~loc
+        (Compound
+           [
+             mk_stmt ~loc
+               (Decl_stmt
+                  [ rf.rf_range_var; rf.rf_begin_var; rf.rf_end_var; distance_var ]);
+             for_stmt;
+           ])
+    in
+    rf.rf_desugared <- Some result;
+    result

@@ -1,0 +1,61 @@
+(** OpenMP canonical-loop-form analysis and the construction of the
+    trip-count ("distance") and user-value expressions (paper §3).
+
+    The paper's terminology is followed exactly:
+    - the {e loop iteration variable} is what the literal for-loop steps
+      ([i], or [__begin] for a range-for);
+    - the {e loop user variable} is what the body reads ([i], or the
+      dereferenced iterator [Val]);
+    - the {e logical iteration counter} is the normalised unsigned counter
+      starting at 0 with step 1, whose width is chosen so that even
+      [for (int32_t i = INT32_MIN; i < INT32_MAX; ++i)] — 0xfffffffe
+      iterations — is representable. *)
+
+open Mc_ast.Tree
+
+type direction = Up | Down
+
+type comparison = Cmp_lt | Cmp_le | Cmp_gt | Cmp_ge | Cmp_ne
+
+type analyzed = {
+  cl_stmt : stmt; (* the For or Range_for statement *)
+  cl_iter_var : var; (* loop iteration variable *)
+  cl_user_var : var; (* loop user variable *)
+  cl_init : expr; (* start value (rvalue) *)
+  cl_bound : expr; (* comparison bound (rvalue) *)
+  cl_cmp : comparison;
+  cl_step : expr; (* positive magnitude of the increment *)
+  cl_step_const : int64 option;
+  cl_dir : direction;
+  cl_body : stmt;
+  cl_counter_ty : ctype; (* unsigned logical-counter type *)
+  cl_is_range_for : bool;
+}
+
+val analyze : Sema.t -> stmt -> analyzed option
+(** Checks the OpenMP canonical-form rules (init/test/incr shapes, matching
+    variable, integer or pointer iteration type); diagnoses and returns
+    [None] on violations.  [Attributed] wrappers are looked through. *)
+
+val trip_count_expr : Sema.t -> analyzed -> expr
+(** The distance function's body: an expression of [cl_counter_ty]
+    evaluating to the number of logical iterations, computed modularly in
+    the unsigned domain (so the INT32_MIN..INT32_MAX loop is exact) and
+    guarded to 0 for empty loops. *)
+
+val user_value_expr : Sema.t -> analyzed -> logical:expr -> expr
+(** The loop user variable's value for a logical iteration number. *)
+
+val user_lvalue : Sema.t -> analyzed -> logical:expr -> expr
+(** Where the user variable's value lives for that iteration: for a
+    by-reference range-for this is [*(__begin + i)]; otherwise it is the
+    computed value itself (callers bind it to a fresh variable). *)
+
+val make_canonical_loop : Sema.t -> analyzed -> stmt
+(** Wraps the loop in an [OMPCanonicalLoop] node carrying the distance
+    function, the loop-value function and the user-variable reference — the
+    exactly-3 pieces of §3's meta information. *)
+
+val desugared_range_for : Sema.t -> range_for -> loc:loc -> stmt
+(** The Fig. 8c equivalent of a range-based for-loop; also memoised into
+    [rf_desugared]. *)

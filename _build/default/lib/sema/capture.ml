@@ -1,0 +1,70 @@
+open Mc_ast.Tree
+module Ctype = Mc_ast.Ctype
+module Visit = Mc_ast.Visit
+module Loc = Mc_srcmgr.Source_location
+
+(* Free variables: walk the subtree collecting declarations and references;
+   a reference is free if its declaration was not seen in the subtree. *)
+let free_of ~declared_seed walk =
+  let declared = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace declared v.v_id ()) declared_seed;
+  let order = ref [] in
+  let seen = Hashtbl.create 16 in
+  let on_var v = Hashtbl.replace declared v.v_id () in
+  let on_expr e =
+    match e.e_kind with
+    | Decl_ref v ->
+      if (not (Hashtbl.mem declared v.v_id)) && not (Hashtbl.mem seen v.v_id)
+      then begin
+        Hashtbl.add seen v.v_id ();
+        order := v :: !order
+      end
+    | _ -> ()
+  in
+  walk ~on_var ~on_expr;
+  List.rev !order
+
+(* NOTE: declarations are collected by the same pre-order walk that sees the
+   references, so a use before its declaration in a later sibling would be
+   misclassified; C scoping makes that impossible in parsed code. *)
+(* Shadow children are included: a captured region containing a consumed
+   loop transformation will have CodeGen emit the transformed AST, whose
+   references must be captured as well (its own preinit declarations are
+   visited first and therefore not free). *)
+let free_variables s =
+  free_of ~declared_seed:[] (fun ~on_var ~on_expr ->
+      Visit.iter ~shadow:true ~on_var ~on_expr s)
+
+let free_variables_of_expr e =
+  free_of ~declared_seed:[] (fun ~on_var ~on_expr ->
+      ignore on_var;
+      let rec walk e =
+        on_expr e;
+        List.iter walk (Visit.expr_children e)
+      in
+      walk e)
+
+let implicit_param name ty =
+  mk_var ~implicit:true ~name ~ty ~loc:Loc.invalid ()
+
+let make_captured_stmt body =
+  let captures = free_variables body in
+  List.iter (fun v -> v.v_used <- true) captures;
+  let params =
+    [
+      implicit_param ".global_tid." (Ptr Ctype.int_t);
+      implicit_param ".bound_tid." (Ptr Ctype.int_t);
+      implicit_param "__context" (Ptr Void);
+    ]
+  in
+  mk_stmt ~loc:body.s_loc
+    (Captured
+       { cap_body = body; cap_captures = captures; cap_byval = []; cap_params = params })
+
+let make_lambda ~params ?(byval = []) body =
+  let captures =
+    free_of
+      ~declared_seed:(params @ byval)
+      (fun ~on_var ~on_expr -> Visit.iter ~shadow:false ~on_var ~on_expr body)
+  in
+  { cap_body = body; cap_captures = captures; cap_byval = byval; cap_params = params }

@@ -1,0 +1,22 @@
+(** Capture analysis for [CapturedStmt] (paper §1.2): which variables does a
+    region reference that are declared outside it?  Those become captures of
+    the outlined 'lambda', alongside the implicit thread-id and context
+    parameters shown in Fig. 2b. *)
+
+open Mc_ast.Tree
+
+val free_variables : stmt -> var list
+(** Variables referenced within the statement but declared outside it, in
+    first-use order.  Implicit compiler-generated variables are included
+    (they capture like any other). *)
+
+val free_variables_of_expr : expr -> var list
+
+val make_captured_stmt : stmt -> stmt
+(** Wraps a statement the way loop-associated directives do: builds the
+    [Captured] node with its capture list and the three implicit parameters
+    [.global_tid.], [.bound_tid.] and [__context]. *)
+
+val make_lambda : params:var list -> ?byval:var list -> stmt -> captured
+(** A bare capture region with explicit parameters — the representation of
+    the distance / loop-value functions of [OMPCanonicalLoop] (§3.1). *)

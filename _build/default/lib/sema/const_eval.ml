@@ -1,0 +1,93 @@
+open Mc_ast.Tree
+module Ctype = Mc_ast.Ctype
+module Int_ops = Mc_support.Int_ops
+
+let rec eval_int e =
+  let width () = Ctype.int_width e.e_ty in
+  let lift1 f a =
+    match (eval_int a, width ()) with
+    | Some va, Some w -> f w va
+    | _ -> None
+  in
+  let lift2 f a b =
+    match (eval_int a, eval_int b, width ()) with
+    | Some va, Some vb, Some w -> f w va vb
+    | _ -> None
+  in
+  match e.e_kind with
+  | Int_lit v -> Some v
+  | Paren a -> eval_int a
+  | Implicit_cast ((CK_integral | CK_lvalue_to_rvalue | CK_int_to_bool), a)
+  | C_style_cast (_, a) -> (
+    match (eval_int a, a.e_ty, e.e_ty) with
+    | Some v, from_ty, to_ty -> (
+      match (Ctype.int_width from_ty, Ctype.int_width to_ty) with
+      | Some from, Some into -> Some (Int_ops.convert ~from ~into v)
+      | _ -> None)
+    | None, _, _ -> None)
+  | Unary (U_plus, a) -> eval_int a
+  | Unary (U_minus, a) -> lift1 (fun w v -> Some (Int_ops.neg w v)) a
+  | Unary (U_bnot, a) -> lift1 (fun w v -> Some (Int_ops.bit_not w v)) a
+  | Unary (U_lnot, a) -> (
+    match eval_int a with
+    | Some v -> Some (if Int64.equal v 0L then 1L else 0L)
+    | None -> None)
+  | Binary (op, a, b) -> (
+    match op with
+    | B_add -> lift2 (fun w x y -> Some (Int_ops.add w x y)) a b
+    | B_sub -> lift2 (fun w x y -> Some (Int_ops.sub w x y)) a b
+    | B_mul -> lift2 (fun w x y -> Some (Int_ops.mul w x y)) a b
+    | B_div -> lift2 (fun w x y -> Int_ops.div w x y) a b
+    | B_rem -> lift2 (fun w x y -> Int_ops.rem w x y) a b
+    | B_shl -> lift2 (fun w x y -> Some (Int_ops.shl w x y)) a b
+    | B_shr -> lift2 (fun w x y -> Some (Int_ops.shr w x y)) a b
+    | B_band -> lift2 (fun w x y -> Some (Int_ops.bit_and w x y)) a b
+    | B_bor -> lift2 (fun w x y -> Some (Int_ops.bit_or w x y)) a b
+    | B_bxor -> lift2 (fun w x y -> Some (Int_ops.bit_xor w x y)) a b
+    | B_lt | B_gt | B_le | B_ge | B_eq | B_ne -> (
+      (* Comparison operands share a type after the usual conversions. *)
+      match (eval_int a, eval_int b, Ctype.int_width a.e_ty) with
+      | Some x, Some y, Some w ->
+        let r =
+          match op with
+          | B_lt -> Int_ops.lt w x y
+          | B_gt -> Int_ops.lt w y x
+          | B_le -> Int_ops.le w x y
+          | B_ge -> Int_ops.le w y x
+          | B_eq -> Int64.equal x y
+          | B_ne -> not (Int64.equal x y)
+          | _ -> assert false
+        in
+        Some (if r then 1L else 0L)
+      | _ -> None)
+    | B_land -> (
+      match eval_int a with
+      | Some 0L -> Some 0L
+      | Some _ -> (
+        match eval_int b with
+        | Some v -> Some (if Int64.equal v 0L then 0L else 1L)
+        | None -> None)
+      | None -> None)
+    | B_lor -> (
+      match eval_int a with
+      | Some 0L -> (
+        match eval_int b with
+        | Some v -> Some (if Int64.equal v 0L then 0L else 1L)
+        | None -> None)
+      | Some _ -> Some 1L
+      | None -> None)
+    | B_comma -> eval_int b)
+  | Conditional (c, a, b) -> (
+    match eval_int c with
+    | Some 0L -> eval_int b
+    | Some _ -> eval_int a
+    | None -> None)
+  | Sizeof_type ty -> (
+    match ty with
+    | Func _ | Void | Array (_, None) -> None
+    | _ -> Some (Int64.of_int (Ctype.size_in_bytes ty)))
+  | Implicit_cast _ | Assign _ | Decl_ref _ | Fn_ref _ | Call _ | Subscript _
+  | Unary _ | Float_lit _ | String_lit _ ->
+    None
+
+let eval_int_as e = Option.map Int64.to_int (eval_int e)

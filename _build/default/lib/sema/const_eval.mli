@@ -1,0 +1,13 @@
+(** Constant-expression evaluation on the AST (Clang's [Expr::EvaluateAsInt]
+    analogue).  Used for clause arguments ([partial(2)], [sizes(4,4)],
+    [collapse(2)]), array bounds, and the loop-step extraction of the
+    canonical-loop analysis.  Bit-exact with the IR layers via [Int_ops]. *)
+
+open Mc_ast.Tree
+
+val eval_int : expr -> int64 option
+(** The value, canonical for the expression's type; [None] when not an
+    integer constant expression (variables, calls, floats, side effects). *)
+
+val eval_int_as : expr -> int option
+(** Narrowed to OCaml int. *)

@@ -1,0 +1,33 @@
+(** OpenMP directive-level semantic analysis: clause validation, canonical
+    loop-nest collection, and the construction of either representation —
+    shadow AST (paper §2) in [Classic] mode, [OMPCanonicalLoop] (paper §3)
+    in [Irbuilder] mode — exactly as Clang switches on
+    [-fopenmp-enable-irbuilder]. *)
+
+open Mc_ast.Tree
+
+val act_on_clause_expr_positive :
+  Sema.t -> what:string -> expr -> loc:loc -> int * expr
+(** Evaluates a clause argument that must be a positive integer constant
+    ([collapse], [partial], [sizes], [simdlen]); recovers with 1. *)
+
+val act_on_directive :
+  Sema.t -> kind:directive_kind -> clauses:clause list -> assoc:stmt option ->
+  loc:loc -> stmt
+(** Builds the directive statement.  For loop-based directives this:
+    - collects the associated canonical loop nest (depth from
+      [collapse]/[sizes]), looking through loop transformations whose
+      generated loop is consumed (calling [getTransformedStmt] in classic
+      mode, per §2);
+    - diagnoses non-canonical loops, insufficient nesting depth, and
+      association with a transformation that generates no loop (full or
+      heuristic unroll);
+    - in classic mode, fills the shadow AST: [dir_transformed]/
+      [dir_preinits] for unroll/tile, [dir_loop_helpers] + [CapturedStmt]
+      wrapping for the OMPLoopDirective family;
+    - in irbuilder mode, wraps each associated literal loop in
+      [OMPCanonicalLoop]. *)
+
+val transformed_stmt : directive -> stmt option
+(** [getTransformedStmt()]: the generated loop of a transformation
+    directive, or [None] if it does not produce one. *)

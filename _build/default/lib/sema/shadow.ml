@@ -1,0 +1,501 @@
+open Mc_ast.Tree
+module Ctype = Mc_ast.Ctype
+
+type transformed = {
+  tr_stmt : stmt;
+  tr_preinits : stmt;
+  tr_capture_vars : var list;
+}
+
+let capture_trip_count sema (a : Canonical.analyzed) =
+  let loc = a.Canonical.cl_stmt.s_loc in
+  mk_var ~implicit:true ~name:".capture_expr." ~ty:a.Canonical.cl_counter_ty
+    ~loc
+    ~init:(Canonical.trip_count_expr sema a)
+    ()
+
+(* Bind the loop user variable for one logical iteration and transform the
+   body accordingly.  Literal loops and by-value range-fors redeclare the
+   variable; by-reference range-fors substitute the dereferenced element. *)
+let bind_user_var sema (a : Canonical.analyzed) ~logical ~body =
+  let loc = a.Canonical.cl_stmt.s_loc in
+  let tt = Tree_transform.create () in
+  if a.Canonical.cl_is_range_for then begin
+    let lv = Canonical.user_lvalue sema a ~logical in
+    let user = a.Canonical.cl_user_var in
+    if
+      (* by-ref: alias the element; by-value: fresh copy *)
+      match a.Canonical.cl_stmt.s_kind with
+      | Range_for rf -> rf.rf_byref
+      | _ -> false
+    then begin
+      Tree_transform.substitute_var_expr tt ~from:user ~into:lv;
+      (None, tt, Tree_transform.transform_stmt tt body)
+    end
+    else begin
+      let copy = mk_var ~name:user.v_name ~ty:user.v_ty ~loc ~init:lv () in
+      Tree_transform.substitute_var tt ~from:user ~into:copy;
+      (Some copy, tt, Tree_transform.transform_stmt tt body)
+    end
+  end
+  else begin
+    let user = a.Canonical.cl_user_var in
+    let value = Canonical.user_value_expr sema a ~logical in
+    let copy = mk_var ~name:user.v_name ~ty:user.v_ty ~loc ~init:value () in
+    Tree_transform.substitute_var tt ~from:user ~into:copy;
+    (Some copy, tt, Tree_transform.transform_stmt tt body)
+  end
+
+let counter_for_loop sema (a : Canonical.analyzed) ~name ~init =
+  let loc = a.Canonical.cl_stmt.s_loc in
+  mk_var ~implicit:true ~name ~ty:a.Canonical.cl_counter_ty ~loc
+    ~init:(Sema.convert sema init a.Canonical.cl_counter_ty)
+    ()
+
+let transformed_unroll sema (a : Canonical.analyzed) ~factor =
+  let loc = a.Canonical.cl_stmt.s_loc in
+  let u = a.Canonical.cl_counter_ty in
+  let bin op l r = Sema.act_on_binary sema op l r ~loc in
+  let lit v = Sema.intexpr sema (Int64.of_int v) u loc in
+  let capture = capture_trip_count sema a in
+  let vname = a.Canonical.cl_user_var.v_name in
+  let outer_iv =
+    counter_for_loop sema a
+      ~name:(Printf.sprintf ".unrolled.iv.%s" vname)
+      ~init:(Sema.intexpr sema 0L u loc)
+  in
+  let inner_iv =
+    counter_for_loop sema a
+      ~name:(Printf.sprintf ".unroll_inner.iv.%s" vname)
+      ~init:(Sema.mk_ref outer_iv)
+  in
+  (* Inner body: rebind the user variable from the logical number. *)
+  let user_decl, _tt, body =
+    bind_user_var sema a ~logical:(Sema.mk_ref inner_iv)
+      ~body:a.Canonical.cl_body
+  in
+  let inner_body =
+    match user_decl with
+    | Some v -> mk_stmt ~loc (Compound [ mk_stmt ~loc (Decl_stmt [ v ]); body ])
+    | None -> body
+  in
+  let inner_cond =
+    bin B_land
+      (bin B_lt (Sema.mk_ref inner_iv)
+         (bin B_add (Sema.mk_ref outer_iv) (lit factor)))
+      (bin B_lt (Sema.mk_ref inner_iv) (Sema.mk_ref capture))
+  in
+  let inner_for =
+    mk_stmt ~loc
+      (For
+         {
+           for_init = Some (mk_stmt ~loc (Decl_stmt [ inner_iv ]));
+           for_cond = Some inner_cond;
+           for_inc =
+             Some (Sema.act_on_unary sema U_preinc (Sema.mk_ref inner_iv) ~loc);
+           for_body = inner_body;
+         })
+  in
+  let attributed =
+    mk_stmt ~loc
+      (Attributed
+         ( [ Loop_hint { lh_option = Hint_unroll_count; lh_value = Some factor } ],
+           inner_for ))
+  in
+  let outer_for =
+    mk_stmt ~loc
+      (For
+         {
+           for_init = Some (mk_stmt ~loc (Decl_stmt [ outer_iv ]));
+           for_cond = Some (bin B_lt (Sema.mk_ref outer_iv) (Sema.mk_ref capture));
+           for_inc =
+             Some
+               (Sema.act_on_assign sema (Some B_add) (Sema.mk_ref outer_iv)
+                  (lit factor) ~loc);
+           for_body = attributed;
+         })
+  in
+  {
+    tr_stmt = outer_for;
+    tr_preinits = mk_stmt ~loc (Decl_stmt [ capture ]);
+    tr_capture_vars = [ capture ];
+  }
+
+let transformed_tile sema loops ~sizes ~loc =
+  let captures = List.map (capture_trip_count sema) loops in
+  let floor_ivs =
+    List.mapi
+      (fun k (a : Canonical.analyzed) ->
+        counter_for_loop sema a
+          ~name:
+            (Printf.sprintf ".floor.%d.iv.%s" k a.Canonical.cl_user_var.v_name)
+          ~init:(Sema.intexpr sema 0L a.Canonical.cl_counter_ty loc))
+      loops
+  in
+  let tile_ivs =
+    List.map2
+      (fun k_and_a floor_iv ->
+        let k, (a : Canonical.analyzed) = k_and_a in
+        counter_for_loop sema a
+          ~name:(Printf.sprintf ".tile.%d.iv.%s" k a.Canonical.cl_user_var.v_name)
+          ~init:(Sema.mk_ref floor_iv))
+      (List.mapi (fun k a -> (k, a)) loops)
+      floor_ivs
+  in
+  (* Innermost body: rebind every loop's user variable from its tile iv,
+     applying the substitutions innermost-out so nested references all
+     remap. *)
+  let innermost = List.nth loops (List.length loops - 1) in
+  let body = ref innermost.Canonical.cl_body in
+  let decls = ref [] in
+  List.iteri
+    (fun k (a : Canonical.analyzed) ->
+      let tile_iv = List.nth tile_ivs k in
+      let user_decl, _tt, transformed =
+        bind_user_var sema a ~logical:(Sema.mk_ref tile_iv) ~body:!body
+      in
+      body := transformed;
+      match user_decl with Some v -> decls := v :: !decls | None -> ())
+    loops;
+  let inner_body =
+    match !decls with
+    | [] -> !body
+    | ds ->
+      mk_stmt ~loc
+        (Compound (List.map (fun v -> mk_stmt ~loc (Decl_stmt [ v ])) (List.rev ds) @ [ !body ]))
+  in
+  (* Tile loops, innermost last: for (t = f; t < min(n, f + size); ++t). *)
+  let with_tiles =
+    List.fold_right2
+      (fun ((a : Canonical.analyzed), (size, capture)) (floor_iv, tile_iv) acc ->
+        let u = a.Canonical.cl_counter_ty in
+        let bin op l r = Sema.act_on_binary sema op l r ~loc in
+        let lit v = Sema.intexpr sema (Int64.of_int v) u loc in
+        let upper = bin B_add (Sema.mk_ref floor_iv) (lit size) in
+        let bounded =
+          Sema.act_on_conditional sema
+            (bin B_lt (Sema.mk_ref capture) upper)
+            (Sema.mk_ref capture) upper ~loc
+        in
+        mk_stmt ~loc
+          (For
+             {
+               for_init = Some (mk_stmt ~loc (Decl_stmt [ tile_iv ]));
+               for_cond = Some (bin B_lt (Sema.mk_ref tile_iv) bounded);
+               for_inc =
+                 Some (Sema.act_on_unary sema U_preinc (Sema.mk_ref tile_iv) ~loc);
+               for_body = acc;
+             }))
+      (List.combine loops (List.combine sizes captures))
+      (List.combine floor_ivs tile_ivs)
+      inner_body
+  in
+  let nest =
+    List.fold_right2
+      (fun ((a : Canonical.analyzed), (size, capture)) floor_iv acc ->
+        let u = a.Canonical.cl_counter_ty in
+        let bin op l r = Sema.act_on_binary sema op l r ~loc in
+        let lit v = Sema.intexpr sema (Int64.of_int v) u loc in
+        mk_stmt ~loc
+          (For
+             {
+               for_init = Some (mk_stmt ~loc (Decl_stmt [ floor_iv ]));
+               for_cond = Some (bin B_lt (Sema.mk_ref floor_iv) (Sema.mk_ref capture));
+               for_inc =
+                 Some
+                   (Sema.act_on_assign sema (Some B_add) (Sema.mk_ref floor_iv)
+                      (lit size) ~loc);
+               for_body = acc;
+             }))
+      (List.combine loops (List.combine sizes captures))
+      floor_ivs with_tiles
+  in
+  {
+    tr_stmt = nest;
+    tr_preinits = mk_stmt ~loc (Decl_stmt captures);
+    tr_capture_vars = captures;
+  }
+
+(* ---- OMPLoopDirective helpers (classic worksharing codegen) -------------- *)
+
+let build_loop_helpers sema loops ~loc =
+  let widest =
+    if List.exists (fun a -> Ctype.equal a.Canonical.cl_counter_ty Ctype.ulong_t) loops
+    then Ctype.ulong_t
+    else Ctype.uint_t
+  in
+  let u = widest in
+  let bin op l r = Sema.act_on_binary sema op l r ~loc in
+  let lit v = Sema.intexpr sema v u loc in
+  let var name ?init ty = mk_var ~implicit:true ~name ~ty ~loc ?init () in
+  let captures =
+    List.map
+      (fun a ->
+        let c = capture_trip_count sema a in
+        (* Normalise every per-loop count to the widest counter type. *)
+        c)
+      loops
+  in
+  let capture_ref c = Sema.convert sema (Sema.mk_ref c) u in
+  let num_iterations =
+    List.fold_left
+      (fun acc c -> bin B_mul acc (capture_ref c))
+      (lit 1L) captures
+  in
+  let iv = var ".omp.iv" u in
+  let lb = var ".omp.lb" u ~init:(lit 0L) in
+  let ub = var ".omp.ub" u in
+  let stride = var ".omp.stride" u ~init:(lit 1L) in
+  let is_last = var ".omp.is_last" Ctype.int_t ~init:(Sema.intexpr sema 0L Ctype.int_t loc) in
+  let last_iteration = bin B_sub num_iterations (lit 1L) in
+  let per_loop k (a : Canonical.analyzed) =
+    (* The logical index of loop k inside the collapsed space: divide by the
+       product of the inner loops' counts, then take the remainder of this
+       loop's count. *)
+    let inner_product =
+      List.fold_left
+        (fun acc c -> bin B_mul acc (capture_ref c))
+        (lit 1L)
+        (List.filteri (fun i _ -> i > k) captures)
+    in
+    let own = capture_ref (List.nth captures k) in
+    let logical =
+      bin B_rem (bin B_div (Sema.mk_ref iv) inner_product) own
+    in
+    let private_counter =
+      var
+        (Printf.sprintf ".omp.private.%s" a.Canonical.cl_user_var.v_name)
+        a.Canonical.cl_user_var.v_ty
+    in
+    {
+      pl_counter = a.Canonical.cl_user_var;
+      pl_private_counter = private_counter;
+      pl_counter_init = a.Canonical.cl_init;
+      pl_counter_step = a.Canonical.cl_step;
+      pl_counter_update =
+        Sema.act_on_assign sema None
+          (Sema.mk_ref private_counter)
+          (Canonical.user_lvalue sema a
+             ~logical:(Sema.convert sema logical a.Canonical.cl_counter_ty))
+          ~loc;
+      pl_counter_final =
+        Canonical.user_value_expr sema a
+          ~logical:(Sema.convert sema (capture_ref (List.nth captures k)) a.Canonical.cl_counter_ty);
+    }
+  in
+  {
+    lhs_iteration_variable = iv;
+    lhs_num_iterations = num_iterations;
+    lhs_last_iteration = last_iteration;
+    lhs_calc_last_iteration =
+      Sema.act_on_assign sema None (Sema.mk_ref ub) last_iteration ~loc;
+    lhs_precondition = bin B_lt (lit 0L) num_iterations;
+    lhs_cond = bin B_le (Sema.mk_ref iv) (Sema.mk_ref ub);
+    lhs_init =
+      Sema.act_on_assign sema None (Sema.mk_ref iv) (Sema.mk_ref lb) ~loc;
+    lhs_inc =
+      Sema.act_on_assign sema None (Sema.mk_ref iv)
+        (bin B_add (Sema.mk_ref iv) (lit 1L))
+        ~loc;
+    lhs_is_last_iter_variable = is_last;
+    lhs_lower_bound_variable = lb;
+    lhs_upper_bound_variable = ub;
+    lhs_stride_variable = stride;
+    lhs_ensure_upper_bound =
+      Sema.act_on_assign sema None (Sema.mk_ref ub)
+        (Sema.act_on_conditional sema
+           (bin B_lt last_iteration (Sema.mk_ref ub))
+           last_iteration (Sema.mk_ref ub) ~loc)
+        ~loc;
+    lhs_next_lower_bound =
+      Sema.act_on_assign sema None (Sema.mk_ref lb)
+        (bin B_add (Sema.mk_ref lb) (Sema.mk_ref stride))
+        ~loc;
+    lhs_next_upper_bound =
+      Sema.act_on_assign sema None (Sema.mk_ref ub)
+        (bin B_add (Sema.mk_ref ub) (Sema.mk_ref stride))
+        ~loc;
+    lhs_capture_exprs = captures;
+    lhs_prev_lower_bound_variable = None;
+    lhs_prev_upper_bound_variable = None;
+    lhs_dist_inc = None;
+    lhs_prev_ensure_upper_bound = None;
+    lhs_combined_lower_bound = None;
+    lhs_combined_upper_bound = None;
+    lhs_combined_ensure_upper_bound = None;
+    lhs_combined_init = None;
+    lhs_combined_cond = None;
+    lhs_combined_next_lower_bound = None;
+    lhs_combined_next_upper_bound = None;
+    lhs_combined_dist_cond = None;
+    lhs_combined_parfor_in_dist_cond = None;
+    lhs_loops = List.mapi per_loop loops;
+  }
+
+(* ---- OpenMP 6.0 preview transformations (paper's conclusion outlook) ----- *)
+
+(* Reverse: iterate the logical space backwards and rebind the user
+   variable from (n - 1 - iv). *)
+let transformed_reverse sema (a : Canonical.analyzed) =
+  let loc = a.Canonical.cl_stmt.s_loc in
+  let u = a.Canonical.cl_counter_ty in
+  let bin op l r = Sema.act_on_binary sema op l r ~loc in
+  let lit v = Sema.intexpr sema v u loc in
+  let capture = capture_trip_count sema a in
+  let iv =
+    counter_for_loop sema a
+      ~name:(Printf.sprintf ".reversed.iv.%s" a.Canonical.cl_user_var.v_name)
+      ~init:(Sema.intexpr sema 0L u loc)
+  in
+  let backwards =
+    bin B_sub (bin B_sub (Sema.mk_ref capture) (lit 1L)) (Sema.mk_ref iv)
+  in
+  let user_decl, _tt, body =
+    bind_user_var sema a ~logical:backwards ~body:a.Canonical.cl_body
+  in
+  let loop_body =
+    match user_decl with
+    | Some v -> mk_stmt ~loc (Compound [ mk_stmt ~loc (Decl_stmt [ v ]); body ])
+    | None -> body
+  in
+  let loop =
+    mk_stmt ~loc
+      (For
+         {
+           for_init = Some (mk_stmt ~loc (Decl_stmt [ iv ]));
+           for_cond = Some (bin B_lt (Sema.mk_ref iv) (Sema.mk_ref capture));
+           for_inc = Some (Sema.act_on_unary sema U_preinc (Sema.mk_ref iv) ~loc);
+           for_body = loop_body;
+         })
+  in
+  {
+    tr_stmt = loop;
+    tr_preinits = mk_stmt ~loc (Decl_stmt [ capture ]);
+    tr_capture_vars = [ capture ];
+  }
+
+(* Interchange: rebuild the nest with the loops permuted.  [perm] lists,
+   outermost-first, the index of the original loop driving each new depth. *)
+let transformed_interchange sema loops ~perm ~loc =
+  let captures = List.map (capture_trip_count sema) loops in
+  let ivs =
+    List.map
+      (fun (a : Canonical.analyzed) ->
+        counter_for_loop sema a
+          ~name:
+            (Printf.sprintf ".interchanged.iv.%s" a.Canonical.cl_user_var.v_name)
+          ~init:(Sema.intexpr sema 0L a.Canonical.cl_counter_ty loc))
+      loops
+  in
+  let innermost = List.nth loops (List.length loops - 1) in
+  let body = ref innermost.Canonical.cl_body in
+  let decls = ref [] in
+  List.iteri
+    (fun k (a : Canonical.analyzed) ->
+      let user_decl, _tt, transformed =
+        bind_user_var sema a
+          ~logical:(Sema.mk_ref (List.nth ivs k))
+          ~body:!body
+      in
+      body := transformed;
+      match user_decl with Some v -> decls := v :: !decls | None -> ())
+    loops;
+  let inner_body =
+    match !decls with
+    | [] -> !body
+    | ds ->
+      mk_stmt ~loc
+        (Compound
+           (List.map (fun v -> mk_stmt ~loc (Decl_stmt [ v ])) (List.rev ds)
+           @ [ !body ]))
+  in
+  let nest =
+    List.fold_right
+      (fun k acc ->
+        let a = List.nth loops k in
+        let u = a.Canonical.cl_counter_ty in
+        let bin op l r = Sema.act_on_binary sema op l r ~loc in
+        let iv = List.nth ivs k and capture = List.nth captures k in
+        ignore u;
+        mk_stmt ~loc
+          (For
+             {
+               for_init = Some (mk_stmt ~loc (Decl_stmt [ iv ]));
+               for_cond = Some (bin B_lt (Sema.mk_ref iv) (Sema.mk_ref capture));
+               for_inc =
+                 Some (Sema.act_on_unary sema U_preinc (Sema.mk_ref iv) ~loc);
+               for_body = acc;
+             }))
+      perm inner_body
+  in
+  {
+    tr_stmt = nest;
+    tr_preinits = mk_stmt ~loc (Decl_stmt captures);
+    tr_capture_vars = captures;
+  }
+
+(* Fuse: one loop over the maximum trip count; each original body runs
+   guarded by its own trip count. *)
+let transformed_fuse sema loops ~loc =
+  let captures = List.map (capture_trip_count sema) loops in
+  let widest =
+    if
+      List.exists
+        (fun (a : Canonical.analyzed) ->
+          Ctype.equal a.Canonical.cl_counter_ty Ctype.ulong_t)
+        loops
+    then Ctype.ulong_t
+    else Ctype.uint_t
+  in
+  let bin op l r = Sema.act_on_binary sema op l r ~loc in
+  let capture_ref c = Sema.convert sema (Sema.mk_ref c) widest in
+  let max_count =
+    List.fold_left
+      (fun acc c ->
+        Sema.act_on_conditional sema
+          (bin B_lt acc (capture_ref c))
+          (capture_ref c) acc ~loc)
+      (Sema.intexpr sema 0L widest loc)
+      captures
+  in
+  let max_var =
+    mk_var ~implicit:true ~name:".capture_expr." ~ty:widest ~loc ~init:max_count ()
+  in
+  let iv =
+    mk_var ~implicit:true ~name:".fused.iv" ~ty:widest ~loc
+      ~init:(Sema.intexpr sema 0L widest loc) ()
+  in
+  let guarded_bodies =
+    List.map2
+      (fun (a : Canonical.analyzed) capture ->
+        let logical =
+          Sema.convert sema (Sema.mk_ref iv) a.Canonical.cl_counter_ty
+        in
+        let user_decl, _tt, body =
+          bind_user_var sema a ~logical ~body:a.Canonical.cl_body
+        in
+        let body =
+          match user_decl with
+          | Some v ->
+            mk_stmt ~loc (Compound [ mk_stmt ~loc (Decl_stmt [ v ]); body ])
+          | None -> body
+        in
+        mk_stmt ~loc
+          (If (bin B_lt (Sema.mk_ref iv) (capture_ref capture), body, None)))
+      loops captures
+  in
+  let loop =
+    mk_stmt ~loc
+      (For
+         {
+           for_init = Some (mk_stmt ~loc (Decl_stmt [ iv ]));
+           for_cond = Some (bin B_lt (Sema.mk_ref iv) (Sema.mk_ref max_var));
+           for_inc = Some (Sema.act_on_unary sema U_preinc (Sema.mk_ref iv) ~loc);
+           for_body = mk_stmt ~loc (Compound guarded_bodies);
+         })
+  in
+  {
+    tr_stmt = loop;
+    tr_preinits = mk_stmt ~loc (Decl_stmt (captures @ [ max_var ]));
+    tr_capture_vars = captures @ [ max_var ];
+  }

@@ -1,0 +1,45 @@
+(** Shadow AST construction (paper §2): the transformed loops of
+    [#pragma omp tile]/[unroll] built at Sema time via {!Tree_transform},
+    and the up-to-30-slot helper set of [OMPLoopDirective].
+
+    Naming mirrors Clang: the synthesised trip-count temporaries are called
+    [.capture_expr.], which is exactly the internal name the paper shows
+    leaking into a diagnostic (reproduced by experiment C2); the generated
+    loop counters are [.unrolled.iv.<v>], [.unroll_inner.iv.<v>],
+    [.floor.<k>.iv.<v>] and [.tile.<k>.iv.<v>]. *)
+
+open Mc_ast.Tree
+
+type transformed = {
+  tr_stmt : stmt; (* the generated loop nest *)
+  tr_preinits : stmt; (* Decl_stmt of .capture_expr. temporaries *)
+  tr_capture_vars : var list;
+}
+
+val transformed_unroll : Sema.t -> Canonical.analyzed -> factor:int -> transformed
+(** Fig. 7: strip-mine by [factor], keep the inner loop and tag it with a
+    [LoopHintAttr UnrollCount] for the mid-end (no duplication in the
+    AST). *)
+
+val transformed_tile :
+  Sema.t -> Canonical.analyzed list -> sizes:int list -> loc:loc -> transformed
+(** The floor/tile loop nest for [#pragma omp tile sizes(...)]. *)
+
+val build_loop_helpers :
+  Sema.t -> Canonical.analyzed list -> loc:loc -> loop_helpers
+(** The classic [OMPLoopDirective] shadow slots for a (possibly collapsed)
+    nest: logical-space iv/lb/ub/stride variables, init/cond/inc
+    expressions, worksharing bound updates, and 6 per-loop helpers. *)
+
+val transformed_reverse : Sema.t -> Canonical.analyzed -> transformed
+(** OpenMP 6.0 preview: the generated loop of [#pragma omp reverse]. *)
+
+val transformed_interchange :
+  Sema.t -> Canonical.analyzed list -> perm:int list -> loc:loc -> transformed
+(** OpenMP 6.0 preview: the permuted nest of [#pragma omp interchange];
+    [perm] lists, outermost-first, the 0-based original loop indices. *)
+
+val transformed_fuse :
+  Sema.t -> Canonical.analyzed list -> loc:loc -> transformed
+(** OpenMP 6.0 preview: the fused loop of [#pragma omp fuse] over a loop
+    sequence — one loop over the maximum trip count with guarded bodies. *)

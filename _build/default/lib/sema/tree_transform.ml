@@ -1,0 +1,168 @@
+open Mc_ast.Tree
+
+type subst = To_var of var | To_expr of expr
+
+type t = { map : (int, subst) Hashtbl.t }
+
+let create () = { map = Hashtbl.create 16 }
+let substitute_var t ~from ~into = Hashtbl.replace t.map from.v_id (To_var into)
+
+let substitute_var_expr t ~from ~into =
+  Hashtbl.replace t.map from.v_id (To_expr into)
+
+let rec transform_expr t e =
+  let k kind = mk_expr ~ty:e.e_ty ~loc:e.e_loc kind in
+  match e.e_kind with
+  | Int_lit _ | Float_lit _ | String_lit _ | Fn_ref _ | Sizeof_type _ ->
+    k e.e_kind
+  | Decl_ref v -> (
+    match Hashtbl.find_opt t.map v.v_id with
+    | Some (To_var nv) ->
+      nv.v_used <- true;
+      k (Decl_ref nv)
+    | Some (To_expr repl) -> transform_expr t repl
+    | None -> k (Decl_ref v))
+  | Paren a -> k (Paren (transform_expr t a))
+  | Unary (op, a) -> k (Unary (op, transform_expr t a))
+  | Binary (op, a, b) -> k (Binary (op, transform_expr t a, transform_expr t b))
+  | Assign (op, a, b) -> k (Assign (op, transform_expr t a, transform_expr t b))
+  | Conditional (c, a, b) ->
+    k (Conditional (transform_expr t c, transform_expr t a, transform_expr t b))
+  | Call (f, args) ->
+    k (Call (transform_expr t f, List.map (transform_expr t) args))
+  | Subscript (a, i) -> k (Subscript (transform_expr t a, transform_expr t i))
+  | Implicit_cast (ck, a) -> k (Implicit_cast (ck, transform_expr t a))
+  | C_style_cast (ty, a) -> k (C_style_cast (ty, transform_expr t a))
+
+let transform_var t v =
+  let nv =
+    mk_var ~implicit:v.v_implicit
+      ?init:(Option.map (transform_expr t) v.v_init)
+      ~name:v.v_name ~ty:v.v_ty ~loc:v.v_loc ()
+  in
+  nv.v_used <- v.v_used;
+  substitute_var t ~from:v ~into:nv;
+  nv
+
+let rec transform_stmt t s =
+  let k kind = mk_stmt ~loc:s.s_loc kind in
+  match s.s_kind with
+  | Null_stmt | Break | Continue -> k s.s_kind
+  | Compound ss -> k (Compound (List.map (transform_stmt t) ss))
+  | Expr_stmt e -> k (Expr_stmt (transform_expr t e))
+  | Decl_stmt vars -> k (Decl_stmt (List.map (transform_var t) vars))
+  | If (c, then_s, else_s) ->
+    k
+      (If
+         ( transform_expr t c,
+           transform_stmt t then_s,
+           Option.map (transform_stmt t) else_s ))
+  | Switch (c, body) -> k (Switch (transform_expr t c, transform_stmt t body))
+  | Case cl ->
+    k
+      (Case
+         {
+           case_value = cl.case_value;
+           case_expr = transform_expr t cl.case_expr;
+           case_body = transform_stmt t cl.case_body;
+         })
+  | Default body -> k (Default (transform_stmt t body))
+  | While (c, body) -> k (While (transform_expr t c, transform_stmt t body))
+  | Do_while (body, c) -> k (Do_while (transform_stmt t body, transform_expr t c))
+  | For { for_init; for_cond; for_inc; for_body } ->
+    (* Order matters: the init may declare the loop variable the other
+       clauses refer to. *)
+    let init = Option.map (transform_stmt t) for_init in
+    k
+      (For
+         {
+           for_init = init;
+           for_cond = Option.map (transform_expr t) for_cond;
+           for_inc = Option.map (transform_expr t) for_inc;
+           for_body = transform_stmt t for_body;
+         })
+  | Range_for rf ->
+    let range = transform_expr t rf.rf_range in
+    let range_var = transform_var t rf.rf_range_var in
+    let begin_var = transform_var t rf.rf_begin_var in
+    let end_var = transform_var t rf.rf_end_var in
+    let user_var = transform_var t rf.rf_var in
+    k
+      (Range_for
+         {
+           rf_var = user_var;
+           rf_byref = rf.rf_byref;
+           rf_range = range;
+           rf_body = transform_stmt t rf.rf_body;
+           rf_range_var = range_var;
+           rf_begin_var = begin_var;
+           rf_end_var = end_var;
+           rf_desugared = Option.map (transform_stmt t) rf.rf_desugared;
+         })
+  | Return e -> k (Return (Option.map (transform_expr t) e))
+  | Attributed (attrs, sub) -> k (Attributed (attrs, transform_stmt t sub))
+  | Captured c ->
+    k
+      (Captured
+         {
+           cap_body = transform_stmt t c.cap_body;
+           cap_captures = List.map (remap_var t) c.cap_captures;
+           cap_byval = List.map (remap_var t) c.cap_byval;
+           cap_params = c.cap_params;
+         })
+  | Omp_canonical_loop ocl ->
+    k
+      (Omp_canonical_loop
+         {
+           ocl_loop = transform_stmt t ocl.ocl_loop;
+           ocl_distance = transform_captured t ocl.ocl_distance;
+           ocl_loop_value = transform_captured t ocl.ocl_loop_value;
+           ocl_var_ref = transform_expr t ocl.ocl_var_ref;
+           ocl_counter_width = ocl.ocl_counter_width;
+         })
+  | Omp_directive d ->
+    let nd =
+      mk_directive
+        ?assoc:(Option.map (transform_stmt t) d.dir_assoc)
+        ~kind:d.dir_kind
+        ~clauses:(List.map (transform_clause t) d.dir_clauses)
+        ~loc:d.dir_loc ()
+    in
+    nd.dir_transformed <- Option.map (transform_stmt t) d.dir_transformed;
+    nd.dir_preinits <- Option.map (transform_stmt t) d.dir_preinits;
+    (* Loop helpers are rebuilt by Sema when the copy is re-analysed; they
+       are not carried over. *)
+    k (Omp_directive nd)
+
+and transform_captured t c =
+  {
+    cap_body = transform_stmt t c.cap_body;
+    cap_captures = List.map (remap_var t) c.cap_captures;
+    cap_byval = List.map (remap_var t) c.cap_byval;
+    cap_params = c.cap_params;
+  }
+
+and remap_var t v =
+  match Hashtbl.find_opt t.map v.v_id with
+  | Some (To_var nv) -> nv
+  | Some (To_expr _) | None -> v
+
+and transform_clause t c =
+  match c with
+  | C_num_threads e -> C_num_threads (transform_expr t e)
+  | C_schedule (k, chunk) -> C_schedule (k, Option.map (transform_expr t) chunk)
+  | C_collapse (n, e) -> C_collapse (n, transform_expr t e)
+  | C_full -> C_full
+  | C_partial p ->
+    C_partial (Option.map (fun (n, e) -> (n, transform_expr t e)) p)
+  | C_sizes sizes ->
+    C_sizes (List.map (fun (n, e) -> (n, transform_expr t e)) sizes)
+  | C_permutation ps ->
+    C_permutation (List.map (fun (n, e) -> (n, transform_expr t e)) ps)
+  | C_private vs -> C_private (List.map (remap_var t) vs)
+  | C_firstprivate vs -> C_firstprivate (List.map (remap_var t) vs)
+  | C_shared vs -> C_shared (List.map (remap_var t) vs)
+  | C_reduction (op, vs) -> C_reduction (op, List.map (remap_var t) vs)
+  | C_nowait -> C_nowait
+  | C_simdlen (n, e) -> C_simdlen (n, transform_expr t e)
+  | C_if e -> C_if (transform_expr t e)

@@ -1,0 +1,25 @@
+(** The TreeTransform engine (paper §1.3): creates copies of AST subtrees
+    with substitutions applied.  Clang uses it for template instantiation;
+    this reproduction uses it to build the transformed shadow ASTs of
+    [#pragma omp tile]/[unroll], substituting the original loop variables
+    with their reconstructed per-iteration values. *)
+
+open Mc_ast.Tree
+
+type t
+
+val create : unit -> t
+
+val substitute_var : t -> from:var -> into:var -> unit
+(** References to [from] in transformed subtrees become references to
+    [into]. *)
+
+val substitute_var_expr : t -> from:var -> into:expr -> unit
+(** References to [from] become a copy of [into] (which must be a pure
+    expression). *)
+
+val transform_expr : t -> expr -> expr
+val transform_stmt : t -> stmt -> stmt
+(** Deep copies with fresh node ids.  Declarations encountered inside the
+    subtree ([Decl_stmt]) are re-created (fresh [var]s) and references to
+    them remapped, as TreeTransform does for local declarations. *)

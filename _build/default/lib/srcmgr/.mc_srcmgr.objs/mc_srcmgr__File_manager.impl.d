@@ -1,0 +1,1 @@
+lib/srcmgr/file_manager.ml: Hashtbl List Memory_buffer

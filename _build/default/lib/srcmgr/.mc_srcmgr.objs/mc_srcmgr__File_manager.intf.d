@@ -1,0 +1,1 @@
+lib/srcmgr/file_manager.mli: Memory_buffer

@@ -1,0 +1,1 @@
+lib/srcmgr/memory_buffer.ml: String

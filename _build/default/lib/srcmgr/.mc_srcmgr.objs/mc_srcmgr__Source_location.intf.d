@@ -1,0 +1,1 @@
+lib/srcmgr/source_location.mli:

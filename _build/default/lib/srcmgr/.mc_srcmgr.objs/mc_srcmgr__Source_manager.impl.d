@@ -1,0 +1,1 @@
+lib/srcmgr/source_manager.ml: Array List Memory_buffer Printf Source_location String

@@ -1,0 +1,1 @@
+lib/srcmgr/source_manager.mli: Memory_buffer Source_location

@@ -1,0 +1,16 @@
+type t = {
+  table : (string, Memory_buffer.t) Hashtbl.t;
+  mutable order : string list; (* reverse registration order *)
+}
+
+let create () = { table = Hashtbl.create 16; order = [] }
+
+let add_file t ~path ~contents =
+  let buffer = Memory_buffer.create ~name:path ~contents in
+  if not (Hashtbl.mem t.table path) then t.order <- path :: t.order;
+  Hashtbl.replace t.table path buffer;
+  buffer
+
+let get_file t path = Hashtbl.find_opt t.table path
+let file_exists t path = Hashtbl.mem t.table path
+let files t = List.rev t.order

@@ -1,0 +1,18 @@
+(** Virtual file system, the analogue of Clang's FileManager.
+
+    The reproduction runs inside a sealed container and compiles sources that
+    tests and benchmarks construct programmatically, so the "file system" is
+    an in-memory map from path to buffer.  [#include] resolution in the
+    preprocessor goes through this interface. *)
+
+type t
+
+val create : unit -> t
+
+val add_file : t -> path:string -> contents:string -> Memory_buffer.t
+(** Registers (or replaces) a virtual file and returns its buffer. *)
+
+val get_file : t -> string -> Memory_buffer.t option
+val file_exists : t -> string -> bool
+val files : t -> string list
+(** Registered paths, in registration order. *)

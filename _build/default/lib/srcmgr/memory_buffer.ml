@@ -1,0 +1,8 @@
+type t = { name : string; contents : string }
+
+let create ~name ~contents = { name; contents }
+let name t = t.name
+let contents t = t.contents
+let length t = String.length t.contents
+let char_at t i = t.contents.[i]
+let sub t ~pos ~len = String.sub t.contents pos len

@@ -1,0 +1,15 @@
+(** An immutable chunk of source text with an identifying name, the analogue
+    of [llvm::MemoryBuffer] that Clang's FileManager hands to the
+    SourceManager (see Fig. 1 of the paper). *)
+
+type t
+
+val create : name:string -> contents:string -> t
+val name : t -> string
+val contents : t -> string
+val length : t -> int
+
+val char_at : t -> int -> char
+(** Raises [Invalid_argument] when out of bounds. *)
+
+val sub : t -> pos:int -> len:int -> string

@@ -1,0 +1,23 @@
+type t = int
+
+(* Offsets get the low 40 bits, the file id the bits above; file id 0 is
+   reserved for the invalid location so that [invalid] is simply 0. *)
+let offset_bits = 40
+let offset_mask = (1 lsl offset_bits) - 1
+let invalid = 0
+let is_valid t = t <> 0
+
+let encode ~file_id ~offset =
+  assert (file_id >= 1 && offset >= 0 && offset <= offset_mask);
+  (file_id lsl offset_bits) lor offset
+
+let file_id t = t lsr offset_bits
+let offset t = t land offset_mask
+let compare = Int.compare
+let equal = Int.equal
+let shift t n = if is_valid t then t + n else t
+
+type range = { range_begin : t; range_end : t }
+
+let range range_begin range_end = { range_begin; range_end }
+let point loc = { range_begin = loc; range_end = loc }

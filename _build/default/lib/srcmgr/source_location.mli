@@ -1,0 +1,28 @@
+(** Compact source locations, the analogue of [clang::SourceLocation].
+
+    A location is an opaque integer that the owning {!Source_manager} can
+    decompose into file/line/column.  Keeping it word-sized matters because
+    every token and AST node carries one.  The encoding packs a file id into
+    the high bits and a byte offset into the low bits. *)
+
+type t
+
+val invalid : t
+(** The "no location" value, used by compiler-synthesised nodes (e.g. shadow
+    AST statements that have no spelling in the source). *)
+
+val is_valid : t -> bool
+val encode : file_id:int -> offset:int -> t
+val file_id : t -> int
+val offset : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val shift : t -> int -> t
+(** [shift loc n] moves a valid location [n] bytes forward within the same
+    file; useful for pointing at the end of a token. *)
+
+type range = { range_begin : t; range_end : t }
+
+val range : t -> t -> range
+val point : t -> range

@@ -1,0 +1,107 @@
+type entry = {
+  buf : Memory_buffer.t;
+  mutable line_starts : int array option; (* built on first decomposition *)
+}
+
+type presumed = { filename : string; line : int; column : int }
+
+type t = {
+  mutable entries : entry array; (* index = file_id - 1 *)
+  mutable count : int;
+  mutable main : int option;
+}
+
+let create () = { entries = [||]; count = 0; main = None }
+
+let load_buffer t buf =
+  let entry = { buf; line_starts = None } in
+  let needed = t.count + 1 in
+  if needed > Array.length t.entries then begin
+    let grown = Array.make (max 8 (2 * needed)) entry in
+    Array.blit t.entries 0 grown 0 t.count;
+    t.entries <- grown
+  end;
+  t.entries.(t.count) <- entry;
+  t.count <- needed;
+  t.count
+
+let load_main t buf =
+  let id = load_buffer t buf in
+  t.main <- Some id;
+  id
+
+let main_file_id t = t.main
+
+let entry t file_id =
+  if file_id < 1 || file_id > t.count then
+    invalid_arg (Printf.sprintf "Source_manager: unknown file id %d" file_id);
+  t.entries.(file_id - 1)
+
+let buffer t file_id = (entry t file_id).buf
+let buffer_of_loc t loc = buffer t (Source_location.file_id loc)
+
+let location _t ~file_id ~offset = Source_location.encode ~file_id ~offset
+
+let line_starts e =
+  match e.line_starts with
+  | Some starts -> starts
+  | None ->
+    let contents = Memory_buffer.contents e.buf in
+    let acc = ref [ 0 ] in
+    String.iteri (fun i c -> if c = '\n' then acc := (i + 1) :: !acc) contents;
+    let starts = Array.of_list (List.rev !acc) in
+    e.line_starts <- Some starts;
+    starts
+
+(* Largest index whose start is <= offset, found by binary search. *)
+let line_index starts offset =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi + 1) / 2 in
+      if starts.(mid) <= offset then go mid hi else go lo (mid - 1)
+  in
+  go 0 (Array.length starts - 1)
+
+let presumed t loc =
+  if not (Source_location.is_valid loc) then None
+  else begin
+    let e = entry t (Source_location.file_id loc) in
+    let offset = Source_location.offset loc in
+    let starts = line_starts e in
+    let li = line_index starts offset in
+    Some
+      {
+        filename = Memory_buffer.name e.buf;
+        line = li + 1;
+        column = offset - starts.(li) + 1;
+      }
+  end
+
+let spelling t loc ~len =
+  let buf = buffer_of_loc t loc in
+  let pos = Source_location.offset loc in
+  let len = min len (Memory_buffer.length buf - pos) in
+  Memory_buffer.sub buf ~pos ~len
+
+let line_text t loc =
+  if not (Source_location.is_valid loc) then None
+  else begin
+    let e = entry t (Source_location.file_id loc) in
+    let starts = line_starts e in
+    let offset = Source_location.offset loc in
+    let li = line_index starts offset in
+    let start = starts.(li) in
+    let contents = Memory_buffer.contents e.buf in
+    let stop =
+      match String.index_from_opt contents start '\n' with
+      | Some i -> i
+      | None -> String.length contents
+    in
+    Some (String.sub contents start (stop - start))
+  end
+
+let describe t loc =
+  match presumed t loc with
+  | None -> "<invalid loc>"
+  | Some p -> Printf.sprintf "%s:%d:%d" p.filename p.line p.column

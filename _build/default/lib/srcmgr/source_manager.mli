@@ -1,0 +1,39 @@
+(** Owner of all buffers entering the compilation, the analogue of
+    [clang::SourceManager].  It assigns file ids, builds line maps lazily,
+    and decomposes {!Source_location.t} values into presumed locations for
+    diagnostics. *)
+
+type t
+
+type presumed = {
+  filename : string;
+  line : int; (* 1-based *)
+  column : int; (* 1-based, in bytes *)
+}
+
+val create : unit -> t
+
+val load_buffer : t -> Memory_buffer.t -> int
+(** Registers a buffer and returns its file id (>= 1). *)
+
+val load_main : t -> Memory_buffer.t -> int
+(** Like {!load_buffer} but also records the buffer as the main file. *)
+
+val main_file_id : t -> int option
+val buffer : t -> int -> Memory_buffer.t
+val buffer_of_loc : t -> Source_location.t -> Memory_buffer.t
+
+val location : t -> file_id:int -> offset:int -> Source_location.t
+
+val presumed : t -> Source_location.t -> presumed option
+(** [None] for the invalid location. *)
+
+val spelling : t -> Source_location.t -> len:int -> string
+(** The source text starting at a location. *)
+
+val line_text : t -> Source_location.t -> string option
+(** The full source line containing a location, without its newline; used by
+    the diagnostic renderer for caret snippets. *)
+
+val describe : t -> Source_location.t -> string
+(** ["file:line:col"] or ["<invalid loc>"]. *)

@@ -1,0 +1,1 @@
+lib/support/int_ops.ml: Int64 Printf

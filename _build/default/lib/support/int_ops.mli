@@ -1,0 +1,67 @@
+(** Fixed-width two's-complement integer arithmetic.
+
+    The C subset compiled by this project gives its integer types precise
+    widths (8/16/32/64 bits, signed or unsigned).  Constant evaluation in
+    Sema, on-the-fly folding in the IR builder, and the IR interpreter must
+    all agree bit-for-bit, so they share this module.  Values are carried in
+    an [int64] whose low [bits] bits are significant; the canonical form is
+    sign- or zero-extended to 64 bits according to [signed]. *)
+
+type width = { bits : int; signed : bool }
+
+val i1 : width
+val i8 : width
+val i16 : width
+val i32 : width
+val i64 : width
+val u8 : width
+val u16 : width
+val u32 : width
+val u64 : width
+
+val truncate : width -> int64 -> int64
+(** [truncate w v] reduces [v] to the canonical 64-bit representation of a
+    [w]-wide value: the low [w.bits] bits of [v], sign-extended when
+    [w.signed] and zero-extended otherwise. *)
+
+val min_value : width -> int64
+val max_value : width -> int64
+
+val in_range : width -> int64 -> bool
+(** Whether [v] is already canonical for [w]. *)
+
+val add : width -> int64 -> int64 -> int64
+val sub : width -> int64 -> int64 -> int64
+val mul : width -> int64 -> int64 -> int64
+
+val div : width -> int64 -> int64 -> int64 option
+(** C semantics: truncation toward zero; [None] on division by zero or on
+    signed overflow (MIN / -1). *)
+
+val rem : width -> int64 -> int64 -> int64 option
+
+val neg : width -> int64 -> int64
+val bit_not : width -> int64 -> int64
+val bit_and : width -> int64 -> int64 -> int64
+val bit_or : width -> int64 -> int64 -> int64
+val bit_xor : width -> int64 -> int64 -> int64
+
+val shl : width -> int64 -> int64 -> int64
+val shr : width -> int64 -> int64 -> int64
+(** Arithmetic shift for signed widths, logical for unsigned; shift amounts
+    are taken modulo the width, as on common hardware. *)
+
+val lt : width -> int64 -> int64 -> bool
+val le : width -> int64 -> int64 -> bool
+(** Signedness-aware comparisons of canonical values. *)
+
+val unsigned_lt : int64 -> int64 -> bool
+(** 64-bit unsigned comparison regardless of width. *)
+
+val convert : from:width -> into:width -> int64 -> int64
+(** C integer conversion: truncate or extend [v] (canonical for [from]) into
+    the canonical representation for [into]. *)
+
+val to_string : width -> int64 -> string
+(** Decimal rendering honouring signedness (e.g. [0xFFFFFFFF] at [u32] prints
+    ["4294967295"]). *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Int64 List Mc_core Mc_diag Mc_interp Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_ast.ml: Alcotest Helpers List Mc_ast Mc_core Mc_diag Mc_interp Mc_srcmgr

@@ -1,0 +1,1 @@
+test/test_canonical.ml: Alcotest Helpers Int64 List Mc_ast Mc_diag Mc_parser Mc_pp Mc_sema Mc_srcmgr Mc_support Printf

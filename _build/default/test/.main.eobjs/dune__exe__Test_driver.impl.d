@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Helpers List Mc_core Mc_interp Printf

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Buffer Helpers Int64 List Mc_ast Mc_core Mc_diag Mc_interp Mc_sema Printf

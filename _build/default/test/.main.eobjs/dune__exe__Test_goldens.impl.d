@@ -1,0 +1,1 @@
+test/test_goldens.ml: Alcotest Helpers Int64 List Mc_ast Mc_codegen Mc_core Mc_diag Mc_interp Mc_ir Printf String

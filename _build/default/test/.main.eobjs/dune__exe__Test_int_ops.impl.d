@@ -1,0 +1,1 @@
+test/test_int_ops.ml: Alcotest Bool Helpers Int64 Mc_support QCheck

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Helpers Int64 List Mc_interp Mc_ir Mc_ompbuilder Mc_omprt Option QCheck

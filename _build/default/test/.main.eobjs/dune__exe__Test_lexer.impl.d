@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Gen Helpers List Mc_diag Mc_lexer Mc_srcmgr QCheck String

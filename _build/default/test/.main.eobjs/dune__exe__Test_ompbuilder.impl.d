@@ -1,0 +1,1 @@
+test/test_ompbuilder.ml: Alcotest Fun Helpers Int64 List Mc_interp Mc_ir Mc_ompbuilder Option Printf

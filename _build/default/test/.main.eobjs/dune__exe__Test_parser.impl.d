@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Hashtbl Helpers List Mc_ast Mc_core Mc_diag Option

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Hashtbl Helpers List Mc_core Mc_diag Mc_interp Mc_ir Mc_passes Option Printf String

@@ -1,0 +1,1 @@
+test/test_pp.ml: Alcotest Helpers List Mc_diag Mc_lexer Mc_pp Mc_srcmgr String

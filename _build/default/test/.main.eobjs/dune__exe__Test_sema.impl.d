@@ -1,0 +1,1 @@
+test/test_sema.ml: Alcotest Helpers List Mc_ast Mc_core Mc_diag Mc_sema Mc_support Option

@@ -1,0 +1,1 @@
+test/test_shadow.ml: Alcotest Helpers List Mc_ast Mc_sema Mc_srcmgr Option Test_canonical

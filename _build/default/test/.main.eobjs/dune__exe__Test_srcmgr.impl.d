@@ -1,0 +1,1 @@
+test/test_srcmgr.ml: Alcotest Helpers Mc_diag Mc_srcmgr Printf

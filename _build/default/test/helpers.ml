@@ -1,0 +1,85 @@
+(* Shared helpers for the test suites. *)
+
+module Driver = Mc_core.Driver
+module Interp = Mc_interp.Interp
+module Diag = Mc_diag.Diagnostics
+
+let classic = Driver.default_options
+let irbuilder = { Driver.default_options with Driver.use_irbuilder = true }
+let o0 options = { options with Driver.optimize = false }
+
+let trace_to_string trace =
+  String.concat ";"
+    (List.map
+       (function
+         | Interp.T_int v -> Int64.to_string v
+         | Interp.T_float f -> Printf.sprintf "%h" f)
+       trace)
+
+(* Compile and run; fails the test on any diagnostic error or trap. *)
+let run_ok ?(options = classic) ?(num_threads = 4) source =
+  let config = { Interp.default_config with Interp.num_threads } in
+  match Driver.compile_and_run ~options ~config source with
+  | Ok outcome -> outcome
+  | Error msg -> Alcotest.failf "program failed:\n%s" msg
+
+let trace_of ?options ?num_threads source =
+  (run_ok ?options ?num_threads source).Interp.trace
+
+(* The core differential harness: for each team size, the observable trace
+   must be identical across both OpenMP lowering paths, optimization levels
+   and folding settings (the reference is classic -O0 at that size — traces
+   may legitimately depend on the team size, e.g. when recording thread
+   ids, but never on the compilation configuration). *)
+let assert_all_configs_agree ?(threads = [ 1; 3; 4 ]) ~name source =
+  List.iter
+    (fun num_threads ->
+      let reference = trace_of ~options:(o0 classic) ~num_threads source in
+      if reference = [] then
+        Alcotest.failf "%s: reference trace is empty (test would be vacuous)"
+          name;
+      List.iter
+        (fun (label, options) ->
+          let trace = trace_of ~options ~num_threads source in
+          if not (Interp.trace_equal reference trace) then
+            Alcotest.failf
+              "%s: %s with %d threads diverges:\nexpected %s\ngot      %s" name
+              label num_threads (trace_to_string reference)
+              (trace_to_string trace))
+        [
+          ("classic -O1", classic);
+          ("irbuilder -O0", o0 irbuilder);
+          ("irbuilder -O1", irbuilder);
+          ("classic -O1 -no-fold", { classic with Driver.fold = false });
+          ("irbuilder -O1 -no-fold", { irbuilder with Driver.fold = false });
+        ])
+    threads
+
+let expect_error ?(options = classic) ~substring source =
+  let diag, _ = Driver.frontend ~options source in
+  let rendered = Diag.render_all diag in
+  if not (Diag.has_errors diag) then
+    Alcotest.failf "expected a diagnostic containing %S, got none" substring;
+  let contains haystack needle =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+    go 0
+  in
+  if not (contains rendered substring) then
+    Alcotest.failf "expected a diagnostic containing %S, got:\n%s" substring
+      rendered
+
+let contains_substring haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let check_contains ~what haystack needle =
+  if not (contains_substring haystack needle) then
+    Alcotest.failf "%s: expected to find %S in:\n%s" what needle haystack
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* A little wrapper making qcheck tests uniform. *)
+let prop name ?(count = 200) arbitrary f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arbitrary f)

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "loop-transformations-clang-ast"
+    [
+      ("int_ops", Test_int_ops.suite);
+      ("srcmgr", Test_srcmgr.suite);
+      ("lexer", Test_lexer.suite);
+      ("preprocessor", Test_pp.suite);
+      ("ast", Test_ast.suite);
+      ("parser", Test_parser.suite);
+      ("sema", Test_sema.suite);
+      ("canonical", Test_canonical.suite);
+      ("shadow", Test_shadow.suite);
+      ("ir", Test_ir.suite);
+      ("ompbuilder", Test_ompbuilder.suite);
+      ("passes", Test_passes.suite);
+      ("interp", Test_interp.suite);
+      ("driver", Test_driver.suite);
+      ("goldens", Test_goldens.suite);
+      ("e2e", Test_e2e.suite);
+      ("fuzz", Test_fuzz.suite);
+    ]

@@ -1,0 +1,226 @@
+(* AST-level tests: the class hierarchies of the paper's Figs. 3-5, the
+   shadow-node budget of experiment C1, dumping and unparsing. *)
+
+open Helpers
+open Mc_ast.Tree
+module Classify = Mc_ast.Classify
+module Visit = Mc_ast.Visit
+module Dump = Mc_ast.Dump
+module Unparse = Mc_ast.Unparse
+module Driver = Mc_core.Driver
+
+let frontend ?(options = classic) source =
+  let diag, tu = Driver.frontend ~options source in
+  if Mc_diag.Diagnostics.has_errors diag then
+    Alcotest.failf "frontend errors:\n%s" (Mc_diag.Diagnostics.render_all diag);
+  tu
+
+let find_directive tu =
+  let found = ref None in
+  List.iter
+    (function
+      | Tu_fn { fn_body = Some body; _ } ->
+        Visit.iter ~shadow:false
+          ~on_stmt:(fun s ->
+            match s.s_kind with
+            | Omp_directive d when !found = None -> found := Some d
+            | _ -> ())
+          body
+      | _ -> ())
+    tu.tu_decls;
+  match !found with Some d -> d | None -> Alcotest.fail "no directive found"
+
+(* ---- Fig. 3: base Stmt hierarchy -------------------------------------- *)
+
+let test_hierarchy_fig3 () =
+  let tu =
+    frontend
+      "void body(int i);\n\
+       int main(void) {\n\
+       #pragma omp parallel for\n\
+       for (int i = 0; i < 4; i += 1) body(i);\n\
+       return 0; }"
+  in
+  let d = find_directive tu in
+  let stmt = mk_stmt ~loc:Mc_srcmgr.Source_location.invalid (Omp_directive d) in
+  Alcotest.(check (list string))
+    "parallel for ancestry"
+    [ "OMPParallelForDirective"; "OMPLoopDirective"; "OMPLoopBasedDirective";
+      "OMPExecutableDirective"; "Stmt" ]
+    (Classify.stmt_ancestry stmt)
+
+(* ---- Fig. 4: the loop-transformation layer ----------------------------- *)
+
+let test_hierarchy_fig4 () =
+  let mk kind =
+    mk_stmt ~loc:Mc_srcmgr.Source_location.invalid
+      (Omp_directive (mk_directive ~kind ~clauses:[] ~loc:Mc_srcmgr.Source_location.invalid ()))
+  in
+  Alcotest.(check (list string))
+    "unroll sits under OMPLoopBasedDirective but not OMPLoopDirective"
+    [ "OMPUnrollDirective"; "OMPLoopBasedDirective"; "OMPExecutableDirective"; "Stmt" ]
+    (Classify.stmt_ancestry (mk D_unroll));
+  Alcotest.(check (list string))
+    "tile likewise"
+    [ "OMPTileDirective"; "OMPLoopBasedDirective"; "OMPExecutableDirective"; "Stmt" ]
+    (Classify.stmt_ancestry (mk D_tile));
+  Alcotest.(check (list string))
+    "parallel is a plain executable directive"
+    [ "OMPParallelDirective"; "OMPExecutableDirective"; "Stmt" ]
+    (Classify.stmt_ancestry (mk D_parallel));
+  (* The classifier relations themselves. *)
+  Alcotest.(check bool) "unroll loop-based" true
+    (Classify.is_omp_loop_based_directive D_unroll);
+  Alcotest.(check bool) "unroll not loop-directive" false
+    (Classify.is_omp_loop_directive D_unroll);
+  Alcotest.(check bool) "for is loop-directive" true
+    (Classify.is_omp_loop_directive D_for);
+  Alcotest.(check bool) "unroll is transformation" true
+    (Classify.is_loop_transformation D_unroll);
+  Alcotest.(check bool) "for is not" false (Classify.is_loop_transformation D_for)
+
+(* ---- Fig. 5: the clause hierarchy -------------------------------------- *)
+
+let test_hierarchy_fig5 () =
+  List.iter
+    (fun (c, expected) ->
+      Alcotest.(check (list string))
+        expected
+        [ expected; "OMPClause" ]
+        (Classify.clause_ancestry c))
+    [
+      (C_full, "OMPFullClause");
+      (C_partial None, "OMPPartialClause");
+      (C_sizes [], "OMPSizesClause");
+      (C_nowait, "OMPNowaitClause");
+    ]
+
+(* ---- C1: shadow-node budget --------------------------------------------- *)
+
+let test_shadow_node_budget () =
+  (* The paper: OMPLoopDirective has up to 30 shadow statements plus 6 per
+     associated loop; OMPCanonicalLoop needs exactly 3 pieces of meta
+     information. *)
+  let tu =
+    frontend
+      "void body(int i);\n\
+       int main(void) {\n\
+       #pragma omp parallel for collapse(2)\n\
+       for (int i = 0; i < 4; i += 1)\n\
+       for (int j = 0; j < 4; j += 1) body(i + j);\n\
+       return 0; }"
+  in
+  let d = find_directive tu in
+  (match d.dir_loop_helpers with
+  | Some h ->
+    Alcotest.(check int) "slots for depth 2" (30 + 12) (Visit.helper_slot_count h);
+    let occupied = Visit.helper_occupied_count h in
+    if occupied < 16 + 12 then
+      Alcotest.failf "expected at least 28 occupied helper slots, got %d" occupied
+  | None -> Alcotest.fail "classic loop directive must carry helpers");
+  (* Irbuilder mode: exactly 3. *)
+  let tu2 =
+    frontend ~options:irbuilder
+      "void body(int i);\n\
+       int main(void) {\n\
+       #pragma omp unroll partial(2)\n\
+       for (int i = 0; i < 4; i += 1) body(i);\n\
+       return 0; }"
+  in
+  let d2 = find_directive tu2 in
+  match d2.dir_assoc with
+  | Some { s_kind = Omp_canonical_loop ocl; _ } ->
+    Alcotest.(check int) "canonical meta count" 3 (Visit.canonical_meta_count ocl)
+  | _ -> Alcotest.fail "irbuilder unroll should wrap an OMPCanonicalLoop"
+
+let test_shadow_hidden_from_children () =
+  (* Clang's children() does not expose shadow nodes (paper §1.2): node
+     counts with and without shadow must differ for a classic tile. *)
+  let tu =
+    frontend
+      "void body(int i);\n\
+       int main(void) {\n\
+       #pragma omp tile sizes(4)\n\
+       for (int i = 0; i < 16; i += 1) body(i);\n\
+       return 0; }"
+  in
+  let d = find_directive tu in
+  let stmt = mk_stmt ~loc:Mc_srcmgr.Source_location.invalid (Omp_directive d) in
+  let visible = Visit.count_nodes ~shadow:false stmt in
+  let with_shadow = Visit.count_nodes ~shadow:true stmt in
+  if with_shadow <= visible then
+    Alcotest.failf "shadow nodes missing: visible %d, with shadow %d" visible
+      with_shadow;
+  (* The transformed AST exists but is not a visible child. *)
+  Alcotest.(check bool) "transformed stored" true (d.dir_transformed <> None);
+  let dump_plain = Dump.stmt stmt in
+  let dump_shadow = Dump.stmt ~shadow:true stmt in
+  Alcotest.(check bool) "plain dump hides transformed" false
+    (contains_substring dump_plain "<transformed>");
+  check_contains ~what:"shadow dump" dump_shadow "<transformed>"
+
+(* ---- dump details --------------------------------------------------------- *)
+
+let test_dump_format () =
+  let tu =
+    frontend
+      "int main(void) { int x = 1; if (x < 2) x = x + 1; return x; }"
+  in
+  let dump = Dump.translation_unit tu in
+  check_contains ~what:"root" dump "TranslationUnitDecl";
+  check_contains ~what:"fn" dump "FunctionDecl main 'int ()'";
+  check_contains ~what:"var" dump "VarDecl 1 used x 'int' cinit";
+  check_contains ~what:"if" dump "IfStmt";
+  check_contains ~what:"binop" dump "BinaryOperator 'int' '<'";
+  check_contains ~what:"lvalue cast" dump "ImplicitCastExpr 'int' <LValueToRValue>";
+  check_contains ~what:"tree art" dump "|-";
+  check_contains ~what:"tree art last" dump "`-"
+
+let test_unparse_roundtrip () =
+  (* Unparse then re-frontend: the second AST must unparse identically
+     (a fixpoint check that exercises precedence printing). *)
+  let source =
+    "void record(long x);\n\
+     int main(void) {\n\
+     int a = 1 + 2 * 3;\n\
+     int b = (1 + 2) * 3;\n\
+     int c = a < b ? a : b & 3;\n\
+     int d = -a + ~b;\n\
+     record(a + b + c + d);\n\
+     return 0; }"
+  in
+  let tu1 = frontend source in
+  let printed1 = Unparse.translation_unit_to_string tu1 in
+  let tu2 = frontend printed1 in
+  let printed2 = Unparse.translation_unit_to_string tu2 in
+  Alcotest.(check string) "unparse fixpoint" printed1 printed2
+
+let test_unparse_preserves_semantics () =
+  let source =
+    "void record(long x);\n\
+     int main(void) {\n\
+     int total = 0;\n\
+     for (int i = 0; i < 10; i += 1) {\n\
+     if (i % 2 == 0) continue;\n\
+     total += i * i - 1;\n\
+     }\n\
+     record(total);\n\
+     return 0; }"
+  in
+  let tu = frontend source in
+  let printed = Unparse.translation_unit_to_string tu in
+  let t1 = trace_of source in
+  let t2 = trace_of printed in
+  Alcotest.(check bool) "same trace" true (Mc_interp.Interp.trace_equal t1 t2)
+
+let suite =
+  [
+    tc "Fig 3: Stmt hierarchy" test_hierarchy_fig3;
+    tc "Fig 4: loop-transformation hierarchy" test_hierarchy_fig4;
+    tc "Fig 5: clause hierarchy" test_hierarchy_fig5;
+    tc "C1: shadow node budget 30+6d vs 3" test_shadow_node_budget;
+    tc "shadow AST hidden from children" test_shadow_hidden_from_children;
+    tc "dump format" test_dump_format;
+    tc "unparse fixpoint" test_unparse_roundtrip;
+    tc "unparse preserves semantics" test_unparse_preserves_semantics;
+  ]

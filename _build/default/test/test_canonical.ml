@@ -1,0 +1,215 @@
+(* Unit tests for the canonical-loop analysis (Mc_sema.Canonical): the
+   init/cond/incr field extraction, the synthesised trip-count and
+   user-value expressions (checked by constant evaluation against reference
+   arithmetic), and the counter-width rules of paper §3.1. *)
+
+open Helpers
+open Mc_ast.Tree
+module Canonical = Mc_sema.Canonical
+module Const_eval = Mc_sema.Const_eval
+module Sema = Mc_sema.Sema
+module Ctype = Mc_ast.Ctype
+
+(* Parse one for-loop (inside a driver main) and run Canonical.analyze on
+   it with the same Sema instance. *)
+let analyze_loop ?(decls = "") loop =
+  let source =
+    "void record(long x);\nint main(void) {\n" ^ decls ^ "\n" ^ loop
+    ^ "\nreturn 0; }"
+  in
+  let srcmgr = Mc_srcmgr.Source_manager.create () in
+  let fmgr = Mc_srcmgr.File_manager.create () in
+  let diag = Mc_diag.Diagnostics.create srcmgr in
+  let pp = Mc_pp.Preprocessor.create diag srcmgr fmgr in
+  let items =
+    Mc_pp.Preprocessor.preprocess_main pp
+      (Mc_srcmgr.Memory_buffer.create ~name:"c.c" ~contents:source)
+  in
+  let sema = Sema.create diag in
+  let tu = Mc_parser.Parser.parse_translation_unit sema items in
+  if Mc_diag.Diagnostics.has_errors diag then
+    Alcotest.failf "parse failed:\n%s" (Mc_diag.Diagnostics.render_all diag);
+  let found = ref None in
+  List.iter
+    (function
+      | Tu_fn { fn_body = Some body; fn_name = "main"; _ } ->
+        Mc_ast.Visit.iter ~shadow:false
+          ~on_stmt:(fun s ->
+            match s.s_kind with
+            | For _ | Range_for _ -> if !found = None then found := Some s
+            | _ -> ())
+          body
+      | _ -> ())
+    tu.tu_decls;
+  match !found with
+  | None -> Alcotest.fail "no loop found"
+  | Some loop_stmt -> (
+    match Canonical.analyze sema loop_stmt with
+    | Some a -> (sema, a)
+    | None ->
+      Alcotest.failf "analysis rejected the loop:\n%s"
+        (Mc_diag.Diagnostics.render_all diag))
+
+let eval_or_fail what e =
+  match Const_eval.eval_int e with
+  | Some v -> v
+  | None -> Alcotest.failf "%s is not a constant" what
+
+let test_field_extraction () =
+  let _, a = analyze_loop "for (int i = 7; i < 17; i += 3) record(i);" in
+  Alcotest.(check string) "var" "i" a.Canonical.cl_iter_var.v_name;
+  Alcotest.(check int64) "init" 7L (eval_or_fail "init" a.Canonical.cl_init);
+  Alcotest.(check int64) "bound" 17L (eval_or_fail "bound" a.Canonical.cl_bound);
+  Alcotest.(check (option int64)) "step" (Some 3L) a.Canonical.cl_step_const;
+  Alcotest.(check bool) "up" true (a.Canonical.cl_dir = Canonical.Up);
+  Alcotest.(check bool) "lt" true (a.Canonical.cl_cmp = Canonical.Cmp_lt);
+  Alcotest.(check string) "counter type" "unsigned int"
+    (Ctype.to_string a.Canonical.cl_counter_ty)
+
+let test_commuted_and_down () =
+  let _, a = analyze_loop "for (int i = 0; 10 > i; ++i) record(i);" in
+  Alcotest.(check bool) "commuted lt" true (a.Canonical.cl_cmp = Canonical.Cmp_lt);
+  let _, a = analyze_loop "for (int i = 20; i >= 5; i -= 4) record(i);" in
+  Alcotest.(check bool) "down" true (a.Canonical.cl_dir = Canonical.Down);
+  Alcotest.(check bool) "ge" true (a.Canonical.cl_cmp = Canonical.Cmp_ge);
+  Alcotest.(check (option int64)) "magnitude" (Some 4L) a.Canonical.cl_step_const
+
+let test_counter_widths () =
+  (* §3.1: the logical counter is unsigned, wide enough for the iteration
+     space of the variable's type. *)
+  let check decls loop expected =
+    let _, a = analyze_loop ~decls loop in
+    Alcotest.(check string) loop expected
+      (Ctype.to_string a.Canonical.cl_counter_ty)
+  in
+  check "" "for (int i = 0; i < 4; ++i) record(i);" "unsigned int";
+  check "" "for (unsigned i = 0; i < 4u; ++i) record(i);" "unsigned int";
+  check "" "for (long i = 0; i < 4; ++i) record(i);" "unsigned long";
+  check "double a[3];" "for (double &v : a) recordf(v);" "unsigned long";
+  ()
+
+(* Reference trip count in plain OCaml. *)
+let reference_count ~init ~bound ~step ~cmp =
+  let rec go i n =
+    let continue_ =
+      match cmp with
+      | `Lt -> i < bound
+      | `Le -> i <= bound
+      | `Gt -> i > bound
+      | `Ge -> i >= bound
+    in
+    if continue_ then go (i + step) (n + 1) else n
+  in
+  go init 0
+
+let test_trip_count_matrix () =
+  List.iter
+    (fun (init, bound, step, cmp, cmp_str) ->
+      let loop =
+        Printf.sprintf "for (int i = %d; i %s %d; i += %d) record(i);" init
+          cmp_str bound step
+      in
+      (* Negative steps spelled as -= magnitude. *)
+      let loop =
+        if step < 0 then
+          Printf.sprintf "for (int i = %d; i %s %d; i -= %d) record(i);" init
+            cmp_str bound (-step)
+        else loop
+      in
+      let sema, a = analyze_loop loop in
+      let tc = Canonical.trip_count_expr sema a in
+      let got = eval_or_fail loop tc in
+      let expected = reference_count ~init ~bound ~step ~cmp in
+      Alcotest.(check int64) loop (Int64.of_int expected) got)
+    [
+      (0, 10, 1, `Lt, "<");
+      (0, 10, 3, `Lt, "<");
+      (0, 10, 3, `Le, "<=");
+      (7, 17, 3, `Lt, "<");
+      (5, 5, 1, `Lt, "<");
+      (5, 5, 1, `Le, "<=");
+      (6, 5, 1, `Lt, "<"); (* empty *)
+      (10, 0, -1, `Gt, ">");
+      (10, 0, -3, `Gt, ">");
+      (10, 0, -3, `Ge, ">=");
+      (0, 10, -1, `Gt, ">"); (* empty downward *)
+      (-5, 5, 2, `Lt, "<");
+      (-10, -2, 3, `Le, "<=");
+    ]
+
+let test_user_value_matrix () =
+  (* user_value(k) = init + k*step (up) / init - k*step (down), in the
+     variable's own wrapped arithmetic. *)
+  List.iter
+    (fun (loop, logicals_and_expected) ->
+      let sema, a = analyze_loop loop in
+      List.iter
+        (fun (k, expected) ->
+          let logical =
+            Sema.intexpr sema (Int64.of_int k) a.Canonical.cl_counter_ty
+              Mc_srcmgr.Source_location.invalid
+          in
+          let v = Canonical.user_value_expr sema a ~logical in
+          Alcotest.(check int64)
+            (Printf.sprintf "%s @%d" loop k)
+            expected
+            (eval_or_fail "user value" v))
+        logicals_and_expected)
+    [
+      ("for (int i = 7; i < 17; i += 3) record(i);",
+       [ (0, 7L); (1, 10L); (3, 16L) ]);
+      ("for (int i = 20; i > 0; i -= 4) record(i);",
+       [ (0, 20L); (2, 12L); (4, 4L) ]);
+      ("for (int i = -5; i <= 5; ++i) record(i);", [ (0, -5L); (10, 5L) ]);
+    ]
+
+let test_make_canonical_loop_shape () =
+  let sema, a = analyze_loop "for (int i = 2; i < 9; i += 2) record(i);" in
+  let wrapped = Canonical.make_canonical_loop sema a in
+  match wrapped.s_kind with
+  | Omp_canonical_loop ocl ->
+    (* Exactly the 3 pieces of §3 meta information. *)
+    Alcotest.(check int) "meta" 3 (Mc_ast.Visit.canonical_meta_count ocl);
+    (* Distance lambda: one out-parameter, assignment body. *)
+    Alcotest.(check int) "distance params" 1
+      (List.length ocl.ocl_distance.cap_params);
+    (* Loop-value lambda: result + logical. *)
+    Alcotest.(check int) "loop-value params" 2
+      (List.length ocl.ocl_loop_value.cap_params);
+    (match ocl.ocl_var_ref.e_kind with
+    | Decl_ref v -> Alcotest.(check string) "user var" "i" v.v_name
+    | _ -> Alcotest.fail "var ref");
+    Alcotest.(check int) "counter width" 32
+      ocl.ocl_counter_width.Mc_support.Int_ops.bits;
+    Alcotest.(check bool) "unsigned" false
+      ocl.ocl_counter_width.Mc_support.Int_ops.signed
+  | _ -> Alcotest.fail "expected OMPCanonicalLoop"
+
+let test_range_for_analysis () =
+  let _, a =
+    analyze_loop ~decls:"double arr[5];" "for (double &v : arr) recordf(v);"
+  in
+  Alcotest.(check bool) "flagged" true a.Canonical.cl_is_range_for;
+  Alcotest.(check string) "iteration var is __begin" "__begin"
+    a.Canonical.cl_iter_var.v_name;
+  Alcotest.(check string) "user var is v" "v" a.Canonical.cl_user_var.v_name;
+  (* Fig. 8c: the memoised de-sugared loop exists on demand. *)
+  (match a.Canonical.cl_stmt.s_kind with
+  | Range_for rf ->
+    let sema, _ = analyze_loop ~decls:"double arr[5];" "for (double &v : arr) recordf(v);" in
+    let d = Canonical.desugared_range_for sema rf ~loc:a.Canonical.cl_stmt.s_loc in
+    let dump = Mc_ast.Dump.stmt d in
+    check_contains ~what:"distance var" dump "__distance";
+    check_contains ~what:"index var" dump "__i"
+  | _ -> Alcotest.fail "not a range for")
+
+let suite =
+  [
+    tc "field extraction" test_field_extraction;
+    tc "commuted conditions and downward loops" test_commuted_and_down;
+    tc "counter width rules (3.1)" test_counter_widths;
+    tc "trip-count expression matrix" test_trip_count_matrix;
+    tc "user-value expression matrix" test_user_value_matrix;
+    tc "OMPCanonicalLoop construction shape" test_make_canonical_loop_shape;
+    tc "range-for analysis and Fig 8c" test_range_for_analysis;
+  ]

@@ -1,0 +1,301 @@
+(* Differential fuzzing: a generator of random (but always well-formed)
+   C-subset programs with OpenMP loop directives, whose observable traces
+   must agree across {classic, irbuilder} x {-O0, -O1}.
+
+   The generator is deliberately biased toward the constructs the paper is
+   about: canonical for-loops with assorted init/cond/incr shapes, unroll
+   and tile with random factors/sizes, composition of transformations, and
+   worksharing on top.  Every generated program records enough intermediate
+   values that miscompilations cannot hide. *)
+
+open Helpers
+module Driver = Mc_core.Driver
+module Interp = Mc_interp.Interp
+
+(* A tiny deterministic PRNG so failures reproduce from the seed. *)
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = Int64.of_int (seed * 2654435761 + 1) }
+
+  let next t =
+    (* xorshift64* *)
+    let x = t.state in
+    let x = Int64.logxor x (Int64.shift_right_logical x 12) in
+    let x = Int64.logxor x (Int64.shift_left x 25) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 27) in
+    t.state <- x;
+    Int64.to_int (Int64.shift_right_logical (Int64.mul x 0x2545F4914F6CDD1DL) 33)
+
+  let int t bound = if bound <= 0 then 0 else next t mod bound
+  let pick t list = List.nth list (int t (List.length list))
+end
+
+(* ---- random expression over in-scope integer variables ----------------- *)
+
+let rec gen_expr rng depth vars =
+  if depth = 0 || Rng.int rng 3 = 0 then
+    match Rng.int rng 3 with
+    | 0 -> string_of_int (Rng.int rng 20 - 5)
+    | _ when vars <> [] -> Rng.pick rng vars
+    | _ -> string_of_int (Rng.int rng 9 + 1)
+  else begin
+    let a = gen_expr rng (depth - 1) vars in
+    let b = gen_expr rng (depth - 1) vars in
+    match Rng.int rng 8 with
+    | 0 -> Printf.sprintf "(%s + %s)" a b
+    | 1 -> Printf.sprintf "(%s - %s)" a b
+    | 2 -> Printf.sprintf "(%s * %s)" a b
+    | 3 -> Printf.sprintf "(%s ^ %s)" a b
+    | 4 -> Printf.sprintf "(%s & %s)" a b
+    | 5 -> Printf.sprintf "(%s | (%s >> 1))" a b
+    | 6 -> Printf.sprintf "(%s < %s ? %s : %s)" a b b a
+    | _ -> Printf.sprintf "(%s %% 7 + %s)" a b
+  end
+
+(* ---- random canonical loop headers -------------------------------------- *)
+
+type loop_shape = { header : string; var : string }
+
+let gen_loop_header rng var =
+  let lb = Rng.int rng 6 in
+  let extent = 1 + Rng.int rng 12 in
+  let step = 1 + Rng.int rng 4 in
+  let ub = lb + (extent * step) - Rng.int rng step in
+  match Rng.int rng 6 with
+  | 0 ->
+    { header = Printf.sprintf "for (int %s = %d; %s < %d; %s += %d)" var lb var ub var step;
+      var }
+  | 1 ->
+    { header = Printf.sprintf "for (int %s = %d; %s <= %d; %s += %d)" var lb var ub var step;
+      var }
+  | 2 ->
+    { header = Printf.sprintf "for (int %s = %d; %s > %d; %s -= %d)" var ub var lb var step;
+      var }
+  | 3 ->
+    { header = Printf.sprintf "for (int %s = %d; %s >= %d; %s -= %d)" var ub var lb var step;
+      var }
+  | 4 ->
+    { header = Printf.sprintf "for (int %s = %d; %d > %s; %s = %s + %d)" var lb ub var var var step;
+      var }
+  | _ ->
+    { header = Printf.sprintf "for (int %s = %d; %s != %d; ++%s)" var lb var (lb + extent) var;
+      var }
+
+(* ---- random directive + loop nest --------------------------------------- *)
+
+let gen_loop_block rng index =
+  let buf = Buffer.create 256 in
+  let v = Printf.sprintf "i%d" index in
+  let body vars =
+    Printf.sprintf "record(%d + %s);" (index * 1000) (gen_expr rng 2 vars)
+  in
+  (match Rng.int rng 9 with
+  | 0 ->
+    (* plain loop, maybe with acc *)
+    let l = gen_loop_header rng v in
+    Buffer.add_string buf (Printf.sprintf "%s { %s }\n" l.header (body [ v ]))
+  | 1 ->
+    let factor = 1 + Rng.int rng 8 in
+    let l = gen_loop_header rng v in
+    Buffer.add_string buf
+      (Printf.sprintf "#pragma omp unroll partial(%d)\n%s { %s }\n" factor
+         l.header (body [ v ]))
+  | 2 ->
+    let l = gen_loop_header rng v in
+    Buffer.add_string buf
+      (Printf.sprintf "#pragma omp unroll %s\n%s { %s }\n"
+         (Rng.pick rng [ "full"; "" ])
+         l.header (body [ v ]))
+  | 3 ->
+    let size = 1 + Rng.int rng 6 in
+    let l = gen_loop_header rng v in
+    Buffer.add_string buf
+      (Printf.sprintf "#pragma omp tile sizes(%d)\n%s { %s }\n" size l.header
+         (body [ v ]))
+  | 4 ->
+    (* 2-D tile *)
+    let s1 = 1 + Rng.int rng 4 and s2 = 1 + Rng.int rng 4 in
+    let w = v ^ "b" in
+    let l1 = gen_loop_header rng v in
+    let l2 = gen_loop_header rng w in
+    Buffer.add_string buf
+      (Printf.sprintf "#pragma omp tile sizes(%d, %d)\n%s\n%s { %s }\n" s1 s2
+         l1.header l2.header
+         (body [ v; w ]))
+  | 5 ->
+    (* OpenMP 6.0 preview: reverse, possibly under worksharing *)
+    let l = gen_loop_header rng v in
+    let prefix = Rng.pick rng [ ""; "#pragma omp parallel for\n" ] in
+    Buffer.add_string buf
+      (Printf.sprintf "%s#pragma omp reverse\n%s { %s }\n" prefix l.header
+         (body [ v ]))
+  | 6 ->
+    (* OpenMP 6.0 preview: interchange of a 2-nest *)
+    let w = v ^ "b" in
+    let l1 = gen_loop_header rng v in
+    let l2 = gen_loop_header rng w in
+    Buffer.add_string buf
+      (Printf.sprintf "#pragma omp interchange\n%s\n%s { %s }\n" l1.header
+         l2.header
+         (body [ v; w ]))
+  | 7 ->
+    (* OpenMP 6.0 preview: fuse a short loop sequence *)
+    let w = v ^ "b" in
+    let l1 = gen_loop_header rng v in
+    let l2 = gen_loop_header rng w in
+    Buffer.add_string buf
+      (Printf.sprintf "#pragma omp fuse\n{\n%s { %s }\n%s { %s }\n}\n"
+         l1.header
+         (body [ v ])
+         l2.header
+         (body [ w ]))
+  | _ ->
+    (* worksharing over a transformation *)
+    let factor = 2 + Rng.int rng 4 in
+    let l = gen_loop_header rng v in
+    let acc = Printf.sprintf "acc%d" index in
+    Buffer.add_string buf (Printf.sprintf "long %s = 0;\n" acc);
+    let sched =
+      Rng.pick rng
+        [ ""; " schedule(static, 2)"; " schedule(dynamic)";
+          " schedule(dynamic, 3)"; " schedule(guided)" ]
+    in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "#pragma omp parallel for reduction(+: %s)%s\n\
+          #pragma omp unroll partial(%d)\n%s { %s += %s; }\n\
+          record(%s);\n"
+         acc sched factor l.header acc (gen_expr rng 2 [ v ]) acc));
+  Buffer.contents buf
+
+let gen_program seed =
+  let rng = Rng.create seed in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "void record(long x);\nint main(void) {\n";
+  let blocks = 1 + Rng.int rng 4 in
+  for i = 0 to blocks - 1 do
+    Buffer.add_string buf (gen_loop_block rng i)
+  done;
+  Buffer.add_string buf "return 0;\n}\n";
+  Buffer.contents buf
+
+(* ---- the differential property ------------------------------------------- *)
+
+let configs =
+  [
+    ("classic -O1", classic);
+    ("irbuilder -O0", o0 irbuilder);
+    ("irbuilder -O1", irbuilder);
+  ]
+
+let check_seed seed =
+  let source = gen_program seed in
+  match Driver.compile_and_run ~options:(o0 classic) source with
+  | Error msg ->
+    Alcotest.failf "seed %d: reference failed:\n%s\n--- source ---\n%s" seed msg
+      source
+  | Ok reference ->
+    if reference.Interp.trace = [] then ()
+    else
+      List.iter
+        (fun (label, options) ->
+          match Driver.compile_and_run ~options source with
+          | Error msg ->
+            Alcotest.failf "seed %d: %s failed:\n%s\n--- source ---\n%s" seed
+              label msg source
+          | Ok outcome ->
+            if
+              not (Interp.trace_equal reference.Interp.trace outcome.Interp.trace)
+            then
+              Alcotest.failf
+                "seed %d: %s diverges\nexpected %s\ngot      %s\n--- source ---\n%s"
+                seed label
+                (trace_to_string reference.Interp.trace)
+                (trace_to_string outcome.Interp.trace)
+                source)
+        configs
+
+let test_fuzz_batch lo hi () =
+  for seed = lo to hi do
+    check_seed seed
+  done
+
+(* ---- constant-expression bit-exactness ------------------------------------ *)
+
+(* Sema's compile-time evaluator and the compiled program must agree
+   bit-for-bit on every constant expression (they share Int_ops, but the
+   code paths — folding, passes, interpretation — are entirely different). *)
+let gen_const_expr rng =
+  let rec go depth =
+    if depth = 0 then string_of_int (Rng.int rng 41 - 20)
+    else begin
+      let a = go (depth - 1) and b = go (depth - 1) in
+      match Rng.int rng 11 with
+      | 0 -> Printf.sprintf "(%s + %s)" a b
+      | 1 -> Printf.sprintf "(%s - %s)" a b
+      | 2 -> Printf.sprintf "(%s * %s)" a b
+      | 3 -> Printf.sprintf "(%s / (%s | 1))" a b (* avoid zero divisors *)
+      | 4 -> Printf.sprintf "(%s %% (%s | 1))" a b
+      | 5 -> Printf.sprintf "(%s << (%s & 7))" a b
+      | 6 -> Printf.sprintf "(%s >> (%s & 7))" a b
+      | 7 -> Printf.sprintf "(%s ^ %s)" a b
+      | 8 -> Printf.sprintf "(%s < %s ? %s : ~%s)" a b b a
+      | 9 -> Printf.sprintf "((0 - %s) | %s)" a b
+      | _ -> Printf.sprintf "((%s && %s) + %s)" a b b
+    end
+  in
+  go (2 + Rng.int rng 2)
+
+let check_const_seed seed =
+  let rng = Rng.create (seed + 777) in
+  let expr = gen_const_expr rng in
+  let source =
+    Printf.sprintf
+      "void record(long x);\nint main(void) { record(%s); return 0; }" expr
+  in
+  (* Compile-time value via Sema's evaluator on the same AST. *)
+  let diag, tu = Driver.frontend source in
+  if Mc_diag.Diagnostics.has_errors diag then
+    Alcotest.failf "seed %d: %s rejected:\n%s" seed expr
+      (Mc_diag.Diagnostics.render_all diag);
+  let static_value = ref None in
+  List.iter
+    (function
+      | Mc_ast.Tree.Tu_fn { fn_body = Some body; _ } ->
+        Mc_ast.Visit.iter ~shadow:false
+          ~on_expr:(fun e ->
+            match e.Mc_ast.Tree.e_kind with
+            | Mc_ast.Tree.Call (_, [ arg ]) when !static_value = None ->
+              static_value := Mc_sema.Const_eval.eval_int arg
+            | _ -> ())
+          body
+      | _ -> ())
+    tu.Mc_ast.Tree.tu_decls;
+  match !static_value with
+  | None -> () (* e.g. signed-overflow division rejected by the evaluator *)
+  | Some expected -> (
+    List.iter
+      (fun options ->
+        match Driver.compile_and_run ~options source with
+        | Ok { Interp.trace = [ Interp.T_int got ]; _ } ->
+          if not (Int64.equal got expected) then
+            Alcotest.failf "seed %d: %s: const-eval says %Ld, execution says %Ld"
+              seed expr expected got
+        | Ok _ -> Alcotest.failf "seed %d: unexpected trace" seed
+        | Error e -> Alcotest.failf "seed %d: %s failed: %s" seed expr e)
+      [ o0 classic; classic; { classic with Driver.fold = false } ])
+
+let test_const_exprs lo hi () =
+  for seed = lo to hi do
+    check_const_seed seed
+  done
+
+let suite =
+  [
+    tc "random programs seeds 0-49" (test_fuzz_batch 0 49);
+    tc "random programs seeds 50-99" (test_fuzz_batch 50 99);
+    tc "random programs seeds 100-149" (test_fuzz_batch 100 149);
+    tc "random programs seeds 150-199" (test_fuzz_batch 150 199);
+    tc "const-eval agrees with execution (300 exprs)" (test_const_exprs 0 299);
+  ]

@@ -1,0 +1,234 @@
+(* Interpreter and simulated-runtime tests, including the schedule
+   partition properties of the libomp stand-in. *)
+
+open Helpers
+open Mc_ir.Ir
+module B = Mc_ir.Builder
+module Interp = Mc_interp.Interp
+module Schedule = Mc_omprt.Schedule
+
+let trap_message f =
+  match f () with
+  | exception Interp.Trap msg -> msg
+  | (_ : Interp.outcome) -> Alcotest.fail "expected a trap"
+
+let build_main ~ret build =
+  let m = create_module "t" in
+  let f = define_function m ~name:"main" ~ret ~args:[] in
+  let entry = create_block ~name:"entry" f in
+  let b = B.create ~fold:false () in
+  B.set_insertion_point b entry;
+  build b m;
+  m
+
+let test_memory_roundtrip () =
+  (* Store/load every scalar width through memory. *)
+  let m =
+    build_main ~ret:I32 (fun b _ ->
+        let check ty v =
+          let p = B.alloca b ty in
+          B.store b (Const_int (ty, v)) ~ptr:p;
+          let loaded = B.load b ty p in
+          let wide = B.cast b Sext loaded I64 in
+          ignore (B.call b ~ret:Void (Runtime "record") [ wide ])
+        in
+        check I8 (-5L);
+        check I16 1000L;
+        check I32 (-100000L);
+        check I64 123456789012L;
+        let pf = B.alloca b F64 in
+        B.store b (Const_float (F64, 2.5)) ~ptr:pf;
+        ignore (B.call b ~ret:Void (Runtime "recordf") [ B.load b F64 pf ]);
+        let ps = B.alloca b F32 in
+        B.store b (Const_float (F32, 0.5)) ~ptr:ps;
+        ignore
+          (B.call b ~ret:Void (Runtime "recordf")
+             [ B.cast b Fpext (B.load b F32 ps) F64 ]);
+        B.ret b (Some (i32_const 0)))
+  in
+  let outcome = Interp.run_main m in
+  Alcotest.(check string) "roundtrips"
+    "-5;1000;-100000;123456789012;0x1.4p+1;0x1p-1"
+    (trace_to_string outcome.Interp.trace)
+
+let test_gep_arithmetic () =
+  let m =
+    build_main ~ret:I32 (fun b _ ->
+        let arr = B.alloca b ~count:8 I64 in
+        (* a[3] = 33; a[5] = 55; record both via pointer arithmetic. *)
+        let slot3 = B.gep b ~elt_ty:I8 arr (i64_const 24) in
+        B.store b (i64_const 33) ~ptr:slot3;
+        let slot5 = B.gep b ~elt_ty:I64 arr (i64_const 5) in
+        B.store b (i64_const 55) ~ptr:slot5;
+        ignore (B.call b ~ret:Void (Runtime "record") [ B.load b I64 slot3 ]);
+        ignore (B.call b ~ret:Void (Runtime "record") [ B.load b I64 slot5 ]);
+        (* Pointer difference in bytes. *)
+        let diff = B.sub b slot5 slot3 in
+        ignore (B.call b ~ret:Void (Runtime "record") [ diff ]);
+        B.ret b (Some (i32_const 0)))
+  in
+  let outcome = Interp.run_main m in
+  Alcotest.(check string) "gep" "33;55;16" (trace_to_string outcome.Interp.trace)
+
+let test_traps () =
+  let msg =
+    trap_message (fun () ->
+        Interp.run_main
+          (build_main ~ret:I32 (fun b _ ->
+               let z = B.call b ~ret:I32 (Runtime "omp_get_thread_num") [] in
+               let d = B.sdiv b (i32_const 1) z in
+               B.ret b (Some d))))
+  in
+  check_contains ~what:"div" msg "division by zero";
+  let msg =
+    trap_message (fun () ->
+        Interp.run_main
+          (build_main ~ret:I32 (fun b _ ->
+               let p = B.alloca b I32 in
+               let beyond = B.gep b ~elt_ty:I32 p (i64_const 5) in
+               B.store b (i32_const 1) ~ptr:beyond;
+               B.ret b (Some (i32_const 0)))))
+  in
+  check_contains ~what:"oob" msg "out of bounds";
+  let msg =
+    trap_message (fun () ->
+        Interp.run_main
+          (build_main ~ret:I32 (fun b _ ->
+               ignore (B.call b ~ret:Void (Runtime "made_up_fn") []);
+               B.ret b (Some (i32_const 0)))))
+  in
+  check_contains ~what:"unknown" msg "unknown runtime function"
+
+let test_fuel () =
+  let m =
+    build_main ~ret:Void (fun b _ ->
+        let f = Option.get ((B.insertion_block b).b_parent) in
+        let loop = create_block ~name:"loop" f in
+        B.br b loop;
+        B.set_insertion_point b loop;
+        B.br b loop)
+  in
+  match Interp.run_main ~config:{ Interp.num_threads = 1; max_steps = 1000 } m with
+  | exception Interp.Trap msg -> check_contains ~what:"fuel" msg "fuel"
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+let test_use_before_def_is_trapped () =
+  (* A structurally plausible but dominance-broken use: the verifier's
+     lightweight check misses it, the interpreter must trap. *)
+  let m =
+    build_main ~ret:I32 (fun b m ->
+        ignore m;
+        let f = Option.get ((B.insertion_block b).b_parent) in
+        let skip_from = B.insertion_block b in
+        let dead = create_block ~name:"dead" f in
+        let join = create_block ~name:"join" f in
+        skip_from.b_term <- Br join;
+        B.set_insertion_point b dead;
+        let v = B.add b (i32_const 1) (i32_const 2) in
+        (match v with
+        | Inst_ref _ -> ()
+        | _ -> Alcotest.fail "fold off");
+        B.br b join;
+        B.set_insertion_point b join;
+        B.ret b (Some v))
+  in
+  match Interp.run_main m with
+  | exception Interp.Trap msg -> check_contains ~what:"udef" msg "before definition"
+  | _ -> Alcotest.fail "expected use-before-def trap"
+
+let test_nested_parallel_defaults_to_one () =
+  let m =
+    build_main ~ret:I32 (fun b m ->
+        Mc_ompbuilder.Omp_builder.create_parallel b m ~name:"outer"
+          ~num_threads:(Some (i32_const 2)) ~if_cond:None ~captures:[]
+          ~body_gen:(fun b ~get_capture ->
+            ignore get_capture;
+            Mc_ompbuilder.Omp_builder.create_parallel b m ~name:"inner"
+              ~num_threads:None ~if_cond:None ~captures:[]
+              ~body_gen:(fun b ~get_capture ->
+                ignore get_capture;
+                let n = B.call b ~ret:I32 (Runtime "omp_get_num_threads") [] in
+                ignore
+                  (B.call b ~ret:Void (Runtime "record") [ B.cast b Sext n I64 ])));
+        B.ret b (Some (i32_const 0)))
+  in
+  let outcome = Interp.run_main m in
+  Alcotest.(check string) "inner teams are singletons" "1;1"
+    (trace_to_string outcome.Interp.trace)
+
+(* ---- schedule properties ---------------------------------------------------- *)
+
+let arb_schedule =
+  QCheck.(pair (int_range 1 64) (int_range 0 2000))
+
+let props =
+  [
+    prop "static chunks partition the space" arb_schedule (fun (nth, trip) ->
+        let chunks =
+          List.init nth (fun tid ->
+              let c =
+                Schedule.static_unchunked ~trip_count:(Int64.of_int trip)
+                  ~num_threads:nth ~tid
+              in
+              (c.Schedule.lb, c.Schedule.ub))
+        in
+        Schedule.coverage chunks ~trip_count:(Int64.of_int trip));
+    prop "static chunks are balanced within 1" arb_schedule (fun (nth, trip) ->
+        let sizes =
+          List.init nth (fun tid ->
+              let c =
+                Schedule.static_unchunked ~trip_count:(Int64.of_int trip)
+                  ~num_threads:nth ~tid
+              in
+              Int64.to_int (Int64.sub c.Schedule.ub c.Schedule.lb) + 1)
+        in
+        let mx = List.fold_left max 0 sizes in
+        let mn = List.fold_left min max_int sizes in
+        mx - max 0 mn <= 1 || trip = 0);
+    prop "dynamic queue covers the space"
+      QCheck.(pair (int_range 0 500) (int_range 1 17))
+      (fun (trip, chunk) ->
+        let st =
+          Schedule.dynamic_create ~trip_count:(Int64.of_int trip)
+            ~chunk_size:(Int64.of_int chunk)
+        in
+        let rec drain acc =
+          match Schedule.dynamic_next st with
+          | Some c -> drain ((c.Schedule.lb, c.Schedule.ub) :: acc)
+          | None -> acc
+        in
+        Schedule.coverage (drain []) ~trip_count:(Int64.of_int trip));
+    prop "guided queue covers the space with shrinking chunks"
+      QCheck.(triple (int_range 0 800) (int_range 1 9) (int_range 1 16))
+      (fun (trip, chunk_min, nth) ->
+        let st =
+          Schedule.guided_create ~trip_count:(Int64.of_int trip)
+            ~chunk_min:(Int64.of_int chunk_min) ~num_threads:nth
+        in
+        let rec drain sizes acc =
+          match Schedule.dynamic_next st with
+          | Some c ->
+            drain
+              (Int64.to_int (Int64.sub c.Schedule.ub c.Schedule.lb) + 1 :: sizes)
+              ((c.Schedule.lb, c.Schedule.ub) :: acc)
+          | None -> (List.rev sizes, acc)
+        in
+        let sizes, chunks = drain [] [] in
+        Schedule.coverage chunks ~trip_count:(Int64.of_int trip)
+        && (* non-increasing until the floor *)
+        fst
+          (List.fold_left
+             (fun (ok, prev) s -> (ok && s <= max prev chunk_min, s))
+             (true, max_int) sizes));
+  ]
+
+let suite =
+  [
+    tc "memory round trips" test_memory_roundtrip;
+    tc "gep arithmetic and pointer difference" test_gep_arithmetic;
+    tc "runtime traps" test_traps;
+    tc "fuel limit" test_fuel;
+    tc "use before definition traps" test_use_before_def_is_trapped;
+    tc "nested parallel defaults to one thread" test_nested_parallel_defaults_to_one;
+  ]
+  @ props

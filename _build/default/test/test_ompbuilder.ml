@@ -1,0 +1,297 @@
+(* OpenMPIRBuilder tests: the Fig. 10 skeleton, CanonicalLoopInfo
+   invariants, and the loop transformations at the IR level (executed
+   through the interpreter to check semantics). *)
+
+open Helpers
+open Mc_ir.Ir
+module B = Mc_ir.Builder
+module Ob = Mc_ompbuilder.Omp_builder
+module Cli = Mc_ompbuilder.Cli
+module Interp = Mc_interp.Interp
+module Verifier = Mc_ir.Verifier
+
+(* Builds main() that runs a canonical loop recording [base + iv], applies
+   [transform], and returns the interpreter trace. *)
+let run_loop ?(trip = 10) ~transform () =
+  let m = create_module "t" in
+  let record = declare_function m ~name:"record" ~ret:Void
+      ~args:[ mk_arg ~name:"x" ~ty:I64 ] in
+  ignore record;
+  let f = define_function m ~name:"main" ~ret:I32 ~args:[] in
+  let entry = create_block ~name:"entry" f in
+  let b = B.create () in
+  B.set_insertion_point b entry;
+  let cli =
+    Ob.create_canonical_loop b ~trip_count:(i32_const trip)
+      ~body_gen:(fun b iv ->
+        let wide = B.cast b Sext iv I64 in
+        ignore (B.call b ~ret:Void (Runtime "record") [ wide ]))
+      ()
+  in
+  transform b cli;
+  B.ret b (Some (i32_const 0));
+  (match Verifier.check m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "IR invalid after transform:\n%s" e);
+  let outcome = Interp.run_main m in
+  List.map (function Interp.T_int v -> v | Interp.T_float _ -> -1L)
+    outcome.Interp.trace
+
+let expect_ints what expected got =
+  Alcotest.(check (list int64)) what (List.map Int64.of_int expected) got
+
+(* ---- Fig. 10: the skeleton ------------------------------------------------ *)
+
+let test_skeleton_blocks () =
+  let m = create_module "t" in
+  let f = define_function m ~name:"main" ~ret:Void ~args:[] in
+  let entry = create_block ~name:"entry" f in
+  let b = B.create () in
+  B.set_insertion_point b entry;
+  let cli =
+    Ob.create_canonical_loop b ~trip_count:(i32_const 128)
+      ~body_gen:(fun _ _ -> ())
+      ()
+  in
+  B.ret b None;
+  Alcotest.(check (list string))
+    "the seven skeleton blocks of Fig. 10"
+    [ "omp_loop.preheader"; "omp_loop.header"; "omp_loop.cond"; "omp_loop.body";
+      "omp_loop.inc"; "omp_loop.exit"; "omp_loop.after" ]
+    (Cli.block_names cli);
+  (match Cli.verify cli with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invariants violated: %s" e);
+  (* Identifiable trip count and induction variable, without SCEV. *)
+  Alcotest.(check bool) "trip count identifiable" true
+    (value_equal cli.Cli.cli_trip_count (i32_const 128));
+  match cli.Cli.cli_iv.i_kind with
+  | Phi _ -> ()
+  | _ -> Alcotest.fail "induction variable must be the header phi"
+
+let test_invariants_enforced () =
+  let m = create_module "t" in
+  let f = define_function m ~name:"main" ~ret:Void ~args:[] in
+  let entry = create_block ~name:"entry" f in
+  let b = B.create () in
+  B.set_insertion_point b entry;
+  let cli =
+    Ob.create_canonical_loop b ~trip_count:(i32_const 4)
+      ~body_gen:(fun _ _ -> ())
+      ()
+  in
+  B.ret b None;
+  (* Sabotage: extra instruction in the cond block. *)
+  B.set_insertion_point b cli.Cli.cli_cond;
+  let junk = mk_inst ~ty:I32 (Binop (Add, i32_const 1, i32_const 2)) in
+  append_inst cli.Cli.cli_cond junk;
+  (match Cli.verify cli with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "verify should reject a polluted cond block");
+  (* Invalidation. *)
+  set_block_insts cli.Cli.cli_cond
+    (List.filter (fun i -> not (i == junk)) (block_insts cli.Cli.cli_cond));
+  (match Cli.verify cli with Ok () -> () | Error e -> Alcotest.failf "rollback: %s" e);
+  Cli.invalidate cli;
+  match Cli.verify cli with
+  | Error e -> check_contains ~what:"invalidated" e "invalidated"
+  | Ok () -> Alcotest.fail "invalidated handle must not verify"
+
+(* ---- execution semantics of the transformations --------------------------- *)
+
+let test_plain_loop_runs () =
+  expect_ints "0..9" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (run_loop ~transform:(fun _ _ -> ()) ())
+
+let test_zero_trip () =
+  expect_ints "empty" [] (run_loop ~trip:0 ~transform:(fun _ _ -> ()) ())
+
+let test_tile_preserves_order_semantics () =
+  let got =
+    run_loop ~trip:10 ~transform:(fun b cli ->
+        ignore (Ob.tile_loops b [ cli ] ~sizes:[ i32_const 4 ]))
+      ()
+  in
+  (* 1-D tiling does not reorder iterations. *)
+  expect_ints "tiled 0..9" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] got
+
+let test_tile_returns_2n_loops () =
+  let m = create_module "t" in
+  let f = define_function m ~name:"main" ~ret:Void ~args:[] in
+  let entry = create_block ~name:"entry" f in
+  let b = B.create () in
+  B.set_insertion_point b entry;
+  let cli =
+    Ob.create_canonical_loop b ~trip_count:(i32_const 16)
+      ~body_gen:(fun _ _ -> ())
+      ()
+  in
+  let generated = Ob.tile_loops b [ cli ] ~sizes:[ i32_const 4 ] in
+  B.ret b None;
+  Alcotest.(check int) "2n loops" 2 (List.length generated);
+  Alcotest.(check bool) "input invalidated" false (Cli.is_valid cli);
+  List.iter
+    (fun g ->
+      match Cli.verify g with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "generated loop invalid: %s" e)
+    generated;
+  match Verifier.check m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "module invalid: %s" e
+
+let test_unroll_partial_returns_floor () =
+  let m = create_module "t" in
+  let f = define_function m ~name:"main" ~ret:Void ~args:[] in
+  let entry = create_block ~name:"entry" f in
+  let b = B.create () in
+  B.set_insertion_point b entry;
+  let cli =
+    Ob.create_canonical_loop b ~trip_count:(i32_const 10)
+      ~body_gen:(fun _ _ -> ())
+      ()
+  in
+  let floor_cli = Ob.unroll_loop_partial b cli ~factor:4 in
+  B.ret b None;
+  (match Cli.verify floor_cli with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "floor loop invalid: %s" e);
+  (* The inner tile loop carries the unroll metadata. *)
+  let tagged =
+    List.filter (fun blk -> blk.b_loop_md.md_unroll = Some (Unroll_count 4)) f.f_blocks
+  in
+  Alcotest.(check int) "one tagged latch" 1 (List.length tagged)
+
+let test_unroll_partial_semantics () =
+  expect_ints "unroll(3) of 0..9" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (run_loop ~trip:10
+       ~transform:(fun b cli -> ignore (Ob.unroll_loop_partial b cli ~factor:3))
+       ())
+
+let test_unroll_full_tags_metadata () =
+  let got =
+    run_loop ~trip:5 ~transform:(fun b cli -> Ob.unroll_loop_full b cli) ()
+  in
+  expect_ints "full unroll keeps semantics" [ 0; 1; 2; 3; 4 ] got
+
+let test_collapse () =
+  (* Nested 3x4 via nested create_canonical_loop, collapsed to 12. *)
+  let m = create_module "t" in
+  let f = define_function m ~name:"main" ~ret:I32 ~args:[] in
+  let entry = create_block ~name:"entry" f in
+  let b = B.create () in
+  B.set_insertion_point b entry;
+  let inner_ref = ref None in
+  let outer =
+    Ob.create_canonical_loop b ~name:"outer" ~trip_count:(i32_const 3)
+      ~body_gen:(fun b iv_out ->
+        let inner =
+          Ob.create_canonical_loop b ~name:"inner" ~trip_count:(i32_const 4)
+            ~body_gen:(fun b iv_in ->
+              let ten = B.mul b iv_out (i32_const 10) in
+              let v = B.add b ten iv_in in
+              ignore (B.call b ~ret:Void (Runtime "record") [ B.cast b Sext v I64 ]))
+            ()
+        in
+        inner_ref := Some inner)
+      ()
+  in
+  let collapsed = Ob.collapse_loops b [ outer; Option.get !inner_ref ] in
+  B.ret b (Some (i32_const 0));
+  (match Cli.verify collapsed with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "collapsed invalid: %s" e);
+  (match Verifier.check m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "module invalid: %s" e);
+  let outcome = Interp.run_main m in
+  let got =
+    List.map (function Interp.T_int v -> v | _ -> -1L) outcome.Interp.trace
+  in
+  expect_ints "row-major order preserved"
+    [ 0; 1; 2; 3; 10; 11; 12; 13; 20; 21; 22; 23 ]
+    got
+
+let test_workshare_covers_iteration_space () =
+  (* Under the deterministic simulation, static worksharing must cover all
+     iterations exactly once, in tid-then-iteration order = sorted. *)
+  List.iter
+    (fun threads ->
+      let m = create_module "t" in
+      let f = define_function m ~name:"main" ~ret:I32 ~args:[] in
+      let entry = create_block ~name:"entry" f in
+      let b = B.create () in
+      B.set_insertion_point b entry;
+      Ob.create_parallel b m ~name:"main" ~num_threads:(Some (i32_const threads))
+        ~if_cond:None ~captures:[]
+        ~body_gen:(fun b ~get_capture ->
+          ignore get_capture;
+          let cli =
+            Ob.create_canonical_loop b ~trip_count:(i32_const 13)
+              ~body_gen:(fun b iv ->
+                ignore
+                  (B.call b ~ret:Void (Runtime "record") [ B.cast b Sext iv I64 ]))
+              ()
+          in
+          Ob.apply_static_workshare b cli ~chunk:None ~nowait:false);
+      B.ret b (Some (i32_const 0));
+      (match Verifier.check m with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "module invalid: %s" e);
+      let outcome = Interp.run_main m in
+      let got =
+        List.map (function Interp.T_int v -> v | _ -> -1L) outcome.Interp.trace
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%d threads cover all" threads)
+        13 (List.length got);
+      let sorted = List.sort Int64.compare got in
+      expect_ints "exactly 0..12" (List.init 13 Fun.id) sorted;
+      f.f_is_decl <- false)
+    [ 1; 2; 4; 13; 16 ]
+
+let test_create_parallel_structure () =
+  let m = create_module "t" in
+  let f = define_function m ~name:"main" ~ret:Void ~args:[] in
+  let entry = create_block ~name:"entry" f in
+  let b = B.create () in
+  B.set_insertion_point b entry;
+  let shared = B.alloca b ~name:"shared" I64 in
+  Ob.create_parallel b m ~name:"main" ~num_threads:None ~if_cond:None
+    ~captures:[ shared ]
+    ~body_gen:(fun b ~get_capture ->
+      let p = get_capture 0 in
+      let tid = B.call b ~ret:I32 (Runtime "omp_get_thread_num") [] in
+      let old = B.load b I64 p in
+      let w = B.cast b Sext tid I64 in
+      B.store b (B.add b old w) ~ptr:p);
+  let final = B.load b I64 shared in
+  ignore (B.call b ~ret:Void (Runtime "record") [ final ]);
+  B.ret b None;
+  (* An outlined function taking (gtid, btid, context) must exist. *)
+  let outlined =
+    List.filter (fun fn -> fn.f_name <> "main" && not fn.f_is_decl) m.m_funcs
+  in
+  Alcotest.(check int) "one outlined function" 1 (List.length outlined);
+  Alcotest.(check int) "three implicit params" 3
+    (List.length (List.hd outlined).f_args);
+  let outcome = Interp.run_main m in
+  match outcome.Interp.trace with
+  | [ Interp.T_int v ] -> Alcotest.(check int64) "sum of tids 0..3" 6L v
+  | _ -> Alcotest.fail "expected one record"
+
+let suite =
+  [
+    tc "Fig 10: skeleton block structure" test_skeleton_blocks;
+    tc "CanonicalLoopInfo invariants enforced" test_invariants_enforced;
+    tc "canonical loop executes" test_plain_loop_runs;
+    tc "zero-trip canonical loop" test_zero_trip;
+    tc "tileLoops preserves semantics" test_tile_preserves_order_semantics;
+    tc "tileLoops returns 2n valid loops" test_tile_returns_2n_loops;
+    tc "unrollLoopPartial returns the floor loop" test_unroll_partial_returns_floor;
+    tc "unrollLoopPartial preserves semantics" test_unroll_partial_semantics;
+    tc "unrollLoopFull tags metadata" test_unroll_full_tags_metadata;
+    tc "collapseLoops preserves row-major order" test_collapse;
+    tc "createWorkshareLoop covers the space" test_workshare_covers_iteration_space;
+    tc "createParallel outlining structure" test_create_parallel_structure;
+  ]

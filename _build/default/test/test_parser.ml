@@ -1,0 +1,236 @@
+(* Parser tests: precedence, declarators, statement grammar, pragma
+   parsing, and error recovery. *)
+
+open Helpers
+open Mc_ast.Tree
+module Driver = Mc_core.Driver
+module Visit = Mc_ast.Visit
+module Unparse = Mc_ast.Unparse
+
+let frontend_ok source =
+  let diag, tu = Driver.frontend source in
+  if Mc_diag.Diagnostics.has_errors diag then
+    Alcotest.failf "parse failed:\n%s" (Mc_diag.Diagnostics.render_all diag);
+  tu
+
+(* Parse "long x = <expr>;" and render the initialiser back with explicit
+   minimal parentheses — a precedence oracle. *)
+let reparse expr_src =
+  let tu =
+    frontend_ok
+      ("int v(void) { return 1; }\nint main(void) { int p = 1; int q = 2; \
+        int r = 3; long x = " ^ expr_src ^ "; return (int)x; }")
+  in
+  let result = ref None in
+  List.iter
+    (function
+      | Tu_fn { fn_body = Some body; fn_name = "main"; _ } ->
+        Visit.iter ~shadow:false
+          ~on_var:(fun var ->
+            if var.v_name = "x" then
+              result := Option.map Unparse.expr_to_string var.v_init)
+          body
+      | _ -> ())
+    tu.tu_decls;
+  Option.get !result
+
+let test_precedence () =
+  let check src expected =
+    Alcotest.(check string) src expected (reparse src)
+  in
+  (* Multiplication binds tighter than addition... *)
+  check "p + q * r" "p + q * r";
+  check "(p + q) * r" "(p + q) * r";
+  (* ... shifts looser than arithmetic ... *)
+  check "p << q + r" "p << q + r";
+  check "(p << q) + r" "(p << q) + r";
+  (* ... comparisons, bitwise, logical laddering ... *)
+  check "p & q | r" "p & q | r"; (* & binds tighter than | *)
+  check "p | q & r" "p | q & r";
+  check "p && q || r" "p && q || r";
+  check "p || q && r" "p || q && r";
+  check "p == q < r" "p == q < r";
+  (* unary and casts *)
+  check "-p * q" "-p * q";
+  check "-(p * q)" "-(p * q)";
+  check "~p + !q" "~p + !q";
+  (* conditional is right-associative and lower than || *)
+  check "p ? q : r ? p : q" "p ? q : r ? p : q";
+  check "p || q ? r : p" "p || q ? r : p";
+  (* assignment in initialiser context via comma *)
+  check "(p = q, p + 1)" "(p = q, p + 1)"
+
+let test_associativity_values () =
+  (* Semantics, not just shape: left-assoc subtraction and division. *)
+  let t =
+    trace_of
+      "void record(long x);\nint main(void) {\n\
+       record(100 - 10 - 5);\nrecord(100 / 5 / 2);\nrecord(2 - 3 + 4);\n\
+       record(1 << 2 << 1);\nreturn 0; }"
+  in
+  Alcotest.(check string) "assoc" "85;10;3;8" (trace_to_string t)
+
+let test_declarators () =
+  let tu =
+    frontend_ok
+      "int main(void) {\n\
+       int a, b = 2, *p, **pp;\n\
+       double m[3][4];\n\
+       unsigned long big;\n\
+       const int c = 5;\n\
+       int *q = &b;\n\
+       a = *q + c; p = &a; pp = &p;\n\
+       return a + **pp + (int)big + (int)m[0][0];\n}"
+  in
+  let types = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Tu_fn { fn_body = Some body; _ } ->
+        Visit.iter ~shadow:false
+          ~on_var:(fun v -> Hashtbl.replace types v.v_name v.v_ty)
+          body
+      | _ -> ())
+    tu.tu_decls;
+  let ty name = Mc_ast.Ctype.to_string (Hashtbl.find types name) in
+  Alcotest.(check string) "int" "int" (ty "a");
+  Alcotest.(check string) "ptr" "int *" (ty "p");
+  Alcotest.(check string) "ptr ptr" "int * *" (ty "pp");
+  Alcotest.(check string) "matrix" "double[4][3]" (ty "m");
+  Alcotest.(check string) "unsigned long" "unsigned long" (ty "big")
+
+let test_function_forms () =
+  (* Prototypes, definitions, array parameters decaying, variadic decl. *)
+  let tu =
+    frontend_ok
+      "int add(int, int);\n\
+       int add(int a, int b) { return a + b; }\n\
+       long sum(int xs[], int n) { long s = 0; for (int i = 0; i < n; i += 1) \
+       s += xs[i]; return s; }\n\
+       void printf_like(int fmt, ...);\n\
+       int main(void) { int a[3]; a[0] = 1; a[1] = 2; a[2] = 3; \
+       return add(1, 2) + (int)sum(a, 3); }"
+  in
+  let fns =
+    List.filter_map
+      (function
+        | Tu_fn f when not f.fn_builtin -> Some f.fn_name
+        | _ -> None)
+      tu.tu_decls
+  in
+  Alcotest.(check (list string)) "functions"
+    [ "add"; "sum"; "printf_like"; "main" ]
+    fns;
+  List.iter
+    (function
+      | Tu_fn f when f.fn_name = "sum" ->
+        Alcotest.(check string) "array param decays" "int *"
+          (Mc_ast.Ctype.to_string (List.nth f.fn_ty.ft_params 0))
+      | Tu_fn f when f.fn_name = "printf_like" ->
+        Alcotest.(check bool) "variadic" true f.fn_ty.ft_variadic
+      | _ -> ())
+    tu.tu_decls
+
+let test_statement_grammar () =
+  (* Dangling else binds to the nearest if. *)
+  let t =
+    trace_of
+      "void record(long x);\nint main(void) {\n\
+       for (int v = 0; v < 4; v += 1)\n\
+       if (v > 0) if (v > 2) record(100 + v); else record(200 + v);\n\
+       return 0; }"
+  in
+  Alcotest.(check string) "dangling else" "201;202;103" (trace_to_string t);
+  (* Empty statements, nested blocks, comma in for-increment. *)
+  let t2 =
+    trace_of
+      "void record(long x);\nint main(void) {\n\
+       ;;\n{ { record(1); } ; }\n\
+       int j = 0;\n\
+       for (int i = 0; i < 6; i += 1, j += 2) ;\n\
+       record(j);\nreturn 0; }"
+  in
+  Alcotest.(check string) "misc" "1;12" (trace_to_string t2)
+
+let test_sizeof_and_casts () =
+  let t =
+    trace_of
+      "void record(long x);\nint main(void) {\n\
+       record(sizeof(int)); record(sizeof(double)); record(sizeof(long *));\n\
+       record((long)(char)300);\n\
+       record((long)(unsigned char)300);\n\
+       record((int)3.99); record((int)-3.99);\n\
+       double d = (double)7 / 2;\n\
+       record((long)(d * 10.0));\nreturn 0; }"
+  in
+  Alcotest.(check string) "sizeof/casts" "4;8;8;44;44;3;-3;35" (trace_to_string t)
+
+let test_parse_errors_recover () =
+  (* Errors are reported but parsing continues to find later errors. *)
+  let diag, _ =
+    Driver.frontend
+      "int main(void) {\nint x = ;\nint y = 2\nreturn § 0;\n}"
+  in
+  Alcotest.(check bool) "has errors" true (Mc_diag.Diagnostics.has_errors diag);
+  if Mc_diag.Diagnostics.error_count diag < 2 then
+    Alcotest.fail "expected recovery to surface multiple errors"
+
+let test_pragma_positions () =
+  expect_error ~substring:"unexpected pragma at file scope"
+    "#pragma omp parallel\nint main(void) { return 0; }";
+  (* A pragma may directly follow another as associated statement; that is
+     the composability the paper's §1.1 stresses. *)
+  let diag, _ =
+    Driver.frontend
+      "void record(long x);\nint main(void) {\n\
+       #pragma omp parallel\n#pragma omp parallel\nrecord(1);\nreturn 0; }"
+  in
+  Alcotest.(check bool) "nested pragma stmt" false
+    (Mc_diag.Diagnostics.has_errors diag)
+
+let test_clang_loop_pragma () =
+  let tu =
+    frontend_ok
+      "void record(long x);\nint main(void) {\n\
+       #pragma clang loop unroll_count(4)\n\
+       for (int i = 0; i < 8; i += 1) record(i);\n\
+       #pragma clang loop unroll(full)\n\
+       for (int i = 0; i < 4; i += 1) record(10 + i);\n\
+       #pragma clang loop unroll(disable)\n\
+       for (int i = 0; i < 4; i += 1) record(20 + i);\n\
+       return 0; }"
+  in
+  let hints = ref [] in
+  List.iter
+    (function
+      | Tu_fn { fn_body = Some body; _ } ->
+        Visit.iter ~shadow:false
+          ~on_stmt:(fun s ->
+            match s.s_kind with
+            | Attributed (attrs, _) ->
+              List.iter (fun (Loop_hint h) -> hints := h.lh_option :: !hints) attrs
+            | _ -> ())
+          body
+      | _ -> ())
+    tu.tu_decls;
+  Alcotest.(check int) "three hints" 3 (List.length !hints)
+
+let test_global_declarations_rejected_in_codegen () =
+  (* Globals parse and sema-check, but codegen reports them unsupported. *)
+  let result = Driver.compile "int g = 5;\nint main(void) { return g; }" in
+  match result.Driver.codegen_error with
+  | Some msg -> check_contains ~what:"global" msg "global"
+  | None -> Alcotest.fail "expected a codegen unsupported error"
+
+let suite =
+  [
+    tc "operator precedence (unparse oracle)" test_precedence;
+    tc "associativity semantics" test_associativity_values;
+    tc "declarators" test_declarators;
+    tc "function declarations and definitions" test_function_forms;
+    tc "statement grammar" test_statement_grammar;
+    tc "sizeof and casts" test_sizeof_and_casts;
+    tc "error recovery" test_parse_errors_recover;
+    tc "pragma placement" test_pragma_positions;
+    tc "#pragma clang loop" test_clang_loop_pragma;
+    tc "globals rejected in codegen" test_global_declarations_rejected_in_codegen;
+  ]

@@ -1,0 +1,382 @@
+(* Sema tests: type checking diagnostics, constant evaluation, canonical
+   loop analysis (incl. the C2 and C3 paper claims), clause validation. *)
+
+open Helpers
+open Mc_ast.Tree
+module Driver = Mc_core.Driver
+module Visit = Mc_ast.Visit
+module Const_eval = Mc_sema.Const_eval
+
+let wrap_main body = "void record(long x);\nint main(void) {\n" ^ body ^ "\nreturn 0; }"
+
+(* ---- plain C semantic errors ------------------------------------------- *)
+
+let test_basic_errors () =
+  expect_error ~substring:"use of undeclared identifier 'y'" (wrap_main "int x = y;");
+  expect_error ~substring:"redefinition of 'x'" (wrap_main "int x = 1; int x = 2;");
+  expect_error ~substring:"'break' outside of a loop" (wrap_main "break;");
+  expect_error ~substring:"'continue' outside of a loop" (wrap_main "continue;");
+  expect_error ~substring:"expected 2 argument(s), got 1"
+    ("int add(int a, int b) { return a + b; }\n" ^ wrap_main "int x = add(1);");
+  expect_error ~substring:"incomplete type 'void'" (wrap_main "void v;");
+  expect_error ~substring:"called object type 'int' is not a function"
+    (wrap_main "int x = 1; int y = x(2);");
+  expect_error ~substring:"non-void function 'main' must return a value"
+    "int main(void) { return; }";
+  expect_error ~substring:"indirection requires pointer operand"
+    (wrap_main "int x = 1; int y = *x;");
+  expect_error ~substring:"subscripted value"
+    (wrap_main "int x = 1; int y = x[0];")
+
+let test_switch_sema () =
+  expect_error ~substring:"'case' label outside of a switch"
+    (wrap_main "case 1: record(1);");
+  expect_error ~substring:"'default' label outside of a switch"
+    (wrap_main "default: record(1);");
+  expect_error ~substring:"duplicate case value 3"
+    (wrap_main "switch (1) { case 3: record(1); break; case 3: record(2); }");
+  expect_error ~substring:"case value must be an integer constant"
+    (wrap_main "int n = 2;\nswitch (1) { case n: record(1); }");
+  expect_error ~substring:"multiple 'default' labels"
+    (wrap_main "switch (1) { default: record(1); break; default: record(2); }");
+  expect_error ~substring:"switch condition must have integer type"
+    (wrap_main "double d = 1.0;\nswitch (d) { case 1: record(1); }");
+  expect_error ~substring:"'continue' outside of a loop"
+    (wrap_main "switch (1) { case 1: continue; }")
+
+let test_scoping () =
+  (* Inner scopes shadow and expire. *)
+  let trace =
+    trace_of
+      (wrap_main
+         "int x = 1;\n{ int x = 2; record(x); }\nrecord(x);")
+  in
+  Alcotest.(check string) "shadowing" "2;1" (trace_to_string trace);
+  expect_error ~substring:"use of undeclared identifier 'inner'"
+    (wrap_main "{ int inner = 1; } record(inner);")
+
+let test_conversions_inserted () =
+  let diag, tu =
+    Driver.frontend "double f(void) { int i = 3; return i; }"
+  in
+  Alcotest.(check bool) "no errors" false (Mc_diag.Diagnostics.has_errors diag);
+  let dump = Mc_ast.Dump.translation_unit tu in
+  check_contains ~what:"int->double" dump "IntegralToFloating";
+  check_contains ~what:"lvalue load" dump "LValueToRValue"
+
+(* ---- constant evaluation -------------------------------------------------- *)
+
+let eval_expr source =
+  (* Builds "int x = <expr>;" and const-evals the initialiser. *)
+  let diag, tu = Driver.frontend ("int main(void) { long x = " ^ source ^ "; return 0; }") in
+  if Mc_diag.Diagnostics.has_errors diag then
+    Alcotest.failf "const-eval source failed:\n%s" (Mc_diag.Diagnostics.render_all diag);
+  let result = ref None in
+  List.iter
+    (function
+      | Tu_fn { fn_body = Some body; _ } ->
+        Visit.iter ~shadow:false
+          ~on_var:(fun v ->
+            if v.v_name = "x" then
+              result := Option.map Const_eval.eval_int v.v_init)
+          body
+      | _ -> ())
+    tu.tu_decls;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "variable x not found"
+
+let test_const_eval () =
+  let check name src expected =
+    Alcotest.(check (option int64)) name expected (eval_expr src)
+  in
+  check "arith" "2 + 3 * 4" (Some 14L);
+  check "parens" "(2 + 3) * 4" (Some 20L);
+  check "shift" "1 << 10" (Some 1024L);
+  check "cmp" "3 < 5" (Some 1L);
+  check "ternary" "0 ? 10 : 20" (Some 20L);
+  check "logical shortcut" "1 || (1 / 0)" (Some 1L);
+  check "division by zero" "1 / 0" None;
+  check "unary" "-(5) + +3" (Some (-2L));
+  check "bitwise" "(0xF0 | 0x0F) & 0x3C" (Some 0x3CL);
+  check "sizeof" "sizeof(double)" (Some 8L);
+  check "char" "'A'" (Some 65L);
+  check "i32 wrap" "2147483647 + 1" (Some (-2147483648L));
+  check "comma" "(1, 2)" (Some 2L)
+
+(* ---- canonical loop analysis ---------------------------------------------- *)
+
+let test_canonical_rejections () =
+  let pragma body =
+    "void record(long x);\nint main(void) {\n#pragma omp for\n" ^ body
+    ^ "\nreturn 0; }"
+  in
+  expect_error ~substring:"expected 1 nested canonical for loop" (pragma "record(1);");
+  expect_error ~substring:"initialization of an OpenMP canonical loop"
+    (pragma "for (; 0 < 1;) record(1);");
+  expect_error ~substring:"requires a condition"
+    (pragma "for (int i = 0; ; i += 1) record(i);");
+  expect_error ~substring:"requires an increment"
+    (pragma "for (int i = 0; i < 4;) record(i);");
+  expect_error ~substring:"compare the iteration variable"
+    (pragma "for (int i = 0; 1; i += 1) record(i);");
+  expect_error ~substring:"advance the iteration variable"
+    (pragma "for (int i = 0; i < 8; i *= 2) record(i);");
+  expect_error ~substring:"incompatible with its condition"
+    (pragma "for (int i = 0; i < 8; i -= 1) record(i);");
+  expect_error ~substring:"'!=' loop condition requires a constant step of 1"
+    (pragma "for (int i = 0; i != 8; i += 2) record(i);");
+  (* Deeper nests. *)
+  expect_error ~substring:"nested canonical for loop"
+    ("void record(long x);\nint main(void) {\n#pragma omp for collapse(2)\n\
+      for (int i = 0; i < 4; i += 1) record(i);\nreturn 0; }")
+
+let test_canonical_accepted_forms () =
+  (* All the init/cond/incr spellings the OpenMP spec allows. *)
+  List.iter
+    (fun loop ->
+      let src = wrap_main ("#pragma omp for\n" ^ loop) in
+      let diag, _ = Driver.frontend src in
+      if Mc_diag.Diagnostics.has_errors diag then
+        Alcotest.failf "rejected canonical loop %s:\n%s" loop
+          (Mc_diag.Diagnostics.render_all diag))
+    [
+      "for (int i = 0; i < 10; i += 1) record(i);";
+      "for (int i = 0; i < 10; ++i) record(i);";
+      "for (int i = 0; i < 10; i++) record(i);";
+      "for (int i = 0; 10 > i; i = i + 1) record(i);";
+      "for (int i = 0; i <= 9; i = 1 + i) record(i);";
+      "for (int i = 9; i >= 0; i -= 1) record(i);";
+      "for (int i = 9; i > -1; --i) record(i);";
+      "for (int i = 0; i != 10; i += 1) record(i);";
+      "for (long i = 0; i < 10; i += 3) record(i);";
+      "for (unsigned i = 0; i < 10u; i += 1) record(i);";
+    ]
+
+(* C3: trip count of the INT32_MIN..INT32_MAX loop is 0xfffffffe, which
+   requires the unsigned logical counter. *)
+let test_trip_count_extremes () =
+  let diag, tu =
+    Driver.frontend ~options:irbuilder
+      "void record(long x);\nint main(void) {\n#pragma omp unroll partial(2)\n\
+       for (int i = -2147483647 - 1; i < 2147483647; ++i) record(i);\nreturn 0; }"
+  in
+  Alcotest.(check bool) "accepted" false (Mc_diag.Diagnostics.has_errors diag);
+  (* Find the OMPCanonicalLoop and const-eval its distance expression. *)
+  let found = ref None in
+  List.iter
+    (function
+      | Tu_fn { fn_body = Some body; _ } ->
+        Visit.iter ~shadow:true
+          ~on_stmt:(fun s ->
+            match s.s_kind with
+            | Omp_canonical_loop ocl -> found := Some ocl
+            | _ -> ())
+          body
+      | _ -> ())
+    tu.tu_decls;
+  match !found with
+  | None -> Alcotest.fail "no canonical loop"
+  | Some ocl -> (
+    match ocl.ocl_distance.cap_body.s_kind with
+    | Expr_stmt { e_kind = Assign (None, _, rhs); _ } -> (
+      match Const_eval.eval_int rhs with
+      | Some v ->
+        (* The count is 0xffffffff (the paper's prose says 0xfffffffe, an
+           off-by-one: INT32_MAX - INT32_MIN = 2^32 - 1); either way it
+           does not fit a 32-bit *signed* integer, which is the point. *)
+        Alcotest.(check string)
+          "0xffffffff iterations" "4294967295"
+          (Mc_support.Int_ops.to_string Mc_support.Int_ops.u32 v)
+      | None -> Alcotest.fail "distance should be a constant here")
+    | _ -> Alcotest.fail "unexpected distance body shape")
+
+(* C2: the '.capture_expr.' internal name leaks into shadow AST temporaries,
+   as the paper's diagnostic excerpt shows. *)
+let test_capture_expr_leak () =
+  let diag, tu =
+    Driver.frontend
+      "void record(long x);\nint main(void) { int n = 100;\n\
+       #pragma omp tile sizes(4)\n\
+       for (int i = 0; i < n; i += 1) record(i);\nreturn 0; }"
+  in
+  Alcotest.(check bool) "ok" false (Mc_diag.Diagnostics.has_errors diag);
+  let names = ref [] in
+  List.iter
+    (function
+      | Tu_fn { fn_body = Some body; _ } ->
+        Visit.iter ~shadow:true ~on_var:(fun v -> names := v.v_name :: !names) body
+      | _ -> ())
+    tu.tu_decls;
+  Alcotest.(check bool) "leaky internal name present" true
+    (List.mem ".capture_expr." !names);
+  (* ... and it is implicit, so the default dump does not show it, but the
+     shadow dump does. *)
+  let dump_shadow = Mc_ast.Dump.translation_unit ~shadow:true tu in
+  check_contains ~what:"shadow dump shows it" dump_shadow ".capture_expr."
+
+(* ---- clause validation ------------------------------------------------------ *)
+
+let test_clause_validation () =
+  expect_error ~substring:"'tile' requires a 'sizes' clause"
+    (wrap_main "#pragma omp tile\nfor (int i = 0; i < 4; i += 1) record(i);");
+  expect_error ~substring:"clause 'OMPFullClause' is not valid on directive"
+    (wrap_main "#pragma omp for full\nfor (int i = 0; i < 4; i += 1) record(i);");
+  expect_error ~substring:"clause 'OMPScheduleClause' is not valid on directive"
+    (wrap_main
+       "#pragma omp unroll schedule(static)\nfor (int i = 0; i < 4; i += 1) record(i);");
+  expect_error ~substring:"must be positive"
+    (wrap_main "#pragma omp unroll partial(0)\nfor (int i = 0; i < 4; i += 1) record(i);");
+  expect_error ~substring:"must be a constant integer"
+    (wrap_main
+       "int n = 3;\n#pragma omp tile sizes(n)\nfor (int i = 0; i < 4; i += 1) record(i);");
+  (* A standalone barrier is fine; it must not consume a statement. *)
+  let diag, _ =
+    Mc_core.Driver.frontend (wrap_main "#pragma omp barrier\nrecord(1);")
+  in
+  Alcotest.(check bool) "standalone barrier ok" false
+    (Mc_diag.Diagnostics.has_errors diag)
+
+(* Consuming a transformation that generates no loop is rejected in both
+   modes (paper §2.2 / §3). *)
+let test_consumed_full_unroll_rejected () =
+  let src =
+    wrap_main
+      "#pragma omp for\n#pragma omp unroll full\nfor (int i = 0; i < 4; i += 1) record(i);"
+  in
+  expect_error ~options:classic ~substring:"cannot be associated" src;
+  expect_error ~options:irbuilder ~substring:"cannot be associated" src;
+  let src_heuristic =
+    wrap_main
+      "#pragma omp for\n#pragma omp unroll\nfor (int i = 0; i < 4; i += 1) record(i);"
+  in
+  expect_error ~options:classic ~substring:"cannot be associated" src_heuristic;
+  expect_error ~options:irbuilder ~substring:"cannot be associated" src_heuristic
+
+(* Shadow-AST construction facts from §2. *)
+let test_shadow_structure () =
+  let diag, tu =
+    Driver.frontend
+      "void body(int i);\nint main(void) {\n#pragma omp unroll partial(2)\n\
+       for (int i = 7; i < 17; i += 3) body(i);\nreturn 0; }"
+  in
+  Alcotest.(check bool) "ok" false (Mc_diag.Diagnostics.has_errors diag);
+  let d = ref None in
+  List.iter
+    (function
+      | Tu_fn { fn_body = Some body; _ } ->
+        Visit.iter ~shadow:false
+          ~on_stmt:(fun s ->
+            match s.s_kind with
+            | Omp_directive dir when dir.dir_kind = D_unroll -> d := Some dir
+            | _ -> ())
+          body
+      | _ -> ())
+    tu.tu_decls;
+  match !d with
+  | None -> Alcotest.fail "no unroll directive"
+  | Some dir -> (
+    match Mc_sema.Omp_sema.transformed_stmt dir with
+    | None -> Alcotest.fail "partial unroll must have a transformed AST"
+    | Some tr ->
+      let dump = Mc_ast.Dump.stmt tr in
+      (* Fig. 7's essential shape: an outer ForStmt over the unrolled iv,
+         an AttributedStmt with LoopHintAttr UnrollCount, an inner ForStmt. *)
+      check_contains ~what:"outer iv" dump ".unrolled.iv.i";
+      check_contains ~what:"hint" dump "LoopHintAttr Implicit loop UnrollCount Numeric";
+      check_contains ~what:"inner iv" dump ".unroll_inner.iv.i";
+      (* No body duplication in the AST: exactly one CallExpr. *)
+      let calls = ref 0 in
+      Visit.iter ~shadow:true
+        ~on_expr:(fun e -> match e.e_kind with Call _ -> incr calls | _ -> ())
+        tr;
+      Alcotest.(check int) "no duplication before mid-end" 1 !calls)
+
+let test_full_unroll_has_no_transformed () =
+  let diag, tu =
+    Driver.frontend
+      "void body(int i);\nint main(void) {\n#pragma omp unroll full\n\
+       for (int i = 0; i < 4; i += 1) body(i);\nreturn 0; }"
+  in
+  Alcotest.(check bool) "ok" false (Mc_diag.Diagnostics.has_errors diag);
+  List.iter
+    (function
+      | Tu_fn { fn_body = Some body; _ } ->
+        Visit.iter ~shadow:false
+          ~on_stmt:(fun s ->
+            match s.s_kind with
+            | Omp_directive dir when dir.dir_kind = D_unroll ->
+              Alcotest.(check bool)
+                "full unroll generates no loop" true
+                (Mc_sema.Omp_sema.transformed_stmt dir = None)
+            | _ -> ())
+          body
+      | _ -> ())
+    tu.tu_decls
+
+(* OpenMP 6.0 preview directives: structure and diagnostics. *)
+let test_omp60_sema () =
+  expect_error ~substring:"'fuse' requires a compound statement"
+    (wrap_main "#pragma omp fuse\nfor (int i = 0; i < 4; i += 1) record(i);");
+  expect_error ~substring:"must name each loop position"
+    (wrap_main
+       "#pragma omp interchange permutation(1, 1)\n\
+        for (int i = 0; i < 2; i += 1)\nfor (int j = 0; j < 2; j += 1) record(i + j);");
+  expect_error ~substring:"clause 'OMPPermutationClause' is not valid"
+    (wrap_main
+       "#pragma omp reverse permutation(1)\nfor (int i = 0; i < 2; i += 1) record(i);");
+  (* reverse produces a generated loop, so it is consumable; its transformed
+     AST exists in classic mode. *)
+  let diag, tu =
+    Driver.frontend
+      (wrap_main
+         "#pragma omp reverse\nfor (int i = 0; i < 4; i += 1) record(i);")
+  in
+  Alcotest.(check bool) "reverse ok" false (Mc_diag.Diagnostics.has_errors diag);
+  List.iter
+    (function
+      | Tu_fn { fn_body = Some body; _ } ->
+        Visit.iter ~shadow:false
+          ~on_stmt:(fun s ->
+            match s.s_kind with
+            | Omp_directive dir when dir.dir_kind = D_reverse ->
+              Alcotest.(check bool) "reverse has transformed AST" true
+                (dir.dir_transformed <> None)
+            | _ -> ())
+          body
+      | _ -> ())
+    tu.tu_decls
+
+(* Paper §2: (a) a consuming directive re-analyses the transformed AST and
+   rejects it when it is not a deep-enough canonical nest; (b) the
+   suggested "history" note points back at the transformation. *)
+let test_transform_history_note () =
+  let source =
+    wrap_main
+      "#pragma omp for collapse(2)\n#pragma omp unroll partial(2)\n\
+       for (int i = 0; i < 8; i += 1) record(i);"
+  in
+  let diag, _ = Driver.frontend source in
+  Alcotest.(check bool) "rejected" true (Mc_diag.Diagnostics.has_errors diag);
+  let rendered = Mc_diag.Diagnostics.render_all diag in
+  check_contains ~what:"note" rendered
+    "note: within the loop generated by '#pragma omp unroll' here"
+
+let suite =
+  [
+    tc "basic type errors" test_basic_errors;
+    tc "scoping" test_scoping;
+    tc "switch semantic checks" test_switch_sema;
+    tc "implicit conversions inserted" test_conversions_inserted;
+    tc "constant evaluation" test_const_eval;
+    tc "canonical loop rejections" test_canonical_rejections;
+    tc "canonical loop accepted forms" test_canonical_accepted_forms;
+    tc "C3: INT32_MIN..INT32_MAX trip count" test_trip_count_extremes;
+    tc "C2: .capture_expr. internal name" test_capture_expr_leak;
+    tc "clause validation" test_clause_validation;
+    tc "consumed full/heuristic unroll rejected" test_consumed_full_unroll_rejected;
+    tc "Fig 7: shadow unroll structure" test_shadow_structure;
+    tc "full unroll has no transformed stmt" test_full_unroll_has_no_transformed;
+    tc "OpenMP 6.0 preview directives" test_omp60_sema;
+    tc "transformation-history note (paper section 2)" test_transform_history_note;
+  ]

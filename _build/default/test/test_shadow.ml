@@ -1,0 +1,140 @@
+(* Unit tests for the shadow-AST constructions (Mc_sema.Shadow): the
+   generated loop structures of unroll/tile and the OpenMP 6.0 preview, and
+   the OMPLoopDirective helper set, inspected at the AST level. *)
+
+open Helpers
+open Mc_ast.Tree
+module Shadow = Mc_sema.Shadow
+module Canonical = Mc_sema.Canonical
+module Visit = Mc_ast.Visit
+module Unparse = Mc_ast.Unparse
+
+(* Reuse the canonical-analysis harness. *)
+let analyze_loop = Test_canonical.analyze_loop
+
+let count_fors stmt =
+  let n = ref 0 in
+  Visit.iter ~shadow:false
+    ~on_stmt:(fun s -> match s.s_kind with For _ -> incr n | _ -> ())
+    stmt;
+  !n
+
+let var_names stmt =
+  let acc = ref [] in
+  Visit.iter ~shadow:false ~on_var:(fun v -> acc := v.v_name :: !acc) stmt;
+  List.rev !acc
+
+let test_unroll_structure () =
+  let sema, a = analyze_loop "for (int i = 0; i < 10; i += 1) record(i);" in
+  let tr = Shadow.transformed_unroll sema a ~factor:4 in
+  (* Strip-mined: outer + inner loop, no body duplication. *)
+  Alcotest.(check int) "two loops" 2 (count_fors tr.Shadow.tr_stmt);
+  Alcotest.(check int) "one capture" 1 (List.length tr.Shadow.tr_capture_vars);
+  Alcotest.(check string) "capture name" ".capture_expr."
+    (List.hd tr.Shadow.tr_capture_vars).v_name;
+  let printed = Unparse.stmt_to_string tr.Shadow.tr_stmt in
+  check_contains ~what:"outer stride" printed ".unrolled.iv.i += 4";
+  check_contains ~what:"hint" printed "#pragma clang loop unroll_count(4)";
+  check_contains ~what:"inner guard" printed "&&";
+  (* Calls are not duplicated in the AST (paper §2.1). *)
+  let calls = ref 0 in
+  Visit.iter ~shadow:false
+    ~on_expr:(fun e -> match e.e_kind with Call _ -> incr calls | _ -> ())
+    tr.Shadow.tr_stmt;
+  Alcotest.(check int) "single call" 1 !calls
+
+let test_tile_structure () =
+  let sema, outer = analyze_loop "for (int i = 0; i < 6; i += 1) record(i);" in
+  let _, inner = analyze_loop "for (int j = 0; j < 8; j += 1) record(j);" in
+  let tr =
+    Shadow.transformed_tile sema [ outer; inner ] ~sizes:[ 2; 4 ]
+      ~loc:Mc_srcmgr.Source_location.invalid
+  in
+  (* 2n loops for an n-deep tile. *)
+  Alcotest.(check int) "four loops" 4 (count_fors tr.Shadow.tr_stmt);
+  Alcotest.(check int) "two captures" 2 (List.length tr.Shadow.tr_capture_vars);
+  let names = var_names tr.Shadow.tr_stmt in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (List.mem needle names))
+    [ ".floor.0.iv.i"; ".floor.1.iv.j"; ".tile.0.iv.i"; ".tile.1.iv.j" ]
+
+let test_reverse_structure () =
+  let sema, a = analyze_loop "for (int i = 0; i < 9; i += 2) record(i);" in
+  let tr = Shadow.transformed_reverse sema a in
+  Alcotest.(check int) "one loop" 1 (count_fors tr.Shadow.tr_stmt);
+  let printed = Unparse.stmt_to_string tr.Shadow.tr_stmt in
+  check_contains ~what:"reversed iv" printed ".reversed.iv.i";
+  (* The body reconstructs the user value from n-1-iv. *)
+  check_contains ~what:"backwards" printed ".capture_expr. - 1 - .reversed.iv.i"
+
+let test_interchange_structure () =
+  let sema, l0 = analyze_loop "for (int i = 0; i < 3; i += 1) record(i);" in
+  let _, l1 = analyze_loop "for (int j = 0; j < 5; j += 1) record(j);" in
+  let tr =
+    Shadow.transformed_interchange sema [ l0; l1 ] ~perm:[ 1; 0 ]
+      ~loc:Mc_srcmgr.Source_location.invalid
+  in
+  (* The j-loop must now be outermost. *)
+  (match tr.Shadow.tr_stmt.s_kind with
+  | For { for_init = Some { s_kind = Decl_stmt [ v ]; _ }; _ } ->
+    Alcotest.(check string) "outermost is j" ".interchanged.iv.j" v.v_name
+  | _ -> Alcotest.fail "expected a for with a decl init");
+  Alcotest.(check int) "two loops" 2 (count_fors tr.Shadow.tr_stmt)
+
+let test_fuse_structure () =
+  let sema, l0 = analyze_loop "for (int i = 0; i < 3; i += 1) record(i);" in
+  let _, l1 = analyze_loop "for (int j = 0; j < 7; j += 1) record(j);" in
+  let tr =
+    Shadow.transformed_fuse sema [ l0; l1 ] ~loc:Mc_srcmgr.Source_location.invalid
+  in
+  Alcotest.(check int) "one fused loop" 1 (count_fors tr.Shadow.tr_stmt);
+  (* One guard per member. *)
+  let ifs = ref 0 in
+  Visit.iter ~shadow:false
+    ~on_stmt:(fun s -> match s.s_kind with If _ -> incr ifs | _ -> ())
+    tr.Shadow.tr_stmt;
+  Alcotest.(check int) "two guards" 2 !ifs;
+  (* Captures: one per loop plus the max. *)
+  Alcotest.(check int) "three captures" 3 (List.length tr.Shadow.tr_capture_vars)
+
+let test_loop_helpers_structure () =
+  let sema, l0 = analyze_loop "for (int i = 0; i < 4; i += 1) record(i);" in
+  let _, l1 = analyze_loop "for (int j = 0; j < 6; j += 1) record(j);" in
+  let h =
+    Shadow.build_loop_helpers sema [ l0; l1 ]
+      ~loc:Mc_srcmgr.Source_location.invalid
+  in
+  (* Logical-space machinery in the expected shapes. *)
+  Alcotest.(check string) "iv" ".omp.iv" h.lhs_iteration_variable.v_name;
+  Alcotest.(check string) "lb" ".omp.lb" h.lhs_lower_bound_variable.v_name;
+  Alcotest.(check int) "per-loop helpers" 2 (List.length h.lhs_loops);
+  Alcotest.(check int) "capture exprs" 2 (List.length h.lhs_capture_exprs);
+  (* NumIterations is the product of the .capture_expr. temporaries, whose
+     initialisers are compile-time constants here: 4 and 6. *)
+  let capture_values =
+    List.map
+      (fun v ->
+        match Option.map Mc_sema.Const_eval.eval_int v.v_init with
+        | Some (Some value) -> value
+        | _ -> Alcotest.fail "capture init should be constant")
+      h.lhs_capture_exprs
+  in
+  Alcotest.(check (list int64)) "per-loop counts" [ 4L; 6L ] capture_values;
+  (* cond is .omp.iv <= .omp.ub *)
+  let cond = Unparse.expr_to_string h.lhs_cond in
+  check_contains ~what:"cond" cond ".omp.iv";
+  check_contains ~what:"cond ub" cond "<= .omp.ub";
+  (* The combined/distribute slots stay empty for plain worksharing. *)
+  Alcotest.(check bool) "no combined lb" true (h.lhs_combined_lower_bound = None);
+  Alcotest.(check int) "occupied" 28 (Visit.helper_occupied_count h)
+
+let suite =
+  [
+    tc "unroll: strip-mine + hint, no duplication" test_unroll_structure;
+    tc "tile: 2n loops and capture set" test_tile_structure;
+    tc "reverse: backwards user value" test_reverse_structure;
+    tc "interchange: permuted nest order" test_interchange_structure;
+    tc "fuse: guards and max capture" test_fuse_structure;
+    tc "OMPLoopDirective helper shapes" test_loop_helpers_structure;
+  ]

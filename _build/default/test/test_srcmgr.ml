@@ -1,0 +1,85 @@
+(* FileManager / SourceManager / diagnostics substrate tests. *)
+
+open Helpers
+module Buf = Mc_srcmgr.Memory_buffer
+module Fmgr = Mc_srcmgr.File_manager
+module Srcmgr = Mc_srcmgr.Source_manager
+module Loc = Mc_srcmgr.Source_location
+module Diag = Mc_diag.Diagnostics
+
+let test_file_manager () =
+  let fm = Fmgr.create () in
+  ignore (Fmgr.add_file fm ~path:"a.h" ~contents:"AAA");
+  ignore (Fmgr.add_file fm ~path:"b.h" ~contents:"BBB");
+  Alcotest.(check (list string)) "order" [ "a.h"; "b.h" ] (Fmgr.files fm);
+  Alcotest.(check bool) "exists" true (Fmgr.file_exists fm "a.h");
+  Alcotest.(check bool) "missing" false (Fmgr.file_exists fm "c.h");
+  (match Fmgr.get_file fm "b.h" with
+  | Some b -> Alcotest.(check string) "contents" "BBB" (Buf.contents b)
+  | None -> Alcotest.fail "b.h not found");
+  (* Replacement keeps registration order. *)
+  ignore (Fmgr.add_file fm ~path:"a.h" ~contents:"AAA2");
+  Alcotest.(check (list string)) "order stable" [ "a.h"; "b.h" ] (Fmgr.files fm)
+
+let test_locations () =
+  let sm = Srcmgr.create () in
+  let buf = Buf.create ~name:"t.c" ~contents:"abc\ndef\n\nxyz" in
+  let id = Srcmgr.load_main sm buf in
+  Alcotest.(check (option int)) "main id" (Some id) (Srcmgr.main_file_id sm);
+  let check_presumed offset line col =
+    match Srcmgr.presumed sm (Srcmgr.location sm ~file_id:id ~offset) with
+    | Some p ->
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "offset %d" offset)
+        (line, col)
+        (p.Srcmgr.line, p.Srcmgr.column)
+    | None -> Alcotest.fail "no presumed location"
+  in
+  check_presumed 0 1 1;
+  check_presumed 2 1 3;
+  check_presumed 4 2 1;
+  check_presumed 8 3 1;
+  check_presumed 9 4 1;
+  check_presumed 11 4 3;
+  Alcotest.(check (option string))
+    "line text" (Some "def")
+    (Srcmgr.line_text sm (Srcmgr.location sm ~file_id:id ~offset:5));
+  Alcotest.(check string) "describe" "t.c:2:2"
+    (Srcmgr.describe sm (Srcmgr.location sm ~file_id:id ~offset:5));
+  Alcotest.(check string) "invalid" "<invalid loc>" (Srcmgr.describe sm Loc.invalid)
+
+let test_location_encoding () =
+  let loc = Loc.encode ~file_id:3 ~offset:12345 in
+  Alcotest.(check int) "file id" 3 (Loc.file_id loc);
+  Alcotest.(check int) "offset" 12345 (Loc.offset loc);
+  Alcotest.(check bool) "valid" true (Loc.is_valid loc);
+  Alcotest.(check bool) "invalid" false (Loc.is_valid Loc.invalid);
+  Alcotest.(check int) "shift" 12349 (Loc.offset (Loc.shift loc 4))
+
+let test_diagnostics () =
+  let sm = Srcmgr.create () in
+  let buf = Buf.create ~name:"d.c" ~contents:"int x = error here;" in
+  let id = Srcmgr.load_main sm buf in
+  let diag = Diag.create sm in
+  let seen = ref 0 in
+  Diag.set_consumer diag (fun _ -> incr seen);
+  let loc = Srcmgr.location sm ~file_id:id ~offset:8 in
+  Diag.warning diag ~loc "something odd";
+  Diag.error diag ~loc ~notes:[ Diag.note ~loc "because of this" ] "bad thing";
+  Alcotest.(check int) "errors" 1 (Diag.error_count diag);
+  Alcotest.(check int) "warnings" 1 (Diag.warning_count diag);
+  Alcotest.(check bool) "has errors" true (Diag.has_errors diag);
+  Alcotest.(check int) "consumer calls" 2 !seen;
+  let rendered = Diag.render_all diag in
+  check_contains ~what:"render" rendered "d.c:1:9: error: bad thing";
+  check_contains ~what:"caret line" rendered "int x = error here;";
+  check_contains ~what:"note" rendered "note: because of this";
+  check_contains ~what:"caret column" rendered "        ^"
+
+let suite =
+  [
+    tc "file manager" test_file_manager;
+    tc "source locations decompose" test_locations;
+    tc "location encoding" test_location_encoding;
+    tc "diagnostics engine" test_diagnostics;
+  ]
