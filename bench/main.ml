@@ -405,6 +405,59 @@ let tests =
       (staged_frontend ~options:irbuilder (nest_source 3));
   ]
 
+(* --------------------------------------------------------------------- *)
+(* Machine-readable stats: BENCH_stats.json                              *)
+(* --------------------------------------------------------------------- *)
+
+(* Emits the same counters as `mcc -print-stats` on the tiling example,
+   plus the monotonic stage timings, so recorded runs can be diffed by
+   tooling rather than eyeballed (no JSON library in the image — the
+   writer is hand-rolled; every key is a [a-z0-9.-] statistic name). *)
+let emit_stats_json () =
+  heading "BENCH_stats.json (machine-readable counters + stage timings)";
+  let tile_source =
+    "void recordf(double x);\nint main(void) {\n\
+     double g[34][34]; double n[34][34];\n\
+     for (int i = 0; i < 34; i += 1) for (int j = 0; j < 34; j += 1)\n\
+     { g[i][j] = (i * 31 + j * 17) % 13; n[i][j] = 0.0; }\n\
+     #pragma omp tile sizes(4, 4)\n\
+     for (int i = 1; i < 33; i += 1) for (int j = 1; j < 33; j += 1)\n\
+     n[i][j] = 0.25 * (g[i-1][j] + g[i+1][j] + g[i][j-1] + g[i][j+1]);\n\
+     double s = 0.0;\n\
+     for (int i = 0; i < 34; i += 1) for (int j = 0; j < 34; j += 1) s += n[i][j];\n\
+     recordf(s);\nreturn 0; }"
+  in
+  let r = compile_or_fail tile_source in
+  (match Driver.run r with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  (* The global registry now also holds the interpreter's counters. *)
+  let counters = Mc_support.Stats.snapshot () in
+  let t = r.Driver.timings in
+  let buf = Buffer.create 1024 in
+  let field last name value =
+    Buffer.add_string buf (Printf.sprintf "    %S: %s%s\n" name value
+      (if last then "" else ","))
+  in
+  Buffer.add_string buf "{\n  \"schema\": \"mcc-bench-stats/1\",\n";
+  Buffer.add_string buf "  \"workload\": \"tile-sizes-4x4-stencil\",\n";
+  Buffer.add_string buf "  \"timings_seconds\": {\n";
+  field false "lex" (Printf.sprintf "%.9f" t.Driver.t_lex);
+  field false "preprocess" (Printf.sprintf "%.9f" t.Driver.t_preprocess);
+  field false "parse-sema" (Printf.sprintf "%.9f" t.Driver.t_parse_sema);
+  field false "codegen" (Printf.sprintf "%.9f" t.Driver.t_codegen);
+  field true "passes" (Printf.sprintf "%.9f" t.Driver.t_passes);
+  Buffer.add_string buf "  },\n  \"counters\": {\n";
+  let n = List.length counters in
+  List.iteri
+    (fun i (name, v) -> field (i = n - 1) name (string_of_int v))
+    counters;
+  Buffer.add_string buf "  }\n}\n";
+  let path = "BENCH_stats.json" in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Printf.printf "  wrote %s (%d counters)\n%!" path n
+
 let run_benchmarks () =
   heading "Timing benchmarks (bechamel, monotonic clock)";
   let ols =
@@ -448,4 +501,5 @@ let () =
   ablation_a4 ();
   ablation_a1 ();
   omp60_preview ();
+  emit_stats_json ();
   run_benchmarks ()

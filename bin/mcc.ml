@@ -8,6 +8,7 @@
 
 module Driver = Mc_core.Driver
 module Diag = Mc_diag.Diagnostics
+module Stats = Mc_support.Stats
 
 let read_source path =
   if path = "-" then In_channel.input_all In_channel.stdin
@@ -22,7 +23,13 @@ type action =
   | Emit_ir
   | Syntax_only
 
-let main path action irbuilder opt_level no_fold num_threads stage_timings =
+let main path action irbuilder opt_level no_fold num_threads stage_timings
+    time_report print_stats =
+  (* Registered before the action so the reports also appear on the exit-1
+     error paths, like Clang's. *)
+  if time_report then
+    at_exit (fun () -> prerr_string (Stats.render_time_report ()));
+  if print_stats then at_exit (fun () -> prerr_string (Stats.render_stats ()));
   let source = read_source path in
   let options =
     {
@@ -167,12 +174,50 @@ let threads_arg =
 let timings_arg =
   Arg.(value & flag & info [ "stage-timings" ] ~doc:"Report per-layer times (Fig. 1)")
 
+let time_report_arg =
+  Arg.(
+    value & flag
+    & info [ "ftime-report" ]
+        ~doc:"Print a per-stage wall-clock time report (Clang's -ftime-report)")
+
+let print_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "print-stats" ]
+        ~doc:"Print the pipeline's statistic counters (Clang's -print-stats)")
+
 let cmd =
   let doc = "mini-Clang with OpenMP loop transformations (paper reproduction)" in
   Cmd.v
     (Cmd.info "mcc" ~doc)
     Term.(
       const main $ path_arg $ action_arg $ irbuilder_arg $ opt_arg $ no_fold_arg
-      $ threads_arg $ timings_arg)
+      $ threads_arg $ timings_arg $ time_report_arg $ print_stats_arg)
 
-let () = exit (Cmd.eval cmd)
+(* Clang spells long options with a single dash (-ftime-report, -emit-ir);
+   cmdliner only parses them with two.  Accept the Clang spelling by
+   promoting known single-dash long flags to their double-dash form. *)
+let long_flags =
+  [
+    "ast-dump"; "ast-dump-shadow"; "ast-print"; "print-transformed";
+    "emit-ir"; "syntax-only"; "fopenmp-enable-irbuilder";
+    "no-builder-folding"; "num-threads"; "stage-timings"; "ftime-report";
+    "print-stats";
+  ]
+
+let normalize_argv argv =
+  Array.map
+    (fun arg ->
+      if String.length arg > 2 && arg.[0] = '-' && arg.[1] <> '-' then begin
+        let body = String.sub arg 1 (String.length arg - 1) in
+        let name =
+          match String.index_opt body '=' with
+          | Some i -> String.sub body 0 i
+          | None -> body
+        in
+        if List.mem name long_flags then "-" ^ arg else arg
+      end
+      else arg)
+    argv
+
+let () = exit (Cmd.eval ~argv:(normalize_argv Sys.argv) cmd)

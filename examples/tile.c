@@ -1,0 +1,25 @@
+/* Tiled 2-D stencil sweep — the running example for -ftime-report and
+   -print-stats (see README.md).  Compile and run with:
+
+     mcc -ftime-report -print-stats examples/tile.c
+*/
+void recordf(double x);
+
+int main(void) {
+  double g[34][34];
+  double n[34][34];
+  for (int i = 0; i < 34; i += 1)
+    for (int j = 0; j < 34; j += 1) {
+      g[i][j] = (i * 31 + j * 17) % 13;
+      n[i][j] = 0.0;
+    }
+#pragma omp tile sizes(4, 4)
+  for (int i = 1; i < 33; i += 1)
+    for (int j = 1; j < 33; j += 1)
+      n[i][j] = 0.25 * (g[i - 1][j] + g[i + 1][j] + g[i][j - 1] + g[i][j + 1]);
+  double s = 0.0;
+  for (int i = 0; i < 34; i += 1)
+    for (int j = 0; j < 34; j += 1) s += n[i][j];
+  recordf(s);
+  return 0;
+}

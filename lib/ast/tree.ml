@@ -358,8 +358,20 @@ let mk_fn ?(builtin = false) ?body ~name ~ty ~params ~loc () =
     fn_body = body;
   }
 
-let mk_expr ~ty ~loc kind = { e_id = fresh_id (); e_kind = kind; e_ty = ty; e_loc = loc }
-let mk_stmt ~loc kind = { s_id = fresh_id (); s_kind = kind; s_loc = loc }
+let stat_exprs =
+  Mc_support.Stats.counter ~group:"ast" ~name:"exprs-created"
+    ~desc:"expression nodes created" ()
+let stat_stmts =
+  Mc_support.Stats.counter ~group:"ast" ~name:"stmts-created"
+    ~desc:"statement nodes created" ()
+
+let mk_expr ~ty ~loc kind =
+  Mc_support.Stats.incr stat_exprs;
+  { e_id = fresh_id (); e_kind = kind; e_ty = ty; e_loc = loc }
+
+let mk_stmt ~loc kind =
+  Mc_support.Stats.incr stat_stmts;
+  { s_id = fresh_id (); s_kind = kind; s_loc = loc }
 
 let mk_directive ?assoc ~kind ~clauses ~loc () =
   {

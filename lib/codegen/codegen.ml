@@ -13,6 +13,16 @@ let dispatch_site_counter = ref 1000
 
 exception Unsupported of string
 
+let stat_fns =
+  Mc_support.Stats.counter ~group:"codegen" ~name:"functions-emitted"
+    ~desc:"function bodies lowered to IR" ()
+let stat_insts_classic =
+  Mc_support.Stats.counter ~group:"codegen" ~name:"ir-instructions-classic"
+    ~desc:"IR instructions emitted by the classic (shadow-AST) path" ()
+let stat_insts_irbuilder =
+  Mc_support.Stats.counter ~group:"codegen" ~name:"ir-instructions-irbuilder"
+    ~desc:"IR instructions emitted by the OpenMPIRBuilder path" ()
+
 let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
 
 type ctx = {
@@ -1515,6 +1525,13 @@ let emit_translation_unit ?(fold = true) ~mode tu =
       | Tu_fn fn -> (
         match fn.fn_body with
         | None -> ignore (ir_function ctx fn)
-        | Some body -> emit_function ctx fn body))
+        | Some body ->
+          Mc_support.Stats.incr stat_fns;
+          emit_function ctx fn body))
     tu.tu_decls;
+  Mc_support.Stats.add
+    (match mode with
+    | Classic -> stat_insts_classic
+    | Irbuilder -> stat_insts_irbuilder)
+    (Ir.module_inst_count m);
   m

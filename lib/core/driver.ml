@@ -2,6 +2,8 @@ module Diag = Mc_diag.Diagnostics
 module Srcmgr = Mc_srcmgr.Source_manager
 module Fmgr = Mc_srcmgr.File_manager
 module Buf = Mc_srcmgr.Memory_buffer
+module Stats = Mc_support.Stats
+module Clock = Mc_support.Clock
 
 type options = {
   use_irbuilder : bool;
@@ -38,14 +40,21 @@ type result = {
   codegen_error : string option;
   timings : timings;
   unroll_stats : Mc_passes.Loop_unroll.stats;
+  stats : Stats.snapshot;
 }
 
-let time f =
-  let start = Sys.time () in
+(* Stage timing on the monotonic wall clock (Sys.time — process CPU time —
+   stalls under descheduling and is not comparable across machines); every
+   interval also lands in the global [Stats] registry for -ftime-report. *)
+let time stage f =
+  let start = Clock.now () in
   let v = f () in
-  (v, Sys.time () -. start)
+  let dt = Clock.now () -. start in
+  Stats.record (Stats.timer ~group:"driver" ~name:stage) dt;
+  (v, dt)
 
 let frontend_pipeline options name source =
+  Stats.reset ();
   let srcmgr = Srcmgr.create () in
   let fmgr = Fmgr.create () in
   List.iter
@@ -55,7 +64,7 @@ let frontend_pipeline options name source =
   let buf = Buf.create ~name ~contents:source in
   (* Stage: raw lexing alone, for the Fig. 1 stage timings. *)
   let _, t_lex =
-    time (fun () ->
+    time "lex" (fun () ->
         let scratch_srcmgr = Srcmgr.create () in
         let scratch_diag = Diag.create scratch_srcmgr in
         let id = Srcmgr.load_buffer scratch_srcmgr buf in
@@ -65,13 +74,15 @@ let frontend_pipeline options name source =
   List.iter
     (fun (n, body) -> Mc_pp.Preprocessor.define_object_macro pp ~name:n ~body)
     options.defines;
-  let items, t_preprocess = time (fun () -> Mc_pp.Preprocessor.preprocess_main pp buf) in
+  let items, t_preprocess =
+    time "preprocess" (fun () -> Mc_pp.Preprocessor.preprocess_main pp buf)
+  in
   let sema_mode =
     if options.use_irbuilder then Mc_sema.Sema.Irbuilder else Mc_sema.Sema.Classic
   in
   let sema = Mc_sema.Sema.create ~mode:sema_mode diag in
   let tu, t_parse_sema =
-    time (fun () -> Mc_parser.Parser.parse_translation_unit sema items)
+    time "parse-sema" (fun () -> Mc_parser.Parser.parse_translation_unit sema items)
   in
   (diag, srcmgr, tu, t_lex, t_preprocess, t_parse_sema)
 
@@ -88,6 +99,7 @@ let compile ?(options = default_options) ?(name = "input.c") source =
       codegen_error;
       timings = { t_lex; t_preprocess; t_parse_sema; t_codegen; t_passes = 0.0 };
       unroll_stats = Mc_passes.Loop_unroll.empty_stats;
+      stats = Stats.snapshot ();
     }
   in
   if Diag.has_errors diag then no_ir None 0.0
@@ -97,11 +109,17 @@ let compile ?(options = default_options) ?(name = "input.c") source =
       else Mc_codegen.Codegen.Classic
     in
     match
-      time (fun () ->
-          Mc_codegen.Codegen.emit_translation_unit ~fold:options.fold ~mode tu)
+      time "codegen" (fun () ->
+          match
+            Mc_codegen.Codegen.emit_translation_unit ~fold:options.fold ~mode tu
+          with
+          | m -> Ok m
+          | exception Mc_codegen.Codegen.Unsupported msg -> Error msg)
     with
-    | exception Mc_codegen.Codegen.Unsupported msg -> no_ir (Some msg) 0.0
-    | m, t_codegen -> (
+    (* The time codegen spent before bailing out is still real work; keep it
+       so stage timings stay truthful on the error path. *)
+    | Error msg, t_codegen -> no_ir (Some msg) t_codegen
+    | Ok m, t_codegen -> (
       let verify what =
         if options.verify_ir then begin
           match Mc_ir.Verifier.check m with
@@ -112,7 +130,7 @@ let compile ?(options = default_options) ?(name = "input.c") source =
       in
       verify "after codegen";
       let report, t_passes =
-        time (fun () ->
+        time "passes" (fun () ->
             Mc_passes.Pass_manager.run
               ~verify_between:options.verify_ir
               ~passes:
@@ -128,6 +146,7 @@ let compile ?(options = default_options) ?(name = "input.c") source =
         codegen_error = None;
         timings = { t_lex; t_preprocess; t_parse_sema; t_codegen; t_passes };
         unroll_stats = report.Mc_passes.Pass_manager.unroll_stats;
+        stats = Stats.snapshot ();
       })
   end
 

@@ -35,10 +35,16 @@ type result = {
   codegen_error : string option;
   timings : timings;
   unroll_stats : Mc_passes.Loop_unroll.stats;
+  stats : Mc_support.Stats.snapshot; (* pipeline counters for this compile *)
 }
 
 val compile : ?options:options -> ?name:string -> string -> result
-(** Compiles a source string through the whole pipeline. *)
+(** Compiles a source string through the whole pipeline.
+
+    Timings are monotonic wall clock ({!Mc_support.Clock}).  Each call
+    resets the global {!Mc_support.Stats} registry and snapshots it into
+    [result.stats]; counters accrued by a subsequent {!run} (interpreter
+    statistics) live in the registry but not in the snapshot. *)
 
 val frontend : ?options:options -> ?name:string -> string ->
   Mc_diag.Diagnostics.t * Mc_ast.Tree.translation_unit

@@ -26,7 +26,10 @@ let source_manager t = t.srcmgr
 let note ~loc message = { severity = Note; loc; message; notes = [] }
 
 let report t severity ~loc ?(notes = []) message =
-  let d = { severity; loc; message; notes = notes @ List.rev t.context_notes } in
+  (* [context_notes] is already innermost first, matching how Clang orders
+     macro-expansion/instantiation notes (most specific context first) —
+     appending it un-reversed preserves that invariant. *)
+  let d = { severity; loc; message; notes = notes @ t.context_notes } in
   t.emitted <- d :: t.emitted;
   (match severity with
   | Error | Fatal -> t.errors <- t.errors + 1
@@ -68,10 +71,13 @@ let render_one srcmgr buf d =
     Buffer.add_string buf "^\n"
   | _ -> ()
 
+let rec render_rec srcmgr buf d =
+  render_one srcmgr buf d;
+  List.iter (render_rec srcmgr buf) d.notes
+
 let render t d =
   let buf = Buffer.create 128 in
-  render_one t.srcmgr buf d;
-  List.iter (render_one t.srcmgr buf) d.notes;
+  render_rec t.srcmgr buf d;
   Buffer.contents buf
 
 let render_all t =

@@ -1,12 +1,32 @@
 open Mc_ir.Ir
 module Int_ops = Mc_support.Int_ops
+module Stats = Mc_support.Stats
 module Schedule = Mc_omprt.Schedule
 
 type trace_entry = T_int of int64 | T_float of float
 
-type config = { num_threads : int; max_steps : int }
+type wtime_mode = Wtime_virtual of float | Wtime_real
 
-let default_config = { num_threads = 4; max_steps = 200_000_000 }
+type config = { num_threads : int; max_steps : int; wtime : wtime_mode }
+
+let default_config =
+  { num_threads = 4; max_steps = 200_000_000; wtime = Wtime_virtual 1e-9 }
+
+let stat_steps =
+  Stats.counter ~group:"interp" ~name:"steps-executed"
+    ~desc:"IR instructions interpreted" ()
+let stat_parallel =
+  Stats.counter ~group:"interp" ~name:"parallel-regions"
+    ~desc:"simulated parallel regions forked" ()
+let stat_chunks_static =
+  Stats.counter ~group:"interp" ~name:"chunks-static"
+    ~desc:"static worksharing chunks handed out" ()
+let stat_chunks_dynamic =
+  Stats.counter ~group:"interp" ~name:"chunks-dynamic"
+    ~desc:"dynamic-schedule chunks dispatched" ()
+let stat_chunks_guided =
+  Stats.counter ~group:"interp" ~name:"chunks-guided"
+    ~desc:"guided-schedule chunks dispatched" ()
 
 type outcome = {
   return_value : int64 option;
@@ -37,6 +57,7 @@ type rvalue =
    drained it. *)
 type dispatch_region = {
   queue : Schedule.dynamic_state;
+  guided : bool; (* schedule(guided) rather than schedule(dynamic) *)
   mutable drained_by : int; (* members that have seen exhaustion *)
 }
 
@@ -405,6 +426,7 @@ and call_runtime state name args =
         dispatch_visits = Hashtbl.create 4 }
     in
     state.teams <- t :: state.teams;
+    Stats.incr stat_parallel;
     (* Deterministic simulation: each thread runs to completion in order. *)
     for tid = 0 to size - 1 do
       t.team_tid <- tid;
@@ -436,6 +458,7 @@ and call_runtime state name args =
        round-robin granularity differs (see DESIGN.md).  [chunk] is ignored
        apart from this note. *)
     ignore chunk;
+    Stats.incr stat_chunks_static;
     let slb, sub, stride, is_last =
       let c = Schedule.static_unchunked ~trip_count:trip ~num_threads:nth ~tid in
       (c.Schedule.lb, c.Schedule.ub, trip, Int64.equal c.Schedule.ub (Int64.sub trip 1L))
@@ -480,7 +503,7 @@ and call_runtime state name args =
         else Schedule.dynamic_create ~trip_count:trip ~chunk_size:(max 1L chunk |> fun c -> c)
       in
       Hashtbl.replace t.dispatch_regions (site, visit)
-        { queue; drained_by = 0 }
+        { queue; guided = kind = 3; drained_by = 0 }
     end;
     (* Remember which instance this thread is currently in. *)
     Hashtbl.replace state.dispatch_cursor (tid, site) visit;
@@ -508,6 +531,8 @@ and call_runtime state name args =
     in
     (match Schedule.dynamic_next region.queue with
     | Some c ->
+      Stats.incr
+        (if region.guided then stat_chunks_guided else stat_chunks_dynamic);
       store_scalar state plb ty (V_int (ty, canon ty c.Schedule.lb));
       store_scalar state pub ty (V_int (ty, canon ty c.Schedule.ub));
       Some (V_int (I32, 1L))
@@ -526,7 +551,18 @@ and call_runtime state name args =
   | "omp_get_num_threads" -> Some (V_int (I32, Int64.of_int (team_size state)))
   | "omp_get_max_threads" ->
     Some (V_int (I32, Int64.of_int state.config.num_threads))
-  | "omp_get_wtime" -> Some (V_float (F64, Sys.time ()))
+  | "omp_get_wtime" ->
+    (* OpenMP specifies elapsed *wall* time; Sys.time () (process CPU time)
+       is wrong here.  The virtual mode derives a deterministic clock from
+       the step count so differential trace tests stay reproducible; the
+       real mode reads the monotonic wall clock. *)
+    let t =
+      match state.config.wtime with
+      | Wtime_virtual seconds_per_step ->
+        float_of_int state.steps *. seconds_per_step
+      | Wtime_real -> Mc_support.Clock.now ()
+    in
+    Some (V_float (F64, t))
   | "record" ->
     state.trace <- T_int (int_arg 0) :: state.trace;
     None
@@ -566,6 +602,7 @@ let finish state result =
   let return_value =
     match result with Some (V_int (_, v)) -> Some v | _ -> None
   in
+  Stats.add stat_steps state.steps;
   {
     return_value;
     trace = List.rev state.trace;

@@ -17,9 +17,17 @@
 
 type trace_entry = T_int of int64 | T_float of float
 
+type wtime_mode =
+  | Wtime_virtual of float
+    (* [omp_get_wtime] reads [steps * seconds-per-step]: deterministic,
+       monotonic, and reproducible across machines — the default, so
+       differential trace tests never depend on real time *)
+  | Wtime_real (* …reads the monotonic wall clock (Mc_support.Clock) *)
+
 type config = {
   num_threads : int; (* default team size, as OMP_NUM_THREADS *)
   max_steps : int; (* fuel against non-termination *)
+  wtime : wtime_mode; (* what omp_get_wtime observes *)
 }
 
 val default_config : config

@@ -1,6 +1,15 @@
 module Buf = Mc_srcmgr.Memory_buffer
 module Loc = Mc_srcmgr.Source_location
 module Diag = Mc_diag.Diagnostics
+module Stats = Mc_support.Stats
+
+let stat_tokens =
+  Stats.counter ~group:"lexer" ~name:"tokens-lexed"
+    ~desc:"tokens produced by the lexer (all buffers, raw-lex prepass included)"
+    ()
+let stat_buffers =
+  Stats.counter ~group:"lexer" ~name:"buffers-lexed"
+    ~desc:"source buffers a lexer was created for" ()
 
 type t = {
   diag : Diag.t;
@@ -13,6 +22,7 @@ type t = {
 }
 
 let create diag ~file_id buf =
+  Stats.incr stat_buffers;
   {
     diag;
     file_id;
@@ -374,6 +384,7 @@ let next t =
         (* Re-lex from the next character rather than emitting a junk token. *)
         Token.Punct Token.Semi)
   in
+  if kind <> Token.Eof then Stats.incr stat_tokens;
   { Token.kind; loc; len = t.pos - start; at_line_start; has_space_before }
 
 let tokenize diag ~file_id buf =

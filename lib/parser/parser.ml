@@ -7,6 +7,13 @@ module Ctype = Mc_ast.Ctype
 module Diag = Mc_diag.Diagnostics
 module Loc = Mc_srcmgr.Source_location
 
+let stat_decls =
+  Mc_support.Stats.counter ~group:"parser" ~name:"external-decls"
+    ~desc:"file-scope declarations parsed" ()
+let stat_omp =
+  Mc_support.Stats.counter ~group:"parser" ~name:"omp-directives"
+    ~desc:"OpenMP directives parsed" ()
+
 type t = {
   sema : Sema.t;
   diag : Diag.t;
@@ -453,6 +460,7 @@ and parse_decl_stmt t =
 
 (* A small cursor over a pragma's token list. *)
 and parse_omp_pragma t (p : Pp.pragma) : stmt =
+  Mc_support.Stats.incr stat_omp;
   let toks = ref p.Pp.pragma_toks in
   let ploc () =
     match !toks with tok :: _ -> tok.Token.loc | [] -> p.Pp.pragma_loc
@@ -1046,6 +1054,7 @@ let parse_params t =
   (List.rev !params, !variadic)
 
 let parse_external_decl t =
+  Mc_support.Stats.incr stat_decls;
   let loc = loc_of t in
   if not (starts_type t) then begin
     error t ~loc "expected a declaration at file scope";

@@ -1,9 +1,18 @@
 (** Sequencing of mid-end passes, with optional IR verification between
     passes (the debugging aid every real pass pipeline has). *)
 
+type pass_timing = {
+  pt_name : string;
+  pt_changed : bool;
+  pt_wall : float; (* monotonic wall-clock seconds *)
+  pt_insts_before : int; (* module instruction count going in *)
+  pt_insts_after : int; (* … and coming out (delta = after - before) *)
+}
+
 type report = {
   pass_results : (string * bool) list; (* pass name, changed? *)
   unroll_stats : Loop_unroll.stats;
+  pass_timings : pass_timing list; (* per-pass wall time + size delta *)
 }
 
 val o0 : string list

@@ -4,6 +4,20 @@ module Loc = Mc_srcmgr.Source_location
 module Diag = Mc_diag.Diagnostics
 module Srcmgr = Mc_srcmgr.Source_manager
 module Fmgr = Mc_srcmgr.File_manager
+module Stats = Mc_support.Stats
+
+let stat_expansions =
+  Stats.counter ~group:"pp" ~name:"macro-expansions"
+    ~desc:"macro expansions performed" ()
+let stat_files =
+  Stats.counter ~group:"pp" ~name:"files-entered"
+    ~desc:"source files entered (main buffer and #includes)" ()
+let stat_directives =
+  Stats.counter ~group:"pp" ~name:"directives-processed"
+    ~desc:"preprocessing directives handled" ()
+let stat_pragmas =
+  Stats.counter ~group:"pp" ~name:"pragmas-kept"
+    ~desc:"omp/clang pragmas forwarded to the parser" ()
 
 type pragma = { pragma_loc : Loc.t; pragma_toks : Token.t list }
 type item = Tok of Token.t | Prag of pragma
@@ -111,6 +125,7 @@ let try_expand t (p : ptok) =
     match Hashtbl.find_opt t.macros name with
     | None -> false
     | Some (Object body) ->
+      Stats.incr stat_expansions;
       let hide = name :: p.hide in
       t.pending <-
         List.map (fun tok -> { tok; hide }) body @ t.pending;
@@ -130,6 +145,7 @@ let try_expand t (p : ptok) =
           true
         end
         else begin
+          Stats.incr stat_expansions;
           let binding = List.combine params args in
           let hide = name :: p.hide in
           let subst_of (btok : Token.t) =
@@ -439,6 +455,7 @@ let handle_include t loc toks =
         Diag.error t.diag ~loc
           (Printf.sprintf "'%s' file not found" path)
       | Some buf ->
+        Stats.incr stat_files;
         let file_id = Srcmgr.load_buffer t.srcmgr buf in
         t.include_depth <- t.include_depth + 1;
         t.lexers <- Lexer.create t.diag ~file_id buf :: t.lexers)
@@ -465,6 +482,7 @@ let rec next_item t : item option =
   | _ -> Some (Tok tok)
 
 and handle_directive t hash_tok : item option =
+  Stats.incr stat_directives;
   let loc = hash_tok.Token.loc in
   let toks = directive_tokens t in
   match toks with
@@ -504,6 +522,7 @@ and handle_directive t hash_tok : item option =
       t.pending <- saved;
       match pragma_toks with
       | { Token.kind = Token.Ident ("omp" | "clang"); _ } :: _ ->
+        Stats.incr stat_pragmas;
         Some (Prag { pragma_loc = loc; pragma_toks })
       | { Token.kind = Token.Ident other; _ } :: _ ->
         Diag.warning t.diag ~loc
@@ -580,6 +599,7 @@ let define_object_macro t ~name ~body =
   Hashtbl.replace t.macros name (Object body_toks)
 
 let preprocess_main t buf =
+  Stats.incr stat_files;
   let file_id = Srcmgr.load_main t.srcmgr buf in
   t.lexers <- [ Lexer.create t.diag ~file_id buf ];
   t.pending <- [];

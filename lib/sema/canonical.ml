@@ -26,6 +26,10 @@ type analyzed = {
 let error sema ~loc fmt =
   Printf.ksprintf (fun s -> Diag.error (Sema.diagnostics sema) ~loc s) fmt
 
+let stat_canonical =
+  Mc_support.Stats.counter ~group:"sema" ~name:"canonical-loops"
+    ~desc:"canonical loops recognized" ()
+
 let rec strip e =
   match e.e_kind with
   | Paren inner | Implicit_cast (_, inner) -> strip inner
@@ -113,10 +117,10 @@ let match_incr sema v inc =
     | _ -> None)
   | _ -> None
 
-let rec analyze sema s =
+let rec analyze_loop sema s =
   match s.s_kind with
-  | Attributed (_, sub) -> analyze sema sub
-  | Omp_canonical_loop ocl -> analyze sema ocl.ocl_loop
+  | Attributed (_, sub) -> analyze_loop sema sub
+  | Omp_canonical_loop ocl -> analyze_loop sema ocl.ocl_loop
   | For { for_init; for_cond; for_inc; for_body } -> (
     let loc = s.s_loc in
     match
@@ -220,6 +224,13 @@ let rec analyze sema s =
     error sema ~loc:s.s_loc
       "statement after an OpenMP loop-associated directive must be a for loop";
     None
+
+let analyze sema s =
+  match analyze_loop sema s with
+  | Some _ as r ->
+    Mc_support.Stats.incr stat_canonical;
+    r
+  | None -> None
 
 (* ---- synthesised expressions --------------------------------------------- *)
 

@@ -1,6 +1,16 @@
 open Mc_ast.Tree
 module Ctype = Mc_ast.Ctype
 
+let stat_shadow =
+  Mc_support.Stats.counter ~group:"sema" ~name:"shadow-stmts-built"
+    ~desc:"shadow transformed-statement trees built (paper \xc2\xa72)" ()
+let stat_tiles =
+  Mc_support.Stats.counter ~group:"sema" ~name:"tile-transforms"
+    ~desc:"tile constructs lowered to floor/tile loop nests" ()
+let stat_helpers =
+  Mc_support.Stats.counter ~group:"sema" ~name:"loop-helpers-built"
+    ~desc:"classic OMPLoopDirective helper-expression sets built" ()
+
 type transformed = {
   tr_stmt : stmt;
   tr_preinits : stmt;
@@ -53,6 +63,7 @@ let counter_for_loop sema (a : Canonical.analyzed) ~name ~init =
     ()
 
 let transformed_unroll sema (a : Canonical.analyzed) ~factor =
+  Mc_support.Stats.incr stat_shadow;
   let loc = a.Canonical.cl_stmt.s_loc in
   let u = a.Canonical.cl_counter_ty in
   let bin op l r = Sema.act_on_binary sema op l r ~loc in
@@ -122,6 +133,8 @@ let transformed_unroll sema (a : Canonical.analyzed) ~factor =
   }
 
 let transformed_tile sema loops ~sizes ~loc =
+  Mc_support.Stats.incr stat_shadow;
+  Mc_support.Stats.incr stat_tiles;
   let captures = List.map (capture_trip_count sema) loops in
   let floor_ivs =
     List.mapi
@@ -219,6 +232,7 @@ let transformed_tile sema loops ~sizes ~loc =
 (* ---- OMPLoopDirective helpers (classic worksharing codegen) -------------- *)
 
 let build_loop_helpers sema loops ~loc =
+  Mc_support.Stats.incr stat_helpers;
   let widest =
     if List.exists (fun a -> Ctype.equal a.Canonical.cl_counter_ty Ctype.ulong_t) loops
     then Ctype.ulong_t
@@ -337,6 +351,7 @@ let build_loop_helpers sema loops ~loc =
 (* Reverse: iterate the logical space backwards and rebind the user
    variable from (n - 1 - iv). *)
 let transformed_reverse sema (a : Canonical.analyzed) =
+  Mc_support.Stats.incr stat_shadow;
   let loc = a.Canonical.cl_stmt.s_loc in
   let u = a.Canonical.cl_counter_ty in
   let bin op l r = Sema.act_on_binary sema op l r ~loc in
@@ -377,6 +392,7 @@ let transformed_reverse sema (a : Canonical.analyzed) =
 (* Interchange: rebuild the nest with the loops permuted.  [perm] lists,
    outermost-first, the index of the original loop driving each new depth. *)
 let transformed_interchange sema loops ~perm ~loc =
+  Mc_support.Stats.incr stat_shadow;
   let captures = List.map (capture_trip_count sema) loops in
   let ivs =
     List.map
@@ -437,6 +453,7 @@ let transformed_interchange sema loops ~perm ~loc =
 (* Fuse: one loop over the maximum trip count; each original body runs
    guarded by its own trip count. *)
 let transformed_fuse sema loops ~loc =
+  Mc_support.Stats.incr stat_shadow;
   let captures = List.map (capture_trip_count sema) loops in
   let widest =
     if

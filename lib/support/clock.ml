@@ -1,0 +1,16 @@
+(* Monotonic wall clock on top of Unix.gettimeofday.
+
+   gettimeofday is wall time but may step backwards (NTP, manual clock
+   changes); a Mtime-style monotonic source would be ideal but is not in
+   the stdlib, so we enforce monotonicity ourselves: remember the highest
+   reading handed out and never return anything below it. *)
+
+let highest = ref neg_infinity
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !highest then highest := t;
+  !highest
+
+let epoch = now ()
+let elapsed () = now () -. epoch

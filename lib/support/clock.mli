@@ -1,0 +1,18 @@
+(** Monotonic wall clock.
+
+    The pipeline's stage timings (Fig. 1) and the simulated
+    [omp_get_wtime] both need *elapsed real time*, not process CPU time
+    ([Sys.time] counts the latter and stalls whenever the process is
+    descheduled, and it can disagree wildly with wall time under load).
+    OCaml's stdlib has no [CLOCK_MONOTONIC] binding, so this wraps
+    [Unix.gettimeofday] — a wall clock — and clamps it to be
+    non-decreasing, which makes interval measurements robust against the
+    system clock stepping backwards (NTP adjustments). *)
+
+val now : unit -> float
+(** Current wall-clock reading in seconds.  Successive calls never go
+    backwards: [now () >= t] for every previously observed [t]. *)
+
+val elapsed : unit -> float
+(** Seconds since this module was initialised (process start, for all
+    practical purposes).  Non-negative and non-decreasing. *)

@@ -1,0 +1,136 @@
+(* Global registry of counters and timers (Clang Statistic / TimerGroup
+   analogue).  Registration order is preserved for rendering; lookups are
+   linear, which is fine for the few dozen statistics the pipeline has. *)
+
+type counter = {
+  c_group : string;
+  c_name : string;
+  c_desc : string;
+  mutable c_value : int;
+}
+
+type timer = {
+  t_group : string;
+  t_name : string;
+  mutable t_total : float; (* accumulated seconds *)
+  mutable t_count : int; (* recorded intervals *)
+}
+
+(* Registration order, oldest first. *)
+let counters : counter list ref = ref []
+let timers : timer list ref = ref []
+
+let counter ~group ~name ?(desc = "") () =
+  match
+    List.find_opt (fun c -> c.c_group = group && c.c_name = name) !counters
+  with
+  | Some c -> c
+  | None ->
+    let c = { c_group = group; c_name = name; c_desc = desc; c_value = 0 } in
+    counters := !counters @ [ c ];
+    c
+
+let incr c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let value c = c.c_value
+
+let timer ~group ~name =
+  match
+    List.find_opt (fun t -> t.t_group = group && t.t_name = name) !timers
+  with
+  | Some t -> t
+  | None ->
+    let t = { t_group = group; t_name = name; t_total = 0.0; t_count = 0 } in
+    timers := !timers @ [ t ];
+    t
+
+let record t dt =
+  t.t_total <- t.t_total +. dt;
+  t.t_count <- t.t_count + 1
+
+let time t f =
+  let start = Clock.now () in
+  Fun.protect ~finally:(fun () -> record t (Clock.now () -. start)) f
+
+let reset () =
+  List.iter (fun c -> c.c_value <- 0) !counters;
+  List.iter
+    (fun t ->
+      t.t_total <- 0.0;
+      t.t_count <- 0)
+    !timers
+
+type snapshot = (string * int) list
+
+let key group name = group ^ "." ^ name
+
+let snapshot () =
+  List.sort compare
+    (List.map (fun c -> (key c.c_group c.c_name, c.c_value)) !counters)
+
+let find snap name = Option.value (List.assoc_opt name snap) ~default:0
+
+let timings () =
+  List.sort compare
+    (List.map (fun t -> (key t.t_group t.t_name, t.t_total, t.t_count)) !timers)
+
+(* ---- rendering ---------------------------------------------------------- *)
+
+let rule = String.make 78 '-'
+
+let banner buf title =
+  Buffer.add_string buf ("===" ^ rule ^ "===\n");
+  let pad = max 0 ((84 - String.length title) / 2) in
+  Buffer.add_string buf (String.make pad ' ');
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf ("===" ^ rule ^ "===\n\n")
+
+let render_stats () =
+  let buf = Buffer.create 1024 in
+  banner buf "... Statistics Collected ...";
+  let live = List.filter (fun c -> c.c_value <> 0) !counters in
+  if live = [] then Buffer.add_string buf "  (no statistics collected)\n"
+  else begin
+    let name_w =
+      List.fold_left
+        (fun w c -> max w (String.length (key c.c_group c.c_name)))
+        0 live
+    in
+    List.iter
+      (fun c ->
+        Buffer.add_string buf
+          (Printf.sprintf "%10d  %-*s - %s\n" c.c_value name_w
+             (key c.c_group c.c_name)
+             (if c.c_desc = "" then c.c_name else c.c_desc)))
+      live
+  end;
+  Buffer.contents buf
+
+let render_time_report () =
+  let buf = Buffer.create 1024 in
+  banner buf "mcc compilation time report (monotonic wall clock)";
+  let groups =
+    List.fold_left
+      (fun acc t -> if List.mem t.t_group acc then acc else acc @ [ t.t_group ])
+      [] !timers
+  in
+  if groups = [] then Buffer.add_string buf "  (no timers registered)\n";
+  List.iter
+    (fun g ->
+      let members = List.filter (fun t -> t.t_group = g) !timers in
+      let total = List.fold_left (fun s t -> s +. t.t_total) 0.0 members in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s: %.6f seconds of wall time\n" g total);
+      Buffer.add_string buf "   ---Wall Time---   --Count--  --Name--\n";
+      List.iter
+        (fun t ->
+          let pct = if total > 0.0 then 100.0 *. t.t_total /. total else 0.0 in
+          Buffer.add_string buf
+            (Printf.sprintf "   %9.6f (%5.1f%%)  %9d  %s\n" t.t_total pct
+               t.t_count t.t_name))
+        members;
+      Buffer.add_string buf
+        (Printf.sprintf "   %9.6f (100.0%%)             Total\n\n" total))
+    groups;
+  Buffer.contents buf

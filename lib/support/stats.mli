@@ -1,0 +1,66 @@
+(** Pipeline statistics: named counters and wall-clock timers in a global
+    registry, the analogue of Clang's [llvm::Statistic] /
+    [llvm::TimerGroup] machinery behind [-print-stats] and
+    [-ftime-report].
+
+    Every layer of the pipeline registers its counters at module
+    initialisation ([counter] / [timer] are idempotent on the same
+    [group]/[name] pair) and bumps them as it works; the driver resets
+    the registry at the start of each compilation, snapshots it into
+    [Driver.result.stats], and the CLI renders the registry with
+    [render_stats] / [render_time_report].
+
+    The registry is deliberately global — exactly like Clang's — so a
+    leaf module can count events without threading a context through
+    every call.  The cost is that concurrent or nested compilations share
+    (and reset) the same registry; the test-suite and the tools here are
+    sequential, which is the same trade Clang makes. *)
+
+type counter
+type timer
+
+val counter : group:string -> name:string -> ?desc:string -> unit -> counter
+(** Registers (or retrieves) the counter [group.name].  Counters start
+    at zero and survive [reset] (their values are zeroed, the
+    registration stays). *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val timer : group:string -> name:string -> timer
+(** Registers (or retrieves) the timer [group.name]. *)
+
+val record : timer -> float -> unit
+(** Accrues an externally measured interval (seconds) to the timer and
+    bumps its interval count. *)
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Runs the thunk, accruing its monotonic wall-clock duration; the
+    interval is recorded even if the thunk raises. *)
+
+val reset : unit -> unit
+(** Zeroes every registered counter and timer (registrations persist). *)
+
+type snapshot = (string * int) list
+(** Counter values keyed ["group.name"], sorted by key. *)
+
+val snapshot : unit -> snapshot
+(** All registered counters, including zero-valued ones. *)
+
+val find : snapshot -> string -> int
+(** [find snap "group.name"] is the counter's value, or [0] when the
+    counter is not in the snapshot. *)
+
+val timings : unit -> (string * float * int) list
+(** [("group.name", total_seconds, intervals)] for every registered
+    timer, sorted by key. *)
+
+val render_stats : unit -> string
+(** The [-print-stats] table: one right-aligned value per line with its
+    group, name and description, Clang [Statistic] style.  Zero-valued
+    counters are omitted, like Clang's. *)
+
+val render_time_report : unit -> string
+(** The [-ftime-report] table: per-group sections of wall-time lines
+    with percentage-of-group and interval counts, plus group totals. *)

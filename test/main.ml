@@ -14,6 +14,8 @@ let () =
       ("ompbuilder", Test_ompbuilder.suite);
       ("passes", Test_passes.suite);
       ("interp", Test_interp.suite);
+      ("schedule", Test_schedule.suite);
+      ("stats", Test_stats.suite);
       ("driver", Test_driver.suite);
       ("goldens", Test_goldens.suite);
       ("e2e", Test_e2e.suite);

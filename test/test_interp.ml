@@ -108,7 +108,11 @@ let test_fuel () =
         B.set_insertion_point b loop;
         B.br b loop)
   in
-  match Interp.run_main ~config:{ Interp.num_threads = 1; max_steps = 1000 } m with
+  match
+    Interp.run_main
+      ~config:{ Interp.default_config with Interp.num_threads = 1; max_steps = 1000 }
+      m
+  with
   | exception Interp.Trap msg -> check_contains ~what:"fuel" msg "fuel"
   | _ -> Alcotest.fail "expected fuel exhaustion"
 
@@ -155,6 +159,45 @@ let test_nested_parallel_defaults_to_one () =
   let outcome = Interp.run_main m in
   Alcotest.(check string) "inner teams are singletons" "1;1"
     (trace_to_string outcome.Interp.trace)
+
+(* ---- omp_get_wtime ---------------------------------------------------------- *)
+
+let wtime_source =
+  "double omp_get_wtime(void);\nvoid recordf(double x);\n\
+   int main(void) {\n\
+   double t0 = omp_get_wtime();\n\
+   long s = 0;\n\
+   for (int i = 0; i < 200; i += 1) s += i;\n\
+   double t1 = omp_get_wtime();\n\
+   recordf(t1 - t0);\n\
+   return 0; }"
+
+let delta_of outcome =
+  match outcome.Interp.trace with
+  | [ Interp.T_float d ] -> d
+  | _ -> Alcotest.fail "expected exactly one float trace entry"
+
+let test_wtime_delta_positive_and_deterministic () =
+  (* Elapsed time around a loop must be positive (the loop costs steps and
+     the virtual clock advances with them) — with the old Sys.time ()
+     reading, the delta was CPU time and could round to 0. *)
+  let o1 = run_ok wtime_source in
+  Alcotest.(check bool) "positive delta" true (delta_of o1 > 0.0);
+  (* The default virtual clock is keyed off the step count, so the delta
+     is bit-identical across runs: differential trace tests stay
+     reproducible. *)
+  let o2 = run_ok wtime_source in
+  Alcotest.(check bool) "deterministic across runs" true
+    (Interp.trace_equal o1.Interp.trace o2.Interp.trace)
+
+let test_wtime_real_clock_monotonic () =
+  let r = Driver.compile wtime_source in
+  let config = { Interp.default_config with Interp.wtime = Interp.Wtime_real } in
+  match Driver.run ~config r with
+  | Error e -> Alcotest.failf "run failed: %s" e
+  | Ok o ->
+    (* Wall clock: non-negative, monotonic (Clock never goes backwards). *)
+    Alcotest.(check bool) "non-negative delta" true (delta_of o >= 0.0)
 
 (* ---- schedule properties ---------------------------------------------------- *)
 
@@ -230,5 +273,8 @@ let suite =
     tc "fuel limit" test_fuel;
     tc "use before definition traps" test_use_before_def_is_trapped;
     tc "nested parallel defaults to one thread" test_nested_parallel_defaults_to_one;
+    tc "omp_get_wtime delta is positive and deterministic"
+      test_wtime_delta_positive_and_deterministic;
+    tc "omp_get_wtime real clock is monotonic" test_wtime_real_clock_monotonic;
   ]
   @ props

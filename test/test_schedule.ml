@@ -1,0 +1,123 @@
+(* Property tests for the chunked static schedule ([schedule(static, c)]):
+   the round-robin blocks handed out across the team must cover the
+   iteration space [0, trip) exactly once, and a thread whose first block
+   starts past the trip count gets an empty chunk (ub < lb). *)
+
+open Helpers
+module Schedule = Mc_omprt.Schedule
+
+(* All chunks thread [tid] owns: its first block from [static_chunked],
+   then every [stride]-th block after it, each clipped to the space. *)
+let chunks_for_thread ~trip ~nth ~tid ~cs =
+  let (lb0, ub0), stride =
+    Schedule.static_chunked ~trip_count:trip ~num_threads:nth ~tid
+      ~chunk_size:cs
+  in
+  let cs = if Int64.compare cs 1L < 0 then 1L else cs in
+  let rec go lb acc =
+    if Int64.compare lb trip >= 0 then List.rev acc
+    else
+      let ub =
+        let candidate = Int64.add lb (Int64.sub cs 1L) in
+        if Int64.compare candidate trip >= 0 then Int64.sub trip 1L
+        else candidate
+      in
+      go (Int64.add lb stride) ((lb, ub) :: acc)
+  in
+  let walked = go lb0 [] in
+  (* The returned first chunk must agree with the walk when non-empty. *)
+  (match walked with
+  | (lb, ub) :: _ ->
+    Alcotest.(check bool)
+      "first chunk agrees" true
+      (Int64.equal lb lb0 && Int64.equal ub ub0)
+  | [] ->
+    Alcotest.(check bool) "past-the-end chunk is empty" true
+      (Int64.compare ub0 lb0 < 0));
+  walked
+
+let arb_chunked =
+  QCheck.(triple (int_range 0 300) (int_range 1 8) (int_range 1 16))
+
+let props =
+  [
+    prop "chunked round-robin covers [0, trip) exactly once" arb_chunked
+      (fun (trip, nth, cs) ->
+        let trip = Int64.of_int trip and cs = Int64.of_int cs in
+        let chunks =
+          List.concat_map
+            (fun tid -> chunks_for_thread ~trip ~nth ~tid ~cs)
+            (List.init nth Fun.id)
+        in
+        Schedule.coverage chunks ~trip_count:trip);
+    prop "first chunk starts at tid * chunk_size" arb_chunked
+      (fun (trip, nth, cs) ->
+        let trip = Int64.of_int trip and cs64 = Int64.of_int cs in
+        List.for_all
+          (fun tid ->
+            let (lb, _), stride =
+              Schedule.static_chunked ~trip_count:trip ~num_threads:nth ~tid
+                ~chunk_size:cs64
+            in
+            Int64.equal lb (Int64.of_int (tid * cs))
+            && Int64.equal stride (Int64.of_int (nth * cs)))
+          (List.init nth Fun.id));
+    prop "threads own disjoint non-empty chunks" arb_chunked
+      (fun (trip, nth, cs) ->
+        let trip = Int64.of_int trip and cs = Int64.of_int cs in
+        let all =
+          List.concat_map
+            (fun tid ->
+              List.map
+                (fun c -> (tid, c))
+                (chunks_for_thread ~trip ~nth ~tid ~cs))
+            (List.init nth Fun.id)
+        in
+        List.for_all
+          (fun (t1, (lb1, ub1)) ->
+            List.for_all
+              (fun (t2, (lb2, ub2)) ->
+                t1 = t2
+                || Int64.compare ub1 lb2 < 0
+                || Int64.compare ub2 lb1 < 0)
+              all)
+          all);
+  ]
+
+let test_empty_chunk_edge () =
+  (* tid 6 of 8 with chunk size 1 and only 4 iterations: its first block
+     would start at 6, past the last iteration 3 — the chunk must come
+     back empty (ub < lb), and walking it must yield no iterations. *)
+  let (lb, ub), stride =
+    Schedule.static_chunked ~trip_count:4L ~num_threads:8 ~tid:6
+      ~chunk_size:1L
+  in
+  Alcotest.(check bool) "lb past the space" true (Int64.compare lb 4L >= 0);
+  Alcotest.(check bool) "empty encoding" true (Int64.compare ub lb < 0);
+  Alcotest.(check bool) "stride spans the team" true (Int64.equal stride 8L);
+  let walked = chunks_for_thread ~trip:4L ~nth:8 ~tid:6 ~cs:1L in
+  Alcotest.(check int) "no iterations" 0 (List.length walked)
+
+let test_zero_trip () =
+  List.iter
+    (fun tid ->
+      let walked = chunks_for_thread ~trip:0L ~nth:4 ~tid ~cs:3L in
+      Alcotest.(check int) "no chunks on empty space" 0 (List.length walked))
+    [ 0; 1; 2; 3 ]
+
+let test_chunk_clamped_to_one () =
+  (* libomp clamps a non-positive chunk to 1. *)
+  let (lb, ub), stride =
+    Schedule.static_chunked ~trip_count:10L ~num_threads:2 ~tid:0
+      ~chunk_size:0L
+  in
+  Alcotest.(check bool) "single-iteration chunk" true
+    (Int64.equal lb 0L && Int64.equal ub 0L && Int64.equal stride 2L)
+
+let suite =
+  [
+    tc "empty chunk when lb exceeds trip count" test_empty_chunk_edge;
+    tc "zero trip count yields no chunks" test_zero_trip;
+    tc "chunk size clamps to one" test_chunk_clamped_to_one;
+  ]
+  @ props

@@ -76,10 +76,60 @@ let test_diagnostics () =
   check_contains ~what:"note" rendered "note: because of this";
   check_contains ~what:"caret column" rendered "        ^"
 
+let test_context_notes_innermost_first () =
+  let sm = Srcmgr.create () in
+  let buf = Buf.create ~name:"n.c" ~contents:"for (;;) ;" in
+  let id = Srcmgr.load_main sm buf in
+  let diag = Diag.create sm in
+  let loc = Srcmgr.location sm ~file_id:id ~offset:0 in
+  (* Like Clang's macro-expansion note chains, the innermost context must
+     come first: the note closest to the error is the most specific. *)
+  Diag.with_context_note diag ~loc "in outer transformation" (fun () ->
+      Diag.with_context_note diag ~loc "in inner transformation" (fun () ->
+          Diag.error diag ~loc "boom"));
+  (match Diag.diagnostics diag with
+  | [ d ] -> (
+    match d.Diag.notes with
+    | [ n1; n2 ] ->
+      Alcotest.(check string) "innermost first" "in inner transformation"
+        n1.Diag.message;
+      Alcotest.(check string) "outermost last" "in outer transformation"
+        n2.Diag.message
+    | notes -> Alcotest.failf "expected 2 notes, got %d" (List.length notes))
+  | ds -> Alcotest.failf "expected 1 diagnostic, got %d" (List.length ds));
+  let rendered = Diag.render_all diag in
+  let index needle =
+    let rec go i =
+      if i + String.length needle > String.length rendered then
+        Alcotest.failf "missing %S in:\n%s" needle rendered
+      else if String.sub rendered i (String.length needle) = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  Alcotest.(check bool) "inner renders before outer" true
+    (index "in inner transformation" < index "in outer transformation")
+
+let test_nested_notes_render_recursively () =
+  let sm = Srcmgr.create () in
+  let buf = Buf.create ~name:"n.c" ~contents:"x" in
+  let id = Srcmgr.load_main sm buf in
+  let diag = Diag.create sm in
+  let loc = Srcmgr.location sm ~file_id:id ~offset:0 in
+  let inner = Diag.note ~loc "innermost detail" in
+  let outer = { (Diag.note ~loc "outer detail") with Diag.notes = [ inner ] } in
+  Diag.error diag ~loc ~notes:[ outer ] "deep";
+  let rendered = Diag.render_all diag in
+  check_contains ~what:"note" rendered "note: outer detail";
+  (* Notes of notes used to be silently dropped by the renderer. *)
+  check_contains ~what:"nested note" rendered "note: innermost detail"
+
 let suite =
   [
     tc "file manager" test_file_manager;
     tc "source locations decompose" test_locations;
     tc "location encoding" test_location_encoding;
     tc "diagnostics engine" test_diagnostics;
+    tc "context notes are innermost first" test_context_notes_innermost_first;
+    tc "nested notes render recursively" test_nested_notes_render_recursively;
   ]

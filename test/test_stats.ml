@@ -1,0 +1,211 @@
+(* The observability layer: Stats registry semantics, the counters every
+   pipeline stage feeds, the -ftime-report / -print-stats output shape,
+   and the monotonic clock they are all built on. *)
+
+open Helpers
+module Stats = Mc_support.Stats
+module Clock = Mc_support.Clock
+module Driver = Mc_core.Driver
+
+let check_contains ~what haystack needle =
+  if
+    not
+      (String.length needle <= String.length haystack
+      &&
+      let rec go i =
+        i + String.length needle <= String.length haystack
+        && (String.sub haystack i (String.length needle) = needle || go (i + 1))
+      in
+      go 0)
+  then Alcotest.failf "%s: %S not found in:\n%s" what needle haystack
+
+let tile_source =
+  "void recordf(double x);\nint main(void) {\n\
+   double g[18][18]; double n[18][18];\n\
+   for (int i = 0; i < 18; i += 1) for (int j = 0; j < 18; j += 1)\n\
+   { g[i][j] = (i * 31 + j * 17) % 13; n[i][j] = 0.0; }\n\
+   #pragma omp tile sizes(4, 4)\n\
+   for (int i = 1; i < 17; i += 1) for (int j = 1; j < 17; j += 1)\n\
+   n[i][j] = 0.25 * (g[i-1][j] + g[i+1][j] + g[i][j-1] + g[i][j+1]);\n\
+   recordf(n[1][1]);\nreturn 0; }"
+
+let test_registry_semantics () =
+  let c = Stats.counter ~group:"test" ~name:"events" ~desc:"d" () in
+  let c' = Stats.counter ~group:"test" ~name:"events" () in
+  Stats.incr c;
+  Stats.add c' 4;
+  (* Same (group, name) resolves to the same counter. *)
+  Alcotest.(check int) "idempotent registration" 5 (Stats.value c);
+  Alcotest.(check int) "snapshot sees it" 5
+    (Stats.find (Stats.snapshot ()) "test.events");
+  Alcotest.(check int) "find on missing key is 0" 0
+    (Stats.find (Stats.snapshot ()) "test.does-not-exist");
+  let t = Stats.timer ~group:"test" ~name:"phase" in
+  Stats.record t 0.25;
+  Stats.record t 0.25;
+  let total, count =
+    match
+      List.find_opt (fun (n, _, _) -> n = "test.phase") (Stats.timings ())
+    with
+    | Some (_, total, count) -> (total, count)
+    | None -> Alcotest.fail "timer not registered"
+  in
+  Alcotest.(check int) "two intervals" 2 count;
+  Alcotest.(check bool) "accumulated" true (abs_float (total -. 0.5) < 1e-9);
+  Stats.reset ();
+  Alcotest.(check int) "reset zeroes counters" 0 (Stats.value c);
+  Alcotest.(check bool) "reset zeroes timers" true
+    (List.for_all (fun (_, total, _) -> total = 0.0) (Stats.timings ()))
+
+let test_compile_counters () =
+  let r = Driver.compile tile_source in
+  if Mc_diag.Diagnostics.has_errors r.Driver.diag then
+    Alcotest.failf "compile failed:\n%s"
+      (Mc_diag.Diagnostics.render_all r.Driver.diag);
+  let nonzero name =
+    let v = Stats.find r.Driver.stats name in
+    if v <= 0 then Alcotest.failf "counter %s expected non-zero, got %d" name v
+  in
+  nonzero "lexer.tokens-lexed";
+  nonzero "pp.files-entered";
+  nonzero "pp.pragmas-kept";
+  nonzero "parser.external-decls";
+  nonzero "parser.omp-directives";
+  nonzero "ast.exprs-created";
+  nonzero "ast.stmts-created";
+  nonzero "sema.canonical-loops";
+  nonzero "sema.shadow-stmts-built";
+  nonzero "sema.tile-transforms";
+  nonzero "codegen.functions-emitted";
+  nonzero "codegen.ir-instructions-classic";
+  nonzero "passes.pass-runs";
+  (* The irbuilder path was not taken for this compile. *)
+  Alcotest.(check int) "irbuilder instructions" 0
+    (Stats.find r.Driver.stats "codegen.ir-instructions-irbuilder")
+
+let test_compile_resets_between_runs () =
+  let r1 = Driver.compile tile_source in
+  let r2 = Driver.compile tile_source in
+  (* The same deterministic pipeline must produce the same counts — a
+     growing second snapshot would mean the reset is broken. *)
+  Alcotest.(check (list (pair string int))) "snapshots identical"
+    r1.Driver.stats r2.Driver.stats
+
+let test_interp_counters () =
+  let src =
+    "void record(long x);\nint main(void) {\nlong s = 0;\n\
+     #pragma omp parallel for schedule(dynamic, 2)\n\
+     for (int i = 0; i < 40; i += 1) s += i;\nrecord(s);\nreturn 0; }"
+  in
+  let r = Driver.compile src in
+  (match Driver.run r with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "run failed: %s" e);
+  let snap = Stats.snapshot () in
+  Alcotest.(check bool) "steps counted" true
+    (Stats.find snap "interp.steps-executed" > 0);
+  Alcotest.(check bool) "parallel region counted" true
+    (Stats.find snap "interp.parallel-regions" > 0);
+  Alcotest.(check bool) "dynamic chunks dispatched" true
+    (Stats.find snap "interp.chunks-dynamic" > 0)
+
+let test_time_report_shape () =
+  ignore (Driver.compile tile_source);
+  let report = Stats.render_time_report () in
+  check_contains ~what:"banner" report "time report";
+  check_contains ~what:"clock kind" report "monotonic wall clock";
+  List.iter
+    (fun stage -> check_contains ~what:"stage row" report stage)
+    [ "lex"; "preprocess"; "parse-sema"; "codegen"; "passes" ];
+  (* Pass pipeline timers render as their own group. *)
+  List.iter
+    (fun pass -> check_contains ~what:"pass row" report pass)
+    [ "simplifycfg"; "mem2reg"; "loop-unroll" ];
+  check_contains ~what:"percentages" report "%)";
+  check_contains ~what:"group total" report "Total";
+  let stats = Stats.render_stats () in
+  check_contains ~what:"stats banner" stats "Statistics Collected";
+  check_contains ~what:"stats row" stats "lexer.tokens-lexed"
+
+let test_driver_timings_nonnegative () =
+  let r = Driver.compile tile_source in
+  let t = r.Driver.timings in
+  List.iter
+    (fun (name, v) ->
+      if v < 0.0 then Alcotest.failf "stage %s measured negative time" name)
+    [
+      ("lex", t.Driver.t_lex);
+      ("preprocess", t.Driver.t_preprocess);
+      ("parse-sema", t.Driver.t_parse_sema);
+      ("codegen", t.Driver.t_codegen);
+      ("passes", t.Driver.t_passes);
+    ]
+
+let test_codegen_time_survives_unsupported () =
+  (* Globals are unsupported in codegen: the error path must still report
+     the stage timings truthfully (codegen time is whatever elapsed before
+     the bail-out, never a lie of exactly 0 reported on principle). *)
+  let r = Driver.compile "int g = 1;\nint main(void) { return g; }" in
+  (match r.Driver.codegen_error with
+  | Some msg ->
+    if not (String.length msg > 0) then Alcotest.fail "empty codegen error"
+  | None -> Alcotest.fail "expected a codegen error for a global variable");
+  Alcotest.(check bool) "no IR" true (r.Driver.ir = None);
+  Alcotest.(check bool) "codegen time non-negative" true
+    (r.Driver.timings.Driver.t_codegen >= 0.0);
+  (* The registry's codegen timer recorded exactly one interval. *)
+  match
+    List.find_opt (fun (n, _, _) -> n = "driver.codegen") (Stats.timings ())
+  with
+  | Some (_, _, count) -> Alcotest.(check int) "one interval" 1 count
+  | None -> Alcotest.fail "driver.codegen timer missing"
+
+let test_pass_timings () =
+  let r = Driver.compile ~options:{ Driver.default_options with Driver.optimize = false } tile_source in
+  let m =
+    match r.Driver.ir with Some m -> m | None -> Alcotest.fail "no IR"
+  in
+  let report =
+    Mc_passes.Pass_manager.run ~passes:Mc_passes.Pass_manager.o1 m
+  in
+  let pts = report.Mc_passes.Pass_manager.pass_timings in
+  Alcotest.(check int) "one timing per pass"
+    (List.length Mc_passes.Pass_manager.o1)
+    (List.length pts);
+  List.iter
+    (fun pt ->
+      let open Mc_passes.Pass_manager in
+      if pt.pt_wall < 0.0 then
+        Alcotest.failf "pass %s measured negative time" pt.pt_name;
+      if pt.pt_insts_before < 0 || pt.pt_insts_after < 0 then
+        Alcotest.failf "pass %s has negative instruction counts" pt.pt_name;
+      (* A pass that reports no change must not alter the module size. *)
+      if (not pt.pt_changed) && pt.pt_insts_after <> pt.pt_insts_before then
+        Alcotest.failf "pass %s changed size without reporting a change"
+          pt.pt_name)
+    pts;
+  Alcotest.(check (list string)) "order preserved"
+    Mc_passes.Pass_manager.o1
+    (List.map (fun pt -> pt.Mc_passes.Pass_manager.pt_name) pts)
+
+let test_clock_monotonic () =
+  let prev = ref (Clock.now ()) in
+  for _ = 1 to 1000 do
+    let t = Clock.now () in
+    if t < !prev then Alcotest.fail "clock went backwards";
+    prev := t
+  done;
+  Alcotest.(check bool) "elapsed non-negative" true (Clock.elapsed () >= 0.0)
+
+let suite =
+  [
+    tc "registry semantics" test_registry_semantics;
+    tc "compile fills stage counters" test_compile_counters;
+    tc "compile resets the registry" test_compile_resets_between_runs;
+    tc "interpreter fills runtime counters" test_interp_counters;
+    tc "time report and stats output shape" test_time_report_shape;
+    tc "driver timings are non-negative" test_driver_timings_nonnegative;
+    tc "codegen time survives Unsupported" test_codegen_time_survives_unsupported;
+    tc "per-pass timings" test_pass_timings;
+    tc "clock is monotonic" test_clock_monotonic;
+  ]
