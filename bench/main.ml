@@ -458,6 +458,79 @@ let emit_stats_json () =
       Out_channel.output_string oc (Buffer.contents buf));
   Printf.printf "  wrote %s (%d counters)\n%!" path n
 
+(* --------------------------------------------------------------------- *)
+(* Machine-readable cache metrics: BENCH_cache.json                      *)
+(* --------------------------------------------------------------------- *)
+
+(* A moderately compile-heavy synthetic unit, distinct per seed so the
+   batch below really is N different translation units. *)
+let batch_unit seed =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "void record(long x);\n";
+  for fn = 0 to 11 do
+    Buffer.add_string buf
+      (Printf.sprintf "long u%d_work%d(int n) {\n  long acc = %d;\n" seed fn seed);
+    for i = 0 to 5 do
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  for (int i%d = 0; i%d < n; i%d += 1) acc += i%d * %d + (acc >> 2);\n"
+           i i i i (i + fn + seed))
+    done;
+    Buffer.add_string buf "  return acc;\n}\n"
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "int main(void) { record(u%d_work0(3)); return 0; }\n" seed);
+  Buffer.contents buf
+
+(* Cold-vs-warm parallel batch over a shared content-addressed cache:
+   the warm pass must be all hits and visibly cheaper.  Emitted as JSON
+   so recorded runs can be compared by tooling (hand-rolled writer, as
+   for BENCH_stats.json). *)
+let emit_cache_json () =
+  heading "BENCH_cache.json (cold vs warm parallel batch, shared compile cache)";
+  let module Batch = Mc_core.Batch in
+  let module Invocation = Mc_core.Invocation in
+  let units = List.init 8 (fun i -> (Printf.sprintf "unit%d.c" i, batch_unit i)) in
+  let invocation =
+    { Invocation.default with Invocation.cache_enabled = true }
+  in
+  let jobs = min 4 (Batch.default_jobs ()) in
+  let cache = Mc_core.Cache.create () in
+  let cold = Batch.compile ~jobs ~cache ~invocation units in
+  let warm = Batch.compile ~jobs ~cache ~invocation units in
+  if not (Batch.all_ok cold && Batch.all_ok warm) then
+    failwith "cache bench: batch compilation failed";
+  let n = List.length units in
+  let hit_rate = float_of_int (Batch.hits warm) /. float_of_int n in
+  let stat snap name = Mc_support.Stats.find snap name in
+  let buf = Buffer.create 512 in
+  let field last name value =
+    Buffer.add_string buf
+      (Printf.sprintf "  %S: %s%s\n" name value (if last then "" else ","))
+  in
+  Buffer.add_string buf "{\n";
+  field false "schema" "\"mcc-bench-cache/1\"";
+  field false "units" (string_of_int n);
+  field false "jobs" (string_of_int warm.Batch.jobs);
+  field false "cold_wall_seconds" (Printf.sprintf "%.9f" cold.Batch.wall);
+  field false "warm_wall_seconds" (Printf.sprintf "%.9f" warm.Batch.wall);
+  field false "warm_speedup"
+    (Printf.sprintf "%.3f" (cold.Batch.wall /. warm.Batch.wall));
+  field false "cold_misses" (string_of_int (stat cold.Batch.stats "cache.misses"));
+  field false "cold_stores" (string_of_int (stat cold.Batch.stats "cache.stores"));
+  field false "warm_hits" (string_of_int (stat warm.Batch.stats "cache.hits"));
+  field true "warm_hit_rate" (Printf.sprintf "%.3f" hit_rate);
+  Buffer.add_string buf "}\n";
+  let path = "BENCH_cache.json" in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Printf.printf
+    "  %d units on %d domains: cold %.6fs -> warm %.6fs (%.1fx), hit rate %.0f%%\n"
+    n warm.Batch.jobs cold.Batch.wall warm.Batch.wall
+    (cold.Batch.wall /. warm.Batch.wall)
+    (100.0 *. hit_rate);
+  Printf.printf "  wrote %s\n%!" path
+
 let run_benchmarks () =
   heading "Timing benchmarks (bechamel, monotonic clock)";
   let ols =
@@ -502,4 +575,5 @@ let () =
   ablation_a1 ();
   omp60_preview ();
   emit_stats_json ();
+  emit_cache_json ();
   run_benchmarks ()

@@ -4,154 +4,223 @@
    [-ast-dump-shadow] to reveal the hidden shadow AST of §1.2), [-emit-ir],
    [-fopenmp-enable-irbuilder] to switch the OpenMP lowering between the
    shadow-AST path (§2) and the OpenMPIRBuilder path (§3), and by default
-   compiling and executing the program on the IR interpreter. *)
+   compiling and executing the program on the IR interpreter.
+
+   The CLI is a thin shell over the reentrant API: argv becomes an
+   [Invocation.t], one [Instance.t] owns the stats registry the reports
+   render from, and multiple FILE arguments compile as a [Batch] over
+   [-j N] domains (sharing a content-addressed compile cache under
+   [--cache]). *)
 
 module Driver = Mc_core.Driver
+module Invocation = Mc_core.Invocation
+module Instance = Mc_core.Instance
+module Batch = Mc_core.Batch
 module Diag = Mc_diag.Diagnostics
 module Stats = Mc_support.Stats
 
-let read_source path =
-  if path = "-" then In_channel.input_all In_channel.stdin
-  else In_channel.with_open_text path In_channel.input_all
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("mcc: " ^ msg); exit 1) fmt
 
-type action =
-  | Run
-  | Ast_dump
-  | Ast_dump_shadow
-  | Ast_print
-  | Print_transformed
-  | Emit_ir
-  | Syntax_only
+(* Frontend-only actions run one file at a time; each file gets its own
+   registry (a compilation resets the registry it is scoped to), merged
+   into the process instance so the exit reports cover every file. *)
+let frontend_unit inst (name, source) =
+  let sub = Instance.create ?cache:(Instance.cache inst) (Instance.invocation inst) in
+  let r = Instance.frontend sub ~name source in
+  Stats.Registry.merge ~into:(Instance.registry inst) (Instance.registry sub);
+  r
 
-let main path action irbuilder opt_level no_fold num_threads stage_timings
-    time_report print_stats =
-  (* Registered before the action so the reports also appear on the exit-1
-     error paths, like Clang's. *)
-  if time_report then
-    at_exit (fun () -> prerr_string (Stats.render_time_report ()));
-  if print_stats then at_exit (fun () -> prerr_string (Stats.render_stats ()));
-  let source = read_source path in
-  let options =
+let multi_header inv name =
+  if List.length inv.Invocation.inputs > 1 then
+    Printf.printf "// === %s ===\n" name
+
+let run_frontend_action inst units =
+  let inv = Instance.invocation inst in
+  let failed = ref false in
+  List.iter
+    (fun (name, source) ->
+      let diag, tu = frontend_unit inst (name, source) in
+      prerr_string (Diag.render_all diag);
+      if Diag.has_errors diag then failed := true;
+      match inv.Invocation.action with
+      | Invocation.Syntax_only -> ()
+      | Invocation.Ast_dump | Invocation.Ast_dump_shadow ->
+        multi_header inv name;
+        print_string
+          (Mc_ast.Dump.translation_unit
+             ~shadow:(inv.Invocation.action = Invocation.Ast_dump_shadow)
+             tu)
+      | Invocation.Ast_print ->
+        multi_header inv name;
+        print_string (Mc_ast.Unparse.translation_unit_to_string tu)
+      | Invocation.Print_transformed ->
+        multi_header inv name;
+        (* Source-to-source view of every transformation's generated loop
+           (the shadow AST of paper section 2, unparsed back to C). *)
+        List.iter
+          (function
+            | Mc_ast.Tree.Tu_fn { fn_body = Some body; fn_name; _ } ->
+              Mc_ast.Visit.iter ~shadow:false
+                ~on_stmt:(fun s ->
+                  match s.Mc_ast.Tree.s_kind with
+                  | Mc_ast.Tree.Omp_directive d
+                    when d.Mc_ast.Tree.dir_transformed <> None ->
+                    Printf.printf
+                      "// in %s: getTransformedStmt() of '#pragma omp %s':\n"
+                      fn_name
+                      (Mc_ast.Unparse.directive_name d.Mc_ast.Tree.dir_kind);
+                    (match d.Mc_ast.Tree.dir_preinits with
+                    | Some pre ->
+                      print_string (Mc_ast.Unparse.stmt_to_string ~indent:0 pre)
+                    | None -> ());
+                    (match d.Mc_ast.Tree.dir_transformed with
+                    | Some tr ->
+                      print_string (Mc_ast.Unparse.stmt_to_string ~indent:0 tr)
+                    | None -> ())
+                  | _ -> ())
+                body
+            | _ -> ())
+          tu.Mc_ast.Tree.tu_decls
+      | Invocation.Run | Invocation.Emit_ir -> assert false)
+    units;
+  if !failed then exit 1
+
+let run_compile_action inst units =
+  let inv = Instance.invocation inst in
+  let batch = Batch.compile_into inst units in
+  let failed = ref false in
+  (* Per-file diagnostics, in input order whatever the domain schedule. *)
+  List.iter
+    (fun u ->
+      match u.Batch.u_result with
+      | Error msg ->
+        Printf.eprintf "mcc: internal error compiling %s: %s\n" u.Batch.u_name
+          msg;
+        failed := true
+      | Ok r ->
+        prerr_string (Diag.render_all r.Driver.diag);
+        if Diag.has_errors r.Driver.diag then failed := true)
+    batch.Batch.units;
+  if !failed then exit 1;
+  List.iter
+    (fun u ->
+      let r = match u.Batch.u_result with Ok r -> r | Error _ -> assert false in
+      if inv.Invocation.stage_timings then begin
+        let t = r.Driver.timings in
+        Printf.eprintf
+          "%s: stage timings: lex %.6fs, preprocess %.6fs, parse+sema %.6fs, \
+           codegen %.6fs, passes %.6fs%s\n"
+          u.Batch.u_name t.Driver.t_lex t.Driver.t_preprocess
+          t.Driver.t_parse_sema t.Driver.t_codegen t.Driver.t_passes
+          (if u.Batch.u_cache_hit then " (cache hit)" else "")
+      end;
+      match inv.Invocation.action with
+      | Invocation.Emit_ir -> (
+        match r.Driver.ir with
+        | Some m ->
+          multi_header inv u.Batch.u_name;
+          print_string (Mc_ir.Printer.module_to_string m)
+        | None ->
+          (match r.Driver.codegen_error with
+          | Some e -> Printf.eprintf "codegen error: %s\n" e
+          | None -> ());
+          exit 1)
+      | Invocation.Run -> (
+        let config =
+          {
+            Mc_interp.Interp.default_config with
+            Mc_interp.Interp.num_threads = inv.Invocation.num_threads;
+          }
+        in
+        match Instance.run inst ~config r with
+        | Ok outcome ->
+          print_string outcome.Mc_interp.Interp.output;
+          List.iter
+            (fun entry ->
+              match entry with
+              | Mc_interp.Interp.T_int v -> Printf.printf "record: %Ld\n" v
+              | Mc_interp.Interp.T_float f -> Printf.printf "record: %g\n" f)
+            outcome.Mc_interp.Interp.trace;
+          Printf.eprintf "[%s: exit %s after %d steps]\n" u.Batch.u_name
+            (match outcome.Mc_interp.Interp.return_value with
+            | Some v -> Int64.to_string v
+            | None -> "void")
+            outcome.Mc_interp.Interp.steps
+        | Error msg ->
+          prerr_endline msg;
+          exit 1)
+      | _ -> assert false)
+    batch.Batch.units
+
+let main files action irbuilder opt_level no_fold num_threads jobs use_cache
+    defines stage_timings time_report print_stats =
+  let defines =
+    List.map
+      (fun d ->
+        match String.index_opt d '=' with
+        | Some i ->
+          (String.sub d 0 i, String.sub d (i + 1) (String.length d - i - 1))
+        | None -> (d, "1"))
+      defines
+  in
+  let inv =
     {
-      Driver.default_options with
-      Driver.use_irbuilder = irbuilder;
-      optimize = opt_level > 0;
+      Invocation.default with
+      Invocation.inputs = List.map (fun p -> Invocation.File p) files;
+      action;
+      use_irbuilder = irbuilder;
+      opt_level;
       fold = not no_fold;
+      defines;
+      jobs;
+      cache_enabled = use_cache;
+      num_threads;
+      stage_timings;
+      time_report;
+      print_stats;
     }
   in
-  let fail_diags diag =
-    prerr_string (Diag.render_all diag);
-    exit 1
-  in
-  match action with
-  | Ast_dump | Ast_dump_shadow ->
-    let diag, tu = Driver.frontend ~options source in
-    prerr_string (Diag.render_all diag);
-    print_string
-      (Mc_ast.Dump.translation_unit ~shadow:(action = Ast_dump_shadow) tu);
-    if Diag.has_errors diag then exit 1
-  | Ast_print ->
-    let diag, tu = Driver.frontend ~options source in
-    prerr_string (Diag.render_all diag);
-    print_string (Mc_ast.Unparse.translation_unit_to_string tu);
-    if Diag.has_errors diag then exit 1
-  | Print_transformed ->
-    (* Source-to-source view of every transformation's generated loop (the
-       shadow AST of paper section 2, unparsed back to C). *)
-    let diag, tu = Driver.frontend ~options source in
-    prerr_string (Diag.render_all diag);
-    List.iter
-      (function
-        | Mc_ast.Tree.Tu_fn { fn_body = Some body; fn_name; _ } ->
-          Mc_ast.Visit.iter ~shadow:false
-            ~on_stmt:(fun s ->
-              match s.Mc_ast.Tree.s_kind with
-              | Mc_ast.Tree.Omp_directive d
-                when d.Mc_ast.Tree.dir_transformed <> None ->
-                Printf.printf "// in %s: getTransformedStmt() of '#pragma omp %s':
-"
-                  fn_name
-                  (Mc_ast.Unparse.directive_name d.Mc_ast.Tree.dir_kind);
-                (match d.Mc_ast.Tree.dir_preinits with
-                | Some pre ->
-                  print_string (Mc_ast.Unparse.stmt_to_string ~indent:0 pre)
-                | None -> ());
-                (match d.Mc_ast.Tree.dir_transformed with
-                | Some tr ->
-                  print_string (Mc_ast.Unparse.stmt_to_string ~indent:0 tr)
-                | None -> ())
-              | _ -> ())
-            body
-        | _ -> ())
-      tu.Mc_ast.Tree.tu_decls;
-    if Diag.has_errors diag then exit 1
-  | Syntax_only ->
-    let diag, _ = Driver.frontend ~options source in
-    prerr_string (Diag.render_all diag);
-    if Diag.has_errors diag then exit 1
-  | Emit_ir -> (
-    let result = Driver.compile ~options source in
-    prerr_string (Diag.render_all result.Driver.diag);
-    match result.Driver.ir with
-    | Some m -> print_string (Mc_ir.Printer.module_to_string m)
-    | None ->
-      (match result.Driver.codegen_error with
-      | Some e -> Printf.eprintf "codegen error: %s\n" e
-      | None -> ());
-      exit 1)
-  | Run -> (
-    let result = Driver.compile ~options source in
-    if Diag.has_errors result.Driver.diag then fail_diags result.Driver.diag;
-    prerr_string (Diag.render_all result.Driver.diag);
-    if stage_timings then begin
-      let t = result.Driver.timings in
-      Printf.eprintf
-        "stage timings: lex %.6fs, preprocess %.6fs, parse+sema %.6fs, codegen %.6fs, passes %.6fs\n"
-        t.Driver.t_lex t.Driver.t_preprocess t.Driver.t_parse_sema
-        t.Driver.t_codegen t.Driver.t_passes
-    end;
-    let config =
-      { Mc_interp.Interp.default_config with Mc_interp.Interp.num_threads }
-    in
-    match Driver.run ~config result with
-    | Ok outcome ->
-      print_string outcome.Mc_interp.Interp.output;
-      List.iter
-        (fun entry ->
-          match entry with
-          | Mc_interp.Interp.T_int v -> Printf.printf "record: %Ld\n" v
-          | Mc_interp.Interp.T_float f -> Printf.printf "record: %g\n" f)
-        outcome.Mc_interp.Interp.trace;
-      Printf.eprintf "[exit %s after %d steps]\n"
-        (match outcome.Mc_interp.Interp.return_value with
-        | Some v -> Int64.to_string v
-        | None -> "void")
-        outcome.Mc_interp.Interp.steps
-    | Error msg ->
-      prerr_endline msg;
-      exit 1)
+  let inst = Instance.create inv in
+  (* Registered before the action so the reports also appear on the exit-1
+     error paths, like Clang's — but rendered from the instance registry,
+     and at most once per instance. *)
+  Instance.report_at_exit inst;
+  match Invocation.load_inputs inv with
+  | Error msg -> die "%s" msg
+  | Ok units -> (
+    match action with
+    | Invocation.Run | Invocation.Emit_ir -> run_compile_action inst units
+    | Invocation.Ast_dump | Invocation.Ast_dump_shadow | Invocation.Ast_print
+    | Invocation.Print_transformed | Invocation.Syntax_only ->
+      run_frontend_action inst units)
 
 open Cmdliner
 
-let path_arg =
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"C source file ('-' for stdin)")
+let files_arg =
+  Arg.(
+    non_empty & pos_all string []
+    & info [] ~docv:"FILE" ~doc:"C source files ('-' for stdin)")
 
 let action_arg =
   let flags =
     [
-      (Ast_dump, Arg.info [ "ast-dump" ] ~doc:"Print the (syntactic) AST");
-      ( Ast_dump_shadow,
+      (Invocation.Ast_dump, Arg.info [ "ast-dump" ] ~doc:"Print the (syntactic) AST");
+      ( Invocation.Ast_dump_shadow,
         Arg.info [ "ast-dump-shadow" ]
           ~doc:"Print the AST including hidden shadow-AST children" );
-      (Ast_print, Arg.info [ "ast-print" ] ~doc:"Unparse the AST back to C");
-      ( Print_transformed,
+      (Invocation.Ast_print, Arg.info [ "ast-print" ] ~doc:"Unparse the AST back to C");
+      ( Invocation.Print_transformed,
         Arg.info [ "print-transformed" ]
           ~doc:"Unparse every transformation's generated (shadow) loop" );
-      (Emit_ir, Arg.info [ "emit-ir" ] ~doc:"Print the generated IR");
-      (Syntax_only, Arg.info [ "syntax-only" ] ~doc:"Stop after semantic analysis");
+      (Invocation.Emit_ir, Arg.info [ "emit-ir" ] ~doc:"Print the generated IR");
+      ( Invocation.Syntax_only,
+        Arg.info [ "syntax-only" ] ~doc:"Stop after semantic analysis" );
+      ( Invocation.Syntax_only,
+        Arg.info [ "fsyntax-only" ]
+          ~doc:"Stop after semantic analysis (Clang spelling)" );
     ]
   in
-  Arg.(value & vflag Run flags)
+  Arg.(value & vflag Invocation.Run flags)
 
 let irbuilder_arg =
   Arg.(
@@ -170,6 +239,26 @@ let no_fold_arg =
 
 let threads_arg =
   Arg.(value & opt int 4 & info [ "num-threads" ] ~doc:"Simulated OpenMP team size")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Compile the input files in parallel on $(docv) domains")
+
+let cache_arg =
+  Arg.(
+    value & flag
+    & info [ "cache" ]
+        ~doc:
+          "Enable the content-addressed compile cache (hash of the \
+           preprocessed unit + backend options)")
+
+let defines_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "D" ] ~docv:"NAME=VALUE"
+        ~doc:"Predefine an object-like macro (VALUE defaults to 1)")
 
 let timings_arg =
   Arg.(value & flag & info [ "stage-timings" ] ~doc:"Report per-layer times (Fig. 1)")
@@ -191,8 +280,9 @@ let cmd =
   Cmd.v
     (Cmd.info "mcc" ~doc)
     Term.(
-      const main $ path_arg $ action_arg $ irbuilder_arg $ opt_arg $ no_fold_arg
-      $ threads_arg $ timings_arg $ time_report_arg $ print_stats_arg)
+      const main $ files_arg $ action_arg $ irbuilder_arg $ opt_arg
+      $ no_fold_arg $ threads_arg $ jobs_arg $ cache_arg $ defines_arg
+      $ timings_arg $ time_report_arg $ print_stats_arg)
 
 (* Clang spells long options with a single dash (-ftime-report, -emit-ir);
    cmdliner only parses them with two.  Accept the Clang spelling by
@@ -200,9 +290,9 @@ let cmd =
 let long_flags =
   [
     "ast-dump"; "ast-dump-shadow"; "ast-print"; "print-transformed";
-    "emit-ir"; "syntax-only"; "fopenmp-enable-irbuilder";
+    "emit-ir"; "syntax-only"; "fsyntax-only"; "fopenmp-enable-irbuilder";
     "no-builder-folding"; "num-threads"; "stage-timings"; "ftime-report";
-    "print-stats";
+    "print-stats"; "cache"; "jobs";
   ]
 
 let normalize_argv argv =

@@ -1,0 +1,17 @@
+/* Collapsed loop nest combined with a consumed unroll — two
+   transformations composing on one nest (paper section 2.3).  Compile
+   and run with:
+
+     mcc examples/collapse.c
+     mcc -ast-dump-shadow examples/collapse.c   # the generated shadow AST
+*/
+void record(long x);
+
+int main(void) {
+  long s = 0;
+#pragma omp parallel for collapse(2)
+  for (int i = 0; i < 12; i += 1)
+    for (int j = 0; j < 8; j += 1) s += i * j;
+  record(s);
+  return 0;
+}

@@ -1,0 +1,14 @@
+/* Worksharing with a dynamic schedule over the simulated team.  Compile
+   and run with:
+
+     mcc -num-threads 4 examples/parallel_for.c
+*/
+void record(long x);
+
+int main(void) {
+  long s = 0;
+#pragma omp parallel for schedule(dynamic, 2)
+  for (int i = 7; i < 47; i += 3) s += i;
+  record(s);
+  return 0;
+}

@@ -1,0 +1,16 @@
+/* Partial unroll of a reduction loop — the shape of the paper's
+   Listing 1.  Compile and run with:
+
+     mcc examples/unroll.c
+     mcc -emit-ir -O0 examples/unroll.c   # metadata only, no duplication
+     mcc -emit-ir examples/unroll.c       # after the LoopUnroll pass
+*/
+void record(long x);
+
+int main(void) {
+  long s = 0;
+#pragma omp unroll partial(4)
+  for (int i = 0; i < 2000; i += 1) s += i;
+  record(s);
+  return 0;
+}

@@ -330,11 +330,17 @@ type translation_unit = { tu_decls : tu_decl list }
 (* Node identity and constructors                                      *)
 (* ------------------------------------------------------------------ *)
 
-let id_counter = ref 0
+(* Domain-local and reset per compilation by the driver, so node ids (and
+   anything derived from them, e.g. dump output) are deterministic and
+   race-free under parallel batch compilation. *)
+let id_counter : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_id () =
-  incr id_counter;
-  !id_counter
+  let r = Domain.DLS.get id_counter in
+  incr r;
+  !r
+
+let reset_ids () = Domain.DLS.get id_counter := 0
 
 let mk_var ?(implicit = false) ?init ~name ~ty ~loc () =
   {

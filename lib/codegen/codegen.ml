@@ -8,8 +8,13 @@ module Cli = Mc_ompbuilder.Cli
 
 type mode = Classic | Irbuilder
 
-(* Unique ids for dynamic-dispatch worksharing sites (classic path). *)
-let dispatch_site_counter = ref 1000
+(* Unique ids for dynamic-dispatch worksharing sites (classic path).
+   Domain-local and reset per compilation (see [reset_gensym]) so the
+   emitted IR is deterministic under parallel batch compilation. *)
+let dispatch_site_counter : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 1000)
+
+let reset_gensym () = Domain.DLS.get dispatch_site_counter := 1000
 
 exception Unsupported of string
 
@@ -999,8 +1004,9 @@ and emit_driven_loop ctx d ~workshare : Ir.block =
      __kmpc_for_static_init up front. *)
   let dispatch_cond =
     if dynamic then begin
-      incr dispatch_site_counter;
-      let site = Ir.i32_const !dispatch_site_counter in
+      let sites = Domain.DLS.get dispatch_site_counter in
+      incr sites;
+      let site = Ir.i32_const !sites in
       let guided =
         match sched with Some (Sched_guided, _) -> true | _ -> false
       in

@@ -21,6 +21,11 @@ type mode = Classic | Irbuilder
 exception Unsupported of string
 (** Raised on constructs outside the supported subset (see DESIGN.md). *)
 
+val reset_gensym : unit -> unit
+(** Resets this domain's dispatch-site id counter; the driver calls it at
+    the start of every compilation so emitted IR is deterministic across
+    (parallel) compiles. *)
+
 val emit_translation_unit :
   ?fold:bool -> mode:mode -> Mc_ast.Tree.translation_unit -> Mc_ir.Ir.modul
 (** [fold] controls the IRBuilder's on-the-fly simplification (ablation

@@ -1,0 +1,88 @@
+(* Content-addressed compile cache.
+
+   The key digests the *preprocessed* token stream (spellings, not
+   locations) plus the backend-relevant invocation fingerprint, so a hit
+   means "this exact translation unit under these exact backend options
+   was compiled before".  Addressing post-preprocessing makes the cache
+   robust in both directions: a -D change that alters expansion misses,
+   while comment/whitespace edits (which the token stream does not see)
+   still hit.
+
+   The stored value is the marshalled back-end artefact: IR module,
+   unroll statistics and the full counter snapshot of the original
+   compilation.  IR modules are mutable graphs, so [find] unmarshals a
+   fresh copy per hit — two concurrent batch units can never alias one
+   cached module.  The table itself is guarded by a mutex and safe to
+   share across domains. *)
+
+module Stats = Mc_support.Stats
+
+let stat_hits =
+  Stats.counter ~group:"cache" ~name:"hits" ~desc:"compile cache hits" ()
+
+let stat_misses =
+  Stats.counter ~group:"cache" ~name:"misses" ~desc:"compile cache misses" ()
+
+let stat_stores =
+  Stats.counter ~group:"cache" ~name:"stores"
+    ~desc:"compile results stored in the cache" ()
+
+type payload = {
+  p_ir : string; (* Marshal of Mc_ir.Ir.modul *)
+  p_unroll : Mc_passes.Loop_unroll.stats;
+  p_stats : Stats.snapshot;
+}
+
+type t = {
+  table : (string, payload) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let create () = { table = Hashtbl.create 64; lock = Mutex.create () }
+
+let length t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
+
+(* Canonical, location-free rendering of the preprocessed stream.  NUL
+   separates tokens (no token spelling contains one) and SOH marks
+   pragma boundaries, so distinct streams cannot collide by
+   concatenation. *)
+let canonical_items buf items =
+  List.iter
+    (fun item ->
+      match item with
+      | Mc_pp.Preprocessor.Tok tok ->
+        Buffer.add_string buf (Mc_lexer.Token.spelling tok);
+        Buffer.add_char buf '\x00'
+      | Mc_pp.Preprocessor.Prag p ->
+        Buffer.add_string buf "\x01#pragma\x00";
+        List.iter
+          (fun tok ->
+            Buffer.add_string buf (Mc_lexer.Token.spelling tok);
+            Buffer.add_char buf '\x00')
+          p.Mc_pp.Preprocessor.pragma_toks;
+        Buffer.add_char buf '\x01')
+    items
+
+let key ~fingerprint items =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf fingerprint;
+  Buffer.add_char buf '\x02';
+  canonical_items buf items;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let find t k =
+  match Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table k) with
+  | None ->
+    Stats.incr stat_misses;
+    None
+  | Some payload ->
+    Stats.incr stat_hits;
+    let ir : Mc_ir.Ir.modul = Marshal.from_string payload.p_ir 0 in
+    Some (ir, payload.p_unroll, payload.p_stats)
+
+let store t k ~ir ~unroll_stats ~stats =
+  let payload =
+    { p_ir = Marshal.to_string ir []; p_unroll = unroll_stats; p_stats = stats }
+  in
+  Stats.incr stat_stores;
+  Mutex.protect t.lock (fun () -> Hashtbl.replace t.table k payload)

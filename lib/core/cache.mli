@@ -1,0 +1,46 @@
+(** Content-addressed compile cache: hash of the preprocessed token
+    stream + the backend-relevant {!Invocation.fingerprint} maps to the
+    marshalled back-end artefact (IR module, unroll statistics, counter
+    snapshot) of a previous compilation.
+
+    Keys digest token {e spellings}, not source locations, so edits the
+    preprocessor erases (comments, whitespace, unused macro definitions)
+    still hit, while anything that changes the expanded stream — or a
+    backend option — misses.
+
+    A cache is safe to share across the domains of a {!Batch}
+    compilation; every hit hands out a {e fresh copy} of the cached IR
+    module (IR is a mutable graph — aliasing one module across units
+    would let a consumer's mutation corrupt later hits).
+
+    Hit/miss/store events land in the [cache.*] counters of the calling
+    domain's current stats registry, so they surface through
+    [-print-stats] and per-instance snapshots. *)
+
+type t
+
+val create : unit -> t
+
+val length : t -> int
+(** Number of cached translation units. *)
+
+val key : fingerprint:string -> Mc_pp.Preprocessor.item list -> string
+(** The content address of a preprocessed unit under the given
+    invocation fingerprint. *)
+
+val find :
+  t ->
+  string ->
+  (Mc_ir.Ir.modul * Mc_passes.Loop_unroll.stats * Mc_support.Stats.snapshot)
+  option
+(** Looks up a key, counting a hit or a miss; on a hit, the returned IR
+    module is a fresh unmarshalled copy owned by the caller. *)
+
+val store :
+  t ->
+  string ->
+  ir:Mc_ir.Ir.modul ->
+  unroll_stats:Mc_passes.Loop_unroll.stats ->
+  stats:Mc_support.Stats.snapshot ->
+  unit
+(** Stores a compilation's back-end artefact under its key. *)

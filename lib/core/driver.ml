@@ -45,7 +45,7 @@ type result = {
 
 (* Stage timing on the monotonic wall clock (Sys.time — process CPU time —
    stalls under descheduling and is not comparable across machines); every
-   interval also lands in the global [Stats] registry for -ftime-report. *)
+   interval also lands in the current [Stats] registry for -ftime-report. *)
 let time stage f =
   let start = Clock.now () in
   let v = f () in
@@ -53,8 +53,29 @@ let time stage f =
   Stats.record (Stats.timer ~group:"driver" ~name:stage) dt;
   (v, dt)
 
-let frontend_pipeline options name source =
+(* Every compilation starts from a known state: the current stats registry
+   zeroed and every domain-local name/id generator rewound, so the same
+   source always produces byte-identical ASTs and IR no matter how many
+   compilations preceded it in this process or which domain runs it. *)
+let reset_compilation_state () =
   Stats.reset ();
+  Mc_ast.Tree.reset_ids ();
+  Mc_ir.Ir.reset_ids ();
+  Mc_ompbuilder.Omp_builder.reset_gensym ();
+  Mc_codegen.Codegen.reset_gensym ()
+
+type preprocessed = {
+  pp_options : options;
+  pp_name : string;
+  pp_diag : Diag.t;
+  pp_srcmgr : Srcmgr.t;
+  pp_items : Mc_pp.Preprocessor.item list;
+  pp_t_lex : float;
+  pp_t_preprocess : float;
+}
+
+let preprocess ?(options = default_options) ?(name = "input.c") source =
+  reset_compilation_state ();
   let srcmgr = Srcmgr.create () in
   let fmgr = Fmgr.create () in
   List.iter
@@ -77,23 +98,34 @@ let frontend_pipeline options name source =
   let items, t_preprocess =
     time "preprocess" (fun () -> Mc_pp.Preprocessor.preprocess_main pp buf)
   in
+  {
+    pp_options = options;
+    pp_name = name;
+    pp_diag = diag;
+    pp_srcmgr = srcmgr;
+    pp_items = items;
+    pp_t_lex = t_lex;
+    pp_t_preprocess = t_preprocess;
+  }
+
+let parse_sema pre =
+  let options = pre.pp_options in
   let sema_mode =
     if options.use_irbuilder then Mc_sema.Sema.Irbuilder else Mc_sema.Sema.Classic
   in
-  let sema = Mc_sema.Sema.create ~mode:sema_mode diag in
-  let tu, t_parse_sema =
-    time "parse-sema" (fun () -> Mc_parser.Parser.parse_translation_unit sema items)
-  in
-  (diag, srcmgr, tu, t_lex, t_preprocess, t_parse_sema)
+  let sema = Mc_sema.Sema.create ~mode:sema_mode pre.pp_diag in
+  time "parse-sema" (fun () ->
+      Mc_parser.Parser.parse_translation_unit sema pre.pp_items)
 
-let compile ?(options = default_options) ?(name = "input.c") source =
-  let diag, srcmgr, tu, t_lex, t_preprocess, t_parse_sema =
-    frontend_pipeline options name source
-  in
+let compile_preprocessed pre =
+  let options = pre.pp_options in
+  let diag = pre.pp_diag in
+  let tu, t_parse_sema = parse_sema pre in
+  let t_lex = pre.pp_t_lex and t_preprocess = pre.pp_t_preprocess in
   let no_ir codegen_error t_codegen =
     {
       diag;
-      srcmgr;
+      srcmgr = pre.pp_srcmgr;
       tu = Some tu;
       ir = None;
       codegen_error;
@@ -140,7 +172,7 @@ let compile ?(options = default_options) ?(name = "input.c") source =
       in
       {
         diag;
-        srcmgr;
+        srcmgr = pre.pp_srcmgr;
         tu = Some tu;
         ir = Some m;
         codegen_error = None;
@@ -150,9 +182,13 @@ let compile ?(options = default_options) ?(name = "input.c") source =
       })
   end
 
-let frontend ?(options = default_options) ?(name = "input.c") source =
-  let diag, _srcmgr, tu, _, _, _ = frontend_pipeline options name source in
-  (diag, tu)
+let compile ?options ?name source =
+  compile_preprocessed (preprocess ?options ?name source)
+
+let frontend ?options ?name source =
+  let pre = preprocess ?options ?name source in
+  let tu, _ = parse_sema pre in
+  (pre.pp_diag, tu)
 
 let ast_dump ?options ?(shadow = false) source =
   let _, tu = frontend ?options source in

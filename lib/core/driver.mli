@@ -42,9 +42,45 @@ val compile : ?options:options -> ?name:string -> string -> result
 (** Compiles a source string through the whole pipeline.
 
     Timings are monotonic wall clock ({!Mc_support.Clock}).  Each call
-    resets the global {!Mc_support.Stats} registry and snapshots it into
-    [result.stats]; counters accrued by a subsequent {!run} (interpreter
-    statistics) live in the registry but not in the snapshot. *)
+    resets the calling domain's {e current} {!Mc_support.Stats} registry
+    and snapshots it into [result.stats]; counters accrued by a
+    subsequent {!run} (interpreter statistics) live in the registry but
+    not in the snapshot.
+
+    @deprecated Relying on the shared default registry is deprecated for
+    anything beyond single-compilation tools: a bare [compile] charges
+    (and resets!) whatever registry the calling domain is scoped to,
+    which is the process-global default unless you arranged otherwise.
+    Embedders that compile more than once per process — and any
+    concurrent compilation — should go through {!Mc_core.Instance}
+    (which scopes each compilation to its own registry) or wrap calls in
+    {!Mc_support.Stats.with_registry}.  [compile] itself remains fully
+    reentrant: all remaining mutable compilation state is domain-local
+    and reset per call. *)
+
+type preprocessed = {
+  pp_options : options;
+  pp_name : string;
+  pp_diag : Mc_diag.Diagnostics.t;
+  pp_srcmgr : Mc_srcmgr.Source_manager.t;
+  pp_items : Mc_pp.Preprocessor.item list; (* parser-ready token/pragma stream *)
+  pp_t_lex : float;
+  pp_t_preprocess : float;
+}
+(** The pipeline state after the preprocessor: everything the parser
+    needs, plus the post-preprocessing token stream that content-addressed
+    caching ({!Mc_core.Cache}) fingerprints. *)
+
+val preprocess : ?options:options -> ?name:string -> string -> preprocessed
+(** Runs the front half of {!compile} (reset, lex timing, preprocess) and
+    stops before the parser.  Resets the current stats registry like
+    {!compile} does. *)
+
+val compile_preprocessed : preprocessed -> result
+(** Runs the back half of {!compile} (parse+sema, codegen, passes) on a
+    {!preprocessed} state.  Does {e not} reset the stats registry, so
+    [compile_preprocessed (preprocess src)] accrues exactly like
+    [compile src]. *)
 
 val frontend : ?options:options -> ?name:string -> string ->
   Mc_diag.Diagnostics.t * Mc_ast.Tree.translation_unit

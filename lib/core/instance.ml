@@ -1,0 +1,136 @@
+(* CompilerInstance analogue: one compilation context owning its own
+   stats registry (and optionally sharing a compile cache), so any number
+   of instances can coexist in one process — sequentially or across
+   domains — without touching the process-global registry. *)
+
+module Stats = Mc_support.Stats
+module Diag = Mc_diag.Diagnostics
+
+type t = {
+  invocation : Invocation.t;
+  registry : Stats.Registry.t;
+  cache : Cache.t option;
+  mutable exit_report_taken : bool;
+}
+
+let create ?cache invocation =
+  let cache =
+    match cache with
+    | Some _ as c -> c
+    | None -> if invocation.Invocation.cache_enabled then Some (Cache.create ()) else None
+  in
+  {
+    invocation;
+    registry = Stats.Registry.create ();
+    cache;
+    exit_report_taken = false;
+  }
+
+let invocation t = t.invocation
+let registry t = t.registry
+let cache t = t.cache
+let in_registry t f = Stats.with_registry t.registry f
+
+(* Each compilation starts by resetting the registry it is scoped to
+   (part of [Driver.reset_compilation_state]), so running compiles
+   directly in the instance registry would wipe the previous compile's
+   counters.  Instead each compile runs in a fresh scratch registry that
+   is merged in afterwards, making the instance registry cumulative over
+   everything the instance ever compiled. *)
+let in_scratch_registry t f =
+  let scratch = Stats.Registry.create () in
+  let r = Stats.with_registry scratch f in
+  Stats.Registry.merge ~into:t.registry scratch;
+  r
+
+type compilation = { c_result : Driver.result; c_cache_hit : bool }
+
+(* Only diagnostics-free successes are cached: a hit skips parse and sema
+   entirely, so caching a unit that produced warnings would silently drop
+   them on recompilation. *)
+let cacheable (r : Driver.result) =
+  r.Driver.ir <> None && Diag.diagnostics r.Driver.diag = []
+
+let compile t ?(name = "input.c") source =
+  in_scratch_registry t (fun () ->
+      let options = Invocation.to_driver_options t.invocation in
+      match t.cache with
+      | None ->
+        { c_result = Driver.compile ~options ~name source; c_cache_hit = false }
+      | Some cache -> (
+        let pre = Driver.preprocess ~options ~name source in
+        let key =
+          Cache.key
+            ~fingerprint:(Invocation.fingerprint t.invocation)
+            pre.Driver.pp_items
+        in
+        match Cache.find cache key with
+        | Some (ir, unroll_stats, stats) ->
+          {
+            c_result =
+              {
+                Driver.diag = pre.Driver.pp_diag;
+                srcmgr = pre.Driver.pp_srcmgr;
+                tu = None; (* parse and sema were skipped *)
+                ir = Some ir;
+                codegen_error = None;
+                timings =
+                  {
+                    Driver.t_lex = pre.Driver.pp_t_lex;
+                    t_preprocess = pre.Driver.pp_t_preprocess;
+                    t_parse_sema = 0.0;
+                    t_codegen = 0.0;
+                    t_passes = 0.0;
+                  };
+                unroll_stats;
+                stats;
+              };
+            c_cache_hit = true;
+          }
+        | None ->
+          let r = Driver.compile_preprocessed pre in
+          (match r.Driver.ir with
+          | Some ir when cacheable r ->
+            Cache.store cache key ~ir ~unroll_stats:r.Driver.unroll_stats
+              ~stats:r.Driver.stats
+          | _ -> ());
+          { c_result = r; c_cache_hit = false }))
+
+let frontend t ?name source =
+  in_scratch_registry t (fun () ->
+      Driver.frontend ~options:(Invocation.to_driver_options t.invocation)
+        ?name source)
+
+let run t ?config result = in_registry t (fun () -> Driver.run ?config result)
+
+let compile_and_run t ?config ?name source =
+  let { c_result; _ } = compile t ?name source in
+  if Diag.has_errors c_result.Driver.diag then
+    Error ("compilation failed:\n" ^ Diag.render_all c_result.Driver.diag)
+  else run t ?config c_result
+
+let stats t = Stats.snapshot ~registry:t.registry ()
+let render_stats t = Stats.render_stats ~registry:t.registry ()
+let render_time_report t = Stats.render_time_report ~registry:t.registry ()
+
+(* -print-stats / -ftime-report on process exit, the Clang way — but per
+   instance: each instance renders its own registry, at most once, and
+   only if its invocation asked for a report.  [exit_reports] consumes
+   the report, so stacking [report_at_exit] with an explicit earlier
+   report cannot double-print (the PR-1 CLI printed the global registry
+   from every at_exit hook it had ever registered). *)
+let exit_reports t =
+  if t.exit_report_taken then ""
+  else begin
+    t.exit_report_taken <- true;
+    let buf = Buffer.create 256 in
+    if t.invocation.Invocation.time_report then
+      Buffer.add_string buf (render_time_report t);
+    if t.invocation.Invocation.print_stats then
+      Buffer.add_string buf (render_stats t);
+    Buffer.contents buf
+  end
+
+let report_at_exit t =
+  if t.invocation.Invocation.time_report || t.invocation.Invocation.print_stats
+  then at_exit (fun () -> prerr_string (exit_reports t))

@@ -1,0 +1,77 @@
+(** The [clang::CompilerInstance] analogue: one compilation context that
+    owns its own {!Mc_support.Stats} registry (and optionally a compile
+    cache), making the driver reentrant — any number of instances can
+    coexist in one process, sequentially or on separate domains, without
+    sharing mutable state.
+
+    Every pipeline entry point here scopes the calling domain to the
+    instance's registry for the duration of the call, so stage timers,
+    layer counters, interpreter statistics and cache hit/miss counts all
+    land in (and render from) {e this} instance, never the process-global
+    default registry. *)
+
+type t
+
+val create : ?cache:Cache.t -> Invocation.t -> t
+(** A fresh instance with a zeroed registry.  When the invocation has
+    [cache_enabled] and no [?cache] is supplied, a private cache is
+    created; pass an explicit [?cache] to share one across instances
+    (as {!Batch.compile} does across its workers). *)
+
+val invocation : t -> Invocation.t
+val registry : t -> Mc_support.Stats.Registry.t
+val cache : t -> Cache.t option
+
+val in_registry : t -> (unit -> 'a) -> 'a
+(** Runs a thunk scoped to the instance registry — for driving pipeline
+    pieces not wrapped here (e.g. interpreting a result so that
+    [interp.*] counters land in the instance). *)
+
+type compilation = { c_result : Driver.result; c_cache_hit : bool }
+
+val compile : t -> ?name:string -> string -> compilation
+(** {!Driver.compile} under the instance registry, consulting the
+    compile cache when the instance has one.  On a hit, parse, sema,
+    codegen and passes are skipped: the result carries a fresh copy of
+    the cached IR, the cached unroll/counter snapshot, [tu = None], and
+    zero back-end stage timings.  Only diagnostics-free successful
+    compilations are cached (a hit replays no warnings).
+
+    The instance registry is cumulative: each compilation runs in a
+    scratch registry (which {!Driver.compile} resets at the start of
+    every unit) and is merged into the instance registry afterwards, so
+    counters from repeated [compile] calls — including [cache.hits] /
+    [cache.misses] — add up rather than overwrite. *)
+
+val frontend :
+  t -> ?name:string -> string ->
+  Mc_diag.Diagnostics.t * Mc_ast.Tree.translation_unit
+(** {!Driver.frontend} under the instance registry. *)
+
+val run :
+  t -> ?config:Mc_interp.Interp.config -> Driver.result ->
+  (Mc_interp.Interp.outcome, string) Result.t
+(** {!Driver.run} under the instance registry, so interpreter counters
+    accrue to the instance. *)
+
+val compile_and_run :
+  t -> ?config:Mc_interp.Interp.config -> ?name:string -> string ->
+  (Mc_interp.Interp.outcome, string) Result.t
+
+val stats : t -> Mc_support.Stats.snapshot
+val render_stats : t -> string
+val render_time_report : t -> string
+
+val exit_reports : t -> string
+(** The reports the invocation requested ([-ftime-report] /
+    [-print-stats]) rendered from the instance registry — at most once:
+    subsequent calls return [""].  This is the per-instance fix for the
+    PR-1 CLI bug where every compile in a process re-registered an
+    [at_exit] hook over the global registry and exit double-reported. *)
+
+val report_at_exit : t -> unit
+(** Registers an [at_exit] hook printing {!exit_reports} to stderr; a
+    no-op for instances that requested no report.  Combined with the
+    consuming semantics of {!exit_reports}, reports print exactly once
+    per requesting instance however many hooks or explicit calls race
+    for them. *)

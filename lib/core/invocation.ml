@@ -1,0 +1,202 @@
+(* CompilerInvocation analogue: a pure, immutable description of one
+   driver run — what to compile and how — separated from the mutable
+   pipeline state that Instance owns.  Parsing from argv lives here so
+   the CLI, the tests and embedders all share one flag grammar. *)
+
+type action =
+  | Run
+  | Ast_dump
+  | Ast_dump_shadow
+  | Ast_print
+  | Print_transformed
+  | Emit_ir
+  | Syntax_only
+
+type input = File of string | Source of { name : string; contents : string }
+
+type t = {
+  inputs : input list;
+  action : action;
+  use_irbuilder : bool;
+  opt_level : int;
+  fold : bool;
+  verify_ir : bool;
+  defines : (string * string) list;
+  extra_files : (string * string) list;
+  jobs : int;
+  cache_enabled : bool;
+  num_threads : int;
+  stage_timings : bool;
+  time_report : bool;
+  print_stats : bool;
+}
+
+let default =
+  {
+    inputs = [];
+    action = Run;
+    use_irbuilder = false;
+    opt_level = 1;
+    fold = true;
+    verify_ir = true;
+    defines = [];
+    extra_files = [];
+    jobs = 1;
+    cache_enabled = false;
+    num_threads = 4;
+    stage_timings = false;
+    time_report = false;
+    print_stats = false;
+  }
+
+let to_driver_options inv =
+  {
+    Driver.use_irbuilder = inv.use_irbuilder;
+    optimize = inv.opt_level > 0;
+    fold = inv.fold;
+    verify_ir = inv.verify_ir;
+    defines = inv.defines;
+    extra_files = inv.extra_files;
+  }
+
+let of_driver_options ?(inputs = []) (o : Driver.options) =
+  {
+    default with
+    inputs;
+    use_irbuilder = o.Driver.use_irbuilder;
+    opt_level = (if o.Driver.optimize then 1 else 0);
+    fold = o.Driver.fold;
+    verify_ir = o.Driver.verify_ir;
+    defines = o.Driver.defines;
+    extra_files = o.Driver.extra_files;
+  }
+
+let input_name = function
+  | File path -> path
+  | Source { name; _ } -> name
+
+let read_input = function
+  | Source { name; contents } -> Ok (name, contents)
+  | File "-" -> Ok ("<stdin>", In_channel.input_all In_channel.stdin)
+  | File path -> (
+    match In_channel.with_open_text path In_channel.input_all with
+    | contents -> Ok (path, contents)
+    | exception Sys_error msg -> Error msg)
+
+let load_inputs inv =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | input :: rest -> (
+      match read_input input with
+      | Ok pair -> go (pair :: acc) rest
+      | Error msg -> Error msg)
+  in
+  go [] inv.inputs
+
+(* The backend-relevant configuration, canonically rendered.  Inputs,
+   defines and extra files are deliberately absent: those shape the
+   preprocessed token stream, which the cache fingerprints directly
+   (content addressing), so e.g. an unused macro redefinition still
+   hits while a used one misses. *)
+let fingerprint inv =
+  Printf.sprintf "irbuilder=%b;optimize=%b;fold=%b;verify=%b"
+    inv.use_irbuilder (inv.opt_level > 0) inv.fold inv.verify_ir
+
+(* ---- argv parsing ------------------------------------------------------- *)
+
+(* Clang spells long options with a single dash (-ftime-report); accept
+   both single- and double-dash spellings uniformly. *)
+let strip_dashes arg =
+  if String.length arg >= 2 && String.sub arg 0 2 = "--" then
+    Some (String.sub arg 2 (String.length arg - 2))
+  else if String.length arg >= 1 && arg.[0] = '-' && arg <> "-" then
+    Some (String.sub arg 1 (String.length arg - 1))
+  else None
+
+let split_define s =
+  match String.index_opt s '=' with
+  | Some i ->
+    (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> (s, "1")
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "invalid %s argument %S" what s)
+
+let of_argv argv =
+  let args = Array.to_list argv in
+  let args = match args with _prog :: rest -> rest | [] -> [] in
+  let rec go inv = function
+    | [] ->
+      if inv.inputs = [] then Error "no input files"
+      else Ok { inv with inputs = List.rev inv.inputs }
+    | arg :: rest -> (
+      match strip_dashes arg with
+      | None -> go { inv with inputs = File arg :: inv.inputs } rest
+      | Some flag -> (
+        let with_value name k =
+          (* Accepts "-flag value", "-flag=value", and — for single-char
+             flags — the attached "-j4" / "-DN=3" spellings. *)
+          let prefixed p =
+            String.length flag > String.length p
+            && String.sub flag 0 (String.length p) = p
+          in
+          if flag = name then
+            match rest with
+            | v :: rest' -> Some (k v rest')
+            | [] -> Some (Error (Printf.sprintf "-%s expects an argument" name))
+          else if prefixed (name ^ "=") then
+            let v =
+              String.sub flag (String.length name + 1)
+                (String.length flag - String.length name - 1)
+            in
+            Some (k v rest)
+          else if String.length name = 1 && prefixed name then
+            Some (k (String.sub flag 1 (String.length flag - 1)) rest)
+          else None
+        in
+        match flag with
+        | "ast-dump" -> go { inv with action = Ast_dump } rest
+        | "ast-dump-shadow" -> go { inv with action = Ast_dump_shadow } rest
+        | "ast-print" -> go { inv with action = Ast_print } rest
+        | "print-transformed" -> go { inv with action = Print_transformed } rest
+        | "emit-ir" -> go { inv with action = Emit_ir } rest
+        | "syntax-only" | "fsyntax-only" -> go { inv with action = Syntax_only } rest
+        | "fopenmp-enable-irbuilder" -> go { inv with use_irbuilder = true } rest
+        | "no-builder-folding" -> go { inv with fold = false } rest
+        | "no-verify-ir" -> go { inv with verify_ir = false } rest
+        | "cache" -> go { inv with cache_enabled = true } rest
+        | "stage-timings" -> go { inv with stage_timings = true } rest
+        | "ftime-report" -> go { inv with time_report = true } rest
+        | "print-stats" -> go { inv with print_stats = true } rest
+        | "O0" -> go { inv with opt_level = 0 } rest
+        | "O1" -> go { inv with opt_level = 1 } rest
+        | _ -> (
+          let numeric name field =
+            with_value name (fun v rest' ->
+                match parse_int name v with
+                | Ok n -> go (field inv n) rest'
+                | Error e -> Error e)
+          in
+          let first_some l = List.find_map (fun f -> f ()) l in
+          match
+            first_some
+              [
+                (fun () -> numeric "j" (fun inv n -> { inv with jobs = n }));
+                (fun () -> numeric "O" (fun inv n -> { inv with opt_level = n }));
+                (fun () ->
+                  numeric "num-threads" (fun inv n ->
+                      { inv with num_threads = n }));
+                (fun () ->
+                  with_value "D" (fun v rest' ->
+                      let name, value = split_define v in
+                      go
+                        { inv with defines = inv.defines @ [ (name, value) ] }
+                        rest'));
+              ]
+          with
+          | Some r -> r
+          | None -> Error (Printf.sprintf "unknown option %S" arg))))
+  in
+  go { default with inputs = [] } args

@@ -1,0 +1,71 @@
+(** The [clang::CompilerInvocation] analogue: a pure, immutable record of
+    everything one driver run was asked to do — inputs, action, and
+    options — decoupled from the mutable pipeline state (which
+    {!Mc_core.Instance} owns).  Being a plain value, an invocation can be
+    parsed once from argv and then shared freely across the domains of a
+    {!Mc_core.Batch} compilation.
+
+    {!Driver.options} remains the narrow per-compile option set;
+    {!to_driver_options} is the compatibility shim, so existing
+    [Driver]-level callers keep working unchanged. *)
+
+type action =
+  | Run (* compile and execute on the IR interpreter (the default) *)
+  | Ast_dump
+  | Ast_dump_shadow
+  | Ast_print
+  | Print_transformed
+  | Emit_ir
+  | Syntax_only
+
+type input =
+  | File of string (* path, or "-" for stdin *)
+  | Source of { name : string; contents : string } (* in-memory unit *)
+
+type t = {
+  inputs : input list;
+  action : action;
+  use_irbuilder : bool; (* -fopenmp-enable-irbuilder *)
+  opt_level : int; (* -O LEVEL; > 0 runs the O1 pipeline *)
+  fold : bool; (* IRBuilder on-the-fly folding *)
+  verify_ir : bool; (* verify after codegen and passes *)
+  defines : (string * string) list; (* -D name=value *)
+  extra_files : (string * string) list; (* virtual #include targets *)
+  jobs : int; (* -j N: batch compilation domains *)
+  cache_enabled : bool; (* --cache: content-addressed compile cache *)
+  num_threads : int; (* simulated OpenMP team size *)
+  stage_timings : bool;
+  time_report : bool; (* -ftime-report *)
+  print_stats : bool; (* -print-stats *)
+}
+
+val default : t
+(** No inputs, [Run] action, [Driver.default_options] settings, 1 job. *)
+
+val to_driver_options : t -> Driver.options
+(** The compatibility shim onto the pre-existing driver option record. *)
+
+val of_driver_options : ?inputs:input list -> Driver.options -> t
+(** Lifts a legacy option record into an invocation (defaults elsewhere). *)
+
+val input_name : input -> string
+
+val read_input : input -> (string * string, string) result
+(** [(name, contents)], reading files ([Error] carries the IO failure). *)
+
+val load_inputs : t -> ((string * string) list, string) result
+(** Reads every input in order; fails on the first unreadable one. *)
+
+val fingerprint : t -> string
+(** Canonical rendering of the backend-relevant options, used as part of
+    the compile-cache key.  Inputs, defines and extra files are excluded
+    on purpose: they shape the preprocessed token stream, which the cache
+    content-addresses directly. *)
+
+val of_argv : string array -> (t, string) result
+(** Parses a full argv (element 0 is the program name) with the mcc flag
+    grammar: single- or double-dash long options ([-emit-ir],
+    [--emit-ir]), [-fsyntax-only] and [-syntax-only] as synonyms,
+    [-j N]/[-jN], [-O 0]/[-O0]/[-O1], [-D NAME=VALUE]/[-DNAME=VALUE],
+    [--cache], [-num-threads N], [-ftime-report], [-print-stats],
+    [-stage-timings], and positional input files ([-] for stdin). *)

@@ -149,11 +149,18 @@ type modul = { m_name : string; mutable m_funcs : func list }
 
 (* ---- construction ------------------------------------------------------ *)
 
-let id_counter = ref 0
+(* Ids are domain-local so concurrent compilations neither race nor
+   influence each other's numbering; the driver resets them at the start
+   of every compilation so the printed IR of a given source is
+   byte-identical no matter which domain (or how many) compiled it. *)
+let id_counter : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_id () =
-  incr id_counter;
-  !id_counter
+  let r = Domain.DLS.get id_counter in
+  incr r;
+  !r
+
+let reset_ids () = Domain.DLS.get id_counter := 0
 
 let create_module name = { m_name = name; m_funcs = [] }
 

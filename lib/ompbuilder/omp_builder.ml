@@ -360,7 +360,8 @@ let apply_static_workshare builder (cli : Cli.t) ~chunk ~nowait =
 (* Dynamic/guided worksharing (LLVM's applyDynamicWorkshareLoop): wrap the
    canonical loop in a dispatch loop that repeatedly grabs [lb, ub] chunks
    from the runtime queue and runs the skeleton over each chunk. *)
-let dispatch_site_counter = ref 0
+let dispatch_site_counter : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
 
 let apply_dynamic_workshare builder (cli : Cli.t) ~guided ~chunk ~nowait =
   (match Cli.verify cli with
@@ -369,8 +370,9 @@ let apply_dynamic_workshare builder (cli : Cli.t) ~guided ~chunk ~nowait =
   let saved_ip =
     try Some (Builder.insertion_block builder) with Invalid_argument _ -> None
   in
-  incr dispatch_site_counter;
-  let site = Const_int (I32, Int64.of_int !dispatch_site_counter) in
+  let sites = Domain.DLS.get dispatch_site_counter in
+  incr sites;
+  let site = Const_int (I32, Int64.of_int !sites) in
   let f = cli.Cli.cli_func in
   let ty = value_ty cli.Cli.cli_trip_count in
   let tc = cli.Cli.cli_trip_count in
@@ -439,7 +441,15 @@ let apply_simd (cli : Cli.t) ~simdlen =
 
 (* ---- parallel regions --------------------------------------------------- *)
 
-let outlined_counter = ref 0
+let outlined_counter : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
+
+(* Both name-generation counters are domain-local (race-free under
+   [Mc_core.Batch]) and reset per compilation by the driver so outlined
+   function names and dispatch-site ids are deterministic. *)
+let reset_gensym () =
+  Domain.DLS.get dispatch_site_counter := 0;
+  Domain.DLS.get outlined_counter := 0
 
 let create_parallel builder m ~name ~num_threads ~if_cond ~captures ~body_gen =
   List.iter
@@ -447,8 +457,9 @@ let create_parallel builder m ~name ~num_threads ~if_cond ~captures ~body_gen =
       if value_ty c <> Ptr then
         invalid_arg "create_parallel: captures must be pointers")
     captures;
-  incr outlined_counter;
-  let fn_name = Printf.sprintf "%s.omp_outlined.%d" name !outlined_counter in
+  let outlined_n = Domain.DLS.get outlined_counter in
+  incr outlined_n;
+  let fn_name = Printf.sprintf "%s.omp_outlined.%d" name !outlined_n in
   let gtid = mk_arg ~name:".global_tid." ~ty:Ptr in
   let btid = mk_arg ~name:".bound_tid." ~ty:Ptr in
   let ctx_arg = mk_arg ~name:".context." ~ty:Ptr in

@@ -16,6 +16,11 @@
 
 open Mc_ir
 
+val reset_gensym : unit -> unit
+(** Resets this domain's outlined-function and dispatch-site name
+    counters; the driver calls it at the start of every compilation so
+    generated names are deterministic across (parallel) compiles. *)
+
 val create_loop_skeleton :
   Builder.t -> func:Ir.func -> name:string -> trip_count:Ir.value -> Cli.t
 (** Low-level: a fresh, internally wired skeleton.  The preheader has no

@@ -3,14 +3,19 @@
    gettimeofday is wall time but may step backwards (NTP, manual clock
    changes); a Mtime-style monotonic source would be ideal but is not in
    the stdlib, so we enforce monotonicity ourselves: remember the highest
-   reading handed out and never return anything below it. *)
+   reading handed out and never return anything below it.  The watermark
+   is domain-local so concurrent compilations never contend on (or tear)
+   a shared cell; monotonicity is per domain, which is all interval
+   timing needs. *)
 
-let highest = ref neg_infinity
+let highest : float ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref neg_infinity)
 
 let now () =
+  let hi = Domain.DLS.get highest in
   let t = Unix.gettimeofday () in
-  if t > !highest then highest := t;
-  !highest
+  if t > !hi then hi := t;
+  !hi
 
 let epoch = now ()
 let elapsed () = now () -. epoch

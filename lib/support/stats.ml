@@ -1,78 +1,169 @@
-(* Global registry of counters and timers (Clang Statistic / TimerGroup
-   analogue).  Registration order is preserved for rendering; lookups are
-   linear, which is fine for the few dozen statistics the pipeline has. *)
+(* Counters and timers (Clang Statistic / TimerGroup analogue), split into
+   process-wide descriptors and per-registry values.
 
-type counter = {
-  c_group : string;
-  c_name : string;
-  c_desc : string;
-  mutable c_value : int;
-}
+   Descriptors (group/name/desc, registration order) are global and guarded
+   by a mutex so any domain may register.  Values are dense arrays indexed
+   by descriptor id inside a [Registry.t]; each domain resolves the
+   registry to charge through domain-local storage, so a pipeline wrapped
+   in [with_registry] is fully isolated from every other domain. *)
 
-type timer = {
-  t_group : string;
-  t_name : string;
-  mutable t_total : float; (* accumulated seconds *)
-  mutable t_count : int; (* recorded intervals *)
-}
+type counter = { c_id : int; c_group : string; c_name : string; c_desc : string }
+type timer = { t_id : int; t_group : string; t_name : string }
 
 (* Registration order, oldest first. *)
+let desc_lock = Mutex.create ()
 let counters : counter list ref = ref []
 let timers : timer list ref = ref []
 
-let counter ~group ~name ?(desc = "") () =
-  match
-    List.find_opt (fun c -> c.c_group = group && c.c_name = name) !counters
-  with
-  | Some c -> c
-  | None ->
-    let c = { c_group = group; c_name = name; c_desc = desc; c_value = 0 } in
-    counters := !counters @ [ c ];
-    c
+module Registry = struct
+  type t = {
+    mutable c_values : int array; (* indexed by c_id *)
+    mutable t_totals : float array; (* indexed by t_id; accumulated seconds *)
+    mutable t_counts : int array; (* recorded intervals *)
+  }
 
-let incr c = c.c_value <- c.c_value + 1
-let add c n = c.c_value <- c.c_value + n
-let value c = c.c_value
+  let create () = { c_values = [||]; t_totals = [||]; t_counts = [||] }
+  let default = create ()
+
+  let grow_int a n = Array.append a (Array.make (n - Array.length a) 0)
+  let grow_float a n = Array.append a (Array.make (n - Array.length a) 0.0)
+
+  (* Lazily size the value arrays to cover descriptor [id].  Growth is
+     only triggered from the domain currently charging this registry. *)
+  let ensure_counter r id =
+    if id >= Array.length r.c_values then
+      r.c_values <- grow_int r.c_values (max (id + 1) (2 * Array.length r.c_values))
+
+  let ensure_timer r id =
+    if id >= Array.length r.t_totals then begin
+      let n = max (id + 1) (2 * Array.length r.t_totals) in
+      r.t_totals <- grow_float r.t_totals n;
+      r.t_counts <- grow_int r.t_counts n
+    end
+
+  let counter_value r id =
+    if id < Array.length r.c_values then r.c_values.(id) else 0
+
+  let timer_value r id =
+    if id < Array.length r.t_totals then (r.t_totals.(id), r.t_counts.(id))
+    else (0.0, 0)
+
+  let merge ~into src =
+    Array.iteri
+      (fun id v ->
+        if v <> 0 then begin
+          ensure_counter into id;
+          into.c_values.(id) <- into.c_values.(id) + v
+        end)
+      src.c_values;
+    Array.iteri
+      (fun id total ->
+        if total <> 0.0 || src.t_counts.(id) <> 0 then begin
+          ensure_timer into id;
+          into.t_totals.(id) <- into.t_totals.(id) +. total;
+          into.t_counts.(id) <- into.t_counts.(id) + src.t_counts.(id)
+        end)
+      src.t_totals
+end
+
+let current_key : Registry.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Registry.default)
+
+let current_registry () = Domain.DLS.get current_key
+
+let with_registry r f =
+  let prev = Domain.DLS.get current_key in
+  Domain.DLS.set current_key r;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current_key prev) f
+
+(* ---- registration ------------------------------------------------------- *)
+
+let counter ~group ~name ?(desc = "") () =
+  Mutex.protect desc_lock (fun () ->
+      match
+        List.find_opt (fun c -> c.c_group = group && c.c_name = name) !counters
+      with
+      | Some c -> c
+      | None ->
+        let c =
+          { c_id = List.length !counters; c_group = group; c_name = name;
+            c_desc = desc }
+        in
+        counters := !counters @ [ c ];
+        c)
 
 let timer ~group ~name =
-  match
-    List.find_opt (fun t -> t.t_group = group && t.t_name = name) !timers
-  with
-  | Some t -> t
-  | None ->
-    let t = { t_group = group; t_name = name; t_total = 0.0; t_count = 0 } in
-    timers := !timers @ [ t ];
-    t
+  Mutex.protect desc_lock (fun () ->
+      match
+        List.find_opt (fun t -> t.t_group = group && t.t_name = name) !timers
+      with
+      | Some t -> t
+      | None ->
+        let t = { t_id = List.length !timers; t_group = group; t_name = name } in
+        timers := !timers @ [ t ];
+        t)
+
+(* Snapshot of the descriptor tables, for iteration outside the lock. *)
+let all_counters () = Mutex.protect desc_lock (fun () -> !counters)
+let all_timers () = Mutex.protect desc_lock (fun () -> !timers)
+
+(* ---- accrual ------------------------------------------------------------ *)
+
+let add c n =
+  let r = current_registry () in
+  Registry.ensure_counter r c.c_id;
+  r.Registry.c_values.(c.c_id) <- r.Registry.c_values.(c.c_id) + n
+
+let incr c = add c 1
+let value c = Registry.counter_value (current_registry ()) c.c_id
 
 let record t dt =
-  t.t_total <- t.t_total +. dt;
-  t.t_count <- t.t_count + 1
+  let r = current_registry () in
+  Registry.ensure_timer r t.t_id;
+  r.Registry.t_totals.(t.t_id) <- r.Registry.t_totals.(t.t_id) +. dt;
+  r.Registry.t_counts.(t.t_id) <- r.Registry.t_counts.(t.t_id) + 1
 
 let time t f =
   let start = Clock.now () in
   Fun.protect ~finally:(fun () -> record t (Clock.now () -. start)) f
 
-let reset () =
-  List.iter (fun c -> c.c_value <- 0) !counters;
-  List.iter
-    (fun t ->
-      t.t_total <- 0.0;
-      t.t_count <- 0)
-    !timers
+let reset ?registry () =
+  let r = Option.value registry ~default:(current_registry ()) in
+  Array.fill r.Registry.c_values 0 (Array.length r.Registry.c_values) 0;
+  Array.fill r.Registry.t_totals 0 (Array.length r.Registry.t_totals) 0.0;
+  Array.fill r.Registry.t_counts 0 (Array.length r.Registry.t_counts) 0
+
+(* ---- observation -------------------------------------------------------- *)
 
 type snapshot = (string * int) list
 
 let key group name = group ^ "." ^ name
 
-let snapshot () =
+let snapshot ?registry () =
+  let r = Option.value registry ~default:(current_registry ()) in
   List.sort compare
-    (List.map (fun c -> (key c.c_group c.c_name, c.c_value)) !counters)
+    (List.map
+       (fun c -> (key c.c_group c.c_name, Registry.counter_value r c.c_id))
+       (all_counters ()))
 
 let find snap name = Option.value (List.assoc_opt name snap) ~default:0
 
-let timings () =
+let merge_snapshots a b =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (k, v) ->
+      Hashtbl.replace tbl k (v + Option.value (Hashtbl.find_opt tbl k) ~default:0))
+    (a @ b);
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let timings ?registry () =
+  let r = Option.value registry ~default:(current_registry ()) in
   List.sort compare
-    (List.map (fun t -> (key t.t_group t.t_name, t.t_total, t.t_count)) !timers)
+    (List.map
+       (fun t ->
+         let total, count = Registry.timer_value r t.t_id in
+         (key t.t_group t.t_name, total, count))
+       (all_timers ()))
 
 (* ---- rendering ---------------------------------------------------------- *)
 
@@ -86,10 +177,13 @@ let banner buf title =
   Buffer.add_char buf '\n';
   Buffer.add_string buf ("===" ^ rule ^ "===\n\n")
 
-let render_stats () =
+let render_stats ?registry () =
+  let r = Option.value registry ~default:(current_registry ()) in
   let buf = Buffer.create 1024 in
   banner buf "... Statistics Collected ...";
-  let live = List.filter (fun c -> c.c_value <> 0) !counters in
+  let live =
+    List.filter (fun c -> Registry.counter_value r c.c_id <> 0) (all_counters ())
+  in
   if live = [] then Buffer.add_string buf "  (no statistics collected)\n"
   else begin
     let name_w =
@@ -100,35 +194,44 @@ let render_stats () =
     List.iter
       (fun c ->
         Buffer.add_string buf
-          (Printf.sprintf "%10d  %-*s - %s\n" c.c_value name_w
+          (Printf.sprintf "%10d  %-*s - %s\n"
+             (Registry.counter_value r c.c_id)
+             name_w
              (key c.c_group c.c_name)
              (if c.c_desc = "" then c.c_name else c.c_desc)))
       live
   end;
   Buffer.contents buf
 
-let render_time_report () =
+let render_time_report ?registry () =
+  let r = Option.value registry ~default:(current_registry ()) in
   let buf = Buffer.create 1024 in
   banner buf "mcc compilation time report (monotonic wall clock)";
+  let timers = all_timers () in
   let groups =
     List.fold_left
       (fun acc t -> if List.mem t.t_group acc then acc else acc @ [ t.t_group ])
-      [] !timers
+      [] timers
   in
   if groups = [] then Buffer.add_string buf "  (no timers registered)\n";
   List.iter
     (fun g ->
-      let members = List.filter (fun t -> t.t_group = g) !timers in
-      let total = List.fold_left (fun s t -> s +. t.t_total) 0.0 members in
+      let members = List.filter (fun t -> t.t_group = g) timers in
+      let total =
+        List.fold_left
+          (fun s t -> s +. fst (Registry.timer_value r t.t_id))
+          0.0 members
+      in
       Buffer.add_string buf
         (Printf.sprintf "  %s: %.6f seconds of wall time\n" g total);
       Buffer.add_string buf "   ---Wall Time---   --Count--  --Name--\n";
       List.iter
         (fun t ->
-          let pct = if total > 0.0 then 100.0 *. t.t_total /. total else 0.0 in
+          let t_total, t_count = Registry.timer_value r t.t_id in
+          let pct = if total > 0.0 then 100.0 *. t_total /. total else 0.0 in
           Buffer.add_string buf
-            (Printf.sprintf "   %9.6f (%5.1f%%)  %9d  %s\n" t.t_total pct
-               t.t_count t.t_name))
+            (Printf.sprintf "   %9.6f (%5.1f%%)  %9d  %s\n" t_total pct t_count
+               t.t_name))
         members;
       Buffer.add_string buf
         (Printf.sprintf "   %9.6f (100.0%%)             Total\n\n" total))

@@ -1,66 +1,111 @@
-(** Pipeline statistics: named counters and wall-clock timers in a global
-    registry, the analogue of Clang's [llvm::Statistic] /
-    [llvm::TimerGroup] machinery behind [-print-stats] and
-    [-ftime-report].
+(** Pipeline statistics: named counters and wall-clock timers, the
+    analogue of Clang's [llvm::Statistic] / [llvm::TimerGroup] machinery
+    behind [-print-stats] and [-ftime-report].
 
-    Every layer of the pipeline registers its counters at module
-    initialisation ([counter] / [timer] are idempotent on the same
-    [group]/[name] pair) and bumps them as it works; the driver resets
-    the registry at the start of each compilation, snapshots it into
-    [Driver.result.stats], and the CLI renders the registry with
-    [render_stats] / [render_time_report].
+    Counter and timer {e descriptors} ([group], [name], description) are
+    registered once, process-wide ([counter] / [timer] are idempotent on
+    the same [group]/[name] pair and safe to call from any domain).  The
+    {e values} live in a {!Registry.t}: every domain has a current
+    registry — initially the shared {!Registry.default} — and every
+    [incr] / [add] / [record] accrues into it.  A leaf module therefore
+    keeps its zero-threading ergonomics (register a counter at module
+    initialisation, bump it as it works) while an embedding that needs
+    isolation wraps its pipeline in {!with_registry}:
 
-    The registry is deliberately global — exactly like Clang's — so a
-    leaf module can count events without threading a context through
-    every call.  The cost is that concurrent or nested compilations share
-    (and reset) the same registry; the test-suite and the tools here are
-    sequential, which is the same trade Clang makes. *)
+    {[
+      let registry = Stats.Registry.create () in
+      let result = Stats.with_registry registry (fun () -> compile ()) in
+      prerr_string (Stats.render_stats ~registry ())
+    ]}
+
+    This is what makes the driver reentrant: concurrent compilations in
+    separate domains each run under their own registry (see
+    [Mc_core.Instance] / [Mc_core.Batch]) and merge afterwards with
+    {!Registry.merge}.  The shared default registry remains for
+    single-compilation tools and the test-suite; mutating it from two
+    domains at once without [with_registry] can lose updates, so
+    concurrent pipelines must scope their registries. *)
+
+module Registry : sig
+  type t
+  (** A set of values for every registered counter and timer.  A registry
+      must only be mutated by one domain at a time; hand each concurrent
+      pipeline its own and {!merge} afterwards. *)
+
+  val create : unit -> t
+  (** A fresh registry with every counter and timer at zero. *)
+
+  val default : t
+  (** The process-wide registry that every domain starts scoped to — the
+      pre-reentrancy global registry, kept as the default so existing
+      sequential tools keep working unchanged. *)
+
+  val merge : into:t -> t -> unit
+  (** [merge ~into src] adds every counter value and timer total/interval
+      count of [src] into [into]; [src] is left untouched. *)
+end
+
+val with_registry : Registry.t -> (unit -> 'a) -> 'a
+(** Runs the thunk with the calling domain's current registry set to the
+    given one (restored afterwards, even on exceptions).  Nesting is
+    allowed; the innermost scope wins. *)
+
+val current_registry : unit -> Registry.t
+(** The calling domain's current registry. *)
 
 type counter
 type timer
 
 val counter : group:string -> name:string -> ?desc:string -> unit -> counter
-(** Registers (or retrieves) the counter [group.name].  Counters start
-    at zero and survive [reset] (their values are zeroed, the
-    registration stays). *)
+(** Registers (or retrieves) the counter descriptor [group.name].
+    Values start at zero in every registry and survive [reset] (the
+    value is zeroed, the registration stays). *)
 
 val incr : counter -> unit
+(** Adds one to the counter in the current registry. *)
+
 val add : counter -> int -> unit
 val value : counter -> int
+(** The counter's value in the current registry. *)
 
 val timer : group:string -> name:string -> timer
-(** Registers (or retrieves) the timer [group.name]. *)
+(** Registers (or retrieves) the timer descriptor [group.name]. *)
 
 val record : timer -> float -> unit
-(** Accrues an externally measured interval (seconds) to the timer and
-    bumps its interval count. *)
+(** Accrues an externally measured interval (seconds) to the timer in
+    the current registry and bumps its interval count. *)
 
 val time : timer -> (unit -> 'a) -> 'a
 (** Runs the thunk, accruing its monotonic wall-clock duration; the
     interval is recorded even if the thunk raises. *)
 
-val reset : unit -> unit
-(** Zeroes every registered counter and timer (registrations persist). *)
+val reset : ?registry:Registry.t -> unit -> unit
+(** Zeroes every counter and timer value in the registry (default: the
+    current one).  Registrations persist. *)
 
 type snapshot = (string * int) list
 (** Counter values keyed ["group.name"], sorted by key. *)
 
-val snapshot : unit -> snapshot
+val snapshot : ?registry:Registry.t -> unit -> snapshot
 (** All registered counters, including zero-valued ones. *)
 
 val find : snapshot -> string -> int
 (** [find snap "group.name"] is the counter's value, or [0] when the
     counter is not in the snapshot. *)
 
-val timings : unit -> (string * float * int) list
+val merge_snapshots : snapshot -> snapshot -> snapshot
+(** Key-wise sum of two snapshots (used to aggregate per-unit batch
+    statistics deterministically). *)
+
+val timings : ?registry:Registry.t -> unit -> (string * float * int) list
 (** [("group.name", total_seconds, intervals)] for every registered
     timer, sorted by key. *)
 
-val render_stats : unit -> string
+val render_stats : ?registry:Registry.t -> unit -> string
 (** The [-print-stats] table: one right-aligned value per line with its
     group, name and description, Clang [Statistic] style.  Zero-valued
     counters are omitted, like Clang's. *)
 
-val render_time_report : unit -> string
+val render_time_report : ?registry:Registry.t -> unit -> string
 (** The [-ftime-report] table: per-group sections of wall-time lines
     with percentage-of-group and interval counts, plus group totals. *)

@@ -17,6 +17,8 @@ let () =
       ("schedule", Test_schedule.suite);
       ("stats", Test_stats.suite);
       ("driver", Test_driver.suite);
+      ("batch", Test_batch.suite);
+      ("cache", Test_cache.suite);
       ("goldens", Test_goldens.suite);
       ("e2e", Test_e2e.suite);
       ("fuzz", Test_fuzz.suite);

@@ -1,0 +1,171 @@
+(* Compile-cache suite: content addressing over the preprocessed stream,
+   hit/miss behaviour under option and define changes, counter surfacing,
+   and isolation of the IR copies a hit hands out. *)
+
+open Helpers
+module Driver = Mc_core.Driver
+module Invocation = Mc_core.Invocation
+module Instance = Mc_core.Instance
+module Batch = Mc_core.Batch
+module Cache = Mc_core.Cache
+module Stats = Mc_support.Stats
+
+let source =
+  "void record(long x);\nint main(void) {\nlong s = 0;\n\
+   #pragma omp unroll partial(N)\n\
+   for (int i = 0; i < 40; i += 1) s += i;\nrecord(s);\nreturn 0; }"
+
+let cached_invocation =
+  { Invocation.default with Invocation.cache_enabled = true;
+    defines = [ ("N", "2") ] }
+
+let compile inst src =
+  let c = Instance.compile inst src in
+  if Mc_diag.Diagnostics.has_errors c.Instance.c_result.Driver.diag then
+    Alcotest.failf "compile failed:\n%s"
+      (Mc_diag.Diagnostics.render_all c.Instance.c_result.Driver.diag);
+  c
+
+let test_second_compile_hits () =
+  let cache = Cache.create () in
+  let inst = Instance.create ~cache cached_invocation in
+  let first = compile inst source in
+  Alcotest.(check bool) "first is a miss" false first.Instance.c_cache_hit;
+  Alcotest.(check int) "one entry stored" 1 (Cache.length cache);
+  let second = compile inst source in
+  Alcotest.(check bool) "second is a hit" true second.Instance.c_cache_hit;
+  (* The cached result is behaviourally identical: same execution trace,
+     same counter snapshot as the original compilation. *)
+  let trace r =
+    match Instance.run inst r with
+    | Ok o -> trace_to_string o.Mc_interp.Interp.trace
+    | Error e -> Alcotest.failf "run failed: %s" e
+  in
+  Alcotest.(check string) "same trace"
+    (trace first.Instance.c_result)
+    (trace second.Instance.c_result);
+  Alcotest.(check (list (pair string int))) "same stats snapshot"
+    first.Instance.c_result.Driver.stats second.Instance.c_result.Driver.stats;
+  (* Hit/miss counters surface in the instance registry. *)
+  let snap = Instance.stats inst in
+  Alcotest.(check int) "cache.hits" 1 (Stats.find snap "cache.hits");
+  Alcotest.(check int) "cache.misses" 1 (Stats.find snap "cache.misses")
+
+let test_define_change_misses () =
+  let cache = Cache.create () in
+  let run_with defines =
+    let inv = { cached_invocation with Invocation.defines } in
+    let inst = Instance.create ~cache inv in
+    (compile inst source).Instance.c_cache_hit
+  in
+  Alcotest.(check bool) "cold" false (run_with [ ("N", "2") ]);
+  Alcotest.(check bool) "same -D hits" true (run_with [ ("N", "2") ]);
+  (* A -D change that alters expansion is a different translation unit. *)
+  Alcotest.(check bool) "changed -D misses" false (run_with [ ("N", "4") ]);
+  Alcotest.(check int) "two entries" 2 (Cache.length cache)
+
+let test_option_change_misses () =
+  let cache = Cache.create () in
+  let hit_with inv =
+    let inst = Instance.create ~cache inv in
+    (compile inst source).Instance.c_cache_hit
+  in
+  Alcotest.(check bool) "cold" false (hit_with cached_invocation);
+  Alcotest.(check bool) "irbuilder differs" false
+    (hit_with { cached_invocation with Invocation.use_irbuilder = true });
+  Alcotest.(check bool) "-O0 differs" false
+    (hit_with { cached_invocation with Invocation.opt_level = 0 });
+  Alcotest.(check bool) "original still hits" true (hit_with cached_invocation)
+
+let test_comment_change_still_hits () =
+  (* Content addressing is post-preprocessing: edits the preprocessor
+     erases (comments, whitespace) keep the content address. *)
+  let cache = Cache.create () in
+  let inst = Instance.create ~cache cached_invocation in
+  ignore (compile inst source);
+  let commented = "/* a comment the lexer drops */\n" ^ source ^ "\n\n" in
+  let c = compile inst commented in
+  Alcotest.(check bool) "comment-only change hits" true c.Instance.c_cache_hit
+
+let test_hits_are_isolated_copies () =
+  let cache = Cache.create () in
+  let inst = Instance.create ~cache cached_invocation in
+  let first = compile inst source in
+  let a = compile inst source in
+  let b = compile inst source in
+  let ir r = Option.get r.Instance.c_result.Driver.ir in
+  Alcotest.(check bool) "distinct modules" true (ir a != ir b);
+  (* Mutating one hit's copy must not corrupt the next hit. *)
+  let m = ir a in
+  m.Mc_ir.Ir.m_funcs <- [];
+  let c = compile inst source in
+  Alcotest.(check string) "later hit unaffected"
+    (Mc_ir.Printer.module_to_string (ir first))
+    (Mc_ir.Printer.module_to_string (ir c))
+
+let test_warnings_prevent_caching () =
+  (* A unit that produced diagnostics is not cached: a hit skips parse
+     and sema, so caching it would silently drop its warnings. *)
+  (* [cached_invocation] predefines N on the command line, so the
+     in-source #define reliably triggers "'N' macro redefined". *)
+  let warning_source =
+    "#define N 3\nvoid record(long x);\nint main(void) {\n\
+     for (int i = 0; i < N; i += 1) record(i);\nreturn 0; }"
+  in
+  let cache = Cache.create () in
+  let inst = Instance.create ~cache cached_invocation in
+  let first = Instance.compile inst warning_source in
+  let warned =
+    Mc_diag.Diagnostics.warning_count first.Instance.c_result.Driver.diag > 0
+  in
+  (* Only meaningful if this source indeed warns; guard so the test fails
+     loudly if the diagnostic disappears. *)
+  Alcotest.(check bool) "source produces a warning" true warned;
+  Alcotest.(check int) "not stored" 0 (Cache.length cache);
+  let second = Instance.compile inst warning_source in
+  Alcotest.(check bool) "recompile, with warnings again" false
+    second.Instance.c_cache_hit;
+  Alcotest.(check bool) "warning replayed" true
+    (Mc_diag.Diagnostics.warning_count second.Instance.c_result.Driver.diag > 0)
+
+let test_batch_cache_hit_rate () =
+  (* Recompiling the same batch with a shared cache: every unit hits. *)
+  let inputs =
+    List.init 6 (fun i ->
+        ( Printf.sprintf "u%d.c" i,
+          Printf.sprintf
+            "void record(long x);\nint main(void) { long s = 0;\n\
+             for (int i = 0; i < %d; i += 1) s += i;\nrecord(s);\nreturn 0; }"
+            (10 + i) ))
+  in
+  let cache = Cache.create () in
+  let invocation = { Invocation.default with Invocation.cache_enabled = true } in
+  let cold = Batch.compile ~jobs:3 ~cache ~invocation inputs in
+  Alcotest.(check int) "cold: no hits" 0 (Batch.hits cold);
+  let warm = Batch.compile ~jobs:3 ~cache ~invocation inputs in
+  Alcotest.(check int) "warm: all hits" (List.length inputs) (Batch.hits warm);
+  Alcotest.(check bool) "warm all ok" true (Batch.all_ok warm);
+  (* The merged batch stats surface the hit counters. *)
+  Alcotest.(check int) "merged cache.hits" (List.length inputs)
+    (Stats.find warm.Batch.stats "cache.hits");
+  (* Warm results still execute correctly. *)
+  List.iter
+    (fun u ->
+      match u.Batch.u_result with
+      | Ok r -> (
+        match Driver.run r with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "%s: %s" u.Batch.u_name e)
+      | Error e -> Alcotest.failf "%s: %s" u.Batch.u_name e)
+    warm.Batch.units
+
+let suite =
+  [
+    tc "second compile is a hit" test_second_compile_hits;
+    tc "-D change is a miss" test_define_change_misses;
+    tc "backend option change is a miss" test_option_change_misses;
+    tc "comment-only change still hits" test_comment_change_still_hits;
+    tc "hits hand out isolated IR copies" test_hits_are_isolated_copies;
+    tc "diagnosed units are not cached" test_warnings_prevent_caching;
+    tc "warm batch hits 100%" test_batch_cache_hit_rate;
+  ]
