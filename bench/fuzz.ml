@@ -1,0 +1,81 @@
+(* The standalone fuzzing driver behind the CI smoke step:
+
+     fuzz -n 500 -seed 1 -jobs 1,4 -corpus examples -out fuzz-failures
+
+   drives [Mc_fuzz.Fuzz.run] over generated programs and mutations of the
+   corpus, prints a one-line verdict, writes each (minimized) failing
+   input plus its ICE report into the output directory, and exits
+   non-zero iff the crash-containment invariant was violated. *)
+
+let () =
+  let n = ref 500 in
+  let seed = ref 1 in
+  let jobs = ref "1,4" in
+  let corpus_dir = ref "examples" in
+  let out_dir = ref "fuzz-failures" in
+  let spec =
+    [
+      ("-n", Arg.Set_int n, "NUM  number of inputs (default 500)");
+      ("-seed", Arg.Set_int seed, "SEED  campaign seed (default 1)");
+      ( "-jobs",
+        Arg.Set_string jobs,
+        "LIST  comma-separated domain counts to test (default 1,4)" );
+      ( "-corpus",
+        Arg.Set_string corpus_dir,
+        "DIR  directory of .c files to mutate (default examples)" );
+      ( "-out",
+        Arg.Set_string out_dir,
+        "DIR  where failing inputs are written (default fuzz-failures)" );
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "fuzz [-n NUM] [-seed SEED] [-jobs LIST] [-corpus DIR] [-out DIR]";
+  let corpus =
+    match Sys.readdir !corpus_dir with
+    | entries ->
+      Array.to_list entries
+      |> List.filter (fun f -> Filename.check_suffix f ".c")
+      |> List.sort compare
+      |> List.map (fun f ->
+             In_channel.with_open_text
+               (Filename.concat !corpus_dir f)
+               In_channel.input_all)
+    | exception Sys_error _ -> []
+  in
+  let jobs =
+    String.split_on_char ',' !jobs
+    |> List.filter_map int_of_string_opt
+    |> function
+    | [] -> [ 1; 4 ]
+    | l -> l
+  in
+  let report = Mc_fuzz.Fuzz.run ~corpus ~jobs ~n:!n ~seed:!seed () in
+  match report.Mc_fuzz.Fuzz.failures with
+  | [] ->
+    Printf.printf
+      "fuzz: OK: %d inputs (seed %d, %d corpus file(s)) under -j {%s}: no \
+       escaped exceptions, no ICEs\n"
+      report.Mc_fuzz.Fuzz.total !seed (List.length corpus)
+      (String.concat "," (List.map string_of_int jobs))
+  | failures ->
+    (try Sys.mkdir !out_dir 0o755 with Sys_error _ -> ());
+    List.iteri
+      (fun i f ->
+        let base = Filename.concat !out_dir (Printf.sprintf "fail-%d" i) in
+        Out_channel.with_open_text (base ^ ".c") (fun oc ->
+            Out_channel.output_string oc f.Mc_fuzz.Fuzz.fz_source);
+        Out_channel.with_open_text (base ^ ".txt") (fun oc ->
+            Printf.fprintf oc "input: %s\njobs: %d\n%s\n"
+              f.Mc_fuzz.Fuzz.fz_name f.Mc_fuzz.Fuzz.fz_jobs
+              f.Mc_fuzz.Fuzz.fz_message);
+        Printf.eprintf "fuzz: FAIL %s (-j %d): %s\n  minimized: %s.c\n"
+          f.Mc_fuzz.Fuzz.fz_name f.Mc_fuzz.Fuzz.fz_jobs
+          (match String.index_opt f.Mc_fuzz.Fuzz.fz_message '\n' with
+          | Some nl -> String.sub f.Mc_fuzz.Fuzz.fz_message 0 nl
+          | None -> f.Mc_fuzz.Fuzz.fz_message)
+          base)
+      failures;
+    Printf.eprintf "fuzz: %d/%d inputs violated crash containment\n"
+      (List.length failures) report.Mc_fuzz.Fuzz.total;
+    exit 1

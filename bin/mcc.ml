@@ -18,15 +18,32 @@ module Instance = Mc_core.Instance
 module Batch = Mc_core.Batch
 module Diag = Mc_diag.Diagnostics
 module Stats = Mc_support.Stats
+module Crash_recovery = Mc_support.Crash_recovery
 
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("mcc: " ^ msg); exit 1) fmt
+
+(* A contained internal compiler error: per-unit report in the style of
+   Clang's "PLEASE submit a bug report" banner, naming the pipeline phase,
+   the source watermark and the reproducer bundle (when one was written). *)
+let report_ice ~name (f : Instance.failure) =
+  let ice = f.Instance.f_ice in
+  Printf.eprintf "mcc: internal compiler error compiling %s: %s (phase: %s%s)\n"
+    name ice.Crash_recovery.ice_exn ice.Crash_recovery.ice_phase
+    (match ice.Crash_recovery.ice_location with
+    | Some l -> ", near " ^ l
+    | None -> "");
+  match f.Instance.f_reproducer with
+  | Some dir ->
+    Printf.eprintf "mcc: note: reproducer bundle written to %s (see repro.sh)\n"
+      dir
+  | None -> ()
 
 (* Frontend-only actions run one file at a time; each file gets its own
    registry (a compilation resets the registry it is scoped to), merged
    into the process instance so the exit reports cover every file. *)
 let frontend_unit inst (name, source) =
   let sub = Instance.create ?cache:(Instance.cache inst) (Instance.invocation inst) in
-  let r = Instance.frontend sub ~name source in
+  let r = Instance.frontend_safe sub ~name source in
   Stats.Registry.merge ~into:(Instance.registry inst) (Instance.registry sub);
   r
 
@@ -39,7 +56,11 @@ let run_frontend_action inst units =
   let failed = ref false in
   List.iter
     (fun (name, source) ->
-      let diag, tu = frontend_unit inst (name, source) in
+      match frontend_unit inst (name, source) with
+      | Error f ->
+        report_ice ~name f;
+        failed := true
+      | Ok (diag, tu) -> (
       prerr_string (Diag.render_all diag);
       if Diag.has_errors diag then failed := true;
       match inv.Invocation.action with
@@ -81,7 +102,7 @@ let run_frontend_action inst units =
                 body
             | _ -> ())
           tu.Mc_ast.Tree.tu_decls
-      | Invocation.Run | Invocation.Emit_ir -> assert false)
+      | Invocation.Run | Invocation.Emit_ir -> assert false))
     units;
   if !failed then exit 1
 
@@ -89,22 +110,31 @@ let run_compile_action inst units =
   let inv = Instance.invocation inst in
   let batch = Batch.compile_into inst units in
   let failed = ref false in
-  (* Per-file diagnostics, in input order whatever the domain schedule. *)
+  (* Per-file diagnostics, in input order whatever the domain schedule.
+     A contained ICE fails that unit alone: its siblings keep going. *)
   List.iter
     (fun u ->
       match u.Batch.u_result with
-      | Error msg ->
-        Printf.eprintf "mcc: internal error compiling %s: %s\n" u.Batch.u_name
-          msg;
+      | Error f ->
+        report_ice ~name:u.Batch.u_name f;
         failed := true
       | Ok r ->
         prerr_string (Diag.render_all r.Driver.diag);
         if Diag.has_errors r.Driver.diag then failed := true)
     batch.Batch.units;
-  if !failed then exit 1;
+  if List.length batch.Batch.units > 1 then
+    Printf.eprintf
+      "[mcc: %d unit(s): %d error(s), %d codegen error(s), %d ICE(s), %d \
+       cache hit(s), %d domain(s), %.3fs]\n"
+      (List.length batch.Batch.units)
+      (Batch.errors batch) (Batch.codegen_errors batch) (Batch.ices batch)
+      (Batch.hits batch) batch.Batch.jobs batch.Batch.wall;
   List.iter
     (fun u ->
-      let r = match u.Batch.u_result with Ok r -> r | Error _ -> assert false in
+      match u.Batch.u_result with
+      | Error _ -> () (* already reported; siblings proceed *)
+      | Ok r when Diag.has_errors r.Driver.diag -> ()
+      | Ok r ->
       if inv.Invocation.stage_timings then begin
         let t = r.Driver.timings in
         Printf.eprintf
@@ -124,7 +154,7 @@ let run_compile_action inst units =
           (match r.Driver.codegen_error with
           | Some e -> Printf.eprintf "codegen error: %s\n" e
           | None -> ());
-          exit 1)
+          failed := true)
       | Invocation.Run -> (
         let config =
           {
@@ -148,12 +178,14 @@ let run_compile_action inst units =
             outcome.Mc_interp.Interp.steps
         | Error msg ->
           prerr_endline msg;
-          exit 1)
+          failed := true)
       | _ -> assert false)
-    batch.Batch.units
+    batch.Batch.units;
+  if !failed then exit 1
 
 let main files action irbuilder opt_level no_fold num_threads jobs use_cache
-    defines stage_timings time_report print_stats =
+    defines stage_timings time_report print_stats error_limit bracket_depth
+    loop_nest_limit gen_reproducer =
   let defines =
     List.map
       (fun d ->
@@ -178,6 +210,10 @@ let main files action irbuilder opt_level no_fold num_threads jobs use_cache
       stage_timings;
       time_report;
       print_stats;
+      error_limit = max 0 error_limit;
+      bracket_depth = max 1 bracket_depth;
+      loop_nest_limit = max 1 loop_nest_limit;
+      gen_reproducer;
     }
   in
   let inst = Instance.create inv in
@@ -275,6 +311,40 @@ let print_stats_arg =
     & info [ "print-stats" ]
         ~doc:"Print the pipeline's statistic counters (Clang's -print-stats)")
 
+let error_limit_arg =
+  Arg.(
+    value
+    & opt int Invocation.default.Invocation.error_limit
+    & info [ "ferror-limit" ] ~docv:"N"
+        ~doc:"Stop emitting diagnostics after $(docv) errors (0 = unlimited)")
+
+let bracket_depth_arg =
+  Arg.(
+    value
+    & opt int Invocation.default.Invocation.bracket_depth
+    & info [ "fbracket-depth" ] ~docv:"N"
+        ~doc:"Maximum expression/statement nesting depth the parser accepts")
+
+let loop_nest_limit_arg =
+  Arg.(
+    value
+    & opt int Invocation.default.Invocation.loop_nest_limit
+    & info [ "floop-nest-limit" ] ~docv:"N"
+        ~doc:"Maximum loop-nest depth a directive may request (collapse/sizes)")
+
+let gen_reproducer_arg =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( false,
+            info [ "fno-crash-diagnostics" ]
+              ~doc:"Do not write ICE reproducer bundles" );
+          ( true,
+            info [ "gen-reproducer" ]
+              ~doc:"Write an ICE reproducer bundle on crashes (the default)" );
+        ])
+
 let cmd =
   let doc = "mini-Clang with OpenMP loop transformations (paper reproduction)" in
   Cmd.v
@@ -282,7 +352,8 @@ let cmd =
     Term.(
       const main $ files_arg $ action_arg $ irbuilder_arg $ opt_arg
       $ no_fold_arg $ threads_arg $ jobs_arg $ cache_arg $ defines_arg
-      $ timings_arg $ time_report_arg $ print_stats_arg)
+      $ timings_arg $ time_report_arg $ print_stats_arg $ error_limit_arg
+      $ bracket_depth_arg $ loop_nest_limit_arg $ gen_reproducer_arg)
 
 (* Clang spells long options with a single dash (-ftime-report, -emit-ir);
    cmdliner only parses them with two.  Accept the Clang spelling by
@@ -292,7 +363,8 @@ let long_flags =
     "ast-dump"; "ast-dump-shadow"; "ast-print"; "print-transformed";
     "emit-ir"; "syntax-only"; "fsyntax-only"; "fopenmp-enable-irbuilder";
     "no-builder-folding"; "num-threads"; "stage-timings"; "ftime-report";
-    "print-stats"; "cache"; "jobs";
+    "print-stats"; "cache"; "jobs"; "ferror-limit"; "fbracket-depth";
+    "floop-nest-limit"; "fno-crash-diagnostics"; "gen-reproducer";
   ]
 
 let normalize_argv argv =

@@ -38,6 +38,7 @@ let stmt_class_name s =
   | Captured _ -> "CapturedStmt"
   | Omp_canonical_loop _ -> "OMPCanonicalLoop"
   | Omp_directive d -> directive_class_name d.dir_kind
+  | Error_stmt _ -> "ErrorStmt"
 
 let expr_class_name e =
   match e.e_kind with
@@ -56,6 +57,7 @@ let expr_class_name e =
   | Implicit_cast _ -> "ImplicitCastExpr"
   | C_style_cast _ -> "CStyleCastExpr"
   | Sizeof_type _ -> "UnaryExprOrTypeTraitExpr"
+  | Recovery_expr _ -> "RecoveryExpr"
 
 let clause_class_name = function
   | C_num_threads _ -> "OMPNumThreadsClause"

@@ -86,6 +86,11 @@ let rec expr_node st e =
   | C_style_cast (_, a) -> node (Printf.sprintf "%s '%s'" lbl ty) [ expr_node st a ]
   | Sizeof_type t ->
     leaf (Printf.sprintf "%s '%s' sizeof '%s'" lbl ty (ty_str t))
+  | Recovery_expr subs ->
+    (* Clang spells the dependence bit out on RecoveryExpr lines. *)
+    node
+      (Printf.sprintf "%s '%s' contains-errors" lbl ty)
+      (List.map (expr_node st) subs)
 
 and var_node st v =
   let n, first = ordinal st v in
@@ -265,6 +270,8 @@ and stmt_node st ~shadow s =
         | None -> []
     in
     node lbl (clause_nodes @ assoc @ shadow_nodes)
+  | Error_stmt ss ->
+    node (lbl ^ " contains-errors") (List.map (stmt_node st ~shadow) ss)
 
 (* ---- rendering -------------------------------------------------------- *)
 

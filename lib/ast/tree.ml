@@ -106,7 +106,13 @@ and cast_kind =
   | CK_float_to_bool
   | CK_pointer
 
-and expr = { e_id : int; e_kind : expr_kind; e_ty : ctype; e_loc : loc }
+and expr = {
+  e_id : int;
+  e_kind : expr_kind;
+  e_ty : ctype;
+  e_loc : loc;
+  mutable e_contains_errors : bool; (* RecoveryExpr below, or in a child *)
+}
 
 and expr_kind =
   | Int_lit of int64
@@ -124,12 +130,20 @@ and expr_kind =
   | Implicit_cast of cast_kind * expr
   | C_style_cast of ctype * expr
   | Sizeof_type of ctype
+  | Recovery_expr of expr list
+      (* RecoveryExpr: stands in for an expression that could not be
+         analysed, preserving whatever sub-expressions were recovered *)
 
 (* ------------------------------------------------------------------ *)
 (* Statements (the Stmt hierarchy of Fig. 3/4)                          *)
 (* ------------------------------------------------------------------ *)
 
-and stmt = { s_id : int; s_kind : stmt_kind; s_loc : loc }
+and stmt = {
+  s_id : int;
+  s_kind : stmt_kind;
+  s_loc : loc;
+  mutable s_contains_errors : bool; (* Error_stmt below, or in a child *)
+}
 
 and stmt_kind =
   | Null_stmt
@@ -151,6 +165,9 @@ and stmt_kind =
   | Captured of captured (* CapturedStmt *)
   | Omp_canonical_loop of canonical_loop (* the §3 meta node *)
   | Omp_directive of directive (* OMPExecutableDirective family *)
+  | Error_stmt of stmt list
+      (* stands in for a statement that could not be analysed (e.g. a
+         broken directive), preserving whatever was recovered *)
 
 and case_label = {
   case_value : int64; (* evaluated constant *)
@@ -371,13 +388,105 @@ let stat_stmts =
   Mc_support.Stats.counter ~group:"ast" ~name:"stmts-created"
     ~desc:"statement nodes created" ()
 
+(* [contains_errors] propagation, Clang's [Expr::containsErrors] /
+   [Stmt] dependence bit: computed bottom-up at construction time from
+   the node's direct children (Sema builds strictly bottom-up, so the
+   children's bits are final by the time the parent is made).  These
+   local child walks deliberately stay minimal — the full traversal API
+   lives in [Visit], which depends on this module. *)
+
+let expr_contains_errors (e : expr) = e.e_contains_errors
+let stmt_contains_errors (s : stmt) = s.s_contains_errors
+
+let var_init_contains_errors (v : var) =
+  match v.v_init with Some e -> e.e_contains_errors | None -> false
+
+let clause_contains_errors = function
+  | C_num_threads e | C_collapse (_, e) | C_simdlen (_, e) | C_if e ->
+    e.e_contains_errors
+  | C_schedule (_, chunk) -> (
+    match chunk with Some e -> e.e_contains_errors | None -> false)
+  | C_partial factor -> (
+    match factor with Some (_, e) -> e.e_contains_errors | None -> false)
+  | C_sizes l | C_permutation l ->
+    List.exists (fun (_, e) -> e.e_contains_errors) l
+  | C_full | C_nowait | C_private _ | C_firstprivate _ | C_shared _
+  | C_reduction _ -> false
+
+let expr_kind_contains_errors = function
+  | Recovery_expr _ -> true
+  | Paren e | Unary (_, e) | Implicit_cast (_, e) | C_style_cast (_, e) ->
+    e.e_contains_errors
+  | Binary (_, a, b) | Assign (_, a, b) | Subscript (a, b) ->
+    a.e_contains_errors || b.e_contains_errors
+  | Conditional (a, b, c) ->
+    a.e_contains_errors || b.e_contains_errors || c.e_contains_errors
+  | Call (f, args) ->
+    f.e_contains_errors || List.exists (fun a -> a.e_contains_errors) args
+  | Int_lit _ | Float_lit _ | String_lit _ | Decl_ref _ | Fn_ref _
+  | Sizeof_type _ -> false
+
+let stmt_kind_contains_errors = function
+  | Error_stmt _ -> true
+  | Compound ss -> List.exists (fun s -> s.s_contains_errors) ss
+  | Expr_stmt e -> e.e_contains_errors
+  | Decl_stmt vars -> List.exists var_init_contains_errors vars
+  | If (c, t, e) ->
+    c.e_contains_errors || t.s_contains_errors
+    || (match e with Some s -> s.s_contains_errors | None -> false)
+  | Switch (e, s) | While (e, s) | Do_while (s, e) ->
+    e.e_contains_errors || s.s_contains_errors
+  | Case { case_expr; case_body; _ } ->
+    case_expr.e_contains_errors || case_body.s_contains_errors
+  | Default s | Attributed (_, s) -> s.s_contains_errors
+  | For { for_init; for_cond; for_inc; for_body } ->
+    (match for_init with Some s -> s.s_contains_errors | None -> false)
+    || (match for_cond with Some e -> e.e_contains_errors | None -> false)
+    || (match for_inc with Some e -> e.e_contains_errors | None -> false)
+    || for_body.s_contains_errors
+  | Range_for rf -> rf.rf_range.e_contains_errors || rf.rf_body.s_contains_errors
+  | Return e -> (
+    match e with Some e -> e.e_contains_errors | None -> false)
+  | Captured c -> c.cap_body.s_contains_errors
+  | Omp_canonical_loop ocl -> ocl.ocl_loop.s_contains_errors
+  | Omp_directive d ->
+    List.exists clause_contains_errors d.dir_clauses
+    || (match d.dir_assoc with Some s -> s.s_contains_errors | None -> false)
+  | Null_stmt | Break | Continue -> false
+
 let mk_expr ~ty ~loc kind =
   Mc_support.Stats.incr stat_exprs;
-  { e_id = fresh_id (); e_kind = kind; e_ty = ty; e_loc = loc }
+  {
+    e_id = fresh_id ();
+    e_kind = kind;
+    e_ty = ty;
+    e_loc = loc;
+    e_contains_errors = expr_kind_contains_errors kind;
+  }
 
 let mk_stmt ~loc kind =
   Mc_support.Stats.incr stat_stmts;
-  { s_id = fresh_id (); s_kind = kind; s_loc = loc }
+  {
+    s_id = fresh_id ();
+    s_kind = kind;
+    s_loc = loc;
+    s_contains_errors = stmt_kind_contains_errors kind;
+  }
+
+(* For post-hoc marking: Sema discovers some errors only after the node
+   exists (e.g. directive-level analysis failures); the parent built
+   afterwards still picks the bit up through its constructor. *)
+let mark_stmt_errors (s : stmt) = s.s_contains_errors <- true
+
+let fn_contains_errors (fn : fn) =
+  match fn.fn_body with Some b -> b.s_contains_errors | None -> false
+
+let tu_contains_errors tu =
+  List.exists
+    (function
+      | Tu_fn fn -> fn_contains_errors fn
+      | Tu_var v -> var_init_contains_errors v)
+    tu.tu_decls
 
 let mk_directive ?assoc ~kind ~clauses ~loc () =
   {

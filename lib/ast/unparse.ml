@@ -25,6 +25,7 @@ let rec expr_prec e =
   | Conditional _ -> 3
   | Assign _ -> 2
   | Implicit_cast (_, inner) -> expr_prec inner
+  | Recovery_expr _ -> 16 (* rendered as an atomic placeholder *)
 
 let rec emit e =
   match e.e_kind with
@@ -56,6 +57,10 @@ let rec emit e =
   | Implicit_cast (_, a) -> emit a (* implicit casts have no spelling *)
   | C_style_cast (ty, a) -> Printf.sprintf "(%s)%s" (Ctype.to_string ty) (sub a 14)
   | Sizeof_type ty -> Printf.sprintf "sizeof(%s)" (Ctype.to_string ty)
+  | Recovery_expr [] -> "<recovery-expr>()"
+  | Recovery_expr subs ->
+    Printf.sprintf "<recovery-expr>(%s)"
+      (String.concat ", " (List.map emit subs))
 
 and sub e min_prec =
   let s = emit e in
@@ -208,6 +213,10 @@ let rec stmt_lines indent s =
       (directive_name d.dir_kind)
       (if clauses = "" then "" else " " ^ clauses)
     :: List.concat_map (stmt_lines indent) (Option.to_list d.dir_assoc)
+  | Error_stmt [] -> [ pad ^ "<error-stmt>;" ]
+  | Error_stmt ss ->
+    ((pad ^ "<error-stmt> {") :: List.concat_map (stmt_lines (indent + 2)) ss)
+    @ [ pad ^ "}" ]
 
 let stmt_to_string ?(indent = 0) s = String.concat "\n" (stmt_lines indent s) ^ "\n"
 

@@ -9,6 +9,7 @@ let expr_children e =
   | Binary (_, a, b) | Assign (_, a, b) | Subscript (a, b) -> [ a; b ]
   | Conditional (a, b, c) -> [ a; b; c ]
   | Call (f, args) -> f :: args
+  | Recovery_expr subs -> subs
 
 let clause_exprs = function
   | C_num_threads e | C_collapse (_, e) | C_simdlen (_, e) | C_if e -> [ e ]
@@ -24,7 +25,7 @@ let captured_stmts c = [ c.cap_body ]
 let stmt_sub_stmts ~shadow s =
   match s.s_kind with
   | Null_stmt | Expr_stmt _ | Decl_stmt _ | Break | Continue | Return _ -> []
-  | Compound ss -> ss
+  | Compound ss | Error_stmt ss -> ss
   | If (_, then_s, else_s) -> then_s :: Option.to_list else_s
   | Switch (_, body) -> [ body ]
   | Case { case_body; _ } -> [ case_body ]
@@ -49,7 +50,8 @@ let var_exprs v = Option.to_list v.v_init
 
 let stmt_sub_exprs s =
   match s.s_kind with
-  | Null_stmt | Compound _ | Break | Continue | Attributed _ | Captured _ -> []
+  | Null_stmt | Compound _ | Error_stmt _ | Break | Continue | Attributed _
+  | Captured _ -> []
   | Expr_stmt e -> [ e ]
   | Decl_stmt vars -> List.concat_map var_exprs vars
   | If (c, _, _) | Switch (c, _) | While (c, _) | Do_while (_, c) -> [ c ]

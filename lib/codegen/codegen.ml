@@ -170,6 +170,8 @@ and emit_rvalue ctx e : Ir.value =
   | Assign (op, lhs, rhs) -> emit_assign ctx op lhs rhs
   | Conditional (c, a, b) -> emit_conditional ctx c a b e.e_ty
   | Call (callee, args) -> emit_call ctx callee args e.e_ty
+  | Recovery_expr _ ->
+    unsupported "expression contains errors; code generation unavailable"
 
 and ir_function ctx fn =
   match Hashtbl.find_opt ctx.fn_map fn.fn_id with
@@ -611,6 +613,8 @@ let rec emit_stmt ctx s =
     (* Standalone canonical loop (error recovery): emit the literal loop. *)
     ignore (emit_loop_stmt ctx ocl.ocl_loop)
   | Omp_directive d -> emit_omp ctx d
+  | Error_stmt _ ->
+    unsupported "statement contains errors; code generation unavailable"
 
 (* Emit a plain loop statement; returns the latch block for metadata. *)
 and emit_loop_stmt ctx s : Ir.block option =
@@ -1508,6 +1512,11 @@ let emit_function ctx fn body =
   ctx.entry <- None
 
 let emit_translation_unit ?(fold = true) ~mode tu =
+  (* Recovery nodes (RecoveryExpr / ErrorStmt) keep the AST alive after a
+     frontend error, but they have no semantics to lower; refuse the whole
+     unit up front rather than tripping over one mid-function. *)
+  if tu_contains_errors tu then
+    unsupported "translation unit contains errors; code generation unavailable";
   let m = Ir.create_module "a.out" in
   let ctx =
     {

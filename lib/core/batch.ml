@@ -10,10 +10,11 @@
 
 module Stats = Mc_support.Stats
 module Clock = Mc_support.Clock
+module Crash_recovery = Mc_support.Crash_recovery
 
 type unit_result = {
   u_name : string;
-  u_result : (Driver.result, string) result;
+  u_result : (Driver.result, Instance.failure) result;
   u_cache_hit : bool;
   u_stats : Stats.snapshot;
   u_wall : float;
@@ -43,9 +44,18 @@ let compile_units ?cache ~jobs ~invocation inputs =
         let inst = Instance.create ?cache invocation in
         let started = Clock.now () in
         let outcome, hit =
-          match Instance.compile inst ~name source with
-          | { Instance.c_result; c_cache_hit } -> (Ok c_result, c_cache_hit)
-          | exception e -> (Error (Printexc.to_string e), false)
+          match Instance.compile_safe inst ~name source with
+          | Ok { Instance.c_result; c_cache_hit } -> (Ok c_result, c_cache_hit)
+          | Error failure -> (Error failure, false)
+          | exception e ->
+            (* Last-ditch containment: [compile_safe] itself should never
+               raise, but a worker must not die and strand its siblings. *)
+            ( Error
+                {
+                  Instance.f_ice = Crash_recovery.ice_of_exn e;
+                  f_reproducer = None;
+                },
+              false )
         in
         let wall = Clock.now () -. started in
         registries.(i) <- Some (Instance.registry inst);
@@ -121,6 +131,28 @@ let compile_into instance inputs =
   { units; stats = merged_stats units; wall; jobs }
 
 let hits t = List.length (List.filter (fun u -> u.u_cache_hit) t.units)
+
+let ices t =
+  List.length
+    (List.filter (fun u -> Result.is_error u.u_result) t.units)
+
+let codegen_errors t =
+  List.length
+    (List.filter
+       (fun u ->
+         match u.u_result with
+         | Ok r -> r.Driver.codegen_error <> None
+         | Error _ -> false)
+       t.units)
+
+let errors t =
+  List.length
+    (List.filter
+       (fun u ->
+         match u.u_result with
+         | Ok r -> Mc_diag.Diagnostics.has_errors r.Driver.diag
+         | Error _ -> false)
+       t.units)
 
 let all_ok t =
   List.for_all

@@ -14,10 +14,13 @@
 
 type unit_result = {
   u_name : string;
-  u_result : (Driver.result, string) result;
-      (** [Error] carries the text of an escaped internal exception
-          (e.g. an IR verifier failure); ordinary compile errors are an
-          [Ok] result with error diagnostics. *)
+  u_result : (Driver.result, Instance.failure) result;
+      (** [Error] is a contained internal compiler error (phase,
+          exception, watermark, optional reproducer bundle); ordinary
+          compile errors are an [Ok] result with error diagnostics.
+          Workers use {!Instance.compile_safe}, so one unit's ICE —
+          including [Stack_overflow] / [Out_of_memory] — never disturbs
+          its siblings. *)
   u_cache_hit : bool;
   u_stats : Mc_support.Stats.snapshot; (** this unit's registry snapshot *)
   u_wall : float; (** wall seconds spent on this unit *)
@@ -54,5 +57,14 @@ val compile_into : Instance.t -> (string * string) list -> t
 val hits : t -> int
 (** Number of units served from the cache. *)
 
+val ices : t -> int
+(** Units that died with a contained internal compiler error. *)
+
+val codegen_errors : t -> int
+(** Units CodeGen refused ([codegen_error] set, no IR). *)
+
+val errors : t -> int
+(** Units that compiled but produced error diagnostics. *)
+
 val all_ok : t -> bool
-(** No escaped exceptions and no error diagnostics in any unit. *)
+(** No contained ICEs and no error diagnostics in any unit. *)

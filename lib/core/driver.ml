@@ -4,6 +4,8 @@ module Fmgr = Mc_srcmgr.File_manager
 module Buf = Mc_srcmgr.Memory_buffer
 module Stats = Mc_support.Stats
 module Clock = Mc_support.Clock
+module Crash_recovery = Mc_support.Crash_recovery
+module Loc = Mc_srcmgr.Source_location
 
 type options = {
   use_irbuilder : bool;
@@ -12,6 +14,9 @@ type options = {
   verify_ir : bool;
   defines : (string * string) list;
   extra_files : (string * string) list;
+  error_limit : int;
+  bracket_depth : int;
+  loop_nest_limit : int;
 }
 
 let default_options =
@@ -22,7 +27,14 @@ let default_options =
     verify_ir = true;
     defines = [];
     extra_files = [];
+    error_limit = 20;
+    bracket_depth = Mc_parser.Parser.default_bracket_depth;
+    loop_nest_limit = Mc_sema.Sema.default_loop_nest_limit;
   }
+
+let codegen_errors_counter =
+  Stats.counter ~group:"driver" ~name:"codegen-errors"
+    ~desc:"compilations refused by CodeGen (unsupported construct / errors)" ()
 
 type timings = {
   t_lex : float;
@@ -47,6 +59,9 @@ type result = {
    stalls under descheduling and is not comparable across machines); every
    interval also lands in the current [Stats] registry for -ftime-report. *)
 let time stage f =
+  (* The active stage doubles as the crash-recovery phase watermark, so an
+     ICE report can say which pipeline stage blew up. *)
+  Crash_recovery.set_phase stage;
   let start = Clock.now () in
   let v = f () in
   let dt = Clock.now () -. start in
@@ -82,6 +97,11 @@ let preprocess ?(options = default_options) ?(name = "input.c") source =
     (fun (path, contents) -> ignore (Fmgr.add_file fmgr ~path ~contents))
     options.extra_files;
   let diag = Diag.create srcmgr in
+  Diag.set_error_limit diag options.error_limit;
+  (* Let the crash-recovery watermark render "file:line:col" without
+     mc_support depending on the source manager. *)
+  Crash_recovery.set_position_renderer (fun ~file ~offset ->
+      Srcmgr.describe srcmgr (Loc.encode ~file_id:file ~offset));
   let buf = Buf.create ~name ~contents:source in
   (* Stage: raw lexing alone, for the Fig. 1 stage timings. *)
   let _, t_lex =
@@ -113,9 +133,13 @@ let parse_sema pre =
   let sema_mode =
     if options.use_irbuilder then Mc_sema.Sema.Irbuilder else Mc_sema.Sema.Classic
   in
-  let sema = Mc_sema.Sema.create ~mode:sema_mode pre.pp_diag in
+  let sema =
+    Mc_sema.Sema.create ~mode:sema_mode
+      ~loop_nest_limit:options.loop_nest_limit pre.pp_diag
+  in
   time "parse-sema" (fun () ->
-      Mc_parser.Parser.parse_translation_unit sema pre.pp_items)
+      Mc_parser.Parser.parse_translation_unit
+        ~bracket_depth:options.bracket_depth sema pre.pp_items)
 
 let compile_preprocessed pre =
   let options = pre.pp_options in
@@ -150,7 +174,9 @@ let compile_preprocessed pre =
     with
     (* The time codegen spent before bailing out is still real work; keep it
        so stage timings stay truthful on the error path. *)
-    | Error msg, t_codegen -> no_ir (Some msg) t_codegen
+    | Error msg, t_codegen ->
+      Stats.incr codegen_errors_counter;
+      no_ir (Some msg) t_codegen
     | Ok m, t_codegen -> (
       let verify what =
         if options.verify_ir then begin

@@ -15,6 +15,9 @@ type options = {
   verify_ir : bool; (* verify after codegen and passes *)
   defines : (string * string) list; (* -D name=value *)
   extra_files : (string * string) list; (* virtual #include targets *)
+  error_limit : int; (* -ferror-limit (0 = unlimited); default 20 *)
+  bracket_depth : int; (* -fbracket-depth parser recursion guard *)
+  loop_nest_limit : int; (* -floop-nest-limit directive depth cap *)
 }
 
 val default_options : options

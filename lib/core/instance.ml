@@ -5,6 +5,7 @@
 
 module Stats = Mc_support.Stats
 module Diag = Mc_diag.Diagnostics
+module Crash_recovery = Mc_support.Crash_recovery
 
 type t = {
   invocation : Invocation.t;
@@ -51,9 +52,12 @@ type compilation = { c_result : Driver.result; c_cache_hit : bool }
 let cacheable (r : Driver.result) =
   r.Driver.ir <> None && Diag.diagnostics r.Driver.diag = []
 
-let compile t ?(name = "input.c") source =
-  in_scratch_registry t (fun () ->
-      let options = Invocation.to_driver_options t.invocation in
+(* The compile body, run by [compile] / [compile_safe] inside a scratch
+   registry.  Note the ICE-safety property [compile_safe] relies on:
+   [Cache.store] is the last thing that happens on the miss path, so a
+   unit that dies with an escaped exception can never have been cached. *)
+let compile_inner t ~name source =
+  let options = Invocation.to_driver_options t.invocation in
       match t.cache with
       | None ->
         { c_result = Driver.compile ~options ~name source; c_cache_hit = false }
@@ -94,7 +98,52 @@ let compile t ?(name = "input.c") source =
             Cache.store cache key ~ir ~unroll_stats:r.Driver.unroll_stats
               ~stats:r.Driver.stats
           | _ -> ());
-          { c_result = r; c_cache_hit = false }))
+          { c_result = r; c_cache_hit = false })
+
+let compile t ?(name = "input.c") source =
+  in_scratch_registry t (fun () -> compile_inner t ~name source)
+
+(* ---- fault containment ---------------------------------------------------- *)
+
+type failure = {
+  f_ice : Crash_recovery.ice;
+  f_reproducer : string option; (* bundle directory, when one was written *)
+}
+
+let ices_counter =
+  Stats.counter ~group:"driver" ~name:"ices"
+    ~desc:"units contained after an internal compiler error" ()
+
+let contain t ~name ~source f =
+  (* The CrashRecoveryContext analogue.  Everything — including the
+     [Crash_recovery.run] barrier itself — happens inside the scratch
+     registry, so a unit that ICEs still merges whatever counters it
+     accrued into the instance registry, and the registry scoping is
+     restored by [with_registry]'s own protection. *)
+  in_scratch_registry t (fun () ->
+      match Crash_recovery.run f with
+      | Ok v -> Ok v
+      | Error ice ->
+        Stats.incr ices_counter;
+        let reproducer =
+          if t.invocation.Invocation.gen_reproducer then
+            match
+              Reproducer.write ~invocation:t.invocation ~name ~source ~ice
+            with
+            | Ok dir -> Some dir
+            | Error _ -> None
+          else None
+        in
+        Error { f_ice = ice; f_reproducer = reproducer })
+
+let compile_safe t ?(name = "input.c") source =
+  contain t ~name ~source (fun () -> compile_inner t ~name source)
+
+let frontend_safe t ?(name = "input.c") source =
+  contain t ~name ~source (fun () ->
+      Driver.frontend
+        ~options:(Invocation.to_driver_options t.invocation)
+        ~name source)
 
 let frontend t ?name source =
   in_scratch_registry t (fun () ->

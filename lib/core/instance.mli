@@ -48,6 +48,35 @@ val frontend :
   Mc_diag.Diagnostics.t * Mc_ast.Tree.translation_unit
 (** {!Driver.frontend} under the instance registry. *)
 
+(** {1 Fault containment}
+
+    The [clang::CrashRecoveryContext] analogue: the [_safe] entry points
+    convert {e any} exception escaping the pipeline — including
+    [Stack_overflow] and [Out_of_memory] — into a structured {!failure}
+    instead of letting it unwind the embedder, so one broken unit cannot
+    take down a batch or an interactive session. *)
+
+type failure = {
+  f_ice : Mc_support.Crash_recovery.ice;
+    (* phase, exception, source watermark, backtrace *)
+  f_reproducer : string option;
+    (* ICE bundle directory ({!Reproducer}), when one was written *)
+}
+
+val compile_safe :
+  t -> ?name:string -> string -> (compilation, failure) result
+(** {!compile} with fault containment.  On an ICE: the [driver.ices]
+    counter is bumped, a reproducer bundle is written (unless the
+    invocation has [gen_reproducer = false]), whatever statistics the
+    unit accrued before dying still merge into the instance registry —
+    and the unit is guaranteed absent from the compile cache, since
+    storing is the final step of a successful compile. *)
+
+val frontend_safe :
+  t -> ?name:string -> string ->
+  (Mc_diag.Diagnostics.t * Mc_ast.Tree.translation_unit, failure) result
+(** {!frontend} with the same containment. *)
+
 val run :
   t -> ?config:Mc_interp.Interp.config -> Driver.result ->
   (Mc_interp.Interp.outcome, string) Result.t

@@ -29,6 +29,10 @@ type t = {
   stage_timings : bool;
   time_report : bool;
   print_stats : bool;
+  error_limit : int;
+  bracket_depth : int;
+  loop_nest_limit : int;
+  gen_reproducer : bool;
 }
 
 let default =
@@ -47,6 +51,12 @@ let default =
     stage_timings = false;
     time_report = false;
     print_stats = false;
+    (* Resource limits default to the driver's, so
+       [to_driver_options default = Driver.default_options] holds. *)
+    error_limit = Driver.default_options.Driver.error_limit;
+    bracket_depth = Driver.default_options.Driver.bracket_depth;
+    loop_nest_limit = Driver.default_options.Driver.loop_nest_limit;
+    gen_reproducer = true;
   }
 
 let to_driver_options inv =
@@ -57,6 +67,9 @@ let to_driver_options inv =
     verify_ir = inv.verify_ir;
     defines = inv.defines;
     extra_files = inv.extra_files;
+    error_limit = inv.error_limit;
+    bracket_depth = inv.bracket_depth;
+    loop_nest_limit = inv.loop_nest_limit;
   }
 
 let of_driver_options ?(inputs = []) (o : Driver.options) =
@@ -69,6 +82,9 @@ let of_driver_options ?(inputs = []) (o : Driver.options) =
     verify_ir = o.Driver.verify_ir;
     defines = o.Driver.defines;
     extra_files = o.Driver.extra_files;
+    error_limit = o.Driver.error_limit;
+    bracket_depth = o.Driver.bracket_depth;
+    loop_nest_limit = o.Driver.loop_nest_limit;
   }
 
 let input_name = function
@@ -99,8 +115,12 @@ let load_inputs inv =
    (content addressing), so e.g. an unused macro redefinition still
    hits while a used one misses. *)
 let fingerprint inv =
-  Printf.sprintf "irbuilder=%b;optimize=%b;fold=%b;verify=%b"
+  (* The limits are part of the key: raising -ferror-limit can change the
+     diagnostic stream, so a hit must not replay the old one. *)
+  Printf.sprintf
+    "irbuilder=%b;optimize=%b;fold=%b;verify=%b;elimit=%d;bdepth=%d;nlimit=%d"
     inv.use_irbuilder (inv.opt_level > 0) inv.fold inv.verify_ir
+    inv.error_limit inv.bracket_depth inv.loop_nest_limit
 
 (* ---- argv parsing ------------------------------------------------------- *)
 
@@ -167,6 +187,8 @@ let of_argv argv =
         | "no-builder-folding" -> go { inv with fold = false } rest
         | "no-verify-ir" -> go { inv with verify_ir = false } rest
         | "cache" -> go { inv with cache_enabled = true } rest
+        | "fno-crash-diagnostics" -> go { inv with gen_reproducer = false } rest
+        | "gen-reproducer" -> go { inv with gen_reproducer = true } rest
         | "stage-timings" -> go { inv with stage_timings = true } rest
         | "ftime-report" -> go { inv with time_report = true } rest
         | "print-stats" -> go { inv with print_stats = true } rest
@@ -189,6 +211,15 @@ let of_argv argv =
                   numeric "num-threads" (fun inv n ->
                       { inv with num_threads = n }));
                 (fun () ->
+                  numeric "ferror-limit" (fun inv n ->
+                      { inv with error_limit = max 0 n }));
+                (fun () ->
+                  numeric "fbracket-depth" (fun inv n ->
+                      { inv with bracket_depth = max 1 n }));
+                (fun () ->
+                  numeric "floop-nest-limit" (fun inv n ->
+                      { inv with loop_nest_limit = max 1 n }));
+                (fun () ->
                   with_value "D" (fun v rest' ->
                       let name, value = split_define v in
                       go
@@ -200,3 +231,49 @@ let of_argv argv =
           | None -> Error (Printf.sprintf "unknown option %S" arg))))
   in
   go { default with inputs = [] } args
+
+(* ---- argv rendering ------------------------------------------------------ *)
+
+(* The inverse of [of_argv] for everything but the inputs: the caller —
+   notably the ICE reproducer writer — supplies its own file names.  Only
+   non-default settings are emitted so the rendered command stays short;
+   the result round-trips through [of_argv]. *)
+let to_argv inv =
+  let d = default in
+  let flag cond f = if cond then [ f ] else [] in
+  let action_flags =
+    match inv.action with
+    | Run -> []
+    | Ast_dump -> [ "-ast-dump" ]
+    | Ast_dump_shadow -> [ "-ast-dump-shadow" ]
+    | Ast_print -> [ "-ast-print" ]
+    | Print_transformed -> [ "-print-transformed" ]
+    | Emit_ir -> [ "-emit-ir" ]
+    | Syntax_only -> [ "-syntax-only" ]
+  in
+  action_flags
+  @ flag inv.use_irbuilder "-fopenmp-enable-irbuilder"
+  @ (if inv.opt_level <> d.opt_level then
+       [ Printf.sprintf "-O%d" inv.opt_level ]
+     else [])
+  @ flag (not inv.fold) "-no-builder-folding"
+  @ flag (not inv.verify_ir) "-no-verify-ir"
+  @ List.map (fun (n, v) -> Printf.sprintf "-D%s=%s" n v) inv.defines
+  @ (if inv.jobs <> d.jobs then [ Printf.sprintf "-j%d" inv.jobs ] else [])
+  @ flag inv.cache_enabled "-cache"
+  @ (if inv.num_threads <> d.num_threads then
+       [ Printf.sprintf "-num-threads=%d" inv.num_threads ]
+     else [])
+  @ flag inv.stage_timings "-stage-timings"
+  @ flag inv.time_report "-ftime-report"
+  @ flag inv.print_stats "-print-stats"
+  @ (if inv.error_limit <> d.error_limit then
+       [ Printf.sprintf "-ferror-limit=%d" inv.error_limit ]
+     else [])
+  @ (if inv.bracket_depth <> d.bracket_depth then
+       [ Printf.sprintf "-fbracket-depth=%d" inv.bracket_depth ]
+     else [])
+  @ (if inv.loop_nest_limit <> d.loop_nest_limit then
+       [ Printf.sprintf "-floop-nest-limit=%d" inv.loop_nest_limit ]
+     else [])
+  @ flag (not inv.gen_reproducer) "-fno-crash-diagnostics"

@@ -37,6 +37,11 @@ type t = {
   stage_timings : bool;
   time_report : bool; (* -ftime-report *)
   print_stats : bool; (* -print-stats *)
+  error_limit : int; (* -ferror-limit N (0 = unlimited) *)
+  bracket_depth : int; (* -fbracket-depth N parser recursion guard *)
+  loop_nest_limit : int; (* -floop-nest-limit N directive depth cap *)
+  gen_reproducer : bool; (* write ICE reproducer bundles (default on);
+                            -fno-crash-diagnostics disables *)
 }
 
 val default : t
@@ -68,4 +73,13 @@ val of_argv : string array -> (t, string) result
     [--emit-ir]), [-fsyntax-only] and [-syntax-only] as synonyms,
     [-j N]/[-jN], [-O 0]/[-O0]/[-O1], [-D NAME=VALUE]/[-DNAME=VALUE],
     [--cache], [-num-threads N], [-ftime-report], [-print-stats],
-    [-stage-timings], and positional input files ([-] for stdin). *)
+    [-stage-timings], the resource limits [-ferror-limit N],
+    [-fbracket-depth N], [-floop-nest-limit N], the reproducer toggles
+    [-gen-reproducer]/[-fno-crash-diagnostics], and positional input
+    files ([-] for stdin). *)
+
+val to_argv : t -> string list
+(** Renders the invocation back to mcc flags — the inverse of {!of_argv}
+    minus the inputs, which the caller appends itself.  Only non-default
+    settings are emitted; used to write the re-runnable command line of
+    an ICE reproducer bundle ({!Reproducer}). *)

@@ -17,15 +17,20 @@ type t = {
   mutable warnings : int;
   mutable consumer : (diagnostic -> unit) option;
   mutable context_notes : diagnostic list; (* innermost first *)
+  mutable error_limit : int; (* -ferror-limit; 0 = unlimited *)
+  mutable suppressed : bool; (* the limit fired; drop further output *)
 }
 
 let create srcmgr =
   { srcmgr; emitted = []; errors = 0; warnings = 0; consumer = None;
-    context_notes = [] }
+    context_notes = []; error_limit = 0; suppressed = false }
 let source_manager t = t.srcmgr
 let note ~loc message = { severity = Note; loc; message; notes = [] }
 
-let report t severity ~loc ?(notes = []) message =
+let set_error_limit t n = t.error_limit <- n
+let error_limit_reached t = t.suppressed
+
+let emit t severity ~loc ~notes message =
   (* [context_notes] is already innermost first, matching how Clang orders
      macro-expansion/instantiation notes (most specific context first) —
      appending it un-reversed preserves that invariant. *)
@@ -36,6 +41,20 @@ let report t severity ~loc ?(notes = []) message =
   | Warning -> t.warnings <- t.warnings + 1
   | Note | Remark -> ());
   match t.consumer with None -> () | Some f -> f d
+
+let report t severity ~loc ?(notes = []) message =
+  if not t.suppressed then
+    if
+      t.error_limit > 0 && t.errors >= t.error_limit
+      && match severity with Error | Fatal -> true | _ -> false
+    then begin
+      (* Clang's -ferror-limit behaviour: one final fatal, then silence —
+         so a cascade on a broken input stops at limit + 1 errors. *)
+      t.suppressed <- true;
+      emit t Fatal ~loc ~notes:[]
+        "too many errors emitted, stopping now [-ferror-limit=]"
+    end
+    else emit t severity ~loc ~notes message
 
 let error t ~loc ?notes message = report t Error ~loc ?notes message
 let warning t ~loc ?notes message = report t Warning ~loc ?notes message

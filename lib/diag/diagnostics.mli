@@ -38,6 +38,15 @@ val error :
 val warning :
   t -> loc:Mc_srcmgr.Source_location.t -> ?notes:diagnostic list -> string -> unit
 
+val set_error_limit : t -> int -> unit
+(** [-ferror-limit N] (0 = unlimited, the default): once [N] errors have
+    been emitted, the next error becomes a single fatal "too many errors
+    emitted, stopping now" and every diagnostic after that is dropped —
+    the engine never crashes or cascades past the limit. *)
+
+val error_limit_reached : t -> bool
+(** Whether the limit fired (further diagnostics are being dropped). *)
+
 val error_count : t -> int
 val warning_count : t -> int
 val has_errors : t -> bool

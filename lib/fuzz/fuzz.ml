@@ -1,0 +1,346 @@
+(* Front-end fuzzing: throw seeded random C + OpenMP programs — and byte-
+   and token-level mutations of real corpus files — at the full pipeline
+   and assert the crash-containment invariant: every input either compiles,
+   produces diagnostics, or is refused by codegen; no input may end in an
+   internal compiler error, let alone an escaped exception, whether the
+   batch runs on 1 domain or N.
+
+   Failing inputs are auto-minimized (greedy line- then span-removal under
+   the "still fails" predicate) so a reproducer is small enough to read. *)
+
+module Batch = Mc_core.Batch
+module Instance = Mc_core.Instance
+module Invocation = Mc_core.Invocation
+module Driver = Mc_core.Driver
+module Crash_recovery = Mc_support.Crash_recovery
+
+(* A tiny deterministic PRNG (xorshift64 star) so every failure
+   reproduces from the campaign seed alone. *)
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let create seed =
+    { state = Int64.add (Int64.mul (Int64.of_int seed) 2654435761L) 1L }
+
+  let next t =
+    let x = t.state in
+    let x = Int64.logxor x (Int64.shift_right_logical x 12) in
+    let x = Int64.logxor x (Int64.shift_left x 25) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 27) in
+    t.state <- x;
+    Int64.to_int (Int64.shift_right_logical (Int64.mul x 0x2545F4914F6CDD1DL) 33)
+
+  let int t bound = if bound <= 0 then 0 else next t mod bound
+  let pick t list = List.nth list (int t (List.length list))
+end
+
+(* ---- generator: random C + OpenMP programs ------------------------------- *)
+
+let rec gen_expr rng depth vars =
+  if depth = 0 || Rng.int rng 3 = 0 then
+    match Rng.int rng 3 with
+    | 0 -> string_of_int (Rng.int rng 20 - 5)
+    | _ when vars <> [] -> Rng.pick rng vars
+    | _ -> string_of_int (Rng.int rng 9 + 1)
+  else
+    let a = gen_expr rng (depth - 1) vars in
+    let b = gen_expr rng (depth - 1) vars in
+    match Rng.int rng 6 with
+    | 0 -> Printf.sprintf "(%s + %s)" a b
+    | 1 -> Printf.sprintf "(%s - %s)" a b
+    | 2 -> Printf.sprintf "(%s * %s)" a b
+    | 3 -> Printf.sprintf "(%s & %s)" a b
+    | 4 -> Printf.sprintf "(%s | %s)" a b
+    | _ -> Printf.sprintf "(%s %% 7 + %s)" a b
+
+let gen_loop_header rng var =
+  let lb = Rng.int rng 5 in
+  let extent = 1 + Rng.int rng 9 in
+  let step = 1 + Rng.int rng 3 in
+  let ub = lb + (extent * step) in
+  match Rng.int rng 4 with
+  | 0 -> Printf.sprintf "for (int %s = %d; %s < %d; %s += %d)" var lb var ub var step
+  | 1 -> Printf.sprintf "for (int %s = %d; %s <= %d; %s += %d)" var lb var ub var step
+  | 2 -> Printf.sprintf "for (int %s = %d; %s > %d; %s -= %d)" var ub var lb var step
+  | _ -> Printf.sprintf "for (int %s = %d; %s != %d; %s += %d)" var lb var (lb + (extent * step)) var step
+
+let gen_pragma rng =
+  match Rng.int rng 8 with
+  | 0 -> Printf.sprintf "#pragma omp unroll partial(%d)\n" (1 + Rng.int rng 5)
+  | 1 -> "#pragma omp unroll full\n"
+  | 2 -> Printf.sprintf "#pragma omp tile sizes(%d)\n" (1 + Rng.int rng 5)
+  | 3 ->
+    Printf.sprintf "#pragma omp tile sizes(%d, %d)\n" (1 + Rng.int rng 4)
+      (1 + Rng.int rng 4)
+  | 4 -> "#pragma omp reverse\n"
+  | 5 -> Printf.sprintf "#pragma omp for collapse(%d)\n" (1 + Rng.int rng 3)
+  | 6 -> "#pragma omp parallel for\n"
+  | _ -> "#pragma omp simd\n"
+
+let gen_program rng =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "int main(void) {\n";
+  Buffer.add_string b "  int acc = 0;\n";
+  let nstmts = 1 + Rng.int rng 4 in
+  for s = 0 to nstmts - 1 do
+    let var = Printf.sprintf "i%d" s in
+    let nest = 1 + Rng.int rng 2 in
+    if Rng.int rng 2 = 0 then Buffer.add_string b (gen_pragma rng);
+    Buffer.add_string b (Printf.sprintf "  %s {\n" (gen_loop_header rng var));
+    let inner = Printf.sprintf "j%d" s in
+    if nest > 1 then begin
+      Buffer.add_string b (Printf.sprintf "    %s {\n" (gen_loop_header rng inner));
+      Buffer.add_string b
+        (Printf.sprintf "      acc = acc + %s;\n"
+           (gen_expr rng 2 [ var; inner; "acc" ]));
+      Buffer.add_string b "    }\n"
+    end
+    else
+      Buffer.add_string b
+        (Printf.sprintf "    acc = acc + %s;\n" (gen_expr rng 2 [ var; "acc" ]));
+    Buffer.add_string b "  }\n"
+  done;
+  Buffer.add_string b "  record(acc);\n  return 0;\n}\n";
+  Buffer.contents b
+
+(* ---- mutators: break real programs --------------------------------------- *)
+
+let mutate_bytes rng src =
+  let n = String.length src in
+  if n = 0 then src
+  else
+    match Rng.int rng 4 with
+    | 0 ->
+      (* delete a span *)
+      let at = Rng.int rng n in
+      let len = min (n - at) (1 + Rng.int rng 24) in
+      String.sub src 0 at ^ String.sub src (at + len) (n - at - len)
+    | 1 ->
+      (* duplicate a span *)
+      let at = Rng.int rng n in
+      let len = min (n - at) (1 + Rng.int rng 24) in
+      String.sub src 0 (at + len) ^ String.sub src at (n - at)
+    | 2 ->
+      (* overwrite one byte with a structure character *)
+      let at = Rng.int rng n in
+      let c = Rng.pick rng [ '('; ')'; '{'; '}'; ';'; ','; '#'; '0'; 'x' ] in
+      String.mapi (fun i old -> if i = at then c else old) src
+    | _ ->
+      (* insert noise *)
+      let at = Rng.int rng n in
+      let noise =
+        Rng.pick rng
+          [ "("; "))"; "{"; "}}"; ";"; "#pragma omp "; "sizes("; "0x"; "\\" ]
+      in
+      String.sub src 0 at ^ noise ^ String.sub src at (n - at)
+
+let token_pool =
+  [
+    "("; ")"; "{"; "}"; ";"; ","; "int"; "for"; "if"; "return"; "0"; "1";
+    "#pragma"; "omp"; "tile"; "unroll"; "sizes"; "partial"; "collapse";
+    "parallel"; "reverse"; "interchange"; "permutation"; "fuse"; "simd";
+    "schedule"; "static"; "dynamic"; "nonsense_clause"; "9999999999";
+  ]
+
+(* A whitespace/punct token split — deliberately cruder than the real lexer,
+   so mutations can produce byte sequences the lexer has to reject. *)
+let split_tokens src =
+  let toks = ref [] and buf = Buffer.create 8 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      toks := Buffer.contents buf :: !toks;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' ->
+        flush ();
+        toks := " " :: !toks
+      | '\n' ->
+        flush ();
+        toks := "\n" :: !toks
+      | '(' | ')' | '{' | '}' | ';' | ',' ->
+        flush ();
+        toks := String.make 1 c :: !toks
+      | _ -> Buffer.add_char buf c)
+    src;
+  flush ();
+  List.rev !toks
+
+let mutate_tokens rng src =
+  let toks = Array.of_list (split_tokens src) in
+  let n = Array.length toks in
+  if n = 0 then src
+  else begin
+    (match Rng.int rng 4 with
+    | 0 -> toks.(Rng.int rng n) <- "" (* drop a token *)
+    | 1 -> toks.(Rng.int rng n) <- Rng.pick rng token_pool (* replace *)
+    | 2 ->
+      let i = Rng.int rng n and j = Rng.int rng n in
+      let t = toks.(i) in
+      toks.(i) <- toks.(j);
+      toks.(j) <- t (* swap two tokens *)
+    | _ ->
+      let i = Rng.int rng n in
+      toks.(i) <- toks.(i) ^ " " ^ Rng.pick rng token_pool (* insert *));
+    String.concat "" (Array.to_list toks)
+  end
+
+(* ---- the invariant -------------------------------------------------------- *)
+
+type failure = {
+  fz_name : string;
+  fz_jobs : int;
+  fz_message : string; (* the ICE description *)
+  fz_source : string; (* minimized source *)
+}
+
+type report = { total : int; failures : failure list }
+
+(* Reproducer bundles off, verifier on: the fuzzer wants the strictest
+   invariant (a verifier failure IS an ICE) without littering the temp
+   dir for every injected failure it then minimizes itself. *)
+let fuzz_invocation = { Invocation.default with Invocation.gen_reproducer = false }
+
+let unit_failure u =
+  match u.Batch.u_result with
+  | Ok _ -> None
+  | Error f -> Some (Crash_recovery.describe f.Instance.f_ice)
+
+(* Compiles the units as one batch on [jobs] domains; returns the inputs
+   that ended in a contained ICE.  [Batch.compile] itself must never
+   raise — if it does, the fuzzer's caller reports the escape, which is
+   exactly the bug the harness exists to find. *)
+let check_batch ~jobs inputs =
+  let batch = Batch.compile ~jobs ~invocation:fuzz_invocation inputs in
+  List.concat_map
+    (fun u ->
+      match unit_failure u with
+      | None -> []
+      | Some msg -> [ (u.Batch.u_name, msg) ])
+    batch.Batch.units
+
+let fails source =
+  match check_batch ~jobs:1 [ ("min.c", source) ] with
+  | [] -> false
+  | _ -> true
+
+(* ---- minimization --------------------------------------------------------- *)
+
+(* Greedy delta-debugging-lite: repeatedly drop line blocks (halves down
+   to single lines), then character spans, keeping any candidate that
+   still fails.  Deterministic and bounded, so CI timing stays stable. *)
+let minimize ?(still_fails = fails) source =
+  let drop_lines src =
+    let n = List.length (String.split_on_char '\n' src) in
+    let rec sweep chunk src_best =
+      if chunk = 0 then src_best
+      else begin
+        let best = ref src_best in
+        let changed = ref true in
+        while !changed do
+          changed := false;
+          let lines_now =
+            Array.of_list (String.split_on_char '\n' !best)
+          in
+          let n_now = Array.length lines_now in
+          let i = ref 0 in
+          while !i < n_now do
+            let a = !i and b = min n_now (!i + chunk) in
+            if n_now > 1 && b > a then begin
+              let cand =
+                let keep = ref [] in
+                Array.iteri
+                  (fun j l -> if j < a || j >= b then keep := l :: !keep)
+                  lines_now;
+                String.concat "\n" (List.rev !keep)
+              in
+              if cand <> !best && still_fails cand then begin
+                best := cand;
+                changed := true;
+                i := n_now (* restart the sweep on the smaller input *)
+              end
+              else i := !i + chunk
+            end
+            else i := !i + chunk
+          done
+        done;
+        sweep (chunk / 2) !best
+      end
+    in
+    sweep (max 1 (n / 2)) src
+  in
+  let drop_spans src =
+    let best = ref src in
+    let span = ref (String.length src / 2) in
+    while !span > 0 do
+      let n = String.length !best in
+      let i = ref 0 in
+      while !i < n do
+        let b = !best in
+        let len = min !span (String.length b - !i) in
+        if len > 0 && String.length b > len then begin
+          let cand =
+            String.sub b 0 !i ^ String.sub b (!i + len) (String.length b - !i - len)
+          in
+          if still_fails cand then best := cand else i := !i + !span
+        end
+        else i := !i + !span
+      done;
+      span := !span / 2
+    done;
+    !best
+  in
+  if still_fails source then drop_spans (drop_lines source) else source
+
+(* ---- campaign ------------------------------------------------------------- *)
+
+let batch_size = 8
+
+let rec chunks k = function
+  | [] -> []
+  | l ->
+    let rec take n acc = function
+      | x :: rest when n > 0 -> take (n - 1) (x :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    let c, rest = take k [] l in
+    c :: chunks k rest
+
+let generate_inputs ~seed ~n ~corpus =
+  let rng = Rng.create seed in
+  List.init n (fun i ->
+      let name = Printf.sprintf "fuzz-%d-%d.c" seed i in
+      let source =
+        match (corpus, Rng.int rng 3) with
+        | [], _ | _, 0 -> gen_program rng
+        | files, 1 -> mutate_bytes rng (Rng.pick rng files)
+        | files, _ -> mutate_tokens rng (Rng.pick rng files)
+      in
+      (name, source))
+
+let run ?(corpus = []) ?(jobs = [ 1; 4 ]) ~n ~seed () =
+  let inputs = generate_inputs ~seed ~n ~corpus in
+  let failures = ref [] in
+  List.iter
+    (fun chunk ->
+      List.iter
+        (fun j ->
+          List.iter
+            (fun (name, msg) ->
+              let source = List.assoc name chunk in
+              let minimized = minimize source in
+              failures :=
+                {
+                  fz_name = name;
+                  fz_jobs = j;
+                  fz_message = msg;
+                  fz_source = minimized;
+                }
+                :: !failures)
+            (check_batch ~jobs:j chunk))
+        jobs)
+    (chunks batch_size inputs);
+  { total = n; failures = List.rev !failures }

@@ -1,0 +1,52 @@
+(** Front-end fuzzing harness for the crash-containment invariant: every
+    input — random generated C + OpenMP programs, and byte/token mutations
+    of real corpus files — must end in ordinary diagnostics, a codegen
+    refusal, or a successful compile.  A contained ICE (or, worse, an
+    escaped exception) on any input, on any domain count, is a bug; the
+    harness minimizes such inputs into small reproducers. *)
+
+module Rng : sig
+  type t
+
+  val create : int -> t
+  (** Deterministic xorshift64* stream from a seed. *)
+
+  val int : t -> int -> int
+  val pick : t -> 'a list -> 'a
+end
+
+val gen_program : Rng.t -> string
+(** A random well-formed C program with OpenMP loop-transformation and
+    worksharing pragmas (canonical loops of assorted comparison/step
+    shapes, nesting, unroll/tile/reverse/collapse/parallel-for/simd). *)
+
+val mutate_bytes : Rng.t -> string -> string
+(** Span deletion/duplication, structural-byte overwrite, noise insertion. *)
+
+val mutate_tokens : Rng.t -> string -> string
+(** Token drop/replace/swap/insert over a crude whitespace/punct split,
+    with replacement tokens biased toward pragma syntax. *)
+
+type failure = {
+  fz_name : string; (* generated input name (embeds seed and index) *)
+  fz_jobs : int; (* domain count the failure was observed under *)
+  fz_message : string; (* ICE description *)
+  fz_source : string; (* auto-minimized failing source *)
+}
+
+type report = { total : int; failures : failure list }
+
+val check_batch : jobs:int -> (string * string) list -> (string * string) list
+(** Compiles the units as one batch on [jobs] domains; returns
+    [(name, ice_description)] for every unit that died in a contained
+    ICE.  Raises only if containment itself is broken. *)
+
+val minimize : ?still_fails:(string -> bool) -> string -> string
+(** Greedy line-block then character-span reduction under the predicate
+    (default: "a 1-domain compile of this source ICEs").  Deterministic. *)
+
+val run :
+  ?corpus:string list -> ?jobs:int list -> n:int -> seed:int -> unit -> report
+(** Runs a campaign: [n] inputs from the seed (generator and mutators over
+    [corpus]), compiled in batches under every domain count in [jobs]
+    (default [[1; 4]]); each failing input is minimized into the report. *)

@@ -18,6 +18,8 @@ type t = {
   sema : Sema.t;
   diag : Diag.t;
   mutable items : Pp.item list;
+  bracket_depth : int; (* -fbracket-depth: max statement/expression nesting *)
+  mutable depth : int; (* current nesting level *)
 }
 
 let eof_token =
@@ -44,7 +46,18 @@ let peek2 t =
 let peek_pragma t =
   match t.items with Pp.Prag p :: _ -> Some p | _ -> None
 
-let advance t = match t.items with [] -> () | _ :: rest -> t.items <- rest
+let advance t =
+  match t.items with
+  | [] -> ()
+  | item :: rest ->
+    (* Crash-recovery watermark: remember the last consumed position so an
+       ICE anywhere downstream can report where in the source it happened. *)
+    (match item with
+    | Pp.Tok { Token.loc; _ } when Loc.is_valid loc ->
+      Mc_support.Crash_recovery.note_source_position ~file:(Loc.file_id loc)
+        ~offset:(Loc.offset loc)
+    | _ -> ());
+    t.items <- rest
 
 let next t =
   let tok = peek t in
@@ -89,6 +102,20 @@ let synchronize t =
       go depth
   in
   go 0
+
+(* -fbracket-depth guard: expression and statement parsing recurse per
+   nesting level, so pathological inputs ("((((...." or "{{{{....") would
+   otherwise turn into a Stack_overflow.  The counter is bumped on the two
+   recursion workhorses (parse_unary, parse_statement); crossing the limit
+   is diagnosed exactly once per excursion and recovered from. *)
+let enter_depth t ~loc =
+  t.depth <- t.depth + 1;
+  if t.depth = t.bracket_depth + 1 then
+    error t ~loc "nesting level exceeds maximum of %d [-fbracket-depth=]"
+      t.bracket_depth;
+  t.depth <= t.bracket_depth
+
+let exit_depth t = t.depth <- t.depth - 1
 
 (* ---- types ---------------------------------------------------------------- *)
 
@@ -286,6 +313,19 @@ and parse_binary t min_prec =
 and parse_unary t =
   let tok = peek t in
   let loc = tok.Token.loc in
+  if not (enter_depth t ~loc) then begin
+    (* Too deep: recover with a RecoveryExpr and let the callers unwind.
+       No token is consumed here — the enclosing statement loop makes
+       progress on the next descent. *)
+    exit_depth t;
+    Sema.act_on_recovery t.sema ~loc ()
+  end
+  else
+    Fun.protect
+      ~finally:(fun () -> exit_depth t)
+      (fun () -> parse_unary_guarded t tok ~loc)
+
+and parse_unary_guarded t tok ~loc =
   let unary op =
     advance t;
     Sema.act_on_unary t.sema op (parse_unary t) ~loc
@@ -398,7 +438,9 @@ and parse_primary t =
     Sema.act_on_paren t.sema e
   | k ->
     error t ~loc "expected expression (found %s)" (Token.describe k);
-    Sema.act_on_int_literal t.sema ~value:0L ~unsigned:false ~long:false ~loc
+    (* RecoveryExpr instead of a placeholder literal: the AST survives,
+       but carries the contains-errors bit so codegen refuses it. *)
+    Sema.act_on_recovery t.sema ~loc ()
 
 (* ---- declarations ------------------------------------------------------------ *)
 
@@ -458,8 +500,18 @@ and parse_decl_stmt t =
 
 (* ---- OpenMP pragmas ------------------------------------------------------------ *)
 
-(* A small cursor over a pragma's token list. *)
+(* Parser-side recovery marking: a directive whose pragma line failed to
+   parse (unknown clause, missing ')', …) must advertise the damage through
+   [contains_errors] just like sema-side analysis failures do, so codegen
+   and tooling see one uniform "this subtree is broken" bit. *)
 and parse_omp_pragma t (p : Pp.pragma) : stmt =
+  let errors_before = Diag.error_count t.diag in
+  let stmt = parse_omp_pragma_inner t p in
+  if Diag.error_count t.diag > errors_before then mark_stmt_errors stmt;
+  stmt
+
+(* A small cursor over a pragma's token list. *)
+and parse_omp_pragma_inner t (p : Pp.pragma) : stmt =
   Mc_support.Stats.incr stat_omp;
   let toks = ref p.Pp.pragma_toks in
   let ploc () =
@@ -555,7 +607,12 @@ and parse_omp_pragma t (p : Pp.pragma) : stmt =
         match k with
         | Some (Token.Ident n) -> n
         | Some (Token.Keyword kw) -> Token.keyword_to_string kw
-        | _ -> assert false
+        | _ ->
+          (* Unreachable: guarded by the enclosing Ident/Keyword pattern —
+             but if the guard ever drifts, report through the ICE path
+             instead of a bare Assert_failure. *)
+          Mc_support.Crash_recovery.internal_error
+            "pragma clause head is neither identifier nor keyword"
       in
       match name with
       | "num_threads" ->
@@ -752,7 +809,7 @@ and parse_omp_pragma t (p : Pp.pragma) : stmt =
         None
     in
     match kind with
-    | None -> mk_stmt ~loc:p.Pp.pragma_loc Null_stmt
+    | None -> mk_stmt ~loc:p.Pp.pragma_loc (Error_stmt [])
     | Some kind ->
       let clauses = parse_clauses [] in
       let assoc =
@@ -804,16 +861,46 @@ and parse_omp_pragma t (p : Pp.pragma) : stmt =
       go ();
       let sub = parse_statement t in
       mk_stmt ~loc:p.Pp.pragma_loc (Attributed (List.rev !hints, sub))
+    | Some (Token.Ident "__debug") -> (
+      (* Clang's deliberate-ICE pragmas ('#pragma clang __debug crash' /
+         'overflow_stack'): the crash lives in the source, so a reproducer
+         bundle written for it replays the failure by construction. *)
+      match pnext () with
+      | Some (Token.Ident "crash") ->
+        Mc_support.Crash_recovery.internal_error
+          "crash requested by '#pragma clang __debug crash'"
+      | Some (Token.Ident "overflow_stack") ->
+        let rec grow n = 1 + grow n in
+        ignore (grow 0);
+        mk_stmt ~loc:p.Pp.pragma_loc Null_stmt
+      | k ->
+        perr "unexpected debug command %s"
+          (match k with Some k -> Token.describe k | None -> "<nothing>");
+        mk_stmt ~loc:p.Pp.pragma_loc (Error_stmt []))
     | _ ->
       perr "unknown clang pragma";
-      parse_statement t)
+      mk_stmt ~loc:p.Pp.pragma_loc (Error_stmt [ parse_statement t ]))
   | _ ->
     perr "unknown pragma namespace";
-    mk_stmt ~loc:p.Pp.pragma_loc Null_stmt
+    mk_stmt ~loc:p.Pp.pragma_loc (Error_stmt [])
 
 (* ---- statements ------------------------------------------------------------- *)
 
 and parse_statement t : stmt =
+  let loc0 = (peek t).Token.loc in
+  if not (enter_depth t ~loc:loc0) then begin
+    (* Too deep ("{{{{…"): diagnose, skip to a synchronisation point so
+       the enclosing loops make progress, and recover. *)
+    exit_depth t;
+    synchronize t;
+    mk_stmt ~loc:loc0 (Error_stmt [])
+  end
+  else
+    Fun.protect
+      ~finally:(fun () -> exit_depth t)
+      (fun () -> parse_statement_guarded t)
+
+and parse_statement_guarded t : stmt =
   match peek_pragma t with
   | Some p ->
     advance t;
@@ -919,7 +1006,7 @@ and parse_statement t : stmt =
     | _ when starts_type t -> parse_decl_stmt t
     | Token.Eof ->
       error t ~loc "unexpected end of file";
-      mk_stmt ~loc Null_stmt
+      mk_stmt ~loc (Error_stmt [])
     | _ ->
       let e = parse_expr t in
       ignore (expect t Token.Semi "after expression statement");
@@ -1122,8 +1209,13 @@ let parse_external_decl t =
       synchronize t
   end
 
-let parse_translation_unit sema items =
-  let t = { sema; diag = Sema.diagnostics sema; items } in
+let default_bracket_depth = 256 (* Clang's -fbracket-depth default *)
+
+let parse_translation_unit ?(bracket_depth = default_bracket_depth) sema items =
+  let bracket_depth = max 1 bracket_depth in
+  let t =
+    { sema; diag = Sema.diagnostics sema; items; bracket_depth; depth = 0 }
+  in
   let rec go () =
     match t.items with
     | [] -> ()
@@ -1133,7 +1225,13 @@ let parse_translation_unit sema items =
       go ()
     | Pp.Tok tok :: _ when Token.is_eof tok -> ()
     | _ ->
+      let before = t.items in
       parse_external_decl t;
+      (* Hard progress guarantee: error recovery may decline to consume a
+         token it expects an enclosing construct to claim (synchronize
+         stops in front of '}'), but at file scope there is no enclosing
+         construct — without this, a stray '}' loops forever. *)
+      if t.items == before then advance t;
       go ()
   in
   go ();

@@ -9,5 +9,14 @@
     (which may itself start with another pragma — that is what makes
     transformation directives composable, §1.1). *)
 
+val default_bracket_depth : int
+(** 256, Clang's [-fbracket-depth] default. *)
+
 val parse_translation_unit :
-  Mc_sema.Sema.t -> Mc_pp.Preprocessor.item list -> Mc_ast.Tree.translation_unit
+  ?bracket_depth:int ->
+  Mc_sema.Sema.t ->
+  Mc_pp.Preprocessor.item list ->
+  Mc_ast.Tree.translation_unit
+(** [?bracket_depth] bounds expression/statement nesting (the
+    [-fbracket-depth] recursion guard): exceeding it is diagnosed and
+    recovered from instead of overflowing the stack. *)

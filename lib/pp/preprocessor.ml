@@ -361,7 +361,10 @@ let eval_condition t (toks : Token.t list) ~loc =
       | Token.Pipe -> Int64.logor a b
       | Token.AmpAmp -> bool ((not (Int64.equal a 0L)) && not (Int64.equal b 0L))
       | Token.PipePipe -> bool ((not (Int64.equal a 0L)) || not (Int64.equal b 0L))
-      | _ -> assert false
+      | _ ->
+        (* [op_level] only admits the punctuators handled above. *)
+        Mc_support.Crash_recovery.internal_error
+          "#if evaluator applied to a non-operator punctuator"
     in
     let rec loop lhs =
       match peek () with

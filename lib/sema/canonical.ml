@@ -282,7 +282,10 @@ let trip_count_expr sema a =
       | Cmp_le -> B_le
       | Cmp_gt -> B_gt
       | Cmp_ge -> B_ge
-      | Cmp_ne -> assert false
+      | Cmp_ne ->
+        (* Excluded by the enclosing match arm. *)
+        Mc_support.Crash_recovery.internal_error
+          "trip-count guard requested for a '!=' canonical loop"
     in
     let guard = bin cmp_op a.cl_init a.cl_bound in
     Sema.act_on_conditional sema guard count (lit 0L) ~loc

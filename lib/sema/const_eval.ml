@@ -87,7 +87,7 @@ let rec eval_int e =
     | Func _ | Void | Array (_, None) -> None
     | _ -> Some (Int64.of_int (Ctype.size_in_bytes ty)))
   | Implicit_cast _ | Assign _ | Decl_ref _ | Fn_ref _ | Call _ | Subscript _
-  | Unary _ | Float_lit _ | String_lit _ ->
+  | Unary _ | Float_lit _ | String_lit _ | Recovery_expr _ ->
     None
 
 let eval_int_as e = Option.map Int64.to_int (eval_int e)

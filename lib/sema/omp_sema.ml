@@ -222,7 +222,7 @@ let act_on_fuse sema ~clauses ~assoc ~loc =
 
 (* ---- main entry ------------------------------------------------------------ *)
 
-let act_on_directive sema ~kind ~clauses ~assoc ~loc =
+let act_on_directive_inner sema ~kind ~clauses ~assoc ~loc =
   let clauses = validate_clauses sema kind clauses ~loc in
   let finish d = mk_stmt ~loc (Omp_directive d) in
   if not (Classify.is_omp_loop_based_directive kind) then begin
@@ -265,6 +265,16 @@ let act_on_directive sema ~kind ~clauses ~assoc ~loc =
     | D_tile when not (List.exists (function C_sizes _ -> true | _ -> false) clauses)
       -> error sema ~loc "'tile' requires a 'sizes' clause"
     | _ -> ());
+    if depth > Sema.loop_nest_limit sema then begin
+      (* A resource limit, not a crash: e.g. [collapse(1000000)] would drive
+         the nest collection (and downstream transformation builders) to an
+         absurd recursion depth.  Diagnose and keep the directive un-analyzed. *)
+      error sema ~loc
+        "directive requires a loop nest of depth %d, which exceeds the maximum of %d [-floop-nest-limit=]"
+        depth (Sema.loop_nest_limit sema);
+      finish (mk_directive ?assoc ~kind ~clauses ~loc ())
+    end
+    else
     match assoc with
     | None ->
       error sema ~loc "loop directive requires an associated loop";
@@ -394,3 +404,14 @@ let act_on_directive sema ~kind ~clauses ~assoc ~loc =
             d.dir_loop_helpers <- Some (Shadow.build_loop_helpers sema loops ~loc);
             finish d))))
   end
+
+let act_on_directive sema ~kind ~clauses ~assoc ~loc =
+  (* Snapshot the error count: if analysing this directive diagnosed
+     anything, the resulting statement is marked [contains_errors] so
+     codegen / the interpreter refuse it instead of running a half-analysed
+     transformation. *)
+  let errors_before = Diag.error_count (Sema.diagnostics sema) in
+  let stmt = act_on_directive_inner sema ~kind ~clauses ~assoc ~loc in
+  if Diag.error_count (Sema.diagnostics sema) > errors_before then
+    mark_stmt_errors stmt;
+  stmt

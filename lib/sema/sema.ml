@@ -2,6 +2,7 @@ open Mc_ast.Tree
 module Ctype = Mc_ast.Ctype
 module Diag = Mc_diag.Diagnostics
 module Int_ops = Mc_support.Int_ops
+module Crash_recovery = Mc_support.Crash_recovery
 module Loc = Mc_srcmgr.Source_location
 
 type mode = Classic | Irbuilder
@@ -17,7 +18,10 @@ type t = {
   mutable current_fn : fn option;
   mutable loop_depth : int;
   mutable switch_stack : (int64 list ref * bool ref) list; (* seen cases, default? *)
+  loop_nest_limit : int; (* -floop-nest-limit; cap on directive loop nests *)
 }
+
+let default_loop_nest_limit = 64
 
 let builtin_signatures =
   [
@@ -33,7 +37,7 @@ let builtin_signatures =
     ("abort", Void, [], false);
   ]
 
-let create ?(mode = Classic) diag =
+let create ?(mode = Classic) ?(loop_nest_limit = default_loop_nest_limit) diag =
   let t =
     {
       diag;
@@ -44,6 +48,7 @@ let create ?(mode = Classic) diag =
       current_fn = None;
       loop_depth = 0;
       switch_stack = [];
+      loop_nest_limit = max 1 loop_nest_limit;
     }
   in
   List.iter
@@ -66,6 +71,7 @@ let create ?(mode = Classic) diag =
 
 let diagnostics t = t.diag
 let mode t = t.sema_mode
+let loop_nest_limit t = t.loop_nest_limit
 let error t ~loc fmt = Printf.ksprintf (fun s -> Diag.error t.diag ~loc s) fmt
 let warn t ~loc fmt = Printf.ksprintf (fun s -> Diag.warning t.diag ~loc s) fmt
 
@@ -160,7 +166,10 @@ let act_on_var_decl t ~name ~ty ~init ~loc =
   | scope :: _ ->
     if Hashtbl.mem scope.vars name then
       error t ~loc "redefinition of '%s'" name
-  | [] -> assert false);
+  | [] ->
+    (* The file scope is pushed at [create] and [pop_scope] refuses to pop
+       it, so an empty scope stack is a compiler invariant violation. *)
+    Crash_recovery.internal_error "variable declared with no scope on the stack");
   (match ty with
   | Void -> error t ~loc "variable '%s' has incomplete type 'void'" name
   | _ -> ());
@@ -177,7 +186,7 @@ let act_on_var_decl t ~name ~ty ~init ~loc =
   let v = mk_var ~name ~ty ~loc ?init () in
   (match t.scopes with
   | scope :: _ -> Hashtbl.replace scope.vars name v
-  | [] -> assert false);
+  | [] -> Crash_recovery.internal_error "variable declared with no scope on the stack");
   if t.current_fn = None then t.decls <- Tu_var v :: t.decls;
   v
 
@@ -213,7 +222,9 @@ let start_function_definition t fn =
     (fun p ->
       match t.scopes with
       | scope :: _ -> Hashtbl.replace scope.vars p.v_name p
-      | [] -> assert false)
+      | [] ->
+        Crash_recovery.internal_error
+          "function parameter bound with no scope on the stack")
     fn.fn_params
 
 let finish_function_definition t fn body =
@@ -259,6 +270,13 @@ let mk_ref v =
   v.v_used <- true;
   mk_expr ~ty:v.v_ty ~loc:v.v_loc (Decl_ref v)
 
+let act_on_recovery _t ?(subexprs = []) ~loc () =
+  (* Clang's RecoveryExpr: a typed placeholder that preserves whatever
+     sub-expressions were recognised before the error, so later phases can
+     keep walking the tree.  Types as [int] so surrounding arithmetic does
+     not cascade; [e_contains_errors] is set by [mk_expr]. *)
+  mk_expr ~ty:Ctype.int_t ~loc (Recovery_expr subexprs)
+
 let act_on_decl_ref t ~name ~loc =
   match lookup_var t name with
   | Some v ->
@@ -269,13 +287,16 @@ let act_on_decl_ref t ~name ~loc =
     | Some fn -> mk_expr ~ty:(Func fn.fn_ty) ~loc (Fn_ref fn)
     | None ->
       error t ~loc "use of undeclared identifier '%s'" name;
-      let v = mk_var ~name ~ty:Ctype.int_t ~loc () in
-      mk_expr ~ty:Ctype.int_t ~loc (Decl_ref v))
+      act_on_recovery t ~loc ())
 
 let act_on_paren _t e = mk_expr ~ty:e.e_ty ~loc:e.e_loc (Paren e)
 
 let require_modifiable t e what =
-  if not (is_lvalue e) then
+  if e.e_contains_errors then
+    (* The operand already carries an error; complaining that a RecoveryExpr
+       is not an lvalue would just cascade. *)
+    ()
+  else if not (is_lvalue e) then
     error t ~loc:e.e_loc "%s requires a modifiable lvalue" what
   else begin
     match e.e_ty with
@@ -320,7 +341,7 @@ let act_on_unary t op operand ~loc =
         (Ctype.to_string ty);
       mk_expr ~ty:Ctype.int_t ~loc (Unary (U_deref, e)))
   | U_addrof ->
-    if not (is_lvalue operand) then
+    if (not (is_lvalue operand)) && not operand.e_contains_errors then
       error t ~loc "cannot take the address of an rvalue";
     mk_expr ~ty:(Ptr operand.e_ty) ~loc (Unary (U_addrof, operand))
 

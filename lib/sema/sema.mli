@@ -16,9 +16,18 @@ type mode = Classic | Irbuilder
 
 type t
 
-val create : ?mode:mode -> Mc_diag.Diagnostics.t -> t
+val default_loop_nest_limit : int
+(** 64: the default cap on how deep a directive-requested loop nest may be
+    ([-floop-nest-limit]); guards against e.g. [collapse(1000000)] blowing
+    the analysis stack. *)
+
+val create :
+  ?mode:mode -> ?loop_nest_limit:int -> Mc_diag.Diagnostics.t -> t
 val diagnostics : t -> Mc_diag.Diagnostics.t
 val mode : t -> mode
+
+val loop_nest_limit : t -> int
+(** The configured [-floop-nest-limit] (clamped to at least 1). *)
 
 (* ---- scopes and declarations ---------------------------------------- *)
 
@@ -64,8 +73,14 @@ val act_on_char_literal : t -> value:int -> loc:loc -> expr
 val act_on_string_literal : t -> value:string -> loc:loc -> expr
 val act_on_bool_literal : t -> value:bool -> loc:loc -> expr
 
+val act_on_recovery : t -> ?subexprs:expr list -> loc:loc -> unit -> expr
+(** Builds a [Recovery_expr] (Clang's RecoveryExpr): an [int]-typed
+    placeholder carrying any sub-expressions recognised before the error.
+    The node and every ancestor get [contains_errors] set, which codegen
+    and the interpreter refuse cleanly. *)
+
 val act_on_decl_ref : t -> name:string -> loc:loc -> expr
-(** Diagnoses undeclared identifiers; recovers with an [int] placeholder. *)
+(** Diagnoses undeclared identifiers; recovers with a [Recovery_expr]. *)
 
 val act_on_paren : t -> expr -> expr
 val act_on_unary : t -> unop -> expr -> loc:loc -> expr

@@ -33,6 +33,7 @@ let rec transform_expr t e =
   | Subscript (a, i) -> k (Subscript (transform_expr t a, transform_expr t i))
   | Implicit_cast (ck, a) -> k (Implicit_cast (ck, transform_expr t a))
   | C_style_cast (ty, a) -> k (C_style_cast (ty, transform_expr t a))
+  | Recovery_expr subs -> k (Recovery_expr (List.map (transform_expr t) subs))
 
 let transform_var t v =
   let nv =
@@ -133,6 +134,7 @@ let rec transform_stmt t s =
     (* Loop helpers are rebuilt by Sema when the copy is re-analysed; they
        are not carried over. *)
     k (Omp_directive nd)
+  | Error_stmt ss -> k (Error_stmt (List.map (transform_stmt t) ss))
 
 and transform_captured t c =
   {

@@ -22,4 +22,5 @@ let () =
       ("goldens", Test_goldens.suite);
       ("e2e", Test_e2e.suite);
       ("fuzz", Test_fuzz.suite);
+      ("crash", Test_crash.suite);
     ]

@@ -131,7 +131,9 @@ let ir_printouts batch =
         match r.Driver.ir with
         | Some m -> Mc_ir.Printer.module_to_string m
         | None -> Alcotest.failf "%s: no IR" u.Batch.u_name)
-      | Error e -> Alcotest.failf "%s: %s" u.Batch.u_name e)
+      | Error f ->
+        Alcotest.failf "%s: %s" u.Batch.u_name
+          f.Instance.f_ice.Mc_support.Crash_recovery.ice_exn)
     batch.Batch.units
 
 let test_batch_deterministic () =
@@ -194,7 +196,9 @@ let test_batch_error_reporting () =
       check_contains ~what:"bad unit diagnostics"
         (Mc_diag.Diagnostics.render_all r.Driver.diag)
         "use of undeclared identifier"
-    | Error e -> Alcotest.failf "expected diagnostics, got exception: %s" e)
+    | Error f ->
+      Alcotest.failf "expected diagnostics, got ICE: %s"
+        f.Instance.f_ice.Mc_support.Crash_recovery.ice_exn)
   | _ -> Alcotest.fail "unit count");
   (* Failures in one unit never poison the others' results. *)
   Alcotest.(check int) "failing batch keeps order" 3

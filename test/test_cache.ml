@@ -156,7 +156,9 @@ let test_batch_cache_hit_rate () =
         match Driver.run r with
         | Ok _ -> ()
         | Error e -> Alcotest.failf "%s: %s" u.Batch.u_name e)
-      | Error e -> Alcotest.failf "%s: %s" u.Batch.u_name e)
+      | Error f ->
+        Alcotest.failf "%s: %s" u.Batch.u_name
+          f.Instance.f_ice.Mc_support.Crash_recovery.ice_exn)
     warm.Batch.units
 
 let suite =
