@@ -517,7 +517,8 @@ let emit_cache_json () =
   field false "warm_speedup"
     (Printf.sprintf "%.3f" (cold.Batch.wall /. warm.Batch.wall));
   field false "cold_misses" (string_of_int (stat cold.Batch.stats "cache.misses"));
-  field false "cold_stores" (string_of_int (stat cold.Batch.stats "cache.stores"));
+  field false "cold_stores"
+    (string_of_int (stat cold.Batch.stats "cache.optir-stores"));
   field false "warm_hits" (string_of_int (stat warm.Batch.stats "cache.hits"));
   field true "warm_hit_rate" (Printf.sprintf "%.3f" hit_rate);
   Buffer.add_string buf "}\n";
@@ -529,6 +530,111 @@ let emit_cache_json () =
     n warm.Batch.jobs cold.Batch.wall warm.Batch.wall
     (cold.Batch.wall /. warm.Batch.wall)
     (100.0 *. hit_rate);
+  Printf.printf "  wrote %s\n%!" path
+
+(* --------------------------------------------------------------------- *)
+(* Incremental recompilation: BENCH_incremental.json                      *)
+(* --------------------------------------------------------------------- *)
+
+(* The editing-loop workload over the stage cache: cold build, warm
+   same-source rebuild (every stage hit), comment-only edit (lex/pp
+   re-run, AST onward reused), and a body edit (full re-run).  Warm
+   rebuilds are required to hit every stage and be at least 5x faster
+   than cold — the harness fails loudly otherwise, so a regression can't
+   ship a quietly cold "incremental" mode. *)
+let emit_incremental_json () =
+  heading "BENCH_incremental.json (cold / warm / comment-edit / body-edit)";
+  let module CInstance = Mc_core.Instance in
+  let module Pipeline = Mc_core.Pipeline in
+  let module Clock = Mc_support.Clock in
+  (* A compile-heavy unit, parameterized so body edits really change the
+     expanded stream. *)
+  let unit_with ~bound =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "void record(long x);\n";
+    for fn = 0 to 23 do
+      Buffer.add_string buf
+        (Printf.sprintf "long inc_work%d(int n) {\n  long acc = %d;\n" fn fn);
+      for i = 0 to 5 do
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  for (int i%d = 0; i%d < n + %d; i%d += 1) acc += i%d * %d + \
+              (acc >> 2);\n"
+             i i bound i i (i + fn))
+      done;
+      Buffer.add_string buf "  return acc;\n}\n"
+    done;
+    Buffer.add_string buf "int main(void) { record(inc_work0(3)); return 0; }\n";
+    Buffer.contents buf
+  in
+  let base = unit_with ~bound:10 in
+  let inst =
+    CInstance.create
+      { Mc_core.Invocation.default with Mc_core.Invocation.cache_enabled = true }
+  in
+  let timed src =
+    let started = Clock.now () in
+    let c = CInstance.recompile inst ~name:"incr.c" src in
+    let wall = Clock.now () -. started in
+    if Mc_diag.Diagnostics.has_errors c.CInstance.c_result.Driver.diag then
+      failwith "incremental bench: compile failed";
+    (wall, Pipeline.render_trace c.CInstance.c_trace)
+  in
+  (* Edits must be fresh each measurement (a repeated comment edit would
+     itself become a full hit), so vary the edit text / constant and take
+     the fastest of three to damp scheduler noise. *)
+  let best f =
+    let samples = List.init 3 f in
+    List.fold_left
+      (fun (bw, bt) (w, t) -> if w < bw then (w, t) else (bw, bt))
+      (List.hd samples) (List.tl samples)
+  in
+  let cold_wall, cold_trace = timed base in
+  let warm_wall, warm_trace = best (fun _ -> timed base) in
+  let comment_wall, comment_trace =
+    best (fun i ->
+        timed (Printf.sprintf "/* incremental edit nr. %d */\n%s" i base))
+  in
+  let body_wall, body_trace =
+    best (fun i -> timed (unit_with ~bound:(11 + i)))
+  in
+  (* Hard floor from the issue: warm same-source recompiles must hit every
+     stage and be >= 5x faster than the cold build. *)
+  if warm_trace <> "lex:hit pp:hit ast:hit ir:hit optir:hit" then
+    failwith ("incremental bench: warm rebuild not fully cached: " ^ warm_trace);
+  if comment_trace <> "lex:run pp:run ast:hit ir:hit optir:hit" then
+    failwith
+      ("incremental bench: comment edit did not reuse AST onward: "
+      ^ comment_trace);
+  let speedup = cold_wall /. warm_wall in
+  if speedup < 5.0 then
+    failwith
+      (Printf.sprintf "incremental bench: warm speedup %.2fx < 5x" speedup);
+  let buf = Buffer.create 512 in
+  let field last name value =
+    Buffer.add_string buf
+      (Printf.sprintf "  %S: %s%s\n" name value (if last then "" else ","))
+  in
+  Buffer.add_string buf "{\n";
+  field false "schema" "\"mcc-bench-incremental/1\"";
+  field false "workload" "\"24-function synthetic unit\"";
+  field false "cold_seconds" (Printf.sprintf "%.9f" cold_wall);
+  field false "cold_trace" (Printf.sprintf "%S" cold_trace);
+  field false "warm_seconds" (Printf.sprintf "%.9f" warm_wall);
+  field false "warm_trace" (Printf.sprintf "%S" warm_trace);
+  field false "warm_speedup" (Printf.sprintf "%.3f" speedup);
+  field false "comment_edit_seconds" (Printf.sprintf "%.9f" comment_wall);
+  field false "comment_edit_trace" (Printf.sprintf "%S" comment_trace);
+  field false "body_edit_seconds" (Printf.sprintf "%.9f" body_wall);
+  field true "body_edit_trace" (Printf.sprintf "%S" body_trace);
+  Buffer.add_string buf "}\n";
+  let path = "BENCH_incremental.json" in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Printf.printf
+    "  cold %.6fs -> warm %.6fs (%.1fx); comment edit %.6fs (%s); body edit \
+     %.6fs\n"
+    cold_wall warm_wall speedup comment_wall comment_trace body_wall;
   Printf.printf "  wrote %s\n%!" path
 
 let run_benchmarks () =
@@ -576,4 +682,5 @@ let () =
   omp60_preview ();
   emit_stats_json ();
   emit_cache_json ();
+  emit_incremental_json ();
   run_benchmarks ()

@@ -181,11 +181,35 @@ let run_compile_action inst units =
           failed := true)
       | _ -> assert false)
     batch.Batch.units;
+  (* --incremental: recompile the whole batch against the instance's
+     stage cache and report, per unit, how much of the pipeline the warm
+     pass actually reused.  Actions ran on the cold pass; the warm pass
+     only demonstrates (and measures) stage reuse. *)
+  if inv.Invocation.incremental then begin
+    let warm = Batch.compile_into inst units in
+    List.iter2
+      (fun cold_u warm_u ->
+        match warm_u.Batch.u_result with
+        | Error f ->
+          report_ice ~name:warm_u.Batch.u_name f;
+          failed := true
+        | Ok _ ->
+          let speedup =
+            if warm_u.Batch.u_wall > 0.0 then
+              cold_u.Batch.u_wall /. warm_u.Batch.u_wall
+            else infinity
+          in
+          Printf.eprintf
+            "[mcc --incremental: %s: cold %.6fs, warm %.6fs (%.1fx), %s]\n"
+            warm_u.Batch.u_name cold_u.Batch.u_wall warm_u.Batch.u_wall speedup
+            (Mc_core.Pipeline.render_trace warm_u.Batch.u_trace))
+      batch.Batch.units warm.Batch.units
+  end;
   if !failed then exit 1
 
 let main files action irbuilder opt_level no_fold num_threads jobs use_cache
-    defines stage_timings time_report print_stats error_limit bracket_depth
-    loop_nest_limit gen_reproducer =
+    incremental defines stage_timings time_report print_stats error_limit
+    bracket_depth loop_nest_limit gen_reproducer =
   let defines =
     List.map
       (fun d ->
@@ -205,7 +229,8 @@ let main files action irbuilder opt_level no_fold num_threads jobs use_cache
       fold = not no_fold;
       defines;
       jobs;
-      cache_enabled = use_cache;
+      cache_enabled = use_cache || incremental;
+      incremental;
       num_threads;
       stage_timings;
       time_report;
@@ -290,6 +315,15 @@ let cache_arg =
           "Enable the content-addressed compile cache (hash of the \
            preprocessed unit + backend options)")
 
+let incremental_arg =
+  Arg.(
+    value & flag
+    & info [ "incremental" ]
+        ~doc:
+          "After the cold batch, recompile every unit against the stage \
+           cache and report per-unit cold/warm times and the per-stage \
+           reuse trace (implies $(b,--cache))")
+
 let defines_arg =
   Arg.(
     value & opt_all string []
@@ -351,9 +385,10 @@ let cmd =
     (Cmd.info "mcc" ~doc)
     Term.(
       const main $ files_arg $ action_arg $ irbuilder_arg $ opt_arg
-      $ no_fold_arg $ threads_arg $ jobs_arg $ cache_arg $ defines_arg
-      $ timings_arg $ time_report_arg $ print_stats_arg $ error_limit_arg
-      $ bracket_depth_arg $ loop_nest_limit_arg $ gen_reproducer_arg)
+      $ no_fold_arg $ threads_arg $ jobs_arg $ cache_arg $ incremental_arg
+      $ defines_arg $ timings_arg $ time_report_arg $ print_stats_arg
+      $ error_limit_arg $ bracket_depth_arg $ loop_nest_limit_arg
+      $ gen_reproducer_arg)
 
 (* Clang spells long options with a single dash (-ftime-report, -emit-ir);
    cmdliner only parses them with two.  Accept the Clang spelling by
@@ -363,7 +398,8 @@ let long_flags =
     "ast-dump"; "ast-dump-shadow"; "ast-print"; "print-transformed";
     "emit-ir"; "syntax-only"; "fsyntax-only"; "fopenmp-enable-irbuilder";
     "no-builder-folding"; "num-threads"; "stage-timings"; "ftime-report";
-    "print-stats"; "cache"; "jobs"; "ferror-limit"; "fbracket-depth";
+    "print-stats"; "cache"; "incremental"; "jobs"; "ferror-limit";
+    "fbracket-depth";
     "floop-nest-limit"; "fno-crash-diagnostics"; "gen-reproducer";
   ]
 

@@ -16,6 +16,7 @@ type unit_result = {
   u_name : string;
   u_result : (Driver.result, Instance.failure) result;
   u_cache_hit : bool;
+  u_trace : Pipeline.trace;
   u_stats : Stats.snapshot;
   u_wall : float;
 }
@@ -43,10 +44,11 @@ let compile_units ?cache ~jobs ~invocation inputs =
         let name, source = inputs.(i) in
         let inst = Instance.create ?cache invocation in
         let started = Clock.now () in
-        let outcome, hit =
+        let outcome, hit, trace =
           match Instance.compile_safe inst ~name source with
-          | Ok { Instance.c_result; c_cache_hit } -> (Ok c_result, c_cache_hit)
-          | Error failure -> (Error failure, false)
+          | Ok { Instance.c_result; c_cache_hit; c_trace } ->
+            (Ok c_result, c_cache_hit, c_trace)
+          | Error failure -> (Error failure, false, [])
           | exception e ->
             (* Last-ditch containment: [compile_safe] itself should never
                raise, but a worker must not die and strand its siblings. *)
@@ -55,7 +57,8 @@ let compile_units ?cache ~jobs ~invocation inputs =
                   Instance.f_ice = Crash_recovery.ice_of_exn e;
                   f_reproducer = None;
                 },
-              false )
+              false,
+              [] )
         in
         let wall = Clock.now () -. started in
         registries.(i) <- Some (Instance.registry inst);
@@ -65,6 +68,7 @@ let compile_units ?cache ~jobs ~invocation inputs =
               u_name = name;
               u_result = outcome;
               u_cache_hit = hit;
+              u_trace = trace;
               u_stats = Stats.snapshot ~registry:(Instance.registry inst) ();
               u_wall = wall;
             };

@@ -22,6 +22,9 @@ type unit_result = {
           including [Stack_overflow] / [Out_of_memory] — never disturbs
           its siblings. *)
   u_cache_hit : bool;
+      (** whole-pipeline hit: every stage from the parser onward reused *)
+  u_trace : Pipeline.trace;
+      (** per-stage outcomes for this unit ([[]] on a contained ICE) *)
   u_stats : Mc_support.Stats.snapshot; (** this unit's registry snapshot *)
   u_wall : float; (** wall seconds spent on this unit *)
 }

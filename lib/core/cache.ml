@@ -1,51 +1,136 @@
-(* Content-addressed compile cache.
+(* Per-stage memoization for the stage-graph pipeline.
 
-   The key digests the *preprocessed* token stream (spellings, not
-   locations) plus the backend-relevant invocation fingerprint, so a hit
-   means "this exact translation unit under these exact backend options
-   was compiled before".  Addressing post-preprocessing makes the cache
-   robust in both directions: a -D change that alters expansion misses,
-   while comment/whitespace edits (which the token stream does not see)
-   still hit.
+   The cache is a mutex-guarded map from (stage tag, fingerprint) to the
+   marshalled bytes of that stage's artifact.  It is deliberately untyped
+   at this layer: [Pipeline] owns the artifact types, computes the
+   fingerprints (hash of the input artifact + the stage-relevant slice of
+   the invocation) and does the marshalling, so the cache stays a dumb,
+   domain-shareable store.  Payload strings are immutable, so handing the
+   same bytes to two domains is safe; consumers unmarshal a fresh copy
+   per hit (mutable artifacts such as IR modules must never be aliased
+   across units).
 
-   The stored value is the marshalled back-end artefact: IR module,
-   unroll statistics and the full counter snapshot of the original
-   compilation.  IR modules are mutable graphs, so [find] unmarshals a
-   fresh copy per hit — two concurrent batch units can never alias one
-   cached module.  The table itself is guarded by a mutex and safe to
-   share across domains. *)
+   Lookups can carry a validation predicate — the PPTokens stage uses it
+   to check the recorded #include set (path + content digest) against the
+   current file manager, ccache-style: a stale include set counts as an
+   invalidation plus a miss, never a wrong hit.
+
+   Every stage's hit/miss/store/invalidation events land in [cache.*]
+   counters of the calling domain's current stats registry, so they
+   surface in -print-stats and in per-compile snapshots. *)
 
 module Stats = Mc_support.Stats
 
-let stat_hits =
-  Stats.counter ~group:"cache" ~name:"hits" ~desc:"compile cache hits" ()
+let stage_names = [ "lex"; "pp"; "ast"; "ir"; "optir" ]
 
-let stat_misses =
-  Stats.counter ~group:"cache" ~name:"misses" ~desc:"compile cache misses" ()
-
-let stat_stores =
-  Stats.counter ~group:"cache" ~name:"stores"
-    ~desc:"compile results stored in the cache" ()
-
-type payload = {
-  p_ir : string; (* Marshal of Mc_ir.Ir.modul *)
-  p_unroll : Mc_passes.Loop_unroll.stats;
-  p_stats : Stats.snapshot;
+type stage_counters = {
+  sc_hits : Stats.counter;
+  sc_misses : Stats.counter;
+  sc_stores : Stats.counter;
+  sc_invalidations : Stats.counter;
 }
 
+let stage_counters =
+  List.map
+    (fun s ->
+      ( s,
+        {
+          sc_hits =
+            Stats.counter ~group:"cache" ~name:(s ^ "-hits")
+              ~desc:(Printf.sprintf "%s stage artifacts reused from the cache" s)
+              ();
+          sc_misses =
+            Stats.counter ~group:"cache" ~name:(s ^ "-misses")
+              ~desc:(Printf.sprintf "%s stage lookups that found nothing" s)
+              ();
+          sc_stores =
+            Stats.counter ~group:"cache" ~name:(s ^ "-stores")
+              ~desc:(Printf.sprintf "%s stage artifacts stored" s)
+              ();
+          sc_invalidations =
+            Stats.counter ~group:"cache" ~name:(s ^ "-invalidations")
+              ~desc:
+                (Printf.sprintf
+                   "cached %s stage artifacts rejected by validation" s)
+              ();
+        } ))
+    stage_names
+
+let counters_for stage =
+  match List.assoc_opt stage stage_counters with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Cache: unknown stage %S" stage)
+
+(* Each (stage, fp) key holds a list of candidate payloads, newest
+   first.  For most stages the list has one element; the PPTokens stage
+   can legitimately accumulate one candidate per #include-set variant
+   (the fingerprint cannot see include contents — that is what the
+   validation predicate is for), ccache-manifest style, so flipping a
+   header back and forth revalidates old candidates instead of thrashing
+   one slot. *)
 type t = {
-  table : (string, payload) Hashtbl.t;
+  table : (string * string, string list) Hashtbl.t;
   lock : Mutex.t;
 }
 
 let create () = { table = Hashtbl.create 64; lock = Mutex.create () }
 
-let length t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
+let length t =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold (fun _ ps n -> n + List.length ps) t.table 0)
+
+let stage_length t ~stage =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold
+        (fun (s, _) ps n -> if String.equal s stage then n + List.length ps else n)
+        t.table 0)
+
+let find t ~stage ?validate fp =
+  let c = counters_for stage in
+  match Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table (stage, fp)) with
+  | None | Some [] ->
+    Stats.incr c.sc_misses;
+    None
+  | Some candidates -> (
+    match validate with
+    | None ->
+      Stats.incr c.sc_hits;
+      Some (List.hd candidates)
+    | Some ok -> (
+      match List.find_opt ok candidates with
+      | Some payload ->
+        Stats.incr c.sc_hits;
+        Some payload
+      | None ->
+        (* Every candidate is stale under the current invocation (e.g.
+           an #include's contents changed): the entries stay — an
+           invocation matching a recorded state may still revalidate one
+           — but this lookup is a miss. *)
+        Stats.incr c.sc_invalidations;
+        Stats.incr c.sc_misses;
+        None))
+
+let store t ~stage fp payload =
+  let c = counters_for stage in
+  let added =
+    Mutex.protect t.lock (fun () ->
+        let existing =
+          Option.value ~default:[] (Hashtbl.find_opt t.table (stage, fp))
+        in
+        if List.exists (String.equal payload) existing then false
+        else begin
+          Hashtbl.replace t.table (stage, fp) (payload :: existing);
+          true
+        end)
+  in
+  if added then Stats.incr c.sc_stores
 
 (* Canonical, location-free rendering of the preprocessed stream.  NUL
    separates tokens (no token spelling contains one) and SOH marks
    pragma boundaries, so distinct streams cannot collide by
-   concatenation. *)
+   concatenation.  This is what makes the AST stage content-addressed on
+   the preprocessor's *output*: comment/whitespace edits — and -D changes
+   the expansion never uses — leave the digest unchanged. *)
 let canonical_items buf items =
   List.iter
     (fun item ->
@@ -63,26 +148,7 @@ let canonical_items buf items =
         Buffer.add_char buf '\x01')
     items
 
-let key ~fingerprint items =
+let canonical_digest items =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf fingerprint;
-  Buffer.add_char buf '\x02';
   canonical_items buf items;
   Digest.to_hex (Digest.string (Buffer.contents buf))
-
-let find t k =
-  match Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table k) with
-  | None ->
-    Stats.incr stat_misses;
-    None
-  | Some payload ->
-    Stats.incr stat_hits;
-    let ir : Mc_ir.Ir.modul = Marshal.from_string payload.p_ir 0 in
-    Some (ir, payload.p_unroll, payload.p_stats)
-
-let store t k ~ir ~unroll_stats ~stats =
-  let payload =
-    { p_ir = Marshal.to_string ir []; p_unroll = unroll_stats; p_stats = stats }
-  in
-  Stats.incr stat_stores;
-  Mutex.protect t.lock (fun () -> Hashtbl.replace t.table k payload)

@@ -1,46 +1,54 @@
-(** Content-addressed compile cache: hash of the preprocessed token
-    stream + the backend-relevant {!Invocation.fingerprint} maps to the
-    marshalled back-end artefact (IR module, unroll statistics, counter
-    snapshot) of a previous compilation.
+(** Per-stage artifact cache for the stage-graph pipeline.
 
-    Keys digest token {e spellings}, not source locations, so edits the
-    preprocessor erases (comments, whitespace, unused macro definitions)
-    still hit, while anything that changes the expanded stream — or a
-    backend option — misses.
+    Generalizes the PR-2 whole-compile cache: instead of one entry per
+    translation unit, each {!Pipeline} stage (lex, pp, ast, ir, optir)
+    memoizes its artifact under a content fingerprint — the hash of the
+    stage's input artifact plus the stage-relevant slice of the
+    invocation.  A comment-only edit therefore re-runs lex/pp but reuses
+    everything from the AST stage onward, while an option change
+    invalidates exactly the stages whose slice it touches.
 
-    A cache is safe to share across the domains of a {!Batch}
-    compilation; every hit hands out a {e fresh copy} of the cached IR
-    module (IR is a mutable graph — aliasing one module across units
-    would let a consumer's mutation corrupt later hits).
+    The cache itself is untyped (marshalled bytes); {!Pipeline} owns the
+    artifact types, the fingerprints and the marshalling.  A cache is
+    safe to share across the domains of a {!Batch} compilation; payload
+    strings are immutable, and consumers unmarshal a fresh copy per hit,
+    so mutable artifacts (IR modules, source managers) are never aliased
+    across units.
 
-    Hit/miss/store events land in the [cache.*] counters of the calling
-    domain's current stats registry, so they surface through
-    [-print-stats] and per-instance snapshots. *)
+    Per-stage hit/miss/store/invalidation events land in the
+    [cache.<stage>-*] counters of the calling domain's current stats
+    registry, surfacing through [-print-stats] and per-compile
+    snapshots; the whole-pipeline [cache.hits]/[cache.misses] aggregates
+    are maintained by {!Pipeline}. *)
 
 type t
+
+val stage_names : string list
+(** The stage tags, in pipeline order: ["lex"; "pp"; "ast"; "ir"; "optir"]. *)
 
 val create : unit -> t
 
 val length : t -> int
-(** Number of cached translation units. *)
+(** Total number of cached stage artifacts (across all stages). *)
 
-val key : fingerprint:string -> Mc_pp.Preprocessor.item list -> string
-(** The content address of a preprocessed unit under the given
-    invocation fingerprint. *)
+val stage_length : t -> stage:string -> int
+(** Number of cached artifacts for one stage tag. *)
 
-val find :
-  t ->
-  string ->
-  (Mc_ir.Ir.modul * Mc_passes.Loop_unroll.stats * Mc_support.Stats.snapshot)
-  option
-(** Looks up a key, counting a hit or a miss; on a hit, the returned IR
-    module is a fresh unmarshalled copy owned by the caller. *)
+val find : t -> stage:string -> ?validate:(string -> bool) -> string -> string option
+(** [find t ~stage fp] looks up a stage artifact by fingerprint, counting
+    a hit or a miss.  When [validate] is given, the newest-first list of
+    candidate payloads under the fingerprint is scanned and the first
+    accepted one returned; if every candidate is rejected (e.g. no
+    recorded PPTokens #include set matches the current file manager),
+    the lookup counts an invalidation plus a miss and returns [None] —
+    the entries are kept for later revalidation. *)
 
-val store :
-  t ->
-  string ->
-  ir:Mc_ir.Ir.modul ->
-  unroll_stats:Mc_passes.Loop_unroll.stats ->
-  stats:Mc_support.Stats.snapshot ->
-  unit
-(** Stores a compilation's back-end artefact under its key. *)
+val store : t -> stage:string -> string -> string -> unit
+(** [store t ~stage fp payload] adds a stage artifact as the newest
+    candidate under the fingerprint (deduplicating byte-identical
+    payloads). *)
+
+val canonical_digest : Mc_pp.Preprocessor.item list -> string
+(** Digest of the canonical, location-free rendering of a preprocessed
+    stream (token spellings, NUL-separated, with SOH pragma markers) —
+    the content address the AST stage fingerprint builds on. *)

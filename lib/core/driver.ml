@@ -1,13 +1,10 @@
-module Diag = Mc_diag.Diagnostics
-module Srcmgr = Mc_srcmgr.Source_manager
-module Fmgr = Mc_srcmgr.File_manager
-module Buf = Mc_srcmgr.Memory_buffer
-module Stats = Mc_support.Stats
-module Clock = Mc_support.Clock
-module Crash_recovery = Mc_support.Crash_recovery
-module Loc = Mc_srcmgr.Source_location
+(* The driver is now a thin walk over the stage-graph pipeline: all
+   stage execution, timing, caching and stats scoping lives in
+   [Pipeline]; this module keeps the historical entry points. *)
 
-type options = {
+module Diag = Mc_diag.Diagnostics
+
+type options = Pipeline.options = {
   use_irbuilder : bool;
   optimize : bool;
   fold : bool;
@@ -19,24 +16,9 @@ type options = {
   loop_nest_limit : int;
 }
 
-let default_options =
-  {
-    use_irbuilder = false;
-    optimize = true;
-    fold = true;
-    verify_ir = true;
-    defines = [];
-    extra_files = [];
-    error_limit = 20;
-    bracket_depth = Mc_parser.Parser.default_bracket_depth;
-    loop_nest_limit = Mc_sema.Sema.default_loop_nest_limit;
-  }
+let default_options = Pipeline.default_options
 
-let codegen_errors_counter =
-  Stats.counter ~group:"driver" ~name:"codegen-errors"
-    ~desc:"compilations refused by CodeGen (unsupported construct / errors)" ()
-
-type timings = {
+type timings = Pipeline.timings = {
   t_lex : float;
   t_preprocess : float;
   t_parse_sema : float;
@@ -44,177 +26,21 @@ type timings = {
   t_passes : float;
 }
 
-type result = {
+type result = Pipeline.result = {
   diag : Diag.t;
-  srcmgr : Srcmgr.t;
+  srcmgr : Mc_srcmgr.Source_manager.t;
   tu : Mc_ast.Tree.translation_unit option;
   ir : Mc_ir.Ir.modul option;
   codegen_error : string option;
   timings : timings;
   unroll_stats : Mc_passes.Loop_unroll.stats;
-  stats : Stats.snapshot;
+  stats : Mc_support.Stats.snapshot;
 }
-
-(* Stage timing on the monotonic wall clock (Sys.time — process CPU time —
-   stalls under descheduling and is not comparable across machines); every
-   interval also lands in the current [Stats] registry for -ftime-report. *)
-let time stage f =
-  (* The active stage doubles as the crash-recovery phase watermark, so an
-     ICE report can say which pipeline stage blew up. *)
-  Crash_recovery.set_phase stage;
-  let start = Clock.now () in
-  let v = f () in
-  let dt = Clock.now () -. start in
-  Stats.record (Stats.timer ~group:"driver" ~name:stage) dt;
-  (v, dt)
-
-(* Every compilation starts from a known state: the current stats registry
-   zeroed and every domain-local name/id generator rewound, so the same
-   source always produces byte-identical ASTs and IR no matter how many
-   compilations preceded it in this process or which domain runs it. *)
-let reset_compilation_state () =
-  Stats.reset ();
-  Mc_ast.Tree.reset_ids ();
-  Mc_ir.Ir.reset_ids ();
-  Mc_ompbuilder.Omp_builder.reset_gensym ();
-  Mc_codegen.Codegen.reset_gensym ()
-
-type preprocessed = {
-  pp_options : options;
-  pp_name : string;
-  pp_diag : Diag.t;
-  pp_srcmgr : Srcmgr.t;
-  pp_items : Mc_pp.Preprocessor.item list;
-  pp_t_lex : float;
-  pp_t_preprocess : float;
-}
-
-let preprocess ?(options = default_options) ?(name = "input.c") source =
-  reset_compilation_state ();
-  let srcmgr = Srcmgr.create () in
-  let fmgr = Fmgr.create () in
-  List.iter
-    (fun (path, contents) -> ignore (Fmgr.add_file fmgr ~path ~contents))
-    options.extra_files;
-  let diag = Diag.create srcmgr in
-  Diag.set_error_limit diag options.error_limit;
-  (* Let the crash-recovery watermark render "file:line:col" without
-     mc_support depending on the source manager. *)
-  Crash_recovery.set_position_renderer (fun ~file ~offset ->
-      Srcmgr.describe srcmgr (Loc.encode ~file_id:file ~offset));
-  let buf = Buf.create ~name ~contents:source in
-  (* Stage: raw lexing alone, for the Fig. 1 stage timings. *)
-  let _, t_lex =
-    time "lex" (fun () ->
-        let scratch_srcmgr = Srcmgr.create () in
-        let scratch_diag = Diag.create scratch_srcmgr in
-        let id = Srcmgr.load_buffer scratch_srcmgr buf in
-        Mc_lexer.Lexer.tokenize scratch_diag ~file_id:id buf)
-  in
-  let pp = Mc_pp.Preprocessor.create diag srcmgr fmgr in
-  List.iter
-    (fun (n, body) -> Mc_pp.Preprocessor.define_object_macro pp ~name:n ~body)
-    options.defines;
-  let items, t_preprocess =
-    time "preprocess" (fun () -> Mc_pp.Preprocessor.preprocess_main pp buf)
-  in
-  {
-    pp_options = options;
-    pp_name = name;
-    pp_diag = diag;
-    pp_srcmgr = srcmgr;
-    pp_items = items;
-    pp_t_lex = t_lex;
-    pp_t_preprocess = t_preprocess;
-  }
-
-let parse_sema pre =
-  let options = pre.pp_options in
-  let sema_mode =
-    if options.use_irbuilder then Mc_sema.Sema.Irbuilder else Mc_sema.Sema.Classic
-  in
-  let sema =
-    Mc_sema.Sema.create ~mode:sema_mode
-      ~loop_nest_limit:options.loop_nest_limit pre.pp_diag
-  in
-  time "parse-sema" (fun () ->
-      Mc_parser.Parser.parse_translation_unit
-        ~bracket_depth:options.bracket_depth sema pre.pp_items)
-
-let compile_preprocessed pre =
-  let options = pre.pp_options in
-  let diag = pre.pp_diag in
-  let tu, t_parse_sema = parse_sema pre in
-  let t_lex = pre.pp_t_lex and t_preprocess = pre.pp_t_preprocess in
-  let no_ir codegen_error t_codegen =
-    {
-      diag;
-      srcmgr = pre.pp_srcmgr;
-      tu = Some tu;
-      ir = None;
-      codegen_error;
-      timings = { t_lex; t_preprocess; t_parse_sema; t_codegen; t_passes = 0.0 };
-      unroll_stats = Mc_passes.Loop_unroll.empty_stats;
-      stats = Stats.snapshot ();
-    }
-  in
-  if Diag.has_errors diag then no_ir None 0.0
-  else begin
-    let mode =
-      if options.use_irbuilder then Mc_codegen.Codegen.Irbuilder
-      else Mc_codegen.Codegen.Classic
-    in
-    match
-      time "codegen" (fun () ->
-          match
-            Mc_codegen.Codegen.emit_translation_unit ~fold:options.fold ~mode tu
-          with
-          | m -> Ok m
-          | exception Mc_codegen.Codegen.Unsupported msg -> Error msg)
-    with
-    (* The time codegen spent before bailing out is still real work; keep it
-       so stage timings stay truthful on the error path. *)
-    | Error msg, t_codegen ->
-      Stats.incr codegen_errors_counter;
-      no_ir (Some msg) t_codegen
-    | Ok m, t_codegen -> (
-      let verify what =
-        if options.verify_ir then begin
-          match Mc_ir.Verifier.check m with
-          | Ok () -> ()
-          | Error e ->
-            invalid_arg (Printf.sprintf "IR verification failed %s:\n%s" what e)
-        end
-      in
-      verify "after codegen";
-      let report, t_passes =
-        time "passes" (fun () ->
-            Mc_passes.Pass_manager.run
-              ~verify_between:options.verify_ir
-              ~passes:
-                (if options.optimize then Mc_passes.Pass_manager.o1
-                 else Mc_passes.Pass_manager.o0)
-              m)
-      in
-      {
-        diag;
-        srcmgr = pre.pp_srcmgr;
-        tu = Some tu;
-        ir = Some m;
-        codegen_error = None;
-        timings = { t_lex; t_preprocess; t_parse_sema; t_codegen; t_passes };
-        unroll_stats = report.Mc_passes.Pass_manager.unroll_stats;
-        stats = Stats.snapshot ();
-      })
-  end
 
 let compile ?options ?name source =
-  compile_preprocessed (preprocess ?options ?name source)
+  (Pipeline.execute ?options ?name source).Pipeline.x_result
 
-let frontend ?options ?name source =
-  let pre = preprocess ?options ?name source in
-  let tu, _ = parse_sema pre in
-  (pre.pp_diag, tu)
+let frontend = Pipeline.frontend
 
 let ast_dump ?options ?(shadow = false) source =
   let _, tu = frontend ?options source in

@@ -3,12 +3,17 @@
     Lexer → Preprocessor → Parser → Sema → CodeGen) with the mid-end pass
     pipeline and the interpreter.
 
+    Since the stage-graph refactor this module is a thin walk over
+    {!Mc_core.Pipeline}, which owns stage execution, per-stage caching
+    and stats scoping; the types below are re-exports, so [Driver.result]
+    and [Pipeline.result] interconvert freely.
+
     Options mirror the Clang flags the paper discusses:
     [use_irbuilder] is [-fopenmp-enable-irbuilder]; [optimize] enables the
     O1 pipeline (mem2reg, constprop, LoopUnroll, cleanups); [fold] toggles
     the IRBuilder's on-the-fly simplification (ablation A4). *)
 
-type options = {
+type options = Pipeline.options = {
   use_irbuilder : bool; (* -fopenmp-enable-irbuilder *)
   optimize : bool; (* run the O1 pass pipeline *)
   fold : bool; (* IRBuilder on-the-fly folding *)
@@ -22,15 +27,17 @@ type options = {
 
 val default_options : options
 
-type timings = {
-  t_lex : float; (* tokenizing the main buffer alone *)
+type timings = Pipeline.timings = {
+  t_lex : float; (* tokenizing the main buffer *)
   t_preprocess : float;
   t_parse_sema : float;
   t_codegen : float;
   t_passes : float;
 }
+(** Wall-clock seconds actually spent executing each stage; a stage
+    served from a cache contributes 0. *)
 
-type result = {
+type result = Pipeline.result = {
   diag : Mc_diag.Diagnostics.t;
   srcmgr : Mc_srcmgr.Source_manager.t;
   tu : Mc_ast.Tree.translation_unit option; (* None on hard parse failure *)
@@ -42,48 +49,17 @@ type result = {
 }
 
 val compile : ?options:options -> ?name:string -> string -> result
-(** Compiles a source string through the whole pipeline.
+(** Compiles a source string through the whole pipeline (uncached; give
+    {!Pipeline.execute} a {!Cache} — or use {!Mc_core.Instance} — for
+    per-stage memoization).
 
     Timings are monotonic wall clock ({!Mc_support.Clock}).  Each call
-    resets the calling domain's {e current} {!Mc_support.Stats} registry
-    and snapshots it into [result.stats]; counters accrued by a
-    subsequent {!run} (interpreter statistics) live in the registry but
-    not in the snapshot.
-
-    @deprecated Relying on the shared default registry is deprecated for
-    anything beyond single-compilation tools: a bare [compile] charges
-    (and resets!) whatever registry the calling domain is scoped to,
-    which is the process-global default unless you arranged otherwise.
-    Embedders that compile more than once per process — and any
-    concurrent compilation — should go through {!Mc_core.Instance}
-    (which scopes each compilation to its own registry) or wrap calls in
-    {!Mc_support.Stats.with_registry}.  [compile] itself remains fully
-    reentrant: all remaining mutable compilation state is domain-local
-    and reset per call. *)
-
-type preprocessed = {
-  pp_options : options;
-  pp_name : string;
-  pp_diag : Mc_diag.Diagnostics.t;
-  pp_srcmgr : Mc_srcmgr.Source_manager.t;
-  pp_items : Mc_pp.Preprocessor.item list; (* parser-ready token/pragma stream *)
-  pp_t_lex : float;
-  pp_t_preprocess : float;
-}
-(** The pipeline state after the preprocessor: everything the parser
-    needs, plus the post-preprocessing token stream that content-addressed
-    caching ({!Mc_core.Cache}) fingerprints. *)
-
-val preprocess : ?options:options -> ?name:string -> string -> preprocessed
-(** Runs the front half of {!compile} (reset, lex timing, preprocess) and
-    stops before the parser.  Resets the current stats registry like
-    {!compile} does. *)
-
-val compile_preprocessed : preprocessed -> result
-(** Runs the back half of {!compile} (parse+sema, codegen, passes) on a
-    {!preprocessed} state.  Does {e not} reset the stats registry, so
-    [compile_preprocessed (preprocess src)] accrues exactly like
-    [compile src]. *)
+    runs in its own scoped stats registry, snapshotted into
+    [result.stats] and then {e merged} into the calling domain's current
+    registry — the caller's counters accrue but are never reset, so
+    embedders' registries survive.  [compile] is fully reentrant: all
+    remaining mutable compilation state is domain-local and reset per
+    call. *)
 
 val frontend : ?options:options -> ?name:string -> string ->
   Mc_diag.Diagnostics.t * Mc_ast.Tree.translation_unit

@@ -1,5 +1,5 @@
 (* CompilerInstance analogue: one compilation context owning its own
-   stats registry (and optionally sharing a compile cache), so any number
+   stats registry (and optionally sharing a stage cache), so any number
    of instances can coexist in one process — sequentially or across
    domains — without touching the process-global registry. *)
 
@@ -10,7 +10,7 @@ module Crash_recovery = Mc_support.Crash_recovery
 type t = {
   invocation : Invocation.t;
   registry : Stats.Registry.t;
-  cache : Cache.t option;
+  mutable cache : Cache.t option;
   mutable exit_report_taken : bool;
 }
 
@@ -18,7 +18,10 @@ let create ?cache invocation =
   let cache =
     match cache with
     | Some _ as c -> c
-    | None -> if invocation.Invocation.cache_enabled then Some (Cache.create ()) else None
+    | None ->
+      if invocation.Invocation.cache_enabled || invocation.Invocation.incremental
+      then Some (Cache.create ())
+      else None
   in
   {
     invocation;
@@ -32,76 +35,34 @@ let registry t = t.registry
 let cache t = t.cache
 let in_registry t f = Stats.with_registry t.registry f
 
-(* Each compilation starts by resetting the registry it is scoped to
-   (part of [Driver.reset_compilation_state]), so running compiles
-   directly in the instance registry would wipe the previous compile's
-   counters.  Instead each compile runs in a fresh scratch registry that
-   is merged in afterwards, making the instance registry cumulative over
-   everything the instance ever compiled. *)
-let in_scratch_registry t f =
-  let scratch = Stats.Registry.create () in
-  let r = Stats.with_registry scratch f in
-  Stats.Registry.merge ~into:t.registry scratch;
-  r
+type compilation = {
+  c_result : Driver.result;
+  c_cache_hit : bool;
+  c_trace : Pipeline.trace;
+}
 
-type compilation = { c_result : Driver.result; c_cache_hit : bool }
-
-(* Only diagnostics-free successes are cached: a hit skips parse and sema
-   entirely, so caching a unit that produced warnings would silently drop
-   them on recompilation. *)
-let cacheable (r : Driver.result) =
-  r.Driver.ir <> None && Diag.diagnostics r.Driver.diag = []
-
-(* The compile body, run by [compile] / [compile_safe] inside a scratch
-   registry.  Note the ICE-safety property [compile_safe] relies on:
-   [Cache.store] is the last thing that happens on the miss path, so a
-   unit that dies with an escaped exception can never have been cached. *)
+(* [Pipeline.execute] already scopes each compilation to its own fresh
+   registry and merges it into the enclosing one on the way out, so
+   running it with the instance registry current makes the instance
+   registry cumulative over everything the instance ever compiled. *)
 let compile_inner t ~name source =
   let options = Invocation.to_driver_options t.invocation in
-      match t.cache with
-      | None ->
-        { c_result = Driver.compile ~options ~name source; c_cache_hit = false }
-      | Some cache -> (
-        let pre = Driver.preprocess ~options ~name source in
-        let key =
-          Cache.key
-            ~fingerprint:(Invocation.fingerprint t.invocation)
-            pre.Driver.pp_items
-        in
-        match Cache.find cache key with
-        | Some (ir, unroll_stats, stats) ->
-          {
-            c_result =
-              {
-                Driver.diag = pre.Driver.pp_diag;
-                srcmgr = pre.Driver.pp_srcmgr;
-                tu = None; (* parse and sema were skipped *)
-                ir = Some ir;
-                codegen_error = None;
-                timings =
-                  {
-                    Driver.t_lex = pre.Driver.pp_t_lex;
-                    t_preprocess = pre.Driver.pp_t_preprocess;
-                    t_parse_sema = 0.0;
-                    t_codegen = 0.0;
-                    t_passes = 0.0;
-                  };
-                unroll_stats;
-                stats;
-              };
-            c_cache_hit = true;
-          }
-        | None ->
-          let r = Driver.compile_preprocessed pre in
-          (match r.Driver.ir with
-          | Some ir when cacheable r ->
-            Cache.store cache key ~ir ~unroll_stats:r.Driver.unroll_stats
-              ~stats:r.Driver.stats
-          | _ -> ());
-          { c_result = r; c_cache_hit = false })
+  let x = Pipeline.execute ?cache:t.cache ~options ~name source in
+  {
+    c_result = x.Pipeline.x_result;
+    c_cache_hit = x.Pipeline.x_full_hit;
+    c_trace = x.Pipeline.x_trace;
+  }
 
 let compile t ?(name = "input.c") source =
-  in_scratch_registry t (fun () -> compile_inner t ~name source)
+  in_registry t (fun () -> compile_inner t ~name source)
+
+let recompile t ?name source =
+  (* Incremental recompilation = same-instance compile with a stage cache
+     guaranteed to exist: the first call is the cold build, every
+     subsequent call reuses whatever stages the edit left valid. *)
+  (match t.cache with None -> t.cache <- Some (Cache.create ()) | Some _ -> ());
+  compile t ?name source
 
 (* ---- fault containment ---------------------------------------------------- *)
 
@@ -116,11 +77,12 @@ let ices_counter =
 
 let contain t ~name ~source f =
   (* The CrashRecoveryContext analogue.  Everything — including the
-     [Crash_recovery.run] barrier itself — happens inside the scratch
-     registry, so a unit that ICEs still merges whatever counters it
-     accrued into the instance registry, and the registry scoping is
-     restored by [with_registry]'s own protection. *)
-  in_scratch_registry t (fun () ->
+     [Crash_recovery.run] barrier itself — happens with the instance
+     registry current, so a unit that ICEs still merges whatever counters
+     it accrued (the pipeline's scoped-registry merge runs in its
+     [finally]), and the registry scoping is restored by
+     [with_registry]'s own protection. *)
+  in_registry t (fun () ->
       match Crash_recovery.run f with
       | Ok v -> Ok v
       | Error ice ->
@@ -146,7 +108,7 @@ let frontend_safe t ?(name = "input.c") source =
         ~name source)
 
 let frontend t ?name source =
-  in_scratch_registry t (fun () ->
+  in_registry t (fun () ->
       Driver.frontend ~options:(Invocation.to_driver_options t.invocation)
         ?name source)
 

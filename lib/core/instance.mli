@@ -1,22 +1,23 @@
 (** The [clang::CompilerInstance] analogue: one compilation context that
-    owns its own {!Mc_support.Stats} registry (and optionally a compile
+    owns its own {!Mc_support.Stats} registry (and optionally a stage
     cache), making the driver reentrant — any number of instances can
     coexist in one process, sequentially or on separate domains, without
     sharing mutable state.
 
     Every pipeline entry point here scopes the calling domain to the
     instance's registry for the duration of the call, so stage timers,
-    layer counters, interpreter statistics and cache hit/miss counts all
-    land in (and render from) {e this} instance, never the process-global
-    default registry. *)
+    layer counters, interpreter statistics and per-stage cache counters
+    all land in (and render from) {e this} instance, never the
+    process-global default registry. *)
 
 type t
 
 val create : ?cache:Cache.t -> Invocation.t -> t
 (** A fresh instance with a zeroed registry.  When the invocation has
-    [cache_enabled] and no [?cache] is supplied, a private cache is
-    created; pass an explicit [?cache] to share one across instances
-    (as {!Batch.compile} does across its workers). *)
+    [cache_enabled] (or [incremental]) and no [?cache] is supplied, a
+    private stage cache is created; pass an explicit [?cache] to share
+    one across instances (as {!Batch.compile} does across its
+    workers). *)
 
 val invocation : t -> Invocation.t
 val registry : t -> Mc_support.Stats.Registry.t
@@ -27,21 +28,38 @@ val in_registry : t -> (unit -> 'a) -> 'a
     pieces not wrapped here (e.g. interpreting a result so that
     [interp.*] counters land in the instance). *)
 
-type compilation = { c_result : Driver.result; c_cache_hit : bool }
+type compilation = {
+  c_result : Driver.result;
+  c_cache_hit : bool;
+      (** Whole-pipeline hit: every stage from the parser onward was
+          served from the stage cache. *)
+  c_trace : Pipeline.trace;
+      (** Per-stage outcomes, e.g. lex:run pp:run ast:hit ir:hit
+          optir:hit for a comment-only edit. *)
+}
 
 val compile : t -> ?name:string -> string -> compilation
-(** {!Driver.compile} under the instance registry, consulting the
-    compile cache when the instance has one.  On a hit, parse, sema,
-    codegen and passes are skipped: the result carries a fresh copy of
-    the cached IR, the cached unroll/counter snapshot, [tu = None], and
-    zero back-end stage timings.  Only diagnostics-free successful
-    compilations are cached (a hit replays no warnings).
+(** {!Pipeline.execute} under the instance registry, consulting the
+    stage cache when the instance has one.  Each stage is memoized
+    independently: a same-source recompile hits every stage, a
+    comment-only edit re-runs lex/pp and reuses AST, IR and OptIR, and
+    an option change invalidates exactly the stages whose fingerprint
+    slice it touches.  Cached artifacts carry no diagnostics (only
+    diagnostic-free stage outputs are stored), and a hit at the AST
+    stage still yields [tu = Some _] — a fresh unmarshalled copy.
 
-    The instance registry is cumulative: each compilation runs in a
-    scratch registry (which {!Driver.compile} resets at the start of
-    every unit) and is merged into the instance registry afterwards, so
-    counters from repeated [compile] calls — including [cache.hits] /
-    [cache.misses] — add up rather than overwrite. *)
+    The instance registry is cumulative: the pipeline runs each
+    compilation in its own scoped registry and merges it into the
+    instance registry afterwards, so counters from repeated [compile]
+    calls — including the per-stage [cache.*] counters — add up rather
+    than overwrite. *)
+
+val recompile : t -> ?name:string -> string -> compilation
+(** Incremental recompilation: exactly {!compile}, but guarantees the
+    instance has a stage cache (creating a private one on first use even
+    when the invocation did not enable caching).  Call once for the cold
+    build, then again after each edit; the returned [c_trace] shows
+    which stages the edit actually re-ran. *)
 
 val frontend :
   t -> ?name:string -> string ->
@@ -69,8 +87,8 @@ val compile_safe :
     counter is bumped, a reproducer bundle is written (unless the
     invocation has [gen_reproducer = false]), whatever statistics the
     unit accrued before dying still merge into the instance registry —
-    and the unit is guaranteed absent from the compile cache, since
-    storing is the final step of a successful compile. *)
+    and no artifact of the stage that died was stored, since storing is
+    the last act of each successfully executed stage. *)
 
 val frontend_safe :
   t -> ?name:string -> string ->

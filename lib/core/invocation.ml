@@ -25,6 +25,7 @@ type t = {
   extra_files : (string * string) list;
   jobs : int;
   cache_enabled : bool;
+  incremental : bool;
   num_threads : int;
   stage_timings : bool;
   time_report : bool;
@@ -47,6 +48,7 @@ let default =
     extra_files = [];
     jobs = 1;
     cache_enabled = false;
+    incremental = false;
     num_threads = 4;
     stage_timings = false;
     time_report = false;
@@ -187,6 +189,9 @@ let of_argv argv =
         | "no-builder-folding" -> go { inv with fold = false } rest
         | "no-verify-ir" -> go { inv with verify_ir = false } rest
         | "cache" -> go { inv with cache_enabled = true } rest
+        | "incremental" ->
+          (* Incremental recompilation rides on the stage cache. *)
+          go { inv with incremental = true; cache_enabled = true } rest
         | "fno-crash-diagnostics" -> go { inv with gen_reproducer = false } rest
         | "gen-reproducer" -> go { inv with gen_reproducer = true } rest
         | "stage-timings" -> go { inv with stage_timings = true } rest
@@ -260,7 +265,8 @@ let to_argv inv =
   @ flag (not inv.verify_ir) "-no-verify-ir"
   @ List.map (fun (n, v) -> Printf.sprintf "-D%s=%s" n v) inv.defines
   @ (if inv.jobs <> d.jobs then [ Printf.sprintf "-j%d" inv.jobs ] else [])
-  @ flag inv.cache_enabled "-cache"
+  @ flag (inv.cache_enabled && not inv.incremental) "-cache"
+  @ flag inv.incremental "-incremental"
   @ (if inv.num_threads <> d.num_threads then
        [ Printf.sprintf "-num-threads=%d" inv.num_threads ]
      else [])

@@ -32,7 +32,9 @@ type t = {
   defines : (string * string) list; (* -D name=value *)
   extra_files : (string * string) list; (* virtual #include targets *)
   jobs : int; (* -j N: batch compilation domains *)
-  cache_enabled : bool; (* --cache: content-addressed compile cache *)
+  cache_enabled : bool; (* --cache: content-addressed stage cache *)
+  incremental : bool; (* --incremental: recompile after the cold batch,
+                         reporting per-stage reuse (implies cache) *)
   num_threads : int; (* simulated OpenMP team size *)
   stage_timings : bool;
   time_report : bool; (* -ftime-report *)
@@ -62,17 +64,19 @@ val load_inputs : t -> ((string * string) list, string) result
 (** Reads every input in order; fails on the first unreadable one. *)
 
 val fingerprint : t -> string
-(** Canonical rendering of the backend-relevant options, used as part of
-    the compile-cache key.  Inputs, defines and extra files are excluded
-    on purpose: they shape the preprocessed token stream, which the cache
-    content-addresses directly. *)
+(** Canonical rendering of the backend-relevant options (whole-invocation
+    granularity; the stage cache uses the finer per-stage
+    {!Pipeline.option_slice} fingerprints instead).  Inputs, defines and
+    extra files are excluded on purpose: they shape the preprocessed
+    token stream, which the pipeline content-addresses directly. *)
 
 val of_argv : string array -> (t, string) result
 (** Parses a full argv (element 0 is the program name) with the mcc flag
     grammar: single- or double-dash long options ([-emit-ir],
     [--emit-ir]), [-fsyntax-only] and [-syntax-only] as synonyms,
     [-j N]/[-jN], [-O 0]/[-O0]/[-O1], [-D NAME=VALUE]/[-DNAME=VALUE],
-    [--cache], [-num-threads N], [-ftime-report], [-print-stats],
+    [--cache], [--incremental], [-num-threads N], [-ftime-report],
+    [-print-stats],
     [-stage-timings], the resource limits [-ferror-limit N],
     [-fbracket-depth N], [-floop-nest-limit N], the reproducer toggles
     [-gen-reproducer]/[-fno-crash-diagnostics], and positional input

@@ -1,0 +1,487 @@
+(* The stage-graph pipeline: Fig. 1's layer stack made explicit.
+
+   Source -> PPTokens -> AST(+Sema/shadow/canonical) -> IR -> OptIR is a
+   linear DAG of typed stages.  Each stage produces an artifact whose
+   fingerprint is the hash of its input artifact plus the stage-relevant
+   slice of the options, so a per-stage cache can answer "has this exact
+   stage input been processed under these exact options before?":
+
+     lex    : hash(source)                      — no options reach the lexer
+     pp     : hash(source, -D slice)           + #include-set validation
+     ast    : hash(canonical PPTokens stream, sema slice)
+     ir     : hash(ast fp, codegen slice)
+     optir  : hash(ir fp, pass slice)
+
+   Content-addressing the AST stage on the preprocessor's *output* is what
+   makes a comment-only edit (lex/pp re-run, same expanded stream) reuse
+   everything from the AST stage onward, while a -D that changes expansion
+   or a -floop-nest-limit change invalidates exactly the stages whose
+   input or slice it touches.  -ferror-limit is deliberately in no slice:
+   only diagnostic-free stage outputs are ever cached, and a
+   diagnostic-free run is identical under any error limit.
+
+   Caching policy: a stage artifact is stored only when the compilation
+   has produced no diagnostics at all by the end of that stage (a hit
+   must never swallow a warning replay), and storing is the last act of a
+   successfully executed stage — an ICE mid-stage can never have been
+   stored.  Mutable artifacts (source managers, ASTs, IR modules) are
+   marshalled on store and unmarshalled fresh per hit, so no two
+   compilations ever alias one cached structure; the IR artifact is
+   snapshotted *before* the pass pipeline mutates the module in place.
+
+   Determinism: every execution starts by rewinding the domain-local
+   AST/IR id and gensym counters, so a cached artifact is byte-identical
+   to the one a cold compilation would rebuild — cold vs warm and 1 vs N
+   domains produce the same IR printout. *)
+
+module Diag = Mc_diag.Diagnostics
+module Srcmgr = Mc_srcmgr.Source_manager
+module Fmgr = Mc_srcmgr.File_manager
+module Buf = Mc_srcmgr.Memory_buffer
+module Stats = Mc_support.Stats
+module Clock = Mc_support.Clock
+module Crash_recovery = Mc_support.Crash_recovery
+module Loc = Mc_srcmgr.Source_location
+
+type options = {
+  use_irbuilder : bool;
+  optimize : bool;
+  fold : bool;
+  verify_ir : bool;
+  defines : (string * string) list;
+  extra_files : (string * string) list;
+  error_limit : int;
+  bracket_depth : int;
+  loop_nest_limit : int;
+}
+
+let default_options =
+  {
+    use_irbuilder = false;
+    optimize = true;
+    fold = true;
+    verify_ir = true;
+    defines = [];
+    extra_files = [];
+    error_limit = 20;
+    bracket_depth = Mc_parser.Parser.default_bracket_depth;
+    loop_nest_limit = Mc_sema.Sema.default_loop_nest_limit;
+  }
+
+type timings = {
+  t_lex : float;
+  t_preprocess : float;
+  t_parse_sema : float;
+  t_codegen : float;
+  t_passes : float;
+}
+
+type result = {
+  diag : Diag.t;
+  srcmgr : Srcmgr.t;
+  tu : Mc_ast.Tree.translation_unit option;
+  ir : Mc_ir.Ir.modul option;
+  codegen_error : string option;
+  timings : timings;
+  unroll_stats : Mc_passes.Loop_unroll.stats;
+  stats : Stats.snapshot;
+}
+
+type stage = Lex | Preprocess | Parse_sema | Codegen | Passes
+
+let stages = [ Lex; Preprocess; Parse_sema; Codegen; Passes ]
+
+(* -ftime-report / crash-phase labels: stable since PR 1. *)
+let stage_name = function
+  | Lex -> "lex"
+  | Preprocess -> "preprocess"
+  | Parse_sema -> "parse-sema"
+  | Codegen -> "codegen"
+  | Passes -> "passes"
+
+(* Artifact tags in the stage cache and its [cache.<tag>-*] counters. *)
+let stage_tag = function
+  | Lex -> "lex"
+  | Preprocess -> "pp"
+  | Parse_sema -> "ast"
+  | Codegen -> "ir"
+  | Passes -> "optir"
+
+type outcome = Executed | Cache_hit
+
+type trace = (stage * outcome) list
+
+let render_trace tr =
+  String.concat " "
+    (List.map
+       (fun (s, o) ->
+         stage_tag s ^ ":" ^ (match o with Executed -> "run" | Cache_hit -> "hit"))
+       tr)
+
+type exec = { x_result : result; x_trace : trace; x_full_hit : bool }
+
+(* ---- fingerprints ------------------------------------------------------- *)
+
+let hash s = Digest.to_hex (Digest.string s)
+
+(* The stage-relevant slice of the options, canonically rendered.  A flag
+   change invalidates exactly the stages whose slice mentions it. *)
+let option_slice stage o =
+  match stage with
+  | Lex -> "" (* no option reaches the lexer *)
+  | Preprocess ->
+    String.concat "\x01" (List.map (fun (k, v) -> k ^ "\x02" ^ v) o.defines)
+  | Parse_sema ->
+    Printf.sprintf "irbuilder=%b;bdepth=%d;nlimit=%d" o.use_irbuilder
+      o.bracket_depth o.loop_nest_limit
+  | Codegen ->
+    Printf.sprintf "irbuilder=%b;fold=%b;verify=%b" o.use_irbuilder o.fold
+      o.verify_ir
+  | Passes -> Printf.sprintf "optimize=%b;verify=%b" o.optimize o.verify_ir
+
+let source_fingerprint ~name source = hash ("src\x00" ^ name ^ "\x00" ^ source)
+
+let stage_fingerprint stage o ~input =
+  hash (stage_tag stage ^ "\x00" ^ input ^ "\x00" ^ option_slice stage o)
+
+(* ---- counters ----------------------------------------------------------- *)
+
+(* Whole-pipeline aggregates over the per-stage counters [Cache] owns: a
+   "hit" is a compilation that reused every stage from the parser onward
+   (no parse, sema, codegen or pass work ran). *)
+let stat_full_hits =
+  Stats.counter ~group:"cache" ~name:"hits"
+    ~desc:"whole-pipeline cache hits (every stage from parse onward reused)" ()
+
+let stat_full_misses =
+  Stats.counter ~group:"cache" ~name:"misses"
+    ~desc:"compilations that executed at least one stage from parse onward" ()
+
+let codegen_errors_counter =
+  Stats.counter ~group:"driver" ~name:"codegen-errors"
+    ~desc:"compilations refused by CodeGen (unsupported construct / errors)" ()
+
+(* ---- execution ---------------------------------------------------------- *)
+
+(* Stage timing on the monotonic wall clock; every interval also lands in
+   the current [Stats] registry for -ftime-report, and the active stage
+   doubles as the crash-recovery phase watermark so an ICE report can say
+   which pipeline stage blew up. *)
+let time stage f =
+  let label = stage_name stage in
+  Crash_recovery.set_phase label;
+  let start = Clock.now () in
+  let v = f () in
+  let dt = Clock.now () -. start in
+  Stats.record (Stats.timer ~group:"driver" ~name:label) dt;
+  (v, dt)
+
+(* Every execution starts from a known state: every domain-local name/id
+   generator rewound, so the same source always produces byte-identical
+   ASTs and IR no matter how many compilations preceded it in this
+   process or which domain runs it.  (The stats registry needs no reset:
+   each execution runs in its own scoped registry.) *)
+let reset_compilation_state () =
+  Mc_ast.Tree.reset_ids ();
+  Mc_ir.Ir.reset_ids ();
+  Mc_ompbuilder.Omp_builder.reset_gensym ();
+  Mc_codegen.Codegen.reset_gensym ()
+
+let marshal v = Marshal.to_string v []
+
+(* The PPTokens artifact: the parser-ready stream plus the source manager
+   that its token locations refer to, plus the #include set (path +
+   content digest) the preprocessing actually entered — validated against
+   the current file manager before the entry may be reused. *)
+type pp_payload = {
+  pl_items : Mc_pp.Preprocessor.item list;
+  pl_srcmgr : Srcmgr.t;
+  pl_includes : (string * string) list;
+}
+
+let walk ?cache ~frontend_only ~options ~name source =
+  reset_compilation_state ();
+  let trace = ref [] in
+  let mark stage outcome = trace := (stage, outcome) :: !trace in
+  let t_lex = ref 0.0
+  and t_preprocess = ref 0.0
+  and t_parse_sema = ref 0.0
+  and t_codegen = ref 0.0
+  and t_passes = ref 0.0 in
+  (* The source manager and diagnostics engine are rebound when a cached
+     PPTokens artifact (which carries its own source manager) is adopted;
+     everything downstream reads through these refs. *)
+  let srcmgr = ref (Srcmgr.create ()) in
+  let fmgr = Fmgr.create () in
+  List.iter
+    (fun (path, contents) -> ignore (Fmgr.add_file fmgr ~path ~contents))
+    options.extra_files;
+  let diag = ref (Diag.create !srcmgr) in
+  Diag.set_error_limit !diag options.error_limit;
+  (* Let the crash-recovery watermark render "file:line:col" without
+     mc_support depending on the source manager. *)
+  Crash_recovery.set_position_renderer (fun ~file ~offset ->
+      Srcmgr.describe !srcmgr (Loc.encode ~file_id:file ~offset));
+  let clean () = Diag.diagnostics !diag = [] in
+  let consult ?validate stage fp =
+    match cache with
+    | None -> None
+    | Some c -> Cache.find c ~stage:(stage_tag stage) ?validate fp
+  in
+  (* Storing is the last act of an executed stage, and only when the
+     compilation is still diagnostic-free — so an ICE mid-stage was never
+     stored, and a hit never swallows a warning replay. *)
+  let save stage fp payload =
+    match cache with
+    | None -> ()
+    | Some c -> if clean () then Cache.store c ~stage:(stage_tag stage) fp (payload ())
+  in
+  let buf = Buf.create ~name ~contents:source in
+  (* The main buffer loads first — file id 1, always — so token locations
+     inside cached artifacts stay valid whatever -D buffers or includes a
+     particular compilation loads afterwards. *)
+  let main_id = Srcmgr.load_main !srcmgr buf in
+  let src_fp = source_fingerprint ~name source in
+
+  (* Stage: lex. *)
+  let lex_fp = stage_fingerprint Lex options ~input:src_fp in
+  let toks =
+    match consult Lex lex_fp with
+    | Some payload ->
+      mark Lex Cache_hit;
+      (Marshal.from_string payload 0 : Mc_lexer.Token.t list)
+    | None ->
+      let toks, dt =
+        time Lex (fun () -> Mc_lexer.Lexer.tokenize !diag ~file_id:main_id buf)
+      in
+      t_lex := dt;
+      mark Lex Executed;
+      save Lex lex_fp (fun () -> marshal toks);
+      toks
+  in
+
+  (* Stage: preprocess. *)
+  let pp_fp = stage_fingerprint Preprocess options ~input:src_fp in
+  let adopted = ref None in
+  let validate payload =
+    let (p : pp_payload) = Marshal.from_string payload 0 in
+    let ok =
+      List.for_all
+        (fun (path, dg) ->
+          match Fmgr.get_file fmgr path with
+          | Some b -> String.equal (Buf.digest b) dg
+          | None -> false)
+        p.pl_includes
+    in
+    if ok then adopted := Some p;
+    ok
+  in
+  let items =
+    match consult ~validate Preprocess pp_fp with
+    | Some _ ->
+      let p = Option.get !adopted in
+      mark Preprocess Cache_hit;
+      (* Adopt the cached compilation state wholesale: the marshalled
+         source manager already holds the main buffer, -D buffers and
+         every include, and the replayed tokens point into it. *)
+      srcmgr := p.pl_srcmgr;
+      diag := Diag.create p.pl_srcmgr;
+      Diag.set_error_limit !diag options.error_limit;
+      p.pl_items
+    | None ->
+      let pp = Mc_pp.Preprocessor.create !diag !srcmgr fmgr in
+      List.iter
+        (fun (n, body) ->
+          Mc_pp.Preprocessor.define_object_macro pp ~name:n ~body)
+        options.defines;
+      let items, dt =
+        time Preprocess (fun () ->
+            Mc_pp.Preprocessor.preprocess_tokens pp ~file_id:main_id buf toks)
+      in
+      t_preprocess := dt;
+      mark Preprocess Executed;
+      save Preprocess pp_fp (fun () ->
+          marshal
+            {
+              pl_items = items;
+              pl_srcmgr = !srcmgr;
+              pl_includes = Mc_pp.Preprocessor.include_digests pp;
+            });
+      items
+  in
+
+  (* Stage: parse + sema (the parser drives sema, so they are one stage).
+     Content-addressed on the canonical preprocessed stream, not on the
+     source: a comment-only edit lands here with an unchanged input. *)
+  let ast_fp =
+    stage_fingerprint Parse_sema options ~input:(Cache.canonical_digest items)
+  in
+  let tu =
+    match consult Parse_sema ast_fp with
+    | Some payload ->
+      mark Parse_sema Cache_hit;
+      (Marshal.from_string payload 0 : Mc_ast.Tree.translation_unit)
+    | None ->
+      let sema_mode =
+        if options.use_irbuilder then Mc_sema.Sema.Irbuilder
+        else Mc_sema.Sema.Classic
+      in
+      let sema =
+        Mc_sema.Sema.create ~mode:sema_mode
+          ~loop_nest_limit:options.loop_nest_limit !diag
+      in
+      let tu, dt =
+        time Parse_sema (fun () ->
+            Mc_parser.Parser.parse_translation_unit
+              ~bracket_depth:options.bracket_depth sema items)
+      in
+      t_parse_sema := dt;
+      mark Parse_sema Executed;
+      save Parse_sema ast_fp (fun () -> marshal tu);
+      tu
+  in
+
+  let timings () =
+    {
+      t_lex = !t_lex;
+      t_preprocess = !t_preprocess;
+      t_parse_sema = !t_parse_sema;
+      t_codegen = !t_codegen;
+      t_passes = !t_passes;
+    }
+  in
+  let no_ir codegen_error =
+    {
+      diag = !diag;
+      srcmgr = !srcmgr;
+      tu = Some tu;
+      ir = None;
+      codegen_error;
+      timings = timings ();
+      unroll_stats = Mc_passes.Loop_unroll.empty_stats;
+      stats = [];
+    }
+  in
+  let r =
+    if frontend_only || Diag.has_errors !diag then no_ir None
+    else begin
+      (* Stage: codegen (IR). *)
+      let ir_fp = stage_fingerprint Codegen options ~input:ast_fp in
+      let pre_pass =
+        match consult Codegen ir_fp with
+        | Some payload ->
+          mark Codegen Cache_hit;
+          Ok (Marshal.from_string payload 0 : Mc_ir.Ir.modul)
+        | None -> (
+          let mode =
+            if options.use_irbuilder then Mc_codegen.Codegen.Irbuilder
+            else Mc_codegen.Codegen.Classic
+          in
+          match
+            time Codegen (fun () ->
+                match
+                  Mc_codegen.Codegen.emit_translation_unit ~fold:options.fold
+                    ~mode tu
+                with
+                | m -> Ok m
+                | exception Mc_codegen.Codegen.Unsupported msg -> Error msg)
+          with
+          (* The time codegen spent before bailing out is still real work;
+             keep it so stage timings stay truthful on the error path. *)
+          | Error msg, dt ->
+            t_codegen := dt;
+            mark Codegen Executed;
+            Stats.incr codegen_errors_counter;
+            Error msg
+          | Ok m, dt ->
+            t_codegen := dt;
+            mark Codegen Executed;
+            if options.verify_ir then begin
+              match Mc_ir.Verifier.check m with
+              | Ok () -> ()
+              | Error e ->
+                invalid_arg
+                  (Printf.sprintf "IR verification failed after codegen:\n%s" e)
+            end;
+            (* Snapshot *before* the pass pipeline mutates m in place. *)
+            save Codegen ir_fp (fun () -> marshal m);
+            Ok m)
+      in
+      match pre_pass with
+      | Error msg -> no_ir (Some msg)
+      | Ok m -> (
+        (* Stage: passes (OptIR). *)
+        let opt_fp = stage_fingerprint Passes options ~input:ir_fp in
+        match consult Passes opt_fp with
+        | Some payload ->
+          mark Passes Cache_hit;
+          let (m', unroll) : Mc_ir.Ir.modul * Mc_passes.Loop_unroll.stats =
+            Marshal.from_string payload 0
+          in
+          {
+            diag = !diag;
+            srcmgr = !srcmgr;
+            tu = Some tu;
+            ir = Some m';
+            codegen_error = None;
+            timings = timings ();
+            unroll_stats = unroll;
+            stats = [];
+          }
+        | None ->
+          let report, dt =
+            time Passes (fun () ->
+                Mc_passes.Pass_manager.run ~verify_between:options.verify_ir
+                  ~passes:
+                    (if options.optimize then Mc_passes.Pass_manager.o1
+                     else Mc_passes.Pass_manager.o0)
+                  m)
+          in
+          t_passes := dt;
+          mark Passes Executed;
+          save Passes opt_fp (fun () ->
+              marshal (m, report.Mc_passes.Pass_manager.unroll_stats));
+          {
+            diag = !diag;
+            srcmgr = !srcmgr;
+            tu = Some tu;
+            ir = Some m;
+            codegen_error = None;
+            timings = timings ();
+            unroll_stats = report.Mc_passes.Pass_manager.unroll_stats;
+            stats = [];
+          })
+    end
+  in
+  let tr = List.rev !trace in
+  let full_hit =
+    r.ir <> None
+    && List.exists (fun (s, _) -> s = Passes) tr
+    && List.for_all
+         (fun (s, o) ->
+           match s with
+           | Lex | Preprocess -> true
+           | Parse_sema | Codegen | Passes -> o = Cache_hit)
+         tr
+  in
+  if Option.is_some cache && not frontend_only then
+    Stats.incr (if full_hit then stat_full_hits else stat_full_misses);
+  (r, tr, full_hit)
+
+let execute ?cache ?(options = default_options) ?(name = "input.c") source =
+  let (r, tr, full_hit), registry =
+    Stats.with_scoped_registry (fun () ->
+        walk ?cache ~frontend_only:false ~options ~name source)
+  in
+  {
+    x_result = { r with stats = Stats.snapshot ~registry () };
+    x_trace = tr;
+    x_full_hit = full_hit;
+  }
+
+let frontend ?(options = default_options) ?(name = "input.c") source =
+  let (r, _, _), _registry =
+    Stats.with_scoped_registry (fun () ->
+        walk ~frontend_only:true ~options ~name source)
+  in
+  (r.diag, Option.get r.tu)

@@ -36,15 +36,33 @@ type cond_state = {
   was_live : bool; (* the enclosing context was live *)
 }
 
+(* A token source on the include stack: either a live lexer, or a replay
+   of an already-lexed token list (how the stage-graph pipeline feeds a
+   cached Lex artifact back through preprocessing without re-lexing).
+   A replay keeps handing out its synthetic [Eof] forever once drained,
+   matching [Lexer.next]'s end-of-buffer behaviour. *)
+type source = Src_lexer of Lexer.t | Src_replay of replay
+and replay = { mutable r_toks : Token.t list; r_eof : Token.t }
+
+let source_next = function
+  | Src_lexer lexer -> Lexer.next lexer
+  | Src_replay r -> (
+    match r.r_toks with
+    | [] -> r.r_eof
+    | tok :: rest ->
+      r.r_toks <- rest;
+      tok)
+
 type t = {
   diag : Diag.t;
   srcmgr : Srcmgr.t;
   fmgr : Fmgr.t;
   macros : (string, macro) Hashtbl.t;
-  mutable lexers : Lexer.t list; (* include stack, innermost first *)
+  mutable sources : source list; (* include stack, innermost first *)
   mutable pending : ptok list; (* macro-expansion output queue *)
   mutable conds : cond_state list;
   mutable include_depth : int;
+  mutable includes : (string * string) list; (* (path, digest), newest first *)
 }
 
 let create diag srcmgr fmgr =
@@ -53,11 +71,14 @@ let create diag srcmgr fmgr =
     srcmgr;
     fmgr;
     macros = Hashtbl.create 16;
-    lexers = [];
+    sources = [];
     pending = [];
     conds = [];
     include_depth = 0;
+    includes = [];
   }
+
+let include_digests t = List.rev t.includes
 
 let macro_names t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.macros []
@@ -72,15 +93,15 @@ let eof_token =
     has_space_before = false;
   }
 
-(* Raw token fetch: next token from the innermost lexer, popping finished
+(* Raw token fetch: next token from the innermost source, popping finished
    includes.  Does not consult the pending queue. *)
 let rec raw_next t =
-  match t.lexers with
+  match t.sources with
   | [] -> eof_token
-  | lexer :: rest ->
-    let tok = Lexer.next lexer in
+  | source :: rest ->
+    let tok = source_next source in
     if Token.is_eof tok && rest <> [] then begin
-      t.lexers <- rest;
+      t.sources <- rest;
       raw_next t
     end
     else tok
@@ -401,7 +422,7 @@ let eval_condition t (toks : Token.t list) ~loc =
    this must not pop the lexer stack. *)
 let directive_tokens t =
   let next_same_file () =
-    match t.lexers with [] -> eof_token | lexer :: _ -> Lexer.next lexer
+    match t.sources with [] -> eof_token | source :: _ -> source_next source
   in
   let rec go acc =
     let tok = next_same_file () in
@@ -459,9 +480,13 @@ let handle_include t loc toks =
           (Printf.sprintf "'%s' file not found" path)
       | Some buf ->
         Stats.incr stat_files;
+        (* Record what was actually included (path + content digest): the
+           stage cache validates a cached PPTokens artifact against this
+           set, so editing an included file invalidates the entry. *)
+        t.includes <- (path, Mc_srcmgr.Memory_buffer.digest buf) :: t.includes;
         let file_id = Srcmgr.load_buffer t.srcmgr buf in
         t.include_depth <- t.include_depth + 1;
-        t.lexers <- Lexer.create t.diag ~file_id buf :: t.lexers)
+        t.sources <- Src_lexer (Lexer.create t.diag ~file_id buf) :: t.sources)
   | _ -> Diag.error t.diag ~loc "expected \"FILENAME\" after #include"
 
 (* Skip tokens of a dead conditional branch, honouring nesting.  Returns at
@@ -601,13 +626,33 @@ let define_object_macro t ~name ~body =
   let body_toks = Mc_lexer.Lexer.tokenize t.diag ~file_id buf in
   Hashtbl.replace t.macros name (Object body_toks)
 
-let preprocess_main t buf =
-  Stats.incr stat_files;
-  let file_id = Srcmgr.load_main t.srcmgr buf in
-  t.lexers <- [ Lexer.create t.diag ~file_id buf ];
+let drive t =
   t.pending <- [];
   t.conds <- [];
   let rec go acc =
     match next_item t with None -> List.rev acc | Some item -> go (item :: acc)
   in
   go []
+
+let preprocess_main t buf =
+  Stats.incr stat_files;
+  let file_id = Srcmgr.load_main t.srcmgr buf in
+  t.sources <- [ Src_lexer (Lexer.create t.diag ~file_id buf) ];
+  drive t
+
+let preprocess_tokens t ~file_id buf toks =
+  Stats.incr stat_files;
+  (* Same end-of-buffer Eof a live lexer would produce: offset at the end
+     of the main buffer, so "unterminated #if"-style diagnostics point to
+     the same place whether the tokens were replayed or lexed. *)
+  let eof =
+    {
+      Token.kind = Token.Eof;
+      loc = Srcmgr.location t.srcmgr ~file_id ~offset:(Mc_srcmgr.Memory_buffer.length buf);
+      len = 0;
+      at_line_start = true;
+      has_space_before = false;
+    }
+  in
+  t.sources <- [ Src_replay { r_toks = toks; r_eof = eof } ];
+  drive t

@@ -29,5 +29,20 @@ val preprocess_main : t -> Mc_srcmgr.Memory_buffer.t -> item list
 (** Runs the full preprocessing of a main buffer (registering it with the
     source manager) and returns the parser-ready stream, [Eof] excluded. *)
 
+val preprocess_tokens :
+  t -> file_id:int -> Mc_srcmgr.Memory_buffer.t -> Mc_lexer.Token.t list ->
+  item list
+(** Like {!preprocess_main}, but replays an already-lexed token stream of
+    the main buffer (which the caller has registered with the source
+    manager as [file_id]) instead of driving a lexer over it — how the
+    stage-graph pipeline reuses a cached Lex artifact.  Included files
+    still lex live. *)
+
+val include_digests : t -> (string * string) list
+(** The [(path, content digest)] of every file this preprocessor entered
+    via [#include], in inclusion order (duplicates included).  The stage
+    cache stores this alongside a PPTokens artifact and validates it
+    against the current file manager before reusing the entry. *)
+
 val macro_names : t -> string list
 (** Currently defined macro names, for tests. *)

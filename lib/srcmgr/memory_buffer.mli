@@ -13,3 +13,8 @@ val char_at : t -> int -> char
 (** Raises [Invalid_argument] when out of bounds. *)
 
 val sub : t -> pos:int -> len:int -> string
+
+val digest : t -> string
+(** Hex content digest of the buffer — its identity for the stage cache
+    (artifact fingerprints, [#include]-set validation).  Computed lazily
+    and cached; the contents are immutable so it cannot go stale. *)

@@ -76,6 +76,19 @@ let with_registry r f =
   Domain.DLS.set current_key r;
   Fun.protect ~finally:(fun () -> Domain.DLS.set current_key prev) f
 
+(* The embedder-safe scope: a fresh registry that only ever *adds* to the
+   enclosing one.  The merge runs in the [finally] so a pipeline that dies
+   with an ICE still surrenders whatever counters it accrued. *)
+let with_scoped_registry f =
+  let outer = current_registry () in
+  let scoped = Registry.create () in
+  let v =
+    Fun.protect
+      ~finally:(fun () -> Registry.merge ~into:outer scoped)
+      (fun () -> with_registry scoped f)
+  in
+  (v, scoped)
+
 (* ---- registration ------------------------------------------------------- *)
 
 let counter ~group ~name ?(desc = "") () =

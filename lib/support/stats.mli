@@ -53,6 +53,15 @@ val with_registry : Registry.t -> (unit -> 'a) -> 'a
 val current_registry : unit -> Registry.t
 (** The calling domain's current registry. *)
 
+val with_scoped_registry : (unit -> 'a) -> 'a * Registry.t
+(** Runs the thunk under a fresh registry and returns that registry
+    alongside the result.  Afterwards — even when the thunk raises — the
+    fresh registry is {e merged} into the previously-current one, never
+    replacing or resetting it, so an embedder's own counters survive
+    untouched while still seeing the scoped work accrue.  This is how
+    each {!Mc_core.Pipeline} execution isolates its per-compile snapshot
+    without clobbering the caller's registry. *)
+
 type counter
 type timer
 

@@ -19,6 +19,7 @@ let () =
       ("driver", Test_driver.suite);
       ("batch", Test_batch.suite);
       ("cache", Test_cache.suite);
+      ("pipeline", Test_pipeline.suite);
       ("goldens", Test_goldens.suite);
       ("e2e", Test_e2e.suite);
       ("fuzz", Test_fuzz.suite);

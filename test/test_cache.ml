@@ -1,9 +1,10 @@
-(* Compile-cache suite: content addressing over the preprocessed stream,
-   hit/miss behaviour under option and define changes, counter surfacing,
-   and isolation of the IR copies a hit hands out. *)
+(* Stage-cache suite: content addressing over the preprocessed stream,
+   per-stage hit/miss behaviour under option and define changes, counter
+   surfacing, and isolation of the artifact copies a hit hands out. *)
 
 open Helpers
 module Driver = Mc_core.Driver
+module Pipeline = Mc_core.Pipeline
 module Invocation = Mc_core.Invocation
 module Instance = Mc_core.Instance
 module Batch = Mc_core.Batch
@@ -26,16 +27,36 @@ let compile inst src =
       (Mc_diag.Diagnostics.render_all c.Instance.c_result.Driver.diag);
   c
 
+let check_trace what expected (c : Instance.compilation) =
+  Alcotest.(check string) what expected (Pipeline.render_trace c.Instance.c_trace)
+
+let ir_text (c : Instance.compilation) =
+  Mc_ir.Printer.module_to_string (Option.get c.Instance.c_result.Driver.ir)
+
 let test_second_compile_hits () =
   let cache = Cache.create () in
   let inst = Instance.create ~cache cached_invocation in
   let first = compile inst source in
   Alcotest.(check bool) "first is a miss" false first.Instance.c_cache_hit;
-  Alcotest.(check int) "one entry stored" 1 (Cache.length cache);
+  check_trace "cold runs every stage"
+    "lex:run pp:run ast:run ir:run optir:run" first;
+  (* One artifact per stage. *)
+  Alcotest.(check int) "five artifacts stored" 5 (Cache.length cache);
+  List.iter
+    (fun stage ->
+      Alcotest.(check int) (stage ^ " stored") 1
+        (Cache.stage_length cache ~stage))
+    Cache.stage_names;
   let second = compile inst source in
   Alcotest.(check bool) "second is a hit" true second.Instance.c_cache_hit;
-  (* The cached result is behaviourally identical: same execution trace,
-     same counter snapshot as the original compilation. *)
+  check_trace "warm hits every stage"
+    "lex:hit pp:hit ast:hit ir:hit optir:hit" second;
+  (* A hit still carries a fresh AST copy. *)
+  Alcotest.(check bool) "tu present on hit" true
+    (second.Instance.c_result.Driver.tu <> None);
+  (* The cached result is behaviourally identical: byte-identical IR and
+     the same execution trace as the cold compilation. *)
+  Alcotest.(check string) "byte-identical IR" (ir_text first) (ir_text second);
   let trace r =
     match Instance.run inst r with
     | Ok o -> trace_to_string o.Mc_interp.Interp.trace
@@ -44,48 +65,75 @@ let test_second_compile_hits () =
   Alcotest.(check string) "same trace"
     (trace first.Instance.c_result)
     (trace second.Instance.c_result);
-  Alcotest.(check (list (pair string int))) "same stats snapshot"
-    first.Instance.c_result.Driver.stats second.Instance.c_result.Driver.stats;
-  (* Hit/miss counters surface in the instance registry. *)
+  (* Aggregate and per-stage counters surface in the per-compile
+     snapshots and the instance registry. *)
   let snap = Instance.stats inst in
   Alcotest.(check int) "cache.hits" 1 (Stats.find snap "cache.hits");
-  Alcotest.(check int) "cache.misses" 1 (Stats.find snap "cache.misses")
+  Alcotest.(check int) "cache.misses" 1 (Stats.find snap "cache.misses");
+  let warm = second.Instance.c_result.Driver.stats in
+  List.iter
+    (fun stage ->
+      Alcotest.(check int)
+        (Printf.sprintf "warm cache.%s-hits" stage)
+        1
+        (Stats.find warm (Printf.sprintf "cache.%s-hits" stage)))
+    Cache.stage_names
 
 let test_define_change_misses () =
   let cache = Cache.create () in
   let run_with defines =
     let inv = { cached_invocation with Invocation.defines } in
     let inst = Instance.create ~cache inv in
-    (compile inst source).Instance.c_cache_hit
+    compile inst source
   in
-  Alcotest.(check bool) "cold" false (run_with [ ("N", "2") ]);
-  Alcotest.(check bool) "same -D hits" true (run_with [ ("N", "2") ]);
-  (* A -D change that alters expansion is a different translation unit. *)
-  Alcotest.(check bool) "changed -D misses" false (run_with [ ("N", "4") ]);
-  Alcotest.(check int) "two entries" 2 (Cache.length cache)
+  Alcotest.(check bool) "cold" false
+    (run_with [ ("N", "2") ]).Instance.c_cache_hit;
+  Alcotest.(check bool) "same -D hits" true
+    (run_with [ ("N", "2") ]).Instance.c_cache_hit;
+  (* A -D change that alters expansion is a different translation unit
+     from the preprocessor onward — but the lex artifact, fingerprinted
+     on the source alone, is still reused. *)
+  check_trace "changed -D re-runs pp and downstream"
+    "lex:hit pp:run ast:run ir:run optir:run"
+    (run_with [ ("N", "4") ]);
+  Alcotest.(check int) "one lex artifact for both -D values" 1
+    (Cache.stage_length cache ~stage:"lex");
+  Alcotest.(check int) "two pp artifacts" 2
+    (Cache.stage_length cache ~stage:"pp");
+  Alcotest.(check int) "nine artifacts total" 9 (Cache.length cache)
 
 let test_option_change_misses () =
   let cache = Cache.create () in
-  let hit_with inv =
+  let with_inv inv =
     let inst = Instance.create ~cache inv in
-    (compile inst source).Instance.c_cache_hit
+    compile inst source
   in
-  Alcotest.(check bool) "cold" false (hit_with cached_invocation);
-  Alcotest.(check bool) "irbuilder differs" false
-    (hit_with { cached_invocation with Invocation.use_irbuilder = true });
-  Alcotest.(check bool) "-O0 differs" false
-    (hit_with { cached_invocation with Invocation.opt_level = 0 });
-  Alcotest.(check bool) "original still hits" true (hit_with cached_invocation)
+  Alcotest.(check bool) "cold" false
+    (with_inv cached_invocation).Instance.c_cache_hit;
+  (* -fopenmp-enable-irbuilder is in the sema slice: pp still hits, the
+     AST stage and everything downstream misses. *)
+  check_trace "irbuilder invalidates from ast on"
+    "lex:hit pp:hit ast:run ir:run optir:run"
+    (with_inv { cached_invocation with Invocation.use_irbuilder = true });
+  (* -O only reaches the pass pipeline: everything up to the IR hits. *)
+  check_trace "-O0 invalidates only optir"
+    "lex:hit pp:hit ast:hit ir:hit optir:run"
+    (with_inv { cached_invocation with Invocation.opt_level = 0 });
+  Alcotest.(check bool) "original still hits" true
+    (with_inv cached_invocation).Instance.c_cache_hit
 
 let test_comment_change_still_hits () =
   (* Content addressing is post-preprocessing: edits the preprocessor
-     erases (comments, whitespace) keep the content address. *)
+     erases (comments, whitespace) re-run lex/pp but keep the AST
+     stage's content address — and everything downstream. *)
   let cache = Cache.create () in
   let inst = Instance.create ~cache cached_invocation in
   ignore (compile inst source);
   let commented = "/* a comment the lexer drops */\n" ^ source ^ "\n\n" in
   let c = compile inst commented in
-  Alcotest.(check bool) "comment-only change hits" true c.Instance.c_cache_hit
+  Alcotest.(check bool) "comment-only change hits" true c.Instance.c_cache_hit;
+  check_trace "comment edit reuses ast/ir/optir"
+    "lex:run pp:run ast:hit ir:hit optir:hit" c
 
 let test_hits_are_isolated_copies () =
   let cache = Cache.create () in
@@ -104,8 +152,9 @@ let test_hits_are_isolated_copies () =
     (Mc_ir.Printer.module_to_string (ir c))
 
 let test_warnings_prevent_caching () =
-  (* A unit that produced diagnostics is not cached: a hit skips parse
-     and sema, so caching it would silently drop its warnings. *)
+  (* Stage artifacts are only stored while the compilation is still
+     diagnostic-free: a hit replays no warnings, so a warned stage (and
+     everything after it) must re-run on recompilation. *)
   (* [cached_invocation] predefines N on the command line, so the
      in-source #define reliably triggers "'N' macro redefined". *)
   let warning_source =
@@ -121,7 +170,13 @@ let test_warnings_prevent_caching () =
   (* Only meaningful if this source indeed warns; guard so the test fails
      loudly if the diagnostic disappears. *)
   Alcotest.(check bool) "source produces a warning" true warned;
-  Alcotest.(check int) "not stored" 0 (Cache.length cache);
+  (* Lexing finished clean, so its artifact may be stored; the warning
+     fires in the preprocessor, so pp/ast/ir/optir must not be. *)
+  List.iter
+    (fun stage ->
+      Alcotest.(check int) (stage ^ " not stored") 0
+        (Cache.stage_length cache ~stage))
+    [ "pp"; "ast"; "ir"; "optir" ];
   let second = Instance.compile inst warning_source in
   Alcotest.(check bool) "recompile, with warnings again" false
     second.Instance.c_cache_hit;

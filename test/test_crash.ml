@@ -132,13 +132,22 @@ let test_ice_and_errors_never_cached () =
     | Some c -> c
     | None -> Alcotest.fail "instance has no cache"
   in
-  (* An ICE must leave the cache empty: storing is the final step of a
-     successful compile, so a unit that dies mid-pipeline never lands. *)
+  let backend_lengths () =
+    List.map
+      (fun stage -> Mc_core.Cache.stage_length cache ~stage)
+      [ "ast"; "ir"; "optir" ]
+  in
+  (* An ICE must leave nothing from the dying stage onward: storing is
+     the last act of each successfully executed stage, so a unit that
+     dies in parse-sema may have cached its (clean) lex/pp artifacts but
+     never an AST, IR or OptIR. *)
   (match Instance.compile_safe inst ~name:"boom.c" crash_source with
   | Ok _ -> Alcotest.fail "deliberate ICE was not contained"
   | Error _ -> ());
-  Alcotest.(check int) "cache empty after ICE" 0 (Mc_core.Cache.length cache);
-  (* A unit with diagnostics (codegen refused) is never stored either. *)
+  Alcotest.(check (list int)) "no backend artifacts after ICE" [ 0; 0; 0 ]
+    (backend_lengths ());
+  (* A unit with diagnostics is never stored from the diagnosed stage on
+     either. *)
   let broken = "int main(void) { return undeclared_thing; }" in
   (match Instance.compile_safe inst ~name:"broken.c" broken with
   | Ok { Instance.c_cache_hit; _ } ->
@@ -146,14 +155,15 @@ let test_ice_and_errors_never_cached () =
   | Error f ->
     Alcotest.failf "diagnosed unit must not ICE: %s"
       f.Instance.f_ice.Crash_recovery.ice_exn);
-  Alcotest.(check int) "cache empty after errors" 0
-    (Mc_core.Cache.length cache);
-  (* A clean compile afterwards stores and then hits as usual. *)
+  Alcotest.(check (list int)) "no backend artifacts after errors" [ 0; 0; 0 ]
+    (backend_lengths ());
+  (* A clean compile afterwards stores every stage and then hits. *)
   (match Instance.compile_safe inst ~name:"clean.c" good_source with
   | Ok { Instance.c_cache_hit; _ } ->
     Alcotest.(check bool) "first clean compile misses" false c_cache_hit
   | Error _ -> Alcotest.fail "clean unit ICEd");
-  Alcotest.(check int) "clean unit stored" 1 (Mc_core.Cache.length cache);
+  Alcotest.(check (list int)) "clean unit stored each backend stage"
+    [ 1; 1; 1 ] (backend_lengths ());
   match Instance.compile_safe inst ~name:"clean.c" good_source with
   | Ok { Instance.c_cache_hit; _ } ->
     Alcotest.(check bool) "second clean compile hits" true c_cache_hit

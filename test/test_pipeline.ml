@@ -1,0 +1,234 @@
+(* Stage-graph pipeline suite: per-stage fingerprint slices, incremental
+   recompilation traces and counters, include-set invalidation, and the
+   cold/warm and 1-domain/N-domain determinism guarantees. *)
+
+open Helpers
+module Driver = Mc_core.Driver
+module Pipeline = Mc_core.Pipeline
+module Invocation = Mc_core.Invocation
+module Instance = Mc_core.Instance
+module Batch = Mc_core.Batch
+module Cache = Mc_core.Cache
+module Stats = Mc_support.Stats
+
+let source_with_bound n =
+  Printf.sprintf
+    "void record(long x);\nint main(void) {\nlong s = 0;\n\
+     #pragma omp unroll partial(4)\n\
+     for (int i = 0; i < %d; i += 1) s += i;\nrecord(s);\nreturn 0; }"
+    n
+
+let source = source_with_bound 40
+
+let compile inst ?name src =
+  let c = Instance.compile inst ?name src in
+  if Mc_diag.Diagnostics.has_errors c.Instance.c_result.Driver.diag then
+    Alcotest.failf "compile failed:\n%s"
+      (Mc_diag.Diagnostics.render_all c.Instance.c_result.Driver.diag);
+  c
+
+let trace_of (c : Instance.compilation) =
+  Pipeline.render_trace c.Instance.c_trace
+
+let counter (c : Instance.compilation) name =
+  Stats.find c.Instance.c_result.Driver.stats name
+
+let ir_text (c : Instance.compilation) =
+  Mc_ir.Printer.module_to_string (Option.get c.Instance.c_result.Driver.ir)
+
+(* ---- fingerprint slices ------------------------------------------------- *)
+
+let test_option_slices () =
+  let o = Driver.default_options in
+  (* No option reaches the lexer. *)
+  Alcotest.(check string) "lex slice is empty" ""
+    (Pipeline.option_slice Pipeline.Lex
+       { o with Driver.optimize = false; loop_nest_limit = 1; fold = false });
+  (* -floop-nest-limit is sema-relevant, invisible to lex/pp/codegen/passes. *)
+  let o' = { o with Driver.loop_nest_limit = 2 } in
+  List.iter
+    (fun st ->
+      Alcotest.(check string)
+        (Pipeline.stage_tag st ^ " slice ignores loop_nest_limit")
+        (Pipeline.option_slice st o) (Pipeline.option_slice st o'))
+    [ Pipeline.Lex; Pipeline.Preprocess; Pipeline.Codegen; Pipeline.Passes ];
+  Alcotest.(check bool) "ast slice sees loop_nest_limit" false
+    (Pipeline.option_slice Pipeline.Parse_sema o
+    = Pipeline.option_slice Pipeline.Parse_sema o');
+  (* -O is pass-relevant only. *)
+  let oO0 = { o with Driver.optimize = false } in
+  List.iter
+    (fun st ->
+      Alcotest.(check string)
+        (Pipeline.stage_tag st ^ " slice ignores -O")
+        (Pipeline.option_slice st o) (Pipeline.option_slice st oO0))
+    [ Pipeline.Lex; Pipeline.Preprocess; Pipeline.Parse_sema; Pipeline.Codegen ];
+  Alcotest.(check bool) "passes slice sees -O" false
+    (Pipeline.option_slice Pipeline.Passes o
+    = Pipeline.option_slice Pipeline.Passes oO0);
+  (* -ferror-limit is in no slice: cached artifacts are diagnostic-free,
+     and a diagnostic-free run is identical under any error limit. *)
+  let oe = { o with Driver.error_limit = 1 } in
+  List.iter
+    (fun st ->
+      Alcotest.(check string)
+        (Pipeline.stage_tag st ^ " slice ignores error_limit")
+        (Pipeline.option_slice st o) (Pipeline.option_slice st oe))
+    Pipeline.stages
+
+(* ---- incremental recompilation ------------------------------------------ *)
+
+let test_recompile_warm_hits_every_stage () =
+  (* [recompile] provides the cache even when the invocation didn't. *)
+  let inst = Instance.create Invocation.default in
+  Alcotest.(check bool) "no cache up front" true (Instance.cache inst = None);
+  let cold = Instance.recompile inst source in
+  Alcotest.(check bool) "recompile created a cache" true
+    (Instance.cache inst <> None);
+  Alcotest.(check string) "cold trace"
+    "lex:run pp:run ast:run ir:run optir:run"
+    (trace_of cold);
+  let warm = Instance.recompile inst source in
+  Alcotest.(check bool) "warm recompile is a full hit" true
+    warm.Instance.c_cache_hit;
+  Alcotest.(check string) "warm trace"
+    "lex:hit pp:hit ast:hit ir:hit optir:hit"
+    (trace_of warm);
+  Alcotest.(check string) "warm IR byte-identical to cold" (ir_text cold)
+    (ir_text warm)
+
+let test_comment_edit_counters () =
+  (* The acceptance property, read off the per-compile stage counters: a
+     comment-only edit re-runs lex/pp (misses) and reuses every stage
+     from the AST onward (hits). *)
+  let inv = { Invocation.default with Invocation.cache_enabled = true } in
+  let inst = Instance.create inv in
+  ignore (compile inst source);
+  let edited = source ^ "\n/* trailing comment, invisible post-pp */\n" in
+  let c = compile inst edited in
+  List.iter
+    (fun (name, expected) ->
+      Alcotest.(check int) name expected (counter c name))
+    [
+      ("cache.lex-misses", 1);
+      ("cache.lex-hits", 0);
+      ("cache.pp-misses", 1);
+      ("cache.pp-hits", 0);
+      ("cache.ast-hits", 1);
+      ("cache.ast-misses", 0);
+      ("cache.ir-hits", 1);
+      ("cache.ir-misses", 0);
+      ("cache.optir-hits", 1);
+      ("cache.optir-misses", 0);
+    ];
+  Alcotest.(check bool) "comment edit counts as whole-pipeline hit" true
+    c.Instance.c_cache_hit
+
+let test_body_edit_reruns_backend () =
+  let inst =
+    Instance.create { Invocation.default with Invocation.cache_enabled = true }
+  in
+  ignore (compile inst source);
+  let c = compile inst (source_with_bound 41) in
+  Alcotest.(check string) "body edit re-runs everything"
+    "lex:run pp:run ast:run ir:run optir:run" (trace_of c);
+  Alcotest.(check bool) "not a whole-pipeline hit" false c.Instance.c_cache_hit
+
+let test_loop_nest_limit_invalidates_sema_onward () =
+  (* A -floop-nest-limit change touches only the sema slice: lex and pp
+     artifacts survive, the AST stage and everything downstream re-run. *)
+  let cache = Cache.create () in
+  let base = { Invocation.default with Invocation.cache_enabled = true } in
+  let inst = Instance.create ~cache base in
+  ignore (compile inst source);
+  let bumped =
+    Instance.create ~cache
+      { base with Invocation.loop_nest_limit = base.Invocation.loop_nest_limit + 1 }
+  in
+  let c = compile bumped source in
+  Alcotest.(check string) "limit change re-runs sema and later"
+    "lex:hit pp:hit ast:run ir:run optir:run" (trace_of c);
+  (* And coming back to the original limit hits everything again. *)
+  let back = compile (Instance.create ~cache base) source in
+  Alcotest.(check string) "original limit fully warm"
+    "lex:hit pp:hit ast:hit ir:hit optir:hit" (trace_of back)
+
+let test_include_edit_invalidates_pp () =
+  (* Editing an extra file's contents flips the recorded include digest:
+     the pp lookup counts an invalidation (stale entry kept) and re-runs;
+     the new expansion then misses the AST stage too.  Restoring the old
+     contents revalidates the original entry. *)
+  let header v = Printf.sprintf "#define V %d\n" v in
+  let src = "#include \"inc.h\"\nint main(void) { return V; }" in
+  let cache = Cache.create () in
+  let inv files =
+    {
+      Invocation.default with
+      Invocation.cache_enabled = true;
+      extra_files = [ ("inc.h", header files) ];
+    }
+  in
+  let c1 = compile (Instance.create ~cache (inv 2)) ~name:"m.c" src in
+  Alcotest.(check string) "cold" "lex:run pp:run ast:run ir:run optir:run"
+    (trace_of c1);
+  let c2 = compile (Instance.create ~cache (inv 3)) ~name:"m.c" src in
+  Alcotest.(check int) "pp entry invalidated" 1
+    (counter c2 "cache.pp-invalidations");
+  Alcotest.(check string) "include edit re-runs pp and downstream"
+    "lex:hit pp:run ast:run ir:run optir:run" (trace_of c2);
+  let c3 = compile (Instance.create ~cache (inv 2)) ~name:"m.c" src in
+  Alcotest.(check string) "original include revalidates"
+    "lex:hit pp:hit ast:hit ir:hit optir:hit" (trace_of c3);
+  Alcotest.(check bool) "original is a whole-pipeline hit" true
+    c3.Instance.c_cache_hit
+
+(* ---- determinism -------------------------------------------------------- *)
+
+let test_cold_warm_and_domain_count_determinism () =
+  (* The same batch, cold vs warm and at -j 1 vs -j 4, must produce
+     byte-identical IR for every unit: all per-compilation state is
+     domain-local and reset per execution, and cached artifacts are
+     unmarshalled copies of exactly what a cold run builds. *)
+  let inputs =
+    List.init 5 (fun i ->
+        ( Printf.sprintf "u%d.c" i,
+          Printf.sprintf
+            "void record(long x);\nint main(void) {\nlong s = 0;\n\
+             #pragma omp tile sizes(%d)\n\
+             for (int i = 0; i < %d; i += 1) s += i;\n\
+             record(s);\nreturn 0; }"
+            (2 + i) (20 + (3 * i)) ))
+  in
+  let invocation =
+    { Invocation.default with Invocation.cache_enabled = true }
+  in
+  let irs batch =
+    List.map
+      (fun u ->
+        match u.Batch.u_result with
+        | Ok r -> Mc_ir.Printer.module_to_string (Option.get r.Driver.ir)
+        | Error _ -> Alcotest.failf "%s ICEd" u.Batch.u_name)
+      batch.Batch.units
+  in
+  let cache1 = Cache.create () in
+  let cold1 = irs (Batch.compile ~jobs:1 ~cache:cache1 ~invocation inputs) in
+  let warm1 = irs (Batch.compile ~jobs:1 ~cache:cache1 ~invocation inputs) in
+  let cache4 = Cache.create () in
+  let cold4 = irs (Batch.compile ~jobs:4 ~cache:cache4 ~invocation inputs) in
+  let warm4 = irs (Batch.compile ~jobs:4 ~cache:cache4 ~invocation inputs) in
+  Alcotest.(check (list string)) "warm -j1 == cold -j1" cold1 warm1;
+  Alcotest.(check (list string)) "cold -j4 == cold -j1" cold1 cold4;
+  Alcotest.(check (list string)) "warm -j4 == cold -j1" cold1 warm4
+
+let suite =
+  [
+    tc "per-stage option slices" test_option_slices;
+    tc "warm recompile hits every stage" test_recompile_warm_hits_every_stage;
+    tc "comment edit reuses AST onward (counters)" test_comment_edit_counters;
+    tc "body edit re-runs the backend" test_body_edit_reruns_backend;
+    tc "-floop-nest-limit invalidates sema onward"
+      test_loop_nest_limit_invalidates_sema_onward;
+    tc "include edit invalidates pp" test_include_edit_invalidates_pp;
+    tc "cold/warm and -j1/-j4 IR identical"
+      test_cold_warm_and_domain_count_determinism;
+  ]

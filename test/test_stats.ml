@@ -87,9 +87,28 @@ let test_compile_resets_between_runs () =
   let r1 = Driver.compile tile_source in
   let r2 = Driver.compile tile_source in
   (* The same deterministic pipeline must produce the same counts — a
-     growing second snapshot would mean the reset is broken. *)
+     growing second snapshot would mean the per-compile registry scoping
+     is broken. *)
   Alcotest.(check (list (pair string int))) "snapshots identical"
     r1.Driver.stats r2.Driver.stats
+
+let test_compile_preserves_embedder_registry () =
+  (* [Driver.compile] runs in its own scoped registry and *merges* into
+     the caller's current registry on the way out: an embedder's counters
+     accrue and are never reset out from under it (the pre-refactor
+     driver zeroed whatever registry the calling domain was scoped to). *)
+  let registry = Stats.Registry.create () in
+  Stats.with_registry registry (fun () ->
+      let mine = Stats.counter ~group:"embedder" ~name:"work-items" () in
+      Stats.add mine 7;
+      let r = Driver.compile tile_source in
+      if Mc_diag.Diagnostics.has_errors r.Driver.diag then
+        Alcotest.fail "compile failed";
+      Alcotest.(check int) "embedder counter survives the compile" 7
+        (Stats.value mine);
+      (* ...and the compile's own events merged in alongside it. *)
+      Alcotest.(check bool) "compile counters merged into caller" true
+        (Stats.find (Stats.snapshot ()) "lexer.tokens-lexed" > 0))
 
 let test_interp_counters () =
   let src =
@@ -145,7 +164,11 @@ let test_codegen_time_survives_unsupported () =
   (* Globals are unsupported in codegen: the error path must still report
      the stage timings truthfully (codegen time is whatever elapsed before
      the bail-out, never a lie of exactly 0 reported on principle). *)
-  let r = Driver.compile "int g = 1;\nint main(void) { return g; }" in
+  let registry = Stats.Registry.create () in
+  let r =
+    Stats.with_registry registry (fun () ->
+        Driver.compile "int g = 1;\nint main(void) { return g; }")
+  in
   (match r.Driver.codegen_error with
   | Some msg ->
     if not (String.length msg > 0) then Alcotest.fail "empty codegen error"
@@ -153,9 +176,13 @@ let test_codegen_time_survives_unsupported () =
   Alcotest.(check bool) "no IR" true (r.Driver.ir = None);
   Alcotest.(check bool) "codegen time non-negative" true
     (r.Driver.timings.Driver.t_codegen >= 0.0);
-  (* The registry's codegen timer recorded exactly one interval. *)
+  (* The codegen timer recorded exactly one interval for this compile
+     (read from a registry scoped to it, since the compile merges its
+     events into whatever registry the caller holds). *)
   match
-    List.find_opt (fun (n, _, _) -> n = "driver.codegen") (Stats.timings ())
+    List.find_opt
+      (fun (n, _, _) -> n = "driver.codegen")
+      (Stats.timings ~registry ())
   with
   | Some (_, _, count) -> Alcotest.(check int) "one interval" 1 count
   | None -> Alcotest.fail "driver.codegen timer missing"
@@ -202,6 +229,8 @@ let suite =
     tc "registry semantics" test_registry_semantics;
     tc "compile fills stage counters" test_compile_counters;
     tc "compile resets the registry" test_compile_resets_between_runs;
+    tc "compile preserves the embedder registry"
+      test_compile_preserves_embedder_registry;
     tc "interpreter fills runtime counters" test_interp_counters;
     tc "time report and stats output shape" test_time_report_shape;
     tc "driver timings are non-negative" test_driver_timings_nonnegative;
