@@ -1,0 +1,301 @@
+(* check_regression — the CI benchmark-regression gate.
+
+   Compares the freshly generated BENCH_*.json files against the
+   committed baselines in bench/baselines/ and fails (exit 1) on:
+
+     - any structural-metric drift: strings, booleans, integer counters
+       and stage traces must match the baseline exactly — these are
+       machine-independent reproduction claims, not timings;
+     - a wall-time regression beyond the noise tolerance: keys ending in
+       "_seconds" (and the nested "timings_seconds.*") may not exceed
+       baseline * (1 + tolerance) + an absolute slack (default 10 ms) —
+       the slack keeps microsecond-scale stage timings, where 25% is
+       smaller than timer noise, from tripping the gate, while leaving
+       the millisecond-scale end-to-end numbers meaningfully bounded;
+     - a ratio floor violation: keys ending in "_speedup" or
+       "_hit_rate" are machine-normalized (both numerator and
+       denominator move with the host), so they must stay at or above
+       baseline * (1 - tolerance).
+
+   The default tolerance is 0.25 — the ">25% regression fails" contract
+   — and is adjustable per class for noisier runners.  A full
+   per-metric report is written to BENCH_regression.txt so CI can
+   upload it as the diff artifact of a failing run.
+
+   No JSON library ships in the image, so the reader is a small
+   recursive-descent parser covering exactly what the emitters write:
+   objects, strings, numbers, booleans; nested objects flatten into
+   dotted keys ("timings_seconds.lex", "counters.cache.hits"). *)
+
+type value = S of string | N of float | B of bool
+
+exception Parse_error of string
+
+(* ---- minimal JSON reader ------------------------------------------------- *)
+
+type cursor = { text : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect c ch =
+  skip_ws c;
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> raise (Parse_error (Printf.sprintf "expected '%c', got '%c'" ch x))
+  | None -> raise (Parse_error (Printf.sprintf "expected '%c', got EOF" ch))
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> raise (Parse_error "unterminated string")
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some ch -> Buffer.add_char buf ch
+      | None -> raise (Parse_error "unterminated escape"));
+      advance c;
+      go ()
+    | Some ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let rec go () =
+    match peek c with
+    | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let s = String.sub c.text start (c.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> raise (Parse_error ("bad number: " ^ s))
+
+let parse_literal c lit v =
+  String.iter (fun ch -> expect c ch) lit;
+  v
+
+(* Flattens nested objects into dotted keys as it parses. *)
+let rec parse_object c prefix acc =
+  expect c '{';
+  skip_ws c;
+  if peek c = Some '}' then begin
+    advance c;
+    acc
+  end
+  else begin
+    let rec members acc =
+      skip_ws c;
+      let key = parse_string c in
+      let key = if prefix = "" then key else prefix ^ "." ^ key in
+      expect c ':';
+      skip_ws c;
+      let acc =
+        match peek c with
+        | Some '{' -> parse_object c key acc
+        | Some '"' -> (key, S (parse_string c)) :: acc
+        | Some 't' -> (key, parse_literal c "true" (B true)) :: acc
+        | Some 'f' -> (key, parse_literal c "false" (B false)) :: acc
+        | _ -> (key, N (parse_number c)) :: acc
+      in
+      skip_ws c;
+      match peek c with
+      | Some ',' ->
+        advance c;
+        members acc
+      | Some '}' ->
+        advance c;
+        acc
+      | _ -> raise (Parse_error "expected ',' or '}'")
+    in
+    members acc
+  end
+
+let load_flat path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let c = { text; pos = 0 } in
+  skip_ws c;
+  List.rev (parse_object c "" [])
+
+(* ---- comparison rules ---------------------------------------------------- *)
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let starts_with ~prefix s =
+  let lp = String.length prefix and l = String.length s in
+  l >= lp && String.sub s 0 lp = prefix
+
+type rule = Exact | Time | Floor | Skip
+
+let rule_of_key key =
+  if ends_with ~suffix:"_seconds" key || starts_with ~prefix:"timings_seconds." key
+  then Time
+  else if ends_with ~suffix:"_speedup" key || ends_with ~suffix:"_hit_rate" key
+  then Floor
+  else if key = "jobs" then Skip (* host core count, not a metric *)
+  else Exact
+
+let value_to_string = function
+  | S s -> Printf.sprintf "%S" s
+  | N f -> if Float.is_integer f then Printf.sprintf "%.0f" f else Printf.sprintf "%.6f" f
+  | B b -> string_of_bool b
+
+(* [Some line] is a failure, [None] a pass. *)
+let compare_metric ~time_tol ~time_slack ~ratio_tol key base fresh =
+  match (base, fresh, rule_of_key key) with
+  | _, _, Skip -> None
+  | N b, N f, Time ->
+    if f > (b *. (1.0 +. time_tol)) +. time_slack then
+      Some
+        (Printf.sprintf
+           "%s: wall-time regression: %.6fs -> %.6fs (+%.0f%%, tolerance \
+            %.0f%% + %.0fms)"
+           key b f
+           ((f /. b -. 1.0) *. 100.0)
+           (time_tol *. 100.0) (time_slack *. 1000.0))
+    else None
+  | N b, N f, Floor ->
+    if f < b *. (1.0 -. ratio_tol) then
+      Some
+        (Printf.sprintf
+           "%s: ratio floor violated: %.3f -> %.3f (-%.0f%%, tolerance %.0f%%)"
+           key b f
+           ((1.0 -. (f /. b)) *. 100.0)
+           (ratio_tol *. 100.0))
+    else None
+  | b, f, _ ->
+    if b = f then None
+    else
+      Some
+        (Printf.sprintf "%s: structural drift: baseline %s, fresh %s" key
+           (value_to_string b) (value_to_string f))
+
+let compare_file ~time_tol ~time_slack ~ratio_tol ~fresh_dir report
+    baseline_path =
+  let name = Filename.basename baseline_path in
+  let fresh_path = Filename.concat fresh_dir name in
+  Buffer.add_string report (Printf.sprintf "== %s ==\n" name);
+  if not (Sys.file_exists fresh_path) then begin
+    Buffer.add_string report
+      (Printf.sprintf "FAIL: fresh results missing (%s not generated)\n"
+         fresh_path);
+    1
+  end
+  else
+    match (load_flat baseline_path, load_flat fresh_path) with
+    | exception Parse_error e ->
+      Buffer.add_string report (Printf.sprintf "FAIL: unreadable JSON: %s\n" e);
+      1
+    | base, fresh ->
+      let failures = ref 0 in
+      List.iter
+        (fun (key, bval) ->
+          match List.assoc_opt key fresh with
+          | None ->
+            incr failures;
+            Buffer.add_string report
+              (Printf.sprintf "FAIL %s: metric missing from fresh run\n" key)
+          | Some fval -> (
+            match
+              compare_metric ~time_tol ~time_slack ~ratio_tol key bval fval
+            with
+            | Some msg ->
+              incr failures;
+              Buffer.add_string report ("FAIL " ^ msg ^ "\n")
+            | None ->
+              Buffer.add_string report
+                (Printf.sprintf "  ok %s: %s -> %s\n" key
+                   (value_to_string bval) (value_to_string fval))))
+        base;
+      (* New metrics are fine (a new emitter field is not a regression),
+         but worth surfacing so baselines get refreshed. *)
+      List.iter
+        (fun (key, _) ->
+          if List.assoc_opt key base = None then
+            Buffer.add_string report
+              (Printf.sprintf "  note %s: not in baseline (refresh baselines?)\n"
+                 key))
+        fresh;
+      !failures
+
+let () =
+  let baseline_dir = ref "bench/baselines" in
+  let fresh_dir = ref "." in
+  let report_path = ref "BENCH_regression.txt" in
+  let time_tol = ref 0.25 in
+  let time_slack = ref 0.010 in
+  let ratio_tol = ref 0.25 in
+  Arg.parse
+    [
+      ("--baselines", Arg.Set_string baseline_dir, "DIR committed baseline JSONs");
+      ("--fresh", Arg.Set_string fresh_dir, "DIR freshly generated JSONs");
+      ("--report", Arg.Set_string report_path, "PATH where to write the report");
+      ( "--time-tolerance",
+        Arg.Set_float time_tol,
+        "F allowed relative wall-time regression (default 0.25)" );
+      ( "--time-slack",
+        Arg.Set_float time_slack,
+        "S absolute wall-time slack in seconds on top of the relative \
+         tolerance (default 0.010)" );
+      ( "--ratio-tolerance",
+        Arg.Set_float ratio_tol,
+        "F allowed relative speedup/hit-rate drop (default 0.25)" );
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
+    "check_regression --baselines bench/baselines --fresh .";
+  let baselines =
+    Sys.readdir !baseline_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort compare
+    |> List.map (Filename.concat !baseline_dir)
+  in
+  if baselines = [] then begin
+    Printf.eprintf "check_regression: no baselines in %s\n" !baseline_dir;
+    exit 2
+  end;
+  let report = Buffer.create 4096 in
+  let failures =
+    List.fold_left
+      (fun acc p ->
+        acc
+        + compare_file ~time_tol:!time_tol ~time_slack:!time_slack
+            ~ratio_tol:!ratio_tol ~fresh_dir:!fresh_dir report p)
+      0 baselines
+  in
+  Buffer.add_string report
+    (if failures = 0 then "\nRESULT: PASS\n"
+     else Printf.sprintf "\nRESULT: FAIL (%d regression(s))\n" failures);
+  let oc = open_out !report_path in
+  output_string oc (Buffer.contents report);
+  close_out oc;
+  print_string (Buffer.contents report);
+  if failures > 0 then exit 1

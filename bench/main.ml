@@ -637,6 +637,222 @@ let emit_incremental_json () =
     cold_wall warm_wall speedup comment_wall comment_trace body_wall;
   Printf.printf "  wrote %s\n%!" path
 
+(* --------------------------------------------------------------------- *)
+(* Persistent warm start: BENCH_server.json                               *)
+(* --------------------------------------------------------------------- *)
+
+(* The PR-5 claim: artifacts outlive processes.  Three ways to compile
+   the same unit "again": cold (fresh process state, nothing cached),
+   disk-warm (fresh instance over a populated --cache-dir store), and
+   daemon-warm (round-trip to an mccd whose in-memory cache is hot).
+   Also exercises the containment contract end-to-end: a deliberate-ICE
+   request must come back as a contained failure and leave the daemon
+   serving full hits to the next client.  Hard floors fail the harness
+   loudly, and the regression gate diffs the emitted ratios. *)
+let emit_server_json () =
+  heading "BENCH_server.json (cold vs disk-warm vs daemon-warm, mccd)";
+  let module CInstance = Mc_core.Instance in
+  let module Invocation = Mc_core.Invocation in
+  let module Pipeline = Mc_core.Pipeline in
+  let module Server = Mc_core.Server in
+  let module Client = Mc_core.Client in
+  let module Protocol = Mc_core.Protocol in
+  let module Clock = Mc_support.Clock in
+  let module Binio = Mc_support.Binio in
+  (* Distinct per seed, so "cold through the daemon" can be sampled
+     repeatedly without restarting the server between samples. *)
+  let unit_seed seed =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "void record(long x);\n";
+    for fn = 0 to 63 do
+      Buffer.add_string buf
+        (Printf.sprintf "long srv%d_work%d(int n) {\n  long acc = %d;\n" seed
+           fn fn);
+      for i = 0 to 7 do
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  for (int i%d = 0; i%d < n + %d; i%d += 1) acc += i%d * %d + \
+              (acc >> 2);\n"
+             i i (9 + seed) i i (i + fn))
+      done;
+      Buffer.add_string buf "  return acc;\n}\n"
+    done;
+    Buffer.add_string buf
+      (Printf.sprintf "int main(void) { record(srv%d_work0(3)); return 0; }\n"
+         seed);
+    Buffer.contents buf
+  in
+  let source = unit_seed 0 in
+  let invocation =
+    { Invocation.default with Invocation.gen_reproducer = false }
+  in
+  let scratch =
+    let seed = Filename.temp_file "mcc-bench-server" "" in
+    Sys.remove seed;
+    Binio.mkdir_p seed;
+    seed
+  in
+  let store_dir = Filename.concat scratch "store" in
+  let socket_path = Filename.concat scratch "mccd.sock" in
+  let best f =
+    let samples = List.init 3 f in
+    List.fold_left min (List.hd samples) (List.tl samples)
+  in
+  let timed f =
+    let started = Clock.now () in
+    let v = f () in
+    (Clock.now () -. started, v)
+  in
+  (* Cold: a fresh cache-less instance per sample — every stage runs. *)
+  let cold_seconds =
+    best (fun _ ->
+        let inst = CInstance.create invocation in
+        let w, c = timed (fun () -> CInstance.compile inst ~name:"srv.c" source) in
+        if Mc_diag.Diagnostics.has_errors c.CInstance.c_result.Driver.diag then
+          failwith "server bench: cold compile failed";
+        w)
+  in
+  (* Disk-warm: populate the on-disk store once, then measure fresh
+     instances that have only the store to go on. *)
+  let populate =
+    CInstance.create
+      { invocation with Invocation.cache_dir = Some store_dir }
+  in
+  ignore (CInstance.compile populate ~name:"srv.c" source);
+  let disk_warm_seconds, disk_warm_trace =
+    let samples =
+      List.init 3 (fun _ ->
+          let inst =
+            CInstance.create
+              { invocation with Invocation.cache_dir = Some store_dir }
+          in
+          let w, c =
+            timed (fun () -> CInstance.compile inst ~name:"srv.c" source)
+          in
+          (w, Pipeline.render_trace c.CInstance.c_trace))
+    in
+    List.fold_left
+      (fun (bw, bt) (w, t) -> if w < bw then (w, t) else (bw, bt))
+      (List.hd samples) (List.tl samples)
+  in
+  (* Daemon-warm: a live server on a spare domain, first request warms
+     its in-memory cache, then we measure whole client round-trips. *)
+  let stop = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Server.run ~stop
+          {
+            Server.socket_path;
+            pool_size = 1;
+            queue_capacity = 8;
+            max_requests = None;
+            idle_timeout = Some 60.0;
+            cache_dir = None;
+            max_cache_bytes = None;
+            log = None;
+          })
+  in
+  let rec await_socket tries =
+    if Sys.file_exists socket_path then ()
+    else if tries = 0 then failwith "server bench: daemon never listened"
+    else begin
+      Unix.sleepf 0.02;
+      await_socket (tries - 1)
+    end
+  in
+  await_socket 250;
+  let roundtrip src =
+    match Client.compile ~socket_path invocation [ ("srv.c", src) ] with
+    | Ok (Protocol.Resp_units { p_units = [ u ]; _ }) -> u
+    | Ok (Protocol.Resp_rejected r) -> failwith ("server bench: rejected: " ^ r)
+    | Ok _ -> failwith "server bench: unexpected response shape"
+    | Error e -> failwith ("server bench: " ^ e)
+  in
+  ignore (roundtrip source) (* warm both processes and the daemon cache *);
+  (* Cold through the daemon: each sample is a never-seen unit, so the
+     server really runs every stage; warm is the same transport with a
+     hot cache — the speedup ratio is apples-to-apples. *)
+  let daemon_cold_seconds =
+    best (fun i ->
+        let w, _ = timed (fun () -> roundtrip (unit_seed (1 + i))) in
+        w)
+  in
+  let daemon_samples =
+    List.init 5 (fun _ ->
+        let w, u = timed (fun () -> roundtrip source) in
+        (w, Pipeline.render_trace u.Protocol.r_trace))
+  in
+  let daemon_warm_seconds, daemon_warm_trace =
+    List.fold_left
+      (fun (bw, bt) (w, t) -> if w < bw then (w, t) else (bw, bt))
+      (List.hd daemon_samples)
+      (List.tl daemon_samples)
+  in
+  (* Containment: a deliberate ICE is a response, not a daemon death, and
+     the very next client still gets a full hit. *)
+  let ice_unit =
+    roundtrip
+      "int main(void){\n#pragma clang __debug crash\n  return 0;\n}\n"
+  in
+  let ice_contained =
+    match ice_unit.Protocol.r_outcome with
+    | Protocol.R_ice _ -> true
+    | Protocol.R_ok _ -> false
+  in
+  let post_ice = roundtrip source in
+  let post_ice_full_hit = post_ice.Protocol.r_cache_hit in
+  Atomic.set stop true;
+  (match Domain.join server with
+  | Ok _ -> ()
+  | Error e -> failwith ("server bench: server failed: " ^ e));
+  let disk_warm_speedup = cold_seconds /. disk_warm_seconds in
+  let daemon_warm_speedup = daemon_cold_seconds /. daemon_warm_seconds in
+  (* Hard floors from the issue: containment must hold, warm paths must
+     hit every stage, and daemon-warm must be >= 5x faster than cold. *)
+  if not ice_contained then
+    failwith "server bench: deliberate ICE was not contained";
+  if not post_ice_full_hit then
+    failwith "server bench: daemon not serving full hits after an ICE";
+  if disk_warm_trace <> "lex:run pp:run ast:hit ir:hit optir:hit"
+     && disk_warm_trace <> "lex:hit pp:hit ast:hit ir:hit optir:hit" then
+    failwith ("server bench: disk-warm pass not store-backed: " ^ disk_warm_trace);
+  if daemon_warm_trace <> "lex:hit pp:hit ast:hit ir:hit optir:hit" then
+    failwith ("server bench: daemon-warm pass not fully cached: " ^ daemon_warm_trace);
+  if daemon_warm_speedup < 5.0 then
+    failwith
+      (Printf.sprintf "server bench: daemon-warm speedup %.2fx < 5x"
+         daemon_warm_speedup);
+  let buf = Buffer.create 512 in
+  let field last name value =
+    Buffer.add_string buf
+      (Printf.sprintf "  %S: %s%s\n" name value (if last then "" else ","))
+  in
+  Buffer.add_string buf "{\n";
+  field false "schema" "\"mcc-bench-server/1\"";
+  field false "workload" "\"64-function synthetic unit\"";
+  field false "cold_seconds" (Printf.sprintf "%.9f" cold_seconds);
+  field false "disk_warm_seconds" (Printf.sprintf "%.9f" disk_warm_seconds);
+  field false "disk_warm_speedup" (Printf.sprintf "%.3f" disk_warm_speedup);
+  field false "disk_warm_trace" (Printf.sprintf "%S" disk_warm_trace);
+  field false "daemon_cold_seconds" (Printf.sprintf "%.9f" daemon_cold_seconds);
+  field false "daemon_warm_seconds" (Printf.sprintf "%.9f" daemon_warm_seconds);
+  field false "daemon_warm_speedup" (Printf.sprintf "%.3f" daemon_warm_speedup);
+  field false "daemon_warm_trace" (Printf.sprintf "%S" daemon_warm_trace);
+  field false "ice_contained" (if ice_contained then "true" else "false");
+  field true "post_ice_full_hit" (if post_ice_full_hit then "true" else "false");
+  Buffer.add_string buf "}\n";
+  let path = "BENCH_server.json" in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Printf.printf
+    "  cold %.6fs; disk-warm %.6fs (%.1fx); daemon cold %.6fs -> warm %.6fs \
+     (%.1fx)\n"
+    cold_seconds disk_warm_seconds disk_warm_speedup daemon_cold_seconds
+    daemon_warm_seconds daemon_warm_speedup;
+  Printf.printf "  ICE contained: %b; daemon full-hit after ICE: %b\n"
+    ice_contained post_ice_full_hit;
+  Printf.printf "  wrote %s\n%!" path
+
 let run_benchmarks () =
   heading "Timing benchmarks (bechamel, monotonic clock)";
   let ols =
@@ -683,4 +899,5 @@ let () =
   emit_stats_json ();
   emit_cache_json ();
   emit_incremental_json ();
+  emit_server_json ();
   run_benchmarks ()

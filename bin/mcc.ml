@@ -16,6 +16,8 @@ module Driver = Mc_core.Driver
 module Invocation = Mc_core.Invocation
 module Instance = Mc_core.Instance
 module Batch = Mc_core.Batch
+module Client = Mc_core.Client
+module Protocol = Mc_core.Protocol
 module Diag = Mc_diag.Diagnostics
 module Stats = Mc_support.Stats
 module Crash_recovery = Mc_support.Crash_recovery
@@ -125,7 +127,7 @@ let run_compile_action inst units =
   if List.length batch.Batch.units > 1 then
     Printf.eprintf
       "[mcc: %d unit(s): %d error(s), %d codegen error(s), %d ICE(s), %d \
-       cache hit(s), %d domain(s), %.3fs]\n"
+       cache hit(s), %d domain(s), %.3fs]\n%!"
       (List.length batch.Batch.units)
       (Batch.errors batch) (Batch.codegen_errors batch) (Batch.ices batch)
       (Batch.hits batch) batch.Batch.jobs batch.Batch.wall;
@@ -186,6 +188,12 @@ let run_compile_action inst units =
      pass actually reused.  Actions ran on the cold pass; the warm pass
      only demonstrates (and measures) stage reuse. *)
   if inv.Invocation.incremental then begin
+    (* The report goes to stderr while program output went to stdout; a
+       consumer reading both through one pipe (the CI grep) needs stdout
+       drained first and each report line pushed out as it is written —
+       otherwise a non-zero exit below can reorder or swallow the
+       summary still sitting in the buffer. *)
+    flush stdout;
     let warm = Batch.compile_into inst units in
     List.iter2
       (fun cold_u warm_u ->
@@ -200,16 +208,136 @@ let run_compile_action inst units =
             else infinity
           in
           Printf.eprintf
-            "[mcc --incremental: %s: cold %.6fs, warm %.6fs (%.1fx), %s]\n"
+            "[mcc --incremental: %s: cold %.6fs, warm %.6fs (%.1fx), %s]\n%!"
             warm_u.Batch.u_name cold_u.Batch.u_wall warm_u.Batch.u_wall speedup
             (Mc_core.Pipeline.render_trace warm_u.Batch.u_trace))
       batch.Batch.units warm.Batch.units
   end;
   if !failed then exit 1
 
+(* --daemon: ship the request to a running mccd and render its response
+   with the same semantics (and exit codes) as the in-process path; the
+   IR comes back marshalled so Run still executes on the local
+   interpreter.  Returns [Error] when no usable daemon answered — the
+   caller falls back to [run_compile_action]. *)
+let run_daemon_action inst units =
+  let inv = Instance.invocation inst in
+  let socket_path =
+    match inv.Invocation.daemon_socket with
+    | Some p -> p
+    | None -> Client.default_socket ()
+  in
+  match Client.compile ~socket_path inv units with
+  | Error msg -> Error msg
+  | Ok (Protocol.Resp_rejected reason) ->
+    Error ("daemon rejected the request: " ^ reason)
+  | Ok (Protocol.Resp_units { p_units; p_stats; p_wall }) ->
+    (* Fold the server-side pipeline counters into the instance registry
+       so -print-stats / -ftime-report stay transparent. *)
+    Instance.in_registry inst (fun () -> Client.absorb_snapshot p_stats);
+    let failed = ref false in
+    List.iter
+      (fun (u : Protocol.response_unit) ->
+        match u.Protocol.r_outcome with
+        | Protocol.R_ice { ice_phase; ice_exn; ice_location; ice_reproducer }
+          ->
+          Printf.eprintf
+            "mcc: internal compiler error compiling %s: %s (phase: %s%s) \
+             [contained by daemon]\n"
+            u.Protocol.r_name ice_exn ice_phase
+            (match ice_location with Some l -> ", near " ^ l | None -> "");
+          (match ice_reproducer with
+          | Some dir ->
+            Printf.eprintf
+              "mcc: note: reproducer bundle written server-side to %s\n" dir
+          | None -> ());
+          failed := true
+        | Protocol.R_ok { ok_diag; ok_errors; _ } ->
+          prerr_string ok_diag;
+          if ok_errors then failed := true)
+      p_units;
+    (* One line per unit with the server's stage trace, then a summary —
+       greppable by the CI daemon smoke job. *)
+    List.iter
+      (fun (u : Protocol.response_unit) ->
+        Printf.eprintf "[mcc --daemon: %s: %s%s, server %.6fs]\n%!"
+          u.Protocol.r_name
+          (Mc_core.Pipeline.render_trace u.Protocol.r_trace)
+          (if u.Protocol.r_cache_hit then " (full hit)" else "")
+          u.Protocol.r_wall)
+      p_units;
+    Printf.eprintf "[mcc --daemon: %d unit(s) via %s, %d full hit(s), server \
+                    %.3fs]\n%!"
+      (List.length p_units) socket_path
+      (List.length
+         (List.filter (fun u -> u.Protocol.r_cache_hit) p_units))
+      p_wall;
+    List.iter
+      (fun (u : Protocol.response_unit) ->
+        match u.Protocol.r_outcome with
+        | Protocol.R_ice _ -> ()
+        | Protocol.R_ok { ok_errors = true; _ } -> ()
+        | Protocol.R_ok { ok_ir; ok_codegen_error; _ } -> (
+          match inv.Invocation.action with
+          | Invocation.Emit_ir -> (
+            match Client.ir_of_response_unit u with
+            | Some m ->
+              multi_header inv u.Protocol.r_name;
+              print_string (Mc_ir.Printer.module_to_string m)
+            | None ->
+              (match ok_codegen_error with
+              | Some e -> Printf.eprintf "codegen error: %s\n" e
+              | None -> ());
+              failed := true)
+          | Invocation.Run -> (
+            match Client.ir_of_response_unit u with
+            | None ->
+              (match ok_codegen_error with
+              | Some e -> Printf.eprintf "codegen error: %s\n" e
+              | None ->
+                Printf.eprintf "mcc: daemon response for %s carried no IR\n"
+                  u.Protocol.r_name);
+              failed := true
+            | Some m -> (
+              let config =
+                {
+                  Mc_interp.Interp.default_config with
+                  Mc_interp.Interp.num_threads = inv.Invocation.num_threads;
+                }
+              in
+              ignore ok_ir;
+              match
+                Instance.in_registry inst (fun () ->
+                    Mc_interp.Interp.run_main ~config m)
+              with
+              | outcome ->
+                print_string outcome.Mc_interp.Interp.output;
+                List.iter
+                  (fun entry ->
+                    match entry with
+                    | Mc_interp.Interp.T_int v ->
+                      Printf.printf "record: %Ld\n" v
+                    | Mc_interp.Interp.T_float f ->
+                      Printf.printf "record: %g\n" f)
+                  outcome.Mc_interp.Interp.trace;
+                Printf.eprintf "[%s: exit %s after %d steps]\n%!"
+                  u.Protocol.r_name
+                  (match outcome.Mc_interp.Interp.return_value with
+                  | Some v -> Int64.to_string v
+                  | None -> "void")
+                  outcome.Mc_interp.Interp.steps
+              | exception Mc_interp.Interp.Trap msg ->
+                prerr_endline ("trap: " ^ msg);
+                failed := true))
+          | _ -> assert false))
+      p_units;
+    if !failed then exit 1;
+    Ok ()
+
 let main files action irbuilder opt_level no_fold num_threads jobs use_cache
-    incremental defines stage_timings time_report print_stats error_limit
-    bracket_depth loop_nest_limit gen_reproducer =
+    cache_dir incremental daemon daemon_socket defines stage_timings
+    time_report print_stats error_limit bracket_depth loop_nest_limit
+    gen_reproducer =
   let defines =
     List.map
       (fun d ->
@@ -229,8 +357,11 @@ let main files action irbuilder opt_level no_fold num_threads jobs use_cache
       fold = not no_fold;
       defines;
       jobs;
-      cache_enabled = use_cache || incremental;
+      cache_enabled = use_cache || incremental || cache_dir <> None;
+      cache_dir;
       incremental;
+      daemon = daemon || daemon_socket <> None;
+      daemon_socket;
       num_threads;
       stage_timings;
       time_report;
@@ -250,7 +381,17 @@ let main files action irbuilder opt_level no_fold num_threads jobs use_cache
   | Error msg -> die "%s" msg
   | Ok units -> (
     match action with
-    | Invocation.Run | Invocation.Emit_ir -> run_compile_action inst units
+    | Invocation.Run | Invocation.Emit_ir ->
+      if inv.Invocation.daemon then begin
+        match run_daemon_action inst units with
+        | Ok () -> ()
+        | Error msg ->
+          (* No usable daemon: compile in-process, same flags, same
+             behaviour, same exit code. *)
+          Printf.eprintf "mcc: note: %s; falling back in-process\n%!" msg;
+          run_compile_action inst units
+      end
+      else run_compile_action inst units
     | Invocation.Ast_dump | Invocation.Ast_dump_shadow | Invocation.Ast_print
     | Invocation.Print_transformed | Invocation.Syntax_only ->
       run_frontend_action inst units)
@@ -314,6 +455,35 @@ let cache_arg =
         ~doc:
           "Enable the content-addressed compile cache (hash of the \
            preprocessed unit + backend options)")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist the stage cache in $(docv) (content-addressed, \
+           version-checked; corrupt entries are treated as misses), so warm \
+           starts survive restarts and are shareable across processes \
+           (implies $(b,--cache))")
+
+let daemon_arg =
+  Arg.(
+    value & flag
+    & info [ "daemon" ]
+        ~doc:
+          "Compile through a running $(b,mccd) compile server, falling back \
+           to the in-process pipeline when none is reachable")
+
+let daemon_socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "daemon-socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket of the $(b,mccd) server (implies \
+           $(b,--daemon); default \\$MCCD_SOCKET or mccd-<uid>.sock in the \
+           temp directory)")
 
 let incremental_arg =
   Arg.(
@@ -385,10 +555,10 @@ let cmd =
     (Cmd.info "mcc" ~doc)
     Term.(
       const main $ files_arg $ action_arg $ irbuilder_arg $ opt_arg
-      $ no_fold_arg $ threads_arg $ jobs_arg $ cache_arg $ incremental_arg
-      $ defines_arg $ timings_arg $ time_report_arg $ print_stats_arg
-      $ error_limit_arg $ bracket_depth_arg $ loop_nest_limit_arg
-      $ gen_reproducer_arg)
+      $ no_fold_arg $ threads_arg $ jobs_arg $ cache_arg $ cache_dir_arg
+      $ incremental_arg $ daemon_arg $ daemon_socket_arg $ defines_arg
+      $ timings_arg $ time_report_arg $ print_stats_arg $ error_limit_arg
+      $ bracket_depth_arg $ loop_nest_limit_arg $ gen_reproducer_arg)
 
 (* Clang spells long options with a single dash (-ftime-report, -emit-ir);
    cmdliner only parses them with two.  Accept the Clang spelling by
@@ -398,7 +568,8 @@ let long_flags =
     "ast-dump"; "ast-dump-shadow"; "ast-print"; "print-transformed";
     "emit-ir"; "syntax-only"; "fsyntax-only"; "fopenmp-enable-irbuilder";
     "no-builder-folding"; "num-threads"; "stage-timings"; "ftime-report";
-    "print-stats"; "cache"; "incremental"; "jobs"; "ferror-limit";
+    "print-stats"; "cache"; "cache-dir"; "incremental"; "daemon";
+    "daemon-socket"; "jobs"; "ferror-limit";
     "fbracket-depth";
     "floop-nest-limit"; "fno-crash-diagnostics"; "gen-reproducer";
   ]

@@ -71,9 +71,15 @@ let counters_for stage =
 type t = {
   table : (string * string, string list) Hashtbl.t;
   lock : Mutex.t;
+  disk : Store.t option;
+      (* write-through persistence: misses fall back to disk, stores
+         mirror the key's full candidate list to disk *)
 }
 
-let create () = { table = Hashtbl.create 64; lock = Mutex.create () }
+let create ?store () =
+  { table = Hashtbl.create 64; lock = Mutex.create (); disk = store }
+
+let store_of t = t.disk
 
 let length t =
   Mutex.protect t.lock (fun () ->
@@ -85,9 +91,31 @@ let stage_length t ~stage =
         (fun (s, _) ps n -> if String.equal s stage then n + List.length ps else n)
         t.table 0)
 
+(* The key's candidates: memory first, then — on a memory miss — the
+   on-disk store, whose entry (the full candidate list as of its last
+   write) is adopted into memory so subsequent lookups stay in-process.
+   A concurrent adopter racing on the same key keeps whichever list
+   landed first; both are valid reads of the same on-disk entry. *)
+let candidates_for t ~stage fp =
+  match Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table (stage, fp)) with
+  | Some (_ :: _) as found -> found
+  | None | Some [] -> (
+    match t.disk with
+    | None -> None
+    | Some st -> (
+      match Store.load st ~stage fp with
+      | None -> None
+      | Some loaded ->
+        Mutex.protect t.lock (fun () ->
+            match Hashtbl.find_opt t.table (stage, fp) with
+            | Some (_ :: _ as existing) -> Some existing
+            | None | Some [] ->
+              Hashtbl.replace t.table (stage, fp) loaded;
+              Some loaded)))
+
 let find t ~stage ?validate fp =
   let c = counters_for stage in
-  match Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table (stage, fp)) with
+  match candidates_for t ~stage fp with
   | None | Some [] ->
     Stats.incr c.sc_misses;
     None
@@ -117,13 +145,23 @@ let store t ~stage fp payload =
         let existing =
           Option.value ~default:[] (Hashtbl.find_opt t.table (stage, fp))
         in
-        if List.exists (String.equal payload) existing then false
+        if List.exists (String.equal payload) existing then None
         else begin
-          Hashtbl.replace t.table (stage, fp) (payload :: existing);
-          true
+          let updated = payload :: existing in
+          Hashtbl.replace t.table (stage, fp) updated;
+          Some updated
         end)
   in
-  if added then Stats.incr c.sc_stores
+  match added with
+  | None -> ()
+  | Some updated ->
+    Stats.incr c.sc_stores;
+    (* Write-through: persist the key's full candidate list so a fresh
+       process (or the daemon after a restart) revalidates the same
+       ccache-style manifest this process would have. *)
+    (match t.disk with
+    | Some st -> Store.save st ~stage fp updated
+    | None -> ())
 
 (* Canonical, location-free rendering of the preprocessed stream.  NUL
    separates tokens (no token spelling contains one) and SOH marks

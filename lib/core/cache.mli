@@ -26,7 +26,15 @@ type t
 val stage_names : string list
 (** The stage tags, in pipeline order: ["lex"; "pp"; "ast"; "ir"; "optir"]. *)
 
-val create : unit -> t
+val create : ?store:Store.t -> unit -> t
+(** A fresh in-memory cache.  With [?store], the cache is layered over a
+    persistent on-disk {!Store}: memory misses fall back to disk (a
+    disk-served artifact counts as that stage's cache hit and is adopted
+    into memory), and every store writes through, so the cache survives
+    process restarts and is shareable across processes. *)
+
+val store_of : t -> Store.t option
+(** The backing on-disk store, when the cache was created with one. *)
 
 val length : t -> int
 (** Total number of cached stage artifacts (across all stages). *)

@@ -1,0 +1,66 @@
+(* The mcc side of --daemon: connect to a running mccd, ship the
+   invocation + sources, get back diagnostics/IR/traces.  Every failure
+   before a well-formed response — no socket, connect refused, protocol
+   mismatch, short read — is an [Error], and the caller (bin/mcc)
+   treats any [Error] as "no usable daemon" and falls back to the
+   in-process pipeline, preserving behaviour and exit codes. *)
+
+module Stats = Mc_support.Stats
+
+let default_socket = Protocol.default_socket
+
+let roundtrip ?(socket_path = Protocol.default_socket ())
+    (request : Protocol.request) : (Protocol.response, string) result =
+  (* A dead server must surface as a fallback, not a SIGPIPE death. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "cannot reach daemon at %s: %s" socket_path
+         (Unix.error_message e))
+  | () ->
+    (* The server compiles between our write and its reply, so the read
+       timeout bounds server stall, not compile time; keep it generous. *)
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 120.0
+     with Unix.Unix_error _ -> ());
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let result =
+      match Protocol.write_request oc request with
+      | () -> Protocol.read_response ic
+      | exception Sys_error e -> Error ("request write failed: " ^ e)
+    in
+    (try close_out oc with Sys_error _ -> ());
+    (try close_in ic with Sys_error _ -> ());
+    result
+
+let compile ?socket_path invocation units =
+  roundtrip ?socket_path (Protocol.request_of_units invocation units)
+
+(* Folds a server-side stats snapshot into the current registry, so
+   -print-stats over a daemon compile shows the real pipeline counters.
+   [Stats.counter] is idempotent on (group, name), which is exactly what
+   makes re-registering the server's descriptors here safe. *)
+let absorb_snapshot (snap : Stats.snapshot) =
+  List.iter
+    (fun (key, v) ->
+      if v <> 0 then
+        match String.index_opt key '.' with
+        | None -> ()
+        | Some i ->
+          let group = String.sub key 0 i in
+          let name = String.sub key (i + 1) (String.length key - i - 1) in
+          Stats.add (Stats.counter ~group ~name ()) v)
+    snap
+
+let ir_of_response_unit (u : Protocol.response_unit) : Mc_ir.Ir.modul option =
+  match u.Protocol.r_outcome with
+  | Protocol.R_ok { ok_ir = Some s; _ } -> (
+    (* Same-build Marshal (the frame version already matched), but a
+       truncated payload must degrade to "no IR", not an exception. *)
+    match (Marshal.from_string s 0 : Mc_ir.Ir.modul) with
+    | m -> Some m
+    | exception _ -> None)
+  | _ -> None

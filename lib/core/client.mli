@@ -1,0 +1,28 @@
+(** The [mcc --daemon] client: one-connection-one-request round-trips to
+    a running [mccd] over the {!Protocol} framing.  Any failure short of
+    a well-formed response is an [Error] string; callers treat that as
+    "no usable daemon" and fall back to the in-process pipeline. *)
+
+val default_socket : unit -> string
+(** Same resolution as the server: [$MCCD_SOCKET] or
+    [<tmpdir>/mccd-<uid>.sock]. *)
+
+val roundtrip :
+  ?socket_path:string ->
+  Protocol.request ->
+  (Protocol.response, string) result
+
+val compile :
+  ?socket_path:string ->
+  Invocation.t ->
+  (string * string) list ->
+  (Protocol.response, string) result
+(** [compile inv units] builds the request from [(name, source)] pairs
+    (digests included) and round-trips it. *)
+
+val absorb_snapshot : Mc_support.Stats.snapshot -> unit
+(** Folds the server's counter snapshot into the {e current} registry so
+    [-print-stats] stays transparent in daemon mode. *)
+
+val ir_of_response_unit : Protocol.response_unit -> Mc_ir.Ir.modul option
+(** Unmarshals the unit's IR payload, [None] on any decode failure. *)

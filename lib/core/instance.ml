@@ -18,10 +18,19 @@ let create ?cache invocation =
   let cache =
     match cache with
     | Some _ as c -> c
-    | None ->
-      if invocation.Invocation.cache_enabled || invocation.Invocation.incremental
-      then Some (Cache.create ())
-      else None
+    | None -> (
+      match invocation.Invocation.cache_dir with
+      | Some dir ->
+        (* --cache-dir: the in-memory stage cache is layered over a
+           persistent on-disk store, so this instance starts disk-warm
+           and its artifacts outlive the process. *)
+        Some (Cache.create ~store:(Store.create ~dir ()) ())
+      | None ->
+        if
+          invocation.Invocation.cache_enabled
+          || invocation.Invocation.incremental
+        then Some (Cache.create ())
+        else None)
   in
   {
     invocation;

@@ -25,7 +25,10 @@ type t = {
   extra_files : (string * string) list;
   jobs : int;
   cache_enabled : bool;
+  cache_dir : string option;
   incremental : bool;
+  daemon : bool;
+  daemon_socket : string option;
   num_threads : int;
   stage_timings : bool;
   time_report : bool;
@@ -48,7 +51,10 @@ let default =
     extra_files = [];
     jobs = 1;
     cache_enabled = false;
+    cache_dir = None;
     incremental = false;
+    daemon = false;
+    daemon_socket = None;
     num_threads = 4;
     stage_timings = false;
     time_report = false;
@@ -192,6 +198,7 @@ let of_argv argv =
         | "incremental" ->
           (* Incremental recompilation rides on the stage cache. *)
           go { inv with incremental = true; cache_enabled = true } rest
+        | "daemon" -> go { inv with daemon = true } rest
         | "fno-crash-diagnostics" -> go { inv with gen_reproducer = false } rest
         | "gen-reproducer" -> go { inv with gen_reproducer = true } rest
         | "stage-timings" -> go { inv with stage_timings = true } rest
@@ -230,6 +237,17 @@ let of_argv argv =
                       go
                         { inv with defines = inv.defines @ [ (name, value) ] }
                         rest'));
+                (fun () ->
+                  with_value "cache-dir" (fun v rest' ->
+                      (* A persistent cache directory implies caching. *)
+                      go
+                        { inv with cache_dir = Some v; cache_enabled = true }
+                        rest'));
+                (fun () ->
+                  with_value "daemon-socket" (fun v rest' ->
+                      go
+                        { inv with daemon_socket = Some v; daemon = true }
+                        rest'));
               ]
           with
           | Some r -> r
@@ -265,8 +283,17 @@ let to_argv inv =
   @ flag (not inv.verify_ir) "-no-verify-ir"
   @ List.map (fun (n, v) -> Printf.sprintf "-D%s=%s" n v) inv.defines
   @ (if inv.jobs <> d.jobs then [ Printf.sprintf "-j%d" inv.jobs ] else [])
-  @ flag (inv.cache_enabled && not inv.incremental) "-cache"
+  @ flag
+      (inv.cache_enabled && not inv.incremental && inv.cache_dir = None)
+      "-cache"
+  @ (match inv.cache_dir with
+    | Some d -> [ Printf.sprintf "-cache-dir=%s" d ]
+    | None -> [])
   @ flag inv.incremental "-incremental"
+  @ flag (inv.daemon && inv.daemon_socket = None) "-daemon"
+  @ (match inv.daemon_socket with
+    | Some s -> [ Printf.sprintf "-daemon-socket=%s" s ]
+    | None -> [])
   @ (if inv.num_threads <> d.num_threads then
        [ Printf.sprintf "-num-threads=%d" inv.num_threads ]
      else [])

@@ -33,8 +33,14 @@ type t = {
   extra_files : (string * string) list; (* virtual #include targets *)
   jobs : int; (* -j N: batch compilation domains *)
   cache_enabled : bool; (* --cache: content-addressed stage cache *)
+  cache_dir : string option; (* --cache-dir DIR: persist the stage cache
+                                on disk ({!Store}); implies cache *)
   incremental : bool; (* --incremental: recompile after the cold batch,
                          reporting per-stage reuse (implies cache) *)
+  daemon : bool; (* --daemon: compile through a running mccd, falling
+                    back in-process when none is reachable *)
+  daemon_socket : string option; (* --daemon-socket PATH (implies daemon;
+                                    default: Client.default_socket) *)
   num_threads : int; (* simulated OpenMP team size *)
   stage_timings : bool;
   time_report : bool; (* -ftime-report *)
@@ -75,7 +81,8 @@ val of_argv : string array -> (t, string) result
     grammar: single- or double-dash long options ([-emit-ir],
     [--emit-ir]), [-fsyntax-only] and [-syntax-only] as synonyms,
     [-j N]/[-jN], [-O 0]/[-O0]/[-O1], [-D NAME=VALUE]/[-DNAME=VALUE],
-    [--cache], [--incremental], [-num-threads N], [-ftime-report],
+    [--cache], [--cache-dir DIR], [--incremental], [--daemon],
+    [--daemon-socket PATH], [-num-threads N], [-ftime-report],
     [-print-stats],
     [-stage-timings], the resource limits [-ferror-limit N],
     [-fbracket-depth N], [-floop-nest-limit N], the reproducer toggles

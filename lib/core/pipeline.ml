@@ -245,11 +245,15 @@ let walk ?cache ~frontend_only ~options ~name source =
 
   (* Stage: lex. *)
   let lex_fp = stage_fingerprint Lex options ~input:src_fp in
+  (* The token stream is only ever consumed by an *executed* preprocess
+     stage, so a cached payload stays un-unmarshalled until (unless) the
+     preprocessor actually needs it — on a pp hit the lex hit costs one
+     digest lookup, not a deserialization proportional to unit size. *)
   let toks =
     match consult Lex lex_fp with
     | Some payload ->
       mark Lex Cache_hit;
-      (Marshal.from_string payload 0 : Mc_lexer.Token.t list)
+      lazy (Marshal.from_string payload 0 : Mc_lexer.Token.t list)
     | None ->
       let toks, dt =
         time Lex (fun () -> Mc_lexer.Lexer.tokenize !diag ~file_id:main_id buf)
@@ -257,7 +261,7 @@ let walk ?cache ~frontend_only ~options ~name source =
       t_lex := dt;
       mark Lex Executed;
       save Lex lex_fp (fun () -> marshal toks);
-      toks
+      Lazy.from_val toks
   in
 
   (* Stage: preprocess. *)
@@ -296,7 +300,8 @@ let walk ?cache ~frontend_only ~options ~name source =
         options.defines;
       let items, dt =
         time Preprocess (fun () ->
-            Mc_pp.Preprocessor.preprocess_tokens pp ~file_id:main_id buf toks)
+            Mc_pp.Preprocessor.preprocess_tokens pp ~file_id:main_id buf
+              (Lazy.force toks))
       in
       t_preprocess := dt;
       mark Preprocess Executed;

@@ -1,0 +1,96 @@
+(* The mccd wire protocol: length-prefixed, versioned frames over a
+   Unix-domain socket, carrying marshalled request/response values.
+
+   One connection serves one request.  A request is the client's
+   invocation (a pure value — exactly what makes [Invocation] shareable
+   across processes too) plus its translation units, each with a content
+   digest the server re-verifies before compiling: a mismatch means the
+   bytes were mangled in transit and must be rejected, not compiled.
+
+   A response is either a per-unit result list — rendered diagnostics, a
+   marshalled IR module (the client runs the interpreter locally, so
+   `mcc --daemon` preserves Run/-emit-ir behaviour bit for bit), the
+   per-stage cache trace, and a stats snapshot the client folds into its
+   own registry so -print-stats works transparently — or a
+   protocol-level rejection.
+
+   Marshal is safe here because both ends are built from this same
+   source tree; the frame's magic + version reject cross-version talk
+   before any unmarshalling happens. *)
+
+module Binio = Mc_support.Binio
+module Stats = Mc_support.Stats
+
+let magic = "MCCD"
+let version = 1
+
+let default_socket () =
+  match Sys.getenv_opt "MCCD_SOCKET" with
+  | Some p when p <> "" -> p
+  | _ ->
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mccd-%d.sock" (Unix.getuid ()))
+
+type request_unit = { q_name : string; q_source : string; q_digest : string }
+
+type request = { q_invocation : Invocation.t; q_units : request_unit list }
+
+let unit_digest source = Digest.to_hex (Digest.string source)
+
+let request_of_units invocation units =
+  {
+    q_invocation = invocation;
+    q_units =
+      List.map
+        (fun (name, source) ->
+          { q_name = name; q_source = source; q_digest = unit_digest source })
+        units;
+  }
+
+type response_unit = {
+  r_name : string;
+  r_outcome : outcome;
+  r_trace : Pipeline.trace;
+  r_cache_hit : bool;
+  r_wall : float;
+}
+
+and outcome =
+  | R_ok of {
+      ok_diag : string; (* rendered diagnostics, possibly empty *)
+      ok_errors : bool;
+      ok_ir : string option; (* marshalled Mc_ir.Ir.modul *)
+      ok_codegen_error : string option;
+    }
+  | R_ice of {
+      ice_phase : string;
+      ice_exn : string;
+      ice_location : string option;
+      ice_reproducer : string option; (* server-side bundle directory *)
+    }
+
+type response =
+  | Resp_units of {
+      p_units : response_unit list; (* in request order *)
+      p_stats : Stats.snapshot; (* the request's counters, server-side *)
+      p_wall : float; (* server-side wall time for the request *)
+    }
+  | Resp_rejected of string
+
+(* ---- channel IO ---------------------------------------------------------- *)
+
+let send oc v = Binio.write_frame ~magic ~version oc (Marshal.to_string v [])
+
+let recv : type a. in_channel -> (a, string) result =
+ fun ic ->
+  match Binio.read_frame ~magic ~version ic with
+  | Error e -> Error (Binio.frame_error_to_string e)
+  | Ok payload -> (
+    match (Marshal.from_string payload 0 : a) with
+    | v -> Ok v
+    | exception _ -> Error "unmarshalling failed")
+
+let write_request oc (r : request) = send oc r
+let read_request ic : (request, string) result = recv ic
+let write_response oc (r : response) = send oc r
+let read_response ic : (response, string) result = recv ic

@@ -1,0 +1,65 @@
+(** The [mccd] wire protocol: versioned, length-prefixed frames
+    ({!Mc_support.Binio}, magic ["MCCD"]) over a Unix-domain socket,
+    carrying marshalled request/response values.
+
+    One connection, one request.  The request is the client's
+    {!Invocation} plus its units with content digests (re-verified
+    server-side); the response carries per-unit outcomes — rendered
+    diagnostics, a marshalled IR module the client unmarshals to run or
+    print locally, the per-stage cache trace — plus a server-side stats
+    snapshot, or a protocol-level rejection.  Cross-version talk is
+    rejected by the frame header before any unmarshalling. *)
+
+val magic : string
+val version : int
+
+val default_socket : unit -> string
+(** [$MCCD_SOCKET] when set, else [<tmpdir>/mccd-<uid>.sock]. *)
+
+type request_unit = {
+  q_name : string;
+  q_source : string;
+  q_digest : string;  (** content digest of [q_source], verified server-side *)
+}
+
+type request = { q_invocation : Invocation.t; q_units : request_unit list }
+
+val unit_digest : string -> string
+
+val request_of_units : Invocation.t -> (string * string) list -> request
+(** Builds a request from [(name, source)] pairs, computing digests. *)
+
+type response_unit = {
+  r_name : string;
+  r_outcome : outcome;
+  r_trace : Pipeline.trace;
+  r_cache_hit : bool;  (** whole-pipeline hit against the daemon's cache *)
+  r_wall : float;  (** server-side seconds compiling this unit *)
+}
+
+and outcome =
+  | R_ok of {
+      ok_diag : string;
+      ok_errors : bool;
+      ok_ir : string option;  (** marshalled {!Mc_ir.Ir.modul} *)
+      ok_codegen_error : string option;
+    }
+  | R_ice of {
+      ice_phase : string;
+      ice_exn : string;
+      ice_location : string option;
+      ice_reproducer : string option;
+    }
+
+type response =
+  | Resp_units of {
+      p_units : response_unit list;
+      p_stats : Mc_support.Stats.snapshot;
+      p_wall : float;
+    }
+  | Resp_rejected of string
+
+val write_request : out_channel -> request -> unit
+val read_request : in_channel -> (request, string) result
+val write_response : out_channel -> response -> unit
+val read_response : in_channel -> (response, string) result

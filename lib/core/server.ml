@@ -1,0 +1,331 @@
+(* The compile server behind mccd: a Unix-domain-socket daemon holding a
+   warm, shareable stage cache (optionally persisted via Store) and a
+   pool of worker domains, so repeated compile requests from short-lived
+   clients get long-lived-process cache locality.
+
+   Life of a request: the accept loop (main domain) takes a connection
+   and pushes it onto a bounded queue — when the queue is full the loop
+   stops accepting, the kernel listen backlog fills, and clients block
+   in connect(): backpressure propagates without any protocol chatter.
+   A worker domain pops the connection, reads one framed request,
+   re-verifies each unit's content digest, compiles the units through
+   [Instance.compile_safe] against the shared cache, and writes one
+   framed response.
+
+   Crash containment is per request *and* per unit: an ICE inside a
+   unit's compilation becomes an [R_ice] response entry (the
+   Crash_recovery machinery, exactly as in-process Batch units), and any
+   escaped exception around request handling — protocol garbage, a
+   client that hung up mid-write — is swallowed after a best-effort
+   rejection, so one client can never take the daemon down.
+
+   Lifetime: the loop exits on (a) the [stop] flag (mccd's SIGTERM/SIGINT
+   handlers set it), (b) [max_requests] accepted connections, or (c)
+   [idle_timeout] seconds without a new connection.  Shutdown is a
+   graceful drain: stop accepting, let workers finish every queued
+   connection, join them, unlink the socket. *)
+
+module Stats = Mc_support.Stats
+module Clock = Mc_support.Clock
+module Diag = Mc_diag.Diagnostics
+
+let stat_requests =
+  Stats.counter ~group:"server" ~name:"requests"
+    ~desc:"compile requests served by the daemon" ()
+
+let stat_units =
+  Stats.counter ~group:"server" ~name:"units"
+    ~desc:"translation units compiled for daemon clients" ()
+
+let stat_ices =
+  Stats.counter ~group:"server" ~name:"ices"
+    ~desc:"client units that ICEd and were contained by the daemon" ()
+
+let stat_rejects =
+  Stats.counter ~group:"server" ~name:"rejects"
+    ~desc:"requests rejected before compilation (framing, digests)" ()
+
+type config = {
+  socket_path : string;
+  pool_size : int;
+  queue_capacity : int;
+  max_requests : int option;
+  idle_timeout : float option;
+  cache_dir : string option;
+  max_cache_bytes : int option;
+  log : (string -> unit) option;
+}
+
+let default_config =
+  {
+    socket_path = Protocol.default_socket ();
+    pool_size = 2;
+    queue_capacity = 16;
+    max_requests = None;
+    idle_timeout = None;
+    cache_dir = None;
+    max_cache_bytes = None;
+    log = None;
+  }
+
+(* ---- bounded blocking queue ---------------------------------------------- *)
+
+module Bqueue = struct
+  type 'a t = {
+    q : 'a Queue.t;
+    cap : int;
+    m : Mutex.t;
+    not_empty : Condition.t;
+    not_full : Condition.t;
+    mutable closed : bool;
+  }
+
+  let create cap =
+    {
+      q = Queue.create ();
+      cap = max 1 cap;
+      m = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      closed = false;
+    }
+
+  (* Blocks while full: this is the backpressure edge. *)
+  let push t v =
+    Mutex.lock t.m;
+    while Queue.length t.q >= t.cap && not t.closed do
+      Condition.wait t.not_full t.m
+    done;
+    let accepted = not t.closed in
+    if accepted then begin
+      Queue.push v t.q;
+      Condition.signal t.not_empty
+    end;
+    Mutex.unlock t.m;
+    accepted
+
+  (* [None] only after [close] *and* the queue has drained — closing is
+     a graceful drain, not an abort. *)
+  let pop t =
+    Mutex.lock t.m;
+    while Queue.is_empty t.q && not t.closed do
+      Condition.wait t.not_empty t.m
+    done;
+    let v = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+    Condition.signal t.not_full;
+    Mutex.unlock t.m;
+    v
+
+  let close t =
+    Mutex.lock t.m;
+    t.closed <- true;
+    Condition.broadcast t.not_empty;
+    Condition.broadcast t.not_full;
+    Mutex.unlock t.m
+end
+
+(* ---- request handling ---------------------------------------------------- *)
+
+let compile_request ~cache (req : Protocol.request) =
+  let registry = Stats.Registry.create () in
+  let started = Clock.now () in
+  let units =
+    List.map
+      (fun (u : Protocol.request_unit) ->
+        let inst = Instance.create ?cache (req.Protocol.q_invocation) in
+        let u_started = Clock.now () in
+        let outcome, trace, hit =
+          match Instance.compile_safe inst ~name:u.Protocol.q_name u.Protocol.q_source with
+          | Ok c ->
+            let r = c.Instance.c_result in
+            ( Protocol.R_ok
+                {
+                  ok_diag = Diag.render_all r.Driver.diag;
+                  ok_errors = Diag.has_errors r.Driver.diag;
+                  ok_ir =
+                    Option.map (fun m -> Marshal.to_string m []) r.Driver.ir;
+                  ok_codegen_error = r.Driver.codegen_error;
+                },
+              c.Instance.c_trace,
+              c.Instance.c_cache_hit )
+          | Error f ->
+            let ice = f.Instance.f_ice in
+            Stats.with_registry registry (fun () -> Stats.incr stat_ices);
+            ( Protocol.R_ice
+                {
+                  ice_phase = ice.Mc_support.Crash_recovery.ice_phase;
+                  ice_exn = ice.Mc_support.Crash_recovery.ice_exn;
+                  ice_location = ice.Mc_support.Crash_recovery.ice_location;
+                  ice_reproducer = f.Instance.f_reproducer;
+                },
+              [],
+              false )
+        in
+        Stats.Registry.merge ~into:registry (Instance.registry inst);
+        Stats.with_registry registry (fun () -> Stats.incr stat_units);
+        {
+          Protocol.r_name = u.Protocol.q_name;
+          r_outcome = outcome;
+          r_trace = trace;
+          r_cache_hit = hit;
+          r_wall = Clock.now () -. u_started;
+        })
+      req.Protocol.q_units
+  in
+  Stats.with_registry registry (fun () -> Stats.incr stat_requests);
+  ( Protocol.Resp_units
+      {
+        p_units = units;
+        p_stats = Stats.snapshot ~registry ();
+        p_wall = Clock.now () -. started;
+      },
+    registry )
+
+let verify_digests (req : Protocol.request) =
+  List.for_all
+    (fun (u : Protocol.request_unit) ->
+      String.equal (Protocol.unit_digest u.Protocol.q_source) u.Protocol.q_digest)
+    req.Protocol.q_units
+
+(* One connection, one request; every failure mode ends with a closed
+   socket and a still-healthy worker. *)
+let handle_connection ~cache ~lifetime ~lifetime_lock ~log fd =
+  (* A client that connects and then stalls must not wedge the worker. *)
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0
+   with Unix.Unix_error _ -> ());
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let reject registry msg =
+    Stats.with_registry registry (fun () -> Stats.incr stat_rejects);
+    try Protocol.write_response oc (Protocol.Resp_rejected msg)
+    with Sys_error _ -> ()
+  in
+  let registry =
+    match Protocol.read_request ic with
+    | Error e ->
+      let registry = Stats.Registry.create () in
+      reject registry ("bad request: " ^ e);
+      registry
+    | Ok req when not (verify_digests req) ->
+      let registry = Stats.Registry.create () in
+      reject registry "source digest mismatch";
+      registry
+    | Ok req -> (
+      let response, registry = compile_request ~cache req in
+      log
+        (Printf.sprintf "served %d unit(s)"
+           (List.length req.Protocol.q_units));
+      (try Protocol.write_response oc response
+       with Sys_error _ -> () (* client hung up; its loss, our survival *));
+      registry)
+  in
+  Mutex.protect lifetime_lock (fun () ->
+      Stats.Registry.merge ~into:lifetime registry);
+  (try close_out oc with Sys_error _ -> ());
+  try close_in ic with Sys_error _ -> ()
+
+(* ---- the daemon loop ----------------------------------------------------- *)
+
+(* A live listener on [path]?  Used to refuse double-starts while still
+   cleaning up sockets a crashed daemon left behind. *)
+let socket_alive path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let alive =
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> true
+    | exception Unix.Unix_error _ -> false
+  in
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  alive
+
+let run ?stop config =
+  let stop = match stop with Some s -> s | None -> Atomic.make false in
+  let log = match config.log with Some f -> f | None -> fun _ -> () in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  if Sys.file_exists config.socket_path && socket_alive config.socket_path then
+    Error (Printf.sprintf "a daemon is already listening on %s" config.socket_path)
+  else begin
+    (try Sys.remove config.socket_path with Sys_error _ -> ());
+    let cache =
+      match config.cache_dir with
+      | Some dir ->
+        Some
+          (Cache.create
+             ~store:(Store.create ~dir ?max_bytes:config.max_cache_bytes ())
+             ())
+      | None -> Some (Cache.create ())
+    in
+    let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match
+      Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
+      Unix.listen listen_fd 64
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot listen on %s: %s" config.socket_path
+           (Unix.error_message e))
+    | () ->
+      let lifetime = Stats.Registry.create () in
+      let lifetime_lock = Mutex.create () in
+      let queue = Bqueue.create config.queue_capacity in
+      let worker () =
+        let rec loop () =
+          match Bqueue.pop queue with
+          | None -> ()
+          | Some fd ->
+            (match handle_connection ~cache ~lifetime ~lifetime_lock ~log fd with
+            | () -> ()
+            | exception _ ->
+              (* Last-ditch containment: the worker survives anything a
+                 single connection can throw at it. *)
+              (try Unix.close fd with Unix.Unix_error _ -> ()));
+            loop ()
+        in
+        loop ()
+      in
+      let workers =
+        Array.init (max 1 config.pool_size) (fun _ -> Domain.spawn worker)
+      in
+      log
+        (Printf.sprintf "listening on %s (%d worker(s), queue %d%s)"
+           config.socket_path (max 1 config.pool_size) config.queue_capacity
+           (match config.cache_dir with
+           | Some d -> ", cache-dir " ^ d
+           | None -> ""));
+      let accepted = ref 0 in
+      let last_activity = ref (Clock.now ()) in
+      let finished () =
+        Atomic.get stop
+        || (match config.max_requests with
+           | Some m -> !accepted >= m
+           | None -> false)
+        ||
+        match config.idle_timeout with
+        | Some t -> Clock.now () -. !last_activity > t
+        | None -> false
+      in
+      while not (finished ()) do
+        match Unix.select [ listen_fd ] [] [] 0.2 with
+        | [], _, _ -> ()
+        | _ :: _, _, _ -> (
+          match Unix.accept listen_fd with
+          | fd, _ ->
+            incr accepted;
+            last_activity := Clock.now ();
+            if not (Bqueue.push queue fd) then
+              Unix.close fd (* closing: refuse, client falls back *)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      log
+        (if Atomic.get stop then "shutdown requested; draining"
+         else "lifetime reached; draining");
+      (* Graceful drain: no new connections, queued ones all served. *)
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      Bqueue.close queue;
+      Array.iter Domain.join workers;
+      (try Sys.remove config.socket_path with Sys_error _ -> ());
+      log (Printf.sprintf "served %d connection(s); bye" !accepted);
+      Ok (Stats.snapshot ~registry:lifetime ())
+  end

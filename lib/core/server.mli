@@ -1,0 +1,36 @@
+(** The compile server behind [mccd]: a Unix-domain-socket daemon with a
+    warm shared stage cache (optionally persisted via {!Store}), a pool
+    of worker domains, and a bounded connection queue for backpressure.
+
+    Requests are framed {!Protocol} values; each unit compiles through
+    {!Instance.compile_safe}, so a client-submitted ICE becomes an
+    [R_ice] response entry and never takes the daemon down.  The loop
+    exits on the [stop] flag, after [max_requests] connections, or after
+    [idle_timeout] seconds without one — always draining queued
+    connections before returning. *)
+
+type config = {
+  socket_path : string;
+  pool_size : int;  (** worker domains (min 1) *)
+  queue_capacity : int;  (** pending connections before backpressure *)
+  max_requests : int option;  (** exit after this many connections *)
+  idle_timeout : float option;  (** exit after this many idle seconds *)
+  cache_dir : string option;  (** persist the shared cache via {!Store} *)
+  max_cache_bytes : int option;  (** store byte cap (default {!Store}'s) *)
+  log : (string -> unit) option;  (** progress lines, e.g. [prerr_endline] *)
+}
+
+val default_config : config
+(** {!Protocol.default_socket}, 2 workers, queue 16, unbounded lifetime,
+    in-memory cache, silent. *)
+
+val run :
+  ?stop:bool Atomic.t -> config -> (Mc_support.Stats.snapshot, string) result
+(** Runs the daemon to completion on the calling domain.  [stop] makes
+    the accept loop finish (checked at least every 0.2 s) and drain —
+    mccd's signal handlers set it, and tests/benchmarks run the server
+    on a spare domain with it.  [Ok snapshot] is the lifetime counter
+    snapshot (including the [server.*] group); [Error] means the socket
+    could not be taken — in particular when a live daemon already
+    listens on it.  Stale socket files from crashed daemons are
+    detected (connect refused) and replaced. *)

@@ -1,0 +1,244 @@
+(* Persistent, content-addressed on-disk artifact store — the layer that
+   makes the stage cache survive process restarts.
+
+   Layout: <dir>/v<schema_version>/<stage>/<fingerprint>, one file per
+   (stage, fingerprint) key holding that key's full candidate list (the
+   PPTokens stage can carry several candidates per fingerprint,
+   ccache-manifest style; every other stage has one).
+
+   File format: a Binio frame (magic "MCST", version = schema_version)
+   whose payload is a 32-char payload digest followed by the marshalled
+   entry record.  Loads validate, in order: frame magic/version/length,
+   payload digest, unmarshalling, and that the recorded stage and
+   fingerprint match the requested key (a file renamed or cross-linked
+   into the wrong slot must not serve).  Every validation failure is a
+   miss — a [store.corrupt] or [store.version-mismatch] counter bump and
+   [None] — never an exception into the pipeline: a corrupt cache can
+   cost time, not correctness.
+
+   Writes are atomic (tmp + rename within the store directory), so
+   concurrent writers — Batch domains sharing one store, or an mccd
+   daemon and an mcc process sharing a --cache-dir — can only ever
+   publish complete files, and last-writer-wins is harmless because
+   entries are content-addressed.
+
+   Eviction: a byte-budget LRU.  Recency is a per-process logical clock
+   (deterministic for tests), seeded from file mtimes when an existing
+   directory is opened, and hits touch the file's mtime so recency
+   survives restarts approximately.  Eviction is per save: after a write
+   pushes the total over [max_bytes], oldest entries are unlinked until
+   it fits. *)
+
+module Stats = Mc_support.Stats
+module Binio = Mc_support.Binio
+
+let schema_version = 1
+let magic = "MCST"
+let default_max_bytes = 512 * 1024 * 1024
+
+let stat_hits =
+  Stats.counter ~group:"store" ~name:"hits"
+    ~desc:"stage artifacts served from the on-disk store" ()
+
+let stat_misses =
+  Stats.counter ~group:"store" ~name:"misses"
+    ~desc:"on-disk store lookups that found no entry" ()
+
+let stat_stores =
+  Stats.counter ~group:"store" ~name:"stores"
+    ~desc:"stage artifacts persisted to the on-disk store" ()
+
+let stat_corrupt =
+  Stats.counter ~group:"store" ~name:"corrupt"
+    ~desc:"on-disk entries rejected as corrupt (treated as misses)" ()
+
+let stat_version_mismatch =
+  Stats.counter ~group:"store" ~name:"version-mismatch"
+    ~desc:"on-disk entries rejected for a different schema version" ()
+
+let stat_evictions =
+  Stats.counter ~group:"store" ~name:"evictions"
+    ~desc:"on-disk entries evicted by the LRU byte budget" ()
+
+type entry = {
+  e_stage : string;
+  e_fp : string;
+  e_candidates : string list;
+}
+
+(* Per-key accounting for the LRU: on-disk size and logical last use. *)
+type slot = { mutable sl_bytes : int; mutable sl_used : int }
+
+type t = {
+  root : string; (* <dir>/v<schema_version> *)
+  max_bytes : int;
+  slots : (string * string, slot) Hashtbl.t;
+  mutable total_bytes : int;
+  mutable clock : int;
+  lock : Mutex.t;
+}
+
+let entry_path_unlocked t ~stage fp = Filename.concat (Filename.concat t.root stage) fp
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+(* Opening an existing directory adopts whatever complete entries are on
+   disk, ordering their recency by mtime so a restarted process evicts
+   the same way a long-running one would have. *)
+let scan t =
+  let files = ref [] in
+  (if Sys.file_exists t.root && Sys.is_directory t.root then
+     Array.iter
+       (fun stage ->
+         let sdir = Filename.concat t.root stage in
+         if Sys.is_directory sdir then
+           Array.iter
+             (fun fp ->
+               if String.length fp > 0 && fp.[0] = '.' then ()
+               else
+               let path = Filename.concat sdir fp in
+               match Unix.stat path with
+               | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+                 files := ((stage, fp), st_size, st_mtime) :: !files
+               | _ | (exception Unix.Unix_error _) -> ())
+             (Sys.readdir sdir))
+       (Sys.readdir t.root));
+  List.iter
+    (fun (key, size, _) ->
+      Hashtbl.replace t.slots key { sl_bytes = size; sl_used = tick t };
+      t.total_bytes <- t.total_bytes + size)
+    (List.sort (fun (_, _, a) (_, _, b) -> compare a b) !files)
+
+let create ~dir ?(max_bytes = default_max_bytes) () =
+  let root = Filename.concat dir (Printf.sprintf "v%d" schema_version) in
+  Binio.mkdir_p root;
+  let t =
+    {
+      root;
+      max_bytes;
+      slots = Hashtbl.create 64;
+      total_bytes = 0;
+      clock = 0;
+      lock = Mutex.create ();
+    }
+  in
+  (match scan t with () -> () | exception Sys_error _ -> ());
+  t
+
+let dir t = Filename.dirname t.root
+let entry_path t ~stage fp = entry_path_unlocked t ~stage fp
+
+let total_bytes t = Mutex.protect t.lock (fun () -> t.total_bytes)
+let entry_count t = Mutex.protect t.lock (fun () -> Hashtbl.length t.slots)
+
+let forget_unlocked t key =
+  match Hashtbl.find_opt t.slots key with
+  | Some slot ->
+    t.total_bytes <- t.total_bytes - slot.sl_bytes;
+    Hashtbl.remove t.slots key
+  | None -> ()
+
+let remove_file path = try Sys.remove path with Sys_error _ -> ()
+
+(* ---- load ---------------------------------------------------------------- *)
+
+let decode ~stage ~fp contents =
+  match Binio.parse_frame ~magic ~version:schema_version contents with
+  | Error (Binio.Version_mismatch _) -> Error `Version
+  | Error _ -> Error `Corrupt
+  | Ok payload -> (
+    if String.length payload < 32 then Error `Corrupt
+    else
+      let digest = String.sub payload 0 32 in
+      let body = String.sub payload 32 (String.length payload - 32) in
+      if Digest.to_hex (Digest.string body) <> digest then Error `Corrupt
+      else
+        match (Marshal.from_string body 0 : entry) with
+        | e ->
+          if e.e_stage = stage && e.e_fp = fp && e.e_candidates <> [] then
+            Ok e.e_candidates
+          else Error `Corrupt
+        | exception _ -> Error `Corrupt)
+
+let load t ~stage fp =
+  let path = entry_path_unlocked t ~stage fp in
+  match Binio.read_file path with
+  | None ->
+    Stats.incr stat_misses;
+    None
+  | Some contents -> (
+    match decode ~stage ~fp contents with
+    | Ok candidates ->
+      Stats.incr stat_hits;
+      Mutex.protect t.lock (fun () ->
+          (match Hashtbl.find_opt t.slots (stage, fp) with
+          | Some slot -> slot.sl_used <- tick t
+          | None ->
+            Hashtbl.replace t.slots (stage, fp)
+              { sl_bytes = String.length contents; sl_used = tick t };
+            t.total_bytes <- t.total_bytes + String.length contents);
+          (* Refresh the file's mtime so cross-process recency tracks use. *)
+          try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ());
+      Some candidates
+    | Error kind ->
+      (* A bad entry is unlinked so it cannot be re-read (and re-counted)
+         forever; either way this lookup is a miss. *)
+      Stats.incr
+        (match kind with
+        | `Corrupt -> stat_corrupt
+        | `Version -> stat_version_mismatch);
+      Stats.incr stat_misses;
+      Mutex.protect t.lock (fun () ->
+          forget_unlocked t (stage, fp);
+          remove_file path);
+      None)
+
+(* ---- save + eviction ----------------------------------------------------- *)
+
+let evict_until_fits_unlocked t =
+  while
+    t.total_bytes > t.max_bytes
+    && Hashtbl.length t.slots > 1 (* never evict the entry just written *)
+  do
+    let victim =
+      Hashtbl.fold
+        (fun key slot acc ->
+          match acc with
+          | Some (_, best) when best.sl_used <= slot.sl_used -> acc
+          | _ -> Some (key, slot))
+        t.slots None
+    in
+    match victim with
+    | None -> t.total_bytes <- 0 (* unreachable: slots non-empty *)
+    | Some ((stage, fp), _) ->
+      remove_file (entry_path_unlocked t ~stage fp);
+      forget_unlocked t (stage, fp);
+      Stats.incr stat_evictions
+  done
+
+let save ?(version = schema_version) t ~stage fp candidates =
+  if candidates = [] then ()
+  else begin
+    let body = Marshal.to_string { e_stage = stage; e_fp = fp; e_candidates = candidates } [] in
+    let payload = Digest.to_hex (Digest.string body) ^ body in
+    let contents = Binio.frame ~magic ~version payload in
+    let path = entry_path_unlocked t ~stage fp in
+    Binio.mkdir_p (Filename.dirname path);
+    match Binio.write_file_atomic ~path contents with
+    | Error _ -> () (* a full or unwritable disk degrades to no persistence *)
+    | Ok () ->
+      Stats.incr stat_stores;
+      Mutex.protect t.lock (fun () ->
+          forget_unlocked t (stage, fp);
+          Hashtbl.replace t.slots (stage, fp)
+            { sl_bytes = String.length contents; sl_used = tick t };
+          t.total_bytes <- t.total_bytes + String.length contents;
+          evict_until_fits_unlocked t)
+  end
+
+(* The newest-written entry is exempt from its own eviction pass (see
+   [evict_until_fits_unlocked]), so a single artifact larger than the
+   whole budget still persists — it just evicts everything else.  That
+   beats refusing to cache big units at all. *)

@@ -19,6 +19,8 @@ let () =
       ("driver", Test_driver.suite);
       ("batch", Test_batch.suite);
       ("cache", Test_cache.suite);
+      ("store", Test_store.suite);
+      ("server", Test_server.suite);
       ("pipeline", Test_pipeline.suite);
       ("goldens", Test_goldens.suite);
       ("e2e", Test_e2e.suite);

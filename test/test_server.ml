@@ -1,0 +1,184 @@
+(* Compile-server suite: warm round-trips through a live daemon on a
+   spare domain, ICE containment, digest-mismatch rejection, and the
+   client's unreachable-daemon error path. *)
+
+open Helpers
+module Server = Mc_core.Server
+module Client = Mc_core.Client
+module Protocol = Mc_core.Protocol
+module Pipeline = Mc_core.Pipeline
+module Invocation = Mc_core.Invocation
+module Stats = Mc_support.Stats
+
+let source =
+  "void record(long x);\nint main(void) {\nlong s = 0;\n\
+   for (int i = 0; i < 40; i += 1) s += i;\nrecord(s);\nreturn 0; }"
+
+let ice_source = "int main(void) {\n#pragma clang __debug crash\nreturn 0; }"
+
+(* Reproducer bundles from contained ICEs are not wanted in the test
+   environment. *)
+let invocation =
+  { Invocation.default with Invocation.gen_reproducer = false }
+
+let fresh_socket () =
+  let path = Filename.temp_file "mccd-test" ".sock" in
+  Sys.remove path;
+  path
+
+(* Starts a daemon on a spare domain, runs [f socket_path], then stops
+   the daemon and returns [f]'s result with the lifetime snapshot. *)
+let with_daemon f =
+  let socket_path = fresh_socket () in
+  let stop = Atomic.make false in
+  let config =
+    {
+      Server.default_config with
+      Server.socket_path;
+      pool_size = 1;
+      queue_capacity = 8;
+      (* Safety net: the test never relies on it, but a wedged daemon
+         must not hang the suite forever. *)
+      idle_timeout = Some 60.0;
+    }
+  in
+  let server = Domain.spawn (fun () -> Server.run ~stop config) in
+  (* Wait for the listening socket, then for a successful round-trip. *)
+  let rec await n =
+    if n = 0 then Alcotest.fail "daemon socket never appeared";
+    if not (Sys.file_exists socket_path) then begin
+      Unix.sleepf 0.02;
+      await (n - 1)
+    end
+  in
+  await 250;
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Atomic.set stop true)
+      (fun () -> f socket_path)
+  in
+  match Domain.join server with
+  | Ok snapshot ->
+    Alcotest.(check bool) "socket removed on shutdown" false
+      (Sys.file_exists socket_path);
+    (result, snapshot)
+  | Error e -> Alcotest.failf "server failed: %s" e
+
+let expect_units = function
+  | Ok (Protocol.Resp_units { p_units; _ }) -> p_units
+  | Ok (Protocol.Resp_rejected reason) ->
+    Alcotest.failf "request rejected: %s" reason
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+
+let expect_unit resp =
+  match expect_units resp with
+  | [ u ] -> u
+  | us -> Alcotest.failf "expected one response unit, got %d" (List.length us)
+
+let ir_text u =
+  match Client.ir_of_response_unit u with
+  | Some m -> Mc_ir.Printer.module_to_string m
+  | None -> Alcotest.fail "response carried no decodable IR"
+
+let test_warm_roundtrip () =
+  let (), snap =
+    with_daemon (fun socket_path ->
+        let compile () =
+          expect_unit (Client.compile ~socket_path invocation [ ("a.c", source) ])
+        in
+        let cold = compile () in
+        (match cold.Protocol.r_outcome with
+        | Protocol.R_ok { ok_errors; _ } ->
+          Alcotest.(check bool) "cold has no errors" false ok_errors
+        | Protocol.R_ice _ -> Alcotest.fail "cold compile ICEd");
+        Alcotest.(check bool) "cold is a miss" false cold.Protocol.r_cache_hit;
+        let warm = compile () in
+        Alcotest.(check bool) "warm is a full hit" true
+          warm.Protocol.r_cache_hit;
+        Alcotest.(check string) "warm reuses every stage"
+          "lex:hit pp:hit ast:hit ir:hit optir:hit"
+          (Pipeline.render_trace warm.Protocol.r_trace);
+        Alcotest.(check string) "byte-identical IR across the wire"
+          (ir_text cold) (ir_text warm))
+  in
+  Alcotest.(check int) "server.requests" 2 (Stats.find snap "server.requests");
+  Alcotest.(check int) "server.units" 2 (Stats.find snap "server.units");
+  Alcotest.(check int) "server.ices" 0 (Stats.find snap "server.ices")
+
+let test_ice_contained () =
+  let (), snap =
+    with_daemon (fun socket_path ->
+        let ice =
+          expect_unit
+            (Client.compile ~socket_path invocation [ ("boom.c", ice_source) ])
+        in
+        (match ice.Protocol.r_outcome with
+        | Protocol.R_ice { ice_phase; ice_exn; _ } ->
+          Alcotest.(check bool) "phase reported" true (ice_phase <> "");
+          Alcotest.(check bool) "exception reported" true (ice_exn <> "")
+        | Protocol.R_ok _ -> Alcotest.fail "expected an R_ice outcome");
+        (* The crash was contained in the worker: the daemon keeps
+           serving, and its cache is intact. *)
+        let after =
+          expect_unit (Client.compile ~socket_path invocation [ ("a.c", source) ])
+        in
+        match after.Protocol.r_outcome with
+        | Protocol.R_ok { ok_errors; _ } ->
+          Alcotest.(check bool) "daemon still compiles" false ok_errors
+        | Protocol.R_ice _ -> Alcotest.fail "daemon poisoned by earlier ICE")
+  in
+  Alcotest.(check int) "server.ices" 1 (Stats.find snap "server.ices");
+  Alcotest.(check int) "server.requests" 2 (Stats.find snap "server.requests")
+
+let test_digest_mismatch_rejected () =
+  let (), snap =
+    with_daemon (fun socket_path ->
+        let req = Protocol.request_of_units invocation [ ("a.c", source) ] in
+        let forged =
+          {
+            req with
+            Protocol.q_units =
+              List.map
+                (fun u -> { u with Protocol.q_digest = String.make 32 '0' })
+                req.Protocol.q_units;
+          }
+        in
+        (match Client.roundtrip ~socket_path forged with
+        | Ok (Protocol.Resp_rejected reason) ->
+          check_contains ~what:"rejection reason" reason "digest"
+        | Ok (Protocol.Resp_units _) ->
+          Alcotest.fail "forged digest was accepted"
+        | Error e -> Alcotest.failf "round-trip failed: %s" e);
+        (* A rejection must not wedge the daemon either. *)
+        let after =
+          expect_unit (Client.compile ~socket_path invocation [ ("a.c", source) ])
+        in
+        Alcotest.(check bool) "daemon serves after a rejection" false
+          after.Protocol.r_cache_hit)
+  in
+  Alcotest.(check int) "server.rejects" 1 (Stats.find snap "server.rejects")
+
+let test_unreachable_socket () =
+  let path = fresh_socket () in
+  match Client.compile ~socket_path:path invocation [ ("a.c", source) ] with
+  | Error msg -> check_contains ~what:"client error" msg "cannot reach daemon"
+  | Ok _ -> Alcotest.fail "expected an error for a dead socket"
+
+let test_double_start_refused () =
+  let (), _ =
+    with_daemon (fun socket_path ->
+        let config = { Server.default_config with Server.socket_path } in
+        match Server.run config with
+        | Error msg -> check_contains ~what:"second daemon" msg "already"
+        | Ok _ -> Alcotest.fail "second daemon bound the same live socket")
+  in
+  ()
+
+let suite =
+  [
+    tc "warm round-trip is a full hit" test_warm_roundtrip;
+    tc "ICE is contained, daemon survives" test_ice_contained;
+    tc "digest mismatch is rejected" test_digest_mismatch_rejected;
+    tc "unreachable socket is a client error" test_unreachable_socket;
+    tc "second daemon on a live socket is refused" test_double_start_refused;
+  ]

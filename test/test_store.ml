@@ -1,0 +1,281 @@
+(* Persistent-store suite: on-disk round-trips, corruption injection
+   (every malformed entry is a miss, never an ICE), schema-version
+   rejection, LRU eviction order, concurrent writers, and persistence
+   across Cache/Instance lifetimes. *)
+
+open Helpers
+module Store = Mc_core.Store
+module Cache = Mc_core.Cache
+module Instance = Mc_core.Instance
+module Invocation = Mc_core.Invocation
+module Batch = Mc_core.Batch
+module Driver = Mc_core.Driver
+module Pipeline = Mc_core.Pipeline
+module Stats = Mc_support.Stats
+module Binio = Mc_support.Binio
+
+let temp_dir () =
+  let path = Filename.temp_file "mcc-store-test" "" in
+  Sys.remove path;
+  Binio.mkdir_p path;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_store_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> try rm_rf dir with Sys_error _ -> ()) (fun () -> f dir)
+
+(* Runs the thunk under a fresh registry so counter assertions are exact
+   regardless of what earlier tests did to the shared default. *)
+let with_stats f =
+  let registry = Stats.Registry.create () in
+  let result = Stats.with_registry registry f in
+  (result, Stats.snapshot ~registry ())
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let test_roundtrip_and_restart () =
+  with_store_dir (fun dir ->
+      let (), snap =
+        with_stats (fun () ->
+            let store = Store.create ~dir () in
+            let candidates = [ "newest"; "older" ] in
+            Store.save store ~stage:"pp" "fp-1" candidates;
+            Alcotest.(check (option (list string)))
+              "same-process load" (Some candidates)
+              (Store.load store ~stage:"pp" "fp-1");
+            Alcotest.(check (option (list string)))
+              "unknown key misses" None
+              (Store.load store ~stage:"pp" "fp-2");
+            (* A second store on the same directory — a process restart —
+               adopts the entry from disk. *)
+            let reopened = Store.create ~dir () in
+            Alcotest.(check int) "entry adopted" 1 (Store.entry_count reopened);
+            Alcotest.(check (option (list string)))
+              "cross-process load" (Some candidates)
+              (Store.load reopened ~stage:"pp" "fp-1"))
+      in
+      Alcotest.(check int) "store.stores" 1 (Stats.find snap "store.stores");
+      Alcotest.(check int) "store.hits" 2 (Stats.find snap "store.hits");
+      Alcotest.(check int) "store.misses" 1 (Stats.find snap "store.misses"))
+
+let test_corruption_is_a_miss () =
+  with_store_dir (fun dir ->
+      let (), snap =
+        with_stats (fun () ->
+            let store = Store.create ~dir () in
+            let path = Store.entry_path store ~stage:"ir" "fp-c" in
+            let save () = Store.save store ~stage:"ir" "fp-c" [ "artifact" ] in
+            (* Truncation: an interrupted write could never publish this
+               (rename is atomic), but a damaged disk can. *)
+            save ();
+            let good = read_file path in
+            write_file path (String.sub good 0 (String.length good / 2));
+            Alcotest.(check (option (list string)))
+              "truncated entry misses" None
+              (Store.load store ~stage:"ir" "fp-c");
+            Alcotest.(check bool) "truncated entry unlinked" false
+              (Sys.file_exists path);
+            (* Bit flip in the marshalled body: the payload digest rejects
+               it before unmarshalling can see it. *)
+            save ();
+            let flipped = Bytes.of_string good in
+            let i = Bytes.length flipped - 5 in
+            Bytes.set flipped i (Char.chr (Char.code (Bytes.get flipped i) lxor 1));
+            write_file path (Bytes.to_string flipped);
+            Alcotest.(check (option (list string)))
+              "bit-flipped entry misses" None
+              (Store.load store ~stage:"ir" "fp-c");
+            (* Mis-keyed: a valid entry file copied into another key's slot
+               must not serve under that key. *)
+            save ();
+            let other = Store.entry_path store ~stage:"ir" "fp-other" in
+            write_file other (read_file path);
+            Alcotest.(check (option (list string)))
+              "mis-keyed entry misses" None
+              (Store.load store ~stage:"ir" "fp-other");
+            (* Once unlinked, later lookups are plain misses: the corrupt
+               counter must not grow forever. *)
+            Alcotest.(check (option (list string)))
+              "unlinked entry stays gone" None
+              (Store.load store ~stage:"ir" "fp-other"))
+      in
+      Alcotest.(check int) "store.corrupt" 3 (Stats.find snap "store.corrupt");
+      Alcotest.(check int) "store.misses" 4 (Stats.find snap "store.misses");
+      Alcotest.(check int) "store.hits" 0 (Stats.find snap "store.hits"))
+
+let test_schema_version_mismatch () =
+  with_store_dir (fun dir ->
+      let (), snap =
+        with_stats (fun () ->
+            let store = Store.create ~dir () in
+            Store.save ~version:(Store.schema_version + 1) store ~stage:"ast"
+              "fp-v" [ "artifact" ];
+            let path = Store.entry_path store ~stage:"ast" "fp-v" in
+            Alcotest.(check bool) "entry written" true (Sys.file_exists path);
+            Alcotest.(check (option (list string)))
+              "future-version entry misses" None
+              (Store.load store ~stage:"ast" "fp-v");
+            Alcotest.(check bool) "rejected entry unlinked" false
+              (Sys.file_exists path))
+      in
+      Alcotest.(check int) "store.version-mismatch" 1
+        (Stats.find snap "store.version-mismatch");
+      Alcotest.(check int) "store.corrupt" 0 (Stats.find snap "store.corrupt"))
+
+let test_eviction_order () =
+  (* Learn one entry's on-disk size first (all payloads below are the
+     same length, so every entry costs the same), then budget for three:
+     saving a fourth must evict exactly the least recently used key. *)
+  let payload = String.make 1000 'x' in
+  let entry_size =
+    with_store_dir (fun dir ->
+        let probe = Store.create ~dir () in
+        Store.save probe ~stage:"lex" "probe" [ payload ];
+        Store.total_bytes probe)
+  in
+  with_store_dir (fun dir ->
+      let (), snap =
+        with_stats (fun () ->
+            let store =
+              Store.create ~dir ~max_bytes:((3 * entry_size) + (entry_size / 2)) ()
+            in
+            Store.save store ~stage:"lex" "a" [ payload ];
+            Store.save store ~stage:"lex" "b" [ payload ];
+            Store.save store ~stage:"lex" "c" [ payload ];
+            Alcotest.(check int) "three entries fit" 3 (Store.entry_count store);
+            (* Touch [a]: recency is now b < c < a. *)
+            ignore (Store.load store ~stage:"lex" "a");
+            Store.save store ~stage:"lex" "d" [ payload ];
+            Alcotest.(check int) "still three entries" 3 (Store.entry_count store);
+            Alcotest.(check (option (list string)))
+              "LRU victim [b] evicted" None
+              (Store.load store ~stage:"lex" "b");
+            List.iter
+              (fun fp ->
+                Alcotest.(check (option (list string)))
+                  (fp ^ " survives") (Some [ payload ])
+                  (Store.load store ~stage:"lex" fp))
+              [ "a"; "c"; "d" ])
+      in
+      Alcotest.(check int) "store.evictions" 1 (Stats.find snap "store.evictions"))
+
+let test_concurrent_writers () =
+  (* Two domains, each with its own handle on the same directory, write
+     an overlapping key set concurrently.  Atomic publishes mean a third
+     handle must afterwards read every key completely — last-writer-wins
+     on the shared keys, no torn files anywhere. *)
+  with_store_dir (fun dir ->
+      let writer tag =
+        Domain.spawn (fun () ->
+            (* Scope a fresh registry: the shared default must not be
+               mutated from two domains at once. *)
+            Stats.with_registry (Stats.Registry.create ()) (fun () ->
+                let store = Store.create ~dir () in
+                for i = 1 to 10 do
+                  let fp = Printf.sprintf "shared-%d" i in
+                  Store.save store ~stage:"pp" fp [ "candidate-" ^ fp ];
+                  let own = Printf.sprintf "%s-%d" tag i in
+                  Store.save store ~stage:"pp" own [ "candidate-" ^ own ]
+                done))
+      in
+      let a = writer "left" and b = writer "right" in
+      Domain.join a;
+      Domain.join b;
+      let reader = Store.create ~dir () in
+      Alcotest.(check int) "all keys present" 30 (Store.entry_count reader);
+      let check_fp fp =
+        Alcotest.(check (option (list string)))
+          (fp ^ " readable") (Some [ "candidate-" ^ fp ])
+          (Store.load reader ~stage:"pp" fp)
+      in
+      for i = 1 to 10 do
+        check_fp (Printf.sprintf "shared-%d" i);
+        check_fp (Printf.sprintf "left-%d" i);
+        check_fp (Printf.sprintf "right-%d" i)
+      done)
+
+let source =
+  "void record(long x);\nint main(void) {\nlong s = 0;\n\
+   for (int i = 0; i < 40; i += 1) s += i;\nrecord(s);\nreturn 0; }"
+
+let invocation =
+  { Invocation.default with Invocation.cache_enabled = true }
+
+let test_cache_survives_restart () =
+  (* The integration the store exists for: a store-backed Cache in a
+     fresh process (fresh Store + Cache + Instance) serves a full-hit
+     compile from disk, byte-identical to the cold one. *)
+  with_store_dir (fun dir ->
+      let compile_once () =
+        let cache = Cache.create ~store:(Store.create ~dir ()) () in
+        let inst = Instance.create ~cache invocation in
+        let c = Instance.compile inst source in
+        if Mc_diag.Diagnostics.has_errors c.Instance.c_result.Driver.diag then
+          Alcotest.failf "compile failed:\n%s"
+            (Mc_diag.Diagnostics.render_all c.Instance.c_result.Driver.diag);
+        (c, Instance.stats inst)
+      in
+      let cold, cold_stats = compile_once () in
+      Alcotest.(check bool) "cold is a miss" false cold.Instance.c_cache_hit;
+      Alcotest.(check int) "cold persisted every stage" 5
+        (Stats.find cold_stats "store.stores");
+      let warm, warm_stats = compile_once () in
+      Alcotest.(check bool) "disk-warm is a hit" true warm.Instance.c_cache_hit;
+      Alcotest.(check string) "every stage served from disk"
+        "lex:hit pp:hit ast:hit ir:hit optir:hit"
+        (Pipeline.render_trace warm.Instance.c_trace);
+      Alcotest.(check bool) "store hits recorded" true
+        (Stats.find warm_stats "store.hits" > 0);
+      let ir c =
+        Mc_ir.Printer.module_to_string (Option.get c.Instance.c_result.Driver.ir)
+      in
+      Alcotest.(check string) "byte-identical IR" (ir cold) (ir warm))
+
+let test_batch_domains_share_store () =
+  (* Batch worker domains write through one store-backed cache; a fresh
+     cache over the same directory then serves the whole batch warm. *)
+  with_store_dir (fun dir ->
+      let inputs =
+        List.init 6 (fun i ->
+            ( Printf.sprintf "u%d.c" i,
+              Printf.sprintf
+                "void record(long x);\nint main(void) { long s = 0;\n\
+                 for (int i = 0; i < %d; i += 1) s += i;\nrecord(s);\nreturn 0; }"
+                (10 + i) ))
+      in
+      let cache = Cache.create ~store:(Store.create ~dir ()) () in
+      let cold = Batch.compile ~jobs:2 ~cache ~invocation inputs in
+      Alcotest.(check bool) "cold all ok" true (Batch.all_ok cold);
+      Alcotest.(check int) "cold: no hits" 0 (Batch.hits cold);
+      let fresh = Cache.create ~store:(Store.create ~dir ()) () in
+      let warm = Batch.compile ~jobs:2 ~cache:fresh ~invocation inputs in
+      Alcotest.(check bool) "warm all ok" true (Batch.all_ok warm);
+      Alcotest.(check int) "warm: all hits from disk" (List.length inputs)
+        (Batch.hits warm))
+
+let suite =
+  [
+    tc "round-trip and restart adoption" test_roundtrip_and_restart;
+    tc "corrupt entries are misses" test_corruption_is_a_miss;
+    tc "schema-version mismatch rejects" test_schema_version_mismatch;
+    tc "LRU eviction order" test_eviction_order;
+    tc "concurrent writers publish atomically" test_concurrent_writers;
+    tc "store-backed cache survives restart" test_cache_survives_restart;
+    tc "batch domains share one store" test_batch_domains_share_store;
+  ]
