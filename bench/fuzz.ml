@@ -1,68 +1,42 @@
-(* The standalone fuzzing driver behind the CI smoke step:
+(* The standalone fuzzing driver behind the CI smoke steps:
 
      fuzz -n 500 -seed 1 -jobs 1,4 -corpus examples -out fuzz-failures
+     fuzz -mode diff -n 500 -seed 1 -jobs 1,4 -out diff-mismatches
 
-   drives [Mc_fuzz.Fuzz.run] over generated programs and mutations of the
-   corpus, prints a one-line verdict, writes each (minimized) failing
-   input plus its ICE report into the output directory, and exits
-   non-zero iff the crash-containment invariant was violated. *)
+   The default (crash) mode drives [Mc_fuzz.Fuzz.run] over generated
+   programs and mutations of the corpus and asserts crash containment;
+   diff mode drives [Mc_fuzz.Differential.run], the differential-
+   semantics oracle for the loop-transformation directives.  Both print
+   a one-line verdict, write each (minimized) failing input plus its
+   report into the output directory, and exit non-zero iff the invariant
+   was violated. *)
 
-let () =
-  let n = ref 500 in
-  let seed = ref 1 in
-  let jobs = ref "1,4" in
-  let corpus_dir = ref "examples" in
-  let out_dir = ref "fuzz-failures" in
-  let spec =
-    [
-      ("-n", Arg.Set_int n, "NUM  number of inputs (default 500)");
-      ("-seed", Arg.Set_int seed, "SEED  campaign seed (default 1)");
-      ( "-jobs",
-        Arg.Set_string jobs,
-        "LIST  comma-separated domain counts to test (default 1,4)" );
-      ( "-corpus",
-        Arg.Set_string corpus_dir,
-        "DIR  directory of .c files to mutate (default examples)" );
-      ( "-out",
-        Arg.Set_string out_dir,
-        "DIR  where failing inputs are written (default fuzz-failures)" );
-    ]
-  in
-  Arg.parse spec
-    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "fuzz [-n NUM] [-seed SEED] [-jobs LIST] [-corpus DIR] [-out DIR]";
+let run_crash_mode ~n ~seed ~jobs ~corpus_dir ~out_dir =
   let corpus =
-    match Sys.readdir !corpus_dir with
+    match Sys.readdir corpus_dir with
     | entries ->
       Array.to_list entries
       |> List.filter (fun f -> Filename.check_suffix f ".c")
       |> List.sort compare
       |> List.map (fun f ->
              In_channel.with_open_text
-               (Filename.concat !corpus_dir f)
+               (Filename.concat corpus_dir f)
                In_channel.input_all)
     | exception Sys_error _ -> []
   in
-  let jobs =
-    String.split_on_char ',' !jobs
-    |> List.filter_map int_of_string_opt
-    |> function
-    | [] -> [ 1; 4 ]
-    | l -> l
-  in
-  let report = Mc_fuzz.Fuzz.run ~corpus ~jobs ~n:!n ~seed:!seed () in
+  let report = Mc_fuzz.Fuzz.run ~corpus ~jobs ~n ~seed () in
   match report.Mc_fuzz.Fuzz.failures with
   | [] ->
     Printf.printf
       "fuzz: OK: %d inputs (seed %d, %d corpus file(s)) under -j {%s}: no \
        escaped exceptions, no ICEs\n"
-      report.Mc_fuzz.Fuzz.total !seed (List.length corpus)
+      report.Mc_fuzz.Fuzz.total seed (List.length corpus)
       (String.concat "," (List.map string_of_int jobs))
   | failures ->
-    (try Sys.mkdir !out_dir 0o755 with Sys_error _ -> ());
+    (try Sys.mkdir out_dir 0o755 with Sys_error _ -> ());
     List.iteri
       (fun i f ->
-        let base = Filename.concat !out_dir (Printf.sprintf "fail-%d" i) in
+        let base = Filename.concat out_dir (Printf.sprintf "fail-%d" i) in
         Out_channel.with_open_text (base ^ ".c") (fun oc ->
             Out_channel.output_string oc f.Mc_fuzz.Fuzz.fz_source);
         Out_channel.with_open_text (base ^ ".txt") (fun oc ->
@@ -79,3 +53,81 @@ let () =
     Printf.eprintf "fuzz: %d/%d inputs violated crash containment\n"
       (List.length failures) report.Mc_fuzz.Fuzz.total;
     exit 1
+
+let run_diff_mode ~n ~seed ~jobs ~out_dir =
+  let report = Mc_fuzz.Differential.run ~jobs ~n ~seed () in
+  match report.Mc_fuzz.Differential.dm_mismatches with
+  | [] ->
+    Printf.printf
+      "fuzz: OK: %d differential inputs (seed %d) agree with their \
+       pragma-stripped reference under every configuration and -j {%s}\n"
+      report.Mc_fuzz.Differential.dm_total seed
+      (String.concat "," (List.map string_of_int jobs))
+  | mismatches ->
+    (try Sys.mkdir out_dir 0o755 with Sys_error _ -> ());
+    List.iteri
+      (fun i m ->
+        let base = Filename.concat out_dir (Printf.sprintf "mismatch-%d" i) in
+        Out_channel.with_open_text (base ^ ".c") (fun oc ->
+            Out_channel.output_string oc m.Mc_fuzz.Differential.dm_source);
+        Out_channel.with_open_text (base ^ ".txt") (fun oc ->
+            Printf.fprintf oc "input: %s\nconfig: %s\n%s\n"
+              m.Mc_fuzz.Differential.dm_name m.Mc_fuzz.Differential.dm_config
+              m.Mc_fuzz.Differential.dm_detail);
+        Printf.eprintf "fuzz: MISMATCH %s [%s]: %s\n  minimized: %s.c\n"
+          m.Mc_fuzz.Differential.dm_name m.Mc_fuzz.Differential.dm_config
+          m.Mc_fuzz.Differential.dm_detail base)
+      mismatches;
+    Printf.eprintf "fuzz: %d/%d inputs diverged from their reference\n"
+      (List.length mismatches) report.Mc_fuzz.Differential.dm_total;
+    exit 1
+
+let () =
+  let mode = ref "crash" in
+  let n = ref 500 in
+  let seed = ref 1 in
+  let jobs = ref "1,4" in
+  let corpus_dir = ref "examples" in
+  let out_dir = ref "" in
+  let spec =
+    [
+      ( "-mode",
+        Arg.Set_string mode,
+        "MODE  'crash' (containment, default) or 'diff' (differential \
+         semantics)" );
+      ("-n", Arg.Set_int n, "NUM  number of inputs (default 500)");
+      ("-seed", Arg.Set_int seed, "SEED  campaign seed (default 1)");
+      ( "-jobs",
+        Arg.Set_string jobs,
+        "LIST  comma-separated domain counts to test (default 1,4)" );
+      ( "-corpus",
+        Arg.Set_string corpus_dir,
+        "DIR  directory of .c files to mutate (crash mode; default examples)"
+      );
+      ( "-out",
+        Arg.Set_string out_dir,
+        "DIR  where failing inputs are written (default fuzz-failures / \
+         diff-mismatches)" );
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "fuzz [-mode crash|diff] [-n NUM] [-seed SEED] [-jobs LIST] [-corpus DIR] \
+     [-out DIR]";
+  let jobs =
+    String.split_on_char ',' !jobs
+    |> List.filter_map int_of_string_opt
+    |> function
+    | [] -> [ 1; 4 ]
+    | l -> l
+  in
+  match !mode with
+  | "crash" ->
+    let out_dir = if !out_dir = "" then "fuzz-failures" else !out_dir in
+    run_crash_mode ~n:!n ~seed:!seed ~jobs ~corpus_dir:!corpus_dir ~out_dir
+  | "diff" ->
+    let out_dir = if !out_dir = "" then "diff-mismatches" else !out_dir in
+    run_diff_mode ~n:!n ~seed:!seed ~jobs ~out_dir
+  | m ->
+    Printf.eprintf "fuzz: unknown -mode %S (expected 'crash' or 'diff')\n" m;
+    exit 2

@@ -11,6 +11,7 @@ let directive_class_name = function
   | D_tile -> "OMPTileDirective"
   | D_reverse -> "OMPReverseDirective"
   | D_interchange -> "OMPInterchangeDirective"
+  | D_stripe -> "OMPStripeDirective"
   | D_fuse -> "OMPFuseDirective"
   | D_barrier -> "OMPBarrierDirective"
   | D_single -> "OMPSingleDirective"
@@ -79,12 +80,12 @@ let is_omp_executable_directive (_ : directive_kind) = true
 
 let is_omp_loop_directive = function
   | D_for | D_parallel_for | D_simd | D_for_simd | D_parallel_for_simd -> true
-  | D_parallel | D_unroll | D_tile | D_reverse | D_interchange | D_fuse
-  | D_barrier | D_single | D_master | D_critical _ ->
+  | D_parallel | D_unroll | D_tile | D_reverse | D_interchange | D_stripe
+  | D_fuse | D_barrier | D_single | D_master | D_critical _ ->
     false
 
 let is_loop_transformation = function
-  | D_unroll | D_tile | D_reverse | D_interchange | D_fuse -> true
+  | D_unroll | D_tile | D_reverse | D_interchange | D_stripe | D_fuse -> true
   | D_parallel | D_for | D_parallel_for | D_simd | D_for_simd
   | D_parallel_for_simd | D_barrier | D_single | D_master | D_critical _ ->
     false

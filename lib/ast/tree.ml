@@ -248,6 +248,7 @@ and directive_kind =
      fusion and fission"): *)
   | D_reverse
   | D_interchange
+  | D_stripe
   | D_fuse
   | D_barrier
   | D_single

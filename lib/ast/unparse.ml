@@ -133,6 +133,7 @@ let directive_name = function
   | D_tile -> "tile"
   | D_reverse -> "reverse"
   | D_interchange -> "interchange"
+  | D_stripe -> "stripe"
   | D_fuse -> "fuse"
   | D_barrier -> "barrier"
   | D_single -> "single"

@@ -1222,9 +1222,11 @@ and permutation_of_clauses clauses =
   | Some ps -> List.map (fun (p, _) -> p - 1) ps
   | None -> [ 1; 0 ]
 
-(* [#pragma omp fuse] on the irbuilder path: one canonical loop over the
-   maximum trip count; each member's per-iteration binding and body run
-   under an (iv < tc_k) guard.  Returns the fused loop's handle. *)
+(* [#pragma omp fuse] on the irbuilder path: emit every member of the
+   loop sequence as a real canonical loop (they chain sequentially, each
+   after block entering the next preheader), then hand the handles to
+   [Ob.fuse_loops], which performs the block surgery.  Returns the fused
+   loop's handle. *)
 and emit_fused_loop ctx (d : directive) : Cli.t =
   let members =
     match Option.map (fun s -> s.s_kind) d.dir_assoc with
@@ -1242,8 +1244,11 @@ and emit_fused_loop ctx (d : directive) : Cli.t =
         | _ -> unsupported "fuse member is not a canonical loop")
       members
   in
+  (* All distances first, so every trip count dominates the first member's
+     preheader where fuse_loops computes the maximum. *)
   let tcs = List.map (emit_distance ctx) ocls in
-  (* Normalise the counter widths to the widest member. *)
+  (* Normalise the counter widths to the widest member: fuse_loops
+     requires one shared trip-count type. *)
   let widest =
     if List.exists (fun tc -> Ir.value_ty tc = Ir.I64) tcs then Ir.I64 else Ir.I32
   in
@@ -1253,37 +1258,25 @@ and emit_fused_loop ctx (d : directive) : Cli.t =
         if Ir.value_ty tc = widest then tc else B.cast ctx.b Ir.Zext tc widest)
       tcs
   in
-  let max_tc =
-    List.fold_left
-      (fun acc tc ->
-        let c = B.icmp ctx.b Ir.Iult acc tc in
-        B.select ctx.b c tc acc)
-      (Ir.Const_int (widest, 0L))
-      tcs_w
+  let clis =
+    List.mapi
+      (fun k ocl ->
+        Ob.create_canonical_loop ctx.b
+          ~name:(Printf.sprintf "fuse.member.%d" k)
+          ~trip_count:(List.nth tcs_w k)
+          ~body_gen:(fun _b iv ->
+            let iv_k =
+              let target = Ir.value_ty (List.nth tcs k) in
+              if Ir.value_ty iv = target then iv
+              else if target = Ir.I64 then B.cast ctx.b Ir.Zext iv Ir.I64
+              else B.cast ctx.b Ir.Trunc iv Ir.I32
+            in
+            bind_canonical_iteration ctx ocl ~iv:iv_k;
+            emit_stmt ctx (canonical_loop_body ocl))
+          ())
+      ocls
   in
-  Ob.create_canonical_loop ctx.b ~name:"fused" ~trip_count:max_tc
-    ~body_gen:(fun _b iv ->
-      List.iteri
-        (fun k ocl ->
-          let tc = List.nth tcs_w k in
-          let f = current_function ctx in
-          let body_b = Ir.create_block ~name:(Printf.sprintf "fuse.body.%d" k) f in
-          let cont_b = Ir.create_block ~name:(Printf.sprintf "fuse.cont.%d" k) f in
-          let guard = B.icmp ctx.b Ir.Iult iv tc in
-          B.cond_br ctx.b guard body_b cont_b;
-          B.set_insertion_point ctx.b body_b;
-          let iv_k =
-            let target = Ir.value_ty (List.nth tcs k) in
-            if Ir.value_ty iv = target then iv
-            else if target = Ir.I64 then B.cast ctx.b Ir.Zext iv Ir.I64
-            else B.cast ctx.b Ir.Trunc iv Ir.I32
-          in
-          bind_canonical_iteration ctx ocl ~iv:iv_k;
-          emit_stmt ctx (canonical_loop_body ocl);
-          B.br ctx.b cont_b;
-          B.set_insertion_point ctx.b cont_b)
-        ocls)
-    ()
+  Ob.fuse_loops ctx.b clis
 
 and partial_factor_of clauses =
   List.find_map
@@ -1327,6 +1320,24 @@ and emit_loop_handle ctx s : Cli.t =
     match generated with
     | outer :: _ -> outer
     | [] -> unsupported "tile produced no loops")
+  | Omp_directive inner when inner.dir_kind = D_stripe -> (
+    let sizes = Option.value (tile_sizes_of inner.dir_clauses) ~default:[] in
+    let clis =
+      (* Same shape as tile: a 1-D stripe may sit on top of another
+         transformation; deeper nests must be literal canonical loops. *)
+      if List.length sizes = 1 then
+        [ emit_loop_handle ctx (Option.get inner.dir_assoc) ]
+      else
+        emit_canonical_nest ctx (Option.get inner.dir_assoc) (List.length sizes)
+    in
+    let uty = Ir.value_ty (List.hd clis).Cli.cli_trip_count in
+    let generated =
+      Ob.stripe_loops ctx.b clis
+        ~sizes:(List.map (fun n -> Ir.Const_int (uty, Int64.of_int n)) sizes)
+    in
+    match generated with
+    | outer :: _ -> outer
+    | [] -> unsupported "stripe produced no loops")
   | Omp_directive inner when inner.dir_kind = D_reverse ->
     let cli = emit_loop_handle ctx (Option.get inner.dir_assoc) in
     Ob.reverse_loop ctx.b cli
@@ -1411,7 +1422,7 @@ and emit_omp_classic ctx d =
     attach_simd_md latch (simdlen_of d.dir_clauses);
     finalize ()
   | D_unroll -> ignore (emit_deferred_unroll ctx d)
-  | D_tile | D_reverse | D_interchange | D_fuse -> (
+  | D_tile | D_reverse | D_interchange | D_stripe | D_fuse -> (
     emit_transformation_preinits ctx d;
     match d.dir_transformed with
     | Some tr -> ignore (emit_loop_stmt ctx tr)
@@ -1459,7 +1470,7 @@ and emit_omp_irbuilder ctx d =
       match partial_factor_of d.dir_clauses with
       | Some f -> ignore (Ob.unroll_loop_partial ctx.b cli ~factor:f)
       | None -> Ob.unroll_loop_heuristic ctx.b cli)
-  | D_tile | D_reverse | D_interchange | D_fuse ->
+  | D_tile | D_reverse | D_interchange | D_stripe | D_fuse ->
     (* Non-consumed OpenMP 6.0 transformations: build the generated loops
        and leave them in place. *)
     ignore

@@ -1,0 +1,345 @@
+(* The differential-semantics oracle behind the ROADMAP item "OpenMP 6.0
+   directive expansion with differential semantics testing".
+
+   [gen_program] emits random well-formed programs whose only observable
+   effect is an order-independent accumulation recorded after each loop
+   nest, and decorates the nests with the six loop-transformation
+   directives (unroll/tile/reverse/interchange/stripe/fuse) plus the
+   occasional worksharing wrapper.  Every transformation is semantically
+   a no-op modulo iteration order, and the accumulation operator of a
+   nest is associative and commutative (+ or ^) with update terms that
+   never read the accumulator — so the transformed program must produce
+   exactly the trace of its reference: the same source with every
+   "#pragma omp" line stripped, compiled classic -O0.
+
+   One deliberate restriction: all members of a [fuse] sequence share one
+   operator, because fusion interleaves the member bodies — a [+=] member
+   and a [^=] member commute individually but not with each other.
+
+   [check_source] sweeps the compile configurations (classic/irbuilder ×
+   -O0/-O1 × folding on/off, and both team sizes); [run] adds the
+   infrastructure axes: batch compilation at -j 1 vs -j N must yield
+   byte-identical IR per unit, and so must a cold vs warm persistent
+   store.  Semantic mismatches are minimized with [Fuzz.minimize] under
+   the "still mismatches" predicate. *)
+
+module Batch = Mc_core.Batch
+module Cache = Mc_core.Cache
+module Store = Mc_core.Store
+module Instance = Mc_core.Instance
+module Invocation = Mc_core.Invocation
+module Driver = Mc_core.Driver
+module Interp = Mc_interp.Interp
+module Crash_recovery = Mc_support.Crash_recovery
+module Binio = Mc_support.Binio
+module Rng = Fuzz.Rng
+
+(* ---- generator ------------------------------------------------------------ *)
+
+(* An update term over the induction variables in scope.  Distinct odd-ish
+   coefficients make dropped, duplicated or cross-wired iterations visible
+   in the sum; the term never reads the accumulator, so iteration order
+   cannot matter. *)
+let gen_term rng ivs =
+  match ivs with
+  | [] -> string_of_int (1 + Rng.int rng 9)
+  | _ ->
+    let pieces =
+      List.map (fun iv -> Printf.sprintf "%s * %d" iv (1 + Rng.int rng 31)) ivs
+    in
+    String.concat " + " pieces
+
+(* Every header shape runs exactly [extent] iterations (possibly zero), in
+   all four canonical comparison/step forms. *)
+let gen_header rng var =
+  let lb = Rng.int rng 5 in
+  let extent = Rng.int rng 10 (* 0..9: zero-trip loops included *) in
+  let step = 1 + Rng.int rng 3 in
+  match Rng.int rng 4 with
+  | 0 ->
+    Printf.sprintf "for (int %s = %d; %s < %d; %s += %d)" var lb var
+      (lb + (extent * step)) var step
+  | 1 ->
+    Printf.sprintf "for (int %s = %d; %s <= %d; %s += %d)" var lb var
+      (lb + (extent * step) - 1) var step
+  | 2 ->
+    Printf.sprintf "for (int %s = %d; %s > %d; %s -= %d)" var
+      (lb + (extent * step)) var lb var step
+  | _ ->
+    (* '!=' conditions require a unit step *)
+    Printf.sprintf "for (int %s = %d; %s != %d; %s += 1)" var lb var
+      (lb + extent) var
+
+(* The directive for a nest of [depth] perfectly nested loops.  Sizes run
+   up to 12 against extents up to 9, so size-exceeds-trip-count is hit
+   routinely; unroll factors up to 5 rarely divide the trip count. *)
+let gen_nest_pragma rng depth =
+  let sizes n =
+    String.concat ", "
+      (List.init n (fun _ -> string_of_int (1 + Rng.int rng 12)))
+  in
+  let permutation n =
+    let a = Array.init n (fun i -> i + 1) in
+    for i = n - 1 downto 1 do
+      let j = Rng.int rng (i + 1) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    done;
+    String.concat ", " (Array.to_list (Array.map string_of_int a))
+  in
+  let common =
+    [
+      (fun () -> "");
+      (fun () -> "");
+      (fun () -> "#pragma omp reverse\n");
+      (fun () ->
+        Printf.sprintf "#pragma omp unroll partial(%d)\n" (1 + Rng.int rng 5));
+      (fun () -> "#pragma omp unroll full\n");
+      (fun () -> Printf.sprintf "#pragma omp tile sizes(%s)\n" (sizes depth));
+      (fun () -> Printf.sprintf "#pragma omp stripe sizes(%s)\n" (sizes depth));
+      (fun () -> "#pragma omp parallel for\n");
+    ]
+  in
+  let deep =
+    if depth < 2 then []
+    else
+      [
+        (fun () ->
+          Printf.sprintf "#pragma omp interchange permutation(%s)\n"
+            (permutation depth));
+      ]
+  in
+  (Rng.pick rng (common @ deep)) ()
+
+let gen_program rng =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "int main(void) {\n  int acc = 0;\n";
+  let nstmts = 1 + Rng.int rng 3 in
+  for idx = 0 to nstmts - 1 do
+    let op = if Rng.int rng 4 = 0 then "^" else "+" in
+    if Rng.int rng 6 = 0 then begin
+      (* a fuse sequence: 2-3 sibling depth-1 loops, one shared operator *)
+      let members = 2 + Rng.int rng 2 in
+      Buffer.add_string b "  #pragma omp fuse\n  {\n";
+      for m = 0 to members - 1 do
+        let var = Printf.sprintf "f%d_%d" idx m in
+        Buffer.add_string b
+          (Printf.sprintf "    %s\n      acc %s= %s;\n" (gen_header rng var) op
+             (gen_term rng [ var ]));
+      done;
+      Buffer.add_string b "  }\n"
+    end
+    else begin
+      let depth = 1 + Rng.int rng 3 in
+      let ivs = List.init depth (fun d -> Printf.sprintf "i%d_%d" idx d) in
+      Buffer.add_string b ("  " ^ gen_nest_pragma rng depth);
+      List.iteri
+        (fun d iv ->
+          Buffer.add_string b
+            (Printf.sprintf "%s%s\n" (String.make ((2 * d) + 2) ' ')
+               (gen_header rng iv)))
+        ivs;
+      Buffer.add_string b
+        (Printf.sprintf "%sacc %s= %s;\n"
+           (String.make ((2 * depth) + 2) ' ')
+           op (gen_term rng ivs))
+    end;
+    Buffer.add_string b "  record(acc);\n"
+  done;
+  Buffer.add_string b "  return 0;\n}\n";
+  Buffer.contents b
+
+let strip_pragmas source =
+  String.split_on_char '\n' source
+  |> List.filter (fun line ->
+         let t = String.trim line in
+         not (String.length t >= 11 && String.sub t 0 11 = "#pragma omp"))
+  |> String.concat "\n"
+
+(* ---- the semantic oracle --------------------------------------------------- *)
+
+let o0 = { Driver.default_options with Driver.optimize = false }
+let irb o = { o with Driver.use_irbuilder = true }
+let nofold o = { o with Driver.fold = false }
+
+(* Everything the compiler offers; classic -O0 of the stripped source is
+   the reference, so "classic -O0" here checks that the directives
+   themselves (not just the optimizer) preserve semantics. *)
+let configs =
+  [
+    ("classic -O0", o0);
+    ("classic -O1", Driver.default_options);
+    ("classic -O1 -no-builder-folding", nofold Driver.default_options);
+    ("irbuilder -O0", irb o0);
+    ("irbuilder -O1", irb Driver.default_options);
+    ("irbuilder -O1 -no-builder-folding", nofold (irb Driver.default_options));
+  ]
+
+let render_trace t =
+  String.concat "; "
+    (List.map
+       (function
+         | Interp.T_int i -> Int64.to_string i
+         | Interp.T_float f -> string_of_float f)
+       t)
+
+let trace_of ~options ~num_threads source =
+  let config = { Interp.default_config with Interp.num_threads } in
+  match Driver.compile_and_run ~options ~config source with
+  | Ok outcome -> Ok outcome.Interp.trace
+  | Error msg -> Error msg
+
+let check_source source =
+  let reference = strip_pragmas source in
+  match trace_of ~options:o0 ~num_threads:4 reference with
+  | Error msg -> Some ("reference (classic -O0, stripped)", "failed: " ^ msg)
+  | Ok want ->
+    List.find_map
+      (fun (cname, options) ->
+        List.find_map
+          (fun num_threads ->
+            let cname = Printf.sprintf "%s, %d thread(s)" cname num_threads in
+            match trace_of ~options ~num_threads source with
+            | Error msg -> Some (cname, "failed: " ^ msg)
+            | Ok got ->
+              if Interp.trace_equal want got then None
+              else
+                Some
+                  ( cname,
+                    Printf.sprintf "expected [%s], got [%s]"
+                      (render_trace want) (render_trace got) ))
+          [ 4; 1 ])
+      configs
+
+(* ---- the infrastructure axes ----------------------------------------------- *)
+
+type mismatch = {
+  dm_name : string; (* generated input name (embeds seed and index) *)
+  dm_config : string; (* the axis that disagreed *)
+  dm_detail : string; (* expected/actual traces, or the compile failure *)
+  dm_source : string; (* minimized for semantic mismatches *)
+}
+
+type report = { dm_total : int; dm_mismatches : mismatch list }
+
+let unit_ir u =
+  match u.Batch.u_result with
+  | Ok r -> (
+    match r.Driver.ir with
+    | Some m -> Mc_ir.Printer.module_to_string m
+    | None -> "<no IR>")
+  | Error f -> "ICE: " ^ Crash_recovery.describe f.Instance.f_ice
+
+let ir_prints ?cache ~jobs invocation inputs =
+  let batch = Batch.compile ~jobs ?cache ~invocation inputs in
+  List.map (fun u -> (u.Batch.u_name, unit_ir u)) batch.Batch.units
+
+let diff_prints ~config ~sources base other =
+  List.concat
+    (List.map2
+       (fun (name, a) (_, b) ->
+         if String.equal a b then []
+         else
+           [
+             {
+               dm_name = name;
+               dm_config = config;
+               dm_detail = "per-unit IR printouts differ";
+               dm_source = List.assoc name sources;
+             };
+           ])
+       base other)
+
+let invocations =
+  [
+    ( "classic",
+      { Invocation.default with Invocation.gen_reproducer = false } );
+    ( "irbuilder",
+      {
+        Invocation.default with
+        Invocation.use_irbuilder = true;
+        gen_reproducer = false;
+      } );
+  ]
+
+let temp_store_dir () =
+  let path = Filename.temp_file "mcc-differential" "" in
+  Sys.remove path;
+  Binio.mkdir_p path;
+  path
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    (try Sys.rmdir path with Sys_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let run ?(jobs = [ 1; 4 ]) ?store_dir ~n ~seed () =
+  let rng = Rng.create seed in
+  let inputs =
+    List.init n (fun i -> (Printf.sprintf "diff-%d-%d.c" seed i, gen_program rng))
+  in
+  let mismatches = ref [] in
+  let add m = mismatches := m :: !mismatches in
+  (* 1. the semantic sweep, one source at a time, minimized on mismatch *)
+  List.iter
+    (fun (name, source) ->
+      match check_source source with
+      | None -> ()
+      | Some (config, detail) ->
+        let still s = Option.is_some (check_source s) in
+        add
+          {
+            dm_name = name;
+            dm_config = config;
+            dm_detail = detail;
+            dm_source = Fuzz.minimize ~still_fails:still source;
+          })
+    inputs;
+  (* 2. batch determinism: identical per-unit IR whatever the domain count *)
+  let jobs = match jobs with [] -> [ 1; 4 ] | l -> l in
+  let j0 = List.hd jobs in
+  List.iter
+    (fun (label, invocation) ->
+      let base = ir_prints ~jobs:j0 invocation inputs in
+      List.iter
+        (fun j ->
+          if j <> j0 then
+            List.iter add
+              (diff_prints
+                 ~config:
+                   (Printf.sprintf "batch %s -j %d vs -j %d" label j0 j)
+                 ~sources:inputs base
+                 (ir_prints ~jobs:j invocation inputs)))
+        jobs)
+    invocations;
+  (* 3. store determinism: a warm persistent store reproduces the cold IR *)
+  let dir, owned =
+    match store_dir with
+    | Some d ->
+      Binio.mkdir_p d;
+      (d, false)
+    | None -> (temp_store_dir (), true)
+  in
+  List.iter
+    (fun (label, invocation) ->
+      let invocation = { invocation with Invocation.cache_enabled = true } in
+      let sub = Filename.concat dir label in
+      Binio.mkdir_p sub;
+      let prints () =
+        ir_prints
+          ~cache:(Cache.create ~store:(Store.create ~dir:sub ()) ())
+          ~jobs:j0 invocation inputs
+      in
+      let cold = prints () in
+      let warm = prints () in
+      List.iter add
+        (diff_prints
+           ~config:(Printf.sprintf "store %s cold vs warm" label)
+           ~sources:inputs cold warm))
+    invocations;
+  if owned then rm_rf dir;
+  { dm_total = n; dm_mismatches = List.rev !mismatches }

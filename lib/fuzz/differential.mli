@@ -1,0 +1,44 @@
+(** Differential-semantics oracle for the loop-transformation directives.
+
+    Generated programs accumulate order-independently (one associative,
+    commutative operator per nest, update terms never reading the
+    accumulator) and [record] only between loop nests, so the six
+    transformation directives — [unroll], [tile], [reverse],
+    [interchange], [stripe], [fuse] — are all trace-preserving whatever
+    iteration order they impose.  The oracle compares each program
+    against its pragma-stripped reference across every compile
+    configuration, and checks that batch compilation ([-j 1] vs [-j N])
+    and a cold vs warm persistent store reproduce byte-identical IR. *)
+
+val gen_program : Fuzz.Rng.t -> string
+(** A random well-formed program: 1-4 observable loop nests (depth 1-3,
+    all four canonical header shapes, zero-trip extents included), each
+    optionally under one of the six transformation directives or a
+    worksharing wrapper, with a [record(acc)] after every nest. *)
+
+val strip_pragmas : string -> string
+(** Drops every ["#pragma omp"] line — the untransformed reference. *)
+
+val check_source : string -> (string * string) option
+(** Runs the source under classic/irbuilder × -O0/-O1 × folding on/off ×
+    team sizes 4 and 1, comparing traces against the pragma-stripped
+    reference compiled classic -O0.  [Some (config, detail)] names the
+    first disagreeing configuration. *)
+
+type mismatch = {
+  dm_name : string; (* generated input name (embeds seed and index) *)
+  dm_config : string; (* the axis that disagreed *)
+  dm_detail : string; (* expected/actual traces, or the compile failure *)
+  dm_source : string; (* minimized for semantic mismatches *)
+}
+
+type report = { dm_total : int; dm_mismatches : mismatch list }
+
+val run :
+  ?jobs:int list -> ?store_dir:string -> n:int -> seed:int -> unit -> report
+(** A campaign over [n] generated programs: the semantic sweep of
+    {!check_source} (mismatching inputs are minimized with
+    {!Fuzz.minimize}), batch-compilation determinism across every domain
+    count in [jobs] (default [[1; 4]]), and cold-vs-warm determinism of a
+    persistent store rooted at [store_dir] (a throwaway temp directory by
+    default). *)

@@ -604,6 +604,174 @@ let reverse_loop _builder (cli : Cli.t) =
     f.f_blocks;
   cli
 
+(* Stripe: strip-mine each loop of a perfectly nested canonical nest
+   independently, keeping every grid/stripe pair adjacent (OpenMP 6.0's
+   stripe construct).  Unlike tileLoops — which hoists all grid loops above
+   all intratile loops — the generated nest preserves the original
+   execution order exactly.  Returns the 2n generated loops, outermost
+   first (grid.0, stripe.0, grid.1, stripe.1, ...). *)
+let stripe_loops builder loops ~sizes =
+  check_nest "stripe_loops" loops;
+  if List.length sizes <> List.length loops then
+    invalid_arg "stripe_loops: one size per loop required";
+  let outer = List.hd loops and inner = last loops in
+  let f = outer.Cli.cli_func in
+  let ty = value_ty outer.Cli.cli_trip_count in
+  (* Grid trip counts in the (reused) outermost preheader: overflow-safe
+     ceildiv, exactly as in tile_loops. *)
+  let ph = outer.Cli.cli_preheader in
+  ph.b_term <- No_term;
+  Builder.set_insertion_point builder ph;
+  let grid_tcs =
+    List.map2
+      (fun (c : Cli.t) size ->
+        let tc = c.Cli.cli_trip_count in
+        let tcm1 = Builder.sub builder tc (one ty) in
+        let d = Builder.udiv builder tcm1 size in
+        let d1 = Builder.add builder d (one ty) in
+        let is0 = Builder.icmp builder Ieq tc (zero ty) in
+        Builder.select builder ~name:"grid.tc" is0 (zero ty) d1)
+      loops sizes
+  in
+  (* Build the interleaved nest top-down.  [container] is the unterminated
+     block that enters the next pair; [parent_latch] receives the pair's
+     grid-after edge. *)
+  let container = ref ph in
+  let parent_latch = ref None in
+  let pairs =
+    List.mapi
+      (fun k (c : Cli.t) ->
+        let size = List.nth sizes k in
+        let grid =
+          create_loop_skeleton builder ~func:f
+            ~name:(Printf.sprintf "stripe.grid.%d" k)
+            ~trip_count:(List.nth grid_tcs k)
+        in
+        !container.b_term <- Br grid.Cli.cli_preheader;
+        (* Stripe trip count inside the grid body:
+           min(size, tc - grid_iv*size). *)
+        grid.Cli.cli_body.b_term <- No_term;
+        Builder.set_insertion_point builder grid.Cli.cli_body;
+        let tc = c.Cli.cli_trip_count in
+        let base = Builder.mul builder (Inst_ref grid.Cli.cli_iv) size in
+        let rem = Builder.sub builder tc base in
+        let stc = Builder.min_u builder ~name:"stripe.tc" size rem in
+        let stripe =
+          create_loop_skeleton builder ~func:f
+            ~name:(Printf.sprintf "stripe.%d" k)
+            ~trip_count:stc
+        in
+        grid.Cli.cli_body.b_term <- Br stripe.Cli.cli_preheader;
+        stripe.Cli.cli_after.b_term <- Br grid.Cli.cli_latch;
+        (match !parent_latch with
+        | None -> grid.Cli.cli_after.b_term <- Br outer.Cli.cli_after
+        | Some latch -> grid.Cli.cli_after.b_term <- Br latch);
+        parent_latch := Some stripe.Cli.cli_latch;
+        container := stripe.Cli.cli_body;
+        (grid, stripe))
+      loops
+  in
+  (* Innermost stripe body: reconstruct the original induction variables
+     and hand control to the preserved body region. *)
+  let _, innermost_stripe = last pairs in
+  innermost_stripe.Cli.cli_body.b_term <- No_term;
+  Builder.set_insertion_point builder innermost_stripe.Cli.cli_body;
+  List.iteri
+    (fun k (c : Cli.t) ->
+      let grid, stripe = List.nth pairs k in
+      let size = List.nth sizes k in
+      let base = Builder.mul builder (Inst_ref grid.Cli.cli_iv) size in
+      let orig =
+        Builder.add builder ~name:"orig.iv" base (Inst_ref stripe.Cli.cli_iv)
+      in
+      replace_uses_in_func f ~from:(Inst_ref c.Cli.cli_iv) ~into:orig
+        ~where:(fun b -> not (b == innermost_stripe.Cli.cli_body)))
+    loops;
+  innermost_stripe.Cli.cli_body.b_term <- Br outer.Cli.cli_body;
+  splice_old_bodies f loops;
+  List.iter
+    (fun b ->
+      replace_successor b ~from:inner.Cli.cli_latch
+        ~into:innermost_stripe.Cli.cli_latch)
+    f.f_blocks;
+  remove_blocks f (discarded_blocks loops);
+  List.iter Cli.invalidate loops;
+  Builder.set_insertion_point builder outer.Cli.cli_after;
+  List.concat_map (fun (g, s) -> [ g; s ]) pairs
+
+(* Fuse: merge a *sequence* of sibling canonical loops (laid out so each
+   member's after block enters the next member's preheader) into one loop
+   over the maximum trip count; each member's body runs under an
+   (iv < tc_k) guard.  All members must share one trip-count type — the
+   caller widens first.  Returns the fused loop's handle. *)
+let fuse_loops builder loops =
+  if List.length loops < 2 then
+    invalid_arg "fuse_loops: at least two loops required";
+  check_nest "fuse_loops" loops;
+  let first = List.hd loops in
+  let f = first.Cli.cli_func in
+  List.iter
+    (fun (c : Cli.t) ->
+      if not (c.Cli.cli_func == f) then
+        invalid_arg "fuse_loops: members live in different functions")
+    loops;
+  let ty = value_ty first.Cli.cli_trip_count in
+  List.iter
+    (fun (c : Cli.t) ->
+      if value_ty c.Cli.cli_trip_count <> ty then
+        invalid_arg "fuse_loops: members must share one trip-count type")
+    loops;
+  (* Maximum trip count, computed in the first member's (reused)
+     preheader; every member trip count dominates it by construction. *)
+  let ph = first.Cli.cli_preheader in
+  ph.b_term <- No_term;
+  Builder.set_insertion_point builder ph;
+  let max_tc =
+    List.fold_left
+      (fun acc (c : Cli.t) ->
+        let cmp = Builder.icmp builder Iult acc c.Cli.cli_trip_count in
+        Builder.select builder ~name:"fuse.tc" cmp c.Cli.cli_trip_count acc)
+      (zero ty) loops
+  in
+  let fused =
+    create_loop_skeleton builder ~func:f ~name:"fused" ~trip_count:max_tc
+  in
+  ph.b_term <- Br fused.Cli.cli_preheader;
+  (* Fused body: a chain of guarded member bodies. *)
+  fused.Cli.cli_body.b_term <- No_term;
+  let conts =
+    List.mapi
+      (fun k _ -> create_block ~name:(Printf.sprintf "fuse.cont.%d" k) f)
+      loops
+  in
+  List.iteri
+    (fun k (c : Cli.t) ->
+      let guard_blk =
+        if k = 0 then fused.Cli.cli_body else List.nth conts (k - 1)
+      in
+      Builder.set_insertion_point builder guard_blk;
+      let g =
+        Builder.icmp builder ~name:"fuse.guard" Iult
+          (Inst_ref fused.Cli.cli_iv)
+          c.Cli.cli_trip_count
+      in
+      guard_blk.b_term <- Cond_br (g, c.Cli.cli_body, List.nth conts k);
+      (* The member body now runs on the fused induction variable, and its
+         back edges land on the continuation chain. *)
+      replace_uses_in_func f
+        ~from:(Inst_ref c.Cli.cli_iv)
+        ~into:(Inst_ref fused.Cli.cli_iv);
+      List.iter
+        (fun b ->
+          replace_successor b ~from:c.Cli.cli_latch ~into:(List.nth conts k))
+        f.f_blocks)
+    loops;
+  (last conts).b_term <- Br fused.Cli.cli_latch;
+  remove_blocks f (discarded_blocks loops @ [ first.Cli.cli_after ]);
+  List.iter Cli.invalidate loops;
+  Builder.set_insertion_point builder fused.Cli.cli_after;
+  fused
+
 (* Interchange: permute a perfectly nested canonical nest.  [perm] gives,
    for each depth of the NEW nest (outermost first), the index of the
    original loop that runs there.  Same surgery as tileLoops without the

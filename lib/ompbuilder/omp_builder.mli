@@ -112,3 +112,18 @@ val interchange_loops : Builder.t -> Cli.t list -> perm:int list -> Cli.t list
 (** Permutes a perfectly nested nest.  [perm] lists, outermost first, the
     0-based index of the original loop to run at each depth.  Inputs are
     invalidated; the fresh nest is returned outermost first. *)
+
+val stripe_loops : Builder.t -> Cli.t list -> sizes:Ir.value list -> Cli.t list
+(** Strip-mines each loop of a perfectly nested nest independently.  Unlike
+    [tile_loops], the generated grid/stripe pairs stay adjacent
+    (grid_0, stripe_0, grid_1, stripe_1, ...), so the original execution
+    order is preserved exactly.  Returns the [2n] generated loops in that
+    interleaved order; input handles are invalidated.  Requires every trip
+    count and size value to dominate the outermost preheader. *)
+
+val fuse_loops : Builder.t -> Cli.t list -> Cli.t
+(** Fuses a sequence of sibling loops (at least two, laid out sequentially:
+    each member's after block must reach the next member's preheader) into
+    one loop over the maximum trip count; each member's body runs under an
+    [iv < tc_k] guard.  All trip counts must share one type and dominate the
+    first member's preheader.  Inputs are invalidated. *)

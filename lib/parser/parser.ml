@@ -784,6 +784,7 @@ and parse_omp_pragma_inner t (p : Pp.pragma) : stmt =
       | Some (Token.Ident "tile") -> Some D_tile
       | Some (Token.Ident "reverse") -> Some D_reverse
       | Some (Token.Ident "interchange") -> Some D_interchange
+      | Some (Token.Ident "stripe") -> Some D_stripe
       | Some (Token.Ident "fuse") -> Some D_fuse
       | Some (Token.Ident "barrier") -> Some D_barrier
       | Some (Token.Ident "single") -> Some D_single

@@ -24,10 +24,11 @@ let clause_allowed kind clause =
   let ok =
     match (kind, clause) with
     | D_unroll, (C_full | C_partial _) -> true
-    | D_tile, C_sizes _ -> true
+    | (D_tile | D_stripe), C_sizes _ -> true
     | D_interchange, C_permutation _ -> true
     | _, C_permutation _ -> false
-    | (D_unroll | D_tile | D_reverse | D_interchange | D_fuse), _ -> false
+    | (D_unroll | D_tile | D_reverse | D_interchange | D_stripe | D_fuse), _ ->
+      false
     | _, (C_full | C_partial _ | C_sizes _) -> false
     | (D_parallel | D_parallel_for | D_parallel_for_simd),
       (C_num_threads _ | C_if _) ->
@@ -158,7 +159,8 @@ let consume_transformation sema (inner : directive) ~loc =
 let is_parallel_kind = function
   | D_parallel | D_parallel_for | D_parallel_for_simd -> true
   | D_for | D_simd | D_for_simd | D_unroll | D_tile | D_reverse
-  | D_interchange | D_fuse | D_barrier | D_single | D_master | D_critical _ ->
+  | D_interchange | D_stripe | D_fuse | D_barrier | D_single | D_master
+  | D_critical _ ->
     false
 
 (* Validated 0-based permutation for an interchange directive: without a
@@ -214,7 +216,8 @@ let act_on_fuse sema ~clauses ~assoc ~loc =
         finish (mk_directive ~kind:D_fuse ~clauses ~assoc ~loc ())))
   | Some bad ->
     error sema ~loc:bad.s_loc
-      "'fuse' requires a compound statement containing at least two        canonical loops (a loop sequence)";
+      "'fuse' requires a compound statement containing at least two \
+       canonical loops (a loop sequence)";
     finish (mk_directive ~kind:D_fuse ~clauses ~assoc:bad ~loc ())
   | None ->
     error sema ~loc "'fuse' requires an associated loop sequence";
@@ -247,11 +250,17 @@ let act_on_directive_inner sema ~kind ~clauses ~assoc ~loc =
   end
   else if kind = D_fuse then act_on_fuse sema ~clauses ~assoc ~loc
   else begin
-    (* Loop-based directives. *)
+    (* Loop-based directives.  The permutation is validated once here —
+       both the depth computation and the classic lowering read this
+       result, so a malformed clause is diagnosed exactly once. *)
+    let interchange_perm =
+      if kind = D_interchange then Some (permutation_of sema clauses ~loc)
+      else None
+    in
     let depth =
       match kind with
       | D_reverse -> 1
-      | D_interchange -> List.length (permutation_of sema clauses ~loc)
+      | D_interchange -> List.length (Option.get interchange_perm)
       | _ ->
         let rec from_clauses = function
           | [] -> 1
@@ -262,8 +271,11 @@ let act_on_directive_inner sema ~kind ~clauses ~assoc ~loc =
         from_clauses clauses
     in
     (match kind with
-    | D_tile when not (List.exists (function C_sizes _ -> true | _ -> false) clauses)
-      -> error sema ~loc "'tile' requires a 'sizes' clause"
+    | (D_tile | D_stripe)
+      when not (List.exists (function C_sizes _ -> true | _ -> false) clauses)
+      ->
+      error sema ~loc "'%s' requires a 'sizes' clause"
+        (if kind = D_tile then "tile" else "stripe")
     | _ -> ());
     if depth > Sema.loop_nest_limit sema then begin
       (* A resource limit, not a crash: e.g. [collapse(1000000)] would drive
@@ -305,6 +317,7 @@ let act_on_directive_inner sema ~kind ~clauses ~assoc ~loc =
                | D_tile -> "tile"
                | D_reverse -> "reverse"
                | D_interchange -> "interchange"
+               | D_stripe -> "stripe"
                | D_fuse -> "fuse"
                | _ -> "<transformation>"))
             f
@@ -379,6 +392,20 @@ let act_on_directive_inner sema ~kind ~clauses ~assoc ~loc =
               d.dir_preinits <- Some tr.Shadow.tr_preinits
             | _ -> ());
             finish d
+          | D_stripe ->
+            let sizes =
+              List.find_map
+                (function C_sizes s -> Some (List.map fst s) | _ -> None)
+                clauses
+            in
+            let d = mk_directive ~kind ~clauses ~assoc:original_assoc ~loc () in
+            (match sizes with
+            | Some sizes when List.length sizes = List.length loops ->
+              let tr = Shadow.transformed_stripe sema loops ~sizes ~loc in
+              d.dir_transformed <- Some tr.Shadow.tr_stmt;
+              d.dir_preinits <- Some tr.Shadow.tr_preinits
+            | _ -> ());
+            finish d
           | D_reverse ->
             let d = mk_directive ~kind ~clauses ~assoc:original_assoc ~loc () in
             let tr = Shadow.transformed_reverse sema (List.hd loops) in
@@ -386,7 +413,7 @@ let act_on_directive_inner sema ~kind ~clauses ~assoc ~loc =
             d.dir_preinits <- Some tr.Shadow.tr_preinits;
             finish d
           | D_interchange ->
-            let perm = permutation_of sema clauses ~loc in
+            let perm = Option.get interchange_perm in
             let d = mk_directive ~kind ~clauses ~assoc:original_assoc ~loc () in
             if List.length perm = List.length loops then begin
               let tr = Shadow.transformed_interchange sema loops ~perm ~loc in

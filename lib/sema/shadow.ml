@@ -10,6 +10,9 @@ let stat_tiles =
 let stat_helpers =
   Mc_support.Stats.counter ~group:"sema" ~name:"loop-helpers-built"
     ~desc:"classic OMPLoopDirective helper-expression sets built" ()
+let stat_stripes =
+  Mc_support.Stats.counter ~group:"sema" ~name:"stripe-transforms"
+    ~desc:"stripe constructs lowered to adjacent grid/stripe loop pairs" ()
 
 type transformed = {
   tr_stmt : stmt;
@@ -222,6 +225,110 @@ let transformed_tile sema loops ~sizes ~loc =
              }))
       (List.combine loops (List.combine sizes captures))
       floor_ivs with_tiles
+  in
+  {
+    tr_stmt = nest;
+    tr_preinits = mk_stmt ~loc (Decl_stmt captures);
+    tr_capture_vars = captures;
+  }
+
+(* Stripe (OpenMP 6.0): strip-mine each associated loop independently,
+   keeping every grid/stripe pair adjacent.  Unlike tile — which hoists
+   all grid loops above all intratile loops — the generated nest is
+
+     for (g0 = 0; g0 < tc0; g0 += s0)
+       for (e0 = g0; e0 < min(tc0, g0 + s0); ++e0)
+         for (g1 = 0; g1 < tc1; g1 += s1)
+           for (e1 = g1; e1 < min(tc1, g1 + s1); ++e1) body;
+
+   which preserves the original execution order exactly. *)
+let transformed_stripe sema loops ~sizes ~loc =
+  Mc_support.Stats.incr stat_shadow;
+  Mc_support.Stats.incr stat_stripes;
+  let captures = List.map (capture_trip_count sema) loops in
+  let grid_ivs =
+    List.mapi
+      (fun k (a : Canonical.analyzed) ->
+        counter_for_loop sema a
+          ~name:
+            (Printf.sprintf ".stripe_grid.%d.iv.%s" k
+               a.Canonical.cl_user_var.v_name)
+          ~init:(Sema.intexpr sema 0L a.Canonical.cl_counter_ty loc))
+      loops
+  in
+  let stripe_ivs =
+    List.map2
+      (fun k_and_a grid_iv ->
+        let k, (a : Canonical.analyzed) = k_and_a in
+        counter_for_loop sema a
+          ~name:
+            (Printf.sprintf ".stripe.%d.iv.%s" k a.Canonical.cl_user_var.v_name)
+          ~init:(Sema.mk_ref grid_iv))
+      (List.mapi (fun k a -> (k, a)) loops)
+      grid_ivs
+  in
+  (* Innermost body: rebind every loop's user variable from its stripe iv. *)
+  let innermost = List.nth loops (List.length loops - 1) in
+  let body = ref innermost.Canonical.cl_body in
+  let decls = ref [] in
+  List.iteri
+    (fun k (a : Canonical.analyzed) ->
+      let stripe_iv = List.nth stripe_ivs k in
+      let user_decl, _tt, transformed =
+        bind_user_var sema a ~logical:(Sema.mk_ref stripe_iv) ~body:!body
+      in
+      body := transformed;
+      match user_decl with Some v -> decls := v :: !decls | None -> ())
+    loops;
+  let inner_body =
+    match !decls with
+    | [] -> !body
+    | ds ->
+      mk_stmt ~loc
+        (Compound
+           (List.map (fun v -> mk_stmt ~loc (Decl_stmt [ v ])) (List.rev ds)
+           @ [ !body ]))
+  in
+  (* Build the pairs innermost-out; each pair stays adjacent. *)
+  let nest =
+    List.fold_right2
+      (fun ((a : Canonical.analyzed), (size, capture)) (grid_iv, stripe_iv) acc ->
+        let u = a.Canonical.cl_counter_ty in
+        let bin op l r = Sema.act_on_binary sema op l r ~loc in
+        let lit v = Sema.intexpr sema (Int64.of_int v) u loc in
+        let upper = bin B_add (Sema.mk_ref grid_iv) (lit size) in
+        let bounded =
+          Sema.act_on_conditional sema
+            (bin B_lt (Sema.mk_ref capture) upper)
+            (Sema.mk_ref capture) upper ~loc
+        in
+        let stripe_for =
+          mk_stmt ~loc
+            (For
+               {
+                 for_init = Some (mk_stmt ~loc (Decl_stmt [ stripe_iv ]));
+                 for_cond = Some (bin B_lt (Sema.mk_ref stripe_iv) bounded);
+                 for_inc =
+                   Some
+                     (Sema.act_on_unary sema U_preinc (Sema.mk_ref stripe_iv)
+                        ~loc);
+                 for_body = acc;
+               })
+        in
+        mk_stmt ~loc
+          (For
+             {
+               for_init = Some (mk_stmt ~loc (Decl_stmt [ grid_iv ]));
+               for_cond = Some (bin B_lt (Sema.mk_ref grid_iv) (Sema.mk_ref capture));
+               for_inc =
+                 Some
+                   (Sema.act_on_assign sema (Some B_add) (Sema.mk_ref grid_iv)
+                      (lit size) ~loc);
+               for_body = stripe_for;
+             }))
+      (List.combine loops (List.combine sizes captures))
+      (List.combine grid_ivs stripe_ivs)
+      inner_body
   in
   {
     tr_stmt = nest;

@@ -39,6 +39,13 @@ val transformed_interchange :
 (** OpenMP 6.0 preview: the permuted nest of [#pragma omp interchange];
     [perm] lists, outermost-first, the 0-based original loop indices. *)
 
+val transformed_stripe :
+  Sema.t -> Canonical.analyzed list -> sizes:int list -> loc:loc -> transformed
+(** OpenMP 6.0 preview: the strip-mined nest of [#pragma omp stripe
+    sizes(...)].  Unlike [transformed_tile], each grid loop stays directly
+    around its stripe loop (grid_0, stripe_0, grid_1, stripe_1, ...), so the
+    execution order of the original nest is preserved exactly. *)
+
 val transformed_fuse :
   Sema.t -> Canonical.analyzed list -> loc:loc -> transformed
 (** OpenMP 6.0 preview: the fused loop of [#pragma omp fuse] over a loop

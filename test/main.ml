@@ -25,5 +25,6 @@ let () =
       ("goldens", Test_goldens.suite);
       ("e2e", Test_e2e.suite);
       ("fuzz", Test_fuzz.suite);
+      ("differential", Test_differential.suite);
       ("crash", Test_crash.suite);
     ]

@@ -1,0 +1,117 @@
+(* The differential-semantics oracle (Mc_fuzz.Differential): generated
+   programs under the six loop-transformation directives must reproduce
+   the trace of their pragma-stripped reference in every configuration,
+   on the examples/ corpus and on fixed-seed generated programs; the
+   campaign harness additionally checks batch (-j 1 vs -j N) and
+   cold-vs-warm store determinism. *)
+
+open Helpers
+module Differential = Mc_fuzz.Differential
+module Rng = Mc_fuzz.Fuzz.Rng
+
+let test_strip_pragmas () =
+  let src = "int main() {\n#pragma omp tile sizes(2)\nfor (;;) ;\n}\n" in
+  let stripped = Differential.strip_pragmas src in
+  Alcotest.(check bool) "pragma gone" false
+    (contains_substring stripped "#pragma");
+  Alcotest.(check bool) "loop kept" true (contains_substring stripped "for")
+
+let test_generator_emits_valid_programs () =
+  (* Every generated program (and its stripped reference) must compile
+     cleanly: the oracle's mismatch reports may only ever be semantic. *)
+  let rng = Rng.create 11 in
+  for _ = 1 to 20 do
+    let source = Differential.gen_program rng in
+    List.iter
+      (fun s ->
+        let diag, _ = Driver.frontend s in
+        if Mc_diag.Diagnostics.has_errors diag then
+          Alcotest.failf "generated program does not compile:\n%s\n%s" s
+            (Mc_diag.Diagnostics.render_all diag))
+      [ source; Differential.strip_pragmas source ]
+  done
+
+let test_fixed_seed_sweep () =
+  (* The regression gate for the transformation semantics themselves:
+     every configuration must match the pragma-stripped reference. *)
+  let rng = Rng.create 42 in
+  for i = 1 to 25 do
+    let source = Differential.gen_program rng in
+    match Differential.check_source source with
+    | None -> ()
+    | Some (config, detail) ->
+      Alcotest.failf "program %d diverges under %s: %s\n%s" i config detail
+        source
+  done
+
+let examples_dir = Filename.concat ".." "examples"
+
+let test_examples_corpus () =
+  (* The existing unroll/tile (and collapse/parallel-for) corpus: each
+     example records only order-independent results, so stripping its
+     pragmas must not change the trace. *)
+  let files =
+    Sys.readdir examples_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".c")
+    |> List.sort compare
+  in
+  if files = [] then Alcotest.fail "no .c examples found";
+  List.iter
+    (fun f ->
+      let source =
+        In_channel.with_open_text (Filename.concat examples_dir f)
+          In_channel.input_all
+      in
+      match Differential.check_source source with
+      | None -> ()
+      | Some (config, detail) ->
+        Alcotest.failf "%s diverges under %s: %s" f config detail)
+    files
+
+let test_campaign_infrastructure_axes () =
+  (* A small end-to-end campaign: semantic sweep plus batch -j 1 vs -j 2
+     and cold-vs-warm store determinism, all of which must be clean. *)
+  let report = Differential.run ~jobs:[ 1; 2 ] ~n:6 ~seed:5 () in
+  Alcotest.(check int) "all inputs checked" 6
+    report.Differential.dm_total;
+  match report.Differential.dm_mismatches with
+  | [] -> ()
+  | m :: _ ->
+    Alcotest.failf "campaign found a mismatch: %s [%s]: %s\n%s"
+      m.Differential.dm_name m.Differential.dm_config m.Differential.dm_detail
+      m.Differential.dm_source
+
+let test_mismatch_is_caught_and_minimized () =
+  (* Sanity of the oracle itself: a program whose accumulation is order-
+     DEPENDENT must be flagged (reverse changes the value), proving the
+     oracle can see real divergence, and the minimizer must keep it
+     failing while shrinking. *)
+  let source =
+    "void record(long x);\n\
+     int main(void) {\n\
+     int acc = 0;\n\
+     #pragma omp reverse\n\
+     for (int i = 1; i < 6; i += 1) acc = acc * 2 + i;\n\
+     record(acc);\n\
+     return 0; }\n"
+  in
+  (match Differential.check_source source with
+  | Some _ -> ()
+  | None -> Alcotest.fail "oracle missed an order-dependent divergence");
+  let still s = Option.is_some (Differential.check_source s) in
+  let minimized = Mc_fuzz.Fuzz.minimize ~still_fails:still source in
+  Alcotest.(check bool) "minimized still diverges" true (still minimized);
+  Alcotest.(check bool) "minimized is no larger" true
+    (String.length minimized <= String.length source)
+
+let suite =
+  [
+    tc "strip_pragmas removes only pragma lines" test_strip_pragmas;
+    tc "generator emits valid programs" test_generator_emits_valid_programs;
+    tc "fixed-seed sweep: all configurations agree" test_fixed_seed_sweep;
+    tc "examples corpus: pragmas are trace-preserving" test_examples_corpus;
+    tc "campaign: batch and store axes deterministic"
+      test_campaign_infrastructure_axes;
+    tc "oracle catches and minimizes real divergence"
+      test_mismatch_is_caught_and_minimized;
+  ]

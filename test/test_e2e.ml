@@ -514,6 +514,60 @@ let transform_programs =
          for (int j = 0; j < 5; j += 1) record(10 + j);\n\
          }\n\
          return 0; }" );
+    ( "omp 6.0 preview: stripe",
+      prelude
+      ^ "int main(void) {\n\
+         #pragma omp stripe sizes(3)\n\
+         for (int i = 0; i < 8; i += 1) record(i);\n\
+         #pragma omp stripe sizes(2, 3)\n\
+         for (int i = 0; i < 4; i += 1)\n\
+         for (int j = 0; j < 5; j += 1) record(10 * i + j);\n\
+         #pragma omp stripe sizes(9)\n\
+         for (int i = 20; i > 8; i -= 3) record(100 + i);\n\
+         return 0; }" );
+    ( "omp 6.0 preview: stripe consumed and composed",
+      prelude
+      ^ "int main(void) {\n\
+         #pragma omp parallel for\n\
+         #pragma omp stripe sizes(3)\n\
+         for (int i = 0; i < 10; i += 1) record(i);\n\
+         #pragma omp reverse\n\
+         #pragma omp stripe sizes(4)\n\
+         for (int i = 0; i < 9; i += 1) record(100 + i);\n\
+         return 0; }" );
+    ( "unroll partial remainder (factor does not divide)",
+      prelude
+      ^ "int main(void) {\n\
+         #pragma omp unroll partial(3)\n\
+         for (int i = 0; i < 7; i += 1) record(i);\n\
+         #pragma omp unroll partial(4)\n\
+         for (int i = 10; i > 1; i -= 2) record(100 + i);\n\
+         #pragma omp unroll partial(5)\n\
+         for (int i = 0; i < 5; i += 1) record(200 + i);\n\
+         return 0; }" );
+    ( "tile sizes exceeding the trip count",
+      prelude
+      ^ "int main(void) {\n\
+         #pragma omp tile sizes(9)\n\
+         for (int i = 0; i < 4; i += 1) record(i);\n\
+         #pragma omp tile sizes(5, 11)\n\
+         for (int i = 8; i > 0; i -= 3)\n\
+         for (int j = 0; j <= 6; j += 2) record(10 * i + j);\n\
+         return 0; }" );
+    ( "zero-trip loops under every transformation",
+      prelude
+      ^ "int main(void) {\n\
+         record(-1);\n\
+         #pragma omp tile sizes(3)\n\
+         for (int i = 0; i < 0; i += 1) record(i);\n\
+         #pragma omp stripe sizes(3)\n\
+         for (int i = 5; i < 5; i += 1) record(i);\n\
+         #pragma omp reverse\n\
+         for (int i = 2; i > 2; i -= 1) record(i);\n\
+         #pragma omp unroll partial(4)\n\
+         for (int i = 0; i != 0; i += 1) record(i);\n\
+         record(-2);\n\
+         return 0; }" );
     ( "unroll inside a tile body is independent",
       prelude
       ^ "int main(void) {\n\

@@ -212,6 +212,107 @@ let test_collapse () =
     [ 0; 1; 2; 3; 10; 11; 12; 13; 20; 21; 22; 23 ]
     got
 
+let test_stripe_preserves_order () =
+  (* Strip-mining alone never reorders; sizes that don't divide (4) and
+     that exceed (50) the trip count are both exercised. *)
+  List.iter
+    (fun size ->
+      let got =
+        run_loop ~trip:10
+          ~transform:(fun b cli ->
+            ignore (Ob.stripe_loops b [ cli ] ~sizes:[ i32_const size ]))
+          ()
+      in
+      expect_ints
+        (Printf.sprintf "striped by %d keeps 0..9" size)
+        [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+        got)
+    [ 1; 3; 4; 50 ]
+
+let test_stripe_nest_preserves_order () =
+  (* A 4x5 nest striped (2, 3): grid/stripe pairs stay adjacent, so the
+     row-major visit order is untouched — the difference from tileLoops. *)
+  let m = create_module "t" in
+  let f = define_function m ~name:"main" ~ret:I32 ~args:[] in
+  let entry = create_block ~name:"entry" f in
+  let b = B.create () in
+  B.set_insertion_point b entry;
+  let inner_ref = ref None in
+  let outer =
+    Ob.create_canonical_loop b ~name:"outer" ~trip_count:(i32_const 4)
+      ~body_gen:(fun b iv_out ->
+        let inner =
+          Ob.create_canonical_loop b ~name:"inner" ~trip_count:(i32_const 5)
+            ~body_gen:(fun b iv_in ->
+              let ten = B.mul b iv_out (i32_const 10) in
+              let v = B.add b ten iv_in in
+              ignore (B.call b ~ret:Void (Runtime "record") [ B.cast b Sext v I64 ]))
+            ()
+        in
+        inner_ref := Some inner)
+      ()
+  in
+  let inner = Option.get !inner_ref in
+  let generated =
+    Ob.stripe_loops b [ outer; inner ] ~sizes:[ i32_const 2; i32_const 3 ]
+  in
+  B.ret b (Some (i32_const 0));
+  Alcotest.(check int) "2n loops" 4 (List.length generated);
+  Alcotest.(check bool) "inputs invalidated" false
+    (Cli.is_valid outer || Cli.is_valid inner);
+  List.iter
+    (fun g ->
+      match Cli.verify g with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "generated loop invalid: %s" e)
+    generated;
+  (match Verifier.check m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "module invalid: %s" e);
+  let outcome = Interp.run_main m in
+  let got =
+    List.map (function Interp.T_int v -> v | _ -> -1L) outcome.Interp.trace
+  in
+  expect_ints "row-major order preserved"
+    (List.concat_map (fun i -> List.init 5 (fun j -> (i * 10) + j)) [ 0; 1; 2; 3 ])
+    got
+
+let test_fuse_interleaves_members () =
+  (* Two sequential sibling loops of trips 3 and 5: the fused loop runs
+     both bodies per iteration while both guards hold, then only the
+     longer member's. *)
+  let m = create_module "t" in
+  let f = define_function m ~name:"main" ~ret:I32 ~args:[] in
+  let entry = create_block ~name:"entry" f in
+  let b = B.create () in
+  B.set_insertion_point b entry;
+  let emit base trip =
+    Ob.create_canonical_loop b ~trip_count:(i32_const trip)
+      ~body_gen:(fun b iv ->
+        let v = B.add b (i32_const base) iv in
+        ignore (B.call b ~ret:Void (Runtime "record") [ B.cast b Sext v I64 ]))
+      ()
+  in
+  let a = emit 100 3 in
+  let c = emit 200 5 in
+  let fused = Ob.fuse_loops b [ a; c ] in
+  B.ret b (Some (i32_const 0));
+  (match Cli.verify fused with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "fused loop invalid: %s" e);
+  Alcotest.(check bool) "inputs invalidated" false
+    (Cli.is_valid a || Cli.is_valid c);
+  (match Verifier.check m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "module invalid: %s" e);
+  let outcome = Interp.run_main m in
+  let got =
+    List.map (function Interp.T_int v -> v | _ -> -1L) outcome.Interp.trace
+  in
+  expect_ints "interleaved, then the tail of the longer member"
+    [ 100; 200; 101; 201; 102; 202; 203; 204 ]
+    got
+
 let test_workshare_covers_iteration_space () =
   (* Under the deterministic simulation, static worksharing must cover all
      iterations exactly once, in tid-then-iteration order = sorted. *)
@@ -292,6 +393,10 @@ let suite =
     tc "unrollLoopPartial preserves semantics" test_unroll_partial_semantics;
     tc "unrollLoopFull tags metadata" test_unroll_full_tags_metadata;
     tc "collapseLoops preserves row-major order" test_collapse;
+    tc "stripeLoops preserves iteration order" test_stripe_preserves_order;
+    tc "stripeLoops: adjacent grid/stripe pairs on a nest"
+      test_stripe_nest_preserves_order;
+    tc "fuseLoops interleaves guarded members" test_fuse_interleaves_members;
     tc "createWorkshareLoop covers the space" test_workshare_covers_iteration_space;
     tc "createParallel outlining structure" test_create_parallel_structure;
   ]

@@ -347,6 +347,69 @@ let test_omp60_sema () =
       | _ -> ())
     tu.tu_decls
 
+(* OpenMP 6.0 stripe: clause requirements, the generated shadow AST with
+   adjacent grid/stripe pairs, and located rejection of shallow nests. *)
+let test_stripe_sema () =
+  expect_error ~substring:"'stripe' requires a 'sizes' clause"
+    (wrap_main "#pragma omp stripe\nfor (int i = 0; i < 4; i += 1) record(i);");
+  expect_error ~substring:"must be positive"
+    (wrap_main
+       "#pragma omp stripe sizes(0)\nfor (int i = 0; i < 4; i += 1) record(i);");
+  expect_error ~substring:"nested canonical for loop(s)"
+    (wrap_main
+       "#pragma omp stripe sizes(2, 2)\n\
+        for (int i = 0; i < 4; i += 1) record(i);");
+  let diag, tu =
+    Driver.frontend
+      (wrap_main
+         "#pragma omp stripe sizes(3)\nfor (int i = 0; i < 7; i += 1) record(i);")
+  in
+  Alcotest.(check bool) "stripe ok" false (Mc_diag.Diagnostics.has_errors diag);
+  List.iter
+    (function
+      | Tu_fn { fn_body = Some body; _ } ->
+        Visit.iter ~shadow:false
+          ~on_stmt:(fun s ->
+            match s.s_kind with
+            | Omp_directive dir when dir.dir_kind = D_stripe -> (
+              match dir.dir_transformed with
+              | None -> Alcotest.fail "stripe must have a transformed AST"
+              | Some tr ->
+                let dump = Mc_ast.Dump.stmt tr in
+                check_contains ~what:"grid iv" dump ".stripe_grid.0.iv.i";
+                check_contains ~what:"stripe iv" dump ".stripe.0.iv.i")
+            | _ -> ())
+          body
+      | _ -> ())
+    tu.tu_decls
+
+(* A malformed clause must be diagnosed exactly once, on both lowering
+   paths (the classic path used to validate the permutation twice). *)
+let test_malformed_clause_diagnosed_once () =
+  let count_occurrences haystack needle =
+    let nl = String.length needle in
+    let rec go i acc =
+      if i + nl > String.length haystack then acc
+      else if String.sub haystack i nl = needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  let source =
+    wrap_main
+      "#pragma omp interchange permutation(1, 1)\n\
+       for (int i = 0; i < 2; i += 1)\n\
+       for (int j = 0; j < 2; j += 1) record(i + j);"
+  in
+  List.iter
+    (fun options ->
+      let diag, _ = Driver.frontend ~options source in
+      let rendered = Mc_diag.Diagnostics.render_all diag in
+      Alcotest.(check int)
+        "one diagnostic per malformed permutation" 1
+        (count_occurrences rendered "must name each loop position"))
+    [ Helpers.classic; Helpers.irbuilder ]
+
 (* Paper §2: (a) a consuming directive re-analyses the transformed AST and
    rejects it when it is not a deep-enough canonical nest; (b) the
    suggested "history" note points back at the transformation. *)
@@ -378,5 +441,7 @@ let suite =
     tc "Fig 7: shadow unroll structure" test_shadow_structure;
     tc "full unroll has no transformed stmt" test_full_unroll_has_no_transformed;
     tc "OpenMP 6.0 preview directives" test_omp60_sema;
+    tc "OpenMP 6.0 stripe: clauses and shadow AST" test_stripe_sema;
+    tc "malformed clause diagnosed exactly once" test_malformed_clause_diagnosed_once;
     tc "transformation-history note (paper section 2)" test_transform_history_note;
   ]

@@ -98,6 +98,36 @@ let test_fuse_structure () =
   (* Captures: one per loop plus the max. *)
   Alcotest.(check int) "three captures" 3 (List.length tr.Shadow.tr_capture_vars)
 
+let test_stripe_structure () =
+  let sema, outer = analyze_loop "for (int i = 0; i < 7; i += 1) record(i);" in
+  let _, inner = analyze_loop "for (int j = 0; j < 5; j += 1) record(j);" in
+  let tr =
+    Shadow.transformed_stripe sema [ outer; inner ] ~sizes:[ 3; 2 ]
+      ~loc:Mc_srcmgr.Source_location.invalid
+  in
+  Alcotest.(check int) "2n loops" 4 (count_fors tr.Shadow.tr_stmt);
+  Alcotest.(check int) "two captures" 2 (List.length tr.Shadow.tr_capture_vars);
+  let names = var_names tr.Shadow.tr_stmt in
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (List.mem needle names))
+    [ ".stripe_grid.0.iv.i"; ".stripe.0.iv.i"; ".stripe_grid.1.iv.j";
+      ".stripe.1.iv.j" ];
+  (* The difference from tile: each grid loop directly contains its stripe
+     loop, so nesting depth is grid0 > stripe0 > grid1 > stripe1. *)
+  let rec loop_ivs s =
+    match s.s_kind with
+    | For { for_init = Some { s_kind = Decl_stmt [ v ]; _ }; for_body; _ } ->
+      v.v_name :: loop_ivs for_body
+    | Compound [ one ] -> loop_ivs one
+    | Compound more -> List.concat_map loop_ivs more
+    | _ -> []
+  in
+  Alcotest.(check (list string))
+    "adjacent grid/stripe pairs"
+    [ ".stripe_grid.0.iv.i"; ".stripe.0.iv.i"; ".stripe_grid.1.iv.j";
+      ".stripe.1.iv.j" ]
+    (loop_ivs tr.Shadow.tr_stmt)
+
 let test_loop_helpers_structure () =
   let sema, l0 = analyze_loop "for (int i = 0; i < 4; i += 1) record(i);" in
   let _, l1 = analyze_loop "for (int j = 0; j < 6; j += 1) record(j);" in
@@ -136,5 +166,6 @@ let suite =
     tc "reverse: backwards user value" test_reverse_structure;
     tc "interchange: permuted nest order" test_interchange_structure;
     tc "fuse: guards and max capture" test_fuse_structure;
+    tc "stripe: adjacent grid/stripe pairs" test_stripe_structure;
     tc "OMPLoopDirective helper shapes" test_loop_helpers_structure;
   ]
