@@ -6,10 +6,13 @@
    The default (crash) mode drives [Mc_fuzz.Fuzz.run] over generated
    programs and mutations of the corpus and asserts crash containment;
    diff mode drives [Mc_fuzz.Differential.run], the differential-
-   semantics oracle for the loop-transformation directives.  Both print
-   a one-line verdict, write each (minimized) failing input plus its
-   report into the output directory, and exit non-zero iff the invariant
-   was violated. *)
+   semantics oracle for the loop-transformation directives — including
+   the scripted-transformation oracle, which pairs each program with a
+   random transfo script and checks scripted-vs-pragma IR identity plus
+   interpreter agreement.  Both print a one-line verdict, write each
+   (minimized) failing input — plus its .transfo script for scripted
+   mismatches — into the output directory, and exit non-zero iff the
+   invariant was violated. *)
 
 let run_crash_mode ~n ~seed ~jobs ~corpus_dir ~out_dir =
   let corpus =
@@ -70,10 +73,22 @@ let run_diff_mode ~n ~seed ~jobs ~out_dir =
         let base = Filename.concat out_dir (Printf.sprintf "mismatch-%d" i) in
         Out_channel.with_open_text (base ^ ".c") (fun oc ->
             Out_channel.output_string oc m.Mc_fuzz.Differential.dm_source);
+        (match m.Mc_fuzz.Differential.dm_script with
+        | Some script ->
+          Out_channel.with_open_text (base ^ ".transfo") (fun oc ->
+              Out_channel.output_string oc script)
+        | None -> ());
         Out_channel.with_open_text (base ^ ".txt") (fun oc ->
             Printf.fprintf oc "input: %s\nconfig: %s\n%s\n"
               m.Mc_fuzz.Differential.dm_name m.Mc_fuzz.Differential.dm_config
-              m.Mc_fuzz.Differential.dm_detail);
+              m.Mc_fuzz.Differential.dm_detail;
+            match m.Mc_fuzz.Differential.dm_script with
+            | Some _ ->
+              Printf.fprintf oc
+                "reproduce: mcc --transfo-script %s.transfo %s.c\n"
+                (Printf.sprintf "mismatch-%d" i)
+                (Printf.sprintf "mismatch-%d" i)
+            | None -> ());
         Printf.eprintf "fuzz: MISMATCH %s [%s]: %s\n  minimized: %s.c\n"
           m.Mc_fuzz.Differential.dm_name m.Mc_fuzz.Differential.dm_config
           m.Mc_fuzz.Differential.dm_detail base)

@@ -853,6 +853,219 @@ let emit_server_json () =
     ice_contained post_ice_full_hit;
   Printf.printf "  wrote %s\n%!" path
 
+(* --------------------------------------------------------------------- *)
+(* Scripted transformations: BENCH_transfo.json                           *)
+(* --------------------------------------------------------------------- *)
+
+(* The PR-7 claim: a transfo script is a drop-in replacement for editing
+   pragmas into the source.  Hard floors: scripted IR must be
+   byte-identical to the hand-pragma'd program under both lowerings, and
+   the transfo pre-stage must serve a warm repeat from its cache —
+   locally and through an mccd Req_transform round-trip. *)
+let emit_transfo_json () =
+  heading "BENCH_transfo.json (scripted vs pragma'd, transform cold/warm, mccd)";
+  let module Pipeline = Mc_core.Pipeline in
+  let module Invocation = Mc_core.Invocation in
+  let module Server = Mc_core.Server in
+  let module Client = Mc_core.Client in
+  let module Protocol = Mc_core.Protocol in
+  let module Cache = Mc_core.Cache in
+  let module Clock = Mc_support.Clock in
+  let module Binio = Mc_support.Binio in
+  (* examples/matmul.c, inlined so the harness is cwd-independent. *)
+  let plain =
+    "void record(long x);\n\n\
+     void matmat(long *C, long *A, long *B) {\n\
+    \  for (int i = 0; i < 8; i += 1)\n\
+    \    for (int j = 0; j < 8; j += 1) {\n\
+    \      C[i * 8 + j] = 0;\n\
+    \      for (int k = 0; k < 8; k += 1)\n\
+    \        C[i * 8 + j] = C[i * 8 + j] + A[i * 8 + k] * B[k * 8 + j];\n\
+    \    }\n\
+     }\n\n\
+     int main(void) {\n\
+    \  long A[64], B[64], C[64];\n\
+    \  for (int v = 0; v < 64; v += 1) {\n\
+    \    A[v] = v % 7;\n\
+    \    B[v] = v % 5 - 2;\n\
+    \  }\n\
+    \  matmat(C, A, B);\n\
+    \  long s = 0;\n\
+    \  for (int w = 0; w < 64; w += 1) s += C[w];\n\
+    \  record(s);\n\
+    \  return 0;\n\
+     }\n"
+  in
+  let pragma'd =
+    "void record(long x);\n\n\
+     void matmat(long *C, long *A, long *B) {\n\
+    \  #pragma omp tile sizes(4,4)\n\
+    \  for (int i = 0; i < 8; i += 1)\n\
+    \    for (int j = 0; j < 8; j += 1) {\n\
+    \      C[i * 8 + j] = 0;\n\
+    \      #pragma omp unroll partial(2)\n\
+    \      for (int k = 0; k < 8; k += 1)\n\
+    \        C[i * 8 + j] = C[i * 8 + j] + A[i * 8 + k] * B[k * 8 + j];\n\
+    \    }\n\
+     }\n\n\
+     int main(void) {\n\
+    \  long A[64], B[64], C[64];\n\
+    \  #pragma omp fission\n\
+    \  for (int v = 0; v < 64; v += 1) {\n\
+    \    A[v] = v % 7;\n\
+    \    B[v] = v % 5 - 2;\n\
+    \  }\n\
+    \  matmat(C, A, B);\n\
+    \  long s = 0;\n\
+    \  for (int w = 0; w < 64; w += 1) s += C[w];\n\
+    \  record(s);\n\
+    \  return 0;\n\
+     }\n"
+  in
+  let script =
+    "tile sizes(4,4) @ fun(matmat) for(i)\n\
+     unroll partial(2) @ fun(matmat) for(k)\n\
+     fission @ fun(main) for(v)\n"
+  in
+  let ir_of options src =
+    let r = Driver.compile ~options src in
+    if Mc_diag.Diagnostics.has_errors r.Driver.diag then
+      failwith
+        ("transfo bench: compile failed:\n"
+        ^ Mc_diag.Diagnostics.render_all r.Driver.diag);
+    match r.Driver.ir with
+    | Some m -> Mc_ir.Printer.module_to_string m
+    | None -> failwith "transfo bench: no IR"
+  in
+  let ir_identical =
+    List.for_all
+      (fun options ->
+        ir_of { options with Driver.transfo_script = Some script } plain
+        = ir_of options pragma'd)
+      [ classic; irbuilder ]
+  in
+  if not ir_identical then
+    failwith "transfo bench: scripted IR diverges from pragma'd IR";
+  let timed f =
+    let started = Clock.now () in
+    let v = f () in
+    (Clock.now () -. started, v)
+  in
+  let best f =
+    let samples = List.init 3 f in
+    List.fold_left min (List.hd samples) (List.tl samples)
+  in
+  (* Checked transform (script + differential interpreter run) through
+     the transfo pre-stage, cold then cache-warm. *)
+  let cache = Cache.create () in
+  let transform () =
+    match Pipeline.transform ~cache ~name:"matmul.c" ~script plain with
+    | Ok (outcome, _, _) -> outcome = Pipeline.Cache_hit
+    | Error e -> failwith ("transfo bench: " ^ e)
+  in
+  let cold_seconds, cold_hit = timed transform in
+  if cold_hit then failwith "transfo bench: cold transform claimed a hit";
+  let warm_seconds =
+    best (fun _ ->
+        let w, hit = timed transform in
+        if not hit then failwith "transfo bench: warm transform missed";
+        w)
+  in
+  (* The same transform as an mccd Req_transform round-trip. *)
+  let scratch =
+    let seed = Filename.temp_file "mcc-bench-transfo" "" in
+    Sys.remove seed;
+    Binio.mkdir_p seed;
+    seed
+  in
+  let socket_path = Filename.concat scratch "mccd.sock" in
+  let stop = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Server.run ~stop
+          {
+            Server.socket_path;
+            pool_size = 1;
+            queue_capacity = 8;
+            max_requests = None;
+            idle_timeout = Some 60.0;
+            cache_dir = None;
+            max_cache_bytes = None;
+            log = None;
+          })
+  in
+  let rec await_socket tries =
+    if Sys.file_exists socket_path then ()
+    else if tries = 0 then failwith "transfo bench: daemon never listened"
+    else begin
+      Unix.sleepf 0.02;
+      await_socket (tries - 1)
+    end
+  in
+  await_socket 250;
+  let invocation =
+    {
+      Invocation.default with
+      Invocation.gen_reproducer = false;
+      transfo_script =
+        Some (Invocation.Source { name = "matmul.transfo"; contents = script });
+    }
+  in
+  let roundtrip () =
+    match Client.transform ~socket_path invocation ~name:"matmul.c" plain with
+    | Ok (Protocol.Resp_transformed { p_result = Ok t; _ }) -> t
+    | Ok (Protocol.Resp_transformed { p_result = Error e; _ }) ->
+      failwith ("transfo bench: script failed on daemon: " ^ e)
+    | Ok (Protocol.Resp_rejected r) -> failwith ("transfo bench: rejected: " ^ r)
+    | Ok _ -> failwith "transfo bench: unexpected response shape"
+    | Error e -> failwith ("transfo bench: " ^ e)
+  in
+  let daemon_cold_seconds, first = timed roundtrip in
+  if first.Protocol.x_cache_hit then
+    failwith "transfo bench: daemon cold transform claimed a hit";
+  let daemon_warm_seconds =
+    best (fun _ ->
+        let w, t = timed roundtrip in
+        if not t.Protocol.x_cache_hit then
+          failwith "transfo bench: daemon warm transform missed";
+        if t.Protocol.x_source <> first.Protocol.x_source then
+          failwith "transfo bench: daemon warm output drifted";
+        w)
+  in
+  Atomic.set stop true;
+  (match Domain.join server with
+  | Ok _ -> ()
+  | Error e -> failwith ("transfo bench: server failed: " ^ e));
+  let warm_speedup = cold_seconds /. warm_seconds in
+  let daemon_warm_speedup = daemon_cold_seconds /. daemon_warm_seconds in
+  let buf = Buffer.create 512 in
+  let field last name value =
+    Buffer.add_string buf
+      (Printf.sprintf "  %S: %s%s\n" name value (if last then "" else ","))
+  in
+  Buffer.add_string buf "{\n";
+  field false "schema" "\"mcc-bench-transfo/1\"";
+  field false "workload" "\"examples/matmul.c + 3-step script\"";
+  field false "ir_identical" (if ir_identical then "true" else "false");
+  field false "cold_seconds" (Printf.sprintf "%.9f" cold_seconds);
+  field false "warm_seconds" (Printf.sprintf "%.9f" warm_seconds);
+  field false "warm_speedup" (Printf.sprintf "%.3f" warm_speedup);
+  field false "daemon_cold_seconds" (Printf.sprintf "%.9f" daemon_cold_seconds);
+  field false "daemon_warm_seconds" (Printf.sprintf "%.9f" daemon_warm_seconds);
+  field true "daemon_warm_speedup" (Printf.sprintf "%.3f" daemon_warm_speedup);
+  Buffer.add_string buf "}\n";
+  let path = "BENCH_transfo.json" in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Printf.printf
+    "  scripted IR == pragma'd IR (classic + irbuilder): %b\n" ir_identical;
+  Printf.printf
+    "  transform cold %.6fs -> warm %.6fs (%.1fx); daemon cold %.6fs -> warm \
+     %.6fs (%.1fx)\n"
+    cold_seconds warm_seconds warm_speedup daemon_cold_seconds
+    daemon_warm_seconds daemon_warm_speedup;
+  Printf.printf "  wrote %s\n%!" path
+
 let run_benchmarks () =
   heading "Timing benchmarks (bechamel, monotonic clock)";
   let ols =
@@ -900,4 +1113,5 @@ let () =
   emit_cache_json ();
   emit_incremental_json ();
   emit_server_json ();
+  emit_transfo_json ();
   run_benchmarks ()

@@ -104,7 +104,8 @@ let run_frontend_action inst units =
                 body
             | _ -> ())
           tu.Mc_ast.Tree.tu_decls
-      | Invocation.Run | Invocation.Emit_ir -> assert false))
+      | Invocation.Run | Invocation.Emit_ir | Invocation.Emit_transformed ->
+        assert false))
     units;
   if !failed then exit 1
 
@@ -146,6 +147,16 @@ let run_compile_action inst units =
           t.Driver.t_parse_sema t.Driver.t_codegen t.Driver.t_passes
           (if u.Batch.u_cache_hit then " (cache hit)" else "")
       end;
+      (* One line per script step, greppable like the daemon traces. *)
+      (match r.Driver.transformed with
+      | Some (_, trace) ->
+        List.iter
+          (fun line ->
+            Printf.eprintf "[mcc transfo: %s: %s]\n%!" u.Batch.u_name line)
+          (List.filter
+             (fun l -> String.trim l <> "")
+             (String.split_on_char '\n' trace))
+      | None -> ());
       match inv.Invocation.action with
       | Invocation.Emit_ir -> (
         match r.Driver.ir with
@@ -231,6 +242,8 @@ let run_daemon_action inst units =
   | Error msg -> Error msg
   | Ok (Protocol.Resp_rejected reason) ->
     Error ("daemon rejected the request: " ^ reason)
+  | Ok (Protocol.Resp_transformed _) ->
+    Error "daemon sent a transform response to a compile request"
   | Ok (Protocol.Resp_units { p_units; p_stats; p_wall }) ->
     (* Fold the server-side pipeline counters into the instance registry
        so -print-stats / -ftime-report stay transparent. *)
@@ -334,10 +347,84 @@ let run_daemon_action inst units =
     if !failed then exit 1;
     Ok ()
 
+(* -emit-transformed: apply the transfo script and print the rewritten
+   program — the source-to-source view of the scripted pipeline, without
+   compiling the result.  In daemon mode this ships a [Req_transform]
+   (the v2 request kind) so script authors iterate against the daemon's
+   warm transfo cache; otherwise the pre-stage runs in-process. *)
+let run_transform_action inst units =
+  let inv = Instance.invocation inst in
+  let options = Invocation.to_driver_options inv in
+  let script =
+    match options.Driver.transfo_script with
+    | Some s -> s
+    | None -> die "-emit-transformed requires --transfo-script FILE"
+  in
+  let options = { options with Driver.transfo_script = None } in
+  let local name source =
+    match
+      Mc_core.Pipeline.transform ?cache:(Instance.cache inst) ~options ~name
+        ~script source
+    with
+    | Ok (outcome, src, trace) ->
+      Ok (src, trace, outcome = Mc_core.Pipeline.Cache_hit)
+    | Error msg -> Error msg
+  in
+  let remote name source =
+    let socket_path =
+      match inv.Invocation.daemon_socket with
+      | Some p -> p
+      | None -> Client.default_socket ()
+    in
+    match Client.transform ~socket_path inv ~name source with
+    | Error msg -> Error (`Fallback msg)
+    | Ok (Protocol.Resp_rejected reason) ->
+      Error (`Fallback ("daemon rejected the request: " ^ reason))
+    | Ok (Protocol.Resp_units _) ->
+      Error (`Fallback "daemon sent a compile response to a transform request")
+    | Ok (Protocol.Resp_transformed { p_result; p_stats; p_wall }) -> (
+      Instance.in_registry inst (fun () -> Client.absorb_snapshot p_stats);
+      match p_result with
+      | Ok t ->
+        Printf.eprintf "[mcc --daemon: transformed %s%s, server %.6fs]\n%!"
+          name
+          (if t.Protocol.x_cache_hit then " (hit)" else "")
+          p_wall;
+        Ok (t.Protocol.x_source, t.Protocol.x_trace, t.Protocol.x_cache_hit)
+      | Error msg -> Error (`Script msg))
+  in
+  let failed = ref false in
+  List.iter
+    (fun (name, source) ->
+      let result =
+        if inv.Invocation.daemon then
+          match remote name source with
+          | Ok r -> Ok r
+          | Error (`Script msg) -> Error msg
+          | Error (`Fallback msg) ->
+            Printf.eprintf "mcc: note: %s; falling back in-process\n%!" msg;
+            local name source
+        else local name source
+      in
+      match result with
+      | Error msg ->
+        prerr_endline ("mcc: " ^ msg);
+        failed := true
+      | Ok (src, trace, _hit) ->
+        multi_header inv name;
+        print_string src;
+        List.iter
+          (fun line -> Printf.eprintf "[mcc transfo: %s: %s]\n%!" name line)
+          (List.filter
+             (fun l -> String.trim l <> "")
+             (String.split_on_char '\n' trace)))
+    units;
+  if !failed then exit 1
+
 let main files action irbuilder opt_level no_fold num_threads jobs use_cache
-    cache_dir incremental daemon daemon_socket defines stage_timings
-    time_report print_stats error_limit bracket_depth loop_nest_limit
-    gen_reproducer =
+    cache_dir incremental daemon daemon_socket defines transfo_script
+    no_transfo_check stage_timings time_report print_stats error_limit
+    bracket_depth loop_nest_limit gen_reproducer =
   let defines =
     List.map
       (fun d ->
@@ -362,6 +449,8 @@ let main files action irbuilder opt_level no_fold num_threads jobs use_cache
       incremental;
       daemon = daemon || daemon_socket <> None;
       daemon_socket;
+      transfo_script = Option.map (fun p -> Invocation.File p) transfo_script;
+      transfo_check = not no_transfo_check;
       num_threads;
       stage_timings;
       time_report;
@@ -371,6 +460,14 @@ let main files action irbuilder opt_level no_fold num_threads jobs use_cache
       loop_nest_limit = max 1 loop_nest_limit;
       gen_reproducer;
     }
+  in
+  (* Load the script eagerly: the contents must travel by value to a
+     daemon, and an unreadable script should die like an unreadable
+     input, before any compilation starts. *)
+  let inv =
+    match Invocation.load_transfo_script inv with
+    | Ok inv -> inv
+    | Error msg -> die "%s" msg
   in
   let inst = Instance.create inv in
   (* Registered before the action so the reports also appear on the exit-1
@@ -392,6 +489,7 @@ let main files action irbuilder opt_level no_fold num_threads jobs use_cache
           run_compile_action inst units
       end
       else run_compile_action inst units
+    | Invocation.Emit_transformed -> run_transform_action inst units
     | Invocation.Ast_dump | Invocation.Ast_dump_shadow | Invocation.Ast_print
     | Invocation.Print_transformed | Invocation.Syntax_only ->
       run_frontend_action inst units)
@@ -415,6 +513,11 @@ let action_arg =
         Arg.info [ "print-transformed" ]
           ~doc:"Unparse every transformation's generated (shadow) loop" );
       (Invocation.Emit_ir, Arg.info [ "emit-ir" ] ~doc:"Print the generated IR");
+      ( Invocation.Emit_transformed,
+        Arg.info [ "emit-transformed" ]
+          ~doc:
+            "Apply the $(b,--transfo-script) and print the rewritten program \
+             without compiling it" );
       ( Invocation.Syntax_only,
         Arg.info [ "syntax-only" ] ~doc:"Stop after semantic analysis" );
       ( Invocation.Syntax_only,
@@ -500,6 +603,25 @@ let defines_arg =
     & info [ "D" ] ~docv:"NAME=VALUE"
         ~doc:"Predefine an object-like macro (VALUE defaults to 1)")
 
+let transfo_script_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "transfo-script" ] ~docv:"FILE"
+        ~doc:
+          "Apply the transformation script in $(docv) (one '<op> [params] @ \
+           <target>' step per line) to every input before compiling it; each \
+           step is checked by a differential run on the IR interpreter \
+           unless $(b,--no-transfo-check) is given")
+
+let no_transfo_check_arg =
+  Arg.(
+    value & flag
+    & info [ "no-transfo-check" ]
+        ~doc:
+          "Skip the differential semantic check after each transfo-script \
+           step")
+
 let timings_arg =
   Arg.(value & flag & info [ "stage-timings" ] ~doc:"Report per-layer times (Fig. 1)")
 
@@ -557,6 +679,7 @@ let cmd =
       const main $ files_arg $ action_arg $ irbuilder_arg $ opt_arg
       $ no_fold_arg $ threads_arg $ jobs_arg $ cache_arg $ cache_dir_arg
       $ incremental_arg $ daemon_arg $ daemon_socket_arg $ defines_arg
+      $ transfo_script_arg $ no_transfo_check_arg
       $ timings_arg $ time_report_arg $ print_stats_arg $ error_limit_arg
       $ bracket_depth_arg $ loop_nest_limit_arg $ gen_reproducer_arg)
 
@@ -566,10 +689,12 @@ let cmd =
 let long_flags =
   [
     "ast-dump"; "ast-dump-shadow"; "ast-print"; "print-transformed";
-    "emit-ir"; "syntax-only"; "fsyntax-only"; "fopenmp-enable-irbuilder";
+    "emit-ir"; "emit-transformed"; "syntax-only"; "fsyntax-only";
+    "fopenmp-enable-irbuilder";
     "no-builder-folding"; "num-threads"; "stage-timings"; "ftime-report";
     "print-stats"; "cache"; "cache-dir"; "incremental"; "daemon";
-    "daemon-socket"; "jobs"; "ferror-limit";
+    "daemon-socket"; "transfo-script"; "no-transfo-check"; "jobs";
+    "ferror-limit";
     "fbracket-depth";
     "floop-nest-limit"; "fno-crash-diagnostics"; "gen-reproducer";
   ]

@@ -1,0 +1,34 @@
+/* Matrix-matrix multiply, deliberately free of pragmas: the target
+   program for the transformation script in matmul.transfo (README,
+   "Scripting transformations").  Apply, check and run with:
+
+     mcc --transfo-script examples/matmul.transfo examples/matmul.c
+
+   or print the rewritten program without compiling it:
+
+     mcc -emit-transformed --transfo-script examples/matmul.transfo \
+         examples/matmul.c
+*/
+void record(long x);
+
+void matmat(long *C, long *A, long *B) {
+  for (int i = 0; i < 8; i += 1)
+    for (int j = 0; j < 8; j += 1) {
+      C[i * 8 + j] = 0;
+      for (int k = 0; k < 8; k += 1)
+        C[i * 8 + j] = C[i * 8 + j] + A[i * 8 + k] * B[k * 8 + j];
+    }
+}
+
+int main(void) {
+  long A[64], B[64], C[64];
+  for (int v = 0; v < 64; v += 1) {
+    A[v] = v % 7;
+    B[v] = v % 5 - 2;
+  }
+  matmat(C, A, B);
+  long s = 0;
+  for (int w = 0; w < 64; w += 1) s += C[w];
+  record(s);
+  return 0;
+}

@@ -13,6 +13,7 @@ let directive_class_name = function
   | D_interchange -> "OMPInterchangeDirective"
   | D_stripe -> "OMPStripeDirective"
   | D_fuse -> "OMPFuseDirective"
+  | D_fission -> "OMPFissionDirective"
   | D_barrier -> "OMPBarrierDirective"
   | D_single -> "OMPSingleDirective"
   | D_master -> "OMPMasterDirective"
@@ -81,11 +82,13 @@ let is_omp_executable_directive (_ : directive_kind) = true
 let is_omp_loop_directive = function
   | D_for | D_parallel_for | D_simd | D_for_simd | D_parallel_for_simd -> true
   | D_parallel | D_unroll | D_tile | D_reverse | D_interchange | D_stripe
-  | D_fuse | D_barrier | D_single | D_master | D_critical _ ->
+  | D_fuse | D_fission | D_barrier | D_single | D_master | D_critical _ ->
     false
 
 let is_loop_transformation = function
-  | D_unroll | D_tile | D_reverse | D_interchange | D_stripe | D_fuse -> true
+  | D_unroll | D_tile | D_reverse | D_interchange | D_stripe | D_fuse
+  | D_fission ->
+    true
   | D_parallel | D_for | D_parallel_for | D_simd | D_for_simd
   | D_parallel_for_simd | D_barrier | D_single | D_master | D_critical _ ->
     false

@@ -250,6 +250,7 @@ and directive_kind =
   | D_interchange
   | D_stripe
   | D_fuse
+  | D_fission
   | D_barrier
   | D_single
   | D_master

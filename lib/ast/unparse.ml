@@ -135,6 +135,7 @@ let directive_name = function
   | D_interchange -> "interchange"
   | D_stripe -> "stripe"
   | D_fuse -> "fuse"
+  | D_fission -> "fission"
   | D_barrier -> "barrier"
   | D_single -> "single"
   | D_master -> "master"

@@ -1278,6 +1278,34 @@ and emit_fused_loop ctx (d : directive) : Cli.t =
   in
   Ob.fuse_loops ctx.b clis
 
+(* [#pragma omp fission] on the irbuilder path: one canonical loop per
+   body statement, sharing a single trip-count value (the dual of
+   [emit_fused_loop]). *)
+and emit_fission_loops ctx (d : directive) =
+  let rec unwrap s =
+    match s.s_kind with
+    | Compound [ x ] -> unwrap x
+    | Captured c -> unwrap c.cap_body
+    | _ -> s
+  in
+  match (unwrap (Option.get d.dir_assoc)).s_kind with
+  | Omp_canonical_loop ocl ->
+    let tc = emit_distance ctx ocl in
+    let members =
+      match (canonical_loop_body ocl).s_kind with
+      | Compound (_ :: _ as ms) -> ms
+      | _ -> [ canonical_loop_body ocl ]
+    in
+    let bodies =
+      List.map
+        (fun m _b iv ->
+          bind_canonical_iteration ctx ocl ~iv;
+          emit_stmt ctx m)
+        members
+    in
+    ignore (Ob.fission_loops ctx.b ~trip_count:tc ~bodies ())
+  | _ -> unsupported "fission without a canonical loop"
+
 and partial_factor_of clauses =
   List.find_map
     (function
@@ -1422,7 +1450,7 @@ and emit_omp_classic ctx d =
     attach_simd_md latch (simdlen_of d.dir_clauses);
     finalize ()
   | D_unroll -> ignore (emit_deferred_unroll ctx d)
-  | D_tile | D_reverse | D_interchange | D_stripe | D_fuse -> (
+  | D_tile | D_reverse | D_interchange | D_stripe | D_fuse | D_fission -> (
     emit_transformation_preinits ctx d;
     match d.dir_transformed with
     | Some tr -> ignore (emit_loop_stmt ctx tr)
@@ -1476,6 +1504,7 @@ and emit_omp_irbuilder ctx d =
     ignore
       (emit_loop_handle ctx
          (mk_stmt ~loc:d.dir_loc (Omp_directive d)))
+  | D_fission -> emit_fission_loops ctx d
   | D_barrier -> Ob.create_barrier ctx.b
   | D_master ->
     Ob.create_master ctx.b ~body_gen:(fun _b ->

@@ -21,7 +21,7 @@
 
 module Stats = Mc_support.Stats
 
-let stage_names = [ "lex"; "pp"; "ast"; "ir"; "optir" ]
+let stage_names = [ "transfo"; "lex"; "pp"; "ast"; "ir"; "optir" ]
 
 type stage_counters = {
   sc_hits : Stats.counter;

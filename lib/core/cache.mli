@@ -24,7 +24,8 @@
 type t
 
 val stage_names : string list
-(** The stage tags, in pipeline order: ["lex"; "pp"; "ast"; "ir"; "optir"]. *)
+(** The stage tags, in pipeline order:
+    ["transfo"; "lex"; "pp"; "ast"; "ir"; "optir"]. *)
 
 val create : ?store:Store.t -> unit -> t
 (** A fresh in-memory cache.  With [?store], the cache is layered over a

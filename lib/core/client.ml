@@ -39,6 +39,9 @@ let roundtrip ?(socket_path = Protocol.default_socket ())
 let compile ?socket_path invocation units =
   roundtrip ?socket_path (Protocol.request_of_units invocation units)
 
+let transform ?socket_path invocation ~name source =
+  roundtrip ?socket_path (Protocol.request_of_transform invocation ~name source)
+
 (* Folds a server-side stats snapshot into the current registry, so
    -print-stats over a daemon compile shows the real pipeline counters.
    [Stats.counter] is idempotent on (group, name), which is exactly what

@@ -20,6 +20,18 @@ val compile :
 (** [compile inv units] builds the request from [(name, source)] pairs
     (digests included) and round-trips it. *)
 
+val transform :
+  ?socket_path:string ->
+  Invocation.t ->
+  name:string ->
+  string ->
+  (Protocol.response, string) result
+(** [transform inv ~name source] round-trips a [Req_transform]: the
+    daemon applies [inv]'s transfo script to [source] and replies with
+    [Resp_transformed].  [inv.transfo_script] must already be loaded
+    ({!Invocation.load_transfo_script}) so the script travels by
+    value. *)
+
 val absorb_snapshot : Mc_support.Stats.snapshot -> unit
 (** Folds the server's counter snapshot into the {e current} registry so
     [-print-stats] stays transparent in daemon mode. *)

@@ -14,6 +14,8 @@ type options = Pipeline.options = {
   error_limit : int;
   bracket_depth : int;
   loop_nest_limit : int;
+  transfo_script : string option;
+  transfo_check : bool;
 }
 
 let default_options = Pipeline.default_options
@@ -35,6 +37,7 @@ type result = Pipeline.result = {
   timings : timings;
   unroll_stats : Mc_passes.Loop_unroll.stats;
   stats : Mc_support.Stats.snapshot;
+  transformed : (string * string) option;
 }
 
 let compile ?options ?name source =

@@ -23,6 +23,8 @@ type options = Pipeline.options = {
   error_limit : int; (* -ferror-limit (0 = unlimited); default 20 *)
   bracket_depth : int; (* -fbracket-depth parser recursion guard *)
   loop_nest_limit : int; (* -floop-nest-limit directive depth cap *)
+  transfo_script : string option; (* --transfo-script contents *)
+  transfo_check : bool; (* differential oracle per script step *)
 }
 
 val default_options : options
@@ -46,6 +48,8 @@ type result = Pipeline.result = {
   timings : timings;
   unroll_stats : Mc_passes.Loop_unroll.stats;
   stats : Mc_support.Stats.snapshot; (* pipeline counters for this compile *)
+  transformed : (string * string) option;
+      (* (rewritten source, step trace) when a transfo script ran *)
 }
 
 val compile : ?options:options -> ?name:string -> string -> result

@@ -10,6 +10,7 @@ type action =
   | Ast_print
   | Print_transformed
   | Emit_ir
+  | Emit_transformed
   | Syntax_only
 
 type input = File of string | Source of { name : string; contents : string }
@@ -36,6 +37,8 @@ type t = {
   error_limit : int;
   bracket_depth : int;
   loop_nest_limit : int;
+  transfo_script : input option;
+  transfo_check : bool;
   gen_reproducer : bool;
 }
 
@@ -64,8 +67,31 @@ let default =
     error_limit = Driver.default_options.Driver.error_limit;
     bracket_depth = Driver.default_options.Driver.bracket_depth;
     loop_nest_limit = Driver.default_options.Driver.loop_nest_limit;
+    transfo_script = None;
+    transfo_check = true;
     gen_reproducer = true;
   }
+
+let input_name = function
+  | File path -> path
+  | Source { name; _ } -> name
+
+let read_input = function
+  | Source { name; contents } -> Ok (name, contents)
+  | File "-" -> Ok ("<stdin>", In_channel.input_all In_channel.stdin)
+  | File path -> (
+    match In_channel.with_open_text path In_channel.input_all with
+    | contents -> Ok (path, contents)
+    | exception Sys_error msg -> Error msg)
+
+let load_transfo_script inv =
+  match inv.transfo_script with
+  | None | Some (Source _) -> Ok inv
+  | Some (File _ as f) -> (
+    match read_input f with
+    | Ok (name, contents) ->
+      Ok { inv with transfo_script = Some (Source { name; contents }) }
+    | Error msg -> Error msg)
 
 let to_driver_options inv =
   {
@@ -78,6 +104,13 @@ let to_driver_options inv =
     error_limit = inv.error_limit;
     bracket_depth = inv.bracket_depth;
     loop_nest_limit = inv.loop_nest_limit;
+    transfo_script =
+      (match inv.transfo_script with
+      | None -> None
+      | Some (Source { contents; _ }) -> Some contents
+      | Some (File _ as f) -> (
+        match read_input f with Ok (_, c) -> Some c | Error _ -> None));
+    transfo_check = inv.transfo_check;
   }
 
 let of_driver_options ?(inputs = []) (o : Driver.options) =
@@ -93,19 +126,12 @@ let of_driver_options ?(inputs = []) (o : Driver.options) =
     error_limit = o.Driver.error_limit;
     bracket_depth = o.Driver.bracket_depth;
     loop_nest_limit = o.Driver.loop_nest_limit;
+    transfo_script =
+      Option.map
+        (fun contents -> Source { name = "<script>"; contents })
+        o.Driver.transfo_script;
+    transfo_check = o.Driver.transfo_check;
   }
-
-let input_name = function
-  | File path -> path
-  | Source { name; _ } -> name
-
-let read_input = function
-  | Source { name; contents } -> Ok (name, contents)
-  | File "-" -> Ok ("<stdin>", In_channel.input_all In_channel.stdin)
-  | File path -> (
-    match In_channel.with_open_text path In_channel.input_all with
-    | contents -> Ok (path, contents)
-    | exception Sys_error msg -> Error msg)
 
 let load_inputs inv =
   let rec go acc = function
@@ -125,10 +151,17 @@ let load_inputs inv =
 let fingerprint inv =
   (* The limits are part of the key: raising -ferror-limit can change the
      diagnostic stream, so a hit must not replay the old one. *)
+  let transfo =
+    match inv.transfo_script with
+    | None -> "-"
+    | Some (File path) -> "file:" ^ path
+    | Some (Source { contents; _ }) -> Mc_transfo.Script.canonical contents
+  in
   Printf.sprintf
-    "irbuilder=%b;optimize=%b;fold=%b;verify=%b;elimit=%d;bdepth=%d;nlimit=%d"
+    "irbuilder=%b;optimize=%b;fold=%b;verify=%b;elimit=%d;bdepth=%d;nlimit=%d;transfo=%s;tcheck=%b"
     inv.use_irbuilder (inv.opt_level > 0) inv.fold inv.verify_ir
-    inv.error_limit inv.bracket_depth inv.loop_nest_limit
+    inv.error_limit inv.bracket_depth inv.loop_nest_limit transfo
+    inv.transfo_check
 
 (* ---- argv parsing ------------------------------------------------------- *)
 
@@ -190,6 +223,7 @@ let of_argv argv =
         | "ast-print" -> go { inv with action = Ast_print } rest
         | "print-transformed" -> go { inv with action = Print_transformed } rest
         | "emit-ir" -> go { inv with action = Emit_ir } rest
+        | "emit-transformed" -> go { inv with action = Emit_transformed } rest
         | "syntax-only" | "fsyntax-only" -> go { inv with action = Syntax_only } rest
         | "fopenmp-enable-irbuilder" -> go { inv with use_irbuilder = true } rest
         | "no-builder-folding" -> go { inv with fold = false } rest
@@ -199,6 +233,7 @@ let of_argv argv =
           (* Incremental recompilation rides on the stage cache. *)
           go { inv with incremental = true; cache_enabled = true } rest
         | "daemon" -> go { inv with daemon = true } rest
+        | "no-transfo-check" -> go { inv with transfo_check = false } rest
         | "fno-crash-diagnostics" -> go { inv with gen_reproducer = false } rest
         | "gen-reproducer" -> go { inv with gen_reproducer = true } rest
         | "stage-timings" -> go { inv with stage_timings = true } rest
@@ -248,6 +283,9 @@ let of_argv argv =
                       go
                         { inv with daemon_socket = Some v; daemon = true }
                         rest'));
+                (fun () ->
+                  with_value "transfo-script" (fun v rest' ->
+                      go { inv with transfo_script = Some (File v) } rest'));
               ]
           with
           | Some r -> r
@@ -272,6 +310,7 @@ let to_argv inv =
     | Ast_print -> [ "-ast-print" ]
     | Print_transformed -> [ "-print-transformed" ]
     | Emit_ir -> [ "-emit-ir" ]
+    | Emit_transformed -> [ "-emit-transformed" ]
     | Syntax_only -> [ "-syntax-only" ]
   in
   action_flags
@@ -309,4 +348,8 @@ let to_argv inv =
   @ (if inv.loop_nest_limit <> d.loop_nest_limit then
        [ Printf.sprintf "-floop-nest-limit=%d" inv.loop_nest_limit ]
      else [])
+  @ (match inv.transfo_script with
+    | Some input -> [ Printf.sprintf "-transfo-script=%s" (input_name input) ]
+    | None -> [])
+  @ flag (not inv.transfo_check) "-no-transfo-check"
   @ flag (not inv.gen_reproducer) "-fno-crash-diagnostics"

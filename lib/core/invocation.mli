@@ -16,6 +16,7 @@ type action =
   | Ast_print
   | Print_transformed
   | Emit_ir
+  | Emit_transformed (* apply the transfo script, print the rewritten C *)
   | Syntax_only
 
 type input =
@@ -48,6 +49,10 @@ type t = {
   error_limit : int; (* -ferror-limit N (0 = unlimited) *)
   bracket_depth : int; (* -fbracket-depth N parser recursion guard *)
   loop_nest_limit : int; (* -floop-nest-limit N directive depth cap *)
+  transfo_script : input option; (* --transfo-script FILE ({!Mc_transfo}
+                                    script applied before the lexer) *)
+  transfo_check : bool; (* differential oracle per script step; the
+                           --no-transfo-check flag disables *)
   gen_reproducer : bool; (* write ICE reproducer bundles (default on);
                             -fno-crash-diagnostics disables *)
 }
@@ -69,6 +74,11 @@ val read_input : input -> (string * string, string) result
 val load_inputs : t -> ((string * string) list, string) result
 (** Reads every input in order; fails on the first unreadable one. *)
 
+val load_transfo_script : t -> (t, string) result
+(** Resolves a [File] transfo script to an in-memory [Source] (so the
+    invocation can travel to a daemon); the identity when there is no
+    script or it is already loaded. *)
+
 val fingerprint : t -> string
 (** Canonical rendering of the backend-relevant options (whole-invocation
     granularity; the stage cache uses the finer per-stage
@@ -85,7 +95,9 @@ val of_argv : string array -> (t, string) result
     [--daemon-socket PATH], [-num-threads N], [-ftime-report],
     [-print-stats],
     [-stage-timings], the resource limits [-ferror-limit N],
-    [-fbracket-depth N], [-floop-nest-limit N], the reproducer toggles
+    [-fbracket-depth N], [-floop-nest-limit N], the transfo-script
+    options [--transfo-script FILE] and [--no-transfo-check], the
+    reproducer toggles
     [-gen-reproducer]/[-fno-crash-diagnostics], and positional input
     files ([-] for stdin). *)
 

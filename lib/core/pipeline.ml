@@ -53,6 +53,8 @@ type options = {
   error_limit : int;
   bracket_depth : int;
   loop_nest_limit : int;
+  transfo_script : string option;
+  transfo_check : bool;
 }
 
 let default_options =
@@ -66,6 +68,8 @@ let default_options =
     error_limit = 20;
     bracket_depth = Mc_parser.Parser.default_bracket_depth;
     loop_nest_limit = Mc_sema.Sema.default_loop_nest_limit;
+    transfo_script = None;
+    transfo_check = true;
   }
 
 type timings = {
@@ -85,14 +89,16 @@ type result = {
   timings : timings;
   unroll_stats : Mc_passes.Loop_unroll.stats;
   stats : Stats.snapshot;
+  transformed : (string * string) option;
 }
 
-type stage = Lex | Preprocess | Parse_sema | Codegen | Passes
+type stage = Transfo | Lex | Preprocess | Parse_sema | Codegen | Passes
 
-let stages = [ Lex; Preprocess; Parse_sema; Codegen; Passes ]
+let stages = [ Transfo; Lex; Preprocess; Parse_sema; Codegen; Passes ]
 
 (* -ftime-report / crash-phase labels: stable since PR 1. *)
 let stage_name = function
+  | Transfo -> "transfo"
   | Lex -> "lex"
   | Preprocess -> "preprocess"
   | Parse_sema -> "parse-sema"
@@ -101,6 +107,7 @@ let stage_name = function
 
 (* Artifact tags in the stage cache and its [cache.<tag>-*] counters. *)
 let stage_tag = function
+  | Transfo -> "transfo"
   | Lex -> "lex"
   | Preprocess -> "pp"
   | Parse_sema -> "ast"
@@ -128,6 +135,15 @@ let hash s = Digest.to_hex (Digest.string s)
    change invalidates exactly the stages whose slice mentions it. *)
 let option_slice stage o =
   match stage with
+  | Transfo ->
+    (* Keyed on the *canonical* script (comments and whitespace stripped):
+       editing a comment in the script stays a warm hit, editing a step
+       invalidates. *)
+    (match o.transfo_script with
+    | Some script ->
+      Printf.sprintf "check=%b;script=%s" o.transfo_check
+        (Mc_transfo.Script.canonical script)
+    | None -> "")
   | Lex -> "" (* no option reaches the lexer *)
   | Preprocess ->
     String.concat "\x01" (List.map (fun (k, v) -> k ^ "\x02" ^ v) o.defines)
@@ -199,10 +215,157 @@ type pp_payload = {
   pl_includes : (string * string) list;
 }
 
-let walk ?cache ~frontend_only ~options ~name source =
+let zero_timings =
+  {
+    t_lex = 0.0;
+    t_preprocess = 0.0;
+    t_parse_sema = 0.0;
+    t_codegen = 0.0;
+    t_passes = 0.0;
+  }
+
+(* The transfo pre-stage rewrites the *source*, so downstream stages see
+   it as ordinary input: the lex fingerprint hashes the rewritten text and
+   everything from there on is content-addressed exactly as before.  The
+   whole walk is mutually recursive because the engine needs a frontend
+   (target resolution re-parses after every step) and the differential
+   check needs full compilations of the before/after programs. *)
+let rec walk ?cache ~frontend_only ~options ~name source =
+  match options.transfo_script with
+  | None -> walk_stages ?cache ~frontend_only ~options ~name ~transfo:None source
+  | Some script -> (
+    match apply_transfo ?cache ~options ~name ~script source with
+    | Error msg ->
+      (* A failed script is a compilation error: report it, produce no
+         AST/IR, and never fall back to compiling the unrewritten
+         program (Run must not execute something the user didn't ask
+         for). *)
+      let sm = Srcmgr.create () in
+      let d = Diag.create sm in
+      Diag.error d ~loc:Loc.invalid msg;
+      ( {
+          diag = d;
+          srcmgr = sm;
+          tu = None;
+          ir = None;
+          codegen_error = None;
+          timings = zero_timings;
+          unroll_stats = Mc_passes.Loop_unroll.empty_stats;
+          stats = [];
+          transformed = None;
+        },
+        [ (Transfo, Executed) ],
+        false )
+    | Ok (outc, source', tr) ->
+      let options = { options with transfo_script = None } in
+      walk_stages ?cache ~frontend_only ~options ~name
+        ~transfo:(Some (outc, source', tr)) source')
+
+(* The transfo stage proper: cache-consult, else run the engine.  The
+   fingerprint covers the input source, the canonical script and the
+   check flag; the payload is (rewritten source, rendered step trace). *)
+and apply_transfo ?cache ~options ~name ~script source =
+  let fp =
+    stage_fingerprint Transfo
+      { options with transfo_script = Some script }
+      ~input:(source_fingerprint ~name source)
+  in
+  let cached =
+    match cache with
+    | None -> None
+    | Some c -> Cache.find c ~stage:(stage_tag Transfo) fp
+  in
+  match cached with
+  | Some payload ->
+    let (src', tr) : string * string = Marshal.from_string payload 0 in
+    Ok (Cache_hit, src', tr)
+  | None -> (
+    let fe_options = { options with transfo_script = None } in
+    let config =
+      {
+        Mc_transfo.Engine.frontend =
+          (fun ~name source -> frontend ~options:fe_options ~name source);
+        check =
+          (if options.transfo_check then
+             Some (fun ~name ~before ~after ->
+                 differential_check ~options ~name ~before ~after)
+           else None);
+      }
+    in
+    let outcome, _dt =
+      time Transfo (fun () ->
+          Mc_transfo.Engine.run config ~name ~script ~source)
+    in
+    match outcome with
+    | Error _ as e -> e
+    | Ok o ->
+      let src' = o.Mc_transfo.Engine.out_source in
+      let tr = Mc_transfo.Engine.render_trace o in
+      (match cache with
+      | None -> ()
+      | Some c ->
+        (* Engine success implies the intermediate programs were all
+           diagnostic-free, so storing is unconditional here. *)
+        Cache.store c ~stage:(stage_tag Transfo) fp (marshal (src', tr)));
+      Ok (Executed, src', tr))
+
+(* The semantic oracle: both programs compiled classic -O0 (one fixed,
+   deterministic configuration) and run on the IR interpreter; the step
+   is accepted only if every observable — stdout, the record trace, the
+   return value, or the trap — is identical. *)
+and differential_check ~options ~name ~before ~after =
+  let check_options =
+    { options with transfo_script = None; use_irbuilder = false;
+      optimize = false }
+  in
+  let observe source =
+    let x = execute ~options:check_options ~name source in
+    let r = x.x_result in
+    if Diag.has_errors r.diag then
+      Error ("does not compile:\n" ^ Diag.render_all r.diag)
+    else
+      match r.ir with
+      | None ->
+        Error
+          (match r.codegen_error with
+          | Some e -> "codegen: " ^ e
+          | None -> "no IR produced")
+      | Some m -> (
+        match Mc_interp.Interp.run_main m with
+        | o ->
+          Ok
+            (`Finished
+               ( o.Mc_interp.Interp.output,
+                 o.Mc_interp.Interp.trace,
+                 o.Mc_interp.Interp.return_value ))
+        | exception Mc_interp.Interp.Trap msg -> Ok (`Trapped msg))
+  in
+  match observe before with
+  | Error e -> Error ("the program before the step " ^ e)
+  | Ok obs_before -> (
+    match observe after with
+    | Error e -> Error ("the program after the step " ^ e)
+    | Ok obs_after ->
+      if obs_before = obs_after then Ok ()
+      else
+        let describe = function
+          | `Trapped msg -> "trap: " ^ msg
+          | `Finished (out, tr, ret) ->
+            Printf.sprintf "output %S, %d record(s), exit %s" out
+              (List.length tr)
+              (match ret with Some v -> Int64.to_string v | None -> "void")
+        in
+        Error
+          (Printf.sprintf "behaviour diverged: before: %s; after: %s"
+             (describe obs_before) (describe obs_after)))
+
+and walk_stages ?cache ~frontend_only ~options ~name ~transfo source =
   reset_compilation_state ();
   let trace = ref [] in
   let mark stage outcome = trace := (stage, outcome) :: !trace in
+  (match transfo with
+  | Some ((outc : outcome), _, _) -> mark Transfo outc
+  | None -> ());
   let t_lex = ref 0.0
   and t_preprocess = ref 0.0
   and t_parse_sema = ref 0.0
@@ -355,6 +518,7 @@ let walk ?cache ~frontend_only ~options ~name source =
       t_passes = !t_passes;
     }
   in
+  let transformed = Option.map (fun (_, s, tr) -> (s, tr)) transfo in
   let no_ir codegen_error =
     {
       diag = !diag;
@@ -365,6 +529,7 @@ let walk ?cache ~frontend_only ~options ~name source =
       timings = timings ();
       unroll_stats = Mc_passes.Loop_unroll.empty_stats;
       stats = [];
+      transformed;
     }
   in
   let r =
@@ -432,6 +597,7 @@ let walk ?cache ~frontend_only ~options ~name source =
             timings = timings ();
             unroll_stats = unroll;
             stats = [];
+            transformed;
           }
         | None ->
           let report, dt =
@@ -455,6 +621,7 @@ let walk ?cache ~frontend_only ~options ~name source =
             timings = timings ();
             unroll_stats = report.Mc_passes.Pass_manager.unroll_stats;
             stats = [];
+            transformed;
           })
     end
   in
@@ -466,14 +633,14 @@ let walk ?cache ~frontend_only ~options ~name source =
          (fun (s, o) ->
            match s with
            | Lex | Preprocess -> true
-           | Parse_sema | Codegen | Passes -> o = Cache_hit)
+           | Transfo | Parse_sema | Codegen | Passes -> o = Cache_hit)
          tr
   in
   if Option.is_some cache && not frontend_only then
     Stats.incr (if full_hit then stat_full_hits else stat_full_misses);
   (r, tr, full_hit)
 
-let execute ?cache ?(options = default_options) ?(name = "input.c") source =
+and execute ?cache ?(options = default_options) ?(name = "input.c") source =
   let (r, tr, full_hit), registry =
     Stats.with_scoped_registry (fun () ->
         walk ?cache ~frontend_only:false ~options ~name source)
@@ -484,9 +651,25 @@ let execute ?cache ?(options = default_options) ?(name = "input.c") source =
     x_full_hit = full_hit;
   }
 
-let frontend ?(options = default_options) ?(name = "input.c") source =
+and frontend ?(options = default_options) ?(name = "input.c") source =
   let (r, _, _), _registry =
     Stats.with_scoped_registry (fun () ->
         walk ~frontend_only:true ~options ~name source)
   in
-  (r.diag, Option.get r.tu)
+  ( r.diag,
+    (* A failed transfo script yields no AST at all; frontend callers
+       still get the diagnostics. *)
+    match r.tu with
+    | Some tu -> tu
+    | None -> { Mc_ast.Tree.tu_decls = [] } )
+
+(* The transfo pre-stage alone, for the daemon's transform requests and
+   for embedders that want the rewritten source without compiling it:
+   returns (cache outcome, rewritten source, rendered step trace). *)
+let transform ?cache ?(options = default_options) ?(name = "input.c") ~script
+    source =
+  let r, _registry =
+    Stats.with_scoped_registry (fun () ->
+        apply_transfo ?cache ~options ~name ~script source)
+  in
+  r

@@ -38,6 +38,13 @@ type options = {
   error_limit : int;  (** -ferror-limit. *)
   bracket_depth : int;  (** parser nesting limit. *)
   loop_nest_limit : int;  (** sema perfect-nest analysis limit. *)
+  transfo_script : string option;
+      (** transformation-script contents ({!Mc_transfo.Script}); when
+          present, the transfo pre-stage rewrites the source before the
+          lexer ever sees it. *)
+  transfo_check : bool;
+      (** run the differential semantic oracle after every script step
+          (on by default). *)
 }
 
 val default_options : options
@@ -61,20 +68,23 @@ type result = {
   timings : timings;
   unroll_stats : Mc_passes.Loop_unroll.stats;
   stats : Mc_support.Stats.snapshot;
+  transformed : (string * string) option;
+      (** When a transfo script ran (or hit the cache): the rewritten
+          source and the rendered step trace. *)
 }
 
-type stage = Lex | Preprocess | Parse_sema | Codegen | Passes
+type stage = Transfo | Lex | Preprocess | Parse_sema | Codegen | Passes
 
 val stages : stage list
 (** In pipeline order. *)
 
 val stage_name : stage -> string
-(** -ftime-report / crash-phase label ("lex", "preprocess",
+(** -ftime-report / crash-phase label ("transfo", "lex", "preprocess",
     "parse-sema", "codegen", "passes") — stable across releases. *)
 
 val stage_tag : stage -> string
-(** Artifact tag in the stage cache and its counters ("lex", "pp",
-    "ast", "ir", "optir"). *)
+(** Artifact tag in the stage cache and its counters ("transfo", "lex",
+    "pp", "ast", "ir", "optir"). *)
 
 type outcome = Executed | Cache_hit
 
@@ -120,7 +130,22 @@ val frontend :
   string ->
   Mc_diag.Diagnostics.t * Mc_ast.Tree.translation_unit
 (** Source through the AST stage only (-fsyntax-only / -ast-dump); never
-    cached. *)
+    cached.  When the options carry a [transfo_script], the script is
+    applied first and the AST is that of the rewritten program; a failed
+    script yields an empty translation unit plus the error diagnostic. *)
+
+val transform :
+  ?cache:Cache.t ->
+  ?options:options ->
+  ?name:string ->
+  script:string ->
+  string ->
+  (outcome * string * string, string) Result.t
+(** The transfo pre-stage alone (no compilation of the result): applies
+    [script] to the source and returns
+    [(cache outcome, rewritten source, rendered step trace)], consulting
+    and filling the ["transfo"] stage of [cache] when given.  The error
+    string is fully rendered and names the failing script line. *)
 
 val reset_compilation_state : unit -> unit
 (** Rewind every domain-local id/gensym generator, making the next

@@ -22,7 +22,11 @@ module Binio = Mc_support.Binio
 module Stats = Mc_support.Stats
 
 let magic = "MCCD"
-let version = 1
+
+(* v2: the request became a variant (compile | transform) and the
+   response gained [Resp_transformed]; v1 frames are rejected by the
+   header check before unmarshalling. *)
+let version = 2
 
 let default_socket () =
   match Sys.getenv_opt "MCCD_SOCKET" with
@@ -33,19 +37,46 @@ let default_socket () =
 
 type request_unit = { q_name : string; q_source : string; q_digest : string }
 
-type request = { q_invocation : Invocation.t; q_units : request_unit list }
+type compile_request = {
+  q_invocation : Invocation.t;
+  q_units : request_unit list;
+}
+
+(* A source-to-source request: apply the invocation's transfo script to
+   one unit and return the rewritten program — no compilation of the
+   result, so script authors can iterate against a warm daemon. *)
+type transform_request = {
+  t_invocation : Invocation.t; (* carries the script and the check flag *)
+  t_name : string;
+  t_source : string;
+  t_digest : string;
+}
+
+type request =
+  | Req_compile of compile_request
+  | Req_transform of transform_request
 
 let unit_digest source = Digest.to_hex (Digest.string source)
 
 let request_of_units invocation units =
-  {
-    q_invocation = invocation;
-    q_units =
-      List.map
-        (fun (name, source) ->
-          { q_name = name; q_source = source; q_digest = unit_digest source })
-        units;
-  }
+  Req_compile
+    {
+      q_invocation = invocation;
+      q_units =
+        List.map
+          (fun (name, source) ->
+            { q_name = name; q_source = source; q_digest = unit_digest source })
+          units;
+    }
+
+let request_of_transform invocation ~name source =
+  Req_transform
+    {
+      t_invocation = invocation;
+      t_name = name;
+      t_source = source;
+      t_digest = unit_digest source;
+    }
 
 type response_unit = {
   r_name : string;
@@ -75,7 +106,20 @@ type response =
       p_stats : Stats.snapshot; (* the request's counters, server-side *)
       p_wall : float; (* server-side wall time for the request *)
     }
+  | Resp_transformed of {
+      p_result : (transformed, string) result;
+          (* Error: a script-level failure (parse, resolution, check) —
+             rendered, line-numbered, user-facing *)
+      p_stats : Stats.snapshot;
+      p_wall : float;
+    }
   | Resp_rejected of string
+
+and transformed = {
+  x_source : string; (* the rewritten program *)
+  x_trace : string; (* rendered step trace *)
+  x_cache_hit : bool; (* served from the daemon's transfo stage cache *)
+}
 
 (* ---- channel IO ---------------------------------------------------------- *)
 

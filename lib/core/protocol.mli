@@ -22,12 +22,33 @@ type request_unit = {
   q_digest : string;  (** content digest of [q_source], verified server-side *)
 }
 
-type request = { q_invocation : Invocation.t; q_units : request_unit list }
+type compile_request = {
+  q_invocation : Invocation.t;
+  q_units : request_unit list;
+}
+
+type transform_request = {
+  t_invocation : Invocation.t;
+      (** must carry a loaded [transfo_script] ([Source], not [File]) *)
+  t_name : string;
+  t_source : string;
+  t_digest : string;
+}
+
+type request =
+  | Req_compile of compile_request  (** compile units, return IR (v1 shape) *)
+  | Req_transform of transform_request
+      (** apply the invocation's transfo script to one unit and return
+          the rewritten source — no compilation of the result *)
 
 val unit_digest : string -> string
 
 val request_of_units : Invocation.t -> (string * string) list -> request
-(** Builds a request from [(name, source)] pairs, computing digests. *)
+(** Builds a [Req_compile] from [(name, source)] pairs, computing
+    digests. *)
+
+val request_of_transform : Invocation.t -> name:string -> string -> request
+(** Builds a [Req_transform] for one source, computing its digest. *)
 
 type response_unit = {
   r_name : string;
@@ -57,7 +78,20 @@ type response =
       p_stats : Mc_support.Stats.snapshot;
       p_wall : float;
     }
+  | Resp_transformed of {
+      p_result : (transformed, string) result;
+          (** [Error]: rendered script-level failure (parse, target
+              resolution, semantic check) *)
+      p_stats : Mc_support.Stats.snapshot;
+      p_wall : float;
+    }
   | Resp_rejected of string
+
+and transformed = {
+  x_source : string;  (** the rewritten program *)
+  x_trace : string;  (** rendered step trace *)
+  x_cache_hit : bool;  (** served from the daemon's transfo stage cache *)
+}
 
 val write_request : out_channel -> request -> unit
 val read_request : in_channel -> (request, string) result

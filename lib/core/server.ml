@@ -45,6 +45,10 @@ let stat_rejects =
   Stats.counter ~group:"server" ~name:"rejects"
     ~desc:"requests rejected before compilation (framing, digests)" ()
 
+let stat_transforms =
+  Stats.counter ~group:"server" ~name:"transforms"
+    ~desc:"transfo-script requests served by the daemon" ()
+
 type config = {
   socket_path : string;
   pool_size : int;
@@ -126,7 +130,7 @@ end
 
 (* ---- request handling ---------------------------------------------------- *)
 
-let compile_request ~cache (req : Protocol.request) =
+let compile_request ~cache (req : Protocol.compile_request) =
   let registry = Stats.Registry.create () in
   let started = Clock.now () in
   let units =
@@ -181,11 +185,57 @@ let compile_request ~cache (req : Protocol.request) =
       },
     registry )
 
+(* The transfo pre-stage alone: resolve the script out of the shipped
+   invocation, run [Pipeline.transform] against the shared cache.  Script
+   failures are a payload ([Error] inside [Resp_transformed]), not a
+   protocol rejection — the client should render them like any other
+   user-facing diagnostic. *)
+let transform_request ~cache (req : Protocol.transform_request) =
+  let started = Clock.now () in
+  let options = Invocation.to_driver_options req.Protocol.t_invocation in
+  let result, registry =
+    match options.Driver.transfo_script with
+    | None -> (Error "transform request carries no script", Stats.Registry.create ())
+    | Some script -> (
+      let options = { options with Driver.transfo_script = None } in
+      match
+        Stats.with_scoped_registry (fun () ->
+            Pipeline.transform ?cache ~options ~name:req.Protocol.t_name
+              ~script req.Protocol.t_source)
+      with
+      | (Ok (outcome, source, trace), registry) ->
+        ( Ok
+            {
+              Protocol.x_source = source;
+              x_trace = trace;
+              x_cache_hit = outcome = Pipeline.Cache_hit;
+            },
+          registry )
+      | (Error msg, registry) -> (Error msg, registry)
+      | exception e ->
+        (Error ("internal error: " ^ Printexc.to_string e),
+         Stats.Registry.create ()))
+  in
+  Stats.with_registry registry (fun () ->
+      Stats.incr stat_requests;
+      Stats.incr stat_transforms);
+  ( Protocol.Resp_transformed
+      {
+        p_result = result;
+        p_stats = Stats.snapshot ~registry ();
+        p_wall = Clock.now () -. started;
+      },
+    registry )
+
 let verify_digests (req : Protocol.request) =
-  List.for_all
-    (fun (u : Protocol.request_unit) ->
-      String.equal (Protocol.unit_digest u.Protocol.q_source) u.Protocol.q_digest)
-    req.Protocol.q_units
+  let ok source digest = String.equal (Protocol.unit_digest source) digest in
+  match req with
+  | Protocol.Req_compile c ->
+    List.for_all
+      (fun (u : Protocol.request_unit) ->
+        ok u.Protocol.q_source u.Protocol.q_digest)
+      c.Protocol.q_units
+  | Protocol.Req_transform t -> ok t.Protocol.t_source t.Protocol.t_digest
 
 (* One connection, one request; every failure mode ends with a closed
    socket and a still-healthy worker. *)
@@ -211,10 +261,19 @@ let handle_connection ~cache ~lifetime ~lifetime_lock ~log fd =
       reject registry "source digest mismatch";
       registry
     | Ok req -> (
-      let response, registry = compile_request ~cache req in
-      log
-        (Printf.sprintf "served %d unit(s)"
-           (List.length req.Protocol.q_units));
+      let response, registry =
+        match req with
+        | Protocol.Req_compile c ->
+          let response, registry = compile_request ~cache c in
+          log
+            (Printf.sprintf "served %d unit(s)"
+               (List.length c.Protocol.q_units));
+          (response, registry)
+        | Protocol.Req_transform t ->
+          let response, registry = transform_request ~cache t in
+          log (Printf.sprintf "transformed %s" t.Protocol.t_name);
+          (response, registry)
+      in
       (try Protocol.write_response oc response
        with Sys_error _ -> () (* client hung up; its loss, our survival *));
       registry)

@@ -2,9 +2,12 @@
     warm shared stage cache (optionally persisted via {!Store}), a pool
     of worker domains, and a bounded connection queue for backpressure.
 
-    Requests are framed {!Protocol} values; each unit compiles through
-    {!Instance.compile_safe}, so a client-submitted ICE becomes an
-    [R_ice] response entry and never takes the daemon down.  The loop
+    Requests are framed {!Protocol} values; each compile unit goes
+    through {!Instance.compile_safe}, so a client-submitted ICE becomes
+    an [R_ice] response entry and never takes the daemon down.
+    [Req_transform] requests run the transfo pre-stage alone
+    ({!Pipeline.transform}) against the same shared cache and return the
+    rewritten source.  The loop
     exits on the [stop] flag, after [max_requests] connections, or after
     [idle_timeout] seconds without one — always draining queued
     connections before returning. *)

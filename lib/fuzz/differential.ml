@@ -212,6 +212,155 @@ let check_source source =
           [ 4; 1 ])
       configs
 
+(* ---- the scripted-transformation oracle ------------------------------------ *)
+
+(* One campaign input in three coupled renderings: the plain program, the
+   same program hand-pragma'd, and a transfo script whose steps address
+   each decorated nest by its (unique) outer induction variable.  The
+   engine applies a step by inserting the equivalent pragma above the
+   resolved loop, so the scripted plain program must produce byte-
+   identical IR with the pragma'd one under every configuration, and the
+   checked application must preserve the plain program's trace. *)
+
+type scripted = {
+  sc_name : string;
+  sc_plain : string; (* no pragmas; the script's input *)
+  sc_pragma : string; (* the directives hand-written into the source *)
+  sc_script : string; (* one step per decorated nest *)
+}
+
+let gen_scripted rng ~name =
+  let plain = Buffer.create 512 in
+  let pragma = Buffer.create 512 in
+  let script = Buffer.create 128 in
+  let both s =
+    Buffer.add_string plain s;
+    Buffer.add_string pragma s
+  in
+  both "int main(void) {\n  int acc = 0;\n";
+  let nstmts = 1 + Rng.int rng 3 in
+  for idx = 0 to nstmts - 1 do
+    let op = if Rng.int rng 4 = 0 then "^" else "+" in
+    let sizes n =
+      String.concat ","
+        (List.init n (fun _ -> string_of_int (1 + Rng.int rng 12)))
+    in
+    let permutation n =
+      let a = Array.init n (fun i -> i + 1) in
+      for i = n - 1 downto 1 do
+        let j = Rng.int rng (i + 1) in
+        let t = a.(i) in
+        a.(i) <- a.(j);
+        a.(j) <- t
+      done;
+      String.concat "," (Array.to_list (Array.map string_of_int a))
+    in
+    (* The step decides the nest shape: fission needs a multi-statement
+       depth-1 body, interchange a nest of at least two loops. *)
+    let depth, step =
+      match Rng.int rng 8 with
+      | 0 -> (1 + Rng.int rng 3, None)
+      | 1 -> (1 + Rng.int rng 3, Some "reverse")
+      | 2 ->
+        (1 + Rng.int rng 3, Some (Printf.sprintf "unroll partial(%d)" (1 + Rng.int rng 5)))
+      | 3 -> (1 + Rng.int rng 3, Some "unroll full")
+      | 4 ->
+        let d = 1 + Rng.int rng 3 in
+        (d, Some (Printf.sprintf "tile sizes(%s)" (sizes d)))
+      | 5 ->
+        let d = 1 + Rng.int rng 3 in
+        (d, Some (Printf.sprintf "stripe sizes(%s)" (sizes d)))
+      | 6 -> (1, Some "fission")
+      | _ ->
+        let d = 2 + Rng.int rng 2 in
+        (d, Some (Printf.sprintf "interchange permutation(%s)" (permutation d)))
+    in
+    let ivs = List.init depth (fun d -> Printf.sprintf "s%d_%d" idx d) in
+    (match step with
+    | Some text ->
+      Buffer.add_string pragma (Printf.sprintf "  #pragma omp %s\n" text);
+      Buffer.add_string script
+        (Printf.sprintf "%s @ for(%s)\n" text (List.hd ivs))
+    | None -> ());
+    List.iteri
+      (fun d iv ->
+        both
+          (Printf.sprintf "%s%s\n"
+             (String.make ((2 * d) + 2) ' ')
+             (gen_header rng iv)))
+      ivs;
+    let indent = String.make ((2 * depth) + 2) ' ' in
+    if step = Some "fission" then begin
+      (* two sibling updates sharing one operator: fission regroups the
+         iterations per statement, which only commutes within one op *)
+      both (Printf.sprintf "%s{\n" indent);
+      both
+        (Printf.sprintf "%s  acc %s= %s;\n" indent op (gen_term rng ivs));
+      both
+        (Printf.sprintf "%s  acc %s= %s;\n" indent op (gen_term rng ivs));
+      both (Printf.sprintf "%s}\n" indent)
+    end
+    else
+      both (Printf.sprintf "%sacc %s= %s;\n" indent op (gen_term rng ivs));
+    both "  record(acc);\n"
+  done;
+  both "  return 0;\n}\n";
+  {
+    sc_name = name;
+    sc_plain = Buffer.contents plain;
+    sc_pragma = Buffer.contents pragma;
+    sc_script = Buffer.contents script;
+  }
+
+(* Checked application (script + per-step differential verification) must
+   reproduce the plain trace; [Some (config, detail)] otherwise. *)
+let check_script_semantics ~plain ~script =
+  match trace_of ~options:o0 ~num_threads:4 plain with
+  | Error msg -> Some ("script reference (classic -O0)", "failed: " ^ msg)
+  | Ok want -> (
+    let options = { o0 with Driver.transfo_script = Some script } in
+    match trace_of ~options ~num_threads:4 plain with
+    | Error msg -> Some ("scripted classic -O0 (checked)", "failed: " ^ msg)
+    | Ok got ->
+      if Interp.trace_equal want got then None
+      else
+        Some
+          ( "scripted classic -O0 (checked)",
+            Printf.sprintf "expected [%s], got [%s]" (render_trace want)
+              (render_trace got) ))
+
+let check_scripted sc =
+  let ir options source =
+    let r = Driver.compile ~options source in
+    if Mc_diag.Diagnostics.has_errors r.Driver.diag then
+      Error (Mc_diag.Diagnostics.render_all r.Driver.diag)
+    else
+      match r.Driver.ir with
+      | Some m -> Ok (Mc_ir.Printer.module_to_string m)
+      | None -> Error "no IR"
+  in
+  match check_script_semantics ~plain:sc.sc_plain ~script:sc.sc_script with
+  | Some m -> Some m
+  | None ->
+    (* Check-free application under every configuration: the scripted
+       plain program and the hand-pragma'd one are the same compile. *)
+    List.find_map
+      (fun (cname, options) ->
+        let scripted =
+          {
+            options with
+            Driver.transfo_script = Some sc.sc_script;
+            transfo_check = false;
+          }
+        in
+        match (ir scripted sc.sc_plain, ir options sc.sc_pragma) with
+        | Error e, _ -> Some ("scripted " ^ cname, "failed: " ^ e)
+        | _, Error e -> Some ("pragma'd " ^ cname, "failed: " ^ e)
+        | Ok a, Ok b ->
+          if String.equal a b then None
+          else Some (cname, "scripted and hand-pragma'd IR differ"))
+      configs
+
 (* ---- the infrastructure axes ----------------------------------------------- *)
 
 type mismatch = {
@@ -219,6 +368,7 @@ type mismatch = {
   dm_config : string; (* the axis that disagreed *)
   dm_detail : string; (* expected/actual traces, or the compile failure *)
   dm_source : string; (* minimized for semantic mismatches *)
+  dm_script : string option; (* minimized transfo script, scripted oracle only *)
 }
 
 type report = { dm_total : int; dm_mismatches : mismatch list }
@@ -247,6 +397,7 @@ let diff_prints ~config ~sources base other =
                dm_config = config;
                dm_detail = "per-unit IR printouts differ";
                dm_source = List.assoc name sources;
+               dm_script = None;
              };
            ])
        base other)
@@ -297,6 +448,7 @@ let run ?(jobs = [ 1; 4 ]) ?store_dir ~n ~seed () =
             dm_config = config;
             dm_detail = detail;
             dm_source = Fuzz.minimize ~still_fails:still source;
+            dm_script = None;
           })
     inputs;
   (* 2. batch determinism: identical per-unit IR whatever the domain count *)
@@ -342,4 +494,32 @@ let run ?(jobs = [ 1; 4 ]) ?store_dir ~n ~seed () =
            ~sources:inputs cold warm))
     invocations;
   if owned then rm_rf dir;
+  (* 4. the scripted-transformation oracle: a random transfo script per
+     program must match its hand-pragma'd rendering and preserve the
+     reference trace; failing scripts are minimized when the failure
+     reproduces from (plain, script) alone *)
+  List.iter
+    (fun sc ->
+      match check_scripted sc with
+      | None -> ()
+      | Some (config, detail) ->
+        let script =
+          let still s =
+            Option.is_some
+              (check_script_semantics ~plain:sc.sc_plain ~script:s)
+          in
+          if still sc.sc_script then
+            Fuzz.minimize ~still_fails:still sc.sc_script
+          else sc.sc_script (* IR-identity failures need the full pairing *)
+        in
+        add
+          {
+            dm_name = sc.sc_name;
+            dm_config = config;
+            dm_detail = detail;
+            dm_source = sc.sc_plain;
+            dm_script = Some script;
+          })
+    (List.init n (fun i ->
+         gen_scripted rng ~name:(Printf.sprintf "script-%d-%d" seed i)));
   { dm_total = n; dm_mismatches = List.rev !mismatches }

@@ -25,11 +25,31 @@ val check_source : string -> (string * string) option
     reference compiled classic -O0.  [Some (config, detail)] names the
     first disagreeing configuration. *)
 
+type scripted = {
+  sc_name : string;
+  sc_plain : string; (* no pragmas; the script's input *)
+  sc_pragma : string; (* the directives hand-written into the source *)
+  sc_script : string; (* one step per decorated nest *)
+}
+
+val gen_scripted : Fuzz.Rng.t -> name:string -> scripted
+(** A random program in three coupled renderings: plain, hand-pragma'd,
+    and a transfo script ({!Mc_transfo.Script} syntax) addressing each
+    decorated nest by its unique outer induction variable. *)
+
+val check_scripted : scripted -> (string * string) option
+(** The scripted-transformation oracle: the checked application of
+    [sc_script] to [sc_plain] must reproduce the plain trace, and its
+    check-free application must produce byte-identical IR with
+    [sc_pragma] under every compile configuration.  [Some (config,
+    detail)] names the first disagreement. *)
+
 type mismatch = {
   dm_name : string; (* generated input name (embeds seed and index) *)
   dm_config : string; (* the axis that disagreed *)
   dm_detail : string; (* expected/actual traces, or the compile failure *)
   dm_source : string; (* minimized for semantic mismatches *)
+  dm_script : string option; (* minimized transfo script, scripted oracle only *)
 }
 
 type report = { dm_total : int; dm_mismatches : mismatch list }
@@ -39,6 +59,8 @@ val run :
 (** A campaign over [n] generated programs: the semantic sweep of
     {!check_source} (mismatching inputs are minimized with
     {!Fuzz.minimize}), batch-compilation determinism across every domain
-    count in [jobs] (default [[1; 4]]), and cold-vs-warm determinism of a
+    count in [jobs] (default [[1; 4]]), cold-vs-warm determinism of a
     persistent store rooted at [store_dir] (a throwaway temp directory by
-    default). *)
+    default), and the {!check_scripted} oracle over [n] further scripted
+    programs — a mismatching script is minimized whenever the failure
+    reproduces from the (plain, script) pair alone. *)

@@ -578,6 +578,21 @@ and call_runtime state name args =
       (Printf.sprintf "%.6g\n" (as_float name (List.nth args 0)));
     None
   | "abort" -> trap "program called abort()"
+  | "memset" ->
+    let dst = ptr_arg 0 in
+    let c = Char.chr (Int64.to_int (Int64.logand (int_arg 1) 0xFFL)) in
+    let n = Int64.to_int (int_arg 2) in
+    let bytes = slab_bytes state dst "memset" in
+    if n < 0 || dst.off < 0 || dst.off + n > Bytes.length bytes then
+      trap "memset out of bounds (offset %d, %d bytes into a %d-byte object)"
+        dst.off n (Bytes.length bytes);
+    Bytes.fill bytes dst.off n c;
+    (* Any pointer shadow entries inside the filled range are now raw
+       bytes, not pointers. *)
+    for off = dst.off to dst.off + n - 1 do
+      Hashtbl.remove state.ptr_table (dst.slab, off)
+    done;
+    None
   | _ -> trap "call to unknown runtime function '%s'" name
 
 (* ---- entry points --------------------------------------------------------- *)

@@ -772,6 +772,19 @@ let fuse_loops builder loops =
   Builder.set_insertion_point builder fused.Cli.cli_after;
   fused
 
+(* Fission: the dual of fuse.  Emits one canonical loop per body generator,
+   laid out sequentially (each member's after block is the next member's
+   entry), all sharing a single trip-count value — which therefore must
+   dominate the insertion point.  Returns the member handles in order. *)
+let fission_loops builder ~trip_count ~bodies () =
+  if bodies = [] then invalid_arg "fission_loops: at least one body required";
+  List.mapi
+    (fun k body_gen ->
+      create_canonical_loop builder
+        ~name:(Printf.sprintf "fission.member.%d" k)
+        ~trip_count ~body_gen ())
+    bodies
+
 (* Interchange: permute a perfectly nested canonical nest.  [perm] gives,
    for each depth of the NEW nest (outermost first), the index of the
    original loop that runs there.  Same surgery as tileLoops without the

@@ -127,3 +127,14 @@ val fuse_loops : Builder.t -> Cli.t list -> Cli.t
     one loop over the maximum trip count; each member's body runs under an
     [iv < tc_k] guard.  All trip counts must share one type and dominate the
     first member's preheader.  Inputs are invalidated. *)
+
+val fission_loops :
+  Builder.t ->
+  trip_count:Ir.value ->
+  bodies:(Builder.t -> Ir.value -> unit) list ->
+  unit ->
+  Cli.t list
+(** The dual of [fuse_loops]: emits one canonical loop per body generator,
+    laid out sequentially, all sharing [trip_count] (which must dominate
+    the insertion point).  Returns the member handles in order; the builder
+    ends up in the last member's after block. *)

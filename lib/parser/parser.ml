@@ -786,6 +786,7 @@ and parse_omp_pragma_inner t (p : Pp.pragma) : stmt =
       | Some (Token.Ident "interchange") -> Some D_interchange
       | Some (Token.Ident "stripe") -> Some D_stripe
       | Some (Token.Ident "fuse") -> Some D_fuse
+      | Some (Token.Ident "fission") -> Some D_fission
       | Some (Token.Ident "barrier") -> Some D_barrier
       | Some (Token.Ident "single") -> Some D_single
       | Some (Token.Ident "master") -> Some D_master

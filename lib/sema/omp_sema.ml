@@ -27,7 +27,9 @@ let clause_allowed kind clause =
     | (D_tile | D_stripe), C_sizes _ -> true
     | D_interchange, C_permutation _ -> true
     | _, C_permutation _ -> false
-    | (D_unroll | D_tile | D_reverse | D_interchange | D_stripe | D_fuse), _ ->
+    | ( ( D_unroll | D_tile | D_reverse | D_interchange | D_stripe | D_fuse
+        | D_fission ),
+        _ ) ->
       false
     | _, (C_full | C_partial _ | C_sizes _) -> false
     | (D_parallel | D_parallel_for | D_parallel_for_simd),
@@ -128,39 +130,48 @@ let rec collect_nest sema depth s :
 (* Looking through an associated loop transformation: the consuming
    directive analyses the generated loop (paper §2: getTransformedStmt). *)
 let consume_transformation sema (inner : directive) ~loc =
-  match Sema.mode sema with
-  | Sema.Classic -> (
-    match inner.dir_transformed with
-    | Some tr -> Some tr
-    | None ->
-      (match inner.dir_kind with
-      | D_unroll ->
+  if inner.dir_kind = D_fission then begin
+    (* Symmetric in both modes: fission generates a loop *sequence*, which
+       no consuming directive can associate with. *)
+    error sema ~loc
+      "a loop transformation that generates a loop sequence ('fission') \
+       cannot be associated with another directive";
+    None
+  end
+  else
+    match Sema.mode sema with
+    | Sema.Classic -> (
+      match inner.dir_transformed with
+      | Some tr -> Some tr
+      | None ->
+        (match inner.dir_kind with
+        | D_unroll ->
+          error sema ~loc
+            "a loop transformation that does not generate a loop (full or \
+             heuristic unroll) cannot be associated with another directive"
+        | _ ->
+          error sema ~loc "associated loop transformation generates no loop");
+        None)
+    | Sema.Irbuilder -> (
+      (* No shadow AST exists; validity is checked structurally and code
+         generation composes CanonicalLoopInfo handles instead. *)
+      match inner.dir_kind with
+      | D_unroll
+        when not
+               (List.exists
+                  (function C_partial _ -> true | _ -> false)
+                  inner.dir_clauses) ->
         error sema ~loc
           "a loop transformation that does not generate a loop (full or \
-           heuristic unroll) cannot be associated with another directive"
-      | _ ->
-        error sema ~loc "associated loop transformation generates no loop");
-      None)
-  | Sema.Irbuilder -> (
-    (* No shadow AST exists; validity is checked structurally and code
-       generation composes CanonicalLoopInfo handles instead. *)
-    match inner.dir_kind with
-    | D_unroll
-      when not
-             (List.exists
-                (function C_partial _ -> true | _ -> false)
-                inner.dir_clauses) ->
-      error sema ~loc
-        "a loop transformation that does not generate a loop (full or \
-         heuristic unroll) cannot be associated with another directive";
-      None
-    | _ -> inner.dir_assoc)
+           heuristic unroll) cannot be associated with another directive";
+        None
+      | _ -> inner.dir_assoc)
 
 let is_parallel_kind = function
   | D_parallel | D_parallel_for | D_parallel_for_simd -> true
   | D_for | D_simd | D_for_simd | D_unroll | D_tile | D_reverse
-  | D_interchange | D_stripe | D_fuse | D_barrier | D_single | D_master
-  | D_critical _ ->
+  | D_interchange | D_stripe | D_fuse | D_fission | D_barrier | D_single
+  | D_master | D_critical _ ->
     false
 
 (* Validated 0-based permutation for an interchange directive: without a
@@ -200,9 +211,13 @@ let act_on_fuse sema ~clauses ~assoc ~loc =
       match Sema.mode sema with
       | Sema.Classic ->
         let d = mk_directive ~kind:D_fuse ~clauses ~assoc:original ~loc () in
-        let tr = Shadow.transformed_fuse sema loops ~loc in
-        d.dir_transformed <- Some tr.Shadow.tr_stmt;
-        d.dir_preinits <- Some tr.Shadow.tr_preinits;
+        (match
+           Transform.apply sema Transform.Fuse Transform.no_params loops ~loc
+         with
+        | Transform.Applied tr ->
+          d.dir_transformed <- Some tr.Shadow.tr_stmt;
+          d.dir_preinits <- Some tr.Shadow.tr_preinits
+        | Transform.Deferred | Transform.Not_applicable -> ());
         finish d
       | Sema.Irbuilder ->
         let wrapped =
@@ -319,10 +334,20 @@ let act_on_directive_inner sema ~kind ~clauses ~assoc ~loc =
                | D_interchange -> "interchange"
                | D_stripe -> "stripe"
                | D_fuse -> "fuse"
+               | D_fission -> "fission"
                | _ -> "<transformation>"))
             f
         | _ -> f ()
       in
+      if kind = D_fission && consumed_transform <> None then begin
+        (* The sequence-producing dual: splitting the loop another
+           transformation generates has no per-statement body to split. *)
+        error sema ~loc
+          "'fission' of the loop generated by another transformation is not \
+           supported";
+        finish (mk_directive ~kind ~clauses ~assoc:original_assoc ~loc ())
+      end
+      else
       match (Sema.mode sema, consumed_transform) with
       | Sema.Irbuilder, Some _ ->
         (* The inner transformation directive already wraps (and validated)
@@ -336,6 +361,21 @@ let act_on_directive_inner sema ~kind ~clauses ~assoc ~loc =
       | _ -> (
       match with_transform_note (fun () -> collect_nest sema depth generated) with
       | None -> finish (mk_directive ~kind ~clauses ~assoc:original_assoc ~loc ())
+      | Some (loops, _rebuild)
+        when kind = D_fission
+             &&
+             match (List.hd loops).Canonical.cl_body.s_kind with
+             | Compound ms ->
+               List.exists
+                 (fun m ->
+                   match m.s_kind with Decl_stmt _ -> true | _ -> false)
+                 ms
+             | _ -> false ->
+        (* Splitting would move a declaration out of the scope of the
+           statements that use it; refuse rather than mis-compile. *)
+        error sema ~loc
+          "'fission' cannot split a loop body that declares variables";
+        finish (mk_directive ~kind ~clauses ~assoc:original_assoc ~loc ())
       | Some (loops, rebuild) -> (
         match Sema.mode sema with
         | Sema.Irbuilder ->
@@ -352,76 +392,22 @@ let act_on_directive_inner sema ~kind ~clauses ~assoc ~loc =
           in
           finish (mk_directive ~kind ~clauses ~assoc:assoc_final ~loc ())
         | Sema.Classic -> (
-          match kind with
-          | D_unroll ->
-            let d =
-              mk_directive ~kind ~clauses ~assoc:original_assoc ~loc ()
+          match Transform.of_directive kind with
+          | Some tkind ->
+            (* Every classic loop transformation funnels through the single
+               [Transform.apply] entry point shared with the script-driven
+               path. *)
+            let d = mk_directive ~kind ~clauses ~assoc:original_assoc ~loc () in
+            let params =
+              Transform.params_of_clauses ?perm:interchange_perm clauses
             in
-            let factor =
-              List.find_map
-                (function
-                  | C_full -> Some `Full
-                  | C_partial (Some (n, _)) -> Some (`Partial n)
-                  | C_partial None ->
-                    (* Paper §2.2: the consumed-unroll factor defaults to 2. *)
-                    Some (`Partial 2)
-                  | _ -> None)
-                clauses
-            in
-            (match factor with
-            | Some (`Partial n) ->
-              let tr = Shadow.transformed_unroll sema (List.hd loops) ~factor:n in
+            (match Transform.apply sema tkind params loops ~loc with
+            | Transform.Applied tr ->
               d.dir_transformed <- Some tr.Shadow.tr_stmt;
               d.dir_preinits <- Some tr.Shadow.tr_preinits
-            | Some `Full | None ->
-              (* Full or heuristic unroll: no generated loop; CodeGen defers
-                 to the mid-end LoopUnroll pass (paper §2.2). *)
-              ());
+            | Transform.Deferred | Transform.Not_applicable -> ());
             finish d
-          | D_tile ->
-            let sizes =
-              List.find_map
-                (function C_sizes s -> Some (List.map fst s) | _ -> None)
-                clauses
-            in
-            let d = mk_directive ~kind ~clauses ~assoc:original_assoc ~loc () in
-            (match sizes with
-            | Some sizes when List.length sizes = List.length loops ->
-              let tr = Shadow.transformed_tile sema loops ~sizes ~loc in
-              d.dir_transformed <- Some tr.Shadow.tr_stmt;
-              d.dir_preinits <- Some tr.Shadow.tr_preinits
-            | _ -> ());
-            finish d
-          | D_stripe ->
-            let sizes =
-              List.find_map
-                (function C_sizes s -> Some (List.map fst s) | _ -> None)
-                clauses
-            in
-            let d = mk_directive ~kind ~clauses ~assoc:original_assoc ~loc () in
-            (match sizes with
-            | Some sizes when List.length sizes = List.length loops ->
-              let tr = Shadow.transformed_stripe sema loops ~sizes ~loc in
-              d.dir_transformed <- Some tr.Shadow.tr_stmt;
-              d.dir_preinits <- Some tr.Shadow.tr_preinits
-            | _ -> ());
-            finish d
-          | D_reverse ->
-            let d = mk_directive ~kind ~clauses ~assoc:original_assoc ~loc () in
-            let tr = Shadow.transformed_reverse sema (List.hd loops) in
-            d.dir_transformed <- Some tr.Shadow.tr_stmt;
-            d.dir_preinits <- Some tr.Shadow.tr_preinits;
-            finish d
-          | D_interchange ->
-            let perm = Option.get interchange_perm in
-            let d = mk_directive ~kind ~clauses ~assoc:original_assoc ~loc () in
-            if List.length perm = List.length loops then begin
-              let tr = Shadow.transformed_interchange sema loops ~perm ~loc in
-              d.dir_transformed <- Some tr.Shadow.tr_stmt;
-              d.dir_preinits <- Some tr.Shadow.tr_preinits
-            end;
-            finish d
-          | _ ->
+          | None ->
             (* OMPLoopDirective family: shadow loop helpers + CapturedStmt
                wrapping (Fig. 2).  The captured region keeps the syntactic
                statement (possibly a nested transformation directive); its

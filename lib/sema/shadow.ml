@@ -13,6 +13,9 @@ let stat_helpers =
 let stat_stripes =
   Mc_support.Stats.counter ~group:"sema" ~name:"stripe-transforms"
     ~desc:"stripe constructs lowered to adjacent grid/stripe loop pairs" ()
+let stat_fissions =
+  Mc_support.Stats.counter ~group:"sema" ~name:"fission-transforms"
+    ~desc:"fission constructs split into per-statement loop sequences" ()
 
 type transformed = {
   tr_stmt : stmt;
@@ -622,4 +625,55 @@ let transformed_fuse sema loops ~loc =
     tr_stmt = loop;
     tr_preinits = mk_stmt ~loc (Decl_stmt (captures @ [ max_var ]));
     tr_capture_vars = captures @ [ max_var ];
+  }
+
+(* Fission: the dual of fuse — split the associated loop's body statements
+   into a sequence of loops, each running the full logical space over one
+   original body statement.  The shared trip count is captured once so a
+   body that modifies its own bound keeps the original iteration space. *)
+let transformed_fission sema (a : Canonical.analyzed) ~loc =
+  Mc_support.Stats.incr stat_shadow;
+  Mc_support.Stats.incr stat_fissions;
+  let u = a.Canonical.cl_counter_ty in
+  let bin op l r = Sema.act_on_binary sema op l r ~loc in
+  let capture = capture_trip_count sema a in
+  let members =
+    match a.Canonical.cl_body.s_kind with
+    | Compound (_ :: _ as ms) -> ms
+    | _ -> [ a.Canonical.cl_body ]
+  in
+  let loops =
+    List.mapi
+      (fun k member ->
+        let iv =
+          counter_for_loop sema a
+            ~name:
+              (Printf.sprintf ".fission.%d.iv.%s" k
+                 a.Canonical.cl_user_var.v_name)
+            ~init:(Sema.intexpr sema 0L u loc)
+        in
+        let user_decl, _tt, body =
+          bind_user_var sema a ~logical:(Sema.mk_ref iv) ~body:member
+        in
+        let body =
+          match user_decl with
+          | Some v ->
+            mk_stmt ~loc (Compound [ mk_stmt ~loc (Decl_stmt [ v ]); body ])
+          | None -> body
+        in
+        mk_stmt ~loc
+          (For
+             {
+               for_init = Some (mk_stmt ~loc (Decl_stmt [ iv ]));
+               for_cond = Some (bin B_lt (Sema.mk_ref iv) (Sema.mk_ref capture));
+               for_inc =
+                 Some (Sema.act_on_unary sema U_preinc (Sema.mk_ref iv) ~loc);
+               for_body = body;
+             }))
+      members
+  in
+  {
+    tr_stmt = mk_stmt ~loc (Compound loops);
+    tr_preinits = mk_stmt ~loc (Decl_stmt [ capture ]);
+    tr_capture_vars = [ capture ];
   }

@@ -50,3 +50,9 @@ val transformed_fuse :
   Sema.t -> Canonical.analyzed list -> loc:loc -> transformed
 (** OpenMP 6.0 preview: the fused loop of [#pragma omp fuse] over a loop
     sequence — one loop over the maximum trip count with guarded bodies. *)
+
+val transformed_fission : Sema.t -> Canonical.analyzed -> loc:loc -> transformed
+(** The dual of fuse: [#pragma omp fission] splits the associated loop's
+    body statements into a sequence of loops (one per statement), each
+    iterating the full captured logical space.  The generated counters are
+    [.fission.<k>.iv.<v>]. *)

@@ -1,0 +1,38 @@
+(** The checked application engine.  Each step re-front-ends the current
+    source, resolves the target against the fresh AST, rewrites the source
+    (pragma insertion above any existing pragma block — so later steps
+    consume the loops earlier steps generate, the paper's §2.2 composition
+    order — or the memset idiom rewrite), then runs the differential
+    semantic check on the program before vs after the step. *)
+
+type config = {
+  frontend :
+    name:string -> string -> Mc_diag.Diagnostics.t * Mc_ast.Tree.translation_unit;
+      (** Parse+sema one source; never raises. *)
+  check :
+    (name:string -> before:string -> after:string -> (unit, string) result)
+    option;
+      (** Differential semantic check (interpreter before vs after);
+          [None] disables checking. *)
+}
+
+type step_trace = {
+  tr_step : Script.step;
+  tr_action : string;  (** human-readable description of the rewrite *)
+  tr_checked : bool;  (** did the semantic oracle run for this step? *)
+}
+
+type outcome = { out_source : string; out_trace : step_trace list }
+
+val render_trace : outcome -> string
+
+val run :
+  config ->
+  name:string ->
+  script:string ->
+  source:string ->
+  (outcome, string) result
+(** Applies every step of [script] to [source].  Programs without a
+    runnable [main] (pure kernels) skip the differential check but still
+    resolve and rewrite.  The error string is fully rendered (diagnostics
+    included) and names the failing script line. *)

@@ -1,0 +1,262 @@
+(* The transformation-script surface: one step per line,
+
+     <op> [params] @ <selector> <selector> ...
+
+   e.g.
+
+     # tile then unroll the hot loop
+     tile sizes(4,4) @ fun(matmat) for(i) for(j)
+     unroll partial(4) @ fun(matmat) for(i) occurrence(2)
+     memset @ fun(init) for(i)
+
+   '#' starts a comment.  Everything except [memset] maps 1:1 onto an
+   OpenMP 6.0 transformation pragma; the engine applies a step by
+   inserting exactly that pragma above the resolved loop, which is what
+   guarantees scripted and hand-pragma'd sources produce byte-identical
+   IR. *)
+
+type op =
+  | Op_unroll of [ `Full | `Heuristic | `Partial of int ]
+  | Op_tile of int list
+  | Op_stripe of int list
+  | Op_reverse
+  | Op_interchange of int list option (* permutation, 1-based, pragma syntax *)
+  | Op_fuse
+  | Op_fission
+  | Op_memset (* idiom rewrite: zeroing loop -> memset call *)
+
+type step = {
+  st_op : op;
+  st_target : Target.t;
+  st_line : int; (* 1-based line in the script file *)
+  st_text : string; (* the step's source text, for traces *)
+}
+
+type parse_error = { pe_line : int; pe_msg : string }
+
+let render_ints ns = String.concat "," (List.map string_of_int ns)
+
+let render_op = function
+  | Op_unroll `Heuristic -> "unroll"
+  | Op_unroll `Full -> "unroll full"
+  | Op_unroll (`Partial n) -> Printf.sprintf "unroll partial(%d)" n
+  | Op_tile sizes -> Printf.sprintf "tile sizes(%s)" (render_ints sizes)
+  | Op_stripe sizes -> Printf.sprintf "stripe sizes(%s)" (render_ints sizes)
+  | Op_reverse -> "reverse"
+  | Op_interchange None -> "interchange"
+  | Op_interchange (Some p) ->
+    Printf.sprintf "interchange permutation(%s)" (render_ints p)
+  | Op_fuse -> "fuse"
+  | Op_fission -> "fission"
+  | Op_memset -> "memset"
+
+let render_step st =
+  Printf.sprintf "%s @ %s" (render_op st.st_op) (Target.render st.st_target)
+
+(* The pragma a step expands to; [None] for idiom rewrites that have no
+   pragma equivalent. *)
+let pragma_of_op = function
+  | Op_memset -> None
+  | op -> Some ("#pragma omp " ^ render_op op)
+
+(* ---- lexing ------------------------------------------------------------- *)
+
+(* A token is a bare word or [word(a,b,...)]; arguments may be identifiers
+   or integers and never nest. *)
+type token = { tok_word : string; tok_args : string list option }
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokenize line =
+  let n = String.length line in
+  let toks = ref [] in
+  let err = ref None in
+  let i = ref 0 in
+  let is_space c = c = ' ' || c = '\t' || c = '\r' in
+  let is_word c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '@' || c = '-'
+  in
+  while !i < n && !err = None do
+    if is_space line.[!i] then incr i
+    else if is_word line.[!i] then begin
+      let start = !i in
+      while !i < n && is_word line.[!i] do
+        incr i
+      done;
+      let word = String.sub line start (!i - start) in
+      if !i < n && line.[!i] = '(' then begin
+        match String.index_from_opt line !i ')' with
+        | None -> err := Some (Printf.sprintf "unterminated '(' after '%s'" word)
+        | Some close ->
+          let inside = String.sub line (!i + 1) (close - !i - 1) in
+          let args =
+            String.split_on_char ',' inside
+            |> List.map String.trim
+            |> List.filter (fun s -> s <> "")
+          in
+          toks := { tok_word = word; tok_args = Some args } :: !toks;
+          i := close + 1
+      end
+      else toks := { tok_word = word; tok_args = None } :: !toks
+    end
+    else err := Some (Printf.sprintf "unexpected character '%c'" line.[!i])
+  done;
+  match !err with Some e -> Error e | None -> Ok (List.rev !toks)
+
+(* ---- parsing ------------------------------------------------------------ *)
+
+let int_args ~what args =
+  let each s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | _ -> Error (Printf.sprintf "'%s' expects positive integers, got '%s'" what s)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest -> ( match each s with Ok n -> go (n :: acc) rest | Error e -> Error e)
+  in
+  if args = [] then Error (Printf.sprintf "'%s' expects at least one integer" what)
+  else go [] args
+
+let parse_op toks =
+  let sized name ctor rest =
+    match rest with
+    | [ { tok_word = "sizes"; tok_args = Some args } ] -> (
+      match int_args ~what:"sizes" args with
+      | Ok sizes -> Ok (ctor sizes)
+      | Error e -> Error e)
+    | [] -> Error (Printf.sprintf "'%s' requires a sizes(...) argument" name)
+    | t :: _ -> Error (Printf.sprintf "unexpected '%s' after '%s'" t.tok_word name)
+  in
+  let no_params name op rest =
+    match rest with
+    | [] -> Ok op
+    | t :: _ -> Error (Printf.sprintf "unexpected '%s' after '%s'" t.tok_word name)
+  in
+  match toks with
+  | [] -> Error "empty step (expected '<op> ... @ <target>')"
+  | { tok_word = "unroll"; tok_args = None } :: rest -> (
+    match rest with
+    | [] -> Ok (Op_unroll `Heuristic)
+    | [ { tok_word = "full"; tok_args = None } ] -> Ok (Op_unroll `Full)
+    | [ { tok_word = "partial"; tok_args = Some [ n ] } ] -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 -> Ok (Op_unroll (`Partial n))
+      | _ -> Error (Printf.sprintf "'partial' expects a positive integer, got '%s'" n))
+    | t :: _ -> Error (Printf.sprintf "unexpected '%s' after 'unroll'" t.tok_word))
+  | { tok_word = "tile"; tok_args = None } :: rest ->
+    sized "tile" (fun s -> Op_tile s) rest
+  | { tok_word = "stripe"; tok_args = None } :: rest ->
+    sized "stripe" (fun s -> Op_stripe s) rest
+  | { tok_word = "reverse"; tok_args = None } :: rest ->
+    no_params "reverse" Op_reverse rest
+  | { tok_word = "interchange"; tok_args = None } :: rest -> (
+    match rest with
+    | [] -> Ok (Op_interchange None)
+    | [ { tok_word = "permutation"; tok_args = Some args } ] -> (
+      match int_args ~what:"permutation" args with
+      | Ok p -> Ok (Op_interchange (Some p))
+      | Error e -> Error e)
+    | t :: _ -> Error (Printf.sprintf "unexpected '%s' after 'interchange'" t.tok_word))
+  | { tok_word = "fuse"; tok_args = None } :: rest -> no_params "fuse" Op_fuse rest
+  | { tok_word = "fission"; tok_args = None } :: rest ->
+    no_params "fission" Op_fission rest
+  | { tok_word = "memset"; tok_args = None } :: rest ->
+    no_params "memset" Op_memset rest
+  | t :: _ ->
+    Error
+      (Printf.sprintf
+         "unknown transformation '%s' (expected unroll, tile, stripe, reverse, \
+          interchange, fuse, fission or memset)"
+         t.tok_word)
+
+let parse_target toks =
+  let sel tok =
+    match (tok.tok_word, tok.tok_args) with
+    | "fun", Some [ name ] -> Ok (Target.In_fun name)
+    | "for", Some [ v ] -> Ok (Target.For_var v)
+    | "seq", None -> Ok Target.Loop_seq
+    | ("depth" | "occurrence" | "occ"), Some [ n ] -> (
+      match int_of_string_opt n with
+      | Some k when k >= 1 ->
+        Ok (if tok.tok_word = "depth" then Target.With_depth k else Target.Occurrence k)
+      | _ ->
+        Error
+          (Printf.sprintf "'%s' expects a positive integer, got '%s'" tok.tok_word n))
+    | w, _ ->
+      Error
+        (Printf.sprintf
+           "unknown selector '%s' (expected fun(name), for(var), seq, depth(n) \
+            or occurrence(k))"
+           w)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | t :: rest -> ( match sel t with Ok s -> go (s :: acc) rest | Error e -> Error e)
+  in
+  match toks with
+  | [] -> Error "missing target after '@'"
+  | _ -> go [] toks
+
+let split_at_sep toks =
+  let rec go acc = function
+    | [] -> None
+    | { tok_word = "@"; tok_args = None } :: rest -> Some (List.rev acc, rest)
+    | t :: rest -> go (t :: acc) rest
+  in
+  go [] toks
+
+let parse_line ~line_no line : (step option, parse_error) result =
+  let text = String.trim (strip_comment line) in
+  if text = "" then Ok None
+  else
+    let fail msg = Error { pe_line = line_no; pe_msg = msg } in
+    match tokenize text with
+    | Error e -> fail e
+    | Ok toks -> (
+      match split_at_sep toks with
+      | None -> fail "missing '@ <target>' (every step needs a target)"
+      | Some (op_toks, target_toks) -> (
+        match parse_op op_toks with
+        | Error e -> fail e
+        | Ok op -> (
+          match parse_target target_toks with
+          | Error e -> fail e
+          | Ok target ->
+            Ok (Some { st_op = op; st_target = target; st_line = line_no;
+                       st_text = text }))))
+
+let parse source : (step list, parse_error) result =
+  let lines = String.split_on_char '\n' source in
+  let rec go acc line_no = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> (
+      match parse_line ~line_no l with
+      | Error e -> Error e
+      | Ok None -> go acc (line_no + 1) rest
+      | Ok (Some st) -> go (st :: acc) (line_no + 1) rest)
+  in
+  go [] 1 lines
+
+(* ---- canonical form ------------------------------------------------------ *)
+
+(* The cache key for a script: comments, blank lines and whitespace
+   variations don't change meaning, so they must not change the
+   fingerprint (editing a comment stays a warm hit). *)
+let canonical source =
+  String.split_on_char '\n' source
+  |> List.map strip_comment
+  |> List.filter_map (fun line ->
+         let words =
+           String.split_on_char ' ' line
+           |> List.concat_map (String.split_on_char '\t')
+           |> List.map String.trim
+           |> List.filter (fun s -> s <> "")
+         in
+         if words = [] then None else Some (String.concat " " words))
+  |> String.concat "\n"

@@ -1,0 +1,40 @@
+(** The transformation-script surface: one step per line,
+
+    {v <op> [params] @ <selector> <selector> ... v}
+
+    e.g. [tile sizes(4,4) @ fun(matmat) for(i) for(j)].  ['#'] starts a
+    comment.  Every op except [memset] expands to exactly one OpenMP 6.0
+    transformation pragma ({!pragma_of_op}), which is what makes scripted
+    and hand-pragma'd sources produce byte-identical IR. *)
+
+type op =
+  | Op_unroll of [ `Full | `Heuristic | `Partial of int ]
+  | Op_tile of int list
+  | Op_stripe of int list
+  | Op_reverse
+  | Op_interchange of int list option
+      (** permutation, 1-based, pragma syntax *)
+  | Op_fuse
+  | Op_fission
+  | Op_memset  (** idiom rewrite: zeroing loop -> memset call *)
+
+type step = {
+  st_op : op;
+  st_target : Target.t;
+  st_line : int;  (** 1-based line in the script file *)
+  st_text : string;  (** the step's source text, for traces *)
+}
+
+type parse_error = { pe_line : int; pe_msg : string }
+
+val parse : string -> (step list, parse_error) result
+
+val render_op : op -> string
+val render_step : step -> string
+
+val pragma_of_op : op -> string option
+(** The pragma a step expands to; [None] for idiom rewrites ([memset]). *)
+
+val canonical : string -> string
+(** The cache-key form of a script: comments and whitespace stripped, so
+    editing a comment keeps the stage fingerprint (warm hit). *)

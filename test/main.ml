@@ -22,6 +22,7 @@ let () =
       ("store", Test_store.suite);
       ("server", Test_server.suite);
       ("pipeline", Test_pipeline.suite);
+      ("transfo", Test_transfo.suite);
       ("goldens", Test_goldens.suite);
       ("e2e", Test_e2e.suite);
       ("fuzz", Test_fuzz.suite);

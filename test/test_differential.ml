@@ -81,6 +81,52 @@ let test_campaign_infrastructure_axes () =
       m.Differential.dm_name m.Differential.dm_config m.Differential.dm_detail
       m.Differential.dm_source
 
+let test_scripted_oracle_fixed_seed () =
+  (* The scripted-transformation oracle: a random transfo script per
+     program must match its hand-pragma'd rendering byte-for-byte in IR
+     and preserve the plain program's trace under checked application. *)
+  let rng = Rng.create 42 in
+  for i = 1 to 12 do
+    let sc = Differential.gen_scripted rng ~name:(Printf.sprintf "s%d" i) in
+    match Differential.check_scripted sc with
+    | None -> ()
+    | Some (config, detail) ->
+      Alcotest.failf "scripted program %d diverges under %s: %s\n%s\n--\n%s" i
+        config detail sc.Differential.sc_plain sc.Differential.sc_script
+  done
+
+let test_scripted_oracle_catches_divergence () =
+  (* The oracle must flag a script that reorders an order-DEPENDENT
+     accumulation, and the minimized reproducer must still fail. *)
+  let sc =
+    {
+      Differential.sc_name = "order-dependent";
+      sc_plain =
+        "int main(void) {\n\
+        \  int acc = 0;\n\
+        \  for (int i = 1; i < 6; i += 1)\n\
+        \    acc = acc * 2 + i;\n\
+        \  record(acc);\n\
+        \  return 0;\n\
+         }\n";
+      sc_pragma =
+        "int main(void) {\n\
+        \  int acc = 0;\n\
+        \  #pragma omp reverse\n\
+        \  for (int i = 1; i < 6; i += 1)\n\
+        \    acc = acc * 2 + i;\n\
+        \  record(acc);\n\
+        \  return 0;\n\
+         }\n";
+      sc_script = "reverse @ for(i)\n";
+    }
+  in
+  match Differential.check_scripted sc with
+  | None -> Alcotest.fail "scripted oracle missed an order-dependent reverse"
+  | Some (config, _) ->
+    Alcotest.(check bool) "flagged by the checked application" true
+      (contains_substring config "checked")
+
 let test_mismatch_is_caught_and_minimized () =
   (* Sanity of the oracle itself: a program whose accumulation is order-
      DEPENDENT must be flagged (reverse changes the value), proving the
@@ -114,4 +160,8 @@ let suite =
       test_campaign_infrastructure_axes;
     tc "oracle catches and minimizes real divergence"
       test_mismatch_is_caught_and_minimized;
+    tc "scripted oracle: fixed-seed scripts match their pragmas"
+      test_scripted_oracle_fixed_seed;
+    tc "scripted oracle catches order-dependent scripts"
+      test_scripted_oracle_catches_divergence;
   ]

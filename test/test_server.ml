@@ -66,6 +66,8 @@ let with_daemon f =
 
 let expect_units = function
   | Ok (Protocol.Resp_units { p_units; _ }) -> p_units
+  | Ok (Protocol.Resp_transformed _) ->
+    Alcotest.fail "unexpected transform response to a compile request"
   | Ok (Protocol.Resp_rejected reason) ->
     Alcotest.failf "request rejected: %s" reason
   | Error e -> Alcotest.failf "round-trip failed: %s" e
@@ -133,20 +135,24 @@ let test_ice_contained () =
 let test_digest_mismatch_rejected () =
   let (), snap =
     with_daemon (fun socket_path ->
-        let req = Protocol.request_of_units invocation [ ("a.c", source) ] in
         let forged =
-          {
-            req with
-            Protocol.q_units =
-              List.map
-                (fun u -> { u with Protocol.q_digest = String.make 32 '0' })
-                req.Protocol.q_units;
-          }
+          match Protocol.request_of_units invocation [ ("a.c", source) ] with
+          | Protocol.Req_compile c ->
+            Protocol.Req_compile
+              {
+                c with
+                Protocol.q_units =
+                  List.map
+                    (fun u -> { u with Protocol.q_digest = String.make 32 '0' })
+                    c.Protocol.q_units;
+              }
+          | Protocol.Req_transform _ ->
+            Alcotest.fail "request_of_units built a transform request"
         in
         (match Client.roundtrip ~socket_path forged with
         | Ok (Protocol.Resp_rejected reason) ->
           check_contains ~what:"rejection reason" reason "digest"
-        | Ok (Protocol.Resp_units _) ->
+        | Ok (Protocol.Resp_units _ | Protocol.Resp_transformed _) ->
           Alcotest.fail "forged digest was accepted"
         | Error e -> Alcotest.failf "round-trip failed: %s" e);
         (* A rejection must not wedge the daemon either. *)
@@ -157,6 +163,61 @@ let test_digest_mismatch_rejected () =
           after.Protocol.r_cache_hit)
   in
   Alcotest.(check int) "server.rejects" 1 (Stats.find snap "server.rejects")
+
+(* The v2 transform request: the daemon applies the invocation's transfo
+   script and returns the rewritten source, caching the transfo stage. *)
+let test_transform_request () =
+  let (), snap =
+    with_daemon (fun socket_path ->
+        let inv =
+          {
+            invocation with
+            Invocation.transfo_script =
+              Some
+                (Invocation.Source
+                   {
+                     name = "s.transfo";
+                     contents = "unroll partial(2) @ for(i)";
+                   });
+          }
+        in
+        let once () =
+          match Client.transform ~socket_path inv ~name:"a.c" source with
+          | Ok (Protocol.Resp_transformed { p_result = Ok t; _ }) -> t
+          | Ok (Protocol.Resp_transformed { p_result = Error e; _ }) ->
+            Alcotest.failf "script failed: %s" e
+          | Ok (Protocol.Resp_rejected reason) ->
+            Alcotest.failf "request rejected: %s" reason
+          | Ok (Protocol.Resp_units _) ->
+            Alcotest.fail "compile response to a transform request"
+          | Error e -> Alcotest.failf "round-trip failed: %s" e
+        in
+        let cold = once () in
+        check_contains ~what:"rewritten source" cold.Protocol.x_source
+          "#pragma omp unroll partial(2)";
+        Alcotest.(check bool) "cold is a miss" false cold.Protocol.x_cache_hit;
+        let warm = once () in
+        Alcotest.(check bool) "warm hits the transfo cache" true
+          warm.Protocol.x_cache_hit;
+        Alcotest.(check string) "identical rewrite across the wire"
+          cold.Protocol.x_source warm.Protocol.x_source;
+        (* A bad script is a payload error, not a rejection. *)
+        let bad =
+          {
+            invocation with
+            Invocation.transfo_script =
+              Some
+                (Invocation.Source
+                   { name = "s.transfo"; contents = "unroll @ for(nope)" });
+          }
+        in
+        match Client.transform ~socket_path bad ~name:"a.c" source with
+        | Ok (Protocol.Resp_transformed { p_result = Error e; _ }) ->
+          check_contains ~what:"script failure" e "matched no statement"
+        | Ok _ -> Alcotest.fail "bad script did not fail"
+        | Error e -> Alcotest.failf "round-trip failed: %s" e)
+  in
+  Alcotest.(check int) "server.transforms" 3 (Stats.find snap "server.transforms")
 
 let test_unreachable_socket () =
   let path = fresh_socket () in
@@ -179,6 +240,7 @@ let suite =
     tc "warm round-trip is a full hit" test_warm_roundtrip;
     tc "ICE is contained, daemon survives" test_ice_contained;
     tc "digest mismatch is rejected" test_digest_mismatch_rejected;
+    tc "transform request round-trips and caches" test_transform_request;
     tc "unreachable socket is a client error" test_unreachable_socket;
     tc "second daemon on a live socket is refused" test_double_start_refused;
   ]
