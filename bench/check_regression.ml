@@ -157,7 +157,12 @@ let starts_with ~prefix s =
 type rule = Exact | Time | Floor | Skip
 
 let rule_of_key key =
-  if ends_with ~suffix:"_seconds" key || starts_with ~prefix:"timings_seconds." key
+  if starts_with ~prefix:"observed." key then
+    (* Run-varying observations (shed/retry/fallback tallies under an
+       overload workload): reported for the record, never gated. *)
+    Skip
+  else if
+    ends_with ~suffix:"_seconds" key || starts_with ~prefix:"timings_seconds." key
   then Time
   else if ends_with ~suffix:"_speedup" key || ends_with ~suffix:"_hit_rate" key
   then Floor

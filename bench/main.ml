@@ -747,6 +747,8 @@ let emit_server_json () =
             queue_capacity = 8;
             max_requests = None;
             idle_timeout = Some 60.0;
+            request_timeout = None;
+            shed_retry_after = Server.default_config.Server.shed_retry_after;
             cache_dir = None;
             max_cache_bytes = None;
             log = None;
@@ -763,8 +765,10 @@ let emit_server_json () =
   await_socket 250;
   let roundtrip src =
     match Client.compile ~socket_path invocation [ ("srv.c", src) ] with
-    | Ok (Protocol.Resp_units { p_units = [ u ]; _ }) -> u
-    | Ok (Protocol.Resp_rejected r) -> failwith ("server bench: rejected: " ^ r)
+    | Ok { Client.response = Protocol.Resp_units { p_units = [ u ]; _ }; _ } ->
+      u
+    | Ok { Client.response = Protocol.Resp_rejected r; _ } ->
+      failwith ("server bench: rejected: " ^ r)
     | Ok _ -> failwith "server bench: unexpected response shape"
     | Error e -> failwith ("server bench: " ^ e)
   in
@@ -989,6 +993,8 @@ let emit_transfo_json () =
             queue_capacity = 8;
             max_requests = None;
             idle_timeout = Some 60.0;
+            request_timeout = None;
+            shed_retry_after = Server.default_config.Server.shed_retry_after;
             cache_dir = None;
             max_cache_bytes = None;
             log = None;
@@ -1013,10 +1019,17 @@ let emit_transfo_json () =
   in
   let roundtrip () =
     match Client.transform ~socket_path invocation ~name:"matmul.c" plain with
-    | Ok (Protocol.Resp_transformed { p_result = Ok t; _ }) -> t
-    | Ok (Protocol.Resp_transformed { p_result = Error e; _ }) ->
+    | Ok { Client.response = Protocol.Resp_transformed { p_result = Ok t; _ }; _ }
+      ->
+      t
+    | Ok
+        {
+          Client.response = Protocol.Resp_transformed { p_result = Error e; _ };
+          _;
+        } ->
       failwith ("transfo bench: script failed on daemon: " ^ e)
-    | Ok (Protocol.Resp_rejected r) -> failwith ("transfo bench: rejected: " ^ r)
+    | Ok { Client.response = Protocol.Resp_rejected r; _ } ->
+      failwith ("transfo bench: rejected: " ^ r)
     | Ok _ -> failwith "transfo bench: unexpected response shape"
     | Error e -> failwith ("transfo bench: " ^ e)
   in

@@ -231,6 +231,10 @@ let run_compile_action inst units =
    IR comes back marshalled so Run still executes on the local
    interpreter.  Returns [Error] when no usable daemon answered — the
    caller falls back to [run_compile_action]. *)
+let client_policy inv =
+  Client.policy_with ?timeout:inv.Invocation.daemon_timeout
+    ?retries:inv.Invocation.daemon_retries ()
+
 let run_daemon_action inst units =
   let inv = Instance.invocation inst in
   let socket_path =
@@ -238,13 +242,20 @@ let run_daemon_action inst units =
     | Some p -> p
     | None -> Client.default_socket ()
   in
-  match Client.compile ~socket_path inv units with
+  match Client.compile ~policy:(client_policy inv) ~socket_path inv units with
   | Error msg -> Error msg
-  | Ok (Protocol.Resp_rejected reason) ->
+  | Ok { Client.response = Protocol.Resp_rejected reason; _ } ->
     Error ("daemon rejected the request: " ^ reason)
-  | Ok (Protocol.Resp_transformed _) ->
-    Error "daemon sent a transform response to a compile request"
-  | Ok (Protocol.Resp_units { p_units; p_stats; p_wall }) ->
+  | Ok { Client.response = Protocol.Resp_transformed _ | Protocol.Resp_pong _; _ } ->
+    Error "daemon sent an unexpected response kind to a compile request"
+  | Ok { Client.response = Protocol.Resp_busy _; _ } ->
+    (* Unreachable: the client absorbs busy replies or errors out. *)
+    Error "daemon busy"
+  | Ok
+      {
+        Client.response = Protocol.Resp_units { p_units; p_stats; p_wall };
+        busy_retries;
+      } ->
     (* Fold the server-side pipeline counters into the instance registry
        so -print-stats / -ftime-report stay transparent. *)
     Instance.in_registry inst (fun () -> Client.absorb_snapshot p_stats);
@@ -279,11 +290,14 @@ let run_daemon_action inst units =
           (if u.Protocol.r_cache_hit then " (full hit)" else "")
           u.Protocol.r_wall)
       p_units;
-    Printf.eprintf "[mcc --daemon: %d unit(s) via %s, %d full hit(s), server \
-                    %.3fs]\n%!"
+    Printf.eprintf "[mcc --daemon: %d unit(s) via %s, %d full hit(s), %s, \
+                    server %.3fs]\n%!"
       (List.length p_units) socket_path
       (List.length
          (List.filter (fun u -> u.Protocol.r_cache_hit) p_units))
+      (Client.render_outcome
+         (if busy_retries = 0 then Client.Served
+          else Client.Shed_then_served busy_retries))
       p_wall;
     List.iter
       (fun (u : Protocol.response_unit) ->
@@ -376,13 +390,28 @@ let run_transform_action inst units =
       | Some p -> p
       | None -> Client.default_socket ()
     in
-    match Client.transform ~socket_path inv ~name source with
+    match
+      Client.transform ~policy:(client_policy inv) ~socket_path inv ~name
+        source
+    with
     | Error msg -> Error (`Fallback msg)
-    | Ok (Protocol.Resp_rejected reason) ->
+    | Ok { Client.response = Protocol.Resp_rejected reason; _ } ->
       Error (`Fallback ("daemon rejected the request: " ^ reason))
-    | Ok (Protocol.Resp_units _) ->
-      Error (`Fallback "daemon sent a compile response to a transform request")
-    | Ok (Protocol.Resp_transformed { p_result; p_stats; p_wall }) -> (
+    | Ok
+        {
+          Client.response =
+            ( Protocol.Resp_units _ | Protocol.Resp_busy _
+            | Protocol.Resp_pong _ );
+          _;
+        } ->
+      Error
+        (`Fallback "daemon sent an unexpected response kind to a transform \
+                    request")
+    | Ok
+        {
+          Client.response = Protocol.Resp_transformed { p_result; p_stats; p_wall };
+          _;
+        } -> (
       Instance.in_registry inst (fun () -> Client.absorb_snapshot p_stats);
       match p_result with
       | Ok t ->
@@ -422,9 +451,9 @@ let run_transform_action inst units =
   if !failed then exit 1
 
 let main files action irbuilder opt_level no_fold num_threads jobs use_cache
-    cache_dir incremental daemon daemon_socket defines transfo_script
-    no_transfo_check stage_timings time_report print_stats error_limit
-    bracket_depth loop_nest_limit gen_reproducer =
+    cache_dir incremental daemon daemon_socket daemon_timeout daemon_retries
+    defines transfo_script no_transfo_check stage_timings time_report
+    print_stats error_limit bracket_depth loop_nest_limit gen_reproducer =
   let defines =
     List.map
       (fun d ->
@@ -447,8 +476,12 @@ let main files action irbuilder opt_level no_fold num_threads jobs use_cache
       cache_enabled = use_cache || incremental || cache_dir <> None;
       cache_dir;
       incremental;
-      daemon = daemon || daemon_socket <> None;
+      daemon =
+        daemon || daemon_socket <> None || daemon_timeout <> None
+        || daemon_retries <> None;
       daemon_socket;
+      daemon_timeout;
+      daemon_retries;
       transfo_script = Option.map (fun p -> Invocation.File p) transfo_script;
       transfo_check = not no_transfo_check;
       num_threads;
@@ -483,9 +516,15 @@ let main files action irbuilder opt_level no_fold num_threads jobs use_cache
         match run_daemon_action inst units with
         | Ok () -> ()
         | Error msg ->
-          (* No usable daemon: compile in-process, same flags, same
-             behaviour, same exit code. *)
-          Printf.eprintf "mcc: note: %s; falling back in-process\n%!" msg;
+          (* No usable daemon (unreachable, busy past the retry budget,
+             timed out…): compile in-process, same flags, same
+             behaviour, same exit code — but counted and classified, not
+             silent. *)
+          let outcome =
+            Instance.in_registry inst (fun () -> Client.note_fallback msg)
+          in
+          Printf.eprintf "mcc: note: %s; falling back in-process\n%!"
+            (Client.render_outcome outcome);
           run_compile_action inst units
       end
       else run_compile_action inst units
@@ -588,6 +627,26 @@ let daemon_socket_arg =
            $(b,--daemon); default \\$MCCD_SOCKET or mccd-<uid>.sock in the \
            temp directory)")
 
+let daemon_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "daemon-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Deadline for each daemon round-trip (connect, send and receive); \
+           a deadline miss falls back to the in-process pipeline (implies \
+           $(b,--daemon))")
+
+let daemon_retries_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "daemon-retries" ] ~docv:"N"
+        ~doc:
+          "Retry up to $(docv) times, with exponential backoff, when the \
+           daemon sheds the request with a busy reply (default 3; implies \
+           $(b,--daemon))")
+
 let incremental_arg =
   Arg.(
     value & flag
@@ -678,7 +737,8 @@ let cmd =
     Term.(
       const main $ files_arg $ action_arg $ irbuilder_arg $ opt_arg
       $ no_fold_arg $ threads_arg $ jobs_arg $ cache_arg $ cache_dir_arg
-      $ incremental_arg $ daemon_arg $ daemon_socket_arg $ defines_arg
+      $ incremental_arg $ daemon_arg $ daemon_socket_arg $ daemon_timeout_arg
+      $ daemon_retries_arg $ defines_arg
       $ transfo_script_arg $ no_transfo_check_arg
       $ timings_arg $ time_report_arg $ print_stats_arg $ error_limit_arg
       $ bracket_depth_arg $ loop_nest_limit_arg $ gen_reproducer_arg)
@@ -693,7 +753,8 @@ let long_flags =
     "fopenmp-enable-irbuilder";
     "no-builder-folding"; "num-threads"; "stage-timings"; "ftime-report";
     "print-stats"; "cache"; "cache-dir"; "incremental"; "daemon";
-    "daemon-socket"; "transfo-script"; "no-transfo-check"; "jobs";
+    "daemon-socket"; "daemon-timeout"; "daemon-retries"; "transfo-script";
+    "no-transfo-check"; "jobs";
     "ferror-limit";
     "fbracket-depth";
     "floop-nest-limit"; "fno-crash-diagnostics"; "gen-reproducer";

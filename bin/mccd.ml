@@ -9,12 +9,15 @@
 module Server = Mc_core.Server
 module Stats = Mc_support.Stats
 
-let main socket pool queue max_requests idle_timeout cache_dir max_cache_mb
-    print_stats quiet =
+let main socket pool queue max_requests idle_timeout request_timeout
+    retry_after cache_dir max_cache_mb print_stats quiet =
   let stop = Atomic.make false in
   let request_stop _ = Atomic.set stop true in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
   Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  (* Parse MCC_FAULTS up front so malformed specs warn at startup, not
+     on the first request. *)
+  Mc_support.Fault.arm_from_env ();
   let config =
     {
       Server.socket_path =
@@ -25,6 +28,10 @@ let main socket pool queue max_requests idle_timeout cache_dir max_cache_mb
       queue_capacity = max 1 queue;
       max_requests;
       idle_timeout;
+      request_timeout;
+      shed_retry_after =
+        Option.value retry_after
+          ~default:Server.default_config.Server.shed_retry_after;
       cache_dir;
       max_cache_bytes = Option.map (fun mb -> mb * 1024 * 1024) max_cache_mb;
       log = (if quiet then None else Some (fun m -> Printf.eprintf "mccd: %s\n%!" m));
@@ -60,10 +67,10 @@ let pool_arg =
 let queue_arg =
   Arg.(
     value & opt int 16
-    & info [ "queue" ] ~docv:"N"
+    & info [ "queue"; "max-queue" ] ~docv:"N"
         ~doc:
-          "Pending connections held before the accept loop applies \
-           backpressure")
+          "Pending connections held before the accept loop sheds new \
+           ones with a busy reply ($(b,--max-queue) is a synonym)")
 
 let max_requests_arg =
   Arg.(
@@ -78,6 +85,25 @@ let idle_timeout_arg =
     & opt (some float) None
     & info [ "idle-timeout" ] ~docv:"SECONDS"
         ~doc:"Exit (gracefully) after $(docv) seconds without a connection")
+
+let request_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "request-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-request wall-clock deadline (worker pickup to reply); a \
+           request that exceeds it is answered with a structured timeout \
+           rejection telling the client to compile locally")
+
+let retry_after_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "retry-after" ] ~docv:"SECONDS"
+        ~doc:
+          "Backoff hint carried in busy (load-shedding) replies \
+           (default 0.05)")
 
 let cache_dir_arg =
   Arg.(
@@ -110,14 +136,15 @@ let cmd =
     (Cmd.info "mccd" ~doc)
     Term.(
       const main $ socket_arg $ pool_arg $ queue_arg $ max_requests_arg
-      $ idle_timeout_arg $ cache_dir_arg $ max_cache_mb_arg $ print_stats_arg
-      $ quiet_arg)
+      $ idle_timeout_arg $ request_timeout_arg $ retry_after_arg
+      $ cache_dir_arg $ max_cache_mb_arg $ print_stats_arg $ quiet_arg)
 
 (* Same single-dash long-flag convenience as mcc. *)
 let long_flags =
   [
-    "socket"; "pool"; "queue"; "max-requests"; "idle-timeout"; "cache-dir";
-    "max-cache-mb"; "print-stats"; "quiet";
+    "socket"; "pool"; "queue"; "max-queue"; "max-requests"; "idle-timeout";
+    "request-timeout"; "retry-after"; "cache-dir"; "max-cache-mb";
+    "print-stats"; "quiet";
   ]
 
 let normalize_argv argv =

@@ -30,6 +30,8 @@ type t = {
   incremental : bool;
   daemon : bool;
   daemon_socket : string option;
+  daemon_timeout : float option;
+  daemon_retries : int option;
   num_threads : int;
   stage_timings : bool;
   time_report : bool;
@@ -58,6 +60,9 @@ let default =
     incremental = false;
     daemon = false;
     daemon_socket = None;
+    (* None: the client's default resilience policy applies. *)
+    daemon_timeout = None;
+    daemon_retries = None;
     num_threads = 4;
     stage_timings = false;
     time_report = false;
@@ -185,6 +190,12 @@ let parse_int what s =
   | Some n -> Ok n
   | None -> Error (Printf.sprintf "invalid %s argument %S" what s)
 
+let parse_float what s =
+  match float_of_string_opt s with
+  | Some f when f > 0.0 -> Ok f
+  | Some _ -> Error (Printf.sprintf "%s must be positive, got %S" what s)
+  | None -> Error (Printf.sprintf "invalid %s argument %S" what s)
+
 let of_argv argv =
   let args = Array.to_list argv in
   let args = match args with _prog :: rest -> rest | [] -> [] in
@@ -284,6 +295,21 @@ let of_argv argv =
                         { inv with daemon_socket = Some v; daemon = true }
                         rest'));
                 (fun () ->
+                  with_value "daemon-timeout" (fun v rest' ->
+                      match parse_float "daemon-timeout" v with
+                      | Ok t ->
+                        go
+                          { inv with daemon_timeout = Some t; daemon = true }
+                          rest'
+                      | Error e -> Error e));
+                (fun () ->
+                  numeric "daemon-retries" (fun inv n ->
+                      {
+                        inv with
+                        daemon_retries = Some (max 0 n);
+                        daemon = true;
+                      }));
+                (fun () ->
                   with_value "transfo-script" (fun v rest' ->
                       go { inv with transfo_script = Some (File v) } rest'));
               ]
@@ -329,9 +355,18 @@ let to_argv inv =
     | Some d -> [ Printf.sprintf "-cache-dir=%s" d ]
     | None -> [])
   @ flag inv.incremental "-incremental"
-  @ flag (inv.daemon && inv.daemon_socket = None) "-daemon"
+  @ flag
+      (inv.daemon && inv.daemon_socket = None && inv.daemon_timeout = None
+     && inv.daemon_retries = None)
+      "-daemon"
   @ (match inv.daemon_socket with
     | Some s -> [ Printf.sprintf "-daemon-socket=%s" s ]
+    | None -> [])
+  @ (match inv.daemon_timeout with
+    | Some t -> [ Printf.sprintf "-daemon-timeout=%g" t ]
+    | None -> [])
+  @ (match inv.daemon_retries with
+    | Some r -> [ Printf.sprintf "-daemon-retries=%d" r ]
     | None -> [])
   @ (if inv.num_threads <> d.num_threads then
        [ Printf.sprintf "-num-threads=%d" inv.num_threads ]

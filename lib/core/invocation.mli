@@ -42,6 +42,11 @@ type t = {
                     back in-process when none is reachable *)
   daemon_socket : string option; (* --daemon-socket PATH (implies daemon;
                                     default: Client.default_socket) *)
+  daemon_timeout : float option; (* --daemon-timeout SECONDS: client
+                                    connect/send/receive deadlines
+                                    (implies daemon) *)
+  daemon_retries : int option; (* --daemon-retries N: max retries after
+                                  Resp_busy sheds (implies daemon) *)
   num_threads : int; (* simulated OpenMP team size *)
   stage_timings : bool;
   time_report : bool; (* -ftime-report *)
@@ -92,7 +97,8 @@ val of_argv : string array -> (t, string) result
     [--emit-ir]), [-fsyntax-only] and [-syntax-only] as synonyms,
     [-j N]/[-jN], [-O 0]/[-O0]/[-O1], [-D NAME=VALUE]/[-DNAME=VALUE],
     [--cache], [--cache-dir DIR], [--incremental], [--daemon],
-    [--daemon-socket PATH], [-num-threads N], [-ftime-report],
+    [--daemon-socket PATH], [--daemon-timeout SECONDS],
+    [--daemon-retries N], [-num-threads N], [-ftime-report],
     [-print-stats],
     [-stage-timings], the resource limits [-ferror-limit N],
     [-fbracket-depth N], [-floop-nest-limit N], the transfo-script

@@ -541,7 +541,12 @@ and walk_stages ?cache ~frontend_only ~options ~name ~transfo source =
         match consult Codegen ir_fp with
         | Some payload ->
           mark Codegen Cache_hit;
-          Ok (Marshal.from_string payload 0 : Mc_ir.Ir.modul)
+          let m : Mc_ir.Ir.modul = Marshal.from_string payload 0 in
+          (* The passes stage may still run on this module (its own
+             entry evicted or unreadable); its ids must be claimed or
+             pass-created instructions collide with cached ones. *)
+          Mc_ir.Ir.claim_ids m;
+          Ok m
         | None -> (
           let mode =
             if options.use_irbuilder then Mc_codegen.Codegen.Irbuilder

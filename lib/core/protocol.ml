@@ -25,8 +25,13 @@ let magic = "MCCD"
 
 (* v2: the request became a variant (compile | transform) and the
    response gained [Resp_transformed]; v1 frames are rejected by the
-   header check before unmarshalling. *)
-let version = 2
+   header check before unmarshalling.
+
+   v3: overload resilience — [Req_ping] health checks, [Resp_busy]
+   load-shedding replies carrying the queue depth and a retry hint,
+   [Resp_pong] with live queue occupancy.  v2 frames are rejected by
+   the header check like any other cross-version talk. *)
+let version = 3
 
 let default_socket () =
   match Sys.getenv_opt "MCCD_SOCKET" with
@@ -55,6 +60,10 @@ type transform_request = {
 type request =
   | Req_compile of compile_request
   | Req_transform of transform_request
+  | Req_ping
+      (* health check: answered from the accept/worker path without
+         touching the pipeline — loadgen and clients use it to probe a
+         daemon's liveness and queue occupancy cheaply *)
 
 let unit_digest source = Digest.to_hex (Digest.string source)
 
@@ -114,6 +123,13 @@ type response =
       p_wall : float;
     }
   | Resp_rejected of string
+  | Resp_busy of {
+      queue_depth : int; (* connections queued when the shed happened *)
+      retry_after : float;
+          (* seconds the client should wait before retrying; a hint,
+             not a promise of capacity *)
+    }
+  | Resp_pong of { pong_queue_depth : int; pong_capacity : int }
 
 and transformed = {
   x_source : string; (* the rewritten program *)
@@ -123,7 +139,23 @@ and transformed = {
 
 (* ---- channel IO ---------------------------------------------------------- *)
 
-let send oc v = Binio.write_frame ~magic ~version oc (Marshal.to_string v [])
+(* A torn frame: the connection died mid-write.  The injected version
+   flushes a prefix of the real frame and then fails exactly like a
+   closed peer would, so both ends exercise their truncated-read /
+   failed-write recovery paths. *)
+let fault_write_frame = Mc_support.Fault.point "protocol.write_frame"
+
+let send oc v =
+  let payload = Marshal.to_string v [] in
+  if Mc_support.Fault.fire fault_write_frame then begin
+    let framed = Binio.frame ~magic ~version payload in
+    (try
+       output_string oc (String.sub framed 0 (String.length framed / 2));
+       flush oc
+     with Sys_error _ -> ());
+    raise (Sys_error "injected torn frame")
+  end
+  else Binio.write_frame ~magic ~version oc payload
 
 let recv : type a. in_channel -> (a, string) result =
  fun ic ->

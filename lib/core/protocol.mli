@@ -40,6 +40,9 @@ type request =
   | Req_transform of transform_request
       (** apply the invocation's transfo script to one unit and return
           the rewritten source — no compilation of the result *)
+  | Req_ping
+      (** v3 health check: answered with {!Resp_pong} without touching
+          the pipeline *)
 
 val unit_digest : string -> string
 
@@ -86,6 +89,13 @@ type response =
       p_wall : float;
     }
   | Resp_rejected of string
+  | Resp_busy of { queue_depth : int; retry_after : float }
+      (** v3 load shedding: the daemon's bounded queue was full, so the
+          connection was accepted and immediately shed.  [retry_after]
+          is a backoff hint in seconds; clients with retries left wait
+          and try again, others fall back to the in-process pipeline. *)
+  | Resp_pong of { pong_queue_depth : int; pong_capacity : int }
+      (** v3 answer to {!Req_ping}: live queue occupancy. *)
 
 and transformed = {
   x_source : string;  (** the rewritten program *)

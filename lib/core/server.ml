@@ -49,12 +49,36 @@ let stat_transforms =
   Stats.counter ~group:"server" ~name:"transforms"
     ~desc:"transfo-script requests served by the daemon" ()
 
+let stat_shed =
+  Stats.counter ~group:"server" ~name:"shed"
+    ~desc:"connections shed with Resp_busy because the queue was full" ()
+
+let stat_queue_depth_max =
+  Stats.counter ~group:"server" ~name:"queue-depth-max"
+    ~desc:"high-water mark of the bounded connection queue" ()
+
+let stat_timeouts =
+  Stats.counter ~group:"server" ~name:"timeouts"
+    ~desc:"requests rejected for exceeding the per-request deadline" ()
+
+let stat_pings =
+  Stats.counter ~group:"server" ~name:"pings"
+    ~desc:"health-check pings answered" ()
+
+(* Injectable failures inside the worker path: a synthetic per-unit
+   crash (contained as R_ice, like any real ICE) and a synthetic stall
+   (caught by the per-request deadline when one is configured). *)
+let fault_worker = Mc_support.Fault.point "server.worker"
+let fault_slow_reply = Mc_support.Fault.point "server.slow_reply"
+
 type config = {
   socket_path : string;
   pool_size : int;
   queue_capacity : int;
   max_requests : int option;
   idle_timeout : float option;
+  request_timeout : float option;
+  shed_retry_after : float;
   cache_dir : string option;
   max_cache_bytes : int option;
   log : (string -> unit) option;
@@ -67,6 +91,8 @@ let default_config =
     queue_capacity = 16;
     max_requests = None;
     idle_timeout = None;
+    request_timeout = None;
+    shed_retry_after = 0.05;
     cache_dir = None;
     max_cache_bytes = None;
     log = None;
@@ -94,7 +120,8 @@ module Bqueue = struct
       closed = false;
     }
 
-  (* Blocks while full: this is the backpressure edge. *)
+  (* Blocks while full: the old backpressure edge, kept for callers
+     that want blocking semantics (and for its edge-case tests). *)
   let push t v =
     Mutex.lock t.m;
     while Queue.length t.q >= t.cap && not t.closed do
@@ -107,6 +134,25 @@ module Bqueue = struct
     end;
     Mutex.unlock t.m;
     accepted
+
+  (* Never blocks: the admission-control edge.  [`Full] is the accept
+     loop's cue to shed the connection with [Resp_busy] instead of
+     letting the kernel backlog fill and clients hang. *)
+  let try_push t v =
+    Mutex.lock t.m;
+    let outcome =
+      if t.closed then `Closed
+      else if Queue.length t.q >= t.cap then `Full
+      else begin
+        Queue.push v t.q;
+        Condition.signal t.not_empty;
+        `Accepted
+      end
+    in
+    Mutex.unlock t.m;
+    outcome
+
+  let length t = Mutex.protect t.m (fun () -> Queue.length t.q)
 
   (* [None] only after [close] *and* the queue has drained — closing is
      a graceful drain, not an abort. *)
@@ -130,7 +176,12 @@ end
 
 (* ---- request handling ---------------------------------------------------- *)
 
-let compile_request ~cache (req : Protocol.compile_request) =
+(* [deadline_exceeded] lets a timed-out request stop burning worker time
+   on its remaining units: the whole response is replaced by a
+   [Resp_rejected] timeout in [handle_connection] anyway, so skipped
+   units are never observable. *)
+let compile_request ?(deadline_exceeded = fun () -> false) ~cache
+    (req : Protocol.compile_request) =
   let registry = Stats.Registry.create () in
   let started = Clock.now () in
   let units =
@@ -138,8 +189,38 @@ let compile_request ~cache (req : Protocol.compile_request) =
       (fun (u : Protocol.request_unit) ->
         let inst = Instance.create ?cache (req.Protocol.q_invocation) in
         let u_started = Clock.now () in
+        let compile_unit () =
+          if Mc_support.Fault.fire fault_worker then
+            (* Injected crash in the worker itself, outside
+               [compile_safe]'s net — containment must still hold, so
+               synthesize the same structured ICE a real escape would
+               produce. *)
+            Error
+              {
+                Instance.f_ice =
+                  {
+                    Mc_support.Crash_recovery.ice_phase = "server.worker";
+                    ice_exn = "injected worker fault (MCC_FAULTS)";
+                    ice_backtrace = "";
+                    ice_location = None;
+                  };
+                f_reproducer = None;
+              }
+          else Instance.compile_safe inst ~name:u.Protocol.q_name u.Protocol.q_source
+        in
         let outcome, trace, hit =
-          match Instance.compile_safe inst ~name:u.Protocol.q_name u.Protocol.q_source with
+          if deadline_exceeded () then
+            ( Protocol.R_ok
+                {
+                  ok_diag = "";
+                  ok_errors = false;
+                  ok_ir = None;
+                  ok_codegen_error = None;
+                },
+              [],
+              false )
+          else
+          match compile_unit () with
           | Ok c ->
             let r = c.Instance.c_result in
             ( Protocol.R_ok
@@ -236,19 +317,35 @@ let verify_digests (req : Protocol.request) =
         ok u.Protocol.q_source u.Protocol.q_digest)
       c.Protocol.q_units
   | Protocol.Req_transform t -> ok t.Protocol.t_source t.Protocol.t_digest
+  | Protocol.Req_ping -> true
 
 (* One connection, one request; every failure mode ends with a closed
-   socket and a still-healthy worker. *)
-let handle_connection ~cache ~lifetime ~lifetime_lock ~log fd =
-  (* A client that connects and then stalls must not wedge the worker. *)
-  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0
+   socket and a still-healthy worker.  [request_timeout] is a wall-clock
+   deadline starting when the worker picks the connection up (so it
+   covers queue-to-reply, not just compile time): a request that blows
+   it gets one complete [Resp_rejected] frame with a structured timeout
+   reason — never a half-written response. *)
+let handle_connection ~cache ~lifetime ~lifetime_lock ~log ~request_timeout
+    ~queue_depth ~queue_capacity fd =
+  let started = Clock.now () in
+  let deadline_exceeded () =
+    match request_timeout with
+    | Some t -> Clock.now () -. started > t
+    | None -> false
+  in
+  (* A client that connects and then stalls must not wedge the worker
+     longer than the request deadline allows. *)
+  let read_timeout =
+    match request_timeout with Some t -> Float.max t 0.01 | None -> 30.0
+  in
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO read_timeout
    with Unix.Unix_error _ -> ());
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let reject registry msg =
     Stats.with_registry registry (fun () -> Stats.incr stat_rejects);
     try Protocol.write_response oc (Protocol.Resp_rejected msg)
-    with Sys_error _ -> ()
+    with Sys_error _ | Sys_blocked_io -> ()
   in
   let registry =
     match Protocol.read_request ic with
@@ -260,11 +357,32 @@ let handle_connection ~cache ~lifetime ~lifetime_lock ~log fd =
       let registry = Stats.Registry.create () in
       reject registry "source digest mismatch";
       registry
+    | Ok Protocol.Req_ping ->
+      let registry = Stats.Registry.create () in
+      Stats.with_registry registry (fun () -> Stats.incr stat_pings);
+      (try
+         Protocol.write_response oc
+           (Protocol.Resp_pong
+              {
+                pong_queue_depth = queue_depth ();
+                pong_capacity = queue_capacity;
+              })
+       with Sys_error _ | Sys_blocked_io -> ());
+      registry
     | Ok req -> (
+      (* Injected stall: a worker that reads the request and then goes
+         quiet — exactly what the request deadline exists to bound. *)
+      if Mc_support.Fault.fire fault_slow_reply then
+        Unix.sleepf
+          (match request_timeout with
+          | Some t -> 1.5 *. t
+          | None -> 0.35);
       let response, registry =
         match req with
         | Protocol.Req_compile c ->
-          let response, registry = compile_request ~cache c in
+          let response, registry =
+            compile_request ~deadline_exceeded ~cache c
+          in
           log
             (Printf.sprintf "served %d unit(s)"
                (List.length c.Protocol.q_units));
@@ -273,15 +391,29 @@ let handle_connection ~cache ~lifetime ~lifetime_lock ~log fd =
           let response, registry = transform_request ~cache t in
           log (Printf.sprintf "transformed %s" t.Protocol.t_name);
           (response, registry)
+        | Protocol.Req_ping -> assert false (* handled above *)
+      in
+      let response =
+        if deadline_exceeded () then begin
+          Stats.with_registry registry (fun () -> Stats.incr stat_timeouts);
+          let t = Option.value request_timeout ~default:0.0 in
+          log (Printf.sprintf "request deadline (%.3gs) exceeded" t);
+          Protocol.Resp_rejected
+            (Printf.sprintf
+               "deadline exceeded: request took longer than the %.3gs server \
+                request timeout (queue wait + compile); compile locally" t)
+        end
+        else response
       in
       (try Protocol.write_response oc response
-       with Sys_error _ -> () (* client hung up; its loss, our survival *));
+       with Sys_error _ | Sys_blocked_io -> ()
+       (* client hung up or stopped reading; its loss, our survival *));
       registry)
   in
   Mutex.protect lifetime_lock (fun () ->
       Stats.Registry.merge ~into:lifetime registry);
-  (try close_out oc with Sys_error _ -> ());
-  try close_in ic with Sys_error _ -> ()
+  (try close_out oc with Sys_error _ | Sys_blocked_io -> ());
+  try close_in ic with Sys_error _ | Sys_blocked_io -> ()
 
 (* ---- the daemon loop ----------------------------------------------------- *)
 
@@ -333,7 +465,12 @@ let run ?stop config =
           match Bqueue.pop queue with
           | None -> ()
           | Some fd ->
-            (match handle_connection ~cache ~lifetime ~lifetime_lock ~log fd with
+            (match
+               handle_connection ~cache ~lifetime ~lifetime_lock ~log
+                 ~request_timeout:config.request_timeout
+                 ~queue_depth:(fun () -> Bqueue.length queue)
+                 ~queue_capacity:config.queue_capacity fd
+             with
             | () -> ()
             | exception _ ->
               (* Last-ditch containment: the worker survives anything a
@@ -353,6 +490,31 @@ let run ?stop config =
            | Some d -> ", cache-dir " ^ d
            | None -> ""));
       let accepted = ref 0 in
+      let shed_count = ref 0 in
+      let depth_max = ref 0 in
+      (* Shedding happens on the accept domain: the connection is taken
+         off the backlog and answered with one small [Resp_busy] frame —
+         structured "retry or compile locally" instead of a silent hang.
+         The write is bounded (the frame fits any socket buffer, and a
+         pathological client pays at most the SNDTIMEO) so a slow
+         client cannot stall accepting. *)
+      let shed fd =
+        incr shed_count;
+        Mutex.protect lifetime_lock (fun () ->
+            Stats.with_registry lifetime (fun () -> Stats.incr stat_shed));
+        (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0
+         with Unix.Unix_error _ -> ());
+        let oc = Unix.out_channel_of_descr fd in
+        (try
+           Protocol.write_response oc
+             (Protocol.Resp_busy
+                {
+                  queue_depth = Bqueue.length queue;
+                  retry_after = config.shed_retry_after;
+                })
+         with Sys_error _ | Sys_blocked_io -> ());
+        try close_out oc with Sys_error _ | Sys_blocked_io -> ()
+      in
       let last_activity = ref (Clock.now ()) in
       let finished () =
         Atomic.get stop
@@ -369,11 +531,13 @@ let run ?stop config =
         | [], _, _ -> ()
         | _ :: _, _, _ -> (
           match Unix.accept listen_fd with
-          | fd, _ ->
+          | fd, _ -> (
             incr accepted;
             last_activity := Clock.now ();
-            if not (Bqueue.push queue fd) then
-              Unix.close fd (* closing: refuse, client falls back *)
+            match Bqueue.try_push queue fd with
+            | `Accepted -> depth_max := max !depth_max (Bqueue.length queue)
+            | `Full -> shed fd
+            | `Closed -> Unix.close fd (* closing: refuse, client falls back *))
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       done;
@@ -385,6 +549,12 @@ let run ?stop config =
       Bqueue.close queue;
       Array.iter Domain.join workers;
       (try Sys.remove config.socket_path with Sys_error _ -> ());
-      log (Printf.sprintf "served %d connection(s); bye" !accepted);
+      (* The high-water mark is a gauge, not an additive counter; it is
+         folded into the lifetime registry exactly once, here. *)
+      Stats.with_registry lifetime (fun () ->
+          Stats.add stat_queue_depth_max !depth_max);
+      log
+        (Printf.sprintf "served %d connection(s) (%d shed); bye" !accepted
+           !shed_count);
       Ok (Stats.snapshot ~registry:lifetime ())
   end

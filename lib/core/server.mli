@@ -1,6 +1,9 @@
 (** The compile server behind [mccd]: a Unix-domain-socket daemon with a
     warm shared stage cache (optionally persisted via {!Store}), a pool
-    of worker domains, and a bounded connection queue for backpressure.
+    of worker domains, and a bounded connection queue with admission
+    control — when the queue is full the accept loop sheds the
+    connection with a structured [Resp_busy] (queue depth + retry hint)
+    instead of letting the kernel backlog fill and clients hang.
 
     Requests are framed {!Protocol} values; each compile unit goes
     through {!Instance.compile_safe}, so a client-submitted ICE becomes
@@ -12,12 +15,46 @@
     [idle_timeout] seconds without one — always draining queued
     connections before returning. *)
 
+(** The bounded blocking queue between the accept loop and the worker
+    pool.  Exposed for its own tests: the daemon's overload behaviour is
+    exactly this queue's edge behaviour. *)
+module Bqueue : sig
+  type 'a t
+
+  val create : int -> 'a t
+  (** Capacity is clamped to at least 1. *)
+
+  val push : 'a t -> 'a -> bool
+  (** Blocks while full; [false] means the queue was closed and the
+      value was not enqueued. *)
+
+  val try_push : 'a t -> 'a -> [ `Accepted | `Closed | `Full ]
+  (** Never blocks — the admission-control edge. *)
+
+  val pop : 'a t -> 'a option
+  (** Blocks while empty; [None] only after {!close} {e and} a full
+      drain. *)
+
+  val length : 'a t -> int
+
+  val close : 'a t -> unit
+  (** Wakes every blocked producer and consumer; closing is a graceful
+      drain, not an abort. *)
+end
+
 type config = {
   socket_path : string;
   pool_size : int;  (** worker domains (min 1) *)
-  queue_capacity : int;  (** pending connections before backpressure *)
+  queue_capacity : int;
+      (** pending connections before the accept loop sheds with
+          [Resp_busy] *)
   max_requests : int option;  (** exit after this many connections *)
   idle_timeout : float option;  (** exit after this many idle seconds *)
+  request_timeout : float option;
+      (** per-request wall-clock deadline, measured from worker pickup
+          to reply; a request that blows it gets one complete
+          [Resp_rejected] frame with a timeout reason *)
+  shed_retry_after : float;  (** the [retry_after] hint in [Resp_busy] *)
   cache_dir : string option;  (** persist the shared cache via {!Store} *)
   max_cache_bytes : int option;  (** store byte cap (default {!Store}'s) *)
   log : (string -> unit) option;  (** progress lines, e.g. [prerr_endline] *)
@@ -25,7 +62,7 @@ type config = {
 
 val default_config : config
 (** {!Protocol.default_socket}, 2 workers, queue 16, unbounded lifetime,
-    in-memory cache, silent. *)
+    no request deadline, 50 ms retry hint, in-memory cache, silent. *)
 
 val run :
   ?stop:bool Atomic.t -> config -> (Mc_support.Stats.snapshot, string) result

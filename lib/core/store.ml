@@ -31,6 +31,14 @@
 
 module Stats = Mc_support.Stats
 module Binio = Mc_support.Binio
+module Fault = Mc_support.Fault
+
+(* Injectable failures: a read fault is an I/O error on lookup (the
+   entry stays on disk, unlike corruption), a write fault is a short
+   write / ENOSPC mid-publish.  Both must degrade to counted misses —
+   a store fault can cost time, never correctness. *)
+let fault_read = Fault.point "store.read"
+let fault_write = Fault.point "store.write"
 
 let schema_version = 1
 let magic = "MCST"
@@ -163,6 +171,13 @@ let decode ~stage ~fp contents =
         | exception _ -> Error `Corrupt)
 
 let load t ~stage fp =
+  if Fault.fire fault_read then begin
+    (* Injected I/O failure: a miss, counted like any other, but the
+       on-disk entry is intact — the next lookup may serve it. *)
+    Stats.incr stat_misses;
+    None
+  end
+  else
   let path = entry_path_unlocked t ~stage fp in
   match Binio.read_file path with
   | None ->
@@ -226,7 +241,24 @@ let save ?(version = schema_version) t ~stage fp candidates =
     let contents = Binio.frame ~magic ~version payload in
     let path = entry_path_unlocked t ~stage fp in
     Binio.mkdir_p (Filename.dirname path);
-    match Binio.write_file_atomic ~path contents with
+    let write () =
+      if Fault.fire fault_write then begin
+        (* Injected ENOSPC / short write mid-publish: mimic
+           [write_file_atomic]'s own failure discipline — the torn tmp
+           file is removed, nothing is renamed into place, so readers
+           can never observe a partial entry. *)
+        let tmp = path ^ ".fault-tmp" in
+        (try
+           Out_channel.with_open_bin tmp (fun oc ->
+               Out_channel.output_string oc
+                 (String.sub contents 0 (String.length contents / 2)))
+         with Sys_error _ -> ());
+        remove_file tmp;
+        Error "injected write fault"
+      end
+      else Binio.write_file_atomic ~path contents
+    in
+    match write () with
     | Error _ -> () (* a full or unwritable disk degrades to no persistence *)
     | Ok () ->
       Stats.incr stat_stores;

@@ -162,6 +162,24 @@ let fresh_id () =
 
 let reset_ids () = Domain.DLS.get id_counter := 0
 
+(* An unmarshalled module (store hit, daemon reply) carries ids from the
+   process that built it, while this domain's counter is wherever the
+   current compilation left it — usually 0.  Claim the module's ids so
+   anything allocated afterwards (pass-created phis and casts) can never
+   collide with an existing id; passes key def-use maps on [i_id], and a
+   collision silently cross-wires two instructions. *)
+let claim_ids m =
+  let r = Domain.DLS.get id_counter in
+  let bump id = if id > !r then r := id in
+  List.iter
+    (fun f ->
+      bump f.f_id;
+      List.iter (fun a -> bump a.a_id) f.f_args;
+      List.iter
+        (fun b -> List.iter (fun i -> bump i.i_id) b.b_insts_rev)
+        f.f_blocks)
+    m.m_funcs
+
 let create_module name = { m_name = name; m_funcs = [] }
 
 let mk_arg ~name ~ty = { a_id = fresh_id (); a_name = name; a_ty = ty }

@@ -40,12 +40,14 @@ type frame_error =
   | Bad_magic
   | Version_mismatch of int  (** the version the frame carries *)
   | Oversized of int
+  | Timed_out
 
 let frame_error_to_string = function
   | Truncated -> "truncated frame"
   | Bad_magic -> "bad magic"
   | Version_mismatch v -> Printf.sprintf "version mismatch (got %d)" v
   | Oversized n -> Printf.sprintf "oversized frame (%d bytes)" n
+  | Timed_out -> "read timed out"
 
 (* Reads exactly [n] bytes or reports truncation; [really_input] raises
    on EOF, which is one of the corruptions we must absorb. *)
@@ -55,6 +57,9 @@ let read_exact ic n =
   | () -> Ok (Bytes.unsafe_to_string b)
   | exception End_of_file -> Error Truncated
   | exception Sys_error _ -> Error Truncated
+  (* A blocking read on a socket with SO_RCVTIMEO set reports its
+     expiry as EAGAIN, which channel IO surfaces as [Sys_blocked_io]. *)
+  | exception Sys_blocked_io -> Error Timed_out
 
 let read_frame ~magic ~version ic =
   match read_exact ic 12 with

@@ -17,6 +17,8 @@ type frame_error =
   | Bad_magic
   | Version_mismatch of int  (** the version the frame carries *)
   | Oversized of int
+  | Timed_out
+      (** an [SO_RCVTIMEO] deadline expired mid-read ([Sys_blocked_io]) *)
 
 val frame_error_to_string : frame_error -> string
 

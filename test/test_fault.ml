@@ -1,0 +1,127 @@
+(* Fault-injection harness suite: the unarmed fast path, probability
+   edges, deterministic replay (same seed, same schedule), per-point
+   stream independence, trip counters, MCC_FAULTS spec parsing, and
+   with_armed's full state save/restore. *)
+
+open Helpers
+module Fault = Mc_support.Fault
+module Stats = Mc_support.Stats
+
+let draws p n = List.init n (fun _ -> Fault.fire p)
+
+let test_unarmed_never_fires () =
+  let p = Fault.point "test.unarmed" in
+  Alcotest.(check bool) "not armed" false (Fault.armed "test.unarmed");
+  Alcotest.(check (list bool)) "never fires"
+    (List.init 64 (fun _ -> false))
+    (draws p 64)
+
+let test_probability_edges () =
+  let p = Fault.point "test.edges" in
+  Fault.arm "test.edges" ~probability:1.0 ~seed:1;
+  Alcotest.(check (list bool)) "p=1 always fires"
+    (List.init 32 (fun _ -> true))
+    (draws p 32);
+  Fault.arm "test.edges" ~probability:0.0 ~seed:1;
+  Alcotest.(check bool) "p=0 disarms" false (Fault.armed "test.edges");
+  Alcotest.(check (list bool)) "p=0 never fires"
+    (List.init 32 (fun _ -> false))
+    (draws p 32);
+  Fault.disarm "test.edges"
+
+let test_deterministic_replay () =
+  let p = Fault.point "test.replay" in
+  Fault.arm "test.replay" ~probability:0.3 ~seed:42;
+  let first = draws p 200 in
+  Fault.arm "test.replay" ~probability:0.3 ~seed:42;
+  let second = draws p 200 in
+  Alcotest.(check (list bool)) "same seed replays the schedule" first second;
+  Fault.arm "test.replay" ~probability:0.3 ~seed:43;
+  let third = draws p 200 in
+  Alcotest.(check bool) "distinct seed, distinct schedule" true
+    (first <> third);
+  (* The schedule is non-trivial at p=0.3: both outcomes occur. *)
+  Alcotest.(check bool) "some trips" true (List.mem true first);
+  Alcotest.(check bool) "some passes" true (List.mem false first);
+  Fault.disarm "test.replay"
+
+let test_points_fire_independently () =
+  (* Two points armed with one seed must not fire in lockstep: the
+     point name is mixed into the PRNG state. *)
+  let a = Fault.point "test.indep-a" in
+  let b = Fault.point "test.indep-b" in
+  Fault.arm "test.indep-a" ~probability:0.5 ~seed:7;
+  Fault.arm "test.indep-b" ~probability:0.5 ~seed:7;
+  let da = draws a 128 in
+  let db = draws b 128 in
+  Alcotest.(check bool) "not in lockstep" true (da <> db);
+  Fault.disarm "test.indep-a";
+  Fault.disarm "test.indep-b"
+
+let test_trip_counter () =
+  let p = Fault.point "test.trips" in
+  let registry = Stats.Registry.create () in
+  Stats.with_registry registry (fun () ->
+      Fault.arm "test.trips" ~probability:1.0 ~seed:3;
+      for _ = 1 to 5 do
+        ignore (Fault.fire p)
+      done;
+      Alcotest.(check int) "five trips" 5 (Fault.trips p);
+      Fault.disarm "test.trips");
+  Alcotest.(check int) "counter lands in the scoped registry" 5
+    (Stats.find (Stats.snapshot ~registry ()) "fault.test.trips")
+
+let test_parse_spec () =
+  let specs, errors =
+    Fault.parse_spec "store.read:0.5:42, server.worker:1:7"
+  in
+  Alcotest.(check (list string)) "no errors" [] errors;
+  Alcotest.(check bool) "store.read parsed" true
+    (List.assoc_opt "store.read" specs = Some (0.5, 42));
+  Alcotest.(check bool) "server.worker parsed" true
+    (List.assoc_opt "server.worker" specs = Some (1.0, 7));
+  let specs, errors = Fault.parse_spec "nope,x:2.0:1,y:0.5:zzz,ok:0.1:3" in
+  Alcotest.(check int) "three malformed items" 3 (List.length errors);
+  Alcotest.(check bool) "good item still parsed" true
+    (List.assoc_opt "ok" specs = Some (0.1, 3));
+  let specs, errors = Fault.parse_spec "" in
+  Alcotest.(check int) "empty spec parses to nothing" 0
+    (List.length specs + List.length errors)
+
+let test_with_armed_restores () =
+  let p = Fault.point "test.restore" in
+  Fault.arm "test.restore" ~probability:0.4 ~seed:11;
+  ignore (draws p 3) (* advance the stream to a mid position *);
+  Fault.with_armed
+    [ ("test.restore", 1.0, 99) ]
+    (fun () ->
+      Alcotest.(check bool) "armed inside" true (Fault.armed "test.restore");
+      Alcotest.(check (list bool)) "inner schedule fires" [ true; true ]
+        (draws p 2));
+  (* Restored: armed state, probability, and PRNG position — the outer
+     stream continues exactly where it left off. *)
+  let continued = draws p 50 in
+  Fault.arm "test.restore" ~probability:0.4 ~seed:11;
+  let replay = draws p 53 in
+  let expected = List.filteri (fun i _ -> i >= 3) replay in
+  Alcotest.(check (list bool)) "stream resumed mid-position" expected
+    continued;
+  Fault.disarm "test.restore";
+  (* with_armed over a point that was never armed leaves it unarmed. *)
+  Fault.with_armed
+    [ ("test.restore2", 1.0, 1) ]
+    (fun () ->
+      Alcotest.(check bool) "armed inside" true (Fault.armed "test.restore2"));
+  Alcotest.(check bool) "unarmed after" false (Fault.armed "test.restore2")
+
+let suite =
+  [
+    tc "unarmed point never fires" test_unarmed_never_fires;
+    tc "probability edges (0 and 1)" test_probability_edges;
+    tc "same seed replays the same schedule" test_deterministic_replay;
+    tc "points with one seed fire independently"
+      test_points_fire_independently;
+    tc "trips are counted in the current registry" test_trip_counter;
+    tc "MCC_FAULTS spec parsing" test_parse_spec;
+    tc "with_armed restores armed state and stream" test_with_armed_restores;
+  ]
