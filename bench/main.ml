@@ -538,36 +538,41 @@ let emit_cache_json () =
 
 (* The editing-loop workload over the stage cache: cold build, warm
    same-source rebuild (every stage hit), comment-only edit (lex/pp
-   re-run, AST onward reused), and a body edit (full re-run).  Warm
+   re-run, AST onward reused), and a body edit inside exactly one of the
+   24 functions (every other function's fnast/fnir/fnoptir artifact is
+   reused, only the edited one re-runs the front and back end).  Warm
    rebuilds are required to hit every stage and be at least 5x faster
-   than cold — the harness fails loudly otherwise, so a regression can't
-   ship a quietly cold "incremental" mode. *)
+   than cold, and a body edit must reuse all sibling slices — the
+   harness fails loudly otherwise, so a regression can't ship a quietly
+   cold "incremental" mode or a quietly unit-granular body edit. *)
 let emit_incremental_json () =
   heading "BENCH_incremental.json (cold / warm / comment-edit / body-edit)";
   let module CInstance = Mc_core.Instance in
   let module Pipeline = Mc_core.Pipeline in
   let module Clock = Mc_support.Clock in
-  (* A compile-heavy unit, parameterized so body edits really change the
-     expanded stream. *)
-  let unit_with ~bound =
+  (* A compile-heavy unit; [edit] lands only in inc_work7's body, so a
+     body edit changes exactly one of the 26 top-level slices (record's
+     prototype, 24 workers, main). *)
+  let unit_with ~edit =
     let buf = Buffer.create 4096 in
     Buffer.add_string buf "void record(long x);\n";
     for fn = 0 to 23 do
       Buffer.add_string buf
-        (Printf.sprintf "long inc_work%d(int n) {\n  long acc = %d;\n" fn fn);
+        (Printf.sprintf "long inc_work%d(int n) {\n  long acc = %d;\n" fn
+           (if fn = 7 then edit else fn));
       for i = 0 to 5 do
         Buffer.add_string buf
           (Printf.sprintf
              "  for (int i%d = 0; i%d < n + %d; i%d += 1) acc += i%d * %d + \
               (acc >> 2);\n"
-             i i bound i i (i + fn))
+             i i 10 i i (i + fn))
       done;
       Buffer.add_string buf "  return acc;\n}\n"
     done;
     Buffer.add_string buf "int main(void) { record(inc_work0(3)); return 0; }\n";
     Buffer.contents buf
   in
-  let base = unit_with ~bound:10 in
+  let base = unit_with ~edit:7 in
   let inst =
     CInstance.create
       { Mc_core.Invocation.default with Mc_core.Invocation.cache_enabled = true }
@@ -578,7 +583,11 @@ let emit_incremental_json () =
     let wall = Clock.now () -. started in
     if Mc_diag.Diagnostics.has_errors c.CInstance.c_result.Driver.diag then
       failwith "incremental bench: compile failed";
-    (wall, Pipeline.render_trace c.CInstance.c_trace)
+    let stat name =
+      try Mc_support.Stats.find c.CInstance.c_result.Driver.stats name
+      with Not_found -> 0
+    in
+    (wall, Pipeline.render_trace c.CInstance.c_trace, stat)
   in
   (* Edits must be fresh each measurement (a repeated comment edit would
      itself become a full hit), so vary the edit text / constant and take
@@ -586,18 +595,21 @@ let emit_incremental_json () =
   let best f =
     let samples = List.init 3 f in
     List.fold_left
-      (fun (bw, bt) (w, t) -> if w < bw then (w, t) else (bw, bt))
+      (fun (bw, bt, bs) (w, t, s) ->
+        if w < bw then (w, t, s) else (bw, bt, bs))
       (List.hd samples) (List.tl samples)
   in
-  let cold_wall, cold_trace = timed base in
-  let warm_wall, warm_trace = best (fun _ -> timed base) in
-  let comment_wall, comment_trace =
+  let cold_wall, cold_trace, _ = timed base in
+  let warm_wall, warm_trace, _ = best (fun _ -> timed base) in
+  let comment_wall, comment_trace, _ =
     best (fun i ->
         timed (Printf.sprintf "/* incremental edit nr. %d */\n%s" i base))
   in
-  let body_wall, body_trace =
-    best (fun i -> timed (unit_with ~bound:(11 + i)))
+  let body_wall, body_trace, body_stat =
+    best (fun i -> timed (unit_with ~edit:(100 + i)))
   in
+  let body_fn_hits = body_stat "cache.fn-hits" in
+  let body_fn_misses = body_stat "cache.fn-misses" in
   (* Hard floor from the issue: warm same-source recompiles must hit every
      stage and be >= 5x faster than the cold build. *)
   if warm_trace <> "lex:hit pp:hit ast:hit ir:hit optir:hit" then
@@ -606,17 +618,28 @@ let emit_incremental_json () =
     failwith
       ("incremental bench: comment edit did not reuse AST onward: "
       ^ comment_trace);
+  (* Hard floors for function granularity: a one-function body edit must
+     re-run exactly that slice and reuse every sibling artifact. *)
+  if body_trace <> "lex:run pp:run ast:partial ir:partial optir:partial" then
+    failwith
+      ("incremental bench: body edit was not function-granular: " ^ body_trace);
+  if body_fn_misses <> 1 then
+    failwith
+      (Printf.sprintf
+         "incremental bench: one-function edit re-parsed %d slices"
+         body_fn_misses);
   let speedup = cold_wall /. warm_wall in
   if speedup < 5.0 then
     failwith
       (Printf.sprintf "incremental bench: warm speedup %.2fx < 5x" speedup);
+  let body_speedup = cold_wall /. body_wall in
   let buf = Buffer.create 512 in
   let field last name value =
     Buffer.add_string buf
       (Printf.sprintf "  %S: %s%s\n" name value (if last then "" else ","))
   in
   Buffer.add_string buf "{\n";
-  field false "schema" "\"mcc-bench-incremental/1\"";
+  field false "schema" "\"mcc-bench-incremental/2\"";
   field false "workload" "\"24-function synthetic unit\"";
   field false "cold_seconds" (Printf.sprintf "%.9f" cold_wall);
   field false "cold_trace" (Printf.sprintf "%S" cold_trace);
@@ -626,15 +649,20 @@ let emit_incremental_json () =
   field false "comment_edit_seconds" (Printf.sprintf "%.9f" comment_wall);
   field false "comment_edit_trace" (Printf.sprintf "%S" comment_trace);
   field false "body_edit_seconds" (Printf.sprintf "%.9f" body_wall);
-  field true "body_edit_trace" (Printf.sprintf "%S" body_trace);
+  field false "body_edit_trace" (Printf.sprintf "%S" body_trace);
+  field false "body_edit_fn_hits" (string_of_int body_fn_hits);
+  field false "body_edit_fn_misses" (string_of_int body_fn_misses);
+  field true "body_edit_speedup" (Printf.sprintf "%.3f" body_speedup);
   Buffer.add_string buf "}\n";
   let path = "BENCH_incremental.json" in
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (Buffer.contents buf));
   Printf.printf
     "  cold %.6fs -> warm %.6fs (%.1fx); comment edit %.6fs (%s); body edit \
-     %.6fs\n"
-    cold_wall warm_wall speedup comment_wall comment_trace body_wall;
+     %.6fs (%.1fx, %d/%d slices reused)\n"
+    cold_wall warm_wall speedup comment_wall comment_trace body_wall
+    body_speedup body_fn_hits
+    (body_fn_hits + body_fn_misses);
   Printf.printf "  wrote %s\n%!" path
 
 (* --------------------------------------------------------------------- *)

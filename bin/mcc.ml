@@ -218,10 +218,26 @@ let run_compile_action inst units =
               cold_u.Batch.u_wall /. warm_u.Batch.u_wall
             else infinity
           in
+          (* On a partial AST stage the per-slice outcomes say exactly
+             which functions were adopted from per-function artifacts
+             and which were re-parsed.  The warm pass usually full-hits
+             the unit artifacts the cold pass just stored, so when it
+             has no per-slice story, fall back to the cold pass — that
+             is the pass that demonstrated per-function reuse (e.g. a
+             body edit against a --cache-dir warmed by the old file). *)
+          let fns =
+            match
+              (warm_u.Batch.u_fn_trace, cold_u.Batch.u_fn_trace)
+            with
+            | [], [] -> ""
+            | [], fns | fns, _ ->
+              Printf.sprintf ", fns: %s"
+                (Mc_core.Pipeline.render_fn_trace fns)
+          in
           Printf.eprintf
-            "[mcc --incremental: %s: cold %.6fs, warm %.6fs (%.1fx), %s]\n%!"
+            "[mcc --incremental: %s: cold %.6fs, warm %.6fs (%.1fx), %s%s]\n%!"
             warm_u.Batch.u_name cold_u.Batch.u_wall warm_u.Batch.u_wall speedup
-            (Mc_core.Pipeline.render_trace warm_u.Batch.u_trace))
+            (Mc_core.Pipeline.render_trace warm_u.Batch.u_trace) fns)
       batch.Batch.units warm.Batch.units
   end;
   if !failed then exit 1

@@ -361,6 +361,16 @@ let fresh_id () =
 
 let reset_ids () = Domain.DLS.get id_counter := 0
 
+(* Watermark api for function-granular artifact reuse: a cached slice
+   records [current_id] at store time, and adopting it into a later
+   compilation [claim_up_to] that mark so freshly parsed slices can
+   never collide with adopted nodes. *)
+let current_id () = !(Domain.DLS.get id_counter)
+
+let claim_up_to n =
+  let r = Domain.DLS.get id_counter in
+  if n > !r then r := n
+
 let mk_var ?(implicit = false) ?init ~name ~ty ~loc () =
   {
     v_id = fresh_id ();

@@ -17,6 +17,7 @@ type unit_result = {
   u_result : (Driver.result, Instance.failure) result;
   u_cache_hit : bool;
   u_trace : Pipeline.trace;
+  u_fn_trace : (string * Pipeline.outcome) list;
   u_stats : Stats.snapshot;
   u_wall : float;
 }
@@ -44,11 +45,11 @@ let compile_units ?cache ~jobs ~invocation inputs =
         let name, source = inputs.(i) in
         let inst = Instance.create ?cache invocation in
         let started = Clock.now () in
-        let outcome, hit, trace =
+        let outcome, hit, trace, fn_trace =
           match Instance.compile_safe inst ~name source with
-          | Ok { Instance.c_result; c_cache_hit; c_trace } ->
-            (Ok c_result, c_cache_hit, c_trace)
-          | Error failure -> (Error failure, false, [])
+          | Ok { Instance.c_result; c_cache_hit; c_trace; c_fn_trace } ->
+            (Ok c_result, c_cache_hit, c_trace, c_fn_trace)
+          | Error failure -> (Error failure, false, [], [])
           | exception e ->
             (* Last-ditch containment: [compile_safe] itself should never
                raise, but a worker must not die and strand its siblings. *)
@@ -58,6 +59,7 @@ let compile_units ?cache ~jobs ~invocation inputs =
                   f_reproducer = None;
                 },
               false,
+              [],
               [] )
         in
         let wall = Clock.now () -. started in
@@ -69,6 +71,7 @@ let compile_units ?cache ~jobs ~invocation inputs =
               u_result = outcome;
               u_cache_hit = hit;
               u_trace = trace;
+              u_fn_trace = fn_trace;
               u_stats = Stats.snapshot ~registry:(Instance.registry inst) ();
               u_wall = wall;
             };

@@ -25,7 +25,9 @@ type t
 
 val stage_names : string list
 (** The stage tags, in pipeline order:
-    ["transfo"; "lex"; "pp"; "ast"; "ir"; "optir"]. *)
+    ["transfo"; "lex"; "pp"; "ast"; "ir"; "optir"], followed by the
+    per-function artifact families of the function-granular pipeline:
+    ["fnast"; "fnir"; "fnoptir"] (one artifact per top-level slice). *)
 
 val create : ?store:Store.t -> unit -> t
 (** A fresh in-memory cache.  With [?store], the cache is layered over a
@@ -56,6 +58,12 @@ val store : t -> stage:string -> string -> string -> unit
 (** [store t ~stage fp payload] adds a stage artifact as the newest
     candidate under the fingerprint (deduplicating byte-identical
     payloads). *)
+
+val canonical_items : Buffer.t -> Mc_pp.Preprocessor.item list -> unit
+(** Append the canonical, location-free rendering of a preprocessed
+    stream (token spellings, NUL-separated, with SOH pragma markers) to
+    [buf] — the encoding {!canonical_digest} hashes, exposed so the
+    function-granular slicer can address sub-streams the same way. *)
 
 val canonical_digest : Mc_pp.Preprocessor.item list -> string
 (** Digest of the canonical, location-free rendering of a preprocessed

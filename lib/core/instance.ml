@@ -48,6 +48,7 @@ type compilation = {
   c_result : Driver.result;
   c_cache_hit : bool;
   c_trace : Pipeline.trace;
+  c_fn_trace : (string * Pipeline.outcome) list;
 }
 
 (* [Pipeline.execute] already scopes each compilation to its own fresh
@@ -61,6 +62,7 @@ let compile_inner t ~name source =
     c_result = x.Pipeline.x_result;
     c_cache_hit = x.Pipeline.x_full_hit;
     c_trace = x.Pipeline.x_trace;
+    c_fn_trace = x.Pipeline.x_fn_trace;
   }
 
 let compile t ?(name = "input.c") source =

@@ -114,18 +114,31 @@ let stage_tag = function
   | Codegen -> "ir"
   | Passes -> "optir"
 
-type outcome = Executed | Cache_hit
+type outcome = Executed | Cache_hit | Partial
 
 type trace = (stage * outcome) list
 
+let outcome_name = function
+  | Executed -> "run"
+  | Cache_hit -> "hit"
+  | Partial -> "partial"
+
 let render_trace tr =
   String.concat " "
-    (List.map
-       (fun (s, o) ->
-         stage_tag s ^ ":" ^ (match o with Executed -> "run" | Cache_hit -> "hit"))
-       tr)
+    (List.map (fun (s, o) -> stage_tag s ^ ":" ^ outcome_name o) tr)
 
-type exec = { x_result : result; x_trace : trace; x_full_hit : bool }
+let render_fn_trace fns =
+  String.concat " " (List.map (fun (n, o) -> n ^ ":" ^ outcome_name o) fns)
+
+type exec = {
+  x_result : result;
+  x_trace : trace;
+  x_full_hit : bool;
+  x_fn_trace : (string * outcome) list;
+      (** Per-top-level-slice outcomes of a function-granular execution
+          (function name, reused or re-run), in unit order; empty when
+          the unit-granular path ran. *)
+}
 
 (* ---- fingerprints ------------------------------------------------------- *)
 
@@ -177,6 +190,23 @@ let codegen_errors_counter =
   Stats.counter ~group:"driver" ~name:"codegen-errors"
     ~desc:"compilations refused by CodeGen (unsupported construct / errors)" ()
 
+(* Function-granular aggregates: one event per top-level slice of an
+   eligible unit whenever the granular path runs (a unit-granular hit
+   consults no per-function artifact and counts nothing here). *)
+let stat_fn_hits =
+  Stats.counter ~group:"cache" ~name:"fn-hits"
+    ~desc:"top-level slices whose sema'd AST was reused from a fnast artifact"
+    ()
+
+let stat_fn_misses =
+  Stats.counter ~group:"cache" ~name:"fn-misses"
+    ~desc:"top-level slices that had to be re-parsed and re-analysed" ()
+
+let stat_fn_relinks =
+  Stats.counter ~group:"cache" ~name:"fn-relinks"
+    ~desc:"functions stitched into a unit IR module from per-function modules"
+    ()
+
 (* ---- execution ---------------------------------------------------------- *)
 
 (* Stage timing on the monotonic wall clock; every interval also lands in
@@ -214,6 +244,182 @@ type pp_payload = {
   pl_srcmgr : Srcmgr.t;
   pl_includes : (string * string) list;
 }
+
+(* ---- function-granular slicing ------------------------------------------ *)
+
+(* A top-level declaration's span of the preprocessed stream.  Function
+   definitions are the unit of incremental reuse; every other top-level
+   declaration ([sl_fn_def = false]) is a slice whose full token content
+   participates in the downstream context, so editing it invalidates
+   every later slice. *)
+type slice = {
+  sl_name : string; (* definition name; "" for non-definition slices *)
+  sl_fn_def : bool;
+  sl_items : Mc_pp.Preprocessor.item list;
+}
+
+(* Split the preprocessed stream into top-level slices by bracket
+   tracking: a slice ends at a depth-0 [;] (declaration) or at the [}]
+   closing a top-level function body.  Returns [None] when the unit is
+   not eligible for granular treatment — a file-scope pragma, unbalanced
+   brackets, a top-level brace group that is not a function definition,
+   duplicate definition names, or fewer than two slices — in which case
+   the caller uses the unit-granular path unchanged. *)
+let slice_unit items =
+  let module Tk = Mc_lexer.Token in
+  let module Pp = Mc_pp.Preprocessor in
+  let exception Ineligible in
+  let slices = ref [] in
+  let cur = ref [] in
+  let paren = ref 0 and brace = ref 0 and bracket = ref 0 in
+  let name = ref None in
+  let name_locked = ref false in (* saw the depth-0 '(' that froze it *)
+  let fn_like = ref false in (* that '(' was later followed by a top-level '{' *)
+  let finish ~fn_def =
+    let nm = match !name with Some n -> n | None -> "" in
+    if fn_def && nm = "" then raise Ineligible;
+    slices :=
+      {
+        sl_name = (if fn_def then nm else "");
+        sl_fn_def = fn_def;
+        sl_items = List.rev !cur;
+      }
+      :: !slices;
+    cur := [];
+    name := None;
+    name_locked := false;
+    fn_like := false
+  in
+  let at_top () = !paren = 0 && !brace = 0 && !bracket = 0 in
+  match
+    List.iter
+      (fun item ->
+        match item with
+        | Pp.Prag _ ->
+          (* File-scope pragmas are a parse error the slicer must not
+             reorder around; leave such units to the unit path. *)
+          if !brace = 0 && !paren = 0 then raise Ineligible;
+          cur := item :: !cur
+        | Pp.Tok tok -> (
+          match tok.Tk.kind with
+          | Tk.Eof -> if !cur <> [] then raise Ineligible
+          | kind ->
+            cur := item :: !cur;
+            (match kind with
+            | Tk.Ident id ->
+              if at_top () && not !name_locked then name := Some id
+            | Tk.Punct Tk.LParen ->
+              if at_top () && !name <> None then name_locked := true;
+              incr paren
+            | Tk.Punct Tk.RParen ->
+              decr paren;
+              if !paren < 0 then raise Ineligible
+            | Tk.Punct Tk.LBracket -> incr bracket
+            | Tk.Punct Tk.RBracket ->
+              decr bracket;
+              if !bracket < 0 then raise Ineligible
+            | Tk.Punct Tk.LBrace ->
+              if at_top () then
+                if !name_locked then fn_like := true else raise Ineligible;
+              incr brace
+            | Tk.Punct Tk.RBrace ->
+              decr brace;
+              if !brace < 0 then raise Ineligible;
+              if at_top () then begin
+                if not !fn_like then raise Ineligible;
+                finish ~fn_def:true
+              end
+            | Tk.Punct Tk.Semi -> if at_top () then finish ~fn_def:false
+            | _ -> ())))
+      items
+  with
+  | () ->
+    if !cur <> [] || not (at_top ()) then None
+    else begin
+      let sl = List.rev !slices in
+      let rec dup = function
+        | [] -> false
+        | s :: rest ->
+          (s.sl_fn_def
+          && List.exists
+               (fun s' -> s'.sl_fn_def && String.equal s.sl_name s'.sl_name)
+               rest)
+          || dup rest
+      in
+      if List.length sl < 2 || dup sl then None else Some sl
+    end
+  | exception Ineligible -> None
+
+(* The context a slice's analysis can observe from earlier slices: full
+   token content for non-definition slices, and the tokens up to the
+   body-opening brace for function definitions — so a body edit changes
+   no later slice's context while a signature or global edit changes
+   them all. *)
+let slice_interface buf sl =
+  if not sl.sl_fn_def then Cache.canonical_items buf sl.sl_items
+  else begin
+    let module Tk = Mc_lexer.Token in
+    let module Pp = Mc_pp.Preprocessor in
+    (try
+       List.iter
+         (fun item ->
+           match item with
+           | Pp.Tok tok ->
+             Buffer.add_string buf (Tk.spelling tok);
+             Buffer.add_char buf '\x00';
+             if tok.Tk.kind = Tk.Punct Tk.LBrace then raise Exit
+           | Pp.Prag _ -> raise Exit (* unreachable: pre-brace is pragma-free *))
+         sl.sl_items
+     with Exit -> ());
+    Buffer.add_string buf "\x02{}"
+  end
+
+let slice_digest sl =
+  let buf = Buffer.create 512 in
+  Cache.canonical_items buf sl.sl_items;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* ---- per-function IR linking -------------------------------------------- *)
+
+(* Link per-function mini-modules (one per slice, in unit order) into a
+   unit module reproducing exactly the function order a unit-granular
+   codegen would have built: the first module to mention a name places
+   it, later declaration copies are dropped, and a definition grafts
+   over an earlier declaration in place.  Every [Direct] callee and
+   [Fn_addr] operand is then rewired to the canonical record per name —
+   the interpreter executes calls by following that very pointer. *)
+let link_minis ~module_name minis =
+  let by_name : (string, Mc_ir.Ir.func) Hashtbl.t = Hashtbl.create 16 in
+  let order : Mc_ir.Ir.func ref list ref = ref [] in
+  List.iter
+    (fun (mini : Mc_ir.Ir.modul) ->
+      List.iter
+        (fun (f : Mc_ir.Ir.func) ->
+          match Hashtbl.find_opt by_name f.Mc_ir.Ir.f_name with
+          | None ->
+            Hashtbl.replace by_name f.Mc_ir.Ir.f_name f;
+            order := ref f :: !order;
+            Stats.incr stat_fn_relinks
+          | Some existing
+            when existing.Mc_ir.Ir.f_is_decl && not f.Mc_ir.Ir.f_is_decl ->
+            (* A definition grafts over the declaration's slot. *)
+            Hashtbl.replace by_name f.Mc_ir.Ir.f_name f;
+            List.iter
+              (fun slot -> if !slot == existing then slot := f)
+              !order;
+            Stats.incr stat_fn_relinks
+          | Some _ -> ())
+        mini.Mc_ir.Ir.m_funcs)
+    minis;
+  let m = Mc_ir.Ir.create_module module_name in
+  m.Mc_ir.Ir.m_funcs <- List.rev_map (fun slot -> !slot) !order;
+  let resolve (f : Mc_ir.Ir.func) =
+    match Hashtbl.find_opt by_name f.Mc_ir.Ir.f_name with
+    | Some g -> g
+    | None -> f
+  in
+  Mc_ir.Ir.map_function_refs resolve m;
+  m
 
 let zero_timings =
   {
@@ -255,7 +461,8 @@ let rec walk ?cache ~frontend_only ~options ~name source =
           transformed = None;
         },
         [ (Transfo, Executed) ],
-        false )
+        false,
+        [] )
     | Ok (outc, source', tr) ->
       let options = { options with transfo_script = None } in
       walk_stages ?cache ~frontend_only ~options ~name
@@ -480,33 +687,202 @@ and walk_stages ?cache ~frontend_only ~options ~name ~transfo source =
 
   (* Stage: parse + sema (the parser drives sema, so they are one stage).
      Content-addressed on the canonical preprocessed stream, not on the
-     source: a comment-only edit lands here with an unchanged input. *)
+     source: a comment-only edit lands here with an unchanged input.
+
+     Cached compilations additionally slice the stream into top-level
+     declarations ({!slice_unit}) and consult/fill one "fnast" artifact
+     per slice, so a body edit re-parses exactly the edited function and
+     adopts every other slice's sema'd decls from the cache. *)
+  let slices = if Option.is_some cache then slice_unit items else None in
   let ast_fp =
     stage_fingerprint Parse_sema options ~input:(Cache.canonical_digest items)
   in
-  let tu =
-    match consult Parse_sema ast_fp with
-    | Some payload ->
-      mark Parse_sema Cache_hit;
-      (Marshal.from_string payload 0 : Mc_ast.Tree.translation_unit)
-    | None ->
-      let sema_mode =
-        if options.use_irbuilder then Mc_sema.Sema.Irbuilder
-        else Mc_sema.Sema.Classic
-      in
-      let sema =
-        Mc_sema.Sema.create ~mode:sema_mode
-          ~loop_nest_limit:options.loop_nest_limit !diag
-      in
-      let tu, dt =
-        time Parse_sema (fun () ->
-            Mc_parser.Parser.parse_translation_unit
-              ~bracket_depth:options.bracket_depth sema items)
-      in
-      t_parse_sema := dt;
-      mark Parse_sema Executed;
-      save Parse_sema ast_fp (fun () -> marshal tu);
-      tu
+  let ir_fp = stage_fingerprint Codegen options ~input:ast_fp in
+  let fn_trace = ref [] in
+  let mk_sema () =
+    let sema_mode =
+      if options.use_irbuilder then Mc_sema.Sema.Irbuilder
+      else Mc_sema.Sema.Classic
+    in
+    Mc_sema.Sema.create ~mode:sema_mode
+      ~loop_nest_limit:options.loop_nest_limit !diag
+  in
+  let legacy_parse () =
+    let sema = mk_sema () in
+    let tu, dt =
+      time Parse_sema (fun () ->
+          Mc_parser.Parser.parse_translation_unit
+            ~bracket_depth:options.bracket_depth sema items)
+    in
+    t_parse_sema := !t_parse_sema +. dt;
+    mark Parse_sema Executed;
+    save Parse_sema ast_fp (fun () -> marshal tu);
+    tu
+  in
+  (* Parse slice by slice against one shared sema.  A hit adopts the
+     artifact's decls (claiming its id watermark first — PR 8's counter
+     discipline at the AST layer); a miss parses just that slice and
+     stores its new decls with earlier functions' bodies stripped, so an
+     artifact carries exactly one body: its own.  Returns [None] to fall
+     back to the unit path: on any error (the unit parser's recovery and
+     diagnostics must be reproduced exactly, and nothing would be cached
+     anyway), or when a definition mutated an earlier slice's record
+     (prototype in one slice, definition in another) — a shape
+     per-function artifacts cannot represent. *)
+  let granular_parse slices =
+    let pslice = option_slice Parse_sema options in
+    let sema = mk_sema () in
+    let iface = Buffer.create 1024 in
+    let seen_fns = ref [] in
+    let decl_count = ref 0 in
+    let acc = ref [] in
+    let slice_label sl = if sl.sl_fn_def then sl.sl_name else "<decl>" in
+    let note_fns decls =
+      List.iter
+        (function
+          | Mc_ast.Tree.Tu_fn fn -> seen_fns := fn :: !seen_fns
+          | Mc_ast.Tree.Tu_var _ -> ())
+        decls
+    in
+    let rec go = function
+      | [] -> Some (List.rev !acc)
+      | sl :: rest -> (
+        let ctx = Digest.to_hex (Digest.string (Buffer.contents iface)) in
+        let fp =
+          hash ("fnast\x00" ^ ctx ^ "\x00" ^ slice_digest sl ^ "\x00" ^ pslice)
+        in
+        let cached =
+          match cache with
+          | None -> None
+          | Some c -> Cache.find c ~stage:"fnast" fp
+        in
+        match cached with
+        | Some payload ->
+          Stats.incr stat_fn_hits;
+          let ((wm, decls) : int * Mc_ast.Tree.tu_decl list) =
+            Marshal.from_string payload 0
+          in
+          Mc_ast.Tree.claim_up_to wm;
+          List.iter (Mc_sema.Sema.adopt_tu_decl sema) decls;
+          decl_count := !decl_count + List.length decls;
+          note_fns decls;
+          fn_trace := (slice_label sl, Cache_hit) :: !fn_trace;
+          acc := (sl, fp, decls, true) :: !acc;
+          slice_interface iface sl;
+          go rest
+        | None ->
+          Stats.incr stat_fn_misses;
+          let (_ : Mc_ast.Tree.translation_unit), dt =
+            time Parse_sema (fun () ->
+                Mc_parser.Parser.parse_translation_unit
+                  ~bracket_depth:options.bracket_depth sema sl.sl_items)
+          in
+          t_parse_sema := !t_parse_sema +. dt;
+          let all = (Mc_sema.Sema.translation_unit sema).Mc_ast.Tree.tu_decls in
+          let rec drop n l =
+            if n = 0 then l
+            else match l with [] -> [] | _ :: t -> drop (n - 1) t
+          in
+          let fresh = drop !decl_count all in
+          decl_count := List.length all;
+          if Diag.has_errors !diag then None
+          else if
+            sl.sl_fn_def
+            && not
+                 (List.exists
+                    (function
+                      | Mc_ast.Tree.Tu_fn fn ->
+                        String.equal fn.Mc_ast.Tree.fn_name sl.sl_name
+                        && fn.Mc_ast.Tree.fn_body <> None
+                      | Mc_ast.Tree.Tu_var _ -> false)
+                    fresh)
+          then None
+          else begin
+            (match cache with
+            | Some c when clean () ->
+              let stripped =
+                List.filter_map
+                  (fun fn ->
+                    match fn.Mc_ast.Tree.fn_body with
+                    | Some b ->
+                      fn.Mc_ast.Tree.fn_body <- None;
+                      Some (fn, b)
+                    | None -> None)
+                  !seen_fns
+              in
+              Fun.protect
+                ~finally:(fun () ->
+                  List.iter
+                    (fun (fn, b) -> fn.Mc_ast.Tree.fn_body <- Some b)
+                    stripped)
+                (fun () ->
+                  Cache.store c ~stage:"fnast" fp
+                    (marshal (Mc_ast.Tree.current_id (), fresh)))
+            | _ -> ());
+            note_fns fresh;
+            fn_trace := (slice_label sl, Executed) :: !fn_trace;
+            acc := (sl, fp, fresh, false) :: !acc;
+            slice_interface iface sl;
+            go rest
+          end)
+    in
+    go slices
+  in
+  let unit_ast = consult Parse_sema ast_fp in
+  (* For eligible units the unit IR artifact is peeked before the parse
+     decision: its presence means the backend will never need per-slice
+     decls, so a unit-level AST hit can be adopted wholesale. *)
+  let unit_ir =
+    match slices with
+    | Some _ when (not frontend_only) && not (Diag.has_errors !diag) ->
+      Some (consult Codegen ir_fp)
+    | _ -> None
+  in
+  let need_decls = match unit_ir with Some None -> true | _ -> false in
+  let adopt_unit_ast payload =
+    mark Parse_sema Cache_hit;
+    (Marshal.from_string payload 0 : Mc_ast.Tree.translation_unit)
+  in
+  let tu, slice_sems =
+    match (unit_ast, slices) with
+    | Some payload, _ when not need_decls -> (adopt_unit_ast payload, None)
+    | _, Some sl when clean () -> (
+      match granular_parse sl with
+      | Some sems ->
+        let total = List.length sems in
+        let reused =
+          List.length (List.filter (fun (_, _, _, r) -> r) sems)
+        in
+        mark Parse_sema
+          (if reused = 0 then Executed
+           else if reused = total && Option.is_some unit_ast then Cache_hit
+           else Partial);
+        if Option.is_none unit_ast then
+          save Parse_sema ast_fp (fun () ->
+              marshal
+                {
+                  Mc_ast.Tree.tu_decls =
+                    List.concat_map (fun (_, _, d, _) -> d) sems;
+                });
+        ( {
+            Mc_ast.Tree.tu_decls =
+              List.concat_map (fun (_, _, d, _) -> d) sems;
+          },
+          Some sems )
+      | None ->
+        (* Mid-flight ineligibility: restart the unit way on a fresh
+           sema, id counter and diagnostics engine (lex/pp allocate no
+           ids, and granular parse only runs on a clean diag, so both
+           rewinds lose nothing). *)
+        fn_trace := [];
+        Mc_ast.Tree.reset_ids ();
+        diag := Diag.create !srcmgr;
+        Diag.set_error_limit !diag options.error_limit;
+        (match unit_ast with
+        | Some payload -> (adopt_unit_ast payload, None)
+        | None -> (legacy_parse (), None)))
+    | Some payload, _ -> (adopt_unit_ast payload, None)
+    | None, _ -> (legacy_parse (), None)
   in
 
   let timings () =
@@ -532,102 +908,264 @@ and walk_stages ?cache ~frontend_only ~options ~name ~transfo source =
       transformed;
     }
   in
+  let finish ir unroll =
+    {
+      diag = !diag;
+      srcmgr = !srcmgr;
+      tu = Some tu;
+      ir = Some ir;
+      codegen_error = None;
+      timings = timings ();
+      unroll_stats = unroll;
+      stats = [];
+      transformed;
+    }
+  in
+  let verify_or_ice m =
+    if options.verify_ir then begin
+      match Mc_ir.Verifier.check m with
+      | Ok () -> ()
+      | Error e ->
+        invalid_arg
+          (Printf.sprintf "IR verification failed after codegen:\n%s" e)
+    end
+  in
+  let mode =
+    if options.use_irbuilder then Mc_codegen.Codegen.Irbuilder
+    else Mc_codegen.Codegen.Classic
+  in
+  let passes_of () =
+    if options.optimize then Mc_passes.Pass_manager.o1
+    else Mc_passes.Pass_manager.o0
+  in
+  (* The unit IR artifact may have been peeked before the parse stage
+     (eligible units); never consult twice, the counters would lie. *)
+  let consult_ir () =
+    match unit_ir with Some res -> res | None -> consult Codegen ir_fp
+  in
   let r =
     if frontend_only || Diag.has_errors !diag then no_ir None
     else begin
-      (* Stage: codegen (IR). *)
-      let ir_fp = stage_fingerprint Codegen options ~input:ast_fp in
+      let opt_fp = stage_fingerprint Passes options ~input:ir_fp in
+      let cslice = option_slice Codegen options in
+      let oslice = option_slice Passes options in
+      (* Legacy whole-unit codegen. *)
+      let emit_unit () =
+        match
+          time Codegen (fun () ->
+              match
+                Mc_codegen.Codegen.emit_translation_unit ~fold:options.fold
+                  ~mode tu
+              with
+              | m -> Ok m
+              | exception Mc_codegen.Codegen.Unsupported msg -> Error msg)
+        with
+        (* The time codegen spent before bailing out is still real work;
+           keep it so stage timings stay truthful on the error path. *)
+        | Error msg, dt ->
+          t_codegen := dt;
+          mark Codegen Executed;
+          Stats.incr codegen_errors_counter;
+          Error msg
+        | Ok m, dt ->
+          t_codegen := dt;
+          mark Codegen Executed;
+          verify_or_ice m;
+          (* Snapshot *before* the pass pipeline mutates m in place. *)
+          save Codegen ir_fp (fun () -> "U" ^ marshal m);
+          Ok (`Whole m)
+      in
+      (* Function-granular codegen: emit exactly the slices whose "fnir"
+         (pre-pass, chained off the slice's fnast fingerprint) artifact
+         is missing.  Gensyms reset per fresh slice, which is what makes
+         a per-function module context-free: outlined-function and
+         dispatch-site numbering restart per function (names stay unique
+         — they are prefixed by the parent function's name). *)
+      let emit_minis sems =
+        let hits = ref 0 in
+        let rec go acc = function
+          | [] -> Ok (List.rev acc, if !hits > 0 then Partial else Executed)
+          | (_, fnast_fp, decls, _) :: rest -> (
+            if decls = [] then go acc rest
+            else
+              let fnir_fp = hash ("fnir\x00" ^ fnast_fp ^ "\x00" ^ cslice) in
+              let cached =
+                match cache with
+                | None -> None
+                | Some c -> Cache.find c ~stage:"fnir" fnir_fp
+              in
+              match cached with
+              | Some payload ->
+                incr hits;
+                go ((fnir_fp, payload, None) :: acc) rest
+              | None -> (
+                Mc_codegen.Codegen.reset_gensym ();
+                Mc_ompbuilder.Omp_builder.reset_gensym ();
+                match
+                  time Codegen (fun () ->
+                      match
+                        Mc_codegen.Codegen.emit_translation_unit
+                          ~fold:options.fold ~mode
+                          { Mc_ast.Tree.tu_decls = decls }
+                      with
+                      | m -> Ok m
+                      | exception Mc_codegen.Codegen.Unsupported msg ->
+                        Error msg)
+                with
+                | Error msg, dt ->
+                  t_codegen := !t_codegen +. dt;
+                  mark Codegen Executed;
+                  Stats.incr codegen_errors_counter;
+                  Error msg
+                | Ok mini, dt ->
+                  t_codegen := !t_codegen +. dt;
+                  verify_or_ice mini;
+                  (* Snapshot before the pass pipeline mutates it. *)
+                  let payload = marshal (mini, Mc_ir.Ir.current_id ()) in
+                  (match cache with
+                  | Some c when clean () ->
+                    Cache.store c ~stage:"fnir" fnir_fp payload
+                  | _ -> ());
+                  go ((fnir_fp, payload, Some mini) :: acc) rest))
+        in
+        go [] sems
+      in
+      (* The unit "ir" artifact carries a shape tag — 'U' for a whole
+         module, 'F' for an eligible unit's (fnir fp, payload) list — so
+         a reader never has to re-derive the eligibility decision that
+         stored it (a unit-level AST hit skips the slicer entirely, yet
+         its ir artifact may well be per-function).  The 'F' list stays
+         unopened unless the passes stage actually needs the minis: a
+         full-warm compile never deserialises pre-pass IR at all. *)
       let pre_pass =
-        match consult Codegen ir_fp with
-        | Some payload ->
+        match consult_ir () with
+        | Some payload when payload.[0] = 'U' ->
           mark Codegen Cache_hit;
-          let m : Mc_ir.Ir.modul = Marshal.from_string payload 0 in
+          let m : Mc_ir.Ir.modul = Marshal.from_string payload 1 in
           (* The passes stage may still run on this module (its own
              entry evicted or unreadable); its ids must be claimed or
              pass-created instructions collide with cached ones. *)
           Mc_ir.Ir.claim_ids m;
-          Ok m
+          Ok (`Whole m)
+        | Some payload ->
+          mark Codegen Cache_hit;
+          Ok
+            (`Pairs
+               (lazy
+                 (List.map
+                    (fun (fp, p) -> (fp, p, None))
+                    (Marshal.from_string payload 1 : (string * string) list))))
         | None -> (
-          let mode =
-            if options.use_irbuilder then Mc_codegen.Codegen.Irbuilder
-            else Mc_codegen.Codegen.Classic
-          in
-          match
-            time Codegen (fun () ->
-                match
-                  Mc_codegen.Codegen.emit_translation_unit ~fold:options.fold
-                    ~mode tu
-                with
-                | m -> Ok m
-                | exception Mc_codegen.Codegen.Unsupported msg -> Error msg)
-          with
-          (* The time codegen spent before bailing out is still real work;
-             keep it so stage timings stay truthful on the error path. *)
-          | Error msg, dt ->
-            t_codegen := dt;
-            mark Codegen Executed;
-            Stats.incr codegen_errors_counter;
-            Error msg
-          | Ok m, dt ->
-            t_codegen := dt;
-            mark Codegen Executed;
-            if options.verify_ir then begin
-              match Mc_ir.Verifier.check m with
-              | Ok () -> ()
-              | Error e ->
-                invalid_arg
-                  (Printf.sprintf "IR verification failed after codegen:\n%s" e)
-            end;
-            (* Snapshot *before* the pass pipeline mutates m in place. *)
-            save Codegen ir_fp (fun () -> marshal m);
-            Ok m)
+          match slice_sems with
+          | None -> emit_unit ()
+          | Some sems -> (
+            match emit_minis sems with
+            | Error msg -> Error msg
+            | Ok (pairs, outcome) ->
+              mark Codegen outcome;
+              save Codegen ir_fp (fun () ->
+                  "F" ^ marshal (List.map (fun (fp, p, _) -> (fp, p)) pairs));
+              Ok (`Pairs (Lazy.from_val pairs))))
       in
       match pre_pass with
       | Error msg -> no_ir (Some msg)
-      | Ok m -> (
+      | Ok pre -> (
         (* Stage: passes (OptIR). *)
-        let opt_fp = stage_fingerprint Passes options ~input:ir_fp in
         match consult Passes opt_fp with
         | Some payload ->
           mark Passes Cache_hit;
           let (m', unroll) : Mc_ir.Ir.modul * Mc_passes.Loop_unroll.stats =
             Marshal.from_string payload 0
           in
-          {
-            diag = !diag;
-            srcmgr = !srcmgr;
-            tu = Some tu;
-            ir = Some m';
-            codegen_error = None;
-            timings = timings ();
-            unroll_stats = unroll;
-            stats = [];
-            transformed;
-          }
-        | None ->
-          let report, dt =
-            time Passes (fun () ->
-                Mc_passes.Pass_manager.run ~verify_between:options.verify_ir
-                  ~passes:
-                    (if options.optimize then Mc_passes.Pass_manager.o1
-                     else Mc_passes.Pass_manager.o0)
-                  m)
-          in
-          t_passes := dt;
-          mark Passes Executed;
-          save Passes opt_fp (fun () ->
-              marshal (m, report.Mc_passes.Pass_manager.unroll_stats));
-          {
-            diag = !diag;
-            srcmgr = !srcmgr;
-            tu = Some tu;
-            ir = Some m;
-            codegen_error = None;
-            timings = timings ();
-            unroll_stats = report.Mc_passes.Pass_manager.unroll_stats;
-            stats = [];
-            transformed;
-          })
+          finish m' unroll
+        | None -> (
+          match pre with
+          | `Whole m ->
+            let report, dt =
+              time Passes (fun () ->
+                  Mc_passes.Pass_manager.run ~verify_between:options.verify_ir
+                    ~passes:(passes_of ()) m)
+            in
+            t_passes := dt;
+            mark Passes Executed;
+            save Passes opt_fp (fun () ->
+                marshal (m, report.Mc_passes.Pass_manager.unroll_stats));
+            finish m report.Mc_passes.Pass_manager.unroll_stats
+          | `Pairs minis ->
+            (* Per slice — one "fnoptir" artifact each — then relink. *)
+            let hits = ref 0 in
+            let agg = ref Mc_passes.Loop_unroll.empty_stats in
+            let add (a : Mc_passes.Loop_unroll.stats)
+                (b : Mc_passes.Loop_unroll.stats) =
+              {
+                Mc_passes.Loop_unroll.fully_unrolled =
+                  a.Mc_passes.Loop_unroll.fully_unrolled
+                  + b.Mc_passes.Loop_unroll.fully_unrolled;
+                partially_unrolled =
+                  a.Mc_passes.Loop_unroll.partially_unrolled
+                  + b.Mc_passes.Loop_unroll.partially_unrolled;
+                skipped =
+                  a.Mc_passes.Loop_unroll.skipped
+                  + b.Mc_passes.Loop_unroll.skipped;
+              }
+            in
+            let finals =
+              List.map
+                (fun (fnir_fp, payload, mini) ->
+                  let fnopt_fp =
+                    hash ("fnoptir\x00" ^ fnir_fp ^ "\x00" ^ oslice)
+                  in
+                  let cached =
+                    match cache with
+                    | None -> None
+                    | Some c -> Cache.find c ~stage:"fnoptir" fnopt_fp
+                  in
+                  match cached with
+                  | Some p ->
+                    incr hits;
+                    let ((mf, unroll, wm)
+                          : Mc_ir.Ir.modul * Mc_passes.Loop_unroll.stats * int)
+                        =
+                      Marshal.from_string p 0
+                    in
+                    Mc_ir.Ir.claim_up_to wm;
+                    agg := add !agg unroll;
+                    mf
+                  | None ->
+                    let m =
+                      match mini with
+                      | Some m -> m (* freshly emitted: ids already live *)
+                      | None ->
+                        let ((m, wm) : Mc_ir.Ir.modul * int) =
+                          Marshal.from_string payload 0
+                        in
+                        Mc_ir.Ir.claim_up_to wm;
+                        m
+                    in
+                    let report, dt =
+                      time Passes (fun () ->
+                          Mc_passes.Pass_manager.run
+                            ~verify_between:options.verify_ir
+                            ~passes:(passes_of ()) m)
+                    in
+                    t_passes := !t_passes +. dt;
+                    agg := add !agg report.Mc_passes.Pass_manager.unroll_stats;
+                    (match cache with
+                    | Some c when clean () ->
+                      Cache.store c ~stage:"fnoptir" fnopt_fp
+                        (marshal
+                           ( m,
+                             report.Mc_passes.Pass_manager.unroll_stats,
+                             Mc_ir.Ir.current_id () ))
+                    | _ -> ());
+                    m)
+                (Lazy.force minis)
+            in
+            mark Passes (if !hits > 0 then Partial else Executed);
+            let final = link_minis ~module_name:"a.out" finals in
+            verify_or_ice final;
+            save Passes opt_fp (fun () -> marshal (final, !agg));
+            finish final !agg))
     end
   in
   let tr = List.rev !trace in
@@ -643,10 +1181,10 @@ and walk_stages ?cache ~frontend_only ~options ~name ~transfo source =
   in
   if Option.is_some cache && not frontend_only then
     Stats.incr (if full_hit then stat_full_hits else stat_full_misses);
-  (r, tr, full_hit)
+  (r, tr, full_hit, List.rev !fn_trace)
 
 and execute ?cache ?(options = default_options) ?(name = "input.c") source =
-  let (r, tr, full_hit), registry =
+  let (r, tr, full_hit, fn_trace), registry =
     Stats.with_scoped_registry (fun () ->
         walk ?cache ~frontend_only:false ~options ~name source)
   in
@@ -654,10 +1192,11 @@ and execute ?cache ?(options = default_options) ?(name = "input.c") source =
     x_result = { r with stats = Stats.snapshot ~registry () };
     x_trace = tr;
     x_full_hit = full_hit;
+    x_fn_trace = fn_trace;
   }
 
 and frontend ?(options = default_options) ?(name = "input.c") source =
-  let (r, _, _), _registry =
+  let (r, _, _, _), _registry =
     Stats.with_scoped_registry (fun () ->
         walk ~frontend_only:true ~options ~name source)
   in

@@ -86,7 +86,10 @@ val stage_tag : stage -> string
 (** Artifact tag in the stage cache and its counters ("transfo", "lex",
     "pp", "ast", "ir", "optir"). *)
 
-type outcome = Executed | Cache_hit
+type outcome = Executed | Cache_hit | Partial
+(** [Partial] is the function-granular middle ground: the unit-level
+    artifact missed but at least one per-function artifact hit, so the
+    stage re-ran only the changed slices and relinked the rest. *)
 
 type trace = (stage * outcome) list
 (** What happened to each stage reached by an execution, in pipeline
@@ -94,7 +97,14 @@ type trace = (stage * outcome) list
     absent. *)
 
 val render_trace : trace -> string
-(** E.g. ["lex:run pp:run ast:hit ir:hit optir:hit"]. *)
+(** E.g. ["lex:run pp:run ast:hit ir:hit optir:hit"]; a body edit on a
+    warm cache renders ["lex:run pp:run ast:partial ir:partial
+    optir:partial"]. *)
+
+val render_fn_trace : (string * outcome) list -> string
+(** Render {!exec.x_fn_trace} the same way, one token per top-level
+    slice: e.g. ["<decl>:hit f:hit main:run"] after an edit inside
+    [main]'s body. *)
 
 type exec = {
   x_result : result;
@@ -103,6 +113,13 @@ type exec = {
       (** Every stage from the parser onward was served from the cache —
           the whole-pipeline notion of a cache hit that [cache.hits]
           counts and {!Batch} reports. *)
+  x_fn_trace : (string * outcome) list;
+      (** Function-granular slice outcomes in unit order (definition
+          name, or ["<decl>"] for non-definition slices): [Cache_hit]
+          when the slice's sema'd AST was adopted from a "fnast"
+          artifact, [Executed] when it was re-parsed.  Empty whenever
+          the unit-granular path ran (uncached execution, ineligible
+          unit, or a whole-unit hit that never consulted slices). *)
 }
 
 val option_slice : stage -> options -> string

@@ -40,7 +40,10 @@ module Fault = Mc_support.Fault
 let fault_read = Fault.point "store.read"
 let fault_write = Fault.point "store.write"
 
-let schema_version = 1
+(* v2: the "ir" artifact of function-granular units became a list of
+   per-function payloads (see Pipeline); bumping makes pre-granular
+   stores miss cleanly instead of unmarshalling the wrong shape. *)
+let schema_version = 2
 let magic = "MCST"
 let default_max_bytes = 512 * 1024 * 1024
 

@@ -180,6 +180,15 @@ let claim_ids m =
         f.f_blocks)
     m.m_funcs
 
+(* Watermark variants of the same discipline for function-granular
+   artifacts: a cached per-function module records [current_id] at store
+   time and a consumer claims up to that mark before allocating. *)
+let current_id () = !(Domain.DLS.get id_counter)
+
+let claim_up_to n =
+  let r = Domain.DLS.get id_counter in
+  if n > !r then r := n
+
 let create_module name = { m_name = name; m_funcs = [] }
 
 let mk_arg ~name ~ty = { a_id = fresh_id (); a_name = name; a_ty = ty }
@@ -303,6 +312,31 @@ let map_terminator_operands f b =
   | Ret (Some v) -> b.b_term <- Ret (Some (f v))
   | Cond_br (c, t, e) -> b.b_term <- Cond_br (f c, t, e)
   | Ret None | Br _ | Unreachable | No_term -> ()
+
+(* Rewire every function reference in [m] — [Direct] callees and
+   [Fn_addr] operands — through [resolve].  Linking a module from
+   independently cached per-function modules leaves each call pointing
+   at its own mini-module's copy of the callee record; the interpreter
+   executes [Direct f] by following that very pointer, so the linker
+   must redirect all references to the one canonical record per name. *)
+let map_function_refs resolve m =
+  let value v = match v with Fn_addr f -> Fn_addr (resolve f) | _ -> v in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun i ->
+              (match i.i_kind with
+              | Call { callee = Direct g; args } ->
+                let g' = resolve g in
+                if g' != g then i.i_kind <- Call { callee = Direct g'; args }
+              | _ -> ());
+              map_inst_operands value i)
+            b.b_insts_rev;
+          map_terminator_operands value b)
+        f.f_blocks)
+    m.m_funcs
 
 (* Redirect control-flow edges: every successor [from] of [b] becomes [into].
    Phi nodes in [from]'s other successors are NOT adjusted here. *)

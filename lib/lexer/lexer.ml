@@ -99,7 +99,7 @@ let lex_ident t start =
   let text = Buf.sub t.buf ~pos:start ~len:(t.pos - start) in
   match Token.keyword_of_string text with
   | Some kw -> Token.Keyword kw
-  | None -> Token.Ident text
+  | None -> Token.Ident (Mc_support.Intern.share text)
 
 (* Numeric literals: decimal/hex/octal integers with [uUlL] suffixes, and
    decimal floats with optional fraction and exponent. *)

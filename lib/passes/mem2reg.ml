@@ -37,7 +37,16 @@ let promotable_allocas f =
         (block_insts b);
       List.iter disqualify (terminator_operands b.b_term))
     f.f_blocks;
-  Hashtbl.fold (fun _ (i, ty) acc -> (i, ty) :: acc) candidates []
+  (* Return survivors in program order.  Hashtbl.fold order depends on
+     the numeric i_id values, which differ between a whole-unit compile
+     and a relinked per-function one; phi placement below would then
+     emit phis in a different order for byte-identical source. *)
+  List.concat_map
+    (fun b ->
+      List.filter_map
+        (fun i -> Hashtbl.find_opt candidates i.i_id)
+        (block_insts b))
+    f.f_blocks
 
 let run_func f =
   if f.f_is_decl || f.f_blocks = [] then 0

@@ -234,6 +234,22 @@ let finish_function_definition t fn body =
 
 let translation_unit t = { tu_decls = List.rev t.decls }
 
+(* Adopt a top-level declaration unmarshalled from a per-function cache
+   artifact, as if this sema had just analysed it: register the symbol
+   for lookup by later slices and append it to the unit's decl list.
+   The caller must be at file scope (between top-level slices). *)
+let adopt_tu_decl t d =
+  (match d with
+  | Tu_fn fn -> Hashtbl.replace t.fns fn.fn_name fn
+  | Tu_var v ->
+    let rec file_scope = function
+      | [ s ] -> s
+      | _ :: rest -> file_scope rest
+      | [] -> assert false
+    in
+    Hashtbl.replace (file_scope t.scopes).vars v.v_name v);
+  t.decls <- d :: t.decls
+
 (* ---- expressions ---------------------------------------------------------- *)
 
 let act_on_int_literal _t ~value ~unsigned ~long ~loc =

@@ -50,6 +50,12 @@ val start_function_definition : t -> fn -> unit
 
 val finish_function_definition : t -> fn -> stmt -> unit
 
+val adopt_tu_decl : t -> tu_decl -> unit
+(** Adopt a top-level declaration recovered from a per-function cache
+    artifact as if this sema had just analysed it: the symbol becomes
+    visible to later slices and the decl joins the translation unit in
+    arrival order.  Only valid at file scope. *)
+
 val lookup_var : t -> string -> var option
 val lookup_fn : t -> string -> fn option
 val current_function : t -> fn option

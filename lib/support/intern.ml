@@ -1,0 +1,58 @@
+(* Domain-local hash-consing of strings.  See the .mli for the contract;
+   the table lives in DLS so the lexer never takes a lock, and a soft
+   cap keeps a long-lived daemon from accumulating every identifier it
+   has ever seen. *)
+
+(* Deliberately no Stats counters here: interning is domain-lifetime
+   state (a warm domain reuses strings interned by earlier units), so
+   per-compilation counts would differ between -j 1 and -j 4 and break
+   the per-unit snapshot determinism Batch guarantees. *)
+
+type id = int
+
+let soft_cap = 65536
+
+type table = {
+  mutable by_string : (string, int) Hashtbl.t;
+  mutable by_id : string array; (* length next_id, grown amortised *)
+  mutable next_id : int;
+}
+
+let key : table Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { by_string = Hashtbl.create 1024; by_id = Array.make 1024 ""; next_id = 0 })
+
+let clear t =
+  t.by_string <- Hashtbl.create 1024;
+  t.by_id <- Array.make 1024 "";
+  t.next_id <- 0
+
+let intern t s =
+  match Hashtbl.find_opt t.by_string s with
+  | Some i -> i
+  | None ->
+    if t.next_id >= soft_cap then clear t;
+    let i = t.next_id in
+    if i >= Array.length t.by_id then begin
+      let grown = Array.make (2 * Array.length t.by_id) "" in
+      Array.blit t.by_id 0 grown 0 i;
+      t.by_id <- grown
+    end;
+    t.by_id.(i) <- s;
+    Hashtbl.add t.by_string s i;
+    t.next_id <- i + 1;
+    i
+
+let share s =
+  let t = Domain.DLS.get key in
+  t.by_id.(intern t s)
+
+let id s = intern (Domain.DLS.get key) s
+
+let to_string i =
+  let t = Domain.DLS.get key in
+  if i < 0 || i >= t.next_id then
+    invalid_arg (Printf.sprintf "Intern.to_string: unknown id %d" i);
+  t.by_id.(i)
+
+let size () = (Domain.DLS.get key).next_id

@@ -1,0 +1,49 @@
+(** Hash-consed strings and stable symbol ids.
+
+    The front end creates the same identifier spelling thousands of
+    times — every occurrence of [i], every call to [omp_get_thread_num]
+    — and every copy is a fresh heap block.  {!share} collapses them:
+    the first occurrence of a spelling becomes the canonical physical
+    string and every later occurrence returns that same block.  Two
+    things get cheaper at once: equality on identifiers usually
+    succeeds on the pointer fast-path inside [caml_string_equal], and
+    [Marshal] (which preserves intra-value sharing) emits one copy of
+    each spelling per artifact instead of one per token, shrinking
+    every cached [Mc_core.Store] payload and [mccd] round-trip that
+    carries tokens or ASTs.
+
+    {!id} additionally assigns a dense integer id per distinct
+    spelling — the stable per-function symbol handle used by the
+    function-granular slicer.  Ids are dense and deterministic {e
+    within} a domain's arrival order but are NOT stable across
+    processes or domains; never put them in fingerprints or marshalled
+    artifacts.
+
+    The table is domain-local (no locks on the lexing hot path); each
+    domain of a parallel {!Mc_core.Batch} builds its own sharing,
+    which is exactly the scope [Marshal] can exploit anyway.  A soft
+    cap bounds memory in long-lived daemons: when a domain's table
+    exceeds the cap it is cleared and sharing restarts — correctness
+    never depends on two equal strings being physically equal. *)
+
+type id = int
+
+val share : string -> string
+(** The canonical physical string for this spelling in the current
+    domain.  [share s = s] (structurally) always. *)
+
+val id : string -> id
+(** Dense id of the spelling in the current domain (interning it
+    first if needed).  [id s = id s'] iff [s = s'] — within one
+    domain. *)
+
+val to_string : id -> string
+(** The spelling behind an id of the current domain.
+    @raise Invalid_argument on an id this domain never issued. *)
+
+val size : unit -> int
+(** Distinct spellings currently interned in this domain. *)
+
+val soft_cap : int
+(** Table size at which the next {!share}/{!id} clears the domain's
+    table (sharing restarts; previously issued ids become invalid). *)

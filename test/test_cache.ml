@@ -40,17 +40,24 @@ let test_second_compile_hits () =
   Alcotest.(check bool) "first is a miss" false first.Instance.c_cache_hit;
   check_trace "cold runs every stage"
     "lex:run pp:run ast:run ir:run optir:run" first;
-  (* One artifact per compile stage; the transfo pre-stage only stores
-     when a script runs (test_transfo covers that). *)
-  let compile_stages =
-    List.filter (fun s -> s <> "transfo") Cache.stage_names
-  in
-  Alcotest.(check int) "five artifacts stored" 5 (Cache.length cache);
+  (* One artifact per unit-granular stage (the transfo pre-stage only
+     stores when a script runs; test_transfo covers that), plus the
+     per-function family: one fnast per top-level slice (the record
+     prototype and main), and fnir/fnoptir for the one slice that
+     produces declarations. *)
+  let compile_stages = [ "lex"; "pp"; "ast"; "ir"; "optir" ] in
+  Alcotest.(check int) "nine artifacts stored" 9 (Cache.length cache);
   List.iter
     (fun stage ->
       Alcotest.(check int) (stage ^ " stored") 1
         (Cache.stage_length cache ~stage))
     compile_stages;
+  Alcotest.(check int) "one fnast per slice" 2
+    (Cache.stage_length cache ~stage:"fnast");
+  Alcotest.(check int) "fnir for the defining slice" 1
+    (Cache.stage_length cache ~stage:"fnir");
+  Alcotest.(check int) "fnoptir for the defining slice" 1
+    (Cache.stage_length cache ~stage:"fnoptir");
   let second = compile inst source in
   Alcotest.(check bool) "second is a hit" true second.Instance.c_cache_hit;
   check_trace "warm hits every stage"
@@ -96,15 +103,19 @@ let test_define_change_misses () =
     (run_with [ ("N", "2") ]).Instance.c_cache_hit;
   (* A -D change that alters expansion is a different translation unit
      from the preprocessor onward — but the lex artifact, fingerprinted
-     on the source alone, is still reused. *)
-  check_trace "changed -D re-runs pp and downstream"
-    "lex:hit pp:run ast:run ir:run optir:run"
+     on the source alone, is still reused, and so is the record
+     prototype's fnast slice (the N only expands inside main's body), so
+     the AST stage is a partial re-run rather than a full one. *)
+  check_trace "changed -D re-runs pp and the edited slice"
+    "lex:hit pp:run ast:partial ir:run optir:run"
     (run_with [ ("N", "4") ]);
   Alcotest.(check int) "one lex artifact for both -D values" 1
     (Cache.stage_length cache ~stage:"lex");
   Alcotest.(check int) "two pp artifacts" 2
     (Cache.stage_length cache ~stage:"pp");
-  Alcotest.(check int) "nine artifacts total" 9 (Cache.length cache)
+  Alcotest.(check int) "one shared fnast + one per N value for main" 3
+    (Cache.stage_length cache ~stage:"fnast");
+  Alcotest.(check int) "sixteen artifacts total" 16 (Cache.length cache)
 
 let test_option_change_misses () =
   let cache = Cache.create () in

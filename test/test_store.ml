@@ -351,8 +351,11 @@ let test_cache_survives_restart () =
       in
       let cold, cold_stats = compile_once () in
       Alcotest.(check bool) "cold is a miss" false cold.Instance.c_cache_hit;
+      (* Five unit-granular stages plus the per-function families: one
+         fnast per top-level slice (record's prototype and main), and
+         fnir/fnoptir for the one slice producing declarations. *)
       if not (store_faults ()) then
-        Alcotest.(check int) "cold persisted every stage" 5
+        Alcotest.(check int) "cold persisted every stage" 9
           (Stats.find cold_stats "store.stores");
       let warm, warm_stats = compile_once () in
       if not (store_faults ()) then begin
@@ -392,12 +395,21 @@ let test_lost_optir_entry_reruns_passes () =
         c
       in
       let cold = compile_once () in
-      (* Lose just the optir entry, exactly as eviction would. *)
-      let optir_dir = Filename.concat (Filename.concat dir "v1") "optir" in
-      if Sys.file_exists optir_dir then
-        Array.iter
-          (fun f -> Sys.remove (Filename.concat optir_dir f))
-          (Sys.readdir optir_dir);
+      (* Lose the post-pass entries, exactly as eviction would: the unit
+         optir artifact and the per-function fnoptir ones (losing only
+         the former would be served back by a relink from the latter). *)
+      List.iter
+        (fun stage ->
+          let d =
+            Filename.concat
+              (Filename.concat dir (Printf.sprintf "v%d" Store.schema_version))
+              stage
+          in
+          if Sys.file_exists d then
+            Array.iter
+              (fun f -> Sys.remove (Filename.concat d f))
+              (Sys.readdir d))
+        [ "optir"; "fnoptir" ];
       let warm = compile_once () in
       if not (store_faults ()) then
         Alcotest.(check string) "frontend from disk, passes re-run"
