@@ -97,6 +97,35 @@ let run_diff_mode ~n ~seed ~jobs ~out_dir =
       (List.length mismatches) report.Mc_fuzz.Differential.dm_total;
     exit 1
 
+let run_analyze_mode ~n ~seed ~out_dir =
+  let report = Mc_fuzz.Analysis_oracle.run ~n ~seed () in
+  match report.Mc_fuzz.Analysis_oracle.av_violations with
+  | [] ->
+    Printf.printf
+      "fuzz: OK: %d analysis inputs (seed %d): no unsound transformation \
+       verdicts, no missed or spurious uninitialized-read findings\n"
+      report.Mc_fuzz.Analysis_oracle.av_total seed
+  | violations ->
+    (try Sys.mkdir out_dir 0o755 with Sys_error _ -> ());
+    List.iteri
+      (fun i v ->
+        let base = Filename.concat out_dir (Printf.sprintf "violation-%d" i) in
+        Out_channel.with_open_text (base ^ ".c") (fun oc ->
+            Out_channel.output_string oc v.Mc_fuzz.Analysis_oracle.av_source);
+        Out_channel.with_open_text (base ^ ".txt") (fun oc ->
+            Printf.fprintf oc "input: %s\noracle: %s\n%s\n"
+              v.Mc_fuzz.Analysis_oracle.av_name
+              v.Mc_fuzz.Analysis_oracle.av_oracle
+              v.Mc_fuzz.Analysis_oracle.av_detail);
+        Printf.eprintf "fuzz: VIOLATION %s [%s]: %s\n  input: %s.c\n"
+          v.Mc_fuzz.Analysis_oracle.av_name
+          v.Mc_fuzz.Analysis_oracle.av_oracle
+          v.Mc_fuzz.Analysis_oracle.av_detail base)
+      violations;
+    Printf.eprintf "fuzz: %d/%d inputs violated an analysis oracle\n"
+      (List.length violations) report.Mc_fuzz.Analysis_oracle.av_total;
+    exit 1
+
 let () =
   let mode = ref "crash" in
   let n = ref 500 in
@@ -108,8 +137,8 @@ let () =
     [
       ( "-mode",
         Arg.Set_string mode,
-        "MODE  'crash' (containment, default) or 'diff' (differential \
-         semantics)" );
+        "MODE  'crash' (containment, default), 'diff' (differential \
+         semantics) or 'analyze' (dataflow-analysis oracles)" );
       ("-n", Arg.Set_int n, "NUM  number of inputs (default 500)");
       ("-seed", Arg.Set_int seed, "SEED  campaign seed (default 1)");
       ( "-jobs",
@@ -127,8 +156,8 @@ let () =
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "fuzz [-mode crash|diff] [-n NUM] [-seed SEED] [-jobs LIST] [-corpus DIR] \
-     [-out DIR]";
+    "fuzz [-mode crash|diff|analyze] [-n NUM] [-seed SEED] [-jobs LIST] \
+     [-corpus DIR] [-out DIR]";
   let jobs =
     String.split_on_char ',' !jobs
     |> List.filter_map int_of_string_opt
@@ -143,6 +172,10 @@ let () =
   | "diff" ->
     let out_dir = if !out_dir = "" then "diff-mismatches" else !out_dir in
     run_diff_mode ~n:!n ~seed:!seed ~jobs ~out_dir
+  | "analyze" ->
+    let out_dir = if !out_dir = "" then "analysis-violations" else !out_dir in
+    run_analyze_mode ~n:!n ~seed:!seed ~out_dir
   | m ->
-    Printf.eprintf "fuzz: unknown -mode %S (expected 'crash' or 'diff')\n" m;
+    Printf.eprintf
+      "fuzz: unknown -mode %S (expected 'crash', 'diff' or 'analyze')\n" m;
     exit 2

@@ -1107,6 +1107,217 @@ let emit_transfo_json () =
     daemon_warm_seconds daemon_warm_speedup;
   Printf.printf "  wrote %s\n%!" path
 
+(* --------------------------------------------------------------------- *)
+(* Dataflow analysis: BENCH_analyze.json                                  *)
+(* --------------------------------------------------------------------- *)
+
+(* The analysis-subsystem claim (X6): `--analyze` rides the same
+   function-granular cache as compilation.  Cold analysis of a
+   24-function unit, a warm same-source repeat (report served from
+   cache, byte-identical), a one-function body edit (exactly one
+   function re-analysed, 24 sibling fragments adopted), and the p50 of
+   warm Req_analyze round-trips through a live mccd.  Hard floors fail
+   the harness loudly; the regression gate diffs the emitted numbers. *)
+let emit_analyze_json () =
+  heading "BENCH_analyze.json (cold / warm / body-edit analysis, mccd p50)";
+  let module CInstance = Mc_core.Instance in
+  let module Invocation = Mc_core.Invocation in
+  let module Server = Mc_core.Server in
+  let module Client = Mc_core.Client in
+  let module Protocol = Mc_core.Protocol in
+  let module Clock = Mc_support.Clock in
+  let module Binio = Mc_support.Binio in
+  (* Same shape as the incremental workload; [edit] lands only in
+     ana_work7's body and stays a single digit so every sibling's source
+     span (and so its rendered finding locations) is unmoved. *)
+  let unit_with ~edit =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "void record(long x);\n";
+    for fn = 0 to 23 do
+      Buffer.add_string buf
+        (Printf.sprintf "long ana_work%d(int n) {\n  long acc = %d;\n" fn
+           (if fn = 7 then edit else fn mod 10));
+      for i = 0 to 5 do
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  for (int i%d = 0; i%d < n + %d; i%d += 1) acc += i%d * %d + \
+              (acc >> 2);\n"
+             i i 10 i i (i + fn))
+      done;
+      Buffer.add_string buf "  return acc;\n}\n"
+    done;
+    Buffer.add_string buf "int main(void) { record(ana_work0(3)); return 0; }\n";
+    Buffer.contents buf
+  in
+  let base = unit_with ~edit:3 in
+  let invocation =
+    {
+      Invocation.default with
+      Invocation.cache_enabled = true;
+      gen_reproducer = false;
+      analyze = Some [];
+    }
+  in
+  let inst = CInstance.create invocation in
+  let timed src =
+    let started = Clock.now () in
+    let c = CInstance.recompile inst ~name:"ana.c" src in
+    let wall = Clock.now () -. started in
+    if Mc_diag.Diagnostics.has_errors c.CInstance.c_result.Driver.diag then
+      failwith "analyze bench: compile failed";
+    let report =
+      match c.CInstance.c_result.Driver.analysis with
+      | Some r -> r
+      | None -> failwith "analyze bench: no analysis report"
+    in
+    let stat name =
+      try Mc_support.Stats.find c.CInstance.c_result.Driver.stats name
+      with Not_found -> 0
+    in
+    (wall, report, stat)
+  in
+  let best f =
+    let samples = List.init 3 f in
+    List.fold_left
+      (fun (bw, br, bs) (w, r, s) ->
+        if w < bw then (w, r, s) else (bw, br, bs))
+      (List.hd samples) (List.tl samples)
+  in
+  let cold_wall, cold_report, _ = timed base in
+  let warm_wall, warm_report, _ = best (fun _ -> timed base) in
+  (* Fresh single-digit edit per sample, so each measurement really
+     re-analyses the edited function. *)
+  let body_wall, body_report, body_stat =
+    best (fun i -> timed (unit_with ~edit:(4 + i)))
+  in
+  let findings = Mc_analysis.Report.finding_count cold_report in
+  let body_fn_hits = body_stat "analysis.fn-hits" in
+  let body_fn_misses = body_stat "analysis.fn-misses" in
+  (* Hard floors: the clean workload stays finding-free, a warm repeat
+     serves the byte-identical report, and a one-function edit
+     re-analyses exactly that function. *)
+  if findings <> 0 then
+    failwith
+      (Printf.sprintf "analyze bench: clean workload drew %d finding(s)"
+         findings);
+  if
+    Mc_analysis.Report.render_text warm_report
+    <> Mc_analysis.Report.render_text cold_report
+  then failwith "analyze bench: warm report drifted from cold";
+  if body_fn_misses <> 1 then
+    failwith
+      (Printf.sprintf "analyze bench: one-function edit re-analysed %d slices"
+         body_fn_misses);
+  if body_fn_hits <> 24 then
+    failwith
+      (Printf.sprintf
+         "analyze bench: body edit adopted %d cached fragments, wanted 24"
+         body_fn_hits);
+  ignore body_report;
+  (* Req_analyze round-trips through a live daemon: one cold request,
+     then the p50 of warm repeats against its in-memory cache. *)
+  let scratch =
+    let seed = Filename.temp_file "mcc-bench-analyze" "" in
+    Sys.remove seed;
+    Binio.mkdir_p seed;
+    seed
+  in
+  let socket_path = Filename.concat scratch "mccd.sock" in
+  let stop = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Server.run ~stop
+          {
+            Server.socket_path;
+            pool_size = 1;
+            queue_capacity = 8;
+            max_requests = None;
+            idle_timeout = Some 60.0;
+            request_timeout = None;
+            shed_retry_after = Server.default_config.Server.shed_retry_after;
+            cache_dir = None;
+            max_cache_bytes = None;
+            log = None;
+          })
+  in
+  let rec await_socket tries =
+    if Sys.file_exists socket_path then ()
+    else if tries = 0 then failwith "analyze bench: daemon never listened"
+    else begin
+      Unix.sleepf 0.02;
+      await_socket (tries - 1)
+    end
+  in
+  await_socket 250;
+  let timed_f f =
+    let started = Clock.now () in
+    let v = f () in
+    (Clock.now () -. started, v)
+  in
+  let roundtrip () =
+    match Client.analyze ~socket_path invocation ~name:"ana.c" base with
+    | Ok { Client.response = Protocol.Resp_analysis { p_result = Ok a; _ }; _ }
+      ->
+      a
+    | Ok
+        { Client.response = Protocol.Resp_analysis { p_result = Error e; _ }; _ }
+      ->
+      failwith ("analyze bench: daemon analysis failed: " ^ e)
+    | Ok { Client.response = Protocol.Resp_rejected r; _ } ->
+      failwith ("analyze bench: rejected: " ^ r)
+    | Ok _ -> failwith "analyze bench: unexpected response shape"
+    | Error e -> failwith ("analyze bench: " ^ e)
+  in
+  let daemon_cold_seconds, first = timed_f roundtrip in
+  let daemon_samples =
+    List.init 9 (fun _ ->
+        let w, a = timed_f roundtrip in
+        if not a.Protocol.an_cache_hit then
+          failwith "analyze bench: warm daemon analysis missed the cache";
+        if a.Protocol.an_text <> first.Protocol.an_text then
+          failwith "analyze bench: daemon warm report drifted";
+        w)
+  in
+  let daemon_p50_seconds =
+    List.nth (List.sort compare daemon_samples) (List.length daemon_samples / 2)
+  in
+  Atomic.set stop true;
+  (match Domain.join server with
+  | Ok _ -> ()
+  | Error e -> failwith ("analyze bench: server failed: " ^ e));
+  if first.Protocol.an_findings <> 0 then
+    failwith "analyze bench: daemon drew findings on the clean workload";
+  let warm_speedup = cold_wall /. warm_wall in
+  let body_speedup = cold_wall /. body_wall in
+  let buf = Buffer.create 512 in
+  let field last name value =
+    Buffer.add_string buf
+      (Printf.sprintf "  %S: %s%s\n" name value (if last then "" else ","))
+  in
+  Buffer.add_string buf "{\n";
+  field false "schema" "\"mcc-bench-analyze/1\"";
+  field false "workload" "\"24-function synthetic unit\"";
+  field false "findings" (string_of_int findings);
+  field false "cold_seconds" (Printf.sprintf "%.9f" cold_wall);
+  field false "warm_seconds" (Printf.sprintf "%.9f" warm_wall);
+  field false "warm_speedup" (Printf.sprintf "%.3f" warm_speedup);
+  field false "body_edit_seconds" (Printf.sprintf "%.9f" body_wall);
+  field false "body_edit_speedup" (Printf.sprintf "%.3f" body_speedup);
+  field false "body_edit_fn_hits" (string_of_int body_fn_hits);
+  field false "body_edit_fn_misses" (string_of_int body_fn_misses);
+  field false "daemon_cold_seconds" (Printf.sprintf "%.9f" daemon_cold_seconds);
+  field true "daemon_p50_seconds" (Printf.sprintf "%.9f" daemon_p50_seconds);
+  Buffer.add_string buf "}\n";
+  let path = "BENCH_analyze.json" in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Printf.printf
+    "  cold %.6fs -> warm %.6fs (%.1fx); body edit %.6fs (%d/%d fragments \
+     reused); daemon cold %.6fs, warm p50 %.6fs\n"
+    cold_wall warm_wall warm_speedup body_wall body_fn_hits
+    (body_fn_hits + body_fn_misses) daemon_cold_seconds daemon_p50_seconds;
+  Printf.printf "  wrote %s\n%!" path
+
 let run_benchmarks () =
   heading "Timing benchmarks (bechamel, monotonic clock)";
   let ols =
@@ -1155,4 +1366,5 @@ let () =
   emit_incremental_json ();
   emit_server_json ();
   emit_transfo_json ();
+  emit_analyze_json ();
   run_benchmarks ()

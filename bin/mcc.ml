@@ -104,7 +104,8 @@ let run_frontend_action inst units =
                 body
             | _ -> ())
           tu.Mc_ast.Tree.tu_decls
-      | Invocation.Run | Invocation.Emit_ir | Invocation.Emit_transformed ->
+      | Invocation.Run | Invocation.Emit_ir | Invocation.Emit_transformed
+      | Invocation.Analyze ->
         assert false))
     units;
   if !failed then exit 1
@@ -262,7 +263,13 @@ let run_daemon_action inst units =
   | Error msg -> Error msg
   | Ok { Client.response = Protocol.Resp_rejected reason; _ } ->
     Error ("daemon rejected the request: " ^ reason)
-  | Ok { Client.response = Protocol.Resp_transformed _ | Protocol.Resp_pong _; _ } ->
+  | Ok
+      {
+        Client.response =
+          ( Protocol.Resp_transformed _ | Protocol.Resp_analysis _
+          | Protocol.Resp_pong _ );
+        _;
+      } ->
     Error "daemon sent an unexpected response kind to a compile request"
   | Ok { Client.response = Protocol.Resp_busy _; _ } ->
     (* Unreachable: the client absorbs busy replies or errors out. *)
@@ -416,8 +423,8 @@ let run_transform_action inst units =
     | Ok
         {
           Client.response =
-            ( Protocol.Resp_units _ | Protocol.Resp_busy _
-            | Protocol.Resp_pong _ );
+            ( Protocol.Resp_units _ | Protocol.Resp_analysis _
+            | Protocol.Resp_busy _ | Protocol.Resp_pong _ );
           _;
         } ->
       Error
@@ -466,9 +473,124 @@ let run_transform_action inst units =
     units;
   if !failed then exit 1
 
+(* --analyze: compile each unit as far as pre-pass IR, run the selected
+   dataflow analyses and print the report instead of executing anything.
+   Exit 1 on compile errors or on any finding, so a CI job can gate on a
+   clean report.  In daemon mode this ships a [Req_analyze] (the v4
+   request kind) so editors and CI poll a warm per-function analysis
+   cache; no usable daemon means an in-process fallback, same output,
+   same exit code. *)
+let run_analyze_action inst units =
+  let inv = Instance.invocation inst in
+  let json = inv.Invocation.analyze_format = "json" in
+  let eprint_block msg =
+    prerr_string msg;
+    if msg <> "" && msg.[String.length msg - 1] <> '\n' then prerr_newline ()
+  in
+  let local () =
+    let batch = Batch.compile_into inst units in
+    let failed = ref false in
+    let findings = ref 0 in
+    List.iter
+      (fun u ->
+        match u.Batch.u_result with
+        | Error f ->
+          report_ice ~name:u.Batch.u_name f;
+          failed := true
+        | Ok r -> (
+          prerr_string (Diag.render_all r.Driver.diag);
+          if Diag.has_errors r.Driver.diag then failed := true
+          else
+            match r.Driver.analysis with
+            | Some report ->
+              multi_header inv u.Batch.u_name;
+              findings :=
+                !findings + Mc_analysis.Report.finding_count report;
+              print_string
+                (if json then Mc_analysis.Report.render_json report
+                 else Mc_analysis.Report.render_text report)
+            | None ->
+              (match r.Driver.codegen_error with
+              | Some e ->
+                Printf.eprintf "mcc: cannot analyse %s: %s\n" u.Batch.u_name e
+              | None ->
+                Printf.eprintf "mcc: cannot analyse %s: no IR was produced\n"
+                  u.Batch.u_name);
+              failed := true))
+      batch.Batch.units;
+    (!failed, !findings)
+  in
+  let remote () =
+    let socket_path =
+      match inv.Invocation.daemon_socket with
+      | Some p -> p
+      | None -> Client.default_socket ()
+    in
+    let failed = ref false in
+    let findings = ref 0 in
+    let rec go = function
+      | [] -> Ok (!failed, !findings)
+      | (name, source) :: rest -> (
+        match
+          Client.analyze ~policy:(client_policy inv) ~socket_path inv ~name
+            source
+        with
+        | Error msg -> Error msg
+        | Ok { Client.response = Protocol.Resp_rejected reason; _ } ->
+          Error ("daemon rejected the request: " ^ reason)
+        | Ok
+            {
+              Client.response =
+                ( Protocol.Resp_units _ | Protocol.Resp_transformed _
+                | Protocol.Resp_busy _ | Protocol.Resp_pong _ );
+              _;
+            } ->
+          Error
+            "daemon sent an unexpected response kind to an analyze request"
+        | Ok
+            {
+              Client.response =
+                Protocol.Resp_analysis { p_result; p_stats; p_wall };
+              _;
+            } -> (
+          Instance.in_registry inst (fun () -> Client.absorb_snapshot p_stats);
+          match p_result with
+          | Ok a ->
+            Printf.eprintf
+              "[mcc --daemon: analysed %s: %d finding(s)%s, server %.6fs]\n%!"
+              name a.Protocol.an_findings
+              (if a.Protocol.an_cache_hit then " (full hit)" else "")
+              p_wall;
+            multi_header inv name;
+            print_string
+              (if json then a.Protocol.an_json else a.Protocol.an_text);
+            findings := !findings + a.Protocol.an_findings;
+            go rest
+          | Error msg ->
+            (* A unit-level failure (diagnostics, codegen refusal), not a
+               daemon failure: report it and keep going, like the local
+               path does. *)
+            eprint_block msg;
+            failed := true;
+            go rest))
+    in
+    go units
+  in
+  let failed, findings =
+    if inv.Invocation.daemon then
+      match remote () with
+      | Ok r -> r
+      | Error msg ->
+        Printf.eprintf "mcc: note: %s; falling back in-process\n%!" msg;
+        local ()
+    else local ()
+  in
+  if failed || findings > 0 then exit 1
+
 let main files action irbuilder opt_level no_fold num_threads jobs use_cache
     cache_dir incremental daemon daemon_socket daemon_timeout daemon_retries
-    defines transfo_script no_transfo_check stage_timings time_report
+    defines transfo_script no_transfo_check analyze analyze_format
+    stage_timings time_report
     print_stats error_limit bracket_depth loop_nest_limit gen_reproducer =
   let defines =
     List.map
@@ -483,7 +605,17 @@ let main files action irbuilder opt_level no_fold num_threads jobs use_cache
     {
       Invocation.default with
       Invocation.inputs = List.map (fun p -> Invocation.File p) files;
-      action;
+      action =
+        (* --analyze is an action in its own right; it wins over the
+           default Run but composes with the shared flags (cache,
+           daemon, -j, ...). *)
+        (match analyze with None -> action | Some _ -> Invocation.Analyze);
+      analyze =
+        Option.map
+          (fun s ->
+            List.filter (fun p -> p <> "") (String.split_on_char ',' s))
+          analyze;
+      analyze_format;
       use_irbuilder = irbuilder;
       opt_level;
       fold = not no_fold;
@@ -526,7 +658,7 @@ let main files action irbuilder opt_level no_fold num_threads jobs use_cache
   match Invocation.load_inputs inv with
   | Error msg -> die "%s" msg
   | Ok units -> (
-    match action with
+    match inv.Invocation.action with
     | Invocation.Run | Invocation.Emit_ir ->
       if inv.Invocation.daemon then begin
         match run_daemon_action inst units with
@@ -545,6 +677,7 @@ let main files action irbuilder opt_level no_fold num_threads jobs use_cache
       end
       else run_compile_action inst units
     | Invocation.Emit_transformed -> run_transform_action inst units
+    | Invocation.Analyze -> run_analyze_action inst units
     | Invocation.Ast_dump | Invocation.Ast_dump_shadow | Invocation.Ast_print
     | Invocation.Print_transformed | Invocation.Syntax_only ->
       run_frontend_action inst units)
@@ -697,6 +830,24 @@ let no_transfo_check_arg =
           "Skip the differential semantic check after each transfo-script \
            step")
 
+let analyze_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "") (some string) None
+    & info [ "analyze" ] ~docv:"PASSES"
+        ~doc:
+          "Run the dataflow analyses and print the report instead of \
+           executing anything: bare $(b,--analyze) runs every pass, \
+           $(b,--analyze=)$(docv) a comma-separated subset of uninit, \
+           unreachable, leak, deps.  Exits 1 when any finding is reported")
+
+let analyze_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", "text"); ("json", "json") ]) "text"
+    & info [ "analyze-format" ] ~docv:"FORMAT"
+        ~doc:"Analysis report rendering: $(b,text) (default) or $(b,json)")
+
 let timings_arg =
   Arg.(value & flag & info [ "stage-timings" ] ~doc:"Report per-layer times (Fig. 1)")
 
@@ -756,6 +907,7 @@ let cmd =
       $ incremental_arg $ daemon_arg $ daemon_socket_arg $ daemon_timeout_arg
       $ daemon_retries_arg $ defines_arg
       $ transfo_script_arg $ no_transfo_check_arg
+      $ analyze_arg $ analyze_format_arg
       $ timings_arg $ time_report_arg $ print_stats_arg $ error_limit_arg
       $ bracket_depth_arg $ loop_nest_limit_arg $ gen_reproducer_arg)
 
@@ -770,7 +922,7 @@ let long_flags =
     "no-builder-folding"; "num-threads"; "stage-timings"; "ftime-report";
     "print-stats"; "cache"; "cache-dir"; "incremental"; "daemon";
     "daemon-socket"; "daemon-timeout"; "daemon-retries"; "transfo-script";
-    "no-transfo-check"; "jobs";
+    "no-transfo-check"; "jobs"; "analyze"; "analyze-format";
     "ferror-limit";
     "fbracket-depth";
     "floop-nest-limit"; "fno-crash-diagnostics"; "gen-reproducer";
@@ -779,16 +931,23 @@ let long_flags =
 let normalize_argv argv =
   Array.map
     (fun arg ->
-      if String.length arg > 2 && arg.[0] = '-' && arg.[1] <> '-' then begin
-        let body = String.sub arg 1 (String.length arg - 1) in
-        let name =
-          match String.index_opt body '=' with
-          | Some i -> String.sub body 0 i
-          | None -> body
-        in
-        if List.mem name long_flags then "-" ^ arg else arg
-      end
-      else arg)
+      let arg =
+        if String.length arg > 2 && arg.[0] = '-' && arg.[1] <> '-' then begin
+          let body = String.sub arg 1 (String.length arg - 1) in
+          let name =
+            match String.index_opt body '=' with
+            | Some i -> String.sub body 0 i
+            | None -> body
+          in
+          if List.mem name long_flags then "-" ^ arg else arg
+        end
+        else arg
+      in
+      (* Bare --analyze must not swallow the next argv element as its
+         optional value (cmdliner consumes unglued values even under
+         ~vopt); gluing an empty selection keeps `mcc --analyze foo.c`
+         meaning "all passes over foo.c". *)
+      if arg = "--analyze" then "--analyze=" else arg)
     argv
 
 let () = exit (Cmd.eval ~argv:(normalize_argv Sys.argv) cmd)

@@ -1,0 +1,36 @@
+/* A deliberately buggy program for the analysis gate: every helper
+   below trips a different dataflow pass, and CI asserts that
+
+     mcc --analyze examples/leaky.c
+
+   exits 1 with exactly these findings (while the clean examples stay
+   finding-free).  None of the helpers is ever called — main is benign —
+   so the interpreter smoke run over examples/ still passes. */
+
+long *malloc(long n);
+void free(long *p);
+
+/* [uninit]: 'x' is read before any store on the n <= 0 path. */
+long sum_first(long n) {
+  long x;
+  if (n > 0) x = n;
+  return x + 1;
+}
+
+/* [leak]: the early error return leaves the malloc'd buffer held. */
+long fill(long n) {
+  long *p = malloc(8 * n);
+  if (n > 64) return -1;
+  for (long i = 0; i < n; i += 1) p[i] = i;
+  free(p);
+  return 0;
+}
+
+/* [unreachable]: the trailing statement can never execute. */
+long clamp(long v) {
+  return v;
+  v = 0;
+  return v;
+}
+
+int main(void) { return 0; }

@@ -1,0 +1,132 @@
+(* The analysis report: what `mcc --analyze` prints, what the daemon
+   ships over the wire, and what the pipeline caches per function.
+
+   Everything in here is plain strings and lists — source locations are
+   rendered to "file:line:col" at analysis time (while the srcmgr that
+   can describe them is in scope), so a report fragment marshals cleanly
+   into the stage cache and a cached fragment is byte-identical to a
+   freshly computed one. *)
+
+type verdict = Safe | Unsafe | Unknown
+
+let verdict_name = function
+  | Safe -> "safe"
+  | Unsafe -> "unsafe"
+  | Unknown -> "unknown"
+
+(* A located remark attached to a finding or loop report: (loc, text). *)
+type note = { n_loc : string; n_msg : string }
+
+type finding = {
+  f_pass : string; (* "uninit" | "unreachable" | "leak" *)
+  f_func : string;
+  f_loc : string; (* rendered "file:line:col", or "<invalid loc>" *)
+  f_msg : string;
+  f_notes : note list;
+}
+
+(* Per-directive safety verdict for one canonical loop. *)
+type directive_verdict = {
+  dv_directive : string; (* "reverse" | "interchange" | "tile" | ... *)
+  dv_verdict : verdict;
+  dv_why : string;
+}
+
+type loop_report = {
+  lr_func : string;
+  lr_loc : string; (* loop header's source location *)
+  lr_iv : string; (* induction variable name, "?" if unrecognised *)
+  lr_depth : int; (* 1 = not nested inside another loop *)
+  lr_directives : directive_verdict list;
+  lr_notes : note list; (* offending accesses, dependence witnesses *)
+}
+
+(* One function's fragment — the unit of caching. *)
+type func_report = {
+  fr_func : string;
+  fr_findings : finding list;
+  fr_loops : loop_report list;
+}
+
+type t = {
+  r_passes : string list; (* passes that ran, in order *)
+  r_funcs : func_report list; (* in module order *)
+}
+
+let findings t = List.concat_map (fun fr -> fr.fr_findings) t.r_funcs
+let loops t = List.concat_map (fun fr -> fr.fr_loops) t.r_funcs
+let finding_count t = List.length (findings t)
+
+(* ---- text rendering ------------------------------------------------------ *)
+
+let render_text t =
+  let buf = Buffer.create 1024 in
+  let note n = Buffer.add_string buf (Printf.sprintf "  %s: note: %s\n" n.n_loc n.n_msg) in
+  List.iter
+    (fun fr ->
+      List.iter
+        (fun f ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s: warning: [%s] %s [function '%s']\n" f.f_loc
+               f.f_pass f.f_msg f.f_func);
+          List.iter note f.f_notes)
+        fr.fr_findings;
+      List.iter
+        (fun lr ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s: loop over '%s' (depth %d) in '%s':\n" lr.lr_loc
+               lr.lr_iv lr.lr_depth lr.lr_func);
+          List.iter
+            (fun dv ->
+              Buffer.add_string buf
+                (Printf.sprintf "    %-12s %s — %s\n" (dv.dv_directive ^ ":")
+                   (verdict_name dv.dv_verdict) dv.dv_why))
+            lr.lr_directives;
+          List.iter note lr.lr_notes)
+        fr.fr_loops)
+    t.r_funcs;
+  let n_funcs = List.length t.r_funcs in
+  Buffer.add_string buf
+    (Printf.sprintf "analysis: %d finding(s), %d loop(s) in %d function(s) [%s]\n"
+       (finding_count t)
+       (List.length (loops t))
+       n_funcs
+       (String.concat "," t.r_passes));
+  Buffer.contents buf
+
+(* ---- JSON rendering ------------------------------------------------------ *)
+
+(* Hand-rolled like bench/: report text is ASCII (paths, identifiers,
+   our own messages), for which OCaml's %S escaping is valid JSON. *)
+let json_str s = Printf.sprintf "%S" s
+
+let json_list f xs = "[" ^ String.concat "," (List.map f xs) ^ "]"
+
+let json_note n =
+  Printf.sprintf "{\"loc\":%s,\"msg\":%s}" (json_str n.n_loc) (json_str n.n_msg)
+
+let json_finding f =
+  Printf.sprintf "{\"pass\":%s,\"func\":%s,\"loc\":%s,\"msg\":%s,\"notes\":%s}"
+    (json_str f.f_pass) (json_str f.f_func) (json_str f.f_loc)
+    (json_str f.f_msg)
+    (json_list json_note f.f_notes)
+
+let json_directive dv =
+  Printf.sprintf "{\"name\":%s,\"verdict\":%s,\"why\":%s}"
+    (json_str dv.dv_directive)
+    (json_str (verdict_name dv.dv_verdict))
+    (json_str dv.dv_why)
+
+let json_loop lr =
+  Printf.sprintf
+    "{\"func\":%s,\"loc\":%s,\"iv\":%s,\"depth\":%d,\"directives\":%s,\"notes\":%s}"
+    (json_str lr.lr_func) (json_str lr.lr_loc) (json_str lr.lr_iv) lr.lr_depth
+    (json_list json_directive lr.lr_directives)
+    (json_list json_note lr.lr_notes)
+
+let render_json t =
+  Printf.sprintf
+    "{\"schema\":\"mcc-analysis/1\",\"passes\":%s,\"findings\":%s,\"loops\":%s}\n"
+    (json_list json_str t.r_passes)
+    (json_list json_finding (findings t))
+    (json_list json_loop (loops t))

@@ -507,6 +507,10 @@ let hint_md = function
     Ir.Unroll_count (Option.value lh_value ~default:2)
 
 let rec emit_stmt ctx s =
+  (* Stamp the statement's source location onto every instruction this
+     lowering creates (see [Ir.mk_inst]); nested statements re-stamp on
+     entry, so location granularity is the innermost statement. *)
+  Ir.set_emit_loc s.s_loc;
   match s.s_kind with
   | Null_stmt -> ()
   | Compound stmts -> List.iter (emit_stmt ctx) stmts
@@ -1526,6 +1530,7 @@ and emit_omp_irbuilder ctx d =
 (* ---- top level --------------------------------------------------------------- *)
 
 let emit_function ctx fn body =
+  Ir.clear_emit_loc ();
   let f = ir_function ctx fn in
   f.Ir.f_is_decl <- false;
   ctx.cur_fn <- Some f;

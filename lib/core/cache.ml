@@ -24,7 +24,8 @@ module Stats = Mc_support.Stats
 let stage_names =
   (* Unit-granular stages first, then the per-function artifact families
      of the granular pipeline (one artifact per top-level slice). *)
-  [ "transfo"; "lex"; "pp"; "ast"; "ir"; "optir"; "fnast"; "fnir"; "fnoptir" ]
+  [ "transfo"; "lex"; "pp"; "ast"; "ir"; "optir"; "fnast"; "fnir"; "fnoptir";
+    "analysis"; "fnanalysis" ]
 
 type stage_counters = {
   sc_hits : Stats.counter;

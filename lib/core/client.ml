@@ -235,6 +235,10 @@ let transform ?policy ?socket_path invocation ~name source =
   roundtrip ?policy ?socket_path
     (Protocol.request_of_transform invocation ~name source)
 
+let analyze ?policy ?socket_path invocation ~name source =
+  roundtrip ?policy ?socket_path
+    (Protocol.request_of_analyze invocation ~name source)
+
 let ping ?policy ?socket_path () =
   match roundtrip ?policy ?socket_path Protocol.Req_ping with
   | Ok { response = Protocol.Resp_pong { pong_queue_depth; pong_capacity }; _ }

@@ -87,6 +87,18 @@ val transform :
     ({!Invocation.load_transfo_script}) so the script travels by
     value. *)
 
+val analyze :
+  ?policy:policy ->
+  ?socket_path:string ->
+  Invocation.t ->
+  name:string ->
+  string ->
+  (reply, string) result
+(** [analyze inv ~name source] round-trips a [Req_analyze]: the daemon
+    compiles [source] against its warm stage cache, runs [inv]'s
+    analysis pass selection, and replies with [Resp_analysis] carrying
+    both renderings of the report. *)
+
 val ping :
   ?policy:policy ->
   ?socket_path:string ->

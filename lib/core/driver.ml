@@ -16,6 +16,7 @@ type options = Pipeline.options = {
   loop_nest_limit : int;
   transfo_script : string option;
   transfo_check : bool;
+  analyze : string list option;
 }
 
 let default_options = Pipeline.default_options
@@ -38,6 +39,7 @@ type result = Pipeline.result = {
   unroll_stats : Mc_passes.Loop_unroll.stats;
   stats : Mc_support.Stats.snapshot;
   transformed : (string * string) option;
+  analysis : Mc_analysis.Report.t option;
 }
 
 let compile ?options ?name source =

@@ -25,6 +25,7 @@ type options = Pipeline.options = {
   loop_nest_limit : int; (* -floop-nest-limit directive depth cap *)
   transfo_script : string option; (* --transfo-script contents *)
   transfo_check : bool; (* differential oracle per script step *)
+  analyze : string list option; (* --analyze pass selection ([] = all) *)
 }
 
 val default_options : options
@@ -50,6 +51,8 @@ type result = Pipeline.result = {
   stats : Mc_support.Stats.snapshot; (* pipeline counters for this compile *)
   transformed : (string * string) option;
       (* (rewritten source, step trace) when a transfo script ran *)
+  analysis : Mc_analysis.Report.t option;
+      (* dataflow analysis report when --analyze was requested *)
 }
 
 val compile : ?options:options -> ?name:string -> string -> result

@@ -12,6 +12,7 @@ type action =
   | Emit_ir
   | Emit_transformed
   | Syntax_only
+  | Analyze
 
 type input = File of string | Source of { name : string; contents : string }
 
@@ -41,6 +42,8 @@ type t = {
   loop_nest_limit : int;
   transfo_script : input option;
   transfo_check : bool;
+  analyze : string list option; (* Some [] = every analysis pass *)
+  analyze_format : string; (* "text" | "json"; presentation only *)
   gen_reproducer : bool;
 }
 
@@ -74,6 +77,8 @@ let default =
     loop_nest_limit = Driver.default_options.Driver.loop_nest_limit;
     transfo_script = None;
     transfo_check = true;
+    analyze = None;
+    analyze_format = "text";
     gen_reproducer = true;
   }
 
@@ -116,6 +121,7 @@ let to_driver_options inv =
       | Some (File _ as f) -> (
         match read_input f with Ok (_, c) -> Some c | Error _ -> None));
     transfo_check = inv.transfo_check;
+    analyze = inv.analyze;
   }
 
 let of_driver_options ?(inputs = []) (o : Driver.options) =
@@ -136,6 +142,7 @@ let of_driver_options ?(inputs = []) (o : Driver.options) =
         (fun contents -> Source { name = "<script>"; contents })
         o.Driver.transfo_script;
     transfo_check = o.Driver.transfo_check;
+    analyze = o.Driver.analyze;
   }
 
 let load_inputs inv =
@@ -162,11 +169,18 @@ let fingerprint inv =
     | Some (File path) -> "file:" ^ path
     | Some (Source { contents; _ }) -> Mc_transfo.Script.canonical contents
   in
+  let analyze =
+    (* format is presentation-only; the pass selection is what keys the
+       cached report fragments *)
+    match inv.analyze with
+    | None -> "-"
+    | Some ps -> String.concat "," ps
+  in
   Printf.sprintf
-    "irbuilder=%b;optimize=%b;fold=%b;verify=%b;elimit=%d;bdepth=%d;nlimit=%d;transfo=%s;tcheck=%b"
+    "irbuilder=%b;optimize=%b;fold=%b;verify=%b;elimit=%d;bdepth=%d;nlimit=%d;transfo=%s;tcheck=%b;analyze=%s"
     inv.use_irbuilder (inv.opt_level > 0) inv.fold inv.verify_ir
     inv.error_limit inv.bracket_depth inv.loop_nest_limit transfo
-    inv.transfo_check
+    inv.transfo_check analyze
 
 (* ---- argv parsing ------------------------------------------------------- *)
 
@@ -236,6 +250,9 @@ let of_argv argv =
         | "emit-ir" -> go { inv with action = Emit_ir } rest
         | "emit-transformed" -> go { inv with action = Emit_transformed } rest
         | "syntax-only" | "fsyntax-only" -> go { inv with action = Syntax_only } rest
+        (* Bare -analyze runs every pass; -analyze=p1,p2 selects.  Not a
+           [with_value] flag: "-analyze foo.c" must keep foo.c an input. *)
+        | "analyze" -> go { inv with action = Analyze; analyze = Some [] } rest
         | "fopenmp-enable-irbuilder" -> go { inv with use_irbuilder = true } rest
         | "no-builder-folding" -> go { inv with fold = false } rest
         | "no-verify-ir" -> go { inv with verify_ir = false } rest
@@ -312,6 +329,35 @@ let of_argv argv =
                 (fun () ->
                   with_value "transfo-script" (fun v rest' ->
                       go { inv with transfo_script = Some (File v) } rest'));
+                (fun () ->
+                  let p = "analyze=" in
+                  if
+                    String.length flag > String.length p
+                    && String.sub flag 0 (String.length p) = p
+                  then
+                    let v =
+                      String.sub flag (String.length p)
+                        (String.length flag - String.length p)
+                    in
+                    let passes =
+                      List.filter
+                        (fun s -> s <> "")
+                        (String.split_on_char ',' v)
+                    in
+                    Some
+                      (go
+                         { inv with action = Analyze; analyze = Some passes }
+                         rest)
+                  else None);
+                (fun () ->
+                  with_value "analyze-format" (fun v rest' ->
+                      if v = "text" || v = "json" then
+                        go { inv with analyze_format = v } rest'
+                      else
+                        Error
+                          (Printf.sprintf
+                             "invalid -analyze-format %S (expected text or json)"
+                             v)));
               ]
           with
           | Some r -> r
@@ -338,6 +384,10 @@ let to_argv inv =
     | Emit_ir -> [ "-emit-ir" ]
     | Emit_transformed -> [ "-emit-transformed" ]
     | Syntax_only -> [ "-syntax-only" ]
+    | Analyze -> (
+      match inv.analyze with
+      | Some (_ :: _ as ps) -> [ "-analyze=" ^ String.concat "," ps ]
+      | _ -> [ "-analyze" ])
   in
   action_flags
   @ flag inv.use_irbuilder "-fopenmp-enable-irbuilder"
@@ -387,4 +437,7 @@ let to_argv inv =
     | Some input -> [ Printf.sprintf "-transfo-script=%s" (input_name input) ]
     | None -> [])
   @ flag (not inv.transfo_check) "-no-transfo-check"
+  @ (if inv.analyze_format <> d.analyze_format then
+       [ "-analyze-format=" ^ inv.analyze_format ]
+     else [])
   @ flag (not inv.gen_reproducer) "-fno-crash-diagnostics"

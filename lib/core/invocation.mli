@@ -18,6 +18,7 @@ type action =
   | Emit_ir
   | Emit_transformed (* apply the transfo script, print the rewritten C *)
   | Syntax_only
+  | Analyze (* run the dataflow analyses, print the report *)
 
 type input =
   | File of string (* path, or "-" for stdin *)
@@ -58,6 +59,10 @@ type t = {
                                     script applied before the lexer) *)
   transfo_check : bool; (* differential oracle per script step; the
                            --no-transfo-check flag disables *)
+  analyze : string list option; (* --analyze[=p1,p2] pass selection;
+                                   Some [] = every pass *)
+  analyze_format : string; (* --analyze-format text|json (presentation
+                              only; not part of the fingerprint) *)
   gen_reproducer : bool; (* write ICE reproducer bundles (default on);
                             -fno-crash-diagnostics disables *)
 }
@@ -103,6 +108,9 @@ val of_argv : string array -> (t, string) result
     [-stage-timings], the resource limits [-ferror-limit N],
     [-fbracket-depth N], [-floop-nest-limit N], the transfo-script
     options [--transfo-script FILE] and [--no-transfo-check], the
+    analysis options [--analyze], [--analyze=pass1,pass2] and
+    [--analyze-format text|json] (bare [--analyze] deliberately takes no
+    separate argument, so [--analyze foo.c] keeps foo.c an input), the
     reproducer toggles
     [-gen-reproducer]/[-fno-crash-diagnostics], and positional input
     files ([-] for stdin). *)

@@ -55,6 +55,10 @@ type options = {
   loop_nest_limit : int;
   transfo_script : string option;
   transfo_check : bool;
+  analyze : string list option;
+      (* Some [] = every analysis pass; Some ps = that selection; the
+         report lands in [result.analysis].  Keyed on pre-pass IR, so it
+         caches per function on the granular path. *)
 }
 
 let default_options =
@@ -70,6 +74,7 @@ let default_options =
     loop_nest_limit = Mc_sema.Sema.default_loop_nest_limit;
     transfo_script = None;
     transfo_check = true;
+    analyze = None;
   }
 
 type timings = {
@@ -90,6 +95,7 @@ type result = {
   unroll_stats : Mc_passes.Loop_unroll.stats;
   stats : Stats.snapshot;
   transformed : (string * string) option;
+  analysis : Mc_analysis.Report.t option;
 }
 
 type stage = Transfo | Lex | Preprocess | Parse_sema | Codegen | Passes
@@ -206,6 +212,18 @@ let stat_fn_relinks =
   Stats.counter ~group:"cache" ~name:"fn-relinks"
     ~desc:"functions stitched into a unit IR module from per-function modules"
     ()
+
+(* Analysis-stage aggregates, same shape as the fn cache counters: one
+   event per per-function pre-pass IR payload whenever --analyze runs on
+   a function-granular unit. *)
+let stat_an_fn_hits =
+  Stats.counter ~group:"analysis" ~name:"fn-hits"
+    ~desc:"functions whose analysis report was reused from a fnanalysis artifact"
+    ()
+
+let stat_an_fn_misses =
+  Stats.counter ~group:"analysis" ~name:"fn-misses"
+    ~desc:"functions analysed afresh (no fnanalysis artifact)" ()
 
 (* ---- execution ---------------------------------------------------------- *)
 
@@ -459,6 +477,7 @@ let rec walk ?cache ~frontend_only ~options ~name source =
           unroll_stats = Mc_passes.Loop_unroll.empty_stats;
           stats = [];
           transformed = None;
+          analysis = None;
         },
         [ (Transfo, Executed) ],
         false,
@@ -562,9 +581,36 @@ and differential_check ~options ~name ~before ~after =
               (List.length tr)
               (match ret with Some v -> Int64.to_string v | None -> "void")
         in
+        (* Locate the likely culprit: the dependence analysis of the
+           *original* program names the loop-carried dependences the
+           step may have reordered — a located explanation beats a bare
+           "the outputs differ".  Refusals are rare, so the extra
+           compile (cache-less, -O0) is off the hot path. *)
+        let dependence_notes =
+          let x = execute ~options:check_options ~name before in
+          let r = x.x_result in
+          match r.ir with
+          | None -> []
+          | Some m ->
+            let describe loc = Srcmgr.describe r.srcmgr loc in
+            let report =
+              Mc_analysis.Analyzer.run ~passes:[ "deps" ] ~describe m
+            in
+            List.concat_map
+              (fun (lr : Mc_analysis.Report.loop_report) ->
+                List.map
+                  (fun (n : Mc_analysis.Report.note) ->
+                    Printf.sprintf "%s: note: %s" n.Mc_analysis.Report.n_loc
+                      n.Mc_analysis.Report.n_msg)
+                  lr.Mc_analysis.Report.lr_notes)
+              (Mc_analysis.Report.loops report)
+        in
         Error
-          (Printf.sprintf "behaviour diverged: before: %s; after: %s"
-             (describe obs_before) (describe obs_after)))
+          (Printf.sprintf "behaviour diverged: before: %s; after: %s%s"
+             (describe obs_before) (describe obs_after)
+             (match dependence_notes with
+             | [] -> ""
+             | notes -> "\n" ^ String.concat "\n" notes)))
 
 and walk_stages ?cache ~frontend_only ~options ~name ~transfo source =
   reset_compilation_state ();
@@ -895,6 +941,8 @@ and walk_stages ?cache ~frontend_only ~options ~name ~transfo source =
     }
   in
   let transformed = Option.map (fun (_, s, tr) -> (s, tr)) transfo in
+  (* Filled by the analyze stage (if requested) before [finish] runs. *)
+  let analysis_ref = ref None in
   let no_ir codegen_error =
     {
       diag = !diag;
@@ -906,6 +954,7 @@ and walk_stages ?cache ~frontend_only ~options ~name ~transfo source =
       unroll_stats = Mc_passes.Loop_unroll.empty_stats;
       stats = [];
       transformed;
+      analysis = !analysis_ref;
     }
   in
   let finish ir unroll =
@@ -919,6 +968,7 @@ and walk_stages ?cache ~frontend_only ~options ~name ~transfo source =
       unroll_stats = unroll;
       stats = [];
       transformed;
+      analysis = !analysis_ref;
     }
   in
   let verify_or_ice m =
@@ -1070,6 +1120,81 @@ and walk_stages ?cache ~frontend_only ~options ~name ~transfo source =
       match pre_pass with
       | Error msg -> no_ir (Some msg)
       | Ok pre -> (
+        (* Stage: analyze (optional).  Keyed on *pre-pass* IR — the
+           analyser wants allocas, not mem2reg'd SSA — and cached per
+           function on the granular path: editing one body re-analyses
+           exactly that function, every sibling serves its cached report
+           fragment.  Report fragments are plain strings (locations are
+           rendered at analysis time), so a cached fragment is
+           byte-identical to a fresh one. *)
+        (match options.analyze with
+        | None -> ()
+        | Some sel ->
+          let apasses = Mc_analysis.Analyzer.normalize_passes (Some sel) in
+          let aslice = "analyze=" ^ String.concat "," apasses in
+          let describe loc = Srcmgr.describe !srcmgr loc in
+          let run_on m =
+            Mc_analysis.Analyzer.run ~passes:apasses ~describe m
+          in
+          let report =
+            match pre with
+            | `Whole m -> (
+              let a_fp = hash ("analysis\x00" ^ ir_fp ^ "\x00" ^ aslice) in
+              let cached =
+                match cache with
+                | None -> None
+                | Some c -> Cache.find c ~stage:"analysis" a_fp
+              in
+              match cached with
+              | Some p -> (Marshal.from_string p 0 : Mc_analysis.Report.t)
+              | None ->
+                let rep = run_on m in
+                (match cache with
+                | Some c when clean () ->
+                  Cache.store c ~stage:"analysis" a_fp (marshal rep)
+                | _ -> ());
+                rep)
+            | `Pairs minis ->
+              let frs =
+                List.concat_map
+                  (fun (fnir_fp, payload, mini) ->
+                    let fa_fp =
+                      hash ("fnanalysis\x00" ^ fnir_fp ^ "\x00" ^ aslice)
+                    in
+                    let cached =
+                      match cache with
+                      | None -> None
+                      | Some c -> Cache.find c ~stage:"fnanalysis" fa_fp
+                    in
+                    match cached with
+                    | Some p ->
+                      Stats.incr stat_an_fn_hits;
+                      (Marshal.from_string p 0
+                        : Mc_analysis.Report.func_report list)
+                    | None ->
+                      Stats.incr stat_an_fn_misses;
+                      let m =
+                        match mini with
+                        | Some m -> m
+                        | None ->
+                          (* Read-only walk: analysis creates no
+                             instructions, so no id claim is needed. *)
+                          let ((m, _wm) : Mc_ir.Ir.modul * int) =
+                            Marshal.from_string payload 0
+                          in
+                          m
+                      in
+                      let frs = (run_on m).Mc_analysis.Report.r_funcs in
+                      (match cache with
+                      | Some c when clean () ->
+                        Cache.store c ~stage:"fnanalysis" fa_fp (marshal frs)
+                      | _ -> ());
+                      frs)
+                  (Lazy.force minis)
+              in
+              { Mc_analysis.Report.r_passes = apasses; r_funcs = frs }
+          in
+          analysis_ref := Some report);
         (* Stage: passes (OptIR). *)
         match consult Passes opt_fp with
         | Some payload ->

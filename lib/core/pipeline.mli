@@ -45,6 +45,11 @@ type options = {
   transfo_check : bool;
       (** run the differential semantic oracle after every script step
           (on by default). *)
+  analyze : string list option;
+      (** run the {!Mc_analysis} passes over the pre-pass IR: [Some []]
+          selects every pass, [Some ps] a subset (unknown names are
+          ignored).  The report lands in [result.analysis] and is cached
+          per function on the granular path. *)
 }
 
 val default_options : options
@@ -71,6 +76,9 @@ type result = {
   transformed : (string * string) option;
       (** When a transfo script ran (or hit the cache): the rewritten
           source and the rendered step trace. *)
+  analysis : Mc_analysis.Report.t option;
+      (** When [options.analyze] was set and IR was produced: the
+          dataflow analysis report. *)
 }
 
 type stage = Transfo | Lex | Preprocess | Parse_sema | Codegen | Passes

@@ -30,8 +30,13 @@ let magic = "MCCD"
    v3: overload resilience — [Req_ping] health checks, [Resp_busy]
    load-shedding replies carrying the queue depth and a retry hint,
    [Resp_pong] with live queue occupancy.  v2 frames are rejected by
-   the header check like any other cross-version talk. *)
-let version = 3
+   the header check like any other cross-version talk.
+
+   v4: dataflow analysis — [Req_analyze] runs the {!Mc_analysis} passes
+   over one unit against the daemon's warm per-function analysis cache
+   and answers with [Resp_analysis] (both renderings plus the finding
+   count, so the client needs no analysis code of its own). *)
+let version = 4
 
 let default_socket () =
   match Sys.getenv_opt "MCCD_SOCKET" with
@@ -57,9 +62,21 @@ type transform_request = {
   t_digest : string;
 }
 
+(* An analysis request: compile one unit as far as pre-pass IR and run
+   the selected analysis passes (the invocation's [analyze] field), so
+   an editor or CI gate polls a warm daemon instead of cold-starting the
+   pipeline per query. *)
+type analyze_request = {
+  a_invocation : Invocation.t; (* carries the pass selection and format *)
+  a_name : string;
+  a_source : string;
+  a_digest : string;
+}
+
 type request =
   | Req_compile of compile_request
   | Req_transform of transform_request
+  | Req_analyze of analyze_request
   | Req_ping
       (* health check: answered from the accept/worker path without
          touching the pipeline — loadgen and clients use it to probe a
@@ -85,6 +102,15 @@ let request_of_transform invocation ~name source =
       t_name = name;
       t_source = source;
       t_digest = unit_digest source;
+    }
+
+let request_of_analyze invocation ~name source =
+  Req_analyze
+    {
+      a_invocation = invocation;
+      a_name = name;
+      a_source = source;
+      a_digest = unit_digest source;
     }
 
 type response_unit = {
@@ -122,6 +148,13 @@ type response =
       p_stats : Stats.snapshot;
       p_wall : float;
     }
+  | Resp_analysis of {
+      p_result : (analysis, string) result;
+          (* Error: the unit failed to compile far enough to analyse —
+             rendered diagnostics or a codegen refusal, user-facing *)
+      p_stats : Stats.snapshot;
+      p_wall : float;
+    }
   | Resp_rejected of string
   | Resp_busy of {
       queue_depth : int; (* connections queued when the shed happened *)
@@ -135,6 +168,15 @@ and transformed = {
   x_source : string; (* the rewritten program *)
   x_trace : string; (* rendered step trace *)
   x_cache_hit : bool; (* served from the daemon's transfo stage cache *)
+}
+
+(* Both renderings travel so the client stays free of analysis code;
+   the structured report stays server-side (it is cacheable there). *)
+and analysis = {
+  an_text : string; (* Report.render_text *)
+  an_json : string; (* Report.render_json *)
+  an_findings : int; (* drives the client's exit code *)
+  an_cache_hit : bool; (* every stage up to the analysis was reused *)
 }
 
 (* ---- channel IO ---------------------------------------------------------- *)

@@ -35,11 +35,22 @@ type transform_request = {
   t_digest : string;
 }
 
+type analyze_request = {
+  a_invocation : Invocation.t;
+      (** carries the analysis pass selection ([analyze]) and format *)
+  a_name : string;
+  a_source : string;
+  a_digest : string;
+}
+
 type request =
   | Req_compile of compile_request  (** compile units, return IR (v1 shape) *)
   | Req_transform of transform_request
       (** apply the invocation's transfo script to one unit and return
           the rewritten source — no compilation of the result *)
+  | Req_analyze of analyze_request
+      (** v4: run the dataflow analyses over one unit against the
+          daemon's warm per-function analysis cache *)
   | Req_ping
       (** v3 health check: answered with {!Resp_pong} without touching
           the pipeline *)
@@ -52,6 +63,9 @@ val request_of_units : Invocation.t -> (string * string) list -> request
 
 val request_of_transform : Invocation.t -> name:string -> string -> request
 (** Builds a [Req_transform] for one source, computing its digest. *)
+
+val request_of_analyze : Invocation.t -> name:string -> string -> request
+(** Builds a [Req_analyze] for one source, computing its digest. *)
 
 type response_unit = {
   r_name : string;
@@ -88,6 +102,13 @@ type response =
       p_stats : Mc_support.Stats.snapshot;
       p_wall : float;
     }
+  | Resp_analysis of {
+      p_result : (analysis, string) result;
+          (** [Error]: the unit failed to compile far enough to analyse
+              — rendered diagnostics or a codegen refusal *)
+      p_stats : Mc_support.Stats.snapshot;
+      p_wall : float;
+    }  (** v4 answer to {!Req_analyze}. *)
   | Resp_rejected of string
   | Resp_busy of { queue_depth : int; retry_after : float }
       (** v3 load shedding: the daemon's bounded queue was full, so the
@@ -101,6 +122,13 @@ and transformed = {
   x_source : string;  (** the rewritten program *)
   x_trace : string;  (** rendered step trace *)
   x_cache_hit : bool;  (** served from the daemon's transfo stage cache *)
+}
+
+and analysis = {
+  an_text : string;  (** {!Mc_analysis.Report.render_text} *)
+  an_json : string;  (** {!Mc_analysis.Report.render_json} *)
+  an_findings : int;  (** drives the client's exit code *)
+  an_cache_hit : bool;  (** every stage up to the analysis was reused *)
 }
 
 val write_request : out_channel -> request -> unit

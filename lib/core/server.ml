@@ -49,6 +49,10 @@ let stat_transforms =
   Stats.counter ~group:"server" ~name:"transforms"
     ~desc:"transfo-script requests served by the daemon" ()
 
+let stat_analyses =
+  Stats.counter ~group:"server" ~name:"analyses"
+    ~desc:"dataflow analysis requests served by the daemon" ()
+
 let stat_shed =
   Stats.counter ~group:"server" ~name:"shed"
     ~desc:"connections shed with Resp_busy because the queue was full" ()
@@ -308,6 +312,63 @@ let transform_request ~cache (req : Protocol.transform_request) =
       },
     registry )
 
+(* A dataflow-analysis query: compile the unit through the shared stage
+   cache with the invocation's [analyze] selection live, then ship both
+   renderings of the report.  Compilation failures (diagnostics, a
+   codegen refusal, an ICE) are a payload [Error], not a rejection — the
+   client prints them exactly as a local `mcc --analyze` would. *)
+let analyze_request ~cache (req : Protocol.analyze_request) =
+  let started = Clock.now () in
+  let registry = Stats.Registry.create () in
+  let inv =
+    (* Force the analysis on, whatever else the invocation says: a
+       Req_analyze with [analyze = None] should still analyse. *)
+    match req.Protocol.a_invocation.Invocation.analyze with
+    | Some _ -> req.Protocol.a_invocation
+    | None -> { req.Protocol.a_invocation with Invocation.analyze = Some [] }
+  in
+  let inst = Instance.create ?cache inv in
+  let result =
+    match
+      Instance.compile_safe inst ~name:req.Protocol.a_name
+        req.Protocol.a_source
+    with
+    | Ok c -> (
+      let r = c.Instance.c_result in
+      if Diag.has_errors r.Driver.diag then
+        Error (Diag.render_all r.Driver.diag)
+      else
+        match (r.Driver.analysis, r.Driver.codegen_error) with
+        | Some report, _ ->
+          Ok
+            {
+              Protocol.an_text = Mc_analysis.Report.render_text report;
+              an_json = Mc_analysis.Report.render_json report;
+              an_findings = Mc_analysis.Report.finding_count report;
+              an_cache_hit = c.Instance.c_cache_hit;
+            }
+        | None, Some e -> Error ("cannot analyse: " ^ e)
+        | None, None -> Error "cannot analyse: no IR was produced")
+    | Error f ->
+      let ice = f.Instance.f_ice in
+      Stats.with_registry registry (fun () -> Stats.incr stat_ices);
+      Error
+        (Printf.sprintf "internal error in %s: %s"
+           ice.Mc_support.Crash_recovery.ice_phase
+           ice.Mc_support.Crash_recovery.ice_exn)
+  in
+  Stats.Registry.merge ~into:registry (Instance.registry inst);
+  Stats.with_registry registry (fun () ->
+      Stats.incr stat_requests;
+      Stats.incr stat_analyses);
+  ( Protocol.Resp_analysis
+      {
+        p_result = result;
+        p_stats = Stats.snapshot ~registry ();
+        p_wall = Clock.now () -. started;
+      },
+    registry )
+
 let verify_digests (req : Protocol.request) =
   let ok source digest = String.equal (Protocol.unit_digest source) digest in
   match req with
@@ -317,6 +378,7 @@ let verify_digests (req : Protocol.request) =
         ok u.Protocol.q_source u.Protocol.q_digest)
       c.Protocol.q_units
   | Protocol.Req_transform t -> ok t.Protocol.t_source t.Protocol.t_digest
+  | Protocol.Req_analyze a -> ok a.Protocol.a_source a.Protocol.a_digest
   | Protocol.Req_ping -> true
 
 (* One connection, one request; every failure mode ends with a closed
@@ -390,6 +452,10 @@ let handle_connection ~cache ~lifetime ~lifetime_lock ~log ~request_timeout
         | Protocol.Req_transform t ->
           let response, registry = transform_request ~cache t in
           log (Printf.sprintf "transformed %s" t.Protocol.t_name);
+          (response, registry)
+        | Protocol.Req_analyze a ->
+          let response, registry = analyze_request ~cache a in
+          log (Printf.sprintf "analysed %s" a.Protocol.a_name);
           (response, registry)
         | Protocol.Req_ping -> assert false (* handled above *)
       in

@@ -42,8 +42,10 @@ let fault_write = Fault.point "store.write"
 
 (* v2: the "ir" artifact of function-granular units became a list of
    per-function payloads (see Pipeline); bumping makes pre-granular
-   stores miss cleanly instead of unmarshalling the wrong shape. *)
-let schema_version = 2
+   stores miss cleanly instead of unmarshalling the wrong shape.
+   v3: instructions grew an [i_loc] source location for the analysis
+   subsystem, changing the marshalled IR layout. *)
+let schema_version = 3
 let magic = "MCST"
 let default_max_bytes = 512 * 1024 * 1024
 

@@ -1,0 +1,207 @@
+(* The second oracle behind `fuzz -mode analyze`: the dataflow analyses
+   of {!Mc_analysis} cross-checked against ground truth the fuzzer can
+   establish independently.
+
+   A. Transformation-safety soundness.  The differential generator's
+      programs ({!Differential.gen_program}) are trace-preserving under
+      every directive *by construction* (order-independent reductions,
+      no cross-iteration reads), and a dedicated element-wise array
+      generator here is equally order-insensitive — so an [Unsafe]
+      verdict from the dependence report on any of them is a lie.
+      [Unknown] is always acceptable: the report promises soundness,
+      not completeness.
+
+   B. Uninitialized-read ground truth.  Dropping the accumulator's
+      initializer and running the same program classic -O0 under two
+      allocation fill bytes ('\000' vs '\x55') makes a genuine
+      uninitialized read *observable*: the traces diverge.  A program
+      whose behaviour provably depends on garbage memory must carry at
+      least one [uninit] finding.
+
+   C. Uninitialized-read false positives.  The unmutated program
+      initializes everything it reads, so the [uninit] pass must stay
+      silent on it. *)
+
+module Driver = Mc_core.Driver
+module Interp = Mc_interp.Interp
+module Srcmgr = Mc_srcmgr.Source_manager
+module Report = Mc_analysis.Report
+module Analyzer = Mc_analysis.Analyzer
+module Rng = Fuzz.Rng
+
+type violation = {
+  av_name : string; (* generated input name (embeds seed and index) *)
+  av_oracle : string; (* "transform-safety" | "uninit-missed" | "uninit-spurious" *)
+  av_detail : string;
+  av_source : string;
+}
+
+type report = { av_total : int; av_violations : violation list }
+
+let o0 = { Driver.default_options with Driver.optimize = false }
+
+(* Element-wise array writes plus a reduction checksum: every loop is
+   order-insensitive, so any [Unsafe] verdict over this family is
+   unsound.  (The differential generator never touches arrays; this one
+   exercises the affine-subscript side of the dependence test.) *)
+let gen_safe_array rng =
+  let b = Buffer.create 256 in
+  let n = 8 + Rng.int rng 56 in
+  Buffer.add_string b "int main(void) {\n";
+  Buffer.add_string b (Printf.sprintf "  long A[%d];\n  long acc = 0;\n" n);
+  let nloops = 1 + Rng.int rng 2 in
+  for idx = 0 to nloops - 1 do
+    let c = 1 + Rng.int rng 9 and k = Rng.int rng 50 in
+    Buffer.add_string b
+      (Printf.sprintf
+         "  for (long i%d = 0; i%d < %d; i%d += 1)\n    A[i%d] = i%d * %d + \
+          %d;\n"
+         idx idx n idx idx idx c k)
+  done;
+  Buffer.add_string b
+    (Printf.sprintf
+       "  for (long j = 0; j < %d; j += 1)\n    acc = acc + A[j];\n" n);
+  Buffer.add_string b "  record(acc);\n  return 0;\n}\n";
+  Buffer.contents b
+
+(* Compile classic -O0 (allocas intact — the slot model the analyses
+   assume) and run the selected passes; [Error] is a generator bug, not
+   an oracle violation, and is reported as its own violation so a
+   regression in the pipeline cannot silently drain the campaign. *)
+let analyze ~passes source =
+  let r = Driver.compile ~options:o0 source in
+  if Mc_diag.Diagnostics.has_errors r.Driver.diag then
+    Error ("does not compile:\n" ^ Mc_diag.Diagnostics.render_all r.Driver.diag)
+  else
+    match r.Driver.ir with
+    | None ->
+      Error
+        (match r.Driver.codegen_error with
+        | Some e -> "codegen: " ^ e
+        | None -> "no IR produced")
+    | Some m ->
+      let describe loc = Srcmgr.describe r.Driver.srcmgr loc in
+      Ok (Analyzer.run ~passes ~describe m)
+
+let unsafe_verdicts report =
+  List.concat_map
+    (fun (lr : Report.loop_report) ->
+      List.filter_map
+        (fun (dv : Report.directive_verdict) ->
+          if dv.Report.dv_verdict = Report.Unsafe then
+            Some
+              (Printf.sprintf "%s: %s flagged unsafe — %s" lr.Report.lr_loc
+                 dv.Report.dv_directive dv.Report.dv_why)
+          else None)
+        lr.Report.lr_directives)
+    (Report.loops report)
+
+let uninit_findings report =
+  List.filter
+    (fun (f : Report.finding) -> f.Report.f_pass = "uninit")
+    (Report.findings report)
+
+(* Observable behaviour under one allocation fill byte; any trap or
+   compile failure is folded into the observation so a fill-dependent
+   trap also counts as divergence. *)
+let observe ~fill_byte source =
+  let config = { Interp.default_config with Interp.fill_byte } in
+  match Driver.compile_and_run ~options:o0 ~config source with
+  | Ok o ->
+    `Finished (o.Interp.output, o.Interp.trace, o.Interp.return_value)
+  | Error msg -> `Failed msg
+
+(* The mutation behind oracles B and C: drop the accumulator's
+   initializer.  Textual on purpose — the generator owns the shape of
+   the declaration line. *)
+let drop_initializer source =
+  let target = " acc = 0;" in
+  let tl = String.length target and sl = String.length source in
+  let rec find i =
+    if i + tl > sl then None
+    else if String.equal (String.sub source i tl) target then Some i
+    else find (i + 1)
+  in
+  Option.map
+    (fun i ->
+      String.sub source 0 i ^ " acc;"
+      ^ String.sub source (i + tl) (sl - i - tl))
+    (find 0)
+
+let run ~n ~seed () =
+  let rng = Rng.create seed in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  for i = 0 to n - 1 do
+    let array_flavoured = Rng.int rng 3 = 0 in
+    let name = Printf.sprintf "analyze-%d-%d.c" seed i in
+    let source =
+      if array_flavoured then gen_safe_array rng
+      else Differential.strip_pragmas (Differential.gen_program rng)
+    in
+    (* A: no Unsafe verdict on a provably order-insensitive program. *)
+    (match analyze ~passes:[ "deps" ] source with
+    | Error e ->
+      add
+        {
+          av_name = name;
+          av_oracle = "transform-safety";
+          av_detail = "analysis failed: " ^ e;
+          av_source = source;
+        }
+    | Ok report ->
+      List.iter
+        (fun detail ->
+          add
+            {
+              av_name = name;
+              av_oracle = "transform-safety";
+              av_detail = detail;
+              av_source = source;
+            })
+        (unsafe_verdicts report));
+    (* C: the initialized original carries no uninit finding. *)
+    (match analyze ~passes:[ "uninit" ] source with
+    | Error _ -> () (* already reported above *)
+    | Ok report ->
+      List.iter
+        (fun (f : Report.finding) ->
+          add
+            {
+              av_name = name;
+              av_oracle = "uninit-spurious";
+              av_detail =
+                Printf.sprintf "%s: %s" f.Report.f_loc f.Report.f_msg;
+              av_source = source;
+            })
+        (uninit_findings report));
+    (* B: a divergence across fill bytes proves an uninitialized read
+       happened; the pass must have found one. *)
+    match drop_initializer source with
+    | None -> ()
+    | Some mutated ->
+      let zero = observe ~fill_byte:'\000' mutated in
+      let ones = observe ~fill_byte:'\x55' mutated in
+      if zero <> ones then (
+        match analyze ~passes:[ "uninit" ] mutated with
+        | Error e ->
+          add
+            {
+              av_name = name;
+              av_oracle = "uninit-missed";
+              av_detail = "analysis failed: " ^ e;
+              av_source = mutated;
+            }
+        | Ok report ->
+          if uninit_findings report = [] then
+            add
+              {
+                av_name = name;
+                av_oracle = "uninit-missed";
+                av_detail =
+                  "behaviour depends on the allocation fill byte, but the \
+                   uninit pass reported nothing";
+                av_source = mutated;
+              })
+  done;
+  { av_total = n; av_violations = List.rev !violations }

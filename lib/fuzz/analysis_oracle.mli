@@ -1,0 +1,28 @@
+(** Cross-checks the {!Mc_analysis} dataflow passes against ground truth
+    the fuzzer establishes independently ([fuzz -mode analyze]):
+
+    - {b transform-safety}: programs that are order-insensitive by
+      construction (the differential generator's reductions, plus an
+      element-wise array family) must never draw an [Unsafe] directive
+      verdict from the dependence report — [Unknown] is fine, a lie is
+      not;
+    - {b uninit-missed}: dropping the accumulator's initializer and
+      observing divergence between two allocation fill bytes
+      ({!Mc_interp.Interp.config.fill_byte}, classic -O0) proves an
+      uninitialized read, so the [uninit] pass must report one;
+    - {b uninit-spurious}: the unmutated program initializes everything
+      it reads, so the [uninit] pass must stay silent. *)
+
+type violation = {
+  av_name : string;  (** generated input name (embeds seed and index) *)
+  av_oracle : string;
+      (** ["transform-safety"] | ["uninit-missed"] | ["uninit-spurious"] *)
+  av_detail : string;
+  av_source : string;
+}
+
+type report = { av_total : int; av_violations : violation list }
+
+val run : n:int -> seed:int -> unit -> report
+(** A campaign over [n] generated programs (fixed [seed]), running all
+    three oracles on each. *)

@@ -7,10 +7,20 @@ type trace_entry = T_int of int64 | T_float of float
 
 type wtime_mode = Wtime_virtual of float | Wtime_real
 
-type config = { num_threads : int; max_steps : int; wtime : wtime_mode }
+type config = {
+  num_threads : int;
+  max_steps : int;
+  wtime : wtime_mode;
+  fill_byte : char;
+}
 
 let default_config =
-  { num_threads = 4; max_steps = 200_000_000; wtime = Wtime_virtual 1e-9 }
+  {
+    num_threads = 4;
+    max_steps = 200_000_000;
+    wtime = Wtime_virtual 1e-9;
+    fill_byte = '\000';
+  }
 
 let stat_steps =
   Stats.counter ~group:"interp" ~name:"steps-executed"
@@ -91,7 +101,8 @@ let canon ty v = Int_ops.truncate (int_width ~signed:true ty) v
 let alloc state bytes =
   let slab = state.next_slab in
   state.next_slab <- slab + 1;
-  Hashtbl.replace state.slabs slab (Bytes.make (max bytes 1) '\000');
+  Hashtbl.replace state.slabs slab
+    (Bytes.make (max bytes 1) state.config.fill_byte);
   { slab; off = 0 }
 
 let free state addr = Hashtbl.remove state.slabs addr.slab

@@ -28,6 +28,12 @@ type config = {
   num_threads : int; (* default team size, as OMP_NUM_THREADS *)
   max_steps : int; (* fuel against non-termination *)
   wtime : wtime_mode; (* what omp_get_wtime observes *)
+  fill_byte : char;
+    (* what fresh allocations (stack slots and malloc slabs) hold before
+       the program writes them: '\000' by default.  The uninitialized-read
+       analysis oracle runs the same program under two fills and treats a
+       divergence as ground truth for "a read observed uninitialized
+       memory" *)
 }
 
 val default_config : config

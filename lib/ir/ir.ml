@@ -103,6 +103,9 @@ and inst = {
   mutable i_kind : inst_kind;
   i_ty : ty;
   mutable i_parent : block option;
+  mutable i_loc : Mc_srcmgr.Source_location.t;
+      (* the source statement this instruction lowers; invalid for
+         synthetic instructions (runtime glue, pass-created code) *)
 }
 
 and inst_kind =
@@ -160,7 +163,21 @@ let fresh_id () =
   incr r;
   !r
 
-let reset_ids () = Domain.DLS.get id_counter := 0
+(* The source location newly created instructions are stamped with —
+   CodeGen sets it to the statement being lowered so analyses can report
+   findings at source positions.  Domain-local for the same reason as
+   the id counter; invalid outside statement lowering, so pass-created
+   instructions stay location-free. *)
+let emit_loc : Mc_srcmgr.Source_location.t ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref Mc_srcmgr.Source_location.invalid)
+
+let set_emit_loc loc = Domain.DLS.get emit_loc := loc
+let current_emit_loc () = !(Domain.DLS.get emit_loc)
+let clear_emit_loc () = set_emit_loc Mc_srcmgr.Source_location.invalid
+
+let reset_ids () =
+  Domain.DLS.get id_counter := 0;
+  clear_emit_loc ()
 
 (* An unmarshalled module (store hit, daemon reply) carries ids from the
    process that built it, while this domain's counter is wherever the
@@ -237,7 +254,8 @@ let append_inst b inst =
   b.b_insts_rev <- inst :: b.b_insts_rev
 
 let mk_inst ?(name = "") ~ty kind =
-  { i_id = fresh_id (); i_name = name; i_kind = kind; i_ty = ty; i_parent = None }
+  { i_id = fresh_id (); i_name = name; i_kind = kind; i_ty = ty;
+    i_parent = None; i_loc = current_emit_loc () }
 
 let value_ty = function
   | Const_int (ty, _) -> ty

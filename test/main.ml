@@ -34,4 +34,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("differential", Test_differential.suite);
       ("crash", Test_crash.suite);
+      ("analysis", Test_analysis.suite);
     ]

@@ -201,7 +201,8 @@ let test_digest_mismatch_rejected () =
                     (fun u -> { u with Protocol.q_digest = String.make 32 '0' })
                     c.Protocol.q_units;
               }
-          | Protocol.Req_transform _ | Protocol.Req_ping ->
+          | Protocol.Req_transform _ | Protocol.Req_analyze _
+          | Protocol.Req_ping ->
             Alcotest.fail "request_of_units built a non-compile request"
         in
         let reason =
